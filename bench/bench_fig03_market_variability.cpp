@@ -1,0 +1,92 @@
+// Fig. 3 of the paper: distinct values per configuration parameter for each
+// market (a 65 x 28 heat map).
+//
+// Shape to reproduce: variability is high for some markets and some
+// parameter groups — i.e. strong row AND column structure, not uniform.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "eval/variability.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace auric::bench {
+namespace {
+
+/// Buckets a distinct count for the console heat map.
+char heat_char(std::size_t distinct) {
+  if (distinct <= 1) return '.';
+  if (distinct <= 3) return '1';
+  if (distinct <= 6) return '2';
+  if (distinct <= 10) return '3';
+  if (distinct <= 20) return '4';
+  return '#';
+}
+
+int body(util::Args& args) {
+  ExperimentContext ctx = make_context(args);
+  const std::string csv_path =
+      args.get_string("csv", "", "optional CSV output path for the full matrix");
+  if (args.help_requested()) return 0;
+
+  std::vector<eval::ParamVariability> variability =
+      eval::analyze_variability(ctx.topology, ctx.catalog, ctx.assignment);
+  std::sort(variability.begin(), variability.end(),
+            [](const auto& a, const auto& b) { return a.distinct_overall > b.distinct_overall; });
+  const std::size_t markets = ctx.topology.markets.size();
+
+  std::printf("heat map: distinct values per (parameter, market);"
+              " . =0/1  1 <=3  2 <=6  3 <=10  4 <=20  # >20\n\n");
+  std::printf("%-26s markets 1..%zu\n", "parameter", markets);
+  for (const auto& var : variability) {
+    std::string row;
+    for (std::size_t m = 0; m < markets; ++m) row += heat_char(var.distinct_per_market[m]);
+    std::printf("%-26s %s\n", ctx.catalog.at(var.param).name.c_str(), row.c_str());
+  }
+
+  // Column structure: per-market totals (which markets tune aggressively).
+  std::printf("\n%-26s ", "mean distinct/market:");
+  std::vector<double> market_mean(markets, 0.0);
+  for (const auto& var : variability) {
+    for (std::size_t m = 0; m < markets; ++m) {
+      market_mean[m] += static_cast<double>(var.distinct_per_market[m]);
+    }
+  }
+  double lo = 1e18;
+  double hi = 0;
+  for (std::size_t m = 0; m < markets; ++m) {
+    market_mean[m] /= static_cast<double>(variability.size());
+    lo = std::min(lo, market_mean[m]);
+    hi = std::max(hi, market_mean[m]);
+  }
+  std::printf("min %.2f, max %.2f (x%.1f spread across markets)\n", lo, hi,
+              lo > 0 ? hi / lo : 0.0);
+  std::printf("[paper: \"variability is quite high for some markets and for some collections of"
+              " configuration parameters\"]\n");
+
+  if (!csv_path.empty()) {
+    std::vector<std::string> headers{"parameter"};
+    for (std::size_t m = 0; m < markets; ++m) headers.push_back("market_" + std::to_string(m + 1));
+    util::CsvWriter csv(csv_path, headers);
+    for (const auto& var : variability) {
+      std::vector<std::string> row{ctx.catalog.at(var.param).name};
+      for (std::size_t m = 0; m < markets; ++m) {
+        row.push_back(std::to_string(var.distinct_per_market[m]));
+      }
+      csv.add_row(row);
+    }
+    std::printf("matrix written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace auric::bench
+
+int main(int argc, char** argv) {
+  return auric::bench::run_bench(
+      argc, argv, "Fig. 3: distinct values per configuration parameter per market",
+      auric::bench::body);
+}

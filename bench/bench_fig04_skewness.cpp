@@ -1,0 +1,63 @@
+// Fig. 4 of the paper: skewness of each configuration parameter's value
+// distribution (§2.6 formula).
+//
+// Paper finding to reproduce: 33 of the 65 parameters highly skewed
+// (|skew| > 1), 12 moderately skewed (0.5 < |skew| <= 1).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "eval/variability.h"
+#include "ml/metrics.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace auric::bench {
+namespace {
+
+int body(util::Args& args) {
+  ExperimentContext ctx = make_context(args);
+  const std::string csv_path =
+      args.get_string("csv", "", "optional CSV output path for the figure series");
+  if (args.help_requested()) return 0;
+
+  std::vector<eval::ParamVariability> variability =
+      eval::analyze_variability(ctx.topology, ctx.catalog, ctx.assignment);
+  std::sort(variability.begin(), variability.end(), [](const auto& a, const auto& b) {
+    return std::fabs(a.skewness) > std::fabs(b.skewness);
+  });
+
+  util::Table table({"parameter", "skewness", "band"});
+  for (const auto& var : variability) {
+    table.add_row({ctx.catalog.at(var.param).name, util::format_fixed(var.skewness, 2),
+                   ml::skewness_band_name(ml::skewness_band(var.skewness))});
+  }
+  table.print();
+
+  const eval::SkewnessSummary summary = eval::summarize_skewness(variability);
+  std::printf("\nhighly skewed (|skew| > 1):        %d / %zu   [paper: 33 / 65]\n", summary.high,
+              variability.size());
+  std::printf("moderately skewed (0.5 < |s| <= 1): %d / %zu   [paper: 12 / 65]\n",
+              summary.moderate, variability.size());
+  std::printf("approximately symmetric:            %d / %zu   [paper: 20 / 65]\n",
+              summary.symmetric, variability.size());
+
+  if (!csv_path.empty()) {
+    util::CsvWriter csv(csv_path, {"parameter", "skewness"});
+    for (const auto& var : variability) {
+      csv.add_row({ctx.catalog.at(var.param).name, util::format_fixed(var.skewness, 4)});
+    }
+    std::printf("series written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace auric::bench
+
+int main(int argc, char** argv) {
+  return auric::bench::run_bench(
+      argc, argv, "Fig. 4: skewness of configuration parameter values", auric::bench::body);
+}

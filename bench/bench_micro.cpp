@@ -1,0 +1,190 @@
+// Micro-benchmarks of the hot paths (google-benchmark). Not a paper
+// experiment — these track the cost of the primitives every experiment is
+// built from, so performance regressions surface immediately.
+#include <benchmark/benchmark.h>
+
+#include "config/ground_truth.h"
+#include "core/dependency.h"
+#include "core/engine.h"
+#include "core/param_view.h"
+#include "core/voting.h"
+#include "ml/chi_square.h"
+#include "ml/decision_tree.h"
+#include "ml/dataset.h"
+#include "netsim/attributes.h"
+#include "netsim/generator.h"
+#include "util/rng.h"
+
+namespace auric {
+namespace {
+
+/// Shared medium-sized world, built once.
+struct World {
+  netsim::Topology topo;
+  netsim::AttributeSchema schema;
+  config::ParamCatalog catalog = config::ParamCatalog::standard();
+  config::ConfigAssignment assignment;
+  std::vector<std::vector<netsim::AttrCode>> codes;
+
+  World() {
+    netsim::TopologyParams params;
+    params.seed = 3;
+    params.num_markets = 4;
+    params.base_enodebs_per_market = 40;
+    topo = netsim::generate_topology(params);
+    schema = netsim::AttributeSchema::standard(topo);
+    assignment = config::GroundTruthModel(topo, schema, catalog).assign();
+    codes = schema.encode_all(topo);
+  }
+};
+
+const World& world() {
+  static const World w;
+  return w;
+}
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  netsim::TopologyParams params;
+  params.num_markets = 2;
+  params.base_enodebs_per_market = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netsim::generate_topology(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.base_enodebs_per_market * 2);
+}
+BENCHMARK(BM_TopologyGeneration)->Arg(10)->Arg(40);
+
+void BM_GroundTruthAssign(benchmark::State& state) {
+  const World& w = world();
+  const config::GroundTruthModel model(w.topo, w.schema, w.catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.assign());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.assignment.total_configured()));
+}
+BENCHMARK(BM_GroundTruthAssign);
+
+void BM_ChiSquareTest(benchmark::State& state) {
+  util::Rng rng(1);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int32_t> x(n);
+  std::vector<std::int32_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::int32_t>(rng.uniform_int(0, 9));
+    y[i] = static_cast<std::int32_t>(rng.uniform_int(0, 19));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::chi_square_independence(x, y, 10, 20));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ChiSquareTest)->Arg(1000)->Arg(100000);
+
+void BM_DependencyScan(benchmark::State& state) {
+  const World& w = world();
+  const core::ParamView view =
+      core::build_param_view(w.topo, w.catalog, w.assignment, w.catalog.id_of("pMax"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::learn_dependencies(view, w.codes, w.schema, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(view.rows()));
+}
+BENCHMARK(BM_DependencyScan);
+
+void BM_VotingModelBuild(benchmark::State& state) {
+  const World& w = world();
+  const config::ParamId param = w.catalog.id_of("pMax");
+  const core::ParamView view = core::build_param_view(w.topo, w.catalog, w.assignment, param);
+  const core::DependencyModel deps = core::learn_dependencies(view, w.codes, w.schema, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::VotingModel(view, deps.dependent, w.codes));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(view.rows()));
+}
+BENCHMARK(BM_VotingModelBuild);
+
+void BM_LeaveOneOutVote(benchmark::State& state) {
+  const World& w = world();
+  const config::ParamId param = w.catalog.id_of("pMax");
+  const core::ParamView view = core::build_param_view(w.topo, w.catalog, w.assignment, param);
+  const core::DependencyModel deps = core::learn_dependencies(view, w.codes, w.schema, {});
+  const core::VotingModel model(view, deps.dependent, w.codes);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    const core::GroupKey key = model.key_for(view.carrier[row], view.neighbor[row]);
+    benchmark::DoNotOptimize(model.vote_excluding(key, view.label[row], 0.75));
+    row = (row + 1) % view.rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeaveOneOutVote);
+
+void BM_LocalVote(benchmark::State& state) {
+  const World& w = world();
+  const config::ParamId param = w.catalog.id_of("pMax");
+  const core::ParamView view = core::build_param_view(w.topo, w.catalog, w.assignment, param);
+  const core::DependencyModel deps = core::learn_dependencies(view, w.codes, w.schema, {});
+  const core::VotingModel model(view, deps.dependent, w.codes);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    const core::GroupKey key = model.key_for(view.carrier[row], view.neighbor[row]);
+    benchmark::DoNotOptimize(core::local_vote(view, deps.dependent, w.codes, key,
+                                              w.topo.neighborhood(view.carrier[row]),
+                                              static_cast<std::int64_t>(row), 0.75));
+    row = (row + 1) % view.rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalVote);
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  const World& w = world();
+  const config::ParamId param = w.catalog.id_of("pMax");
+  const core::ParamView view = core::build_param_view(w.topo, w.catalog, w.assignment, param);
+  const ml::CategoricalDataset data = core::to_categorical_dataset(view, w.schema, w.codes);
+  std::vector<std::size_t> rows(data.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  for (auto _ : state) {
+    ml::DecisionTree tree;
+    tree.fit(data, rows);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_DecisionTreeFit);
+
+void BM_OneHotEncode(benchmark::State& state) {
+  const World& w = world();
+  const config::ParamId param = w.catalog.id_of("pMax");
+  const core::ParamView view = core::build_param_view(w.topo, w.catalog, w.assignment, param);
+  const ml::CategoricalDataset data = core::to_categorical_dataset(view, w.schema, w.codes);
+  const ml::OneHotEncoder encoder(data);
+  std::vector<std::size_t> rows(data.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(data, rows));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_OneHotEncode);
+
+void BM_EngineRecommendCarrier(benchmark::State& state) {
+  const World& w = world();
+  static const core::AuricEngine engine(w.topo, w.schema, w.catalog, w.assignment);
+  netsim::CarrierId carrier = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.recommend_singular(carrier));
+    carrier = static_cast<netsim::CarrierId>((carrier + 1) %
+                                             static_cast<netsim::CarrierId>(
+                                                 w.topo.carrier_count()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.catalog.singular_ids().size()));
+}
+BENCHMARK(BM_EngineRecommendCarrier);
+
+}  // namespace
+}  // namespace auric
+
+BENCHMARK_MAIN();

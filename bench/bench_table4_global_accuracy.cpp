@@ -1,0 +1,86 @@
+// Table 4 of the paper: average accuracy of the five global learners across
+// the four deep-dive markets and all configuration parameters.
+//
+// Paper values (shape to reproduce: CF wins, RF second, others clustered):
+//             RF     k-NN    DT     DNN    CF
+//   Market 1  92.58  91.58   91.93  91.94  95.94
+//   Market 2  89.27  88.08   88.73  88.39  93.75
+//   Market 3  91.43  90.71   91.14  90.98  95.58
+//   Market 4  95.15  94.34   94.79  94.57  96.63
+//   All four  92.11  91.18   91.68  91.70  95.48
+#include <cstdio>
+
+#include "common.h"
+#include "learner_comparison.h"
+#include "ml/metrics.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace auric::bench {
+namespace {
+
+constexpr double kPaper[5][5] = {
+    {92.58, 91.58, 91.93, 91.94, 95.94}, {89.27, 88.08, 88.73, 88.39, 93.75},
+    {91.43, 90.71, 91.14, 90.98, 95.58}, {95.15, 94.34, 94.79, 94.57, 96.63},
+    {92.11, 91.18, 91.68, 91.70, 95.48},
+};
+
+int body(util::Args& args) {
+  ExperimentContext ctx = make_context(args);
+  LearnerComparisonOptions options = declare_comparison_flags(args);
+  if (args.help_requested()) return 0;
+
+  const std::vector<MarketComparison> results = run_learner_comparison(ctx, options);
+
+  util::Table table({"", "Random forest", "k-NN", "Decision tree", "Deep neural network",
+                     "Collaborative filtering"});
+  double grand[kLearnerCount] = {};
+  double grand_rows[kLearnerCount] = {};
+  for (const MarketComparison& market : results) {
+    std::vector<double> row;
+    for (int learner = 0; learner < kLearnerCount; ++learner) {
+      ml::MeanAccumulator acc;
+      for (const ParamAccuracy& p : market.per_param) {
+        if (p.accuracy[learner] >= 0.0) {
+          acc.add(p.accuracy[learner], static_cast<double>(p.rows));
+          grand[learner] += p.accuracy[learner] * static_cast<double>(p.rows);
+          grand_rows[learner] += static_cast<double>(p.rows);
+        }
+      }
+      row.push_back(100.0 * acc.mean());
+    }
+    table.add_row_numeric(
+        ctx.topology.markets[static_cast<std::size_t>(market.market)].name, row, 2);
+  }
+  std::vector<double> all_row;
+  for (int learner = 0; learner < kLearnerCount; ++learner) {
+    all_row.push_back(grand_rows[learner] > 0 ? 100.0 * grand[learner] / grand_rows[learner]
+                                              : -1.0);
+  }
+  table.add_row_numeric("All four", all_row, 2);
+  table.print();
+
+  std::printf("\npaper Table 4 for comparison:\n");
+  util::Table paper({"", "Random forest", "k-NN", "Decision tree", "Deep neural network",
+                     "Collaborative filtering"});
+  const char* row_names[5] = {"Market 1", "Market 2", "Market 3", "Market 4", "All four"};
+  for (int r = 0; r < 5; ++r) {
+    paper.add_row_numeric(row_names[r],
+                          {kPaper[r][0], kPaper[r][1], kPaper[r][2], kPaper[r][3], kPaper[r][4]},
+                          2);
+  }
+  paper.print();
+  std::printf(
+      "\nnote: model learners use %d-fold CV with train cap %lld rows/fold and MLP capped at %d"
+      " epochs\n(run with --train-cap 0 --mlp-epochs 200 for uncapped evaluation).\n",
+      options.folds, static_cast<long long>(options.train_cap), options.mlp_epochs);
+  return 0;
+}
+
+}  // namespace
+}  // namespace auric::bench
+
+int main(int argc, char** argv) {
+  return auric::bench::run_bench(argc, argv, "Table 4: average accuracy of five global learners",
+                                 auric::bench::body);
+}

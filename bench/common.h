@@ -1,0 +1,43 @@
+// Shared experiment context for the benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure of the paper over the
+// same synthetic network, built from the same command-line knobs:
+//   --seed     master seed (topology + ground truth derive from it)
+//   --markets  number of markets (paper: 28)
+//   --scale    base eNodeBs per market (sets dataset size; the paper's full
+//              400K+ carriers corresponds to roughly --scale 1700)
+// Each binary prints the paper's reported numbers next to the measured ones
+// so bench_output.txt reads as a self-contained EXPERIMENTS record.
+#pragma once
+
+#include <memory>
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "config/ground_truth.h"
+#include "netsim/attributes.h"
+#include "netsim/generator.h"
+#include "netsim/topology.h"
+#include "util/args.h"
+
+namespace auric::bench {
+
+struct ExperimentContext {
+  netsim::TopologyParams topo_params;
+  config::GroundTruthParams gt_params;
+  netsim::Topology topology;
+  netsim::AttributeSchema schema;
+  config::ParamCatalog catalog{std::vector<config::ParamDef>{}};
+  config::ConfigAssignment assignment;
+  std::unique_ptr<config::GroundTruthModel> ground_truth;
+};
+
+/// Declares the common flags on `args` and builds the context.
+ExperimentContext make_context(util::Args& args);
+
+/// Standard wrapper: parses args, handles --help, runs `body`, reports
+/// errors on stderr with a non-zero exit.
+int run_bench(int argc, char** argv, const char* title,
+              int (*body)(util::Args& args));
+
+}  // namespace auric::bench

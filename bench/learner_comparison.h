@@ -1,0 +1,52 @@
+// Shared driver for the five-global-learner comparison (§4.2, Fig. 10 and
+// Table 4): decision tree, random forest, k-NN, MLP, and collaborative
+// filtering with chi-square + voting, evaluated per market per parameter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "util/args.h"
+
+namespace auric::bench {
+
+inline constexpr const char* kLearnerNames[] = {
+    "Random forest", "k-Nearest neighbors", "Decision tree", "Deep neural network",
+    "Collaborative filtering",
+};
+inline constexpr int kLearnerCount = 5;
+
+struct LearnerComparisonOptions {
+  int deep_dive_markets = 4;
+  int folds = 2;            ///< cross-validation folds for the model learners
+  std::int64_t train_cap = 1500;
+  std::int64_t test_cap = 4000;
+  int mlp_epochs = 20;      ///< the paper caps iterations at 10000; see note
+  std::string learners = "all";  ///< comma list or "all"
+};
+
+/// Declares the comparison flags on `args`.
+LearnerComparisonOptions declare_comparison_flags(util::Args& args);
+
+struct ParamAccuracy {
+  config::ParamId param = 0;
+  std::size_t rows = 0;
+  std::size_t distinct_values = 0;
+  /// accuracy[learner] in [0,1]; -1 when the learner was skipped.
+  double accuracy[kLearnerCount] = {-1, -1, -1, -1, -1};
+};
+
+struct MarketComparison {
+  netsim::MarketId market = 0;
+  std::vector<ParamAccuracy> per_param;  ///< sorted by descending distinct values
+
+  /// Row-weighted average accuracy of one learner across all parameters.
+  double average(int learner) const;
+};
+
+/// Runs the comparison for the first `options.deep_dive_markets` markets.
+std::vector<MarketComparison> run_learner_comparison(const ExperimentContext& ctx,
+                                                     const LearnerComparisonOptions& options);
+
+}  // namespace auric::bench

@@ -1,0 +1,82 @@
+// Explainability tour (§3.2, Fig. 8, and the §5 "lessons learned": "trust
+// and interpretability are major challenges in adoption").
+//
+// Shows the two explanation surfaces the system offers engineers:
+//   1. Auric's own evidence trail: which attributes a parameter depends on
+//      (chi-square scan) and how the peers voted;
+//   2. the decision-tree baseline's root-to-leaf rule chain (Fig. 8 style).
+#include <cstdio>
+
+#include "config/catalog.h"
+#include "config/ground_truth.h"
+#include "core/engine.h"
+#include "core/param_view.h"
+#include "ml/decision_tree.h"
+#include "netsim/attributes.h"
+#include "netsim/generator.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace auric;
+
+  netsim::TopologyParams topo_params;
+  topo_params.seed = 11;
+  topo_params.num_markets = 4;
+  topo_params.base_enodebs_per_market = 30;
+  const netsim::Topology topology = netsim::generate_topology(topo_params);
+  const netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topology);
+  const config::ParamCatalog catalog = config::ParamCatalog::standard();
+  const config::GroundTruthModel ground_truth(topology, schema, catalog);
+  const config::ConfigAssignment assignment = ground_truth.assign();
+  const core::AuricEngine auric(topology, schema, catalog, assignment);
+
+  // --- 1. Dependency models: what did the chi-square scan conclude? ---
+  std::printf("dependency models (strongest attributes per parameter):\n");
+  for (const char* name : {"capacityThreshold", "pMax", "qRxLevMin", "hysA3Offset"}) {
+    const config::ParamId param = catalog.id_of(name);
+    const core::DependencyModel& deps = auric.dependencies(param);
+    std::string line = std::string(name) + " <- ";
+    bool first = true;
+    for (const core::AttrRef& ref : deps.dependent) {
+      if (!first) line += ", ";
+      first = false;
+      line += core::attr_ref_name(ref, schema);
+    }
+    if (deps.dependent.empty()) line += "(no dependent attributes at p=0.01)";
+    std::printf("  %s\n", line.c_str());
+    // The model also keeps every test for auditability.
+    for (const core::DependencyTest& test : deps.tests) {
+      if (test.result.dependent(0.01) && test.result.p_value < 1e-30) {
+        std::printf("      %-28s chi2=%9.1f df=%3d p<1e-30\n",
+                    core::attr_ref_name(test.ref, schema).c_str(), test.result.statistic,
+                    test.result.df);
+      }
+    }
+  }
+
+  // --- 2. A recommendation with its evidence, end to end. ---
+  const netsim::CarrierId carrier = 33;
+  const config::ParamId param = catalog.id_of("capacityThreshold");
+  const core::Recommendation rec = auric.recommend(param, carrier);
+  std::printf("\nAuric recommendation for carrier %d:\n  %s\n", carrier,
+              auric.explain(rec, carrier).c_str());
+
+  // --- 3. Fig. 8 style: the decision-tree baseline's rule chain. ---
+  const auto attr_codes = schema.encode_all(topology);
+  const core::ParamView view =
+      core::build_param_view(topology, catalog, assignment, param);
+  const ml::CategoricalDataset data = core::to_categorical_dataset(view, schema, attr_codes);
+  std::vector<std::size_t> rows(data.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  ml::DecisionTreeOptions tree_options;
+  tree_options.max_depth = 4;  // keep the explanation human-sized
+  ml::DecisionTree tree(tree_options);
+  tree.fit(data, rows);
+  std::printf("\ndecision-tree explanation (depth-capped, Fig. 8 style):\n  %s\n",
+              tree.explain(schema.encode(topology.carrier(carrier))).c_str());
+  std::printf("\n(tree node count at depth<=4: %zu; an unpruned tree has hundreds — the\n"
+              "vote-with-evidence explanation scales better, which is what the paper's\n"
+              "engineers ended up trusting)\n",
+              tree.node_count());
+  return 0;
+}

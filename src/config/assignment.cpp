@@ -1,0 +1,34 @@
+#include "config/assignment.h"
+
+namespace auric::config {
+
+const char* cause_name(Cause cause) {
+  switch (cause) {
+    case Cause::kDefault: return "default";
+    case Cause::kAttributeRule: return "attribute-rule";
+    case Cause::kMarketStyle: return "market-style";
+    case Cause::kLocalPocket: return "local-pocket";
+    case Cause::kHiddenTerrain: return "hidden-terrain";
+    case Cause::kTrial: return "trial";
+    case Cause::kStaleLeftover: return "stale-leftover";
+    case Cause::kNoise: return "noise";
+  }
+  return "?";
+}
+
+std::size_t ParamColumn::configured_count() const {
+  std::size_t count = 0;
+  for (ValueIndex v : value) {
+    if (v != kUnset) ++count;
+  }
+  return count;
+}
+
+std::size_t ConfigAssignment::total_configured() const {
+  std::size_t total = 0;
+  for (const ParamColumn& col : singular) total += col.configured_count();
+  for (const ParamColumn& col : pairwise) total += col.configured_count();
+  return total;
+}
+
+}  // namespace auric::config

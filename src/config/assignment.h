@@ -1,0 +1,62 @@
+// Network-wide configuration state plus the ground-truth bookkeeping that
+// makes the paper's engineer-validation experiment (Fig. 12) measurable.
+//
+// For every configured slot — a (parameter, carrier) pair for singular
+// parameters, a (parameter, X2 edge) pair for pair-wise ones — we store:
+//   value     the value currently configured in the network,
+//   intended  the value engineering practice would converge to (differs from
+//             `value` only for trial / stale-leftover / noise slots),
+//   cause     why the slot has the value it has.
+// The learners only ever see `value`; `intended` and `cause` exist so the
+// mismatch-labeling oracle can stand in for the paper's network engineers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/catalog.h"
+
+namespace auric::config {
+
+/// Why a slot carries its current value (ground-truth knowledge; §4.3.3 of
+/// the paper maps these onto the engineer labels of Fig. 12).
+enum class Cause : std::uint8_t {
+  kDefault = 0,        ///< national rule-book default
+  kAttributeRule,      ///< offset driven by carrier attributes
+  kMarketStyle,        ///< market engineering team's own tuning style
+  kLocalPocket,        ///< geographically local tuning pocket
+  kHiddenTerrain,      ///< driven by terrain, an attribute hidden from learners
+  kTrial,              ///< ongoing trial / certification for network-wide roll-out
+  kStaleLeftover,      ///< sub-optimal leftover from an abandoned past trial
+  kNoise,              ///< unexplained per-carrier perturbation
+};
+
+const char* cause_name(Cause cause);
+
+/// Values for one parameter across its population (carriers or edges).
+struct ParamColumn {
+  std::vector<ValueIndex> value;     ///< current network value; kUnset = not configured
+  std::vector<ValueIndex> intended;  ///< engineering-intent value; kUnset where value is
+  std::vector<Cause> cause;
+
+  std::size_t size() const { return value.size(); }
+
+  /// Number of configured (non-kUnset) slots.
+  std::size_t configured_count() const;
+};
+
+/// Full network configuration.
+///
+/// `singular[si]` is indexed by carrier id, where si is a position in
+/// ParamCatalog::singular_ids(); `pairwise[pi]` is indexed by position in
+/// Topology::edges, where pi is a position in ParamCatalog::pairwise_ids().
+struct ConfigAssignment {
+  std::vector<ParamColumn> singular;
+  std::vector<ParamColumn> pairwise;
+
+  /// Total configured parameter values network-wide (the paper's "15M+
+  /// configuration parameter values" headline count).
+  std::size_t total_configured() const;
+};
+
+}  // namespace auric::config

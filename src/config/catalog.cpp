@@ -1,0 +1,194 @@
+#include "config/catalog.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace auric::config {
+
+const char* param_function_name(ParamFunction function) {
+  switch (function) {
+    case ParamFunction::kRadioConnection: return "radio-connection";
+    case ParamFunction::kPowerControl: return "power-control";
+    case ParamFunction::kLinkAdaptation: return "link-adaptation";
+    case ParamFunction::kScheduling: return "scheduling";
+    case ParamFunction::kCapacityManagement: return "capacity";
+    case ParamFunction::kLayerManagement: return "layer-management";
+    case ParamFunction::kMobility: return "mobility";
+    case ParamFunction::kInterference: return "interference";
+  }
+  return "?";
+}
+
+ValueDomain::ValueDomain(double min, double step, std::int32_t count)
+    : min_(min), step_(step), count_(count) {
+  if (count < 2) throw std::invalid_argument("ValueDomain: count must be >= 2");
+  if (!(step > 0.0)) throw std::invalid_argument("ValueDomain: step must be > 0");
+}
+
+double ValueDomain::value(ValueIndex index) const {
+  if (!contains(index)) throw std::out_of_range("ValueDomain::value: index out of range");
+  return min_ + step_ * static_cast<double>(index);
+}
+
+ValueIndex ValueDomain::nearest_index(double raw) const {
+  const double k = std::round((raw - min_) / step_);
+  return clamp(static_cast<std::int64_t>(k));
+}
+
+ValueIndex ValueDomain::clamp(std::int64_t index) const {
+  if (index < 0) return 0;
+  if (index >= count_) return count_ - 1;
+  return static_cast<ValueIndex>(index);
+}
+
+ParamCatalog::ParamCatalog(std::vector<ParamDef> defs) : defs_(std::move(defs)) {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const auto id = static_cast<ParamId>(i);
+    if (!defs_[i].domain.contains(defs_[i].default_index)) {
+      throw std::invalid_argument("ParamCatalog: default outside domain for " + defs_[i].name);
+    }
+    (defs_[i].kind == ParamKind::kSingular ? singular_ : pairwise_).push_back(id);
+  }
+}
+
+ParamId ParamCatalog::id_of(const std::string& name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return static_cast<ParamId>(i);
+  }
+  throw std::out_of_range("ParamCatalog: unknown parameter " + name);
+}
+
+namespace {
+
+ParamDef make(std::string name, ParamKind kind, RelationClass relation, ParamFunction function,
+              double min, double step, std::int32_t count, double default_raw, double activation,
+              std::int32_t richness) {
+  ParamDef def;
+  def.name = std::move(name);
+  def.kind = kind;
+  def.relation = relation;
+  def.function = function;
+  def.domain = ValueDomain(min, step, count);
+  def.default_index = def.domain.nearest_index(default_raw);
+  def.activation = activation;
+  def.richness = richness;
+  return def;
+}
+
+ParamDef singular(std::string name, ParamFunction function, double min, double step,
+                  std::int32_t count, double default_raw, double activation,
+                  std::int32_t richness) {
+  return make(std::move(name), ParamKind::kSingular, RelationClass::kIntraFrequency, function,
+              min, step, count, default_raw, activation, richness);
+}
+
+ParamDef pairwise(std::string name, RelationClass relation, ParamFunction function, double min,
+                  double step, std::int32_t count, double default_raw, double activation,
+                  std::int32_t richness) {
+  return make(std::move(name), ParamKind::kPairwise, relation, function, min, step, count,
+              default_raw, activation, richness);
+}
+
+ParamDef per_edge(ParamDef def) {
+  def.scope = PairScope::kPerEdge;
+  return def;
+}
+
+}  // namespace
+
+ParamCatalog ParamCatalog::standard() {
+  using F = ParamFunction;
+  using R = RelationClass;
+  std::vector<ParamDef> defs;
+  defs.reserve(65);
+
+  // ----- 39 singular parameters -----
+  // Layer management & idle-mode camping.
+  defs.push_back(singular("sFreqPrio", F::kLayerManagement, 1, 1, 10000, 1, 0.90, 12));
+  defs.push_back(singular("cellReselectionPriority", F::kLayerManagement, 0, 1, 8, 4, 1.00, 5));
+  defs.push_back(singular("qRxLevMin", F::kRadioConnection, -156, 2, 57, -124, 1.00, 6));
+  defs.push_back(singular("qRxLevMinOffset", F::kRadioConnection, 1, 1, 8, 1, 0.50, 3));
+  defs.push_back(singular("qQualMin", F::kRadioConnection, -34, 1, 32, -20, 0.80, 4));
+  defs.push_back(singular("qHyst", F::kMobility, 0, 2, 13, 4, 1.00, 5));
+  defs.push_back(singular("sIntraSearch", F::kMobility, 0, 2, 32, 30, 0.90, 6));
+  defs.push_back(singular("sNonIntraSearch", F::kMobility, 0, 2, 32, 10, 0.90, 6));
+  defs.push_back(singular("threshServingLow", F::kMobility, 0, 2, 32, 8, 0.90, 5));
+  defs.push_back(singular("measReportInterval", F::kMobility, 1, 1, 16, 5, 0.90, 4));
+  // Radio connection supervision. inactivityTimer is the catalog's
+  // highest-variability parameter (the ~200-distinct-value outlier of
+  // Fig. 2); its 1..65535 range is quoted in §2.2 of the paper.
+  defs.push_back(singular("inactivityTimer", F::kRadioConnection, 1, 1, 65535, 61, 1.00, 200));
+  defs.push_back(singular("inactivityTimerQci1", F::kRadioConnection, 1, 1, 300, 30, 0.40, 8));
+  defs.push_back(singular("drxInactivityTimer", F::kRadioConnection, 1, 1, 32, 8, 0.90, 5));
+  // Power control. pMax 0..60 dBm step 0.6 per §2.2.
+  defs.push_back(singular("pMax", F::kPowerControl, 0, 0.6, 101, 30, 1.00, 10));
+  defs.push_back(singular("pZeroNominalPusch", F::kPowerControl, -126, 1, 151, -103, 1.00, 12));
+  defs.push_back(singular("pZeroNominalPucch", F::kPowerControl, -127, 1, 32, -117, 1.00, 6));
+  defs.push_back(singular("alpha", F::kPowerControl, 0, 0.1, 11, 0.8, 1.00, 4));
+  defs.push_back(singular("pucchPowerBoost", F::kPowerControl, 0, 1, 16, 3, 0.60, 3));
+  defs.push_back(singular("crsGain", F::kPowerControl, -6, 0.6, 21, 0, 0.80, 5));
+  defs.push_back(singular("paOffset", F::kPowerControl, -6, 1, 10, 0, 0.70, 4));
+  defs.push_back(singular("pbOffset", F::kPowerControl, 0, 1, 4, 1, 0.70, 3));
+  // Link adaptation.
+  defs.push_back(singular("dlTargetBler", F::kLinkAdaptation, 1, 1, 30, 10, 1.00, 5));
+  defs.push_back(singular("ulTargetBler", F::kLinkAdaptation, 1, 1, 30, 10, 1.00, 4));
+  defs.push_back(singular("initialCqi", F::kLinkAdaptation, 1, 1, 15, 7, 0.80, 4));
+  defs.push_back(singular("cqiPeriodicity", F::kLinkAdaptation, 2, 2, 64, 40, 0.90, 6));
+  defs.push_back(singular("harqMaxTx", F::kLinkAdaptation, 1, 1, 8, 5, 0.90, 3));
+  // Scheduling.
+  defs.push_back(singular("schedulingWeightGbr", F::kScheduling, 0, 1, 101, 50, 0.60, 8));
+  defs.push_back(singular("schedulingWeightNonGbr", F::kScheduling, 0, 1, 101, 30, 0.60, 8));
+  defs.push_back(singular("minPrbNonGbr", F::kScheduling, 0, 1, 101, 10, 0.70, 6));
+  defs.push_back(singular("pdcchCfiMax", F::kScheduling, 1, 1, 3, 3, 1.00, 2));
+  defs.push_back(singular("pdcchPowerOffset", F::kScheduling, -10, 1, 21, 0, 0.50, 4));
+  // Capacity / congestion management. capacityThreshold is the intro's
+  // example "capacity threshold to control load balancing actions" (0..100).
+  defs.push_back(singular("capacityThreshold", F::kCapacityManagement, 0, 1, 101, 70, 0.90, 15));
+  defs.push_back(singular("admissionThreshold", F::kCapacityManagement, 0, 1, 101, 80, 0.90, 8));
+  defs.push_back(singular("congActionThreshold", F::kCapacityManagement, 0, 1, 101, 90, 0.70, 6));
+  defs.push_back(singular("maxConnectedUsers", F::kCapacityManagement, 50, 50, 40, 400, 1.00, 10));
+  defs.push_back(singular("maxBearersPerUser", F::kCapacityManagement, 1, 1, 16, 8, 0.90, 3));
+  // Interference management.
+  defs.push_back(singular("ulInterferenceTargetPrb", F::kInterference, 0, 1, 51, 20, 0.60, 5));
+  defs.push_back(singular("iciMitigationLevel", F::kInterference, 0, 1, 11, 3, 0.50, 4));
+  defs.push_back(singular("ulNoiseRiseLimit", F::kInterference, 1, 0.5, 39, 10, 0.70, 5));
+
+  // ----- 26 pair-wise parameters -----
+  // Intra-frequency relations (A3 handover between same-frequency cells).
+  // hysA3Offset 0..15 step 0.5 per §2.2.
+  defs.push_back(pairwise("hysA3Offset", R::kIntraFrequency, F::kMobility, 0, 0.5, 31, 2, 1.00, 8));
+  defs.push_back(pairwise("a3Offset", R::kIntraFrequency, F::kMobility, -15, 0.5, 61, 3, 1.00, 8));
+  defs.push_back(pairwise("timeToTriggerA3", R::kIntraFrequency, F::kMobility, 0, 40, 129, 320, 1.00, 6));
+  defs.push_back(per_edge(
+      pairwise("cellIndividualOffset", R::kIntraFrequency, F::kMobility, -24, 0.5, 97, 0, 0.90, 12)));
+  defs.push_back(per_edge(
+      pairwise("qOffsetCell", R::kIntraFrequency, F::kMobility, -24, 1, 49, 0, 0.80, 8)));
+  defs.push_back(pairwise("filterCoefficientRsrp", R::kIntraFrequency, F::kMobility, 0, 1, 20, 4, 0.90, 3));
+  defs.push_back(pairwise("t304Expiry", R::kIntraFrequency, F::kMobility, 50, 50, 16, 500, 0.80, 3));
+  defs.push_back(pairwise("hoPrepTimeout", R::kIntraFrequency, F::kMobility, 100, 100, 40, 1000, 0.80, 4));
+  defs.push_back(pairwise("dataFwdTimer", R::kIntraFrequency, F::kMobility, 100, 100, 30, 500, 0.60, 3));
+  defs.push_back(pairwise("hoOscillationTimer", R::kIntraFrequency, F::kMobility, 0, 1, 60, 10, 0.60, 5));
+  defs.push_back(pairwise("badCoverageThreshold", R::kIntraFrequency, F::kMobility, -140, 1, 51, -115, 0.90, 6));
+  defs.push_back(pairwise("goodCoverageOffset", R::kIntraFrequency, F::kMobility, 0, 1, 31, 5, 0.80, 4));
+  defs.push_back(per_edge(
+      pairwise("x2RelationWeight", R::kIntraFrequency, F::kMobility, 0, 1, 20, 10, 0.50, 4)));
+  // Inter-frequency relations (IFLB, coverage-triggered inter-frequency
+  // mobility and layer steering). lbThreshold is the IFLB load threshold.
+  defs.push_back(pairwise("threshXHigh", R::kInterFrequency, F::kLayerManagement, 0, 2, 32, 20, 0.90, 6));
+  defs.push_back(pairwise("threshXLow", R::kInterFrequency, F::kLayerManagement, 0, 2, 32, 10, 0.90, 6));
+  defs.push_back(pairwise("interFreqPrio", R::kInterFrequency, F::kLayerManagement, 0, 1, 8, 3, 1.00, 4));
+  defs.push_back(pairwise("a5Threshold1Rsrp", R::kInterFrequency, F::kMobility, -140, 1, 97, -110, 1.00, 10));
+  defs.push_back(pairwise("a5Threshold2Rsrp", R::kInterFrequency, F::kMobility, -140, 1, 97, -100, 1.00, 10));
+  defs.push_back(pairwise("hysteresisA5", R::kInterFrequency, F::kMobility, 0, 0.5, 31, 2, 1.00, 6));
+  defs.push_back(pairwise("timeToTriggerA5", R::kInterFrequency, F::kMobility, 0, 40, 129, 640, 0.90, 5));
+  defs.push_back(pairwise("lbThreshold", R::kInterFrequency, F::kCapacityManagement, 0, 1, 101, 60, 0.90, 15));
+  defs.push_back(pairwise("lbCeiling", R::kInterFrequency, F::kCapacityManagement, 0, 1, 101, 90, 0.80, 8));
+  defs.push_back(pairwise("lbOffset", R::kInterFrequency, F::kCapacityManagement, 0, 1, 21, 5, 0.80, 5));
+  defs.push_back(pairwise("ifhoMargin", R::kInterFrequency, F::kMobility, -10, 0.5, 41, 0, 0.90, 6));
+  defs.push_back(pairwise("a2CriticalThreshold", R::kInterFrequency, F::kMobility, -140, 1, 97, -120, 1.00, 8));
+  defs.push_back(pairwise("serviceTriggeredHoThresh", R::kInterFrequency, F::kMobility, -140, 1, 50, -112, 0.50, 5));
+
+  return ParamCatalog(std::move(defs));
+}
+
+}  // namespace auric::config

@@ -1,0 +1,21 @@
+#include "config/rulebook.h"
+
+namespace auric::config {
+
+Rulebook::Rulebook(const GroundTruthModel& model, const ParamCatalog& catalog)
+    : model_(&model), catalog_(&catalog) {}
+
+ValueIndex Rulebook::default_value(ParamId param) const {
+  return catalog_->at(param).default_index;
+}
+
+ValueIndex Rulebook::lookup(ParamId param, const netsim::Carrier& carrier) const {
+  return model_->rulebook_value(param, carrier);
+}
+
+ValueIndex Rulebook::lookup(ParamId param, const netsim::Carrier& carrier,
+                            const netsim::Carrier& neighbor) const {
+  return model_->rulebook_value(param, carrier, neighbor);
+}
+
+}  // namespace auric::config

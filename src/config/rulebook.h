@@ -1,0 +1,43 @@
+// The operational rule-book: the codified, attribute-keyed portion of
+// engineering knowledge (§2.4 of the paper).
+//
+// A rule-book knows the national default for every parameter and the
+// attribute-driven rules domain experts wrote down. It deliberately does NOT
+// know market tuning styles, local pockets, terrain effects, or trial state —
+// that uncodified "tribal knowledge" is exactly the gap Auric fills. The
+// rule-book is what equipment vendors use to produce a new carrier's initial
+// configuration (§5), and what Auric falls back to when voting support is
+// insufficient or an attribute value was never observed (§6 "bootstrapping
+// the unobserved").
+#pragma once
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "config/ground_truth.h"
+#include "netsim/topology.h"
+
+namespace auric::config {
+
+class Rulebook {
+ public:
+  /// Exports the codified rules from the ground-truth model (defaults +
+  /// attribute rules + interactions; nothing local or hidden).
+  Rulebook(const GroundTruthModel& model, const ParamCatalog& catalog);
+
+  /// National default for `param`.
+  ValueIndex default_value(ParamId param) const;
+
+  /// Rule-book value of a singular parameter for `carrier`.
+  ValueIndex lookup(ParamId param, const netsim::Carrier& carrier) const;
+
+  /// Rule-book value of a pair-wise parameter for relation (carrier ->
+  /// neighbor).
+  ValueIndex lookup(ParamId param, const netsim::Carrier& carrier,
+                    const netsim::Carrier& neighbor) const;
+
+ private:
+  const GroundTruthModel* model_;
+  const ParamCatalog* catalog_;
+};
+
+}  // namespace auric::config

@@ -1,0 +1,57 @@
+#include "core/dependency.h"
+
+#include <algorithm>
+
+namespace auric::core {
+
+DependencyModel learn_dependencies(const ParamView& view,
+                                   const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                                   const netsim::AttributeSchema& schema,
+                                   DependencyOptions options) {
+  DependencyModel model;
+  const std::size_t num_attrs = schema.attribute_count();
+  const std::size_t rows = view.rows();
+
+  std::vector<std::int32_t> x(rows);
+  const auto test_side = [&](bool neighbor_side) {
+    const auto& subject = neighbor_side ? view.neighbor : view.carrier;
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      const auto& codes = attr_codes[a];
+      for (std::size_t r = 0; r < rows; ++r) {
+        x[r] = codes[static_cast<std::size_t>(subject[r])];
+      }
+      DependencyTest test;
+      test.ref = {neighbor_side, a};
+      test.result = ml::chi_square_independence(x, view.label, schema.cardinality(a),
+                                                view.labels.size());
+      model.tests.push_back(std::move(test));
+    }
+  };
+  test_side(false);
+  if (view.pairwise) test_side(true);
+
+  // Rejected tests, strongest association first.
+  std::vector<const DependencyTest*> rejected;
+  for (const DependencyTest& test : model.tests) {
+    if (test.result.dependent(options.p_value)) rejected.push_back(&test);
+  }
+  std::stable_sort(rejected.begin(), rejected.end(),
+                   [](const DependencyTest* a, const DependencyTest* b) {
+                     if (a->result.p_value != b->result.p_value) {
+                       return a->result.p_value < b->result.p_value;
+                     }
+                     return a->result.statistic > b->result.statistic;
+                   });
+  if (options.max_dependent > 0 &&
+      rejected.size() > static_cast<std::size_t>(options.max_dependent)) {
+    rejected.resize(static_cast<std::size_t>(options.max_dependent));
+  }
+  for (const DependencyTest* test : rejected) model.dependent.push_back(test->ref);
+  return model;
+}
+
+std::string attr_ref_name(const AttrRef& ref, const netsim::AttributeSchema& schema) {
+  return (ref.neighbor_side ? "nbr_" : "") + schema.name(ref.attr);
+}
+
+}  // namespace auric::core

@@ -1,0 +1,217 @@
+#include "core/engine.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace auric::core {
+
+const char* recommendation_source_name(RecommendationSource source) {
+  switch (source) {
+    case RecommendationSource::kLocalVote: return "local-vote";
+    case RecommendationSource::kGlobalVote: return "global-vote";
+    case RecommendationSource::kRulebookDefault: return "rulebook-default";
+  }
+  return "?";
+}
+
+AuricEngine::AuricEngine(const netsim::Topology& topology, const netsim::AttributeSchema& schema,
+                         const config::ParamCatalog& catalog,
+                         const config::ConfigAssignment& assignment, AuricOptions options)
+    : topology_(&topology), schema_(&schema), catalog_(&catalog), options_(options) {
+  attr_codes_ = schema.encode_all(topology);
+  views_.reserve(catalog.size());
+  dependencies_.reserve(catalog.size());
+  voting_.reserve(catalog.size());
+  DependencyOptions dep_options;
+  dep_options.p_value = options_.p_value;
+  dep_options.max_dependent = options_.max_dependent;
+  for (std::size_t p = 0; p < catalog.size(); ++p) {
+    const auto param = static_cast<config::ParamId>(p);
+    views_.push_back(build_param_view(topology, catalog, assignment, param));
+    dependencies_.push_back(learn_dependencies(views_.back(), attr_codes_, schema, dep_options));
+    voting_.emplace_back(views_.back(), dependencies_.back().dependent, attr_codes_,
+                         options_.backoff_levels);
+  }
+}
+
+const ParamView& AuricEngine::view(config::ParamId param) const {
+  return views_.at(static_cast<std::size_t>(param));
+}
+
+const DependencyModel& AuricEngine::dependencies(config::ParamId param) const {
+  return dependencies_.at(static_cast<std::size_t>(param));
+}
+
+const BackoffVoting& AuricEngine::voting(config::ParamId param) const {
+  return voting_.at(static_cast<std::size_t>(param));
+}
+
+std::int64_t AuricEngine::own_row(config::ParamId param, netsim::CarrierId carrier,
+                                  netsim::CarrierId neighbor) const {
+  const ParamView& v = view(param);
+  for (std::uint32_t row : v.rows_of(carrier)) {
+    if (v.neighbor[row] == neighbor) return static_cast<std::int64_t>(row);
+  }
+  return -1;
+}
+
+Recommendation AuricEngine::recommend(config::ParamId param, netsim::CarrierId carrier,
+                                      netsim::CarrierId neighbor, bool exclude_self) const {
+  const config::ParamDef& def = catalog_->at(param);
+  const bool pairwise = def.kind == config::ParamKind::kPairwise;
+  if (pairwise == (neighbor == netsim::kInvalidCarrier)) {
+    throw std::invalid_argument("recommend: neighbor must be given exactly for pair-wise params");
+  }
+
+  const ParamView& v = view(param);
+  const BackoffVoting& model = voting(param);
+
+  Recommendation rec;
+  rec.param = param;
+
+  const std::int64_t self_row = exclude_self ? own_row(param, carrier, neighbor) : -1;
+
+  const auto adopt = [&](const Vote& vote, RecommendationSource source) {
+    rec.value = v.labels.values[static_cast<std::size_t>(vote.label)];
+    rec.votes = vote.count;
+    rec.group_size = vote.group_size;
+    rec.support = vote.support();
+    rec.source = source;
+  };
+
+  if (options_.use_proximity) {
+    std::optional<BackoffVoting::Decision> decision;
+    if (options_.proximity_hops == 1) {
+      decision = model.local(v, topology_->neighborhood(carrier), carrier, neighbor, self_row,
+                             options_.vote_threshold);
+    } else {
+      const std::vector<netsim::CarrierId> hood =
+          topology_->neighborhood_hops(carrier, options_.proximity_hops);
+      decision = model.local(v, hood, carrier, neighbor, self_row, options_.vote_threshold);
+    }
+    if (decision) {
+      adopt(decision->vote, RecommendationSource::kLocalVote);
+      return rec;
+    }
+  }
+
+  const std::optional<BackoffVoting::Decision> global =
+      self_row >= 0 ? model.vote_excluding(carrier, neighbor,
+                                           v.label[static_cast<std::size_t>(self_row)],
+                                           options_.vote_threshold)
+                    : model.vote(carrier, neighbor, options_.vote_threshold);
+  if (global) {
+    adopt(global->vote, RecommendationSource::kGlobalVote);
+    return rec;
+  }
+
+  // Bootstrap fallback (§6): no peer group with sufficient support — stick
+  // with the rule-book default.
+  rec.value = def.default_index;
+  rec.source = RecommendationSource::kRulebookDefault;
+  return rec;
+}
+
+std::vector<Recommendation> AuricEngine::recommend_singular(netsim::CarrierId carrier,
+                                                            bool exclude_self) const {
+  std::vector<Recommendation> out;
+  out.reserve(catalog_->singular_ids().size());
+  for (config::ParamId param : catalog_->singular_ids()) {
+    out.push_back(recommend(param, carrier, netsim::kInvalidCarrier, exclude_self));
+  }
+  return out;
+}
+
+std::vector<Recommendation> AuricEngine::recommend_pairwise(netsim::CarrierId carrier,
+                                                            netsim::CarrierId neighbor,
+                                                            bool exclude_self) const {
+  std::vector<Recommendation> out;
+  out.reserve(catalog_->pairwise_ids().size());
+  for (config::ParamId param : catalog_->pairwise_ids()) {
+    out.push_back(recommend(param, carrier, neighbor, exclude_self));
+  }
+  return out;
+}
+
+Recommendation AuricEngine::recommend_for(const netsim::Carrier& new_carrier,
+                                          std::span<const netsim::CarrierId> x2_neighbors,
+                                          config::ParamId param,
+                                          netsim::CarrierId neighbor) const {
+  const config::ParamDef& def = catalog_->at(param);
+  const bool pairwise = def.kind == config::ParamKind::kPairwise;
+  if (pairwise == (neighbor == netsim::kInvalidCarrier)) {
+    throw std::invalid_argument(
+        "recommend_for: neighbor must be given exactly for pair-wise params");
+  }
+
+  const ParamView& v = view(param);
+  const BackoffVoting& model = voting(param);
+  const std::vector<netsim::AttrCode> codes = schema_->encode(new_carrier);
+
+  Recommendation rec;
+  rec.param = param;
+  const auto adopt = [&](const Vote& vote, RecommendationSource source) {
+    rec.value = v.labels.values[static_cast<std::size_t>(vote.label)];
+    rec.votes = vote.count;
+    rec.group_size = vote.group_size;
+    rec.support = vote.support();
+    rec.source = source;
+  };
+
+  if (options_.use_proximity) {
+    if (const auto decision =
+            model.local_codes(v, x2_neighbors, codes, neighbor, options_.vote_threshold)) {
+      adopt(decision->vote, RecommendationSource::kLocalVote);
+      return rec;
+    }
+  }
+  if (const auto decision = model.vote_codes(codes, neighbor, options_.vote_threshold)) {
+    adopt(decision->vote, RecommendationSource::kGlobalVote);
+    return rec;
+  }
+  rec.value = def.default_index;
+  rec.source = RecommendationSource::kRulebookDefault;
+  return rec;
+}
+
+std::vector<Recommendation> AuricEngine::recommend_for_all_singular(
+    const netsim::Carrier& new_carrier,
+    std::span<const netsim::CarrierId> x2_neighbors) const {
+  std::vector<Recommendation> out;
+  out.reserve(catalog_->singular_ids().size());
+  for (config::ParamId param : catalog_->singular_ids()) {
+    out.push_back(recommend_for(new_carrier, x2_neighbors, param));
+  }
+  return out;
+}
+
+std::string AuricEngine::explain(const Recommendation& rec, netsim::CarrierId carrier,
+                                 netsim::CarrierId neighbor) const {
+  const config::ParamDef& def = catalog_->at(rec.param);
+  std::string out = def.name + " = ";
+  out += rec.value == config::kUnset ? "<none>"
+                                     : util::format_fixed(def.domain.value(rec.value), 1);
+  out += util::format(" [%s", recommendation_source_name(rec.source));
+  if (rec.group_size > 0) {
+    out += util::format(", support %d/%d (%.0f%%)", rec.votes, rec.group_size,
+                        100.0 * rec.support);
+  }
+  out += "]";
+  const DependencyModel& deps = dependencies(rec.param);
+  if (!deps.dependent.empty()) {
+    out += " matched on ";
+    bool first = true;
+    for (const AttrRef& ref : deps.dependent) {
+      const netsim::CarrierId subject = ref.neighbor_side ? neighbor : carrier;
+      if (subject == netsim::kInvalidCarrier) continue;
+      if (!first) out += ", ";
+      first = false;
+      const netsim::AttrCode code = attr_codes_[ref.attr][static_cast<std::size_t>(subject)];
+      out += attr_ref_name(ref, *schema_) + "=" + schema_->value_label(ref.attr, code);
+    }
+  }
+  return out;
+}
+
+}  // namespace auric::core

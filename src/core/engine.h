@@ -1,0 +1,141 @@
+// AuricEngine: the end-to-end recommender of Fig. 5.
+//
+// Learning phase (construction): for every one of the 65 range parameters,
+// build the learning population over existing carriers, run the chi-square
+// dependency scan, and aggregate the collaborative-filtering peer groups.
+//
+// Recommendation phase: for a (new) carrier — and a neighbor, for pair-wise
+// parameters — produce a value per parameter using, in order:
+//   1. local voting over the 1-hop X2 neighborhood (geographical proximity,
+//      §3.3), when enabled;
+//   2. global voting over all matching carriers;
+//   3. the national rule-book default (§6's bootstrap fallback for carriers
+//      whose peer group is empty or fails the 75% support threshold).
+// Every recommendation carries its provenance and voting evidence so
+// engineers can audit it (§5 "trust and interpretability").
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "core/dependency.h"
+#include "core/param_view.h"
+#include "core/voting.h"
+#include "netsim/attributes.h"
+#include "netsim/topology.h"
+
+namespace auric::core {
+
+struct AuricOptions {
+  /// Chi-square significance level for dependency learning (paper: 0.01).
+  double p_value = 0.01;
+  /// Minimum voting support to emit a recommendation (paper: 0.75).
+  double vote_threshold = 0.75;
+  /// Use geographical proximity (local learner). When false the engine is
+  /// the paper's "global learner".
+  bool use_proximity = true;
+  /// Neighborhood radius in X2 hops (paper: 1).
+  int proximity_hops = 1;
+  /// Dependent attributes retained, strongest first (see DependencyOptions).
+  int max_dependent = 14;
+  /// Support-driven backoff depth (see BackoffVoting).
+  int backoff_levels = 5;
+};
+
+enum class RecommendationSource {
+  kLocalVote = 0,     ///< 1-hop X2 neighborhood vote met the threshold
+  kGlobalVote,        ///< network-wide peer-group vote met the threshold
+  kRulebookDefault,   ///< bootstrap fallback: no vote met the threshold
+};
+
+const char* recommendation_source_name(RecommendationSource source);
+
+struct Recommendation {
+  config::ParamId param = 0;
+  config::ValueIndex value = config::kUnset;
+  RecommendationSource source = RecommendationSource::kRulebookDefault;
+  std::int32_t votes = 0;       ///< votes for the winning value
+  std::int32_t group_size = 0;  ///< peers that voted
+  double support = 0.0;         ///< votes / group_size
+};
+
+class AuricEngine {
+ public:
+  /// Learns dependency and voting models for every parameter. O(total
+  /// configured values) work; ~1s for the default benchmark topology.
+  AuricEngine(const netsim::Topology& topology, const netsim::AttributeSchema& schema,
+              const config::ParamCatalog& catalog, const config::ConfigAssignment& assignment,
+              AuricOptions options = {});
+
+  const AuricOptions& options() const { return options_; }
+  const netsim::Topology& topology() const { return *topology_; }
+  const netsim::AttributeSchema& schema() const { return *schema_; }
+  const config::ParamCatalog& catalog() const { return *catalog_; }
+
+  const ParamView& view(config::ParamId param) const;
+  const DependencyModel& dependencies(config::ParamId param) const;
+  const BackoffVoting& voting(config::ParamId param) const;
+  const std::vector<std::vector<netsim::AttrCode>>& attr_codes() const { return attr_codes_; }
+
+  /// Recommends a value for one parameter on `carrier` (singular) or on the
+  /// relation carrier -> neighbor (pair-wise). When `exclude_self` is true
+  /// and the slot is currently configured, the carrier's own observation is
+  /// removed from the vote — this is the §4.2 protocol of treating each
+  /// existing carrier as if it were new.
+  Recommendation recommend(config::ParamId param, netsim::CarrierId carrier,
+                           netsim::CarrierId neighbor = netsim::kInvalidCarrier,
+                           bool exclude_self = true) const;
+
+  /// All singular-parameter recommendations for `carrier`.
+  std::vector<Recommendation> recommend_singular(netsim::CarrierId carrier,
+                                                 bool exclude_self = true) const;
+
+  /// All pair-wise recommendations for the relation carrier -> neighbor.
+  std::vector<Recommendation> recommend_pairwise(netsim::CarrierId carrier,
+                                                 netsim::CarrierId neighbor,
+                                                 bool exclude_self = true) const;
+
+  /// True cold start (§3 of the paper): recommends for a carrier that is
+  /// NOT in the learned inventory — a carrier being planned or integrated.
+  /// `new_carrier` supplies the attributes; `x2_neighbors` is its planned
+  /// X2 neighborhood (existing carrier ids) used for the local vote; for a
+  /// pair-wise `param`, `neighbor` names the relation target. Attribute
+  /// values never observed in the inventory match no peer group and fall to
+  /// the rule-book default (§6 "bootstrapping the unobserved").
+  Recommendation recommend_for(const netsim::Carrier& new_carrier,
+                               std::span<const netsim::CarrierId> x2_neighbors,
+                               config::ParamId param,
+                               netsim::CarrierId neighbor = netsim::kInvalidCarrier) const;
+
+  /// All singular recommendations for an out-of-inventory carrier.
+  std::vector<Recommendation> recommend_for_all_singular(
+      const netsim::Carrier& new_carrier,
+      std::span<const netsim::CarrierId> x2_neighbors) const;
+
+  /// Human-readable audit trail: dependent attributes with the carrier's
+  /// values, vote counts and provenance.
+  std::string explain(const Recommendation& rec, netsim::CarrierId carrier,
+                      netsim::CarrierId neighbor = netsim::kInvalidCarrier) const;
+
+ private:
+  const netsim::Topology* topology_;
+  const netsim::AttributeSchema* schema_;
+  const config::ParamCatalog* catalog_;
+  AuricOptions options_;
+
+  std::vector<std::vector<netsim::AttrCode>> attr_codes_;
+  std::vector<ParamView> views_;              // by catalog param id
+  std::vector<DependencyModel> dependencies_;
+  std::vector<BackoffVoting> voting_;
+
+  /// Row of `view(param)` holding the carrier's own current observation for
+  /// this exact slot, or -1.
+  std::int64_t own_row(config::ParamId param, netsim::CarrierId carrier,
+                       netsim::CarrierId neighbor) const;
+};
+
+}  // namespace auric::core

@@ -1,0 +1,112 @@
+#include "core/param_view.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace auric::core {
+
+namespace {
+
+/// Locates the position of `param` within its kind's id list.
+std::size_t kind_position(const config::ParamCatalog& catalog, config::ParamId param) {
+  const auto& ids = catalog.at(param).kind == config::ParamKind::kSingular
+                        ? catalog.singular_ids()
+                        : catalog.pairwise_ids();
+  const auto it = std::find(ids.begin(), ids.end(), param);
+  if (it == ids.end()) throw std::logic_error("param not present in catalog kind list");
+  return static_cast<std::size_t>(it - ids.begin());
+}
+
+}  // namespace
+
+ParamView build_param_view(const netsim::Topology& topology, const config::ParamCatalog& catalog,
+                           const config::ConfigAssignment& assignment, config::ParamId param,
+                           std::optional<netsim::MarketId> market) {
+  ParamView view;
+  view.param = param;
+  view.pairwise = catalog.at(param).kind == config::ParamKind::kPairwise;
+  const std::size_t pos = kind_position(catalog, param);
+
+  const auto want_carrier = [&](netsim::CarrierId id) {
+    return !market || topology.carrier(id).market == *market;
+  };
+
+  if (!view.pairwise) {
+    const config::ParamColumn& col = assignment.singular.at(pos);
+    for (std::size_t c = 0; c < col.value.size(); ++c) {
+      if (col.value[c] == config::kUnset) continue;
+      const auto id = static_cast<netsim::CarrierId>(c);
+      if (!want_carrier(id)) continue;
+      view.carrier.push_back(id);
+      view.neighbor.push_back(netsim::kInvalidCarrier);
+      view.entity.push_back(c);
+      view.value.push_back(col.value[c]);
+    }
+  } else {
+    const config::ParamColumn& col = assignment.pairwise.at(pos);
+    for (std::size_t e = 0; e < col.value.size(); ++e) {
+      if (col.value[e] == config::kUnset) continue;
+      const netsim::X2Edge& edge = topology.edges[e];
+      if (!want_carrier(edge.from)) continue;
+      view.carrier.push_back(edge.from);
+      view.neighbor.push_back(edge.to);
+      view.entity.push_back(e);
+      view.value.push_back(col.value[e]);
+    }
+  }
+
+  view.labels = ml::LabelDictionary::build(view.value);
+  view.label.reserve(view.value.size());
+  for (config::ValueIndex v : view.value) view.label.push_back(view.labels.code_of(v));
+
+  // CSR over subject carriers.
+  const std::size_t n = topology.carrier_count();
+  view.carrier_offsets.assign(n + 1, 0);
+  for (netsim::CarrierId c : view.carrier) ++view.carrier_offsets[static_cast<std::size_t>(c) + 1];
+  for (std::size_t c = 0; c < n; ++c) view.carrier_offsets[c + 1] += view.carrier_offsets[c];
+  view.rows_by_carrier.resize(view.rows());
+  std::vector<std::uint32_t> cursor(view.carrier_offsets.begin(), view.carrier_offsets.end() - 1);
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    view.rows_by_carrier[cursor[static_cast<std::size_t>(view.carrier[r])]++] =
+        static_cast<std::uint32_t>(r);
+  }
+  return view;
+}
+
+ml::CategoricalDataset to_categorical_dataset(
+    const ParamView& view, const netsim::AttributeSchema& schema,
+    const std::vector<std::vector<netsim::AttrCode>>& attr_codes) {
+  ml::CategoricalDataset data;
+  const std::size_t num_attrs = schema.attribute_count();
+  const std::size_t total_cols = view.pairwise ? 2 * num_attrs : num_attrs;
+  data.columns.resize(total_cols);
+  data.cardinality.resize(total_cols);
+  data.column_names.resize(total_cols);
+  for (std::size_t a = 0; a < num_attrs; ++a) {
+    data.cardinality[a] = schema.cardinality(a);
+    data.column_names[a] = schema.name(a);
+    data.columns[a].reserve(view.rows());
+    if (view.pairwise) {
+      data.cardinality[num_attrs + a] = schema.cardinality(a);
+      data.column_names[num_attrs + a] = "nbr_" + schema.name(a);
+      data.columns[num_attrs + a].reserve(view.rows());
+    }
+  }
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    const auto c = static_cast<std::size_t>(view.carrier[r]);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      data.columns[a].push_back(attr_codes[a][c]);
+    }
+    if (view.pairwise) {
+      const auto nb = static_cast<std::size_t>(view.neighbor[r]);
+      for (std::size_t a = 0; a < num_attrs; ++a) {
+        data.columns[num_attrs + a].push_back(attr_codes[a][nb]);
+      }
+    }
+  }
+  data.labels = view.label;
+  data.class_values = view.labels.values;
+  return data;
+}
+
+}  // namespace auric::core

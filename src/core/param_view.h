@@ -1,0 +1,67 @@
+// ParamView: the per-parameter learning population.
+//
+// For a singular parameter this is one row per carrier where the parameter
+// is configured; for a pair-wise parameter, one row per configured X2
+// relation (Y_{j,k} in §3.1's notation). Each row carries the subject
+// carrier, the neighbor (pair-wise only), the entity index into the backing
+// ConfigAssignment column, and the configured value with its dense class
+// code. A CSR index over subject carriers supports the local learner's
+// 1-hop candidate lookups in O(|neighborhood|).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "ml/dataset.h"
+#include "netsim/attributes.h"
+#include "netsim/topology.h"
+
+namespace auric::core {
+
+struct ParamView {
+  config::ParamId param = 0;
+  bool pairwise = false;
+
+  std::vector<netsim::CarrierId> carrier;   ///< subject carrier per row
+  std::vector<netsim::CarrierId> neighbor;  ///< neighbor per row (pair-wise only)
+  std::vector<std::size_t> entity;          ///< carrier id / edge index per row
+  std::vector<config::ValueIndex> value;    ///< configured value per row
+
+  ml::LabelDictionary labels;               ///< distinct configured values
+  std::vector<ml::ClassLabel> label;        ///< dense class code per row
+
+  /// CSR index: rows_of(carrier) lists this view's rows whose subject is
+  /// that carrier.
+  std::vector<std::uint32_t> rows_by_carrier;
+  std::vector<std::uint32_t> carrier_offsets;  // size = carrier_count + 1
+
+  std::size_t rows() const { return value.size(); }
+
+  std::span<const std::uint32_t> rows_of(netsim::CarrierId id) const {
+    const auto c = static_cast<std::size_t>(id);
+    return {rows_by_carrier.data() + carrier_offsets[c],
+            carrier_offsets[c + 1] - carrier_offsets[c]};
+  }
+};
+
+/// Builds the view for catalog parameter `param` over the configured slots
+/// of `assignment`. When `market` is set, only rows whose subject carrier
+/// belongs to that market are included (per-market evaluation).
+ParamView build_param_view(const netsim::Topology& topology, const config::ParamCatalog& catalog,
+                           const config::ConfigAssignment& assignment, config::ParamId param,
+                           std::optional<netsim::MarketId> market = std::nullopt);
+
+/// Materializes a ParamView as a CategoricalDataset for the baseline
+/// learners: one column per carrier attribute, plus — for pair-wise
+/// parameters — one "nbr_"-prefixed column per neighbor attribute (§4.1:
+/// "for pair-wise parameters, we use both the attributes of the carriers and
+/// their corresponding neighbors").
+ml::CategoricalDataset to_categorical_dataset(
+    const ParamView& view, const netsim::AttributeSchema& schema,
+    const std::vector<std::vector<netsim::AttrCode>>& attr_codes);
+
+}  // namespace auric::core

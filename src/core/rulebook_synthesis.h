@@ -1,0 +1,62 @@
+// Rule-book synthesis: exporting Auric's learned structure as the artifact
+// operations teams already know how to review.
+//
+// The paper's pitch (§1): "Instead of having domain experts define and
+// maintain the rule-books ... our idea in Auric is to automatically learn
+// the rules based on existing carrier configurations." This module closes
+// that loop in the other direction: it renders the learned dependency models
+// and peer-group majorities as a conventional rule-book —
+//
+//   IF carrier_frequency = 700 MHz AND morphology = rural
+//   THEN capacityThreshold = 62        (support 98%, 412 carriers)
+//
+// — so engineers can diff Auric's learned knowledge against their
+// hand-maintained documents (and spot what the documents are missing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace auric::core {
+
+struct SynthesizedRule {
+  config::ParamId param = 0;
+  /// Conditions: (attribute ref, attribute code), in dependency-rank order.
+  std::vector<std::pair<AttrRef, netsim::AttrCode>> conditions;
+  config::ValueIndex value = config::kUnset;
+  double support = 0.0;
+  std::int32_t carriers = 0;  ///< peers behind the rule
+
+  /// True when the rule's value differs from the national default — the
+  /// rules worth writing down.
+  bool overrides_default(const config::ParamCatalog& catalog) const;
+};
+
+struct RulebookSynthesisOptions {
+  /// Minimum voting support for a group to become a rule (paper's 75%).
+  double min_support = 0.75;
+  /// Minimum peers behind a rule; smaller groups are anecdotes, not rules.
+  std::int32_t min_carriers = 8;
+  /// Keep rules whose value equals the default (usually noise; off).
+  bool include_default_rules = false;
+};
+
+struct SynthesizedRulebook {
+  std::vector<SynthesizedRule> rules;
+
+  /// Renders the rule-book as text, grouped by parameter.
+  std::string render(const netsim::AttributeSchema& schema,
+                     const config::ParamCatalog& catalog) const;
+
+  /// Rules for one parameter, in synthesis order.
+  std::vector<const SynthesizedRule*> rules_for(config::ParamId param) const;
+};
+
+/// Exports every parameter's level-0 peer groups that pass the options'
+/// support and size gates.
+SynthesizedRulebook synthesize_rulebook(const AuricEngine& engine,
+                                        RulebookSynthesisOptions options = {});
+
+}  // namespace auric::core

@@ -1,0 +1,300 @@
+#include "core/voting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace auric::core {
+
+std::size_t GroupKeyHash::operator()(const GroupKey& key) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::int32_t v : key) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+namespace {
+
+/// Appends the dependent codes for (carrier, neighbor) to `key`.
+void fill_key(GroupKey& key, std::span<const AttrRef> deps,
+              const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+              netsim::CarrierId carrier, netsim::CarrierId neighbor) {
+  key.clear();
+  for (const AttrRef& ref : deps) {
+    const netsim::CarrierId subject = ref.neighbor_side ? neighbor : carrier;
+    if (subject == netsim::kInvalidCarrier) {
+      throw std::logic_error("voting: neighbor-side dependency without a neighbor");
+    }
+    key.push_back(attr_codes[ref.attr][static_cast<std::size_t>(subject)]);
+  }
+}
+
+}  // namespace
+
+VotingModel::VotingModel(const ParamView& view, std::span<const AttrRef> deps,
+                         const std::vector<std::vector<netsim::AttrCode>>& attr_codes)
+    : deps_(deps.begin(), deps.end()), attr_codes_(&attr_codes) {
+  GroupKey key;
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    fill_key(key, deps_, attr_codes, view.carrier[r], view.neighbor[r]);
+    Group& group = groups_[key];
+    ++group.total;
+    bool found = false;
+    for (auto& [label, count] : group.counts) {
+      if (label == view.label[r]) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) group.counts.emplace_back(view.label[r], 1);
+  }
+}
+
+GroupKey VotingModel::key_for(netsim::CarrierId carrier, netsim::CarrierId neighbor) const {
+  GroupKey key;
+  fill_key(key, deps_, *attr_codes_, carrier, neighbor);
+  return key;
+}
+
+std::optional<Vote> VotingModel::winner(const Group& group, ml::ClassLabel excluded,
+                                        bool exclude_one, double threshold) {
+  std::int32_t total = group.total;
+  Vote best;
+  for (const auto& [label, count] : group.counts) {
+    std::int32_t c = count;
+    if (exclude_one && label == excluded) --c;
+    if (c > best.count || (c == best.count && best.label >= 0 && label < best.label)) {
+      best.label = label;
+      best.count = c;
+    }
+  }
+  if (exclude_one) --total;
+  best.group_size = total;
+  if (total <= 0 || best.count <= 0) return std::nullopt;
+  if (best.support() < threshold) return std::nullopt;
+  return best;
+}
+
+std::vector<VotingModel::GroupSummary> VotingModel::group_summaries() const {
+  std::vector<GroupSummary> out;
+  out.reserve(groups_.size());
+  for (const auto& [key, group] : groups_) {
+    GroupSummary summary;
+    summary.key = key;
+    summary.total = group.total;
+    for (const auto& [label, count] : group.counts) {
+      if (count > summary.winner_count ||
+          (count == summary.winner_count && summary.winner >= 0 && label < summary.winner)) {
+        summary.winner = label;
+        summary.winner_count = count;
+      }
+    }
+    out.push_back(std::move(summary));
+  }
+  // Deterministic order independent of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const GroupSummary& a, const GroupSummary& b) { return a.key < b.key; });
+  return out;
+}
+
+std::optional<Vote> VotingModel::vote(const GroupKey& key, double threshold) const {
+  const auto it = groups_.find(key);
+  if (it == groups_.end()) return std::nullopt;
+  return winner(it->second, -1, false, threshold);
+}
+
+std::optional<Vote> VotingModel::vote_excluding(const GroupKey& key, ml::ClassLabel own_label,
+                                                double threshold) const {
+  const auto it = groups_.find(key);
+  if (it == groups_.end()) return std::nullopt;
+  return winner(it->second, own_label, true, threshold);
+}
+
+std::optional<Vote> local_vote(const ParamView& view, std::span<const AttrRef> deps,
+                               const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                               const GroupKey& key,
+                               std::span<const netsim::CarrierId> candidates,
+                               std::int64_t exclude_row, double threshold,
+                               std::span<const double> carrier_weights) {
+  // Tally matching rows across the candidate carriers. Neighborhoods are
+  // small (tens of carriers), so a flat scan with a small count vector beats
+  // any indexing.
+  std::vector<std::pair<ml::ClassLabel, double>> counts;
+  double total = 0.0;
+  std::int32_t voters = 0;
+  GroupKey row_key;
+  for (netsim::CarrierId cand : candidates) {
+    for (std::uint32_t row : view.rows_of(cand)) {
+      if (static_cast<std::int64_t>(row) == exclude_row) continue;
+      fill_key(row_key, deps, attr_codes, view.carrier[row], view.neighbor[row]);
+      if (row_key != key) continue;
+      const double weight =
+          carrier_weights.empty()
+              ? 1.0
+              : carrier_weights[static_cast<std::size_t>(view.carrier[row])];
+      total += weight;
+      ++voters;
+      bool found = false;
+      for (auto& [label, count] : counts) {
+        if (label == view.label[row]) {
+          count += weight;
+          found = true;
+          break;
+        }
+      }
+      if (!found) counts.emplace_back(view.label[row], weight);
+    }
+  }
+  if (voters == 0 || total <= 0.0) return std::nullopt;
+  ml::ClassLabel best_label = -1;
+  double best_weight = 0.0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_weight || (count == best_weight && best_label >= 0 && label < best_label)) {
+      best_label = label;
+      best_weight = count;
+    }
+  }
+  if (best_weight / total < threshold) return std::nullopt;
+  Vote best;
+  best.label = best_label;
+  best.count = static_cast<std::int32_t>(std::lround(best_weight));
+  best.group_size = voters;
+  // Vote::support() reports count/group_size; for weighted votes the
+  // decisive quantity is the weight fraction, so re-derive counts such that
+  // support() reflects it as closely as integer fields allow.
+  if (!carrier_weights.empty()) {
+    best.count = static_cast<std::int32_t>(std::lround(best_weight / total * voters));
+  }
+  return best;
+}
+
+BackoffVoting::BackoffVoting(const ParamView& view, std::span<const AttrRef> deps,
+                             const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                             int levels, int min_voters)
+    : deps_(deps.begin(), deps.end()), attr_codes_(&attr_codes), min_voters_(min_voters) {
+  if (levels < 1) throw std::invalid_argument("BackoffVoting: levels must be >= 1");
+  // Level k matches on the strongest (|deps| - k) attributes; never go below
+  // one attribute unless there are none at all.
+  const int max_levels =
+      deps_.empty() ? 1 : std::min<int>(levels, static_cast<int>(deps_.size()));
+  models_.reserve(static_cast<std::size_t>(max_levels));
+  for (int level = 0; level < max_levels; ++level) {
+    const std::span<const AttrRef> prefix(deps_.data(), deps_.size() - static_cast<std::size_t>(level));
+    models_.emplace_back(view, prefix, attr_codes);
+  }
+}
+
+std::span<const AttrRef> BackoffVoting::deps_at(int level) const {
+  return {deps_.data(), deps_.size() - static_cast<std::size_t>(level)};
+}
+
+bool BackoffVoting::accept(const Vote& vote, int level) const {
+  return level + 1 >= level_count() || vote.group_size >= min_voters_;
+}
+
+std::optional<BackoffVoting::Decision> BackoffVoting::vote(netsim::CarrierId carrier,
+                                                           netsim::CarrierId neighbor,
+                                                           double threshold) const {
+  for (int level = 0; level < level_count(); ++level) {
+    const VotingModel& model = models_[static_cast<std::size_t>(level)];
+    if (const auto v = model.vote(model.key_for(carrier, neighbor), threshold)) {
+      if (accept(*v, level)) return Decision{*v, level};
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Key for explicit carrier-side codes; neighbor-side codes resolve against
+/// the topology's encoding.
+core::GroupKey key_from_codes(std::span<const AttrRef> deps,
+                              const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                              std::span<const netsim::AttrCode> carrier_codes,
+                              netsim::CarrierId neighbor) {
+  core::GroupKey key;
+  key.reserve(deps.size());
+  for (const AttrRef& ref : deps) {
+    if (ref.neighbor_side) {
+      if (neighbor == netsim::kInvalidCarrier) {
+        throw std::logic_error("voting: neighbor-side dependency without a neighbor");
+      }
+      key.push_back(attr_codes[ref.attr][static_cast<std::size_t>(neighbor)]);
+    } else {
+      key.push_back(carrier_codes[ref.attr]);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::optional<BackoffVoting::Decision> BackoffVoting::vote_codes(
+    std::span<const netsim::AttrCode> carrier_codes, netsim::CarrierId neighbor,
+    double threshold) const {
+  for (int level = 0; level < level_count(); ++level) {
+    const VotingModel& model = models_[static_cast<std::size_t>(level)];
+    const GroupKey key = key_from_codes(deps_at(level), *attr_codes_, carrier_codes, neighbor);
+    if (const auto v = model.vote(key, threshold)) {
+      if (accept(*v, level)) return Decision{*v, level};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BackoffVoting::Decision> BackoffVoting::local_codes(
+    const ParamView& view, std::span<const netsim::CarrierId> candidates,
+    std::span<const netsim::AttrCode> carrier_codes, netsim::CarrierId neighbor,
+    double threshold) const {
+  for (int level = 0; level < level_count(); ++level) {
+    const auto deps = deps_at(level);
+    const GroupKey key = key_from_codes(deps, *attr_codes_, carrier_codes, neighbor);
+    if (const auto v = local_vote(view, deps, *attr_codes_, key, candidates, -1, threshold)) {
+      if (v->group_size >= min_voters_) return Decision{*v, level};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BackoffVoting::Decision> BackoffVoting::vote_excluding(
+    netsim::CarrierId carrier, netsim::CarrierId neighbor, ml::ClassLabel own_label,
+    double threshold) const {
+  for (int level = 0; level < level_count(); ++level) {
+    const VotingModel& model = models_[static_cast<std::size_t>(level)];
+    if (const auto v =
+            model.vote_excluding(model.key_for(carrier, neighbor), own_label, threshold)) {
+      if (accept(*v, level)) return Decision{*v, level};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BackoffVoting::Decision> BackoffVoting::local(
+    const ParamView& view, std::span<const netsim::CarrierId> candidates,
+    netsim::CarrierId carrier, netsim::CarrierId neighbor, std::int64_t exclude_row,
+    double threshold, std::span<const double> carrier_weights) const {
+  GroupKey key;
+  for (int level = 0; level < level_count(); ++level) {
+    const auto deps = deps_at(level);
+    key.clear();
+    for (const AttrRef& ref : deps) {
+      const netsim::CarrierId subject = ref.neighbor_side ? neighbor : carrier;
+      key.push_back((*attr_codes_)[ref.attr][static_cast<std::size_t>(subject)]);
+    }
+    if (const auto v = local_vote(view, deps, *attr_codes_, key, candidates, exclude_row,
+                                  threshold, carrier_weights)) {
+      // Neighborhoods are small by construction; require the quorum at every
+      // level here — the global vote is the backstop for thin neighborhoods.
+      if (v->group_size >= min_voters_) return Decision{*v, level};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace auric::core

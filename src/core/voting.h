@@ -1,0 +1,178 @@
+// Collaborative filtering by voting (§3.2).
+//
+// Carriers that match a target exactly on the dependent attributes form its
+// peer group; the recommendation is the group's modal value, emitted only
+// when its support reaches the voting threshold (75% in the paper).
+// VotingModel pre-aggregates the peer groups so a global recommendation (or
+// a leave-one-out evaluation pass over millions of slots) is a hash lookup;
+// local (1-hop X2) voting scans the small neighborhood row set directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/param_view.h"
+
+namespace auric::core {
+
+/// A peer-group key: the codes of the dependent attributes, in model order.
+using GroupKey = std::vector<std::int32_t>;
+
+struct GroupKeyHash {
+  std::size_t operator()(const GroupKey& key) const;
+};
+
+struct Vote {
+  ml::ClassLabel label = -1;     ///< winning class (ParamView label space)
+  std::int32_t count = 0;        ///< votes for the winner
+  std::int32_t group_size = 0;   ///< total voters
+  double support() const {
+    return group_size > 0 ? static_cast<double>(count) / static_cast<double>(group_size) : 0.0;
+  }
+};
+
+class VotingModel {
+ public:
+  /// Aggregates `view` into peer groups keyed by the dependent attributes of
+  /// `deps`. `attr_codes` must be the same encoding the dependency scan used.
+  VotingModel(const ParamView& view, std::span<const AttrRef> deps,
+              const std::vector<std::vector<netsim::AttrCode>>& attr_codes);
+
+  /// Key for a (carrier, neighbor) subject; neighbor may be kInvalidCarrier
+  /// for singular parameters (then neighbor-side refs must be absent).
+  GroupKey key_for(netsim::CarrierId carrier, netsim::CarrierId neighbor) const;
+
+  /// Winning vote of the peer group, if the group exists and the winner's
+  /// support is >= `threshold`.
+  std::optional<Vote> vote(const GroupKey& key, double threshold) const;
+
+  /// Leave-one-out vote: as `vote` but with one observation of `own_label`
+  /// removed from the group (evaluation treats each carrier as new, §4.2).
+  std::optional<Vote> vote_excluding(const GroupKey& key, ml::ClassLabel own_label,
+                                     double threshold) const;
+
+  std::size_t group_count() const { return groups_.size(); }
+
+  /// The dependent attribute refs this model keys on.
+  std::span<const AttrRef> deps() const { return deps_; }
+
+  /// One peer group's aggregate: its key, the modal value and the counts.
+  /// Used by rule-book synthesis to export the learned structure.
+  struct GroupSummary {
+    GroupKey key;
+    ml::ClassLabel winner = -1;
+    std::int32_t winner_count = 0;
+    std::int32_t total = 0;
+    double support() const {
+      return total > 0 ? static_cast<double>(winner_count) / static_cast<double>(total) : 0.0;
+    }
+  };
+  std::vector<GroupSummary> group_summaries() const;
+
+ private:
+  struct Group {
+    // (label, count), unsorted; peer groups have few distinct values.
+    std::vector<std::pair<ml::ClassLabel, std::int32_t>> counts;
+    std::int32_t total = 0;
+  };
+
+  std::vector<AttrRef> deps_;
+  const std::vector<std::vector<netsim::AttrCode>>* attr_codes_;
+  std::unordered_map<GroupKey, Group, GroupKeyHash> groups_;
+
+  static std::optional<Vote> winner(const Group& group, ml::ClassLabel excluded,
+                                    bool exclude_one, double threshold);
+};
+
+/// Voting with support-driven backoff.
+///
+/// The dependency scan orders attributes strongest-first; when the exact
+/// match on all dependents yields no group or a vote below the threshold,
+/// the weakest dependent is dropped and the (coarser, larger) group is
+/// retried, up to `levels` times, before giving up. This keeps the 75%-vote
+/// semantics of the paper while preventing inter-correlated attributes from
+/// fragmenting peer groups below statistical usefulness (DESIGN.md §5).
+class BackoffVoting {
+ public:
+  /// `deps` must be sorted strongest-first (learn_dependencies output).
+  /// levels >= 1; level k matches on the first (|deps| - k) dependents.
+  /// A vote at any level before the last also needs at least `min_voters`
+  /// peers — a unanimous "vote" of one or two carriers is no evidence, and
+  /// accepting it would let isolated noisy peers decide; the final level
+  /// accepts any non-empty group (the best available evidence).
+  BackoffVoting(const ParamView& view, std::span<const AttrRef> deps,
+                const std::vector<std::vector<netsim::AttrCode>>& attr_codes, int levels = 3,
+                int min_voters = 3);
+
+  struct Decision {
+    Vote vote;
+    int level = 0;  ///< 0 = full dependent set, 1 = one dropped, ...
+  };
+
+  /// Global vote for (carrier, neighbor); tries levels in order.
+  std::optional<Decision> vote(netsim::CarrierId carrier, netsim::CarrierId neighbor,
+                               double threshold) const;
+
+  /// Global vote for a carrier NOT present in the topology: carrier-side
+  /// dependent attributes are read from `carrier_codes` (one code per schema
+  /// attribute, AttributeSchema::encode output; kUnseen codes simply match
+  /// no peer group, which realizes §6's bootstrap fallback). Neighbor-side
+  /// refs still resolve against the topology via `neighbor`.
+  std::optional<Decision> vote_codes(std::span<const netsim::AttrCode> carrier_codes,
+                                     netsim::CarrierId neighbor, double threshold) const;
+
+  /// Local vote for a carrier not present in the topology (see vote_codes);
+  /// `candidates` is the new carrier's planned X2 neighborhood.
+  std::optional<Decision> local_codes(const ParamView& view,
+                                      std::span<const netsim::CarrierId> candidates,
+                                      std::span<const netsim::AttrCode> carrier_codes,
+                                      netsim::CarrierId neighbor, double threshold) const;
+
+  /// Leave-one-out global vote (one observation of own_label removed).
+  std::optional<Decision> vote_excluding(netsim::CarrierId carrier, netsim::CarrierId neighbor,
+                                         ml::ClassLabel own_label, double threshold) const;
+
+  /// Local vote over `candidates` with the same backoff ladder.
+  std::optional<Decision> local(const ParamView& view,
+                                std::span<const netsim::CarrierId> candidates,
+                                netsim::CarrierId carrier, netsim::CarrierId neighbor,
+                                std::int64_t exclude_row, double threshold,
+                                std::span<const double> carrier_weights = {}) const;
+
+  /// Dependent refs used at backoff level `level`.
+  std::span<const AttrRef> deps_at(int level) const;
+
+  int level_count() const { return static_cast<int>(models_.size()); }
+
+ private:
+  std::vector<AttrRef> deps_;
+  const std::vector<std::vector<netsim::AttrCode>>* attr_codes_;
+  std::vector<VotingModel> models_;  // [level] -> model on the prefix
+  int min_voters_ = 3;
+
+  bool accept(const Vote& vote, int level) const;
+};
+
+/// Local (geographical-proximity) vote: peers are the rows of `view` whose
+/// subject carrier lies in `candidates` (typically the 1-hop X2 neighborhood
+/// of the target, §3.3) and whose dependent attribute codes equal `key`.
+/// `exclude_row` (the target's own row during evaluation) is skipped when
+/// >= 0. Returns the winning vote if support >= threshold.
+///
+/// `carrier_weights`, when non-empty (one weight per topology carrier),
+/// implements the §6 performance-feedback extension: each voter contributes
+/// its carrier's weight instead of 1, so carriers whose past configuration
+/// changes improved service performance count for more. Vote counts are
+/// then rounded weight totals and support is the weight fraction.
+std::optional<Vote> local_vote(const ParamView& view, std::span<const AttrRef> deps,
+                               const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                               const GroupKey& key,
+                               std::span<const netsim::CarrierId> candidates,
+                               std::int64_t exclude_row, double threshold,
+                               std::span<const double> carrier_weights = {});
+
+}  // namespace auric::core

@@ -1,0 +1,58 @@
+// Mismatch-labeling oracle (stands in for the paper's network engineers,
+// §4.3.3 / Fig. 12).
+//
+// The paper sampled 54,915 recommendation-vs-network mismatches and had
+// market engineers label them:
+//   5%  "update learner"       — the current value is right; the learner is
+//                                missing an attribute (terrain, propagation)
+//                                or the carrier is in an ongoing trial;
+//   28% "good recommendation"  — the network carried a sub-optimal leftover;
+//                                the recommendation was pushed as a change;
+//   67% "inconclusive"         — needs a field trial to adjudicate.
+// Our ground-truth model records *why* every slot has its value, so the
+// oracle can reproduce this labeling deterministically: trial and
+// hidden-terrain slots are "update learner"; stale-leftover slots where the
+// recommendation equals the engineering intent are "good recommendation";
+// everything else (noise, genuine learner errors) is "inconclusive".
+#pragma once
+
+#include <vector>
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "eval/cf_eval.h"
+
+namespace auric::eval {
+
+enum class MismatchLabel { kUpdateLearner = 0, kGoodRecommendation, kInconclusive };
+
+const char* mismatch_label_name(MismatchLabel label);
+
+struct MismatchBreakdown {
+  std::size_t total = 0;
+  std::size_t update_learner = 0;
+  std::size_t good_recommendation = 0;
+  std::size_t inconclusive = 0;
+
+  double fraction(MismatchLabel label) const;
+};
+
+/// Labels one mismatch given its ground-truth cause and intended value.
+MismatchLabel label_mismatch(config::Cause cause, config::ValueIndex intended,
+                             config::ValueIndex predicted);
+
+/// Labels a batch of CF mismatches against the assignment's ground truth.
+MismatchBreakdown label_mismatches(const std::vector<CfPrediction>& mismatches,
+                                   const config::ParamCatalog& catalog,
+                                   const config::ConfigAssignment& assignment);
+
+/// The paper's "added bonus" (§1, §4.3.3): the mismatches labeled "good
+/// recommendation" were implemented as configuration changes in the network
+/// (15K+ parameters). This applies exactly those changes to `assignment`
+/// (slot value := recommended value) and returns how many were pushed.
+/// Re-evaluating afterwards shows the network converging toward intent.
+std::size_t apply_good_recommendations(const std::vector<CfPrediction>& mismatches,
+                                       const config::ParamCatalog& catalog,
+                                       config::ConfigAssignment& assignment);
+
+}  // namespace auric::eval

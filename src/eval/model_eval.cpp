@@ -1,0 +1,46 @@
+#include "eval/model_eval.h"
+
+#include <stdexcept>
+
+#include "ml/metrics.h"
+#include "ml/split.h"
+#include "util/rng.h"
+
+namespace auric::eval {
+
+ModelEvalResult evaluate_model(const ClassifierFactory& factory,
+                               const ml::CategoricalDataset& data, ModelEvalOptions options) {
+  if (options.folds < 2) throw std::invalid_argument("evaluate_model: folds must be >= 2");
+  ModelEvalResult result;
+  const std::size_t rows = data.rows();
+  if (rows == 0) return result;
+
+  // Single observed class: every learner predicts it; score it exactly.
+  if (data.num_classes() < 2) {
+    result.evaluated_rows = rows;
+    result.correct = rows;
+    return result;
+  }
+
+  util::Rng rng(options.seed);
+  const int folds = rows >= 2 * static_cast<std::size_t>(options.folds) ? options.folds : 2;
+  const std::vector<int> assignment = ml::kfold_assignment(rows, folds, rng);
+
+  for (int fold = 0; fold < folds; ++fold) {
+    ml::FoldSplit split = ml::fold_split(assignment, fold);
+    if (split.train.empty() || split.test.empty()) continue;
+    ml::cap_indices(split.train, options.train_cap, rng);
+    ml::cap_indices(split.test, options.test_cap, rng);
+
+    const ml::ClassifierPtr model = factory();
+    model->fit(data, split.train);
+    const std::vector<ml::ClassLabel> predicted = model->predict_rows(data, split.test);
+    for (std::size_t i = 0; i < split.test.size(); ++i) {
+      if (predicted[i] == data.labels[split.test[i]]) ++result.correct;
+    }
+    result.evaluated_rows += split.test.size();
+  }
+  return result;
+}
+
+}  // namespace auric::eval

@@ -1,0 +1,49 @@
+// Cross-validated evaluation of the baseline model learners (decision tree,
+// random forest, k-NN, MLP) per §4.2's protocol.
+//
+// Model learners cannot do exact leave-one-out at dataset scale, so — like
+// the paper — we use standard k-fold cross-validation: train on k-1 folds,
+// predict the held-out fold, and report row-weighted accuracy. Training and
+// test rows can be capped to bound wall-clock cost on large populations;
+// caps are part of the options so every report can state them.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace auric::eval {
+
+using ClassifierFactory = std::function<ml::ClassifierPtr()>;
+
+struct ModelEvalOptions {
+  int folds = 3;
+  /// Maximum training rows per fold (<= 0 disables the cap).
+  std::int64_t train_cap = 2500;
+  /// Maximum evaluated test rows per fold (<= 0 disables the cap).
+  std::int64_t test_cap = 5000;
+  std::uint64_t seed = 17;
+};
+
+struct ModelEvalResult {
+  std::size_t evaluated_rows = 0;
+  std::size_t correct = 0;
+
+  double accuracy() const {
+    return evaluated_rows == 0 ? 0.0
+                               : static_cast<double>(correct) /
+                                     static_cast<double>(evaluated_rows);
+  }
+};
+
+/// k-fold evaluation of one classifier family on one parameter's dataset.
+/// Degenerate datasets short-circuit: a single observed class is trivially
+/// predicted ("very low variability has similar accuracy for all global
+/// learners", §4.3.1); fewer than 2*folds rows are evaluated with a single
+/// 50/50 holdout.
+ModelEvalResult evaluate_model(const ClassifierFactory& factory,
+                               const ml::CategoricalDataset& data, ModelEvalOptions options);
+
+}  // namespace auric::eval

@@ -1,0 +1,38 @@
+// Variability and skewness analysis of the configured network (§2.6,
+// Figs. 2-4 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "netsim/topology.h"
+
+namespace auric::eval {
+
+struct ParamVariability {
+  config::ParamId param = 0;
+  std::size_t configured_values = 0;        ///< configured slots network-wide
+  std::size_t distinct_overall = 0;         ///< Fig. 2 series
+  std::vector<std::size_t> distinct_per_market;  ///< Fig. 3 series
+  double skewness = 0.0;                    ///< Fig. 4 series (§2.6 formula)
+};
+
+/// Computes variability for every catalog parameter. Distinct counts ignore
+/// unset slots; skewness is over the raw (domain-decoded) values of all
+/// configured slots, matching the paper's description of the parameter's
+/// value distribution across markets.
+std::vector<ParamVariability> analyze_variability(const netsim::Topology& topology,
+                                                  const config::ParamCatalog& catalog,
+                                                  const config::ConfigAssignment& assignment);
+
+/// Counts of parameters per skewness band (paper: 33 of 65 highly skewed, 12
+/// moderately skewed).
+struct SkewnessSummary {
+  int symmetric = 0;
+  int moderate = 0;
+  int high = 0;
+};
+SkewnessSummary summarize_skewness(const std::vector<ParamVariability>& variability);
+
+}  // namespace auric::eval

@@ -1,0 +1,53 @@
+// Network-inventory and configuration-snapshot I/O.
+//
+// A production deployment of Auric consumes two feeds (Fig. 5): the carrier
+// inventory (attributes + X2 relations) and the current configuration
+// snapshot. This module round-trips both as plain CSV directories so that
+//   - synthetic experiments can be exported, inspected and re-loaded, and
+//   - an operator can run the engine on their own network by producing the
+//     same four files from their inventory system.
+//
+// Directory layout:
+//   markets.csv   id,name,timezone,lat,lon,size_multiplier
+//   enodebs.csv   id,market,lat,lon,morphology,terrain
+//   carriers.csv  id,enodeb,face,frequency_mhz,carrier_type,carrier_info,
+//                 bandwidth_mhz,mimo,hardware,cell_size_miles,
+//                 tracking_area_code,vendor,neighbor_channel,
+//                 software_version
+//   x2.csv        from,to            (undirected, one row per link)
+//   config.csv    parameter,from,to,value[,intended,cause]
+//                 (`to` empty for singular parameters; values in raw vendor
+//                  units; intended/cause are optional ground-truth columns)
+#pragma once
+
+#include <string>
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "netsim/topology.h"
+
+namespace auric::io {
+
+/// Writes the five CSV files into `dir` (created if missing).
+void save_topology(const netsim::Topology& topology, const std::string& dir);
+
+/// Loads a topology saved by save_topology (or operator-produced files with
+/// the same schema). Neighbor bookkeeping is rebuilt and invariants checked;
+/// throws std::invalid_argument / std::runtime_error on malformed input.
+netsim::Topology load_topology(const std::string& dir);
+
+/// Writes config.csv for `assignment` into `dir`. Raw values are printed in
+/// vendor units (domain-decoded); intended/cause ground-truth columns are
+/// included so synthetic snapshots round-trip exactly.
+void save_assignment(const netsim::Topology& topology, const config::ParamCatalog& catalog,
+                     const config::ConfigAssignment& assignment, const std::string& dir);
+
+/// Loads config.csv from `dir` against `topology` + `catalog`. Slots absent
+/// from the file are kUnset. When the optional ground-truth columns are
+/// missing (operator data), `intended` defaults to the value and `cause` to
+/// kDefault.
+config::ConfigAssignment load_assignment(const netsim::Topology& topology,
+                                         const config::ParamCatalog& catalog,
+                                         const std::string& dir);
+
+}  // namespace auric::io

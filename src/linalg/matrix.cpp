@@ -1,0 +1,123 @@
+#include "linalg/matrix.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace auric::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows_ * cols_) {
+    throw std::invalid_argument("Matrix: data size does not match rows*cols");
+  }
+}
+
+void Matrix::fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) throw std::out_of_range("select_rows: index out of range");
+    const auto src = row(indices[i]);
+    auto dst = out.row(i);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+double Matrix::squared_norm() const {
+  double total = 0.0;
+  for (double v : data_) total += v * v;
+  return total;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix out(a.rows(), b.cols());
+  // i-k-j order: the inner loop streams both b's row k and out's row i.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto out_row = out.row(i);
+    const auto a_row = a.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;  // one-hot inputs are mostly zeros
+      const auto b_row = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_transposed(const Matrix& a, const Matrix& b_t) {
+  if (a.cols() != b_t.cols()) throw std::invalid_argument("matmul_transposed: shape mismatch");
+  Matrix out(a.rows(), b_t.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto a_row = a.row(i);
+    auto out_row = out.row(i);
+    for (std::size_t j = 0; j < b_t.rows(); ++j) {
+      out_row[j] = dot(a_row, b_t.row(j));
+    }
+  }
+  return out;
+}
+
+std::vector<double> matvec(const Matrix& m, std::span<const double> x) {
+  if (m.cols() != x.size()) throw std::invalid_argument("matvec: shape mismatch");
+  std::vector<double> y(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) y[r] = dot(m.row(r), x);
+  return y;
+}
+
+void add_row_vector(Matrix& m, std::span<const double> bias) {
+  if (m.cols() != bias.size()) throw std::invalid_argument("add_row_vector: shape mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+void axpy(std::span<double> a, double scale, std::span<const double> b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += scale * b[i];
+}
+
+std::vector<double> column_sums(const Matrix& m) {
+  std::vector<double> sums(m.cols(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) sums[c] += row[c];
+  }
+  return sums;
+}
+
+}  // namespace auric::linalg

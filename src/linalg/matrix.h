@@ -1,0 +1,86 @@
+// Dense row-major matrix and the handful of BLAS-like kernels the MLP
+// learner needs (GEMM, GEMV, elementwise ops).
+//
+// The paper's authors used scikit-learn (NumPy/BLAS underneath); the
+// reproduction environment has no Eigen or BLAS installed, so this module is
+// the substrate substitution documented in DESIGN.md §2. Kernels are written
+// for clarity with cache-friendly loop ordering — adequate for the
+// evaluation scales this repo runs at.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace auric::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix from row-major data (size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// View of one row.
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// Sets every element to `value`.
+  void fill(double value);
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  /// Returns a new matrix containing the selected rows, in order.
+  Matrix select_rows(std::span<const std::size_t> indices) const;
+
+  /// Frobenius norm squared (sum of squared elements).
+  double squared_norm() const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). Throws on mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T, computed without materializing the transpose.
+/// Shapes: (m x k) * (n x k)^T -> (m x n).
+Matrix matmul_transposed(const Matrix& a, const Matrix& b_t);
+
+/// y = M * x. Throws on shape mismatch.
+std::vector<double> matvec(const Matrix& m, std::span<const double> x);
+
+/// Adds `bias` (length cols) to every row of `m` in place.
+void add_row_vector(Matrix& m, std::span<const double> bias);
+
+/// Dot product; spans must be equal length.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance between equal-length spans.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// a += scale * b, elementwise over equal-length spans.
+void axpy(std::span<double> a, double scale, std::span<const double> b);
+
+/// Column-wise sum of m: returns a length-cols vector.
+std::vector<double> column_sums(const Matrix& m);
+
+}  // namespace auric::linalg

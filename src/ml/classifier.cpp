@@ -1,0 +1,17 @@
+#include "ml/classifier.h"
+
+namespace auric::ml {
+
+std::vector<ClassLabel> Classifier::predict_rows(
+    const CategoricalDataset& data, std::span<const std::size_t> row_indices) const {
+  std::vector<ClassLabel> out;
+  out.reserve(row_indices.size());
+  std::vector<std::int32_t> codes(data.num_attributes());
+  for (std::size_t row : row_indices) {
+    for (std::size_t a = 0; a < data.num_attributes(); ++a) codes[a] = data.columns[a][row];
+    out.push_back(predict(codes));
+  }
+  return out;
+}
+
+}  // namespace auric::ml

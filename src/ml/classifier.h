@@ -1,0 +1,40 @@
+// Common interface for the four baseline learners of §4.2 (decision tree,
+// random forest, k-nearest neighbors, deep neural network).
+//
+// Learners consume the categorical dataset directly. For tree learners and
+// k-NN this is mathematically identical to training on the one-hot
+// expansion the paper describes (equality splits == one-hot binary splits;
+// Euclidean distance on one-hot == sqrt(2 x Hamming) on codes); the MLP
+// performs a real one-hot expansion internally.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace auric::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the rows of `data` selected by `row_indices`.
+  /// `data` must outlive neither fit nor predict calls — implementations
+  /// copy what they need.
+  virtual void fit(const CategoricalDataset& data,
+                   std::span<const std::size_t> row_indices) = 0;
+
+  /// Predicts the class label for one attribute-code vector (same column
+  /// order as the training data).
+  virtual ClassLabel predict(std::span<const std::int32_t> codes) const = 0;
+
+  /// Batch prediction over selected rows of a dataset.
+  std::vector<ClassLabel> predict_rows(const CategoricalDataset& data,
+                                       std::span<const std::size_t> row_indices) const;
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+
+}  // namespace auric::ml

@@ -1,0 +1,209 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace auric::ml {
+
+namespace {
+
+/// Gini impurity of a class-count vector with `total` samples.
+double gini(std::span<const std::int64_t> counts, std::int64_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::int64_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+ClassLabel majority(std::span<const std::int64_t> counts) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return static_cast<ClassLabel>(best);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeOptions options) : options_(options) {}
+
+void DecisionTree::fit(const CategoricalDataset& data,
+                       std::span<const std::size_t> row_indices) {
+  if (row_indices.empty()) throw std::invalid_argument("DecisionTree::fit: no training rows");
+  nodes_.clear();
+  column_names_ = data.column_names;
+  cardinality_ = data.cardinality;
+  num_classes_ = data.num_classes();
+  std::vector<std::size_t> rows(row_indices.begin(), row_indices.end());
+  util::Rng rng(options_.seed);
+  build(data, rows, 0, rng);
+}
+
+std::int32_t DecisionTree::build(const CategoricalDataset& data, std::vector<std::size_t>& rows,
+                                 int depth, util::Rng& rng) {
+  // Class distribution at this node.
+  std::vector<std::int64_t> counts(num_classes_, 0);
+  for (std::size_t r : rows) ++counts[static_cast<std::size_t>(data.labels[r])];
+  const auto total = static_cast<std::int64_t>(rows.size());
+
+  const auto make_leaf = [&]() {
+    Node leaf;
+    leaf.label = majority(counts);
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const double node_gini = gini(counts, total);
+  const bool depth_capped = options_.max_depth >= 0 && depth >= options_.max_depth;
+  if (node_gini == 0.0 || total < options_.min_samples_split || depth_capped) {
+    return make_leaf();
+  }
+
+  // Candidate splits are "attribute == value" predicates — exactly the
+  // binary features a one-hot encoding exposes.
+  //
+  // Per-node class counts are computed lazily per attribute: count_attr(a)
+  // tallies, for each value of attribute a, the class histogram of the rows
+  // at this node.
+  std::vector<std::vector<std::int64_t>> value_class(cardinality_.size());
+  std::vector<std::vector<std::int64_t>> value_total(cardinality_.size());
+  const auto count_attr = [&](std::size_t a) {
+    if (!value_total[a].empty()) return;
+    value_class[a].assign(cardinality_[a] * num_classes_, 0);
+    value_total[a].assign(cardinality_[a], 0);
+    const auto& col = data.columns[a];
+    for (std::size_t r : rows) {
+      const auto v = static_cast<std::size_t>(col[r]);
+      ++value_class[a][v * num_classes_ + static_cast<std::size_t>(data.labels[r])];
+      ++value_total[a][v];
+    }
+  };
+
+  double best_score = node_gini - 1e-12;  // require strict impurity decrease
+  std::int32_t best_attr = -1;
+  std::int32_t best_value = -1;
+  std::vector<std::int64_t> right(num_classes_);
+  // Returns true when the pair was non-constant at this node (a real
+  // candidate split that consumes feature budget).
+  const auto evaluate = [&](std::size_t a, std::size_t v) {
+    count_attr(a);
+    const std::int64_t n_left = value_total[a][v];
+    if (n_left == 0 || n_left == total) return false;  // constant at this node
+    const std::span<const std::int64_t> left(&value_class[a][v * num_classes_], num_classes_);
+    for (std::size_t k = 0; k < num_classes_; ++k) right[k] = counts[k] - left[k];
+    const std::int64_t n_right = total - n_left;
+    const double score = (static_cast<double>(n_left) * gini(left, n_left) +
+                          static_cast<double>(n_right) * gini(right, n_right)) /
+                         static_cast<double>(total);
+    if (score < best_score) {
+      best_score = score;
+      best_attr = static_cast<std::int32_t>(a);
+      best_value = static_cast<std::int32_t>(v);
+    }
+    return true;
+  };
+
+  std::size_t one_hot_width = 0;
+  std::vector<std::size_t> pair_offsets(cardinality_.size());
+  for (std::size_t a = 0; a < cardinality_.size(); ++a) {
+    pair_offsets[a] = one_hot_width;
+    one_hot_width += cardinality_[a];
+  }
+  if (options_.max_features >= 0 &&
+      static_cast<std::size_t>(options_.max_features) < one_hot_width) {
+    // Random-forest mode: draw (attribute, value) pairs without replacement
+    // until max_features NON-CONSTANT candidates have been examined (or the
+    // pairs run out). Node-constant features do not consume the budget —
+    // matching scikit-learn, where constant features are skipped and drawing
+    // continues.
+    std::vector<std::size_t> permutation = rng.sample_indices(one_hot_width, one_hot_width);
+    int examined = 0;
+    for (std::size_t pair : permutation) {
+      const auto a = static_cast<std::size_t>(
+          std::upper_bound(pair_offsets.begin(), pair_offsets.end(), pair) -
+          pair_offsets.begin() - 1);
+      if (evaluate(a, pair - pair_offsets[a])) {
+        if (++examined >= options_.max_features) break;
+      }
+    }
+  } else {
+    for (std::size_t a = 0; a < cardinality_.size(); ++a) {
+      for (std::size_t v = 0; v < cardinality_[a]; ++v) evaluate(a, v);
+    }
+  }
+
+  if (best_attr < 0) return make_leaf();
+
+  // Partition and recurse. Children are built after the parent is placed so
+  // indices stay stable.
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  const auto& col = data.columns[static_cast<std::size_t>(best_attr)];
+  for (std::size_t r : rows) {
+    (col[r] == best_value ? left_rows : right_rows).push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();  // recursion can be deep; free before descending
+
+  Node node;
+  node.attr = best_attr;
+  node.value = best_value;
+  nodes_.push_back(node);
+  const auto index = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t left_child = build(data, left_rows, depth + 1, rng);
+  const std::int32_t right_child = build(data, right_rows, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(index)].left = left_child;
+  nodes_[static_cast<std::size_t>(index)].right = right_child;
+  return index;
+}
+
+ClassLabel DecisionTree::predict(std::span<const std::int32_t> codes) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::predict before fit");
+  std::size_t i = 0;
+  while (nodes_[i].attr >= 0) {
+    const Node& n = nodes_[i];
+    i = static_cast<std::size_t>(codes[static_cast<std::size_t>(n.attr)] == n.value ? n.left
+                                                                                    : n.right);
+  }
+  return nodes_[i].label;
+}
+
+std::string DecisionTree::explain(std::span<const std::int32_t> codes) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::explain before fit");
+  std::string out;
+  std::size_t i = 0;
+  while (nodes_[i].attr >= 0) {
+    const Node& n = nodes_[i];
+    const bool match = codes[static_cast<std::size_t>(n.attr)] == n.value;
+    out += column_names_[static_cast<std::size_t>(n.attr)];
+    out += match ? " == " : " != ";
+    out += "value#" + std::to_string(n.value);
+    out += " -> ";
+    i = static_cast<std::size_t>(match ? n.left : n.right);
+  }
+  out += "predict class#" + std::to_string(nodes_[i].label);
+  return out;
+}
+
+int DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, int>> stack{{0, 1}};
+  int depth = 0;
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    const Node& n = nodes_[i];
+    if (n.attr >= 0) {
+      stack.emplace_back(static_cast<std::size_t>(n.left), d + 1);
+      stack.emplace_back(static_cast<std::size_t>(n.right), d + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace auric::ml

@@ -1,0 +1,70 @@
+// CART-style decision tree classifier over categorical attributes.
+//
+// §4.2(1) of the paper: "Gini score to determine how to split and the tree
+// is expanded until all leaves are pure". Splits are binary one-hot
+// predicates "attribute a == value v" versus the rest, which is exactly the
+// split family a CART tree sees after one-hot encoding. Trees also drive
+// the explainability story of Fig. 8: each prediction can be rendered as
+// the root-to-leaf chain of attribute tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace auric::ml {
+
+struct DecisionTreeOptions {
+  /// Maximum depth; -1 = unbounded ("expanded until all leaves are pure").
+  int max_depth = -1;
+  /// Minimum samples to attempt a split.
+  int min_samples_split = 2;
+  /// Number of features examined per split; -1 = all. Features are counted
+  /// at one-hot granularity — each (attribute, value) pair is one candidate
+  /// binary split — matching what scikit-learn's max_features does after
+  /// one-hot encoding (random forests pass sqrt(one-hot width)).
+  int max_features = -1;
+  /// Seed for the feature subsampling (unused when max_features == -1).
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {});
+
+  void fit(const CategoricalDataset& data, std::span<const std::size_t> row_indices) override;
+  ClassLabel predict(std::span<const std::int32_t> codes) const override;
+
+  /// Root-to-leaf explanation for one input, e.g.
+  /// "morphology == urban -> carrier_frequency != 700 MHz -> predict 40".
+  /// Column/value names come from the training dataset's metadata.
+  std::string explain(std::span<const std::int32_t> codes) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+
+ private:
+  struct Node {
+    // Internal: test columns_[attr] == value; match -> left, else right.
+    std::int32_t attr = -1;
+    std::int32_t value = -1;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaf payload (attr == -1).
+    ClassLabel label = -1;
+  };
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<std::string> column_names_;       // for explain()
+  std::vector<std::size_t> cardinality_;
+  std::size_t num_classes_ = 0;
+
+  std::int32_t build(const CategoricalDataset& data, std::vector<std::size_t>& rows, int depth,
+                     util::Rng& rng);
+};
+
+}  // namespace auric::ml

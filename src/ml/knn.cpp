@@ -1,0 +1,65 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace auric::ml {
+
+KNearestNeighbors::KNearestNeighbors(KnnOptions options) : options_(options) {
+  if (options_.k < 1) throw std::invalid_argument("KNearestNeighbors: k must be >= 1");
+}
+
+void KNearestNeighbors::fit(const CategoricalDataset& data,
+                            std::span<const std::size_t> row_indices) {
+  if (row_indices.empty()) {
+    throw std::invalid_argument("KNearestNeighbors::fit: no training rows");
+  }
+  num_attrs_ = data.num_attributes();
+  num_classes_ = data.num_classes();
+  codes_.resize(row_indices.size() * num_attrs_);
+  labels_.resize(row_indices.size());
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    const std::size_t row = row_indices[i];
+    for (std::size_t a = 0; a < num_attrs_; ++a) {
+      codes_[i * num_attrs_ + a] = data.columns[a][row];
+    }
+    labels_[i] = data.labels[row];
+  }
+}
+
+ClassLabel KNearestNeighbors::predict(std::span<const std::int32_t> codes) const {
+  if (labels_.empty()) throw std::logic_error("KNearestNeighbors::predict before fit");
+  const std::size_t n = labels_.size();
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(options_.k), n);
+
+  // Bounded max-heap of (distance, training index): keeps the k smallest
+  // distances; index as tie-break reproduces first-seen neighbor ordering.
+  std::vector<std::pair<std::int32_t, std::size_t>> heap;
+  heap.reserve(k + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int32_t hamming = 0;
+    const std::int32_t* row = &codes_[i * num_attrs_];
+    for (std::size_t a = 0; a < num_attrs_; ++a) hamming += row[a] != codes[a] ? 1 : 0;
+    if (heap.size() < k) {
+      heap.emplace_back(hamming, i);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (std::make_pair(hamming, i) < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {hamming, i};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+
+  std::vector<std::int32_t> votes(num_classes_, 0);
+  for (const auto& [dist, idx] : heap) {
+    (void)dist;
+    ++votes[static_cast<std::size_t>(labels_[idx])];
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return static_cast<ClassLabel>(best);
+}
+
+}  // namespace auric::ml

@@ -1,0 +1,72 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace auric::ml {
+
+double accuracy(std::span<const std::int32_t> predicted, std::span<const std::int32_t> actual) {
+  if (predicted.size() != actual.size()) throw std::invalid_argument("accuracy: size mismatch");
+  if (predicted.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == actual[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+double skewness(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(n);
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+SkewnessBand skewness_band(double skew) {
+  const double a = std::fabs(skew);
+  if (a > 1.0) return SkewnessBand::kHighlySkewed;
+  if (a > 0.5) return SkewnessBand::kModeratelySkewed;
+  return SkewnessBand::kSymmetric;
+}
+
+const char* skewness_band_name(SkewnessBand band) {
+  switch (band) {
+    case SkewnessBand::kSymmetric: return "symmetric";
+    case SkewnessBand::kModeratelySkewed: return "moderate";
+    case SkewnessBand::kHighlySkewed: return "high";
+  }
+  return "?";
+}
+
+std::size_t distinct_value_count(std::span<const config::ValueIndex> values) {
+  std::vector<config::ValueIndex> configured;
+  configured.reserve(values.size());
+  for (config::ValueIndex v : values) {
+    if (v != config::kUnset) configured.push_back(v);
+  }
+  std::sort(configured.begin(), configured.end());
+  configured.erase(std::unique(configured.begin(), configured.end()), configured.end());
+  return configured.size();
+}
+
+void MeanAccumulator::add(double value, double weight) {
+  sum_ += value * weight;
+  weight_ += weight;
+}
+
+double MeanAccumulator::mean() const { return weight_ > 0.0 ? sum_ / weight_ : 0.0; }
+
+}  // namespace auric::ml

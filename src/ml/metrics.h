@@ -1,0 +1,43 @@
+// Evaluation metrics: accuracy, skewness (the paper's §2.6 formula) and
+// distinct-value counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "config/catalog.h"
+
+namespace auric::ml {
+
+/// Fraction of positions where `predicted == actual`. Spans must be equal
+/// length; returns 0 for empty input.
+double accuracy(std::span<const std::int32_t> predicted, std::span<const std::int32_t> actual);
+
+/// Sample skewness per §2.6 of the paper:
+///   ( (1/n) sum (x - mean)^3 ) / ( (1/n) sum (x - mean)^2 )^{3/2}.
+/// Returns 0 when the variance is zero or n < 2.
+double skewness(std::span<const double> values);
+
+/// Interpretation bands from §2.6 ("if skewness is between -0.5 and 0.5 the
+/// distribution is approximately symmetric", etc.).
+enum class SkewnessBand { kSymmetric, kModeratelySkewed, kHighlySkewed };
+SkewnessBand skewness_band(double skew);
+const char* skewness_band_name(SkewnessBand band);
+
+/// Number of distinct configured values, ignoring config::kUnset slots.
+std::size_t distinct_value_count(std::span<const config::ValueIndex> values);
+
+/// Streaming mean/online accumulator used by the report code.
+class MeanAccumulator {
+ public:
+  void add(double value, double weight = 1.0);
+  double mean() const;
+  double total_weight() const { return weight_; }
+
+ private:
+  double sum_ = 0.0;
+  double weight_ = 0.0;
+};
+
+}  // namespace auric::ml

@@ -1,0 +1,212 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace auric::ml {
+
+namespace {
+
+/// Numerically stable in-place softmax over each row.
+void softmax_rows(linalg::Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    double max_v = row[0];
+    for (double v : row) max_v = std::max(max_v, v);
+    double total = 0.0;
+    for (double& v : row) {
+      v = std::exp(v - max_v);
+      total += v;
+    }
+    for (double& v : row) v /= total;
+  }
+}
+
+}  // namespace
+
+MultilayerPerceptron::MultilayerPerceptron(MlpOptions options) : options_(std::move(options)) {
+  if (options_.hidden_sizes.empty()) {
+    throw std::invalid_argument("MultilayerPerceptron: need at least one hidden layer");
+  }
+}
+
+void MultilayerPerceptron::fit(const CategoricalDataset& data,
+                               std::span<const std::size_t> row_indices) {
+  if (row_indices.empty()) {
+    throw std::invalid_argument("MultilayerPerceptron::fit: no training rows");
+  }
+  encoder_ = OneHotEncoder(data);
+  num_classes_ = data.num_classes();
+  adam_step_ = 0;
+
+  // Layer dimensions: one-hot width -> hidden sizes -> classes.
+  std::vector<std::size_t> dims{encoder_.width()};
+  dims.insert(dims.end(), options_.hidden_sizes.begin(), options_.hidden_sizes.end());
+  dims.push_back(num_classes_);
+
+  util::Rng rng(options_.seed);
+  layers_.clear();
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    Layer layer;
+    layer.weights = linalg::Matrix(dims[l + 1], dims[l]);
+    // Glorot uniform initialization.
+    const double bound = std::sqrt(6.0 / static_cast<double>(dims[l] + dims[l + 1]));
+    for (double& w : layer.weights.data()) w = rng.uniform(-bound, bound);
+    layer.bias.assign(dims[l + 1], 0.0);
+    layer.m_w = linalg::Matrix(dims[l + 1], dims[l]);
+    layer.v_w = linalg::Matrix(dims[l + 1], dims[l]);
+    layer.m_b.assign(dims[l + 1], 0.0);
+    layer.v_b.assign(dims[l + 1], 0.0);
+    layers_.push_back(std::move(layer));
+  }
+
+  std::vector<std::size_t> order(row_indices.begin(), row_indices.end());
+  const std::size_t n = order.size();
+  const auto batch_size = std::min<std::size_t>(static_cast<std::size_t>(options_.batch_size), n);
+
+  double best_loss = std::numeric_limits<double>::infinity();
+  int stall = 0;
+  std::vector<ClassLabel> batch_labels;
+  std::vector<std::size_t> batch_rows;
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < n; start += batch_size) {
+      const std::size_t end = std::min(n, start + batch_size);
+      batch_rows.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
+                        order.begin() + static_cast<std::ptrdiff_t>(end));
+      batch_labels.clear();
+      for (std::size_t row : batch_rows) batch_labels.push_back(data.labels[row]);
+      const linalg::Matrix input = encoder_.encode(data, batch_rows);
+      epoch_loss += train_batch(input, batch_labels);
+    }
+    final_loss_ = epoch_loss / static_cast<double>(n);
+    epochs_run_ = epoch + 1;
+    // scikit-learn-style early stopping on training loss.
+    if (final_loss_ > best_loss - options_.tol) {
+      if (++stall >= options_.patience) break;
+    } else {
+      stall = 0;
+    }
+    best_loss = std::min(best_loss, final_loss_);
+  }
+}
+
+void MultilayerPerceptron::forward(const linalg::Matrix& input,
+                                   std::vector<linalg::Matrix>& activations) const {
+  activations.clear();
+  activations.reserve(layers_.size() + 1);
+  activations.push_back(input);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    linalg::Matrix z = linalg::matmul_transposed(activations.back(), layers_[l].weights);
+    linalg::add_row_vector(z, layers_[l].bias);
+    if (l + 1 < layers_.size()) {
+      for (double& v : z.data()) v = v > 0.0 ? v : 0.0;  // ReLU
+    } else {
+      softmax_rows(z);
+    }
+    activations.push_back(std::move(z));
+  }
+}
+
+double MultilayerPerceptron::train_batch(const linalg::Matrix& input,
+                                         std::span<const ClassLabel> labels) {
+  std::vector<linalg::Matrix> activations;
+  forward(input, activations);
+  const std::size_t batch = input.rows();
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+
+  // Loss and output delta: (softmax - onehot) / batch.
+  double loss = 0.0;
+  linalg::Matrix delta = activations.back();
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto row = delta.row(r);
+    const auto y = static_cast<std::size_t>(labels[r]);
+    loss += -std::log(std::max(row[y], 1e-15));
+    row[y] -= 1.0;
+    for (double& v : row) v *= inv_batch;
+  }
+
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    Layer& layer = layers_[l];
+    const linalg::Matrix& prev_act = activations[l];
+    // grad_W = delta^T * prev_act  (+ L2), grad_b = column sums of delta.
+    linalg::Matrix grad_w = linalg::matmul(delta.transposed(), prev_act);
+    if (options_.l2_penalty > 0.0) {
+      auto g = grad_w.data();
+      const auto w = layer.weights.data();
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] += options_.l2_penalty * inv_batch * w[i];
+    }
+    const std::vector<double> grad_b = linalg::column_sums(delta);
+
+    if (l > 0) {
+      // delta_prev = (delta * W) o relu'(prev_act)
+      linalg::Matrix next = linalg::matmul(delta, layer.weights);
+      auto nd = next.data();
+      const auto pa = prev_act.data();
+      for (std::size_t i = 0; i < nd.size(); ++i) {
+        if (pa[i] <= 0.0) nd[i] = 0.0;
+      }
+      adam_update(layer, grad_w, grad_b);
+      delta = std::move(next);
+    } else {
+      adam_update(layer, grad_w, grad_b);
+    }
+  }
+  return loss;
+}
+
+void MultilayerPerceptron::adam_update(Layer& layer, const linalg::Matrix& grad_w,
+                                       std::span<const double> grad_b) {
+  // One shared step counter per batch would be conventional; stepping per
+  // layer-update keeps the bias correction valid as well since each
+  // parameter tensor sees a monotone step sequence.
+  ++adam_step_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double correction1 = 1.0 - std::pow(b1, static_cast<double>(adam_step_));
+  const double correction2 = 1.0 - std::pow(b2, static_cast<double>(adam_step_));
+  const double lr = options_.learning_rate;
+
+  auto w = layer.weights.data();
+  auto m = layer.m_w.data();
+  auto v = layer.v_w.data();
+  const auto g = grad_w.data();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+    w[i] -= lr * (m[i] / correction1) /
+            (std::sqrt(v[i] / correction2) + options_.adam_epsilon);
+  }
+  for (std::size_t i = 0; i < layer.bias.size(); ++i) {
+    layer.m_b[i] = b1 * layer.m_b[i] + (1.0 - b1) * grad_b[i];
+    layer.v_b[i] = b2 * layer.v_b[i] + (1.0 - b2) * grad_b[i] * grad_b[i];
+    layer.bias[i] -= lr * (layer.m_b[i] / correction1) /
+                     (std::sqrt(layer.v_b[i] / correction2) + options_.adam_epsilon);
+  }
+}
+
+ClassLabel MultilayerPerceptron::predict(std::span<const std::int32_t> codes) const {
+  if (layers_.empty()) throw std::logic_error("MultilayerPerceptron::predict before fit");
+  std::vector<double> x = encoder_.encode_row(codes);
+  std::vector<double> next;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    next = linalg::matvec(layers_[l].weights, x);
+    for (std::size_t i = 0; i < next.size(); ++i) next[i] += layers_[l].bias[i];
+    if (l + 1 < layers_.size()) {
+      for (double& v : next) v = v > 0.0 ? v : 0.0;
+    }
+    x = std::move(next);
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return static_cast<ClassLabel>(best);
+}
+
+}  // namespace auric::ml

@@ -1,0 +1,57 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace auric::ml {
+
+RandomForest::RandomForest(RandomForestOptions options) : options_(options) {
+  if (options_.num_trees < 1) throw std::invalid_argument("RandomForest: num_trees must be >= 1");
+}
+
+void RandomForest::fit(const CategoricalDataset& data,
+                       std::span<const std::size_t> row_indices) {
+  if (row_indices.empty()) throw std::invalid_argument("RandomForest::fit: no training rows");
+  num_classes_ = data.num_classes();
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(options_.num_trees));
+
+  // sqrt of the one-hot width, matching scikit-learn's max_features="sqrt"
+  // over one-hot encoded inputs (the paper trains on the one-hot matrix).
+  std::size_t one_hot_width = 0;
+  for (std::size_t card : data.cardinality) one_hot_width += card;
+  const int max_features = std::max(
+      1, static_cast<int>(std::lround(std::sqrt(static_cast<double>(one_hot_width)))));
+  util::Rng rng(options_.seed);
+  std::vector<std::size_t> bootstrap(row_indices.size());
+  for (int t = 0; t < options_.num_trees; ++t) {
+    for (auto& slot : bootstrap) {
+      slot = row_indices[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(row_indices.size()) - 1))];
+    }
+    DecisionTreeOptions tree_options;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.max_features = max_features;
+    tree_options.seed = rng();
+    DecisionTree tree(tree_options);
+    tree.fit(data, bootstrap);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+ClassLabel RandomForest::predict(std::span<const std::int32_t> codes) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::predict before fit");
+  std::vector<std::int32_t> votes(num_classes_, 0);
+  for (const DecisionTree& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(codes))];
+  }
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < votes.size(); ++k) {
+    if (votes[k] > votes[best]) best = k;
+  }
+  return static_cast<ClassLabel>(best);
+}
+
+}  // namespace auric::ml

@@ -1,0 +1,37 @@
+// Random forest classifier.
+//
+// §4.2(2) of the paper: "100 trees in the forest, and Gini score for
+// decision to split. Tree is expanded until all leaves are pure." Standard
+// bagging: each tree trains on a bootstrap resample of the training rows
+// and examines a sqrt(A)-sized random attribute subset per split;
+// prediction is the majority vote across trees (ties break toward the
+// lowest class label, matching argmax over summed votes).
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace auric::ml {
+
+struct RandomForestOptions {
+  int num_trees = 100;
+  int max_depth = -1;  // pure leaves
+  std::uint64_t seed = 1;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {});
+
+  void fit(const CategoricalDataset& data, std::span<const std::size_t> row_indices) override;
+  ClassLabel predict(std::span<const std::int32_t> codes) const override;
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace auric::ml

@@ -1,0 +1,31 @@
+#include "ml/split.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace auric::ml {
+
+std::vector<int> kfold_assignment(std::size_t rows, int k, util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("kfold_assignment: k must be >= 2");
+  std::vector<int> assignment(rows);
+  for (std::size_t i = 0; i < rows; ++i) assignment[i] = static_cast<int>(i % static_cast<std::size_t>(k));
+  rng.shuffle(assignment);
+  return assignment;
+}
+
+FoldSplit fold_split(const std::vector<int>& assignment, int fold) {
+  FoldSplit split;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    (assignment[i] == fold ? split.test : split.train).push_back(i);
+  }
+  return split;
+}
+
+void cap_indices(std::vector<std::size_t>& indices, std::int64_t cap, util::Rng& rng) {
+  if (cap <= 0 || static_cast<std::int64_t>(indices.size()) <= cap) return;
+  rng.shuffle(indices);
+  indices.resize(static_cast<std::size_t>(cap));
+  std::sort(indices.begin(), indices.end());
+}
+
+}  // namespace auric::ml

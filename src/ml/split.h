@@ -1,0 +1,29 @@
+// Cross-validation index plumbing (§4.2: "standard machine learning
+// cross-validation approach to compute the accuracy scores").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace auric::ml {
+
+/// Shuffled k-fold assignment: returns fold id in [0, k) per row.
+/// Fold sizes differ by at most one.
+std::vector<int> kfold_assignment(std::size_t rows, int k, util::Rng& rng);
+
+/// Splits [0, rows) into (train, test) index lists for fold `fold` of a
+/// k-fold assignment.
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+FoldSplit fold_split(const std::vector<int>& assignment, int fold);
+
+/// Caps `indices` to at most `cap` entries by deterministic subsampling
+/// (no-op when cap <= 0 or indices.size() <= cap). Used by the bench
+/// harnesses to bound model-learner training cost; every cap is reported.
+void cap_indices(std::vector<std::size_t>& indices, std::int64_t cap, util::Rng& rng);
+
+}  // namespace auric::ml

@@ -1,0 +1,136 @@
+#include "netsim/attributes.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace auric::netsim {
+
+namespace {
+
+std::string market_label(std::int64_t raw) { return "Market " + std::to_string(raw + 1); }
+
+std::string software_label(std::int64_t raw) {
+  // RAN release naming: RAN20Q1, RAN20Q2, ... (four quarters per year).
+  const std::int64_t year = 20 + raw / 4;
+  const std::int64_t quarter = 1 + raw % 4;
+  return util::format("RAN%lldQ%lld", static_cast<long long>(year),
+                      static_cast<long long>(quarter));
+}
+
+std::string carrier_info_label(std::int64_t raw) {
+  switch (raw) {
+    case 0: return "plain";
+    case 1: return "5G-colocated";
+    case 2: return "border";
+    case 3: return "5G-colocated+border";
+  }
+  return "info" + std::to_string(raw);
+}
+
+}  // namespace
+
+AttributeSchema AttributeSchema::standard(const Topology& topology) {
+  AttributeSchema schema;
+  auto& defs = schema.defs_;
+
+  const auto add = [&defs](std::string name, std::function<std::int64_t(const Carrier&)> raw,
+                           std::function<std::string(std::int64_t)> label) {
+    defs.push_back({std::move(name), std::move(raw), std::move(label), {}});
+  };
+
+  add("carrier_frequency", [](const Carrier& c) { return std::int64_t{c.frequency_mhz}; },
+      [](std::int64_t v) { return std::to_string(v) + " MHz"; });
+  add("carrier_type", [](const Carrier& c) { return static_cast<std::int64_t>(c.type); },
+      [](std::int64_t v) { return std::string(carrier_type_name(static_cast<CarrierType>(v))); });
+  add("carrier_info", [](const Carrier& c) { return std::int64_t{c.carrier_info}; },
+      carrier_info_label);
+  add("morphology", [](const Carrier& c) { return static_cast<std::int64_t>(c.morphology); },
+      [](std::int64_t v) { return std::string(morphology_name(static_cast<Morphology>(v))); });
+  add("channel_bandwidth", [](const Carrier& c) { return std::int64_t{c.bandwidth_mhz}; },
+      [](std::int64_t v) { return std::to_string(v) + " MHz"; });
+  add("dl_mimo_mode", [](const Carrier& c) { return static_cast<std::int64_t>(c.mimo); },
+      [](std::int64_t v) { return std::string(mimo_mode_name(static_cast<MimoMode>(v))); });
+  add("hardware", [](const Carrier& c) { return std::int64_t{c.hardware}; },
+      [](std::int64_t v) { return "RRH" + std::to_string(v + 1); });
+  add("cell_size", [](const Carrier& c) { return std::int64_t{c.cell_size_miles}; },
+      [](std::int64_t v) { return std::to_string(v) + " mi"; });
+  add("tracking_area_code", [](const Carrier& c) { return std::int64_t{c.tracking_area_code}; },
+      [](std::int64_t v) { return std::to_string(v); });
+  add("market", [](const Carrier& c) { return std::int64_t{c.market}; }, market_label);
+  add("vendor", [](const Carrier& c) { return std::int64_t{c.vendor}; },
+      [](std::int64_t v) { return "Vendor" + std::string(1, static_cast<char>('A' + v)); });
+  add("neighbor_channel", [](const Carrier& c) { return std::int64_t{c.neighbor_channel}; },
+      [](std::int64_t v) { return std::to_string(v); });
+  // The same-eNodeB neighbor count is bucketed (4 / 6 / 8 / 10 / 12+): it is
+  // a dynamic attribute whose exact value wobbles as layers are added, and
+  // what matters for configuration is the site's layer-density class.
+  add("neighbors_same_enodeb",
+      [](const Carrier& c) {
+        const int n = c.neighbors_same_enodeb;
+        if (n <= 4) return std::int64_t{4};
+        if (n <= 6) return std::int64_t{6};
+        if (n <= 8) return std::int64_t{8};
+        if (n <= 10) return std::int64_t{10};
+        return std::int64_t{12};
+      },
+      [](std::int64_t v) { return (v >= 12 ? "12+" : std::to_string(v)); });
+  add("software_version", [](const Carrier& c) { return std::int64_t{c.software_version}; },
+      software_label);
+
+  // Populate value dictionaries from the topology.
+  for (auto& def : defs) {
+    std::set<std::int64_t> seen;
+    for (const Carrier& c : topology.carriers) seen.insert(def.raw(c));
+    def.values.assign(seen.begin(), seen.end());
+  }
+  return schema;
+}
+
+std::string AttributeSchema::value_label(std::size_t attr, AttrCode code) const {
+  const Def& def = defs_.at(attr);
+  if (code < 0 || static_cast<std::size_t>(code) >= def.values.size()) return "<unseen>";
+  return def.label(def.values[static_cast<std::size_t>(code)]);
+}
+
+std::size_t AttributeSchema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return i;
+  }
+  throw std::out_of_range("AttributeSchema: unknown attribute " + name);
+}
+
+AttrCode AttributeSchema::code_of(const Def& def, std::int64_t raw_value) const {
+  const auto it = std::lower_bound(def.values.begin(), def.values.end(), raw_value);
+  if (it == def.values.end() || *it != raw_value) return kUnseen;
+  return static_cast<AttrCode>(it - def.values.begin());
+}
+
+std::vector<AttrCode> AttributeSchema::encode(const Carrier& carrier) const {
+  std::vector<AttrCode> codes(defs_.size());
+  for (std::size_t a = 0; a < defs_.size(); ++a) {
+    codes[a] = code_of(defs_[a], defs_[a].raw(carrier));
+  }
+  return codes;
+}
+
+std::vector<std::vector<AttrCode>> AttributeSchema::encode_all(const Topology& topology) const {
+  std::vector<std::vector<AttrCode>> columns(defs_.size());
+  for (auto& col : columns) col.resize(topology.carrier_count());
+  for (const Carrier& c : topology.carriers) {
+    for (std::size_t a = 0; a < defs_.size(); ++a) {
+      columns[a][static_cast<std::size_t>(c.id)] = code_of(defs_[a], defs_[a].raw(c));
+    }
+  }
+  return columns;
+}
+
+std::size_t AttributeSchema::one_hot_width() const {
+  std::size_t width = 0;
+  for (const Def& def : defs_) width += def.values.size();
+  return width;
+}
+
+}  // namespace auric::netsim

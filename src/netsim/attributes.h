@@ -1,0 +1,73 @@
+// Learner-visible carrier attribute schema (Table 1 of the paper).
+//
+// Every attribute is dictionary-encoded to a dense integer code so the ML
+// layer can work uniformly with categorical columns. The encoding is built
+// by scanning a topology, which keeps the schema in lock-step with whatever
+// value universe the generator (or a test fixture) produced.
+//
+// Deliberately ABSENT from this schema: Carrier::terrain. The paper's
+// engineers attributed part of Auric's mismatches to attributes "missing"
+// from the model (terrain type, signal propagation, §4.3.3); we reproduce
+// that by letting the ground-truth model use terrain while hiding it here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/topology.h"
+
+namespace auric::netsim {
+
+/// Code type for dictionary-encoded attribute values.
+using AttrCode = std::int32_t;
+
+class AttributeSchema {
+ public:
+  /// Builds the standard 14-attribute schema of Table 1 over `topology`,
+  /// with value dictionaries populated from the carriers present.
+  static AttributeSchema standard(const Topology& topology);
+
+  std::size_t attribute_count() const { return defs_.size(); }
+
+  const std::string& name(std::size_t attr) const { return defs_[attr].name; }
+
+  /// Number of distinct codes for attribute `attr`.
+  std::size_t cardinality(std::size_t attr) const { return defs_[attr].values.size(); }
+
+  /// Human-readable label of code `code` of attribute `attr`.
+  std::string value_label(std::size_t attr, AttrCode code) const;
+
+  /// Index of the attribute named `name`; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// Encodes one carrier: codes[attr] for every attribute. Raw values that
+  /// were not present when the schema was built get a fresh code appended?
+  /// No — they map to kUnseen (-1); Auric treats unseen values via its
+  /// bootstrap fallback (§6 of the paper).
+  std::vector<AttrCode> encode(const Carrier& carrier) const;
+
+  static constexpr AttrCode kUnseen = -1;
+
+  /// Encodes every carrier of `topology`: result[attr][carrier_id] = code.
+  /// Column-major (per-attribute vectors) because the chi-square dependency
+  /// scan iterates attribute-by-attribute.
+  std::vector<std::vector<AttrCode>> encode_all(const Topology& topology) const;
+
+  /// Sum of cardinalities = width of the one-hot expansion.
+  std::size_t one_hot_width() const;
+
+ private:
+  struct Def {
+    std::string name;
+    std::function<std::int64_t(const Carrier&)> raw;        // raw attribute value
+    std::function<std::string(std::int64_t)> label;         // raw -> display
+    std::vector<std::int64_t> values;                       // code -> raw (sorted)
+  };
+  std::vector<Def> defs_;
+
+  AttrCode code_of(const Def& def, std::int64_t raw_value) const;
+};
+
+}  // namespace auric::netsim

@@ -1,0 +1,49 @@
+// Synthetic LTE RAN topology generator.
+//
+// Produces a national multi-market network whose structure mirrors the
+// inventory described in §2 and Table 3 of the paper: 28 markets across four
+// US timezones, eNodeBs with 3 faces, multi-band carriers per face (carrier
+// layer management HB -> MB -> LB), and an X2 neighbor graph combining
+// complete intra-eNodeB relations with same-frequency relations to the
+// geographically nearest eNodeBs.
+//
+// All counts scale linearly with `base_enodebs_per_market`, so experiments
+// can run anywhere from unit-test size (2 markets x 4 eNodeBs) to the
+// paper's full 400K+ carriers, budget permitting.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/topology.h"
+
+namespace auric::netsim {
+
+struct TopologyParams {
+  std::uint64_t seed = 1;
+
+  /// Number of markets (the paper's network has 28).
+  int num_markets = 28;
+
+  /// eNodeBs in a market with size_multiplier 1.0. The four deep-dive
+  /// markets of Table 3 get fixed multipliers (1.07, 0.91, 1.58, 1.0) so the
+  /// relative market sizes match the paper; others draw from [0.75, 1.3].
+  int base_enodebs_per_market = 55;
+
+  /// Market radius in km; morphology is urban within 25% of the radius,
+  /// suburban within 60%, rural beyond.
+  double market_radius_km = 60.0;
+
+  /// Number of nearest eNodeBs each eNodeB gets inter-site X2 links to.
+  int x2_enodeb_degree = 2;
+
+  /// Fraction of sites with mountainous terrain / dense high-rise terrain
+  /// (hidden attribute; see AttributeSchema docs).
+  double mountain_fraction = 0.04;
+  double highrise_fraction = 0.04;
+};
+
+/// Generates the topology. Deterministic in `params.seed`. The result
+/// passes Topology::check_invariants().
+Topology generate_topology(const TopologyParams& params);
+
+}  // namespace auric::netsim

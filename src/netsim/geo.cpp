@@ -1,0 +1,34 @@
+#include "netsim/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace auric::netsim {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0088;
+
+double to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+double to_deg(double rad) { return rad * 180.0 / std::numbers::pi; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = to_rad(a.lat_deg);
+  const double lat2 = to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = to_rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h > 1.0 ? 1.0 : h));
+}
+
+GeoPoint offset_km(const GeoPoint& origin, double north_km, double east_km) {
+  const double dlat = to_deg(north_km / kEarthRadiusKm);
+  const double cos_lat = std::cos(to_rad(origin.lat_deg));
+  const double dlon =
+      cos_lat > 1e-9 ? to_deg(east_km / (kEarthRadiusKm * cos_lat)) : 0.0;
+  return {origin.lat_deg + dlat, origin.lon_deg + dlon};
+}
+
+}  // namespace auric::netsim

@@ -1,0 +1,26 @@
+// Geographic primitives for the synthetic LTE RAN.
+//
+// eNodeBs live at real (latitude, longitude) coordinates so geographic
+// proximity — the heart of Auric's local learner — is computed with the
+// same great-circle semantics a production RAN inventory would use.
+#pragma once
+
+namespace auric::netsim {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+/// Great-circle distance in kilometers (haversine formula, mean Earth
+/// radius 6371.0088 km).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Offsets `origin` by (north_km, east_km) using the local-tangent-plane
+/// approximation — accurate to well under 1% at the tens-of-km offsets the
+/// topology generator uses.
+GeoPoint offset_km(const GeoPoint& origin, double north_km, double east_km);
+
+}  // namespace auric::netsim

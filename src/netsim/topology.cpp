@@ -1,0 +1,189 @@
+#include "netsim/topology.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace auric::netsim {
+
+const char* band_name(Band band) {
+  switch (band) {
+    case Band::kLow: return "LB";
+    case Band::kMid: return "MB";
+    case Band::kHigh: return "HB";
+  }
+  return "?";
+}
+
+const char* morphology_name(Morphology morphology) {
+  switch (morphology) {
+    case Morphology::kUrban: return "urban";
+    case Morphology::kSuburban: return "suburban";
+    case Morphology::kRural: return "rural";
+  }
+  return "?";
+}
+
+const char* carrier_type_name(CarrierType type) {
+  switch (type) {
+    case CarrierType::kStandard: return "standard";
+    case CarrierType::kFirstNet: return "FirstNet";
+    case CarrierType::kNbIot: return "NB-IoT";
+  }
+  return "?";
+}
+
+const char* mimo_mode_name(MimoMode mode) {
+  switch (mode) {
+    case MimoMode::kClosedLoop2x2: return "CL-2x2";
+    case MimoMode::kOpenLoop2x2: return "OL-2x2";
+    case MimoMode::k4x4: return "4x4";
+  }
+  return "?";
+}
+
+const char* terrain_name(Terrain terrain) {
+  switch (terrain) {
+    case Terrain::kFlat: return "flat";
+    case Terrain::kMountain: return "mountain";
+    case Terrain::kDenseHighRise: return "high-rise";
+  }
+  return "?";
+}
+
+const char* timezone_name(Timezone timezone) {
+  switch (timezone) {
+    case Timezone::kEastern: return "Eastern";
+    case Timezone::kCentral: return "Central";
+    case Timezone::kMountain: return "Mountain";
+    case Timezone::kPacific: return "Pacific";
+  }
+  return "?";
+}
+
+std::vector<CarrierId> Topology::carriers_in_market(MarketId market) const {
+  std::vector<CarrierId> out;
+  for (const Carrier& c : carriers) {
+    if (c.market == market) out.push_back(c.id);
+  }
+  return out;
+}
+
+std::size_t Topology::enodeb_count_in_market(MarketId market) const {
+  std::size_t count = 0;
+  for (const ENodeB& e : enodebs) {
+    if (e.market == market) ++count;
+  }
+  return count;
+}
+
+std::vector<CarrierId> Topology::neighborhood_hops(CarrierId id, int hops) const {
+  if (hops < 1) throw std::invalid_argument("neighborhood_hops: hops must be >= 1");
+  std::unordered_set<CarrierId> seen{id};
+  std::vector<CarrierId> frontier{id};
+  std::vector<CarrierId> out;
+  for (int h = 0; h < hops; ++h) {
+    std::vector<CarrierId> next;
+    for (CarrierId f : frontier) {
+      for (CarrierId n : neighborhood(f)) {
+        if (seen.insert(n).second) {
+          next.push_back(n);
+          out.push_back(n);
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Topology::finalize_edges() {
+  edges.clear();
+  edge_offsets.assign(carriers.size() + 1, 0);
+  for (auto& list : neighbors) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  if (site_neighbors.size() != enodebs.size()) site_neighbors.assign(enodebs.size(), {});
+  for (auto& list : site_neighbors) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  for (std::size_t c = 0; c < neighbors.size(); ++c) {
+    edge_offsets[c] = edges.size();
+    for (CarrierId n : neighbors[c]) {
+      edges.push_back({static_cast<CarrierId>(c), n});
+    }
+  }
+  edge_offsets[carriers.size()] = edges.size();
+  // Keep the dynamic "neighbors on same eNodeB" attribute in sync.
+  for (Carrier& c : carriers) {
+    int same = 0;
+    for (CarrierId n : neighbors[static_cast<std::size_t>(c.id)]) {
+      if (carrier(n).enodeb == c.enodeb) ++same;
+    }
+    c.neighbors_same_enodeb = same;
+  }
+}
+
+void Topology::check_invariants() const {
+  for (std::size_t i = 0; i < carriers.size(); ++i) {
+    const Carrier& c = carriers[i];
+    if (c.id != static_cast<CarrierId>(i)) throw std::logic_error("carrier ids not dense");
+    if (c.enodeb < 0 || static_cast<std::size_t>(c.enodeb) >= enodebs.size()) {
+      throw std::logic_error("carrier references unknown eNodeB");
+    }
+    if (c.face < 0 || c.face > 2) throw std::logic_error("carrier face out of range");
+    if (c.market < 0 || static_cast<std::size_t>(c.market) >= markets.size()) {
+      throw std::logic_error("carrier references unknown market");
+    }
+  }
+  for (std::size_t i = 0; i < enodebs.size(); ++i) {
+    const ENodeB& e = enodebs[i];
+    if (e.id != static_cast<ENodeBId>(i)) throw std::logic_error("eNodeB ids not dense");
+    if (e.faces.size() != 3) throw std::logic_error("eNodeB must have exactly 3 faces");
+    std::size_t face_total = 0;
+    for (const auto& face : e.faces) {
+      face_total += face.size();
+      for (CarrierId c : face) {
+        if (carrier(c).enodeb != e.id) throw std::logic_error("face carrier not on eNodeB");
+      }
+    }
+    if (face_total != e.carriers.size()) throw std::logic_error("face/carrier list mismatch");
+  }
+  if (neighbors.size() != carriers.size()) throw std::logic_error("neighbor list size mismatch");
+  for (std::size_t c = 0; c < neighbors.size(); ++c) {
+    if (!std::is_sorted(neighbors[c].begin(), neighbors[c].end())) {
+      throw std::logic_error("neighbor list not sorted");
+    }
+    for (CarrierId n : neighbors[c]) {
+      if (n == static_cast<CarrierId>(c)) throw std::logic_error("self loop in X2 graph");
+      if (n < 0 || static_cast<std::size_t>(n) >= carriers.size()) {
+        throw std::logic_error("X2 edge to unknown carrier");
+      }
+      // X2 relations are symmetric in LTE.
+      const auto& back = neighbors[static_cast<std::size_t>(n)];
+      if (!std::binary_search(back.begin(), back.end(), static_cast<CarrierId>(c))) {
+        throw std::logic_error("X2 graph not symmetric");
+      }
+    }
+  }
+  if (edge_offsets.size() != carriers.size() + 1) {
+    throw std::logic_error("edge_offsets size mismatch");
+  }
+  for (std::size_t c = 0; c < carriers.size(); ++c) {
+    if (edge_offsets[c + 1] - edge_offsets[c] != neighbors[c].size()) {
+      throw std::logic_error("edge_offsets inconsistent with neighbor lists");
+    }
+    for (std::size_t e = edge_offsets[c]; e < edge_offsets[c + 1]; ++e) {
+      if (edges[e].from != static_cast<CarrierId>(c)) {
+        throw std::logic_error("edge list from-id mismatch");
+      }
+    }
+  }
+}
+
+}  // namespace auric::netsim

@@ -1,0 +1,167 @@
+// The synthetic LTE radio access network: markets, eNodeBs (3 faces each),
+// carriers, and the X2 neighbor graph.
+//
+// This is the data-substrate substitution for the paper's proprietary AT&T
+// carrier inventory (DESIGN.md §2): the learners only ever consume carrier
+// attributes, configuration values and the X2 neighbor graph, all of which
+// this module provides with the statistical structure the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/geo.h"
+
+namespace auric::netsim {
+
+using CarrierId = std::int32_t;
+using ENodeBId = std::int32_t;
+using MarketId = std::int32_t;
+
+inline constexpr CarrierId kInvalidCarrier = -1;
+
+/// LTE frequency layer. Carrier layer management steers users HB -> MB -> LB
+/// (§2.1 of the paper).
+enum class Band : std::uint8_t { kLow = 0, kMid = 1, kHigh = 2 };
+
+/// Deployment environment of the serving area (Table 1 "Morphology").
+enum class Morphology : std::uint8_t { kUrban = 0, kSuburban = 1, kRural = 2 };
+
+/// Carrier service type (Table 1 "Carrier type").
+enum class CarrierType : std::uint8_t { kStandard = 0, kFirstNet = 1, kNbIot = 2 };
+
+/// Downlink MIMO configuration (Table 1 "Downlink MIMO mode").
+enum class MimoMode : std::uint8_t { kClosedLoop2x2 = 0, kOpenLoop2x2 = 1, k4x4 = 2 };
+
+/// Terrain class of the site. This attribute is deliberately NOT part of the
+/// learner-visible schema (netsim::AttributeSchema): it models the "missing
+/// carrier attribute — e.g. terrain type and signal propagation" cause of
+/// mismatches reported in §4.3.3 of the paper.
+enum class Terrain : std::uint8_t { kFlat = 0, kMountain = 1, kDenseHighRise = 2 };
+
+const char* band_name(Band band);
+const char* morphology_name(Morphology morphology);
+const char* carrier_type_name(CarrierType type);
+const char* mimo_mode_name(MimoMode mode);
+const char* terrain_name(Terrain terrain);
+
+/// US timezone of a market (Table 3 reports one deep-dive market per zone).
+enum class Timezone : std::uint8_t { kEastern = 0, kCentral = 1, kMountain = 2, kPacific = 3 };
+
+const char* timezone_name(Timezone timezone);
+
+struct Market {
+  MarketId id = 0;
+  std::string name;
+  Timezone timezone = Timezone::kEastern;
+  GeoPoint center;
+  /// Relative deployment density (drives eNodeB count; market 3 in Table 3
+  /// is roughly twice the size of the other deep-dive markets).
+  double size_multiplier = 1.0;
+};
+
+/// One carrier (radio channel) on one face of one eNodeB, carrying the full
+/// attribute set of Table 1.
+struct Carrier {
+  CarrierId id = kInvalidCarrier;
+  ENodeBId enodeb = -1;
+  MarketId market = 0;
+  int face = 0;  // 0..2, azimuth face*120 degrees
+
+  // --- Static attributes (Table 1) ---
+  int frequency_mhz = 0;         // e.g. 700, 1900
+  Band band = Band::kLow;        // derived layer of frequency_mhz
+  CarrierType type = CarrierType::kStandard;
+  int carrier_info = 0;          // e.g. 0=plain, 1=5G-colocated, 2=border
+  Morphology morphology = Morphology::kUrban;
+  int bandwidth_mhz = 10;        // downlink channel bandwidth
+  MimoMode mimo = MimoMode::kClosedLoop2x2;
+  int hardware = 0;              // remote radio head model index (RRH1, RRH2, ...)
+  int cell_size_miles = 2;       // expected cell size, quantized
+  int tracking_area_code = 0;
+  int vendor = 0;                // VendorA/B/C
+  int neighbor_channel = 0;      // dominant overlapping channel number
+
+  // --- Dynamic attributes (Table 1) ---
+  int neighbors_same_enodeb = 0;  // filled in after X2 construction
+  int software_version = 0;       // RAN release index (RAN20Q1 = 0, ...)
+
+  // --- Hidden ground-truth state (never exposed to learners) ---
+  Terrain terrain = Terrain::kFlat;
+
+  GeoPoint location;  // site location (same for all carriers of an eNodeB)
+};
+
+struct ENodeB {
+  ENodeBId id = -1;
+  MarketId market = 0;
+  GeoPoint location;
+  Morphology morphology = Morphology::kUrban;
+  Terrain terrain = Terrain::kFlat;
+  /// Carriers grouped by face; faces[f] lists carrier ids on face f.
+  std::vector<std::vector<CarrierId>> faces;
+  /// All carrier ids on this eNodeB (flattened faces).
+  std::vector<CarrierId> carriers;
+};
+
+/// A directed X2 neighbor relation (j, k): carrier k is a handover neighbor
+/// of carrier j. Pair-wise configuration parameters Y_{j,k} live on these.
+struct X2Edge {
+  CarrierId from = kInvalidCarrier;
+  CarrierId to = kInvalidCarrier;
+};
+
+class Topology {
+ public:
+  std::vector<Market> markets;
+  std::vector<ENodeB> enodebs;
+  std::vector<Carrier> carriers;
+
+  /// neighbors[c] = sorted X2 neighbor carrier ids of carrier c.
+  std::vector<std::vector<CarrierId>> neighbors;
+
+  /// site_neighbors[e] = sorted adjacent eNodeB ids (the sites eNodeB e has
+  /// inter-site X2 relations with). Used for geographic clustering (local
+  /// tuning pockets in the ground-truth model).
+  std::vector<std::vector<ENodeBId>> site_neighbors;
+
+  /// Flattened directed edge list, ordered by (from, to). Pair-wise
+  /// configuration values are indexed by position in this list.
+  std::vector<X2Edge> edges;
+
+  /// edge_offsets[c] .. edge_offsets[c+1] indexes `edges` rows with from==c.
+  std::vector<std::size_t> edge_offsets;
+
+  std::size_t carrier_count() const { return carriers.size(); }
+  std::size_t edge_count() const { return edges.size(); }
+
+  const Carrier& carrier(CarrierId id) const { return carriers[static_cast<std::size_t>(id)]; }
+  const ENodeB& enodeb_of(const Carrier& c) const {
+    return enodebs[static_cast<std::size_t>(c.enodeb)];
+  }
+
+  /// Carrier ids belonging to `market`, in id order.
+  std::vector<CarrierId> carriers_in_market(MarketId market) const;
+
+  /// eNodeB count in `market`.
+  std::size_t enodeb_count_in_market(MarketId market) const;
+
+  /// 1-hop X2 neighborhood of `id` (its neighbors; excludes `id` itself).
+  const std::vector<CarrierId>& neighborhood(CarrierId id) const {
+    return neighbors[static_cast<std::size_t>(id)];
+  }
+
+  /// Carriers within `hops` X2 hops of `id` (excludes `id`). hops >= 1.
+  std::vector<CarrierId> neighborhood_hops(CarrierId id, int hops) const;
+
+  /// Rebuilds edges/edge_offsets/neighbors bookkeeping from `neighbors`.
+  /// Called by the generator; exposed for tests that hand-build topologies.
+  void finalize_edges();
+
+  /// Validates internal invariants (ids dense, edges sorted, neighbor lists
+  /// symmetric-free of self loops, faces populated). Throws on violation.
+  void check_invariants() const;
+};
+
+}  // namespace auric::netsim

@@ -1,0 +1,184 @@
+#include "smartlaunch/controller.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/rng.h"
+
+namespace auric::smartlaunch {
+
+using config::CarrierConfig;
+using config::MoSetting;
+using config::ValueIndex;
+using config::cell_mo_path;
+using config::cell_relation_mo_path;
+using config::freq_relation_mo_path;
+
+std::vector<SlotRef> applicable_slots(const netsim::Topology& topology,
+                                      const config::ParamCatalog& catalog,
+                                      const config::ConfigAssignment& assignment,
+                                      netsim::CarrierId carrier) {
+  std::vector<SlotRef> slots;
+  const netsim::Carrier& c = topology.carrier(carrier);
+
+  const auto& singular_ids = catalog.singular_ids();
+  for (std::size_t si = 0; si < singular_ids.size(); ++si) {
+    const auto entity = static_cast<std::size_t>(carrier);
+    if (assignment.singular[si].value[entity] == config::kUnset) continue;
+    slots.push_back({singular_ids[si], entity, netsim::kInvalidCarrier, cell_mo_path(c)});
+  }
+
+  const auto& pairwise_ids = catalog.pairwise_ids();
+  const std::size_t begin = topology.edge_offsets[static_cast<std::size_t>(carrier)];
+  const std::size_t end = topology.edge_offsets[static_cast<std::size_t>(carrier) + 1];
+  for (std::size_t e = begin; e < end; ++e) {
+    const netsim::Carrier& neighbor = topology.carrier(topology.edges[e].to);
+    for (std::size_t pi = 0; pi < pairwise_ids.size(); ++pi) {
+      if (assignment.pairwise[pi].value[e] == config::kUnset) continue;
+      const config::ParamDef& def = catalog.at(pairwise_ids[pi]);
+      slots.push_back({pairwise_ids[pi], e, neighbor.id,
+                       def.scope == config::PairScope::kPerEdge
+                           ? cell_relation_mo_path(c, neighbor)
+                           : freq_relation_mo_path(c, neighbor)});
+    }
+  }
+  return slots;
+}
+
+LaunchController::LaunchController(const core::AuricEngine& engine,
+                                   const config::Rulebook& rulebook,
+                                   const config::ConfigAssignment& assignment,
+                                   VendorFaultOptions vendor_faults, PushPolicy push_policy,
+                                   std::uint64_t seed)
+    : engine_(&engine),
+      rulebook_(&rulebook),
+      assignment_(&assignment),
+      vendor_faults_(vendor_faults),
+      push_policy_(push_policy),
+      seed_(seed) {}
+
+CarrierConfig LaunchController::slots_to_config(
+    netsim::CarrierId carrier,
+    const std::function<ValueIndex(const SlotRef&)>& value_of) const {
+  CarrierConfig out;
+  out.carrier = carrier;
+  for (const SlotRef& slot : applicable_slots(engine_->topology(), engine_->catalog(),
+                                              *assignment_, carrier)) {
+    const ValueIndex value = value_of(slot);
+    if (value == config::kUnset) continue;
+    out.settings.push_back({slot.mo_path, slot.param, value});
+  }
+  config::canonicalize(out);
+  return out;
+}
+
+namespace {
+
+/// Intended value of a slot (the engineering-practice target).
+ValueIndex intended_of(const config::ParamCatalog& catalog,
+                       const config::ConfigAssignment& assignment, const SlotRef& slot) {
+  const config::ParamDef& def = catalog.at(slot.param);
+  const auto& ids = def.kind == config::ParamKind::kSingular ? catalog.singular_ids()
+                                                             : catalog.pairwise_ids();
+  const std::size_t pos =
+      static_cast<std::size_t>(std::find(ids.begin(), ids.end(), slot.param) - ids.begin());
+  const config::ParamColumn& col = def.kind == config::ParamKind::kSingular
+                                       ? assignment.singular[pos]
+                                       : assignment.pairwise[pos];
+  return col.intended[slot.entity];
+}
+
+}  // namespace
+
+namespace {
+
+/// The vendor's value for one slot, with faults injected deterministically.
+ValueIndex vendor_value_of(const netsim::Topology& topology,
+                           const config::ParamCatalog& catalog,
+                           const config::ConfigAssignment& assignment,
+                           const config::Rulebook& rulebook,
+                           const VendorFaultOptions& faults, std::uint64_t seed,
+                           netsim::CarrierId carrier, const SlotRef& slot) {
+  const netsim::Carrier& c = topology.carrier(carrier);
+  const bool stale_template =
+      static_cast<double>(
+          util::hash_combine({seed, 0x57A1EULL, static_cast<std::uint64_t>(carrier)}) >> 11) *
+          0x1.0p-53 <
+      faults.stale_template_prob;
+  const std::uint64_t slot_hash = util::hash_combine(
+      {seed, 0xF4B1ULL, static_cast<std::uint64_t>(carrier),
+       static_cast<std::uint64_t>(slot.param), static_cast<std::uint64_t>(slot.entity)});
+  const double u = static_cast<double>(slot_hash >> 11) * 0x1.0p-53;
+
+  if (stale_template && u < faults.stale_slot_frac) {
+    // Out-of-date template: the codified rule-book value, which misses the
+    // market team's newer tuning.
+    return slot.neighbor == netsim::kInvalidCarrier
+               ? rulebook.lookup(slot.param, c)
+               : rulebook.lookup(slot.param, c, topology.carrier(slot.neighbor));
+  }
+  ValueIndex value = intended_of(catalog, assignment, slot);
+  if (u > 1.0 - faults.typo_prob) {
+    // Data-entry typo: off by one tuning step.
+    const config::ParamDef& def = catalog.at(slot.param);
+    const int step_scale = std::max(1, def.domain.size() / 48);
+    value = def.domain.clamp(static_cast<std::int64_t>(value) +
+                             ((slot_hash >> 60) & 1 ? step_scale : -step_scale));
+  }
+  return value;
+}
+
+}  // namespace
+
+CarrierConfig LaunchController::vendor_config(netsim::CarrierId carrier) const {
+  return slots_to_config(carrier, [&](const SlotRef& slot) {
+    return vendor_value_of(engine_->topology(), engine_->catalog(), *assignment_, *rulebook_,
+                           vendor_faults_, seed_, carrier, slot);
+  });
+}
+
+std::vector<LaunchController::PlannedChange> LaunchController::plan_changes_detailed(
+    netsim::CarrierId carrier, std::vector<PlannedChange>* vendor) const {
+  std::vector<PlannedChange> changes;
+  for (const SlotRef& slot : applicable_slots(engine_->topology(), engine_->catalog(),
+                                              *assignment_, carrier)) {
+    const ValueIndex from_vendor =
+        vendor_value_of(engine_->topology(), engine_->catalog(), *assignment_, *rulebook_,
+                        vendor_faults_, seed_, carrier, slot);
+    if (vendor != nullptr) vendor->push_back({slot, from_vendor, from_vendor});
+    const core::Recommendation rec =
+        engine_->recommend(slot.param, carrier, slot.neighbor, /*exclude_self=*/true);
+    if (rec.source == core::RecommendationSource::kRulebookDefault) continue;
+    if (rec.support < push_policy_.min_support || rec.votes < push_policy_.min_votes) continue;
+    if (rec.value == from_vendor) continue;
+    changes.push_back({slot, from_vendor, rec.value});
+  }
+  return changes;
+}
+
+CarrierConfig LaunchController::intent_config(netsim::CarrierId carrier) const {
+  return slots_to_config(carrier, [&](const SlotRef& slot) {
+    return intended_of(engine_->catalog(), *assignment_, slot);
+  });
+}
+
+CarrierConfig LaunchController::auric_config(netsim::CarrierId carrier) const {
+  return slots_to_config(carrier, [&](const SlotRef& slot) {
+    const core::Recommendation rec =
+        engine_->recommend(slot.param, carrier, slot.neighbor, /*exclude_self=*/true);
+    // Only strongly vote-backed recommendations are push candidates: default
+    // fallbacks carry no information the vendor config lacks, and thin or
+    // contested votes do not justify touching a carrier (PushPolicy).
+    if (rec.source == core::RecommendationSource::kRulebookDefault) return config::kUnset;
+    if (rec.support < push_policy_.min_support || rec.votes < push_policy_.min_votes) {
+      return config::kUnset;
+    }
+    return rec.value;
+  });
+}
+
+std::vector<MoSetting> LaunchController::plan_changes(netsim::CarrierId carrier) const {
+  return config::diff_config(vendor_config(carrier), auric_config(carrier));
+}
+
+}  // namespace auric::smartlaunch

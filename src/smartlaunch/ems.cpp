@@ -1,0 +1,71 @@
+#include "smartlaunch/ems.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace auric::smartlaunch {
+
+const char* push_status_name(PushStatus status) {
+  switch (status) {
+    case PushStatus::kApplied: return "applied";
+    case PushStatus::kRejectedUnlocked: return "rejected-unlocked";
+    case PushStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+EmsSimulator::EmsSimulator(std::size_t carrier_count, EmsOptions options)
+    : options_(options),
+      states_(carrier_count, CarrierState::kLocked),
+      fault_stream_(options.seed) {}
+
+CarrierState EmsSimulator::state(netsim::CarrierId carrier) const {
+  return states_.at(static_cast<std::size_t>(carrier));
+}
+
+void EmsSimulator::lock(netsim::CarrierId carrier) {
+  auto& state = states_.at(static_cast<std::size_t>(carrier));
+  if (state == CarrierState::kUnlocked) ++lock_cycles_;
+  state = CarrierState::kLocked;
+}
+
+void EmsSimulator::unlock(netsim::CarrierId carrier) {
+  states_.at(static_cast<std::size_t>(carrier)) = CarrierState::kUnlocked;
+}
+
+void EmsSimulator::unlock_out_of_band(netsim::CarrierId carrier) { unlock(carrier); }
+
+PushResult EmsSimulator::push(netsim::CarrierId carrier,
+                              const std::vector<config::MoSetting>& settings) {
+  PushResult result;
+  if (state(carrier) != CarrierState::kLocked) {
+    result.status = PushStatus::kRejectedUnlocked;
+    return result;
+  }
+  if (settings.empty()) return result;
+
+  // Commands execute in waves of `concurrency`.
+  const auto waves =
+      (settings.size() + static_cast<std::size_t>(options_.concurrency) - 1) /
+      static_cast<std::size_t>(options_.concurrency);
+  const double needed_ms = static_cast<double>(waves) * options_.command_ms;
+
+  const double fault_draw =
+      static_cast<double>(util::splitmix64(fault_stream_) >> 11) * 0x1.0p-53;
+  if (needed_ms > options_.deadline_ms || fault_draw < options_.flaky_timeout_prob) {
+    // Partial application up to the deadline; remaining settings are lost.
+    const auto waves_done = static_cast<std::size_t>(options_.deadline_ms / options_.command_ms);
+    result.status = PushStatus::kTimeout;
+    result.applied = std::min(settings.size(),
+                              waves_done * static_cast<std::size_t>(options_.concurrency));
+    result.elapsed_ms = options_.deadline_ms;
+    return result;
+  }
+
+  result.applied = settings.size();
+  result.elapsed_ms = needed_ms;
+  return result;
+}
+
+}  // namespace auric::smartlaunch

@@ -1,0 +1,82 @@
+// Element Management System (EMS) simulator.
+//
+// §5 of the paper: configuration reaches the base-station hardware through
+// the vendor's EMS, which (a) only allows certain parameter changes while
+// the carrier is locked (off-air), and (b) limits how many concurrent
+// parameter executions a push can use, so very large change sets time out.
+// Engineers can also unlock carriers out-of-band ("prematurely"), at which
+// point the controller must refuse to push to avoid service disruption.
+//
+// The simulator models carrier lock state, per-command execution cost
+// against a concurrency budget, deterministic fault injection for flaky
+// executions, and an out-of-band unlock hook.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "config/managed_object.h"
+#include "netsim/topology.h"
+
+namespace auric::smartlaunch {
+
+enum class CarrierState : std::uint8_t { kLocked = 0, kUnlocked = 1 };
+
+enum class PushStatus : std::uint8_t {
+  kApplied = 0,          ///< all settings written
+  kRejectedUnlocked,     ///< carrier was unlocked; push refused
+  kTimeout,              ///< execution exceeded the EMS time budget
+};
+
+const char* push_status_name(PushStatus status);
+
+struct PushResult {
+  PushStatus status = PushStatus::kApplied;
+  std::size_t applied = 0;   ///< settings written before completion/abort
+  double elapsed_ms = 0.0;   ///< simulated execution time
+};
+
+struct EmsOptions {
+  /// Per-setting execution time (vendor CLI round trip).
+  double command_ms = 180.0;
+  /// Concurrent executions the EMS grants one push.
+  int concurrency = 4;
+  /// Push deadline; command_count/concurrency * command_ms above this aborts
+  /// with kTimeout ("our setup based on EMS restrictions limited us in how
+  /// many concurrent executions of parameters were supported", §5).
+  double deadline_ms = 1500.0;
+  /// Probability a push hits a transient EMS fault and times out anyway.
+  double flaky_timeout_prob = 0.06;
+  std::uint64_t seed = 99;
+};
+
+class EmsSimulator {
+ public:
+  /// All carriers start locked (newly integrated, not yet on air).
+  EmsSimulator(std::size_t carrier_count, EmsOptions options = {});
+
+  CarrierState state(netsim::CarrierId carrier) const;
+
+  /// Locking an unlocked carrier is the disruptive reboot-equivalent
+  /// operation the paper avoids; the simulator allows it but counts it.
+  void lock(netsim::CarrierId carrier);
+  void unlock(netsim::CarrierId carrier);
+
+  /// Out-of-band unlock (engineer bypassing the pipeline). Same effect as
+  /// unlock(); kept separate so tests and the pipeline can distinguish it.
+  void unlock_out_of_band(netsim::CarrierId carrier);
+
+  /// Pushes a change set to a carrier. Refused unless the carrier is locked.
+  PushResult push(netsim::CarrierId carrier, const std::vector<config::MoSetting>& settings);
+
+  std::size_t lock_cycles() const { return lock_cycles_; }
+
+ private:
+  EmsOptions options_;
+  std::vector<CarrierState> states_;
+  std::size_t lock_cycles_ = 0;
+  std::uint64_t fault_stream_;
+};
+
+}  // namespace auric::smartlaunch

@@ -1,0 +1,42 @@
+// Simple service-KPI model for post-checks and the §6 performance-feedback
+// extension.
+//
+// The paper monitors data throughput and voice call admissions after
+// configuration changes. We model a carrier's service quality as a score in
+// [0, 1] that degrades with the configured values' distance from the
+// engineering-intent values: intent is, by construction of the ground-truth
+// model, the configuration the engineers converged to for best performance.
+#pragma once
+
+#include <vector>
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "netsim/topology.h"
+
+namespace auric::smartlaunch {
+
+struct KpiOptions {
+  /// Quality penalty per step-scale unit of deviation on one parameter.
+  double penalty_per_deviation = 0.02;
+  /// Floor so even badly misconfigured carriers keep a positive score.
+  double min_quality = 0.1;
+};
+
+class KpiModel {
+ public:
+  KpiModel(const netsim::Topology& topology, const config::ParamCatalog& catalog,
+           const config::ConfigAssignment& assignment, KpiOptions options = {});
+
+  /// Quality score of `carrier` under its current configuration.
+  double quality(netsim::CarrierId carrier) const;
+
+  /// Quality scores for every carrier (voting weights for the
+  /// performance-feedback extension).
+  const std::vector<double>& all_qualities() const { return quality_; }
+
+ private:
+  std::vector<double> quality_;
+};
+
+}  // namespace auric::smartlaunch

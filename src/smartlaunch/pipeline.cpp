@@ -1,0 +1,88 @@
+#include "smartlaunch/pipeline.h"
+
+#include "util/rng.h"
+
+namespace auric::smartlaunch {
+
+const char* launch_outcome_name(LaunchOutcome outcome) {
+  switch (outcome) {
+    case LaunchOutcome::kNoChangeNeeded: return "no-change";
+    case LaunchOutcome::kImplemented: return "implemented";
+    case LaunchOutcome::kFalloutUnlocked: return "fallout-unlocked";
+    case LaunchOutcome::kFalloutTimeout: return "fallout-timeout";
+  }
+  return "?";
+}
+
+SmartLaunchPipeline::SmartLaunchPipeline(const LaunchController& controller, EmsSimulator& ems,
+                                         const KpiModel& kpi, PipelineOptions options)
+    : controller_(&controller), ems_(&ems), kpi_(&kpi), options_(options) {}
+
+LaunchRecord SmartLaunchPipeline::launch(netsim::CarrierId carrier) {
+  LaunchRecord record;
+  record.carrier = carrier;
+
+  // Pre-check: the carrier must be integrated and still locked.
+  ems_->lock(carrier);
+
+  // Auric configuration step: diff the recommendation against the vendor's
+  // initial configuration; only mismatches are pushed.
+  const std::vector<config::MoSetting> changes = controller_->plan_changes(carrier);
+  record.changes_planned = changes.size();
+
+  if (!changes.empty()) {
+    // Fall-out mode (a): an engineer unlocked the carrier through an
+    // off-band interface; pushing now would disrupt live traffic, so the
+    // controller refuses (§5).
+    const double u = static_cast<double>(
+                         util::hash_combine({options_.seed, 0x0B0BULL,
+                                             static_cast<std::uint64_t>(carrier)}) >>
+                         11) *
+                     0x1.0p-53;
+    if (u < options_.premature_unlock_prob) {
+      ems_->unlock_out_of_band(carrier);
+    }
+
+    const PushResult push = ems_->push(carrier, changes);
+    record.changes_applied = push.applied;
+    switch (push.status) {
+      case PushStatus::kApplied:
+        record.outcome = LaunchOutcome::kImplemented;
+        break;
+      case PushStatus::kRejectedUnlocked:
+        record.outcome = LaunchOutcome::kFalloutUnlocked;
+        break;
+      case PushStatus::kTimeout:
+        record.outcome = LaunchOutcome::kFalloutTimeout;
+        break;
+    }
+  }
+
+  // Unlock and post-check KPIs.
+  ems_->unlock(carrier);
+  record.post_quality = kpi_->quality(carrier);
+  return record;
+}
+
+SmartLaunchReport SmartLaunchPipeline::run(std::span<const netsim::CarrierId> carriers) {
+  SmartLaunchReport report;
+  report.records.reserve(carriers.size());
+  for (netsim::CarrierId carrier : carriers) {
+    const LaunchRecord record = launch(carrier);
+    ++report.launches;
+    if (record.changes_planned > 0) ++report.change_recommended;
+    switch (record.outcome) {
+      case LaunchOutcome::kImplemented:
+        ++report.implemented;
+        report.parameters_changed += record.changes_applied;
+        break;
+      case LaunchOutcome::kFalloutUnlocked: ++report.fallout_unlocked; break;
+      case LaunchOutcome::kFalloutTimeout: ++report.fallout_timeout; break;
+      case LaunchOutcome::kNoChangeNeeded: break;
+    }
+    report.records.push_back(record);
+  }
+  return report;
+}
+
+}  // namespace auric::smartlaunch

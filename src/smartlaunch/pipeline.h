@@ -1,0 +1,69 @@
+// The SmartLaunch pipeline (§5): pre-checks -> Auric configuration push ->
+// unlock -> post-checks, with the fall-out modes the paper reports
+// (premature out-of-band unlocks and EMS timeouts).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "smartlaunch/controller.h"
+#include "smartlaunch/ems.h"
+#include "smartlaunch/kpi.h"
+
+namespace auric::smartlaunch {
+
+enum class LaunchOutcome : std::uint8_t {
+  kNoChangeNeeded = 0,   ///< Auric agreed with the vendor configuration
+  kImplemented,          ///< changes pushed successfully before unlock
+  kFalloutUnlocked,      ///< engineer unlocked out-of-band; push refused
+  kFalloutTimeout,       ///< EMS timed out on the change set
+};
+
+const char* launch_outcome_name(LaunchOutcome outcome);
+
+struct LaunchRecord {
+  netsim::CarrierId carrier = netsim::kInvalidCarrier;
+  LaunchOutcome outcome = LaunchOutcome::kNoChangeNeeded;
+  std::size_t changes_planned = 0;
+  std::size_t changes_applied = 0;
+  double post_quality = 1.0;  ///< post-check KPI score
+};
+
+/// Table 5 aggregate.
+struct SmartLaunchReport {
+  std::size_t launches = 0;
+  std::size_t change_recommended = 0;  ///< carriers with >= 1 planned change
+  std::size_t implemented = 0;
+  std::size_t fallout_unlocked = 0;
+  std::size_t fallout_timeout = 0;
+  std::size_t parameters_changed = 0;  ///< settings applied on implemented carriers
+  std::vector<LaunchRecord> records;
+};
+
+struct PipelineOptions {
+  /// Probability an engineer unlocks the carrier out-of-band before the
+  /// controller gets to push (fall-out reason (a) of §5).
+  double premature_unlock_prob = 0.14;
+  std::uint64_t seed = 31337;
+};
+
+class SmartLaunchPipeline {
+ public:
+  SmartLaunchPipeline(const LaunchController& controller, EmsSimulator& ems,
+                      const KpiModel& kpi, PipelineOptions options = {});
+
+  /// Launches one carrier through pre-check -> push -> unlock -> post-check.
+  LaunchRecord launch(netsim::CarrierId carrier);
+
+  /// Launches a batch and aggregates the Table 5 counters.
+  SmartLaunchReport run(std::span<const netsim::CarrierId> carriers);
+
+ private:
+  const LaunchController* controller_;
+  EmsSimulator* ems_;
+  const KpiModel* kpi_;
+  PipelineOptions options_;
+};
+
+}  // namespace auric::smartlaunch

@@ -1,0 +1,198 @@
+#include "smartlaunch/replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/engine.h"
+#include "smartlaunch/kpi.h"
+#include "util/rng.h"
+
+namespace auric::smartlaunch {
+
+OperationReplay::OperationReplay(const netsim::Topology& topology,
+                                 const netsim::AttributeSchema& schema,
+                                 const config::ParamCatalog& catalog,
+                                 const config::GroundTruthModel& ground_truth,
+                                 config::ConfigAssignment assignment, ReplayOptions options)
+    : topology_(&topology),
+      schema_(&schema),
+      catalog_(&catalog),
+      ground_truth_(&ground_truth),
+      state_(std::move(assignment)),
+      options_(options) {}
+
+void OperationReplay::apply_slot(const SlotRef& slot, config::ValueIndex value) {
+  const config::ParamDef& def = catalog_->at(slot.param);
+  const bool pairwise = def.kind == config::ParamKind::kPairwise;
+  const auto& ids = pairwise ? catalog_->pairwise_ids() : catalog_->singular_ids();
+  const std::size_t pos =
+      static_cast<std::size_t>(std::find(ids.begin(), ids.end(), slot.param) - ids.begin());
+  config::ParamColumn& col = pairwise ? state_.pairwise[pos] : state_.singular[pos];
+  col.value[slot.entity] = value;
+  // Intent is unchanged: the launch config is what the network RUNS, not
+  // what engineering ultimately wants; cause tracking is reset to neutral.
+  col.cause[slot.entity] = config::Cause::kDefault;
+}
+
+namespace {
+
+/// Quality of one carrier under `state` — same math as KpiModel, computed
+/// over the carrier's own slots only (KpiModel scans the whole network,
+/// which would be quadratic across a launch stream).
+double carrier_quality(const netsim::Topology& topology, const config::ParamCatalog& catalog,
+                       const config::ConfigAssignment& state, netsim::CarrierId carrier,
+                       const KpiOptions& options = {}) {
+  double quality = 1.0;
+  const auto penalize = [&](const config::ParamColumn& col, const config::ParamDef& def,
+                            std::size_t slot) {
+    if (col.value[slot] == config::kUnset || col.value[slot] == col.intended[slot]) return;
+    const int step_scale = std::max(1, def.domain.size() / 48);
+    const double deviation = std::fabs(static_cast<double>(col.value[slot] - col.intended[slot])) /
+                             static_cast<double>(step_scale);
+    quality -= options.penalty_per_deviation * std::min(3.0, deviation);
+  };
+  for (std::size_t si = 0; si < state.singular.size(); ++si) {
+    penalize(state.singular[si], catalog.at(catalog.singular_ids()[si]),
+             static_cast<std::size_t>(carrier));
+  }
+  const std::size_t begin = topology.edge_offsets[static_cast<std::size_t>(carrier)];
+  const std::size_t end = topology.edge_offsets[static_cast<std::size_t>(carrier) + 1];
+  for (std::size_t pi = 0; pi < state.pairwise.size(); ++pi) {
+    const config::ParamDef& def = catalog.at(catalog.pairwise_ids()[pi]);
+    for (std::size_t e = begin; e < end; ++e) penalize(state.pairwise[pi], def, e);
+  }
+  return std::max(options.min_quality, quality);
+}
+
+}  // namespace
+
+double OperationReplay::mean_network_kpi() const {
+  const KpiModel kpi(*topology_, *catalog_, state_);
+  double total = 0.0;
+  for (double q : kpi.all_qualities()) total += q;
+  return total / static_cast<double>(topology_->carrier_count());
+}
+
+ReplayReport OperationReplay::run() {
+  ReplayReport report;
+  report.initial_network_kpi = mean_network_kpi();
+
+  // Launch order: a seeded shuffle; each carrier launches at most once.
+  util::Rng rng(options_.seed);
+  std::vector<netsim::CarrierId> queue;
+  queue.reserve(topology_->carrier_count());
+  for (std::size_t c = 0; c < topology_->carrier_count(); ++c) {
+    queue.push_back(static_cast<netsim::CarrierId>(c));
+  }
+  rng.shuffle(queue);
+  std::size_t cursor = 0;
+
+  EmsSimulator ems(topology_->carrier_count(), options_.ems);
+  const config::Rulebook rulebook(*ground_truth_, *catalog_);
+
+  // Engine + controller are rebuilt on the re-learn cadence so Auric keeps
+  // learning from the evolving network.
+  std::unique_ptr<core::AuricEngine> engine;
+  std::unique_ptr<LaunchController> controller;
+  const auto relearn = [&] {
+    engine = std::make_unique<core::AuricEngine>(*topology_, *schema_, *catalog_, state_);
+    controller = std::make_unique<LaunchController>(*engine, rulebook, state_,
+                                                    options_.vendor_faults,
+                                                    options_.push_policy, options_.seed);
+    ++report.engine_relearns;
+  };
+  relearn();
+
+  WeeklySummary week;
+  week.week = 1;
+  double week_quality = 0.0;
+  std::size_t week_quality_n = 0;
+  const auto flush_week = [&] {
+    week.mean_launched_kpi =
+        week_quality_n > 0 ? week_quality / static_cast<double>(week_quality_n) : 0.0;
+    report.weeks.push_back(week);
+    week = WeeklySummary{};
+    week.week = static_cast<int>(report.weeks.size()) + 1;
+    week_quality = 0.0;
+    week_quality_n = 0;
+  };
+
+  for (int day = 0; day < options_.days; ++day) {
+    if (day > 0 && day % options_.relearn_every_days == 0) relearn();
+
+    for (int l = 0; l < options_.launches_per_day && cursor < queue.size(); ++l) {
+      const netsim::CarrierId carrier = queue[cursor++];
+
+      // Vendor integration: the carrier goes on air with the vendor config
+      // plus whatever Auric corrections land before unlock.
+      std::vector<LaunchController::PlannedChange> vendor;
+      const std::vector<LaunchController::PlannedChange> changes =
+          controller->plan_changes_detailed(carrier, &vendor);
+
+      ++report.totals.launches;
+      ++week.launches;
+
+      ems.lock(carrier);
+      LaunchOutcome outcome = LaunchOutcome::kNoChangeNeeded;
+      std::size_t applied = 0;
+      if (!changes.empty()) {
+        ++report.totals.change_recommended;
+        ++week.change_recommended;
+        const double u =
+            static_cast<double>(util::hash_combine({options_.seed, 0x0B0BULL,
+                                                    static_cast<std::uint64_t>(carrier)}) >>
+                                11) *
+            0x1.0p-53;
+        if (u < options_.pipeline.premature_unlock_prob) ems.unlock_out_of_band(carrier);
+        std::vector<config::MoSetting> settings;
+        settings.reserve(changes.size());
+        for (const auto& change : changes) {
+          settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
+        }
+        const PushResult push = ems.push(carrier, settings);
+        applied = push.applied;
+        switch (push.status) {
+          case PushStatus::kApplied: outcome = LaunchOutcome::kImplemented; break;
+          case PushStatus::kRejectedUnlocked: outcome = LaunchOutcome::kFalloutUnlocked; break;
+          case PushStatus::kTimeout: outcome = LaunchOutcome::kFalloutTimeout; break;
+        }
+      }
+      ems.unlock(carrier);
+
+      // The network state evolves: vendor values everywhere, plus the
+      // corrections that actually landed (settings apply in order).
+      for (const auto& slot_value : vendor) apply_slot(slot_value.slot, slot_value.new_value);
+      for (std::size_t i = 0; i < applied && i < changes.size(); ++i) {
+        apply_slot(changes[i].slot, changes[i].new_value);
+      }
+
+      switch (outcome) {
+        case LaunchOutcome::kImplemented:
+          ++report.totals.implemented;
+          ++week.implemented;
+          report.totals.parameters_changed += applied;
+          week.parameters_changed += applied;
+          break;
+        case LaunchOutcome::kFalloutUnlocked:
+          ++report.totals.fallout_unlocked;
+          ++week.fallouts;
+          break;
+        case LaunchOutcome::kFalloutTimeout:
+          ++report.totals.fallout_timeout;
+          ++week.fallouts;
+          break;
+        case LaunchOutcome::kNoChangeNeeded: break;
+      }
+
+      // Post-check KPI of the launched carrier under the evolved state.
+      week_quality += carrier_quality(*topology_, *catalog_, state_, carrier);
+      ++week_quality_n;
+    }
+    if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
+  }
+
+  report.final_network_kpi = mean_network_kpi();
+  return report;
+}
+
+}  // namespace auric::smartlaunch

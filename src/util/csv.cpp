@@ -1,0 +1,47 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace auric::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& headers)
+    : out_(path), arity_(headers.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (row.size() != arity_) {
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  }
+  write_row(row);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace auric::util

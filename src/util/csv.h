@@ -1,0 +1,38 @@
+// CSV writer for exporting figure series (each bench can dump its series so
+// the paper's plots can be regenerated with any external plotting tool).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace auric::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& headers);
+
+  /// Appends one data row (quoted/escaped per RFC 4180 where needed).
+  void add_row(const std::vector<std::string>& row);
+
+  /// Flushes and closes; called by the destructor if not called explicitly.
+  void close();
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Escapes one CSV field (exposed for tests).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+
+  void write_row(const std::vector<std::string>& row);
+};
+
+}  // namespace auric::util

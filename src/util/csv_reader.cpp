@@ -1,0 +1,100 @@
+#include "util/csv_reader.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace auric::util {
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        throw std::invalid_argument("CSV: quote in the middle of an unquoted field");
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // tolerate CRLF line endings
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("CSV: unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+CsvTable CsvTable::parse(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) throw std::invalid_argument("CSV: missing header row");
+  table.headers_ = parse_csv_line(line);
+  for (std::size_t c = 0; c < table.headers_.size(); ++c) {
+    table.column_index_[table.headers_[c]] = c;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    auto fields = parse_csv_line(line);
+    if (fields.size() != table.headers_.size()) {
+      throw std::invalid_argument("CSV: row arity mismatch at data row " +
+                                  std::to_string(table.rows_.size() + 1));
+    }
+    table.rows_.push_back(std::move(fields));
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("CsvTable: cannot open " + path);
+  return parse(in);
+}
+
+const std::string& CsvTable::field(std::size_t row, const std::string& column) const {
+  const auto it = column_index_.find(column);
+  if (it == column_index_.end()) throw std::out_of_range("CSV: unknown column " + column);
+  return rows_.at(row).at(it->second);
+}
+
+long long CsvTable::field_int(std::size_t row, const std::string& column) const {
+  const std::string& raw = field(row, column);
+  try {
+    return std::stoll(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CSV: column " + column + " row " + std::to_string(row) +
+                                ": expected integer, got '" + raw + "'");
+  }
+}
+
+double CsvTable::field_double(std::size_t row, const std::string& column) const {
+  const std::string& raw = field(row, column);
+  try {
+    return std::stod(raw);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CSV: column " + column + " row " + std::to_string(row) +
+                                ": expected number, got '" + raw + "'");
+  }
+}
+
+bool CsvTable::has_column(const std::string& column) const {
+  return column_index_.find(column) != column_index_.end();
+}
+
+}  // namespace auric::util

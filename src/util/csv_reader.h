@@ -1,0 +1,49 @@
+// RFC-4180-style CSV parsing, the inverse of CsvWriter.
+//
+// Used by the io module to load network inventories and configuration
+// snapshots produced by export (or by an operator's own tooling).
+#pragma once
+
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace auric::util {
+
+/// Splits one CSV record into fields, honoring double-quote quoting and
+/// doubled-quote escapes. Throws std::invalid_argument on malformed quoting.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// A fully parsed CSV file with a header row.
+class CsvTable {
+ public:
+  /// Parses from a stream. Requires a header row; data rows must match its
+  /// arity. Empty trailing lines are ignored.
+  static CsvTable parse(std::istream& in);
+
+  /// Convenience: opens and parses `path`; throws std::runtime_error if the
+  /// file cannot be read.
+  static CsvTable load(const std::string& path);
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Field of row `row` in the column named `column`; throws
+  /// std::out_of_range for unknown columns.
+  const std::string& field(std::size_t row, const std::string& column) const;
+
+  /// Typed accessors with error context in exceptions.
+  long long field_int(std::size_t row, const std::string& column) const;
+  double field_double(std::size_t row, const std::string& column) const;
+
+  /// True when the table has a column of this name.
+  bool has_column(const std::string& column) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::map<std::string, std::size_t> column_index_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace auric::util

@@ -1,0 +1,26 @@
+// Leveled stderr logging with wall-clock timestamps.
+//
+// Kept intentionally tiny: benches and tests want a way to note progress on
+// long runs without polluting the stdout report stream.
+#pragma once
+
+#include <string>
+
+namespace auric::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void set_log_level(LogLevel level);
+
+LogLevel log_level();
+
+/// Core sink; prefer the level helpers below.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace auric::util

@@ -1,0 +1,60 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace auric::util {
+
+namespace {
+std::atomic<std::size_t> g_workers{0};  // 0 = use hardware default
+}
+
+std::size_t worker_count() {
+  const std::size_t forced = g_workers.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void set_worker_count(std::size_t workers) {
+  g_workers.store(workers, std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const std::size_t workers = worker_count();
+  if (n == 0) return;
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  const std::size_t thread_count = workers < n ? workers : n;
+  std::vector<std::exception_ptr> errors(thread_count);
+  std::vector<std::thread> pool;
+  pool.reserve(thread_count);
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        // Dynamic work stealing over single indices: per-parameter work is
+        // highly uneven (domain sizes differ by 100x), so static chunking
+        // would idle workers.
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          fn(i);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+        // Drain remaining indices so siblings finish promptly.
+        next.store(n);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace auric::util

@@ -1,0 +1,27 @@
+// parallel_for over an index range.
+//
+// The evaluation harness is embarrassingly parallel across configuration
+// parameters; this helper chunks [0, n) over a bounded set of worker
+// threads. On a single-core host (our CI box) it degrades to a plain serial
+// loop with zero thread overhead, so results are deterministic either way —
+// callers must still ensure per-index work is independent.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace auric::util {
+
+/// Number of workers parallel_for will use (>= 1).
+std::size_t worker_count();
+
+/// Overrides the worker count (0 restores the hardware default). Exposed so
+/// tests can force both the serial and the threaded path.
+void set_worker_count(std::size_t workers);
+
+/// Invokes fn(i) for every i in [0, n). fn must be thread-safe with respect
+/// to distinct indices. Exceptions thrown by fn are rethrown on the calling
+/// thread (the first one encountered, by lowest worker id).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace auric::util

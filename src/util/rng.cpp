@@ -1,0 +1,135 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+namespace auric::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_combine(std::span<const std::uint64_t> parts) {
+  // FNV-style fold of SplitMix64-whitened parts: cheap, stable, and well
+  // mixed for the structured small-integer keys we feed it.
+  std::uint64_t h = 0x51'7c'c1'b7'27'22'0a'95ULL;
+  for (std::uint64_t p : parts) {
+    std::uint64_t s = p;
+    h ^= splitmix64(s);
+    h *= 0x2545f4914f6cdd1dULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::initializer_list<std::uint64_t> parts) {
+  return hash_combine(std::span<const std::uint64_t>(parts.begin(), parts.size()));
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit span
+  // Debiased modulo (Lemire-style rejection on the low part).
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % range;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  // Box-Muller; draws two uniforms per sample and discards the spare so the
+  // stream consumption per call is constant (resume/fork friendly).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0)) throw std::invalid_argument("weighted_index: no positive weight");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: land on the last bucket
+}
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  if (n < 1) throw std::invalid_argument("zipf: n must be >= 1");
+  // Inverse-CDF on the harmonic weights. n is small in our use (value-domain
+  // sizes), so the O(n) normalization is fine and exact.
+  double norm = 0.0;
+  for (std::int64_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(static_cast<double>(k), s);
+  double target = uniform() * norm;
+  for (std::int64_t k = 1; k <= n; ++k) {
+    target -= 1.0 / std::pow(static_cast<double>(k), s);
+    if (target < 0.0) return k;
+  }
+  return n;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  if (k >= n) return all;
+  // Partial Fisher-Yates: first k slots become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+  // Mix the parent's next output with the tag so that forks with distinct
+  // tags are independent even when taken from the same parent state.
+  const std::uint64_t base = (*this)();
+  return Rng(hash_combine({base, tag}));
+}
+
+}  // namespace auric::util

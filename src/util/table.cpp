@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace auric::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("Table row arity mismatch: expected " +
+                                std::to_string(headers_.size()) + ", got " +
+                                std::to_string(row.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::string& label, const std::vector<double>& values,
+                            int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_fixed(v, digits));
+  add_row(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += '|';
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+void print_banner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace auric::util

@@ -1,0 +1,39 @@
+// Console table rendering for the benchmark reports.
+//
+// All bench binaries print the paper's tables/figure series through this
+// class so the output layout is uniform and greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace auric::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: numeric cells (formatted to `digits` decimals).
+  void add_row_numeric(const std::string& label, const std::vector<double>& values, int digits);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns, `|` separators and a header rule.
+  std::string render() const;
+
+  /// render() + write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Table 4: ... ==") so bench output is easy to
+/// navigate in bench_output.txt.
+void print_banner(const std::string& title);
+
+}  // namespace auric::util

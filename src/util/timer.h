@@ -1,0 +1,24 @@
+// Monotonic wall-clock timer for coarse phase timing in benches.
+#pragma once
+
+#include <chrono>
+
+namespace auric::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace auric::util

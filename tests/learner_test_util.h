@@ -1,0 +1,52 @@
+// Synthetic categorical datasets for learner tests.
+#pragma once
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace auric::test {
+
+/// Labels depend deterministically on attributes 0 and 1 (label = (a0 + 2*a1)
+/// mod classes); attribute 2 is irrelevant. `noise` flips that fraction of
+/// labels uniformly.
+inline ml::CategoricalDataset rule_dataset(std::size_t rows, double noise, std::uint64_t seed,
+                                           std::int32_t classes = 4) {
+  util::Rng rng(seed);
+  ml::CategoricalDataset data;
+  data.columns.resize(3);
+  data.cardinality = {4, 3, 5};
+  data.column_names = {"a0", "a1", "irrelevant"};
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto a0 = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+    const auto a1 = static_cast<std::int32_t>(rng.uniform_int(0, 2));
+    const auto a2 = static_cast<std::int32_t>(rng.uniform_int(0, 4));
+    data.columns[0].push_back(a0);
+    data.columns[1].push_back(a1);
+    data.columns[2].push_back(a2);
+    std::int32_t label = (a0 + 2 * a1) % classes;
+    if (rng.bernoulli(noise)) label = static_cast<std::int32_t>(rng.uniform_int(0, classes - 1));
+    data.labels.push_back(label);
+  }
+  for (std::int32_t c = 0; c < classes; ++c) data.class_values.push_back(c * 10);
+  data.check();
+  return data;
+}
+
+/// All row indices of a dataset.
+inline std::vector<std::size_t> all_rows(const ml::CategoricalDataset& data) {
+  std::vector<std::size_t> rows(data.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+/// In-sample accuracy of a fitted classifier.
+inline double train_accuracy(const ml::Classifier& model, const ml::CategoricalDataset& data) {
+  const auto rows = all_rows(data);
+  const auto preds = model.predict_rows(data, rows);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) hits += preds[i] == data.labels[i] ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(rows.size());
+}
+
+}  // namespace auric::test

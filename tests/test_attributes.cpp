@@ -1,0 +1,101 @@
+#include "netsim/attributes.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace auric::netsim {
+namespace {
+
+TEST(AttributeSchema, HasTheFourteenTable1Attributes) {
+  const Topology topo = test::tiny_topology();
+  const AttributeSchema schema = AttributeSchema::standard(topo);
+  EXPECT_EQ(schema.attribute_count(), 14u);
+  // Spot-check the Table 1 names.
+  EXPECT_NO_THROW(schema.index_of("carrier_frequency"));
+  EXPECT_NO_THROW(schema.index_of("morphology"));
+  EXPECT_NO_THROW(schema.index_of("market"));
+  EXPECT_NO_THROW(schema.index_of("tracking_area_code"));
+  EXPECT_NO_THROW(schema.index_of("software_version"));
+  EXPECT_NO_THROW(schema.index_of("neighbors_same_enodeb"));
+  EXPECT_THROW(schema.index_of("terrain"), std::out_of_range);  // hidden by design
+}
+
+TEST(AttributeSchema, EncodeMatchesEncodeAll) {
+  const Topology topo = test::small_generated_topology();
+  const AttributeSchema schema = AttributeSchema::standard(topo);
+  const auto all = schema.encode_all(topo);
+  ASSERT_EQ(all.size(), schema.attribute_count());
+  for (const Carrier& c : topo.carriers) {
+    const auto codes = schema.encode(c);
+    for (std::size_t a = 0; a < codes.size(); ++a) {
+      EXPECT_EQ(codes[a], all[a][static_cast<std::size_t>(c.id)]);
+    }
+  }
+}
+
+TEST(AttributeSchema, CodesAreWithinCardinality) {
+  const Topology topo = test::small_generated_topology();
+  const AttributeSchema schema = AttributeSchema::standard(topo);
+  const auto all = schema.encode_all(topo);
+  for (std::size_t a = 0; a < schema.attribute_count(); ++a) {
+    EXPECT_GE(schema.cardinality(a), 1u);
+    for (AttrCode code : all[a]) {
+      ASSERT_GE(code, 0);
+      ASSERT_LT(static_cast<std::size_t>(code), schema.cardinality(a));
+    }
+  }
+}
+
+TEST(AttributeSchema, OneHotWidthIsSumOfCardinalities) {
+  const Topology topo = test::small_generated_topology();
+  const AttributeSchema schema = AttributeSchema::standard(topo);
+  std::size_t sum = 0;
+  for (std::size_t a = 0; a < schema.attribute_count(); ++a) sum += schema.cardinality(a);
+  EXPECT_EQ(schema.one_hot_width(), sum);
+}
+
+TEST(AttributeSchema, UnseenValueMapsToSentinel) {
+  const Topology topo = test::tiny_topology();
+  const AttributeSchema schema = AttributeSchema::standard(topo);
+  Carrier alien = topo.carriers[0];
+  alien.frequency_mhz = 2600;  // not present in the tiny fixture
+  const auto codes = schema.encode(alien);
+  EXPECT_EQ(codes[schema.index_of("carrier_frequency")], AttributeSchema::kUnseen);
+  EXPECT_EQ(schema.value_label(schema.index_of("carrier_frequency"), AttributeSchema::kUnseen),
+            "<unseen>");
+}
+
+TEST(AttributeSchema, ValueLabelsAreHumanReadable) {
+  const Topology topo = test::tiny_topology();
+  const AttributeSchema schema = AttributeSchema::standard(topo);
+  const std::size_t freq = schema.index_of("carrier_frequency");
+  const auto codes = schema.encode(topo.carriers[0]);
+  EXPECT_EQ(schema.value_label(freq, codes[freq]), "700 MHz");
+  const std::size_t market = schema.index_of("market");
+  EXPECT_EQ(schema.value_label(market, codes[market]), "Market 1");
+}
+
+TEST(AttributeSchema, NeighborCountIsBucketed) {
+  const Topology topo = test::small_generated_topology();
+  const AttributeSchema schema = AttributeSchema::standard(topo);
+  const std::size_t attr = schema.index_of("neighbors_same_enodeb");
+  // All labels come from the fixed bucket set.
+  for (std::size_t code = 0; code < schema.cardinality(attr); ++code) {
+    const std::string label = schema.value_label(attr, static_cast<AttrCode>(code));
+    EXPECT_TRUE(label == "4" || label == "6" || label == "8" || label == "10" || label == "12+")
+        << label;
+  }
+}
+
+TEST(AttributeSchema, SoftwareVersionLabels) {
+  const Topology topo = test::small_generated_topology();
+  const AttributeSchema schema = AttributeSchema::standard(topo);
+  const std::size_t attr = schema.index_of("software_version");
+  const std::string label = schema.value_label(attr, 0);
+  EXPECT_EQ(label.substr(0, 3), "RAN");
+  EXPECT_NE(label.find('Q'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace auric::netsim

@@ -1,0 +1,139 @@
+#include "config/catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace auric::config {
+namespace {
+
+TEST(ValueDomain, ValueAndIndexRoundTrip) {
+  const ValueDomain domain(0.0, 0.5, 31);  // hysA3Offset: 0..15 step 0.5
+  EXPECT_EQ(domain.size(), 31);
+  EXPECT_DOUBLE_EQ(domain.min(), 0.0);
+  EXPECT_DOUBLE_EQ(domain.max(), 15.0);
+  EXPECT_DOUBLE_EQ(domain.value(4), 2.0);
+  EXPECT_EQ(domain.nearest_index(2.0), 4);
+  EXPECT_EQ(domain.nearest_index(2.2), 4);
+  EXPECT_EQ(domain.nearest_index(2.3), 5);  // rounds to 2.5
+}
+
+TEST(ValueDomain, ClampAndContains) {
+  const ValueDomain domain(-10, 1, 21);
+  EXPECT_EQ(domain.clamp(-5), 0);
+  EXPECT_EQ(domain.clamp(100), 20);
+  EXPECT_EQ(domain.clamp(7), 7);
+  EXPECT_TRUE(domain.contains(0));
+  EXPECT_FALSE(domain.contains(-1));
+  EXPECT_FALSE(domain.contains(21));
+  EXPECT_THROW(domain.value(21), std::out_of_range);
+}
+
+TEST(ValueDomain, NearestClampsOutOfRange) {
+  const ValueDomain domain(0, 2, 5);  // {0,2,4,6,8}
+  EXPECT_EQ(domain.nearest_index(-100.0), 0);
+  EXPECT_EQ(domain.nearest_index(100.0), 4);
+}
+
+TEST(ValueDomain, RejectsDegenerateDomains) {
+  EXPECT_THROW(ValueDomain(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ValueDomain(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(ValueDomain(0, -1, 5), std::invalid_argument);
+}
+
+TEST(StandardCatalog, HasSixtyFiveRangeParameters) {
+  const ParamCatalog catalog = ParamCatalog::standard();
+  EXPECT_EQ(catalog.size(), 65u);
+  EXPECT_EQ(catalog.singular_ids().size(), 39u);  // §4.1 of the paper
+  EXPECT_EQ(catalog.pairwise_ids().size(), 26u);
+}
+
+TEST(StandardCatalog, PaperNamedParametersHavePaperDomains) {
+  const ParamCatalog catalog = ParamCatalog::standard();
+
+  // sFreqPrio: 1..10000, 1 = highest priority (default).
+  const ParamDef& sfp = catalog.at(catalog.id_of("sFreqPrio"));
+  EXPECT_DOUBLE_EQ(sfp.domain.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sfp.domain.max(), 10000.0);
+  EXPECT_EQ(sfp.default_index, 0);
+
+  // hysA3Offset: 0..15 step 0.5.
+  const ParamDef& hys = catalog.at(catalog.id_of("hysA3Offset"));
+  EXPECT_EQ(hys.kind, ParamKind::kPairwise);
+  EXPECT_DOUBLE_EQ(hys.domain.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hys.domain.max(), 15.0);
+  EXPECT_DOUBLE_EQ(hys.domain.step(), 0.5);
+
+  // pMax: 0..60 step 0.6.
+  const ParamDef& pmax = catalog.at(catalog.id_of("pMax"));
+  EXPECT_DOUBLE_EQ(pmax.domain.min(), 0.0);
+  EXPECT_DOUBLE_EQ(pmax.domain.step(), 0.6);
+  EXPECT_DOUBLE_EQ(pmax.domain.max(), 60.0);
+
+  // qRxLevMin: -156..-44.
+  const ParamDef& qrx = catalog.at(catalog.id_of("qRxLevMin"));
+  EXPECT_DOUBLE_EQ(qrx.domain.min(), -156.0);
+  EXPECT_DOUBLE_EQ(qrx.domain.max(), -44.0);
+
+  // inactivityTimer: 1..65535.
+  const ParamDef& inact = catalog.at(catalog.id_of("inactivityTimer"));
+  EXPECT_DOUBLE_EQ(inact.domain.min(), 1.0);
+  EXPECT_DOUBLE_EQ(inact.domain.max(), 65535.0);
+}
+
+TEST(StandardCatalog, NamesAreUnique) {
+  const ParamCatalog catalog = ParamCatalog::standard();
+  std::set<std::string> names;
+  for (std::size_t p = 0; p < catalog.size(); ++p) names.insert(catalog[p].name);
+  EXPECT_EQ(names.size(), catalog.size());
+}
+
+TEST(StandardCatalog, DefaultsInsideDomains) {
+  const ParamCatalog catalog = ParamCatalog::standard();
+  for (std::size_t p = 0; p < catalog.size(); ++p) {
+    EXPECT_TRUE(catalog[p].domain.contains(catalog[p].default_index)) << catalog[p].name;
+    EXPECT_GT(catalog[p].activation, 0.0) << catalog[p].name;
+    EXPECT_LE(catalog[p].activation, 1.0) << catalog[p].name;
+  }
+}
+
+TEST(StandardCatalog, PairwiseParamsSplitIntoRelationClasses) {
+  const ParamCatalog catalog = ParamCatalog::standard();
+  int intra = 0;
+  int inter = 0;
+  for (ParamId id : catalog.pairwise_ids()) {
+    (catalog.at(id).relation == RelationClass::kIntraFrequency ? intra : inter) += 1;
+  }
+  EXPECT_EQ(intra, 13);
+  EXPECT_EQ(inter, 13);
+}
+
+TEST(StandardCatalog, IdOfUnknownThrows) {
+  const ParamCatalog catalog = ParamCatalog::standard();
+  EXPECT_THROW(catalog.id_of("noSuchParameter"), std::out_of_range);
+}
+
+TEST(StandardCatalog, PerEdgeScopeIsTheException) {
+  const ParamCatalog catalog = ParamCatalog::standard();
+  int per_edge = 0;
+  for (ParamId id : catalog.pairwise_ids()) {
+    if (catalog.at(id).scope == PairScope::kPerEdge) ++per_edge;
+  }
+  EXPECT_EQ(per_edge, 3);  // cellIndividualOffset, qOffsetCell, x2RelationWeight
+}
+
+TEST(ParamCatalog, RejectsDefaultOutsideDomain) {
+  ParamDef bad;
+  bad.name = "bad";
+  bad.domain = ValueDomain(0, 1, 4);
+  bad.default_index = 9;
+  EXPECT_THROW(ParamCatalog({bad}), std::invalid_argument);
+}
+
+TEST(ParamFunctions, NamesCovered) {
+  EXPECT_STREQ(param_function_name(ParamFunction::kMobility), "mobility");
+  EXPECT_STREQ(param_function_name(ParamFunction::kCapacityManagement), "capacity");
+}
+
+}  // namespace
+}  // namespace auric::config

@@ -1,0 +1,91 @@
+#include "eval/cf_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace auric::eval {
+namespace {
+
+struct Fixture {
+  netsim::Topology topo = test::chain_topology();
+  config::ParamCatalog catalog = test::tiny_catalog();
+  config::ConfigAssignment assignment = test::tiny_assignment(topo);
+  netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topo);
+};
+
+TEST(CfEvaluator, PerfectAssignmentScoresPerfectly) {
+  Fixture f;
+  const CfEvaluator evaluator(f.topo, f.schema, f.catalog, f.assignment, {});
+  const CfParamResult result = evaluator.evaluate_param(0);
+  EXPECT_EQ(result.rows, 16u);
+  EXPECT_EQ(result.correct, 16u);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+  EXPECT_EQ(result.fallback_default, 0u);
+}
+
+TEST(CfEvaluator, MismatchSinkCapturesDeviations) {
+  Fixture f;
+  f.assignment.singular[0].value[2] = 9;  // one deviating carrier
+  const CfEvaluator evaluator(f.topo, f.schema, f.catalog, f.assignment, {});
+  std::vector<CfPrediction> mismatches;
+  const CfParamResult result = evaluator.evaluate_param(0, std::nullopt, &mismatches);
+  EXPECT_EQ(result.correct + mismatches.size(), result.rows);
+  ASSERT_EQ(mismatches.size(), 1u);
+  EXPECT_EQ(mismatches[0].carrier, 2);
+  EXPECT_EQ(mismatches[0].actual, 9);
+  EXPECT_EQ(mismatches[0].predicted, 3);  // the band majority
+  EXPECT_EQ(mismatches[0].param, 0);
+}
+
+TEST(CfEvaluator, MarketScopingEvaluatesSubsets) {
+  Fixture f;
+  const CfEvaluator evaluator(f.topo, f.schema, f.catalog, f.assignment, {});
+  const CfParamResult m0 = evaluator.evaluate_param(0, netsim::MarketId{0});
+  const CfParamResult m1 = evaluator.evaluate_param(0, netsim::MarketId{1});
+  EXPECT_EQ(m0.rows, 10u);
+  EXPECT_EQ(m1.rows, 6u);
+}
+
+TEST(CfEvaluator, EvaluateAllCoversCatalog) {
+  Fixture f;
+  const CfEvaluator evaluator(f.topo, f.schema, f.catalog, f.assignment, {});
+  const auto results = evaluator.evaluate_all();
+  ASSERT_EQ(results.size(), f.catalog.size());
+  EXPECT_DOUBLE_EQ(overall_accuracy(results), 1.0);
+}
+
+TEST(CfEvaluator, LocalModeUsesProximity) {
+  Fixture f;
+  CfEvalOptions options;
+  options.local = true;
+  const CfEvaluator evaluator(f.topo, f.schema, f.catalog, f.assignment, options);
+  const CfParamResult result = evaluator.evaluate_param(0);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+}
+
+TEST(CfEvaluator, LocalWithoutGlobalFallbackUsesDefaults) {
+  Fixture f;
+  CfEvalOptions options;
+  options.local = true;
+  options.fallback_global = false;
+  const CfEvaluator evaluator(f.topo, f.schema, f.catalog, f.assignment, options);
+  const CfParamResult result = evaluator.evaluate_param(0);
+  // Tiny neighborhoods fail the quorum, so everything lands on the default
+  // (index 5), which matches no carrier's value (3 or 7).
+  EXPECT_EQ(result.fallback_default, result.rows);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 0.0);
+}
+
+TEST(OverallAccuracy, RowWeighted) {
+  std::vector<CfParamResult> results(2);
+  results[0].rows = 10;
+  results[0].correct = 10;
+  results[1].rows = 90;
+  results[1].correct = 0;
+  EXPECT_DOUBLE_EQ(overall_accuracy(results), 0.1);
+  EXPECT_DOUBLE_EQ(overall_accuracy({}), 0.0);
+}
+
+}  // namespace
+}  // namespace auric::eval

@@ -1,0 +1,123 @@
+#include "ml/chi_square.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace auric::ml {
+namespace {
+
+TEST(RegularizedGamma, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 3.0), 1.0 - std::exp(-3.0), 1e-12);
+  // P + Q = 1 across both computation branches.
+  for (double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 30.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0, 1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(regularized_gamma_q(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ChiSquareSf, MatchesStandardCriticalValues) {
+  // Classic table entries: chi2_{0.05, df=1} = 3.841, chi2_{0.01, df=1} =
+  // 6.635, chi2_{0.01, df=2} = 9.210, chi2_{0.05, df=10} = 18.307.
+  EXPECT_NEAR(chi_square_sf(3.841, 1), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_sf(6.635, 1), 0.01, 1e-4);
+  EXPECT_NEAR(chi_square_sf(9.210, 2), 0.01, 1e-4);
+  EXPECT_NEAR(chi_square_sf(18.307, 10), 0.05, 2e-4);
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 3), 1.0);
+  EXPECT_THROW(chi_square_sf(1.0, 0), std::invalid_argument);
+}
+
+TEST(ContingencyTable, CountsPairs) {
+  const std::vector<std::int32_t> x{0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> y{0, 1, 0, 1, 1};
+  const ContingencyTable table = ContingencyTable::build(x, y, 2, 2);
+  EXPECT_EQ(table.total, 5);
+  EXPECT_EQ(table.counts[0][0], 1);
+  EXPECT_EQ(table.counts[0][1], 1);
+  EXPECT_EQ(table.counts[1][0], 1);
+  EXPECT_EQ(table.counts[1][1], 2);
+}
+
+TEST(ContingencyTable, RejectsBadInput) {
+  const std::vector<std::int32_t> x{0, 1};
+  const std::vector<std::int32_t> y{0};
+  EXPECT_THROW(ContingencyTable::build(x, y, 2, 2), std::invalid_argument);
+  const std::vector<std::int32_t> oob{0, 5};
+  const std::vector<std::int32_t> ok{0, 1};
+  EXPECT_THROW(ContingencyTable::build(oob, ok, 2, 2), std::out_of_range);
+}
+
+TEST(ChiSquareTest, HandComputedStatistic) {
+  // Table: [[10, 20], [20, 10]]; expected all 15; chi2 = 4*25/15 = 6.667.
+  ContingencyTable table;
+  table.counts = {{10, 20}, {20, 10}};
+  table.total = 60;
+  const ChiSquareResult result = chi_square_test(table);
+  EXPECT_EQ(result.df, 1);
+  EXPECT_NEAR(result.statistic, 100.0 / 15.0, 1e-12);
+  EXPECT_TRUE(result.dependent(0.05));
+  EXPECT_FALSE(result.dependent(0.001));
+}
+
+TEST(ChiSquareTest, EmptyRowsAndColumnsAreDropped) {
+  ContingencyTable table;
+  table.counts = {{10, 0, 20}, {0, 0, 0}, {20, 0, 10}};
+  table.total = 60;
+  const ChiSquareResult result = chi_square_test(table);
+  EXPECT_EQ(result.df, 1);  // effectively 2x2 after dropping empties
+  EXPECT_NEAR(result.statistic, 100.0 / 15.0, 1e-12);
+}
+
+TEST(ChiSquareTest, DegenerateTableHasNoEvidence) {
+  ContingencyTable one_column;
+  one_column.counts = {{5}, {7}};
+  one_column.total = 12;
+  const ChiSquareResult result = chi_square_test(one_column);
+  EXPECT_EQ(result.df, 0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_FALSE(result.dependent(0.05));
+}
+
+class ChiSquareDetectionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChiSquareDetectionTest, DetectsPlantedDependence) {
+  util::Rng rng(11);
+  const std::size_t n = GetParam();
+  std::vector<std::int32_t> x(n);
+  std::vector<std::int32_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+    // y strongly follows x with 10% noise.
+    y[i] = rng.bernoulli(0.9) ? x[i] % 3 : static_cast<std::int32_t>(rng.uniform_int(0, 2));
+  }
+  const ChiSquareResult result = chi_square_independence(x, y, 4, 3);
+  EXPECT_TRUE(result.dependent(0.01));
+}
+
+TEST_P(ChiSquareDetectionTest, AcceptsIndependence) {
+  util::Rng rng(13);
+  const std::size_t n = GetParam();
+  std::vector<std::int32_t> x(n);
+  std::vector<std::int32_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+    y[i] = static_cast<std::int32_t>(rng.uniform_int(0, 2));
+  }
+  const ChiSquareResult result = chi_square_independence(x, y, 4, 3);
+  EXPECT_FALSE(result.dependent(0.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, ChiSquareDetectionTest,
+                         ::testing::Values(200u, 1000u, 5000u));
+
+}  // namespace
+}  // namespace auric::ml

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "config/rulebook.h"
+#include "core/engine.h"
+#include "smartlaunch/controller.h"
+#include "smartlaunch/pipeline.h"
+#include "test_helpers.h"
+
+namespace auric::smartlaunch {
+namespace {
+
+// End-to-end smartlaunch fixture over a small generated network with real
+// ground truth (so vendor/intent/auric configs are all meaningful).
+struct Fixture {
+  netsim::Topology topo = test::small_generated_topology(11, 2, 16);
+  netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topo);
+  config::ParamCatalog catalog = config::ParamCatalog::standard();
+  config::GroundTruthModel ground_truth{topo, schema, catalog, make_gt()};
+  config::ConfigAssignment assignment = ground_truth.assign();
+  core::AuricEngine engine{topo, schema, catalog, assignment};
+  config::Rulebook rulebook{ground_truth, catalog};
+
+  static config::GroundTruthParams make_gt() {
+    config::GroundTruthParams params;
+    params.seed = 21;
+    return params;
+  }
+};
+
+TEST(ApplicableSlots, EnumeratesConfiguredSlotsWithPaths) {
+  Fixture f;
+  const auto slots = applicable_slots(f.topo, f.catalog, f.assignment, 0);
+  EXPECT_GT(slots.size(), 10u);
+  for (const SlotRef& slot : slots) {
+    EXPECT_FALSE(slot.mo_path.empty());
+    const bool pairwise = f.catalog.at(slot.param).kind == config::ParamKind::kPairwise;
+    EXPECT_EQ(pairwise, slot.neighbor != netsim::kInvalidCarrier);
+    if (pairwise) {
+      EXPECT_NE(slot.mo_path.find("EUtranFreqRelation"), std::string::npos);
+    }
+  }
+}
+
+TEST(Controller, IntentConfigMatchesGroundTruthIntent) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment);
+  const config::CarrierConfig intent = controller.intent_config(0);
+  EXPECT_EQ(intent.size(), applicable_slots(f.topo, f.catalog, f.assignment, 0).size());
+}
+
+TEST(Controller, CleanVendorNeedsFewChanges) {
+  Fixture f;
+  VendorFaultOptions no_faults;
+  no_faults.stale_template_prob = 0.0;
+  no_faults.typo_prob = 0.0;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, no_faults);
+  // Vendor == intent; Auric pushes only where its high-confidence vote
+  // disagrees with intent, which is rare.
+  std::size_t total_changes = 0;
+  std::size_t total_slots = 0;
+  for (netsim::CarrierId c = 0; c < 40; ++c) {
+    total_changes += controller.plan_changes(c).size();
+    total_slots += applicable_slots(f.topo, f.catalog, f.assignment, c).size();
+  }
+  EXPECT_LT(static_cast<double>(total_changes), 0.02 * static_cast<double>(total_slots));
+}
+
+TEST(Controller, StaleTemplatesTriggerPushes) {
+  Fixture f;
+  VendorFaultOptions always_stale;
+  always_stale.stale_template_prob = 1.0;
+  always_stale.stale_slot_frac = 1.0;
+  always_stale.typo_prob = 0.0;
+  const LaunchController stale(f.engine, f.rulebook, f.assignment, always_stale);
+  VendorFaultOptions clean;
+  clean.stale_template_prob = 0.0;
+  clean.typo_prob = 0.0;
+  const LaunchController good(f.engine, f.rulebook, f.assignment, clean);
+  std::size_t stale_changes = 0;
+  std::size_t clean_changes = 0;
+  for (netsim::CarrierId c = 0; c < 40; ++c) {
+    stale_changes += stale.plan_changes(c).size();
+    clean_changes += good.plan_changes(c).size();
+  }
+  EXPECT_GT(stale_changes, clean_changes);
+}
+
+TEST(Controller, VendorConfigIsDeterministic) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment);
+  EXPECT_EQ(controller.vendor_config(5).settings, controller.vendor_config(5).settings);
+}
+
+TEST(Pipeline, NoChangeLaunchesLeaveCarrierUntouched) {
+  Fixture f;
+  VendorFaultOptions no_faults;
+  no_faults.stale_template_prob = 0.0;
+  no_faults.typo_prob = 0.0;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, no_faults);
+  EmsOptions reliable;
+  reliable.flaky_timeout_prob = 0.0;
+  EmsSimulator ems(f.topo.carrier_count(), reliable);
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  PipelineOptions options;
+  options.premature_unlock_prob = 0.0;
+  SmartLaunchPipeline pipeline(controller, ems, kpi, options);
+
+  netsim::CarrierId no_change_carrier = netsim::kInvalidCarrier;
+  for (netsim::CarrierId c = 0; c < 40; ++c) {
+    if (controller.plan_changes(c).empty()) {
+      no_change_carrier = c;
+      break;
+    }
+  }
+  ASSERT_NE(no_change_carrier, netsim::kInvalidCarrier);
+  const LaunchRecord record = pipeline.launch(no_change_carrier);
+  EXPECT_EQ(record.outcome, LaunchOutcome::kNoChangeNeeded);
+  EXPECT_EQ(record.changes_applied, 0u);
+  EXPECT_EQ(ems.state(no_change_carrier), CarrierState::kUnlocked);  // launched
+}
+
+TEST(Pipeline, PrematureUnlockBecomesFallout) {
+  Fixture f;
+  VendorFaultOptions always_stale;
+  always_stale.stale_template_prob = 1.0;
+  always_stale.stale_slot_frac = 1.0;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, always_stale);
+  EmsOptions reliable;
+  reliable.flaky_timeout_prob = 0.0;
+  EmsSimulator ems(f.topo.carrier_count(), reliable);
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  PipelineOptions options;
+  options.premature_unlock_prob = 1.0;  // every engineer jumps the gun
+  SmartLaunchPipeline pipeline(controller, ems, kpi, options);
+
+  std::vector<netsim::CarrierId> cohort{0, 1, 2, 3, 4, 5, 6, 7};
+  const SmartLaunchReport report = pipeline.run(cohort);
+  EXPECT_EQ(report.launches, cohort.size());
+  EXPECT_EQ(report.fallout_unlocked, report.change_recommended);
+  EXPECT_EQ(report.implemented, 0u);
+  EXPECT_EQ(report.parameters_changed, 0u);
+}
+
+TEST(Pipeline, ReportCountersAreConsistent) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment);
+  EmsSimulator ems(f.topo.carrier_count());
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  SmartLaunchPipeline pipeline(controller, ems, kpi);
+  std::vector<netsim::CarrierId> cohort;
+  for (netsim::CarrierId c = 0; c < 60; ++c) cohort.push_back(c);
+  const SmartLaunchReport report = pipeline.run(cohort);
+  EXPECT_EQ(report.launches, 60u);
+  EXPECT_EQ(report.records.size(), 60u);
+  EXPECT_EQ(report.implemented + report.fallout_unlocked + report.fallout_timeout,
+            report.change_recommended);
+  for (const LaunchRecord& record : report.records) {
+    EXPECT_GE(record.post_quality, 0.0);
+    EXPECT_LE(record.post_quality, 1.0);
+    if (record.outcome == LaunchOutcome::kNoChangeNeeded) {
+      EXPECT_EQ(record.changes_planned, 0u);
+    }
+  }
+}
+
+TEST(LaunchOutcomeNames, Stable) {
+  EXPECT_STREQ(launch_outcome_name(LaunchOutcome::kImplemented), "implemented");
+  EXPECT_STREQ(launch_outcome_name(LaunchOutcome::kFalloutTimeout), "fallout-timeout");
+}
+
+}  // namespace
+}  // namespace auric::smartlaunch

@@ -1,0 +1,72 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace auric::util {
+namespace {
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "auric_csv_test.csv").string();
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.add_row({"a", "1"});
+    csv.add_row({"b,c", "2"});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "name,value\na,1\n\"b,c\",2\n");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "auric_csv_test2.csv").string();
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), std::invalid_argument);
+  csv.close();
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "v"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22 |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table table({"", "a", "b"});
+  table.add_row_numeric("row", {1.234, 5.0}, 2);
+  EXPECT_NE(table.render().find("1.23"), std::string::npos);
+  EXPECT_NE(table.render().find("5.00"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace auric::util

@@ -1,0 +1,88 @@
+#include "smartlaunch/ems.h"
+
+#include <gtest/gtest.h>
+
+namespace auric::smartlaunch {
+namespace {
+
+std::vector<config::MoSetting> settings(std::size_t n) {
+  std::vector<config::MoSetting> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back({"MO=" + std::to_string(i), 0, 1});
+  return out;
+}
+
+EmsOptions reliable() {
+  EmsOptions options;
+  options.flaky_timeout_prob = 0.0;
+  return options;
+}
+
+TEST(Ems, CarriersStartLocked) {
+  const EmsSimulator ems(4, reliable());
+  for (netsim::CarrierId c = 0; c < 4; ++c) EXPECT_EQ(ems.state(c), CarrierState::kLocked);
+}
+
+TEST(Ems, PushAppliesWhileLocked) {
+  EmsSimulator ems(2, reliable());
+  const PushResult result = ems.push(0, settings(8));
+  EXPECT_EQ(result.status, PushStatus::kApplied);
+  EXPECT_EQ(result.applied, 8u);
+  // 8 settings at concurrency 4 = 2 waves of 180 ms.
+  EXPECT_DOUBLE_EQ(result.elapsed_ms, 360.0);
+}
+
+TEST(Ems, PushRefusedWhenUnlocked) {
+  EmsSimulator ems(2, reliable());
+  ems.unlock(0);
+  const PushResult result = ems.push(0, settings(3));
+  EXPECT_EQ(result.status, PushStatus::kRejectedUnlocked);
+  EXPECT_EQ(result.applied, 0u);
+}
+
+TEST(Ems, OutOfBandUnlockAlsoBlocksPushes) {
+  EmsSimulator ems(2, reliable());
+  ems.unlock_out_of_band(1);
+  EXPECT_EQ(ems.push(1, settings(1)).status, PushStatus::kRejectedUnlocked);
+  EXPECT_EQ(ems.push(0, settings(1)).status, PushStatus::kApplied);
+}
+
+TEST(Ems, OversizedBatchTimesOutWithPartialApplication) {
+  EmsSimulator ems(1, reliable());
+  // deadline 1500 ms / 180 ms = 8 waves x concurrency 4 = 32 settings max.
+  const PushResult result = ems.push(0, settings(200));
+  EXPECT_EQ(result.status, PushStatus::kTimeout);
+  EXPECT_EQ(result.applied, 32u);
+  EXPECT_DOUBLE_EQ(result.elapsed_ms, 1500.0);
+}
+
+TEST(Ems, EmptyPushIsTrivialSuccess) {
+  EmsSimulator ems(1, reliable());
+  const PushResult result = ems.push(0, {});
+  EXPECT_EQ(result.status, PushStatus::kApplied);
+  EXPECT_EQ(result.applied, 0u);
+}
+
+TEST(Ems, LockCyclesCountReLocks) {
+  EmsSimulator ems(1, reliable());
+  EXPECT_EQ(ems.lock_cycles(), 0u);
+  ems.lock(0);  // already locked: no cycle
+  EXPECT_EQ(ems.lock_cycles(), 0u);
+  ems.unlock(0);
+  ems.lock(0);  // off-air transition: the disruptive operation
+  EXPECT_EQ(ems.lock_cycles(), 1u);
+}
+
+TEST(Ems, FlakyFaultsEventuallyTimeout) {
+  EmsOptions flaky;
+  flaky.flaky_timeout_prob = 1.0;
+  EmsSimulator ems(1, flaky);
+  EXPECT_EQ(ems.push(0, settings(2)).status, PushStatus::kTimeout);
+}
+
+TEST(PushStatusNames, Stable) {
+  EXPECT_STREQ(push_status_name(PushStatus::kApplied), "applied");
+  EXPECT_STREQ(push_status_name(PushStatus::kTimeout), "timeout");
+}
+
+}  // namespace
+}  // namespace auric::smartlaunch

@@ -1,0 +1,155 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace auric::core {
+namespace {
+
+struct Fixture {
+  netsim::Topology topo = test::chain_topology();
+  config::ParamCatalog catalog = test::tiny_catalog();
+  config::ConfigAssignment assignment = test::tiny_assignment(topo);
+  netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topo);
+};
+
+AuricOptions relaxed() {
+  AuricOptions options;
+  options.backoff_levels = 2;
+  return options;
+}
+
+TEST(AuricEngine, RecommendsTheBandRuleForEveryCarrier) {
+  Fixture f;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, relaxed());
+  for (const netsim::Carrier& c : f.topo.carriers) {
+    const Recommendation rec = engine.recommend(0, c.id);
+    EXPECT_EQ(rec.value, c.band == netsim::Band::kLow ? 3 : 7) << "carrier " << c.id;
+    EXPECT_NE(rec.source, RecommendationSource::kRulebookDefault);
+  }
+}
+
+TEST(AuricEngine, PairwiseRecommendationNeedsNeighbor) {
+  Fixture f;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, relaxed());
+  EXPECT_THROW(engine.recommend(1, 0), std::invalid_argument);
+  EXPECT_THROW(engine.recommend(0, 0, 2), std::invalid_argument);
+  const Recommendation rec = engine.recommend(1, 0, 2);  // intra-frequency edge
+  EXPECT_EQ(rec.value, 2);
+}
+
+TEST(AuricEngine, LocalSourcePreferredWhenProximityOn) {
+  Fixture f;
+  AuricOptions options = relaxed();
+  options.use_proximity = true;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, options);
+  // Carrier 0's neighborhood {1, 2} contains matching carrier 2 only; the
+  // quorum (3) cannot be met locally, so the decision comes from the global
+  // vote.
+  const Recommendation rec = engine.recommend(0, 0);
+  EXPECT_EQ(rec.source, RecommendationSource::kGlobalVote);
+  EXPECT_EQ(rec.value, 3);
+}
+
+TEST(AuricEngine, GlobalOnlyWhenProximityOff) {
+  Fixture f;
+  AuricOptions options = relaxed();
+  options.use_proximity = false;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, options);
+  const Recommendation rec = engine.recommend(0, 0);
+  EXPECT_EQ(rec.source, RecommendationSource::kGlobalVote);
+}
+
+TEST(AuricEngine, FallsBackToRulebookDefaultWithoutEvidence) {
+  Fixture f;
+  // Scatter the values so no peer group reaches a 75% vote anywhere.
+  for (std::size_t c = 0; c < f.topo.carrier_count(); ++c) {
+    f.assignment.singular[0].value[c] = static_cast<config::ValueIndex>(c % 11);
+    f.assignment.singular[0].intended[c] = static_cast<config::ValueIndex>(c % 11);
+  }
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, relaxed());
+  const Recommendation rec = engine.recommend(0, 0);
+  EXPECT_EQ(rec.source, RecommendationSource::kRulebookDefault);
+  EXPECT_EQ(rec.value, f.catalog.at(0).default_index);  // default = 5
+}
+
+TEST(AuricEngine, BatchHelpersCoverEveryParameter) {
+  Fixture f;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, relaxed());
+  EXPECT_EQ(engine.recommend_singular(0).size(), f.catalog.singular_ids().size());
+  EXPECT_EQ(engine.recommend_pairwise(0, 2).size(), f.catalog.pairwise_ids().size());
+}
+
+TEST(AuricEngine, ExplainNamesTheEvidence) {
+  Fixture f;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, relaxed());
+  const Recommendation rec = engine.recommend(0, 0);
+  const std::string explanation = engine.explain(rec, 0);
+  EXPECT_NE(explanation.find("toySingular"), std::string::npos);
+  EXPECT_NE(explanation.find("support"), std::string::npos);
+  EXPECT_NE(explanation.find("global-vote"), std::string::npos);
+}
+
+TEST(AuricEngine, ExcludeSelfChangesThinVotes) {
+  Fixture f;
+  // Give one 700 MHz carrier a unique value; with exclude_self its own
+  // observation cannot vote for itself.
+  f.assignment.singular[0].value[4] = 10;
+  AuricOptions options = relaxed();
+  options.max_dependent = 6;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, options);
+  const Recommendation with_self = engine.recommend(0, 4, netsim::kInvalidCarrier, false);
+  const Recommendation without_self = engine.recommend(0, 4, netsim::kInvalidCarrier, true);
+  EXPECT_EQ(without_self.value, 3);  // the other 700 MHz carriers
+  // Including self, the own unique value forms part of the evidence; the
+  // recommendation may differ (or the vote may fail) but must never be both
+  // identical in value AND in evidence counts.
+  EXPECT_TRUE(with_self.value != without_self.value ||
+              with_self.group_size != without_self.group_size);
+}
+
+TEST(AuricEngine, ColdStartRecommendsFromAttributes) {
+  Fixture f;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, relaxed());
+  // A brand-new 700 MHz carrier, not in the inventory, planned next to
+  // site 0: its attributes match the low-band peer group.
+  netsim::Carrier planned = f.topo.carriers[0];
+  planned.id = static_cast<netsim::CarrierId>(f.topo.carrier_count() + 100);
+  const std::vector<netsim::CarrierId> x2{0, 2};
+  const Recommendation rec = engine.recommend_for(planned, x2, 0);
+  EXPECT_EQ(rec.value, 3);
+  EXPECT_NE(rec.source, RecommendationSource::kRulebookDefault);
+  // The full-batch helper covers every singular parameter.
+  EXPECT_EQ(engine.recommend_for_all_singular(planned, x2).size(),
+            f.catalog.singular_ids().size());
+}
+
+TEST(AuricEngine, ColdStartUnseenAttributeFallsToDefault) {
+  Fixture f;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, relaxed());
+  netsim::Carrier alien = f.topo.carriers[0];
+  alien.frequency_mhz = 2600;  // never observed in the chain fixture
+  const Recommendation rec = engine.recommend_for(alien, {}, 0);
+  // §6 "bootstrapping the unobserved": stick with the default.
+  EXPECT_EQ(rec.source, RecommendationSource::kRulebookDefault);
+  EXPECT_EQ(rec.value, f.catalog.at(0).default_index);
+}
+
+TEST(AuricEngine, ColdStartPairwiseNeedsNeighbor) {
+  Fixture f;
+  const AuricEngine engine(f.topo, f.schema, f.catalog, f.assignment, relaxed());
+  const netsim::Carrier planned = f.topo.carriers[0];
+  EXPECT_THROW(engine.recommend_for(planned, {}, 1), std::invalid_argument);
+  const Recommendation rec = engine.recommend_for(planned, {}, 1, /*neighbor=*/2);
+  EXPECT_EQ(rec.value, 2);
+}
+
+TEST(RecommendationSourceNames, Stable) {
+  EXPECT_STREQ(recommendation_source_name(RecommendationSource::kLocalVote), "local-vote");
+  EXPECT_STREQ(recommendation_source_name(RecommendationSource::kRulebookDefault),
+               "rulebook-default");
+}
+
+}  // namespace
+}  // namespace auric::core

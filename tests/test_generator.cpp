@@ -1,0 +1,156 @@
+#include "netsim/generator.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace auric::netsim {
+namespace {
+
+class GeneratorSeedTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Topology generate(std::uint64_t seed, int markets = 4, int scale = 15) {
+    TopologyParams params;
+    params.seed = seed;
+    params.num_markets = markets;
+    params.base_enodebs_per_market = scale;
+    return generate_topology(params);
+  }
+};
+
+TEST_P(GeneratorSeedTest, InvariantsHold) {
+  const Topology topo = generate(GetParam());
+  EXPECT_NO_THROW(topo.check_invariants());
+  EXPECT_GT(topo.carrier_count(), 0u);
+}
+
+TEST_P(GeneratorSeedTest, DeterministicInSeed) {
+  const Topology a = generate(GetParam());
+  const Topology b = generate(GetParam());
+  ASSERT_EQ(a.carrier_count(), b.carrier_count());
+  for (std::size_t i = 0; i < a.carrier_count(); ++i) {
+    EXPECT_EQ(a.carriers[i].frequency_mhz, b.carriers[i].frequency_mhz);
+    EXPECT_EQ(a.carriers[i].tracking_area_code, b.carriers[i].tracking_area_code);
+    EXPECT_EQ(a.carriers[i].vendor, b.carriers[i].vendor);
+  }
+  EXPECT_EQ(a.edges.size(), b.edges.size());
+}
+
+TEST_P(GeneratorSeedTest, EveryCarrierHasANeighbor) {
+  const Topology topo = generate(GetParam());
+  for (const Carrier& c : topo.carriers) {
+    EXPECT_FALSE(topo.neighborhood(c.id).empty()) << "carrier " << c.id;
+  }
+}
+
+TEST_P(GeneratorSeedTest, InterSiteEdgesAreSameFrequency) {
+  const Topology topo = generate(GetParam());
+  for (const X2Edge& edge : topo.edges) {
+    const Carrier& from = topo.carrier(edge.from);
+    const Carrier& to = topo.carrier(edge.to);
+    if (from.enodeb != to.enodeb) {
+      EXPECT_EQ(from.frequency_mhz, to.frequency_mhz);
+      EXPECT_EQ(from.market, to.market) << "X2 must stay within a market";
+    }
+  }
+}
+
+TEST_P(GeneratorSeedTest, BandMatchesFrequency) {
+  const Topology topo = generate(GetParam());
+  for (const Carrier& c : topo.carriers) {
+    if (c.frequency_mhz <= 850) {
+      EXPECT_EQ(c.band, Band::kLow);
+    } else if (c.frequency_mhz <= 2100) {
+      EXPECT_EQ(c.band, Band::kMid);
+    } else {
+      EXPECT_EQ(c.band, Band::kHigh);
+    }
+  }
+}
+
+TEST_P(GeneratorSeedTest, EveryFaceHasCoverageLayer) {
+  const Topology topo = generate(GetParam());
+  for (const ENodeB& e : topo.enodebs) {
+    for (const auto& face : e.faces) {
+      bool has_low = false;
+      for (CarrierId id : face) has_low |= topo.carrier(id).band == Band::kLow;
+      EXPECT_TRUE(has_low);
+    }
+  }
+}
+
+TEST_P(GeneratorSeedTest, TrackingAreasNestInMarkets) {
+  const Topology topo = generate(GetParam());
+  for (const Carrier& c : topo.carriers) {
+    EXPECT_EQ(c.tracking_area_code / 8, c.market);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest, ::testing::Values(1u, 2u, 99u));
+
+TEST(Generator, DeepDiveMarketTimezonesMatchTable3) {
+  TopologyParams params;
+  params.num_markets = 6;
+  params.base_enodebs_per_market = 10;
+  const Topology topo = generate_topology(params);
+  EXPECT_EQ(topo.markets[0].timezone, Timezone::kMountain);
+  EXPECT_EQ(topo.markets[1].timezone, Timezone::kCentral);
+  EXPECT_EQ(topo.markets[2].timezone, Timezone::kEastern);
+  EXPECT_EQ(topo.markets[3].timezone, Timezone::kPacific);
+}
+
+TEST(Generator, Market3IsLargestDeepDiveMarket) {
+  TopologyParams params;
+  params.num_markets = 4;
+  params.base_enodebs_per_market = 40;
+  const Topology topo = generate_topology(params);
+  const std::size_t m3 = topo.enodeb_count_in_market(2);
+  for (MarketId m : {0, 1, 3}) {
+    EXPECT_GT(static_cast<double>(m3),
+              1.3 * static_cast<double>(topo.enodeb_count_in_market(m)));
+  }
+}
+
+TEST(Generator, DominantVendorHoldsMostSites) {
+  TopologyParams params;
+  params.num_markets = 2;
+  params.base_enodebs_per_market = 60;
+  const Topology topo = generate_topology(params);
+  for (const Market& market : topo.markets) {
+    std::map<int, int> vendor_count;
+    for (CarrierId id : topo.carriers_in_market(market.id)) {
+      ++vendor_count[topo.carrier(id).vendor];
+    }
+    int total = 0;
+    int best = 0;
+    for (const auto& [vendor, count] : vendor_count) {
+      total += count;
+      best = std::max(best, count);
+    }
+    EXPECT_GT(best, total * 6 / 10);
+  }
+}
+
+TEST(Generator, ScaleKnobScalesCarrierCount) {
+  TopologyParams small;
+  small.num_markets = 2;
+  small.base_enodebs_per_market = 10;
+  TopologyParams big = small;
+  big.base_enodebs_per_market = 40;
+  const auto n_small = generate_topology(small).carrier_count();
+  const auto n_big = generate_topology(big).carrier_count();
+  EXPECT_NEAR(static_cast<double>(n_big) / static_cast<double>(n_small), 4.0, 0.8);
+}
+
+TEST(Generator, RejectsBadParams) {
+  TopologyParams params;
+  params.num_markets = 0;
+  EXPECT_THROW(generate_topology(params), std::invalid_argument);
+  params.num_markets = 1;
+  params.base_enodebs_per_market = 0;
+  EXPECT_THROW(generate_topology(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace auric::netsim

@@ -1,0 +1,51 @@
+#include "netsim/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace auric::netsim {
+namespace {
+
+TEST(Haversine, ZeroDistanceForSamePoint) {
+  const GeoPoint p{40.7128, -74.0060};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, NewYorkToLosAngeles) {
+  const GeoPoint nyc{40.7128, -74.0060};
+  const GeoPoint lax{34.0522, -118.2437};
+  // Great-circle distance ~3936 km.
+  EXPECT_NEAR(haversine_km(nyc, lax), 3936.0, 15.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{35.0, -100.0};
+  const GeoPoint b{36.0, -101.0};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  EXPECT_NEAR(haversine_km({40.0, -75.0}, {41.0, -75.0}), 111.2, 0.5);
+}
+
+TEST(OffsetKm, NorthOffsetChangesLatitudeOnly) {
+  const GeoPoint origin{40.0, -75.0};
+  const GeoPoint moved = offset_km(origin, 10.0, 0.0);
+  EXPECT_NEAR(moved.lon_deg, origin.lon_deg, 1e-12);
+  EXPECT_NEAR(haversine_km(origin, moved), 10.0, 0.05);
+}
+
+TEST(OffsetKm, EastOffsetDistanceAccurate) {
+  const GeoPoint origin{40.0, -75.0};
+  const GeoPoint moved = offset_km(origin, 0.0, 25.0);
+  EXPECT_NEAR(moved.lat_deg, origin.lat_deg, 1e-12);
+  EXPECT_NEAR(haversine_km(origin, moved), 25.0, 0.25);
+}
+
+TEST(OffsetKm, DiagonalOffsetApproximatesPythagoras) {
+  const GeoPoint origin{35.0, -100.0};
+  const GeoPoint moved = offset_km(origin, 30.0, 40.0);
+  EXPECT_NEAR(haversine_km(origin, moved), 50.0, 0.5);
+}
+
+}  // namespace
+}  // namespace auric::netsim

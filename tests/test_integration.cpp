@@ -1,0 +1,173 @@
+// End-to-end properties of the full pipeline: topology -> ground truth ->
+// dependency learning -> voting -> evaluation.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "config/ground_truth.h"
+#include "core/engine.h"
+#include "eval/cf_eval.h"
+#include "eval/mismatch.h"
+#include "test_helpers.h"
+
+namespace auric {
+namespace {
+
+struct World {
+  netsim::Topology topo;
+  netsim::AttributeSchema schema;
+  config::ParamCatalog catalog = config::ParamCatalog::standard();
+  config::ConfigAssignment assignment;
+
+  World(std::uint64_t seed, config::GroundTruthParams gt) {
+    topo = test::small_generated_topology(seed, 2, 18);
+    schema = netsim::AttributeSchema::standard(topo);
+    gt.seed = seed + 100;
+    assignment = config::GroundTruthModel(topo, schema, catalog, gt).assign();
+  }
+};
+
+config::GroundTruthParams deterministic_world() {
+  // Everything attribute-expressible: no noise, no leftovers, no trials, no
+  // pockets, no hidden terrain.
+  config::GroundTruthParams gt;
+  gt.noise_rate = 0.0;
+  gt.stale_rate = 0.0;
+  gt.trial_param_prob = 0.0;
+  gt.pocket_param_prob = 0.0;
+  gt.terrain_param_prob = 0.0;
+  return gt;
+}
+
+class IntegrationSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntegrationSeedTest, AttributePureWorldIsAlmostPerfectlyPredictable) {
+  World world(GetParam(), deterministic_world());
+  eval::CfEvalOptions options;
+  options.max_dependent = 14;  // nothing is hidden; allow the full schema
+  const eval::CfEvaluator evaluator(world.topo, world.schema, world.catalog, world.assignment,
+                                    options);
+  const double accuracy = eval::overall_accuracy(evaluator.evaluate_all());
+  // Every value is a function of visible attributes, so CF should be
+  // near-perfect (small residue from capped groups / interactions).
+  EXPECT_GT(accuracy, 0.985);
+}
+
+TEST_P(IntegrationSeedTest, LocalPocketsAreWhereLocalBeatsGlobal) {
+  config::GroundTruthParams gt = deterministic_world();
+  gt.pocket_param_prob = 1.0;   // pockets on every parameter
+  gt.pocket_site_frac = 0.25;   // and plenty of them
+  World world(GetParam(), gt);
+
+  eval::CfEvalOptions global_options;
+  const eval::CfEvaluator global_eval(world.topo, world.schema, world.catalog,
+                                      world.assignment, global_options);
+  eval::CfEvalOptions local_options;
+  local_options.local = true;
+  const eval::CfEvaluator local_eval(world.topo, world.schema, world.catalog, world.assignment,
+                                     local_options);
+
+  const double global_acc = eval::overall_accuracy(global_eval.evaluate_all());
+  const double local_acc = eval::overall_accuracy(local_eval.evaluate_all());
+  EXPECT_GT(local_acc, global_acc);
+}
+
+TEST_P(IntegrationSeedTest, MismatchAccountingAddsUp) {
+  config::GroundTruthParams gt;  // defaults: full mess, as in the benches
+  World world(GetParam(), gt);
+  eval::CfEvalOptions options;
+  options.local = true;
+  const eval::CfEvaluator evaluator(world.topo, world.schema, world.catalog, world.assignment,
+                                    options);
+  std::vector<eval::CfPrediction> mismatches;
+  const auto results = evaluator.evaluate_all(std::nullopt, &mismatches);
+  std::size_t rows = 0;
+  std::size_t correct = 0;
+  for (const auto& r : results) {
+    rows += r.rows;
+    correct += r.correct;
+  }
+  EXPECT_EQ(rows, correct + mismatches.size());
+  const eval::MismatchBreakdown breakdown =
+      eval::label_mismatches(mismatches, world.catalog, world.assignment);
+  EXPECT_EQ(breakdown.total, mismatches.size());
+  EXPECT_EQ(breakdown.total,
+            breakdown.update_learner + breakdown.good_recommendation + breakdown.inconclusive);
+}
+
+TEST_P(IntegrationSeedTest, StaleLeftoversSurfaceAsGoodRecommendations) {
+  config::GroundTruthParams gt = deterministic_world();
+  gt.stale_rate = 0.05;  // only stale leftovers pollute the world
+  World world(GetParam(), gt);
+  eval::CfEvalOptions options;
+  options.local = true;
+  const eval::CfEvaluator evaluator(world.topo, world.schema, world.catalog, world.assignment,
+                                    options);
+  std::vector<eval::CfPrediction> mismatches;
+  evaluator.evaluate_all(std::nullopt, &mismatches);
+  ASSERT_GT(mismatches.size(), 0u);
+  const eval::MismatchBreakdown breakdown =
+      eval::label_mismatches(mismatches, world.catalog, world.assignment);
+  // The dominant label must be "good recommendation": the network is wrong,
+  // the learner is right.
+  EXPECT_GT(breakdown.fraction(eval::MismatchLabel::kGoodRecommendation), 0.5);
+}
+
+TEST_P(IntegrationSeedTest, VoteThresholdMonotonicity) {
+  config::GroundTruthParams gt;
+  World world(GetParam(), gt);
+  double previous_fallbacks = -1.0;
+  for (double threshold : {0.55, 0.75, 0.95}) {
+    eval::CfEvalOptions options;
+    options.vote_threshold = threshold;
+    const eval::CfEvaluator evaluator(world.topo, world.schema, world.catalog,
+                                      world.assignment, options);
+    std::size_t fallbacks = 0;
+    for (const auto& r : evaluator.evaluate_all()) fallbacks += r.fallback_default;
+    // Raising the support bar can only push more rows onto the default.
+    EXPECT_GE(static_cast<double>(fallbacks), previous_fallbacks);
+    previous_fallbacks = static_cast<double>(fallbacks);
+  }
+}
+
+TEST_P(IntegrationSeedTest, EngineAgreesWithEvaluatorPredictions) {
+  // The production path (AuricEngine::recommend with exclude_self) and the
+  // evaluation path (CfEvaluator's leave-one-out loop) implement the same
+  // protocol; they must produce identical predictions slot for slot.
+  config::GroundTruthParams gt;
+  World world(GetParam(), gt);
+  eval::CfEvalOptions eval_options;
+  eval_options.local = true;
+  const eval::CfEvaluator evaluator(world.topo, world.schema, world.catalog, world.assignment,
+                                    eval_options);
+  core::AuricOptions engine_options;  // defaults match CfEvalOptions defaults
+  const core::AuricEngine engine(world.topo, world.schema, world.catalog, world.assignment,
+                                 engine_options);
+
+  for (config::ParamId param : {world.catalog.id_of("capacityThreshold"),
+                                world.catalog.id_of("pMax"),
+                                world.catalog.id_of("hysA3Offset")}) {
+    std::vector<eval::CfPrediction> mismatches;
+    evaluator.evaluate_param(param, std::nullopt, &mismatches);
+    // Evaluator's prediction per entity: actual unless listed as mismatch.
+    std::map<std::size_t, config::ValueIndex> predicted_override;
+    for (const auto& m : mismatches) predicted_override[m.entity] = m.predicted;
+
+    const core::ParamView view =
+        core::build_param_view(world.topo, world.catalog, world.assignment, param);
+    for (std::size_t r = 0; r < view.rows(); r += 7) {  // sample every 7th row
+      const core::Recommendation rec =
+          engine.recommend(param, view.carrier[r], view.neighbor[r], /*exclude_self=*/true);
+      const auto it = predicted_override.find(view.entity[r]);
+      const config::ValueIndex expected =
+          it != predicted_override.end() ? it->second : view.value[r];
+      EXPECT_EQ(rec.value, expected)
+          << "param " << world.catalog.at(param).name << " row " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationSeedTest, ::testing::Values(31u, 32u));
+
+}  // namespace
+}  // namespace auric

@@ -1,0 +1,165 @@
+#include "io/inventory.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "config/ground_truth.h"
+#include "test_helpers.h"
+#include "util/csv_reader.h"
+
+namespace auric {
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("auric_io_" + std::string(tag));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(CsvParseLine, HandlesQuotingAndEscapes) {
+  using util::parse_csv_line;
+  EXPECT_EQ(parse_csv_line("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_line("\"a,b\",c"), (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(parse_csv_line("\"say \"\"hi\"\"\""), (std::vector<std::string>{"say \"hi\""}));
+  EXPECT_EQ(parse_csv_line(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(parse_csv_line("x,"), (std::vector<std::string>{"x", ""}));
+  EXPECT_THROW(parse_csv_line("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse_csv_line("mid\"quote"), std::invalid_argument);
+}
+
+TEST(CsvTable, ParsesHeaderAndTypedFields) {
+  std::istringstream in("id,name,score\n1,alpha,2.5\n2,\"b,eta\",3\n");
+  const util::CsvTable table = util::CsvTable::parse(in);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.field(0, "name"), "alpha");
+  EXPECT_EQ(table.field(1, "name"), "b,eta");
+  EXPECT_EQ(table.field_int(1, "id"), 2);
+  EXPECT_DOUBLE_EQ(table.field_double(0, "score"), 2.5);
+  EXPECT_TRUE(table.has_column("score"));
+  EXPECT_FALSE(table.has_column("missing"));
+  EXPECT_THROW(table.field(0, "missing"), std::out_of_range);
+  EXPECT_THROW(table.field_int(0, "name"), std::invalid_argument);
+}
+
+TEST(CsvTable, RejectsMalformedInput) {
+  std::istringstream arity("a,b\n1\n");
+  EXPECT_THROW(util::CsvTable::parse(arity), std::invalid_argument);
+  std::istringstream empty("");
+  EXPECT_THROW(util::CsvTable::parse(empty), std::invalid_argument);
+  EXPECT_THROW(util::CsvTable::load("/nonexistent/file.csv"), std::runtime_error);
+}
+
+TEST(InventoryIo, TopologyRoundTripsExactly) {
+  const std::string dir = temp_dir("topo");
+  const netsim::Topology original = test::small_generated_topology(9, 2, 12);
+  io::save_topology(original, dir);
+  const netsim::Topology loaded = io::load_topology(dir);
+
+  ASSERT_EQ(loaded.carrier_count(), original.carrier_count());
+  ASSERT_EQ(loaded.enodebs.size(), original.enodebs.size());
+  ASSERT_EQ(loaded.markets.size(), original.markets.size());
+  for (std::size_t c = 0; c < original.carrier_count(); ++c) {
+    const netsim::Carrier& a = original.carriers[c];
+    const netsim::Carrier& b = loaded.carriers[c];
+    EXPECT_EQ(a.enodeb, b.enodeb);
+    EXPECT_EQ(a.frequency_mhz, b.frequency_mhz);
+    EXPECT_EQ(a.band, b.band);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.bandwidth_mhz, b.bandwidth_mhz);
+    EXPECT_EQ(a.mimo, b.mimo);
+    EXPECT_EQ(a.hardware, b.hardware);
+    EXPECT_EQ(a.tracking_area_code, b.tracking_area_code);
+    EXPECT_EQ(a.vendor, b.vendor);
+    EXPECT_EQ(a.software_version, b.software_version);
+    EXPECT_EQ(a.neighbors_same_enodeb, b.neighbors_same_enodeb);
+    EXPECT_EQ(original.neighborhood(a.id), loaded.neighborhood(a.id));
+  }
+  for (std::size_t m = 0; m < original.markets.size(); ++m) {
+    EXPECT_EQ(original.markets[m].name, loaded.markets[m].name);
+    EXPECT_EQ(original.markets[m].timezone, loaded.markets[m].timezone);
+  }
+  EXPECT_NO_THROW(loaded.check_invariants());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, AssignmentRoundTripsWithGroundTruth) {
+  const std::string dir = temp_dir("assign");
+  const netsim::Topology topo = test::small_generated_topology(4, 2, 10);
+  const auto schema = netsim::AttributeSchema::standard(topo);
+  const auto catalog = config::ParamCatalog::standard();
+  const config::ConfigAssignment original =
+      config::GroundTruthModel(topo, schema, catalog).assign();
+
+  io::save_topology(topo, dir);
+  io::save_assignment(topo, catalog, original, dir);
+  const config::ConfigAssignment loaded = io::load_assignment(topo, catalog, dir);
+
+  ASSERT_EQ(loaded.singular.size(), original.singular.size());
+  for (std::size_t si = 0; si < original.singular.size(); ++si) {
+    EXPECT_EQ(loaded.singular[si].value, original.singular[si].value);
+    EXPECT_EQ(loaded.singular[si].intended, original.singular[si].intended);
+    EXPECT_EQ(loaded.singular[si].cause, original.singular[si].cause);
+  }
+  for (std::size_t pi = 0; pi < original.pairwise.size(); ++pi) {
+    EXPECT_EQ(loaded.pairwise[pi].value, original.pairwise[pi].value);
+    EXPECT_EQ(loaded.pairwise[pi].intended, original.pairwise[pi].intended);
+  }
+  EXPECT_EQ(loaded.total_configured(), original.total_configured());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, LoadRejectsDanglingReferences) {
+  const std::string dir = temp_dir("bad");
+  const netsim::Topology topo = test::tiny_topology();
+  io::save_topology(topo, dir);
+  // Corrupt x2.csv with an edge to a carrier that does not exist.
+  {
+    std::ofstream x2(std::filesystem::path(dir) / "x2.csv", std::ios::app);
+    x2 << "0,999\n";
+  }
+  EXPECT_THROW(io::load_topology(dir), std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, AssignmentWithoutGroundTruthColumnsDefaults) {
+  const std::string dir = temp_dir("plain");
+  const netsim::Topology topo = test::tiny_topology();
+  const auto catalog = config::ParamCatalog::standard();
+  io::save_topology(topo, dir);
+  {
+    std::ofstream cfg(std::filesystem::path(dir) / "config.csv");
+    cfg << "parameter,from,to,value\n";
+    cfg << "pMax,0,,30\n";
+    cfg << "hysA3Offset,0,2,2.5\n";  // edge 0 -> 2 exists (same frequency)
+  }
+  const config::ConfigAssignment loaded = io::load_assignment(topo, catalog, dir);
+  const config::ParamId pmax = catalog.id_of("pMax");
+  const auto& ids = catalog.singular_ids();
+  const std::size_t pos = static_cast<std::size_t>(
+      std::find(ids.begin(), ids.end(), pmax) - ids.begin());
+  EXPECT_EQ(loaded.singular[pos].value[0], catalog.at(pmax).domain.nearest_index(30.0));
+  EXPECT_EQ(loaded.singular[pos].intended[0], loaded.singular[pos].value[0]);
+  EXPECT_EQ(loaded.singular[pos].cause[0], config::Cause::kDefault);
+  EXPECT_EQ(loaded.total_configured(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, AssignmentRejectsUnknownEntities) {
+  const std::string dir = temp_dir("badcfg");
+  const netsim::Topology topo = test::tiny_topology();
+  const auto catalog = config::ParamCatalog::standard();
+  io::save_topology(topo, dir);
+  {
+    std::ofstream cfg(std::filesystem::path(dir) / "config.csv");
+    cfg << "parameter,from,to,value\n";
+    cfg << "hysA3Offset,0,5,2.0\n";  // 0 -> 5 is not an X2 relation
+  }
+  EXPECT_THROW(io::load_assignment(topo, catalog, dir), std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace auric

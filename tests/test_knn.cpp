@@ -1,0 +1,110 @@
+#include "ml/knn.h"
+
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "learner_test_util.h"
+#include "linalg/matrix.h"
+#include "ml/dataset.h"
+
+namespace auric::ml {
+namespace {
+
+TEST(Knn, ExactDuplicatesDominateTheVote) {
+  CategoricalDataset data;
+  data.columns = {{0, 0, 0, 1, 1}, {1, 1, 1, 0, 0}};
+  data.cardinality = {2, 2};
+  data.column_names = {"a", "b"};
+  data.labels = {0, 0, 0, 1, 1};
+  data.class_values = {5, 9};
+  KNearestNeighbors knn(KnnOptions{3});
+  knn.fit(data, test::all_rows(data));
+  EXPECT_EQ(knn.predict(std::vector<std::int32_t>{0, 1}), 0);
+  EXPECT_EQ(knn.predict(std::vector<std::int32_t>{1, 0}), 1);
+}
+
+TEST(Knn, LearnsRuleDataset) {
+  const CategoricalDataset train = test::rule_dataset(800, 0.0, 1);
+  const CategoricalDataset fresh = test::rule_dataset(200, 0.0, 2);
+  KNearestNeighbors knn;  // k = 5 per §4.2(3)
+  knn.fit(train, test::all_rows(train));
+  EXPECT_GT(test::train_accuracy(knn, fresh), 0.9);
+}
+
+TEST(Knn, KLargerThanTrainingSetFallsBackToAllRows) {
+  CategoricalDataset data;
+  data.columns = {{0, 1}};
+  data.cardinality = {2};
+  data.column_names = {"a"};
+  data.labels = {1, 1};
+  data.class_values = {0, 3};
+  KNearestNeighbors knn(KnnOptions{50});
+  knn.fit(data, test::all_rows(data));
+  EXPECT_EQ(knn.predict(std::vector<std::int32_t>{0}), 1);
+}
+
+TEST(Knn, HammingEqualsOneHotEuclidean) {
+  // The class documents that 2 x Hamming == squared Euclidean on one-hot
+  // rows; verify the identity the implementation relies on.
+  const CategoricalDataset data = test::rule_dataset(40, 0.5, 3);
+  const OneHotEncoder encoder(data);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      const auto a = encoder.encode_row(data.row_codes(i));
+      const auto b = encoder.encode_row(data.row_codes(j));
+      int hamming = 0;
+      for (std::size_t attr = 0; attr < data.num_attributes(); ++attr) {
+        hamming += data.columns[attr][i] != data.columns[attr][j] ? 1 : 0;
+      }
+      EXPECT_DOUBLE_EQ(linalg::squared_distance(a, b), 2.0 * hamming);
+    }
+  }
+}
+
+TEST(Knn, IrrelevantAttributesDiluteDistance) {
+  // The paper's §3.2 critique: k-NN with many irrelevant attributes labels
+  // truly similar carriers as far away. One relevant binary attribute is
+  // drowned by six irrelevant binary ones; a relevance-aware learner (the
+  // decision tree) stays perfect on fresh rows while k-NN degrades.
+  CategoricalDataset data;
+  data.columns.resize(7);
+  data.cardinality.assign(7, 2);
+  data.column_names = {"relevant", "j1", "j2", "j3", "j4", "j5", "j6"};
+  util::Rng rng(7);
+  for (int i = 0; i < 120; ++i) {
+    for (int a = 0; a < 7; ++a) {
+      data.columns[static_cast<std::size_t>(a)].push_back(
+          static_cast<std::int32_t>(rng.uniform_int(0, 1)));
+    }
+    data.labels.push_back(data.columns[0].back());
+  }
+  data.class_values = {0, 1};
+  KNearestNeighbors knn;
+  knn.fit(data, test::all_rows(data));
+  // Fresh rows (junk re-rolled): no exact duplicates to lean on.
+  CategoricalDataset fresh = data;
+  for (int a = 1; a < 7; ++a) {
+    for (auto& code : fresh.columns[static_cast<std::size_t>(a)]) {
+      code = static_cast<std::int32_t>(rng.uniform_int(0, 1));
+    }
+  }
+  ml::DecisionTree tree;
+  tree.fit(data, test::all_rows(data));
+  const double tree_acc = test::train_accuracy(tree, fresh);
+  const double knn_acc = test::train_accuracy(knn, fresh);
+  EXPECT_DOUBLE_EQ(tree_acc, 1.0);
+  EXPECT_LT(knn_acc, tree_acc);  // dilution produces real errors
+
+}
+
+TEST(Knn, RejectsBadOptionsAndUsage) {
+  EXPECT_THROW(KNearestNeighbors(KnnOptions{0}), std::invalid_argument);
+  KNearestNeighbors knn;
+  const CategoricalDataset data = test::rule_dataset(4, 0.0, 1);
+  EXPECT_THROW(knn.fit(data, {}), std::invalid_argument);
+  EXPECT_THROW(knn.predict(data.row_codes(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace auric::ml

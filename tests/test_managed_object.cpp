@@ -1,0 +1,68 @@
+#include "config/managed_object.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace auric::config {
+namespace {
+
+TEST(MoPaths, FollowVendorHierarchy) {
+  const netsim::Topology topo = test::tiny_topology();
+  const netsim::Carrier& carrier = topo.carriers[0];   // eNodeB 0, face 0, 700
+  const netsim::Carrier& neighbor = topo.carriers[2];  // eNodeB 1, face 0, 700
+  EXPECT_EQ(cell_mo_path(carrier), "ENodeBFunction=0/EUtranCellFDD=0-0-700");
+  EXPECT_EQ(freq_relation_mo_path(carrier, neighbor),
+            "ENodeBFunction=0/EUtranCellFDD=0-0-700/EUtranFreqRelation=700");
+  EXPECT_EQ(cell_relation_mo_path(carrier, neighbor),
+            "ENodeBFunction=0/EUtranCellFDD=0-0-700/EUtranFreqRelation=700/"
+            "EUtranCellRelation=2");
+}
+
+TEST(RenderConfig, PrintsRawValuesInVendorUnits) {
+  const ParamCatalog catalog = test::tiny_catalog();
+  CarrierConfig config;
+  config.carrier = 0;
+  config.settings.push_back({"MO=1", 0, 3});   // integer domain -> "3"
+  config.settings.push_back({"MO=1", 1, 5});   // 0.5-step domain -> "2.5"
+  const auto lines = render_config_commands(config, catalog);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "set MO=1 toySingular 3");
+  EXPECT_EQ(lines[1], "set MO=1 toyPairwise 2.5");
+}
+
+TEST(DiffConfig, EmitsOnlyChangedOrNewSettings) {
+  CarrierConfig current;
+  current.settings = {{"A", 0, 1}, {"B", 0, 2}, {"C", 1, 3}};
+  CarrierConfig desired;
+  desired.settings = {{"A", 0, 1},   // unchanged -> dropped
+                      {"B", 0, 5},   // changed -> kept
+                      {"D", 1, 7}};  // new -> kept
+  canonicalize(current);
+  canonicalize(desired);
+  const auto diff = diff_config(current, desired);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0].mo_path, "B");
+  EXPECT_EQ(diff[0].value, 5);
+  EXPECT_EQ(diff[1].mo_path, "D");
+}
+
+TEST(DiffConfig, EmptyDesiredMeansNoChanges) {
+  CarrierConfig current;
+  current.settings = {{"A", 0, 1}};
+  EXPECT_TRUE(diff_config(current, CarrierConfig{}).empty());
+}
+
+TEST(Canonicalize, SortsByPathThenParam) {
+  CarrierConfig config;
+  config.settings = {{"B", 1, 0}, {"A", 1, 0}, {"A", 0, 0}};
+  canonicalize(config);
+  EXPECT_EQ(config.settings[0].mo_path, "A");
+  EXPECT_EQ(config.settings[0].param, 0);
+  EXPECT_EQ(config.settings[1].mo_path, "A");
+  EXPECT_EQ(config.settings[1].param, 1);
+  EXPECT_EQ(config.settings[2].mo_path, "B");
+}
+
+}  // namespace
+}  // namespace auric::config

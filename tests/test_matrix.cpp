@@ -1,0 +1,123 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace auric::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (double v : m.data()) EXPECT_EQ(v, 0.0);
+  m.at(1, 2) = 5.0;
+  EXPECT_EQ(m.at(1, 2), 5.0);
+  EXPECT_EQ(m.row(1)[2], 5.0);
+}
+
+TEST(Matrix, RejectsBadDataSize) {
+  EXPECT_THROW(Matrix(2, 2, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Matmul, KnownProduct) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = matmul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW(matmul_transposed(Matrix(2, 3), Matrix(2, 4)), std::invalid_argument);
+  EXPECT_THROW(matvec(Matrix(2, 3), std::vector<double>{1.0}), std::invalid_argument);
+}
+
+class MatmulPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatmulPropertyTest, TransposedVariantAgrees) {
+  util::Rng rng(GetParam());
+  const Matrix a = random_matrix(5, 7, rng);
+  const Matrix b = random_matrix(7, 4, rng);
+  const Matrix direct = matmul(a, b);
+  const Matrix via_t = matmul_transposed(a, b.transposed());
+  ASSERT_EQ(direct.rows(), via_t.rows());
+  ASSERT_EQ(direct.cols(), via_t.cols());
+  for (std::size_t i = 0; i < direct.data().size(); ++i) {
+    EXPECT_NEAR(direct.data()[i], via_t.data()[i], 1e-12);
+  }
+}
+
+TEST_P(MatmulPropertyTest, TransposeIsInvolution) {
+  util::Rng rng(GetParam());
+  const Matrix a = random_matrix(6, 3, rng);
+  EXPECT_EQ(a.transposed().transposed(), a);
+}
+
+TEST_P(MatmulPropertyTest, MatvecMatchesMatmulColumn) {
+  util::Rng rng(GetParam());
+  const Matrix m = random_matrix(4, 6, rng);
+  std::vector<double> x(6);
+  for (double& v : x) v = rng.uniform(-2.0, 2.0);
+  const auto y = matvec(m, x);
+  const Matrix xs(6, 1, std::vector<double>(x));
+  const Matrix prod = matmul(m, xs);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_NEAR(y[r], prod.at(r, 0), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatmulPropertyTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Helpers, DotAndDistance) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 27.0);
+}
+
+TEST(Helpers, Axpy) {
+  std::vector<double> a{1, 1};
+  const std::vector<double> b{2, 3};
+  axpy(a, 2.0, b);
+  EXPECT_DOUBLE_EQ(a[0], 5.0);
+  EXPECT_DOUBLE_EQ(a[1], 7.0);
+}
+
+TEST(Helpers, ColumnSumsAndRowVector) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  const auto sums = column_sums(m);
+  EXPECT_DOUBLE_EQ(sums[0], 4.0);
+  EXPECT_DOUBLE_EQ(sums[1], 6.0);
+  add_row_vector(m, std::vector<double>{10, 20});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 24.0);
+}
+
+TEST(Helpers, SelectRows) {
+  const Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix sel = m.select_rows(idx);
+  EXPECT_DOUBLE_EQ(sel.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sel.at(1, 1), 2.0);
+  const std::vector<std::size_t> bad{9};
+  EXPECT_THROW(m.select_rows(bad), std::out_of_range);
+}
+
+TEST(Helpers, SquaredNorm) {
+  const Matrix m(1, 3, {1, 2, 2});
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 9.0);
+}
+
+}  // namespace
+}  // namespace auric::linalg

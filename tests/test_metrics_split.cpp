@@ -1,0 +1,128 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "ml/split.h"
+#include "util/rng.h"
+
+namespace auric::ml {
+namespace {
+
+TEST(Accuracy, CountsMatches) {
+  const std::vector<std::int32_t> pred{1, 2, 3, 4};
+  const std::vector<std::int32_t> actual{1, 0, 3, 0};
+  EXPECT_DOUBLE_EQ(accuracy(pred, actual), 0.5);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+  const std::vector<std::int32_t> longer{1, 2, 3};
+  const std::vector<std::int32_t> shorter{1};
+  EXPECT_THROW(accuracy(longer, shorter), std::invalid_argument);
+}
+
+TEST(Skewness, SymmetricDistributionIsZero) {
+  const std::vector<double> symmetric{-2, -1, 0, 1, 2};
+  EXPECT_NEAR(skewness(symmetric), 0.0, 1e-12);
+}
+
+TEST(Skewness, HandComputedValue) {
+  // {0,0,0,1}: mean .25, m2 = 3/16, m3 = (3*(-1/64) + 27/64)/4 = 3/32.
+  // skew = (3/32) / (3/16)^1.5 = 1.1547...
+  const std::vector<double> values{0, 0, 0, 1};
+  EXPECT_NEAR(skewness(values), (3.0 / 32.0) / std::pow(3.0 / 16.0, 1.5), 1e-12);
+}
+
+TEST(Skewness, RightTailIsPositive) {
+  const std::vector<double> right{1, 1, 1, 1, 1, 1, 1, 1, 10};
+  EXPECT_GT(skewness(right), 1.0);
+  std::vector<double> left = right;
+  for (double& v : left) v = -v;
+  EXPECT_LT(skewness(left), -1.0);
+}
+
+TEST(Skewness, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(skewness(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(skewness(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(skewness(std::vector<double>{2.0, 2.0, 2.0}), 0.0);  // zero variance
+}
+
+TEST(SkewnessBands, PaperThresholds) {
+  // §2.6: symmetric within +-0.5, moderate to +-1, high beyond.
+  EXPECT_EQ(skewness_band(0.3), SkewnessBand::kSymmetric);
+  EXPECT_EQ(skewness_band(-0.4), SkewnessBand::kSymmetric);
+  EXPECT_EQ(skewness_band(0.7), SkewnessBand::kModeratelySkewed);
+  EXPECT_EQ(skewness_band(-0.99), SkewnessBand::kModeratelySkewed);
+  EXPECT_EQ(skewness_band(1.5), SkewnessBand::kHighlySkewed);
+  EXPECT_EQ(skewness_band(-2.0), SkewnessBand::kHighlySkewed);
+}
+
+TEST(DistinctValueCount, IgnoresUnset) {
+  const std::vector<config::ValueIndex> values{3, 3, config::kUnset, 7, 3, config::kUnset, 9};
+  EXPECT_EQ(distinct_value_count(values), 3u);
+  EXPECT_EQ(distinct_value_count(std::vector<config::ValueIndex>{}), 0u);
+}
+
+TEST(MeanAccumulator, WeightedMean) {
+  MeanAccumulator acc;
+  acc.add(1.0, 1.0);
+  acc.add(4.0, 3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 13.0 / 4.0);
+  EXPECT_DOUBLE_EQ(acc.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(MeanAccumulator{}.mean(), 0.0);
+}
+
+class KFoldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KFoldTest, PartitionsAllRowsWithBalancedFolds) {
+  util::Rng rng(3);
+  const int k = GetParam();
+  const auto assignment = kfold_assignment(103, k, rng);
+  std::vector<int> sizes(static_cast<std::size_t>(k), 0);
+  for (int fold : assignment) {
+    ASSERT_GE(fold, 0);
+    ASSERT_LT(fold, k);
+    ++sizes[static_cast<std::size_t>(fold)];
+  }
+  int lo = 1000;
+  int hi = 0;
+  for (int s : sizes) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST_P(KFoldTest, FoldSplitCoversEverything) {
+  util::Rng rng(4);
+  const int k = GetParam();
+  const auto assignment = kfold_assignment(50, k, rng);
+  for (int fold = 0; fold < k; ++fold) {
+    const FoldSplit split = fold_split(assignment, fold);
+    EXPECT_EQ(split.train.size() + split.test.size(), 50u);
+    for (std::size_t row : split.test) EXPECT_EQ(assignment[row], fold);
+    for (std::size_t row : split.train) EXPECT_NE(assignment[row], fold);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Folds, KFoldTest, ::testing::Values(2, 3, 5, 10));
+
+TEST(KFold, RejectsFewerThanTwoFolds) {
+  util::Rng rng(1);
+  EXPECT_THROW(kfold_assignment(10, 1, rng), std::invalid_argument);
+}
+
+TEST(CapIndices, CapsAndSortsDeterministically) {
+  util::Rng rng(5);
+  std::vector<std::size_t> indices(100);
+  for (std::size_t i = 0; i < 100; ++i) indices[i] = i;
+  cap_indices(indices, 10, rng);
+  EXPECT_EQ(indices.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(indices.begin(), indices.end()));
+  std::vector<std::size_t> small{1, 2, 3};
+  cap_indices(small, 10, rng);
+  EXPECT_EQ(small.size(), 3u);
+  cap_indices(small, 0, rng);  // 0 disables the cap
+  EXPECT_EQ(small.size(), 3u);
+}
+
+}  // namespace
+}  // namespace auric::ml

@@ -1,0 +1,86 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "learner_test_util.h"
+
+namespace auric::ml {
+namespace {
+
+MlpOptions small_net() {
+  MlpOptions options;
+  options.hidden_sizes = {16, 8};
+  options.max_epochs = 150;
+  options.seed = 1;
+  return options;
+}
+
+TEST(Mlp, LearnsLinearlySeparableRule) {
+  const CategoricalDataset data = test::rule_dataset(500, 0.0, 1, /*classes=*/3);
+  MultilayerPerceptron mlp(small_net());
+  mlp.fit(data, test::all_rows(data));
+  EXPECT_GT(test::train_accuracy(mlp, data), 0.97);
+  EXPECT_GT(mlp.epochs_run(), 0);
+}
+
+TEST(Mlp, LossDecreasesOverTraining) {
+  const CategoricalDataset data = test::rule_dataset(300, 0.0, 2, 3);
+  MlpOptions one_epoch = small_net();
+  one_epoch.max_epochs = 1;
+  one_epoch.patience = 1000;
+  MultilayerPerceptron brief(one_epoch);
+  brief.fit(data, test::all_rows(data));
+  MlpOptions many = one_epoch;
+  many.max_epochs = 100;
+  MultilayerPerceptron longer(many);
+  longer.fit(data, test::all_rows(data));
+  EXPECT_LT(longer.final_loss(), brief.final_loss());
+}
+
+TEST(Mlp, EarlyStoppingHaltsOnPlateau) {
+  // Constant labels: loss hits ~0 immediately; patience should stop training
+  // long before the epoch cap.
+  CategoricalDataset data = test::rule_dataset(100, 0.0, 3, 2);
+  for (auto& label : data.labels) label = 0;
+  MlpOptions options = small_net();
+  options.max_epochs = 500;
+  options.patience = 5;
+  options.learning_rate = 0.05;  // converge within a few epochs, then plateau
+  MultilayerPerceptron mlp(options);
+  mlp.fit(data, test::all_rows(data));
+  EXPECT_LT(mlp.epochs_run(), 100);
+  EXPECT_EQ(mlp.predict(data.row_codes(0)), 0);
+}
+
+TEST(Mlp, DeterministicInSeed) {
+  const CategoricalDataset data = test::rule_dataset(200, 0.1, 4, 3);
+  MultilayerPerceptron a(small_net());
+  MultilayerPerceptron b(small_net());
+  a.fit(data, test::all_rows(data));
+  b.fit(data, test::all_rows(data));
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    EXPECT_EQ(a.predict(data.row_codes(r)), b.predict(data.row_codes(r)));
+  }
+}
+
+TEST(Mlp, PaperArchitectureDefaults) {
+  const MlpOptions defaults;
+  // §4.2(4): "7 hidden layers with sizes 100, 100, 100, 50, 50, 50, 10".
+  EXPECT_EQ(defaults.hidden_sizes,
+            (std::vector<std::size_t>{100, 100, 100, 50, 50, 50, 10}));
+  EXPECT_DOUBLE_EQ(defaults.l2_penalty, 1e-5);
+  EXPECT_EQ(defaults.seed, 1u);
+}
+
+TEST(Mlp, RejectsBadUsage) {
+  MlpOptions no_hidden;
+  no_hidden.hidden_sizes.clear();
+  EXPECT_THROW(MultilayerPerceptron{no_hidden}, std::invalid_argument);
+  MultilayerPerceptron mlp(small_net());
+  const CategoricalDataset data = test::rule_dataset(4, 0.0, 1);
+  EXPECT_THROW(mlp.fit(data, {}), std::invalid_argument);
+  EXPECT_THROW(mlp.predict(data.row_codes(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace auric::ml

@@ -1,0 +1,72 @@
+#include "eval/model_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "learner_test_util.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+
+namespace auric::eval {
+namespace {
+
+ClassifierFactory tree_factory() {
+  return [] { return std::make_unique<ml::DecisionTree>(); };
+}
+
+TEST(EvaluateModel, LearnableRuleScoresHigh) {
+  const ml::CategoricalDataset data = test::rule_dataset(600, 0.0, 1);
+  const ModelEvalResult result = evaluate_model(tree_factory(), data, {});
+  EXPECT_GT(result.accuracy(), 0.97);
+  EXPECT_GT(result.evaluated_rows, 0u);
+}
+
+TEST(EvaluateModel, SingleClassShortCircuits) {
+  ml::CategoricalDataset data = test::rule_dataset(50, 0.0, 2);
+  for (auto& label : data.labels) label = 0;
+  data.class_values = {42};
+  const ModelEvalResult result = evaluate_model(tree_factory(), data, {});
+  EXPECT_EQ(result.evaluated_rows, 50u);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+}
+
+TEST(EvaluateModel, EmptyDatasetScoresZeroRows) {
+  ml::CategoricalDataset data;
+  const ModelEvalResult result = evaluate_model(tree_factory(), data, {});
+  EXPECT_EQ(result.evaluated_rows, 0u);
+}
+
+TEST(EvaluateModel, TinyDatasetUsesTwoFolds) {
+  const ml::CategoricalDataset data = test::rule_dataset(5, 0.0, 3);
+  ModelEvalOptions options;
+  options.folds = 5;  // more folds than sensible for 5 rows
+  const ModelEvalResult result = evaluate_model(tree_factory(), data, options);
+  EXPECT_EQ(result.evaluated_rows, 5u);  // every row tested exactly once
+}
+
+TEST(EvaluateModel, TrainCapBoundsCost) {
+  const ml::CategoricalDataset data = test::rule_dataset(2000, 0.0, 4);
+  ModelEvalOptions options;
+  options.train_cap = 50;
+  options.test_cap = 100;
+  options.folds = 2;
+  const ModelEvalResult result = evaluate_model(tree_factory(), data, options);
+  EXPECT_LE(result.evaluated_rows, 200u);
+  EXPECT_GT(result.accuracy(), 0.8);  // the rule is easy even from 50 rows
+}
+
+TEST(EvaluateModel, RejectsBadFolds) {
+  const ml::CategoricalDataset data = test::rule_dataset(20, 0.0, 5);
+  ModelEvalOptions options;
+  options.folds = 1;
+  EXPECT_THROW(evaluate_model(tree_factory(), data, options), std::invalid_argument);
+}
+
+TEST(EvaluateModel, WorksAcrossLearnerFamilies) {
+  const ml::CategoricalDataset data = test::rule_dataset(400, 0.05, 6);
+  const ModelEvalResult knn = evaluate_model(
+      [] { return std::make_unique<ml::KNearestNeighbors>(); }, data, {});
+  EXPECT_GT(knn.accuracy(), 0.85);
+}
+
+}  // namespace
+}  // namespace auric::eval

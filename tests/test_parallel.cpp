@@ -1,0 +1,51 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace auric::util {
+namespace {
+
+class WorkerCountTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { set_worker_count(GetParam()); }
+  void TearDown() override { set_worker_count(0); }
+};
+
+TEST_P(WorkerCountTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(WorkerCountTest, EmptyRangeIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST_P(WorkerCountTest, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(16,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST_P(WorkerCountTest, ResultsMatchSerialComputation) {
+  std::vector<long> out(100);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = static_cast<long>(i * i); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<long>(i * i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerCountTest, ::testing::Values(1u, 2u, 4u));
+
+TEST(WorkerCount, DefaultAtLeastOne) {
+  set_worker_count(0);
+  EXPECT_GE(worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace auric::util

@@ -1,0 +1,101 @@
+#include "core/param_view.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace auric::core {
+namespace {
+
+struct Fixture {
+  netsim::Topology topo = test::tiny_topology();
+  config::ParamCatalog catalog = test::tiny_catalog();
+  config::ConfigAssignment assignment = test::tiny_assignment(topo);
+  netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topo);
+};
+
+TEST(ParamView, SingularCoversAllConfiguredCarriers) {
+  Fixture f;
+  const ParamView view = build_param_view(f.topo, f.catalog, f.assignment, 0);
+  EXPECT_FALSE(view.pairwise);
+  EXPECT_EQ(view.rows(), 6u);
+  // Two distinct values: 3 (low band) and 7 (mid band).
+  EXPECT_EQ(view.labels.size(), 2u);
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    const auto band = f.topo.carrier(view.carrier[r]).band;
+    EXPECT_EQ(view.value[r], band == netsim::Band::kLow ? 3 : 7);
+    EXPECT_EQ(view.neighbor[r], netsim::kInvalidCarrier);
+    EXPECT_EQ(view.entity[r], static_cast<std::size_t>(view.carrier[r]));
+  }
+}
+
+TEST(ParamView, MarketFilterRestrictsRows) {
+  Fixture f;
+  const ParamView view = build_param_view(f.topo, f.catalog, f.assignment, 0, netsim::MarketId{1});
+  EXPECT_EQ(view.rows(), 2u);
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    EXPECT_EQ(f.topo.carrier(view.carrier[r]).market, 1);
+  }
+}
+
+TEST(ParamView, PairwiseOnlyIntraFrequencyEdges) {
+  Fixture f;
+  const ParamView view = build_param_view(f.topo, f.catalog, f.assignment, 1);
+  EXPECT_TRUE(view.pairwise);
+  // Intra-frequency edges in the fixture: 0<->2 and 1<->3 (both directions).
+  EXPECT_EQ(view.rows(), 4u);
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    EXPECT_EQ(f.topo.carrier(view.carrier[r]).frequency_mhz,
+              f.topo.carrier(view.neighbor[r]).frequency_mhz);
+    EXPECT_EQ(view.value[r], 2);
+  }
+}
+
+TEST(ParamView, RowsOfIndexIsConsistent) {
+  Fixture f;
+  const ParamView view = build_param_view(f.topo, f.catalog, f.assignment, 1);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < f.topo.carrier_count(); ++c) {
+    for (std::uint32_t row : view.rows_of(static_cast<netsim::CarrierId>(c))) {
+      EXPECT_EQ(view.carrier[row], static_cast<netsim::CarrierId>(c));
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, view.rows());
+}
+
+TEST(ParamView, LabelsRoundTripValues) {
+  Fixture f;
+  const ParamView view = build_param_view(f.topo, f.catalog, f.assignment, 0);
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    EXPECT_EQ(view.labels.values[static_cast<std::size_t>(view.label[r])], view.value[r]);
+  }
+}
+
+TEST(ToCategoricalDataset, SingularHasOneColumnPerAttribute) {
+  Fixture f;
+  const auto codes = f.schema.encode_all(f.topo);
+  const ParamView view = build_param_view(f.topo, f.catalog, f.assignment, 0);
+  const ml::CategoricalDataset data = to_categorical_dataset(view, f.schema, codes);
+  EXPECT_EQ(data.num_attributes(), f.schema.attribute_count());
+  EXPECT_EQ(data.rows(), view.rows());
+  data.check();
+}
+
+TEST(ToCategoricalDataset, PairwiseAddsNeighborColumns) {
+  Fixture f;
+  const auto codes = f.schema.encode_all(f.topo);
+  const ParamView view = build_param_view(f.topo, f.catalog, f.assignment, 1);
+  const ml::CategoricalDataset data = to_categorical_dataset(view, f.schema, codes);
+  EXPECT_EQ(data.num_attributes(), 2 * f.schema.attribute_count());
+  EXPECT_EQ(data.column_names[f.schema.attribute_count()], "nbr_carrier_frequency");
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const std::size_t freq = f.schema.index_of("carrier_frequency");
+    // Intra-frequency relation: carrier and neighbor share the frequency code.
+    EXPECT_EQ(data.columns[freq][r], data.columns[f.schema.attribute_count() + freq][r]);
+  }
+  data.check();
+}
+
+}  // namespace
+}  // namespace auric::core

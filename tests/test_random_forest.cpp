@@ -1,0 +1,60 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "learner_test_util.h"
+
+namespace auric::ml {
+namespace {
+
+TEST(RandomForest, LearnsNoiselessRule) {
+  const CategoricalDataset data = test::rule_dataset(500, 0.0, 1);
+  RandomForestOptions options;
+  options.num_trees = 25;  // enough for the toy problem, fast in CI
+  RandomForest forest(options);
+  forest.fit(data, test::all_rows(data));
+  EXPECT_EQ(forest.tree_count(), 25u);
+  EXPECT_GT(test::train_accuracy(forest, data), 0.99);
+}
+
+TEST(RandomForest, RobustToLabelNoise) {
+  const CategoricalDataset noisy = test::rule_dataset(1500, 0.2, 3);
+  const CategoricalDataset clean = test::rule_dataset(300, 0.0, 4);
+  RandomForestOptions options;
+  options.num_trees = 25;
+  RandomForest forest(options);
+  forest.fit(noisy, test::all_rows(noisy));
+  EXPECT_GT(test::train_accuracy(forest, clean), 0.95);
+}
+
+TEST(RandomForest, DeterministicInSeed) {
+  const CategoricalDataset data = test::rule_dataset(300, 0.1, 5);
+  RandomForestOptions options;
+  options.num_trees = 10;
+  options.seed = 42;
+  RandomForest a(options);
+  RandomForest b(options);
+  a.fit(data, test::all_rows(data));
+  b.fit(data, test::all_rows(data));
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    EXPECT_EQ(a.predict(data.row_codes(r)), b.predict(data.row_codes(r)));
+  }
+}
+
+TEST(RandomForest, PaperDefaultIsHundredTrees) {
+  EXPECT_EQ(RandomForestOptions{}.num_trees, 100);  // §4.2(2)
+  EXPECT_EQ(RandomForestOptions{}.max_depth, -1);   // pure leaves
+}
+
+TEST(RandomForest, RejectsBadOptionsAndEmptyFit) {
+  RandomForestOptions bad;
+  bad.num_trees = 0;
+  EXPECT_THROW(RandomForest{bad}, std::invalid_argument);
+  RandomForest forest;
+  const CategoricalDataset data = test::rule_dataset(4, 0.0, 1);
+  EXPECT_THROW(forest.fit(data, {}), std::invalid_argument);
+  EXPECT_THROW(forest.predict(data.row_codes(0)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace auric::ml

@@ -1,0 +1,97 @@
+#include "smartlaunch/replay.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "config/ground_truth.h"
+#include "test_helpers.h"
+
+namespace auric::smartlaunch {
+namespace {
+
+struct Fixture {
+  netsim::Topology topo = test::small_generated_topology(13, 2, 12);
+  netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topo);
+  config::ParamCatalog catalog = config::ParamCatalog::standard();
+  config::GroundTruthModel ground_truth{topo, schema, catalog};
+  config::ConfigAssignment assignment = ground_truth.assign();
+
+  ReplayOptions options() const {
+    ReplayOptions o;
+    o.days = 14;
+    o.launches_per_day = 5;
+    o.relearn_every_days = 7;
+    return o;
+  }
+};
+
+TEST(OperationReplay, CountersAreConsistent) {
+  Fixture f;
+  OperationReplay replay(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                         f.options());
+  const ReplayReport report = replay.run();
+  EXPECT_EQ(report.totals.launches, 70u);
+  EXPECT_EQ(report.weeks.size(), 2u);
+  std::size_t weekly_launches = 0;
+  std::size_t weekly_flagged = 0;
+  for (const WeeklySummary& week : report.weeks) {
+    weekly_launches += week.launches;
+    weekly_flagged += week.change_recommended;
+    EXPECT_GE(week.mean_launched_kpi, 0.0);
+    EXPECT_LE(week.mean_launched_kpi, 1.0);
+  }
+  EXPECT_EQ(weekly_launches, report.totals.launches);
+  EXPECT_EQ(weekly_flagged, report.totals.change_recommended);
+  EXPECT_EQ(report.totals.implemented + report.totals.fallout_unlocked +
+                report.totals.fallout_timeout,
+            report.totals.change_recommended);
+  EXPECT_EQ(report.engine_relearns, 2);  // day 0 and day 7
+}
+
+TEST(OperationReplay, LaunchedCarriersLandNearIntent) {
+  Fixture f;
+  OperationReplay replay(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                         f.options());
+  const ReplayReport report = replay.run();
+  // Launch configs are vendor values (mostly intent) plus Auric pushes; the
+  // launched cohort must sit well above the pre-existing noise floor.
+  for (const WeeklySummary& week : report.weeks) {
+    EXPECT_GT(week.mean_launched_kpi, 0.9);
+  }
+  EXPECT_GE(report.final_network_kpi + 1e-9, report.initial_network_kpi * 0.98);
+}
+
+TEST(OperationReplay, StateEvolvesOnlyOnLaunchedCarriers) {
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.days = 1;
+  options.launches_per_day = 3;  // exactly three carriers touched
+  OperationReplay replay(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  replay.run();
+  const config::ConfigAssignment& evolved = replay.network_state();
+  // Count carriers whose singular configuration changed.
+  std::set<netsim::CarrierId> touched;
+  for (std::size_t si = 0; si < evolved.singular.size(); ++si) {
+    for (std::size_t c = 0; c < evolved.singular[si].value.size(); ++c) {
+      if (evolved.singular[si].value[c] != f.assignment.singular[si].value[c]) {
+        touched.insert(static_cast<netsim::CarrierId>(c));
+      }
+    }
+  }
+  EXPECT_LE(touched.size(), 3u);
+}
+
+TEST(OperationReplay, DeterministicInSeed) {
+  Fixture f;
+  OperationReplay a(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, f.options());
+  OperationReplay b(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, f.options());
+  const ReplayReport ra = a.run();
+  const ReplayReport rb = b.run();
+  EXPECT_EQ(ra.totals.change_recommended, rb.totals.change_recommended);
+  EXPECT_EQ(ra.totals.parameters_changed, rb.totals.parameters_changed);
+  EXPECT_DOUBLE_EQ(ra.final_network_kpi, rb.final_network_kpi);
+}
+
+}  // namespace
+}  // namespace auric::smartlaunch

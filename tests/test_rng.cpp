@@ -1,0 +1,162 @@
+// Unit and property tests for the deterministic RNG.
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace auric::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(a, splitmix64(state2));
+  EXPECT_EQ(b, splitmix64(state2));
+  EXPECT_NE(a, b);
+}
+
+TEST(HashCombine, OrderSensitiveAndStable) {
+  const auto h1 = hash_combine({1, 2, 3});
+  const auto h2 = hash_combine({3, 2, 1});
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(h1, hash_combine({1, 2, 3}));
+  EXPECT_NE(hash_combine({1}), hash_combine({1, 0}));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+class RngSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedTest, UniformIntStaysInBounds) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-7, 13);
+    EXPECT_GE(v, -7);
+    EXPECT_LE(v, 13);
+  }
+}
+
+TEST_P(RngSeedTest, UniformIntCoversRange) {
+  Rng rng(GetParam());
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST_P(RngSeedTest, UniformInUnitInterval) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 4000.0, 0.5, 0.03);
+}
+
+TEST_P(RngSeedTest, NormalHasZeroMeanUnitVariance) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 8000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sq / kN, 1.0, 0.08);
+}
+
+TEST_P(RngSeedTest, ShuffleIsAPermutation) {
+  Rng rng(GetParam());
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::is_sorted(shuffled.begin(), shuffled.end()));  // astronomically unlikely
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST_P(RngSeedTest, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(GetParam());
+  const auto sample = rng.sample_indices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest, ::testing::Values(1u, 7u, 12345u, 0xDEADBEEFu));
+
+TEST(Rng, SampleMoreThanAvailableReturnsAll) {
+  Rng rng(1);
+  const auto sample = rng.sample_indices(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  const std::vector<double> weights{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.45);
+}
+
+TEST(Rng, WeightedIndexThrowsOnAllZero) {
+  Rng rng(1);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(Rng, ZipfFavorsSmallValues) {
+  Rng rng(9);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.zipf(10, 1.2);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 10);
+    if (v <= 2) ++low;
+  }
+  EXPECT_GT(low, 1000);  // head-heavy
+}
+
+TEST(Rng, ForkWithDistinctTagsDiverges) {
+  Rng parent(77);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace auric::util

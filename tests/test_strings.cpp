@@ -1,0 +1,52 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace auric::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Join, RoundTripsSplit) {
+  const std::vector<std::string> parts{"rf", "knn", "cf"};
+  EXPECT_EQ(join(parts, ","), "rf,knn,cf");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Trim, RemovesOuterWhitespaceOnly) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-f", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("AbC-9"), "abc-9"); }
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d/%s", 3, "x"), "3/x");
+  EXPECT_EQ(format_fixed(95.478, 2), "95.48");
+  EXPECT_EQ(format_fixed(-0.5, 0), "-0");  // printf rounding semantics
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(4528139), "4,528,139");
+  EXPECT_EQ(with_commas(-12345), "-12,345");
+}
+
+}  // namespace
+}  // namespace auric::util

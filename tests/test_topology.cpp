@@ -1,0 +1,86 @@
+#include "netsim/topology.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace auric::netsim {
+namespace {
+
+TEST(TinyTopology, PassesInvariants) {
+  const Topology topo = test::tiny_topology();
+  EXPECT_EQ(topo.carrier_count(), 6u);
+  EXPECT_EQ(topo.enodebs.size(), 3u);
+  EXPECT_NO_THROW(topo.check_invariants());
+}
+
+TEST(TinyTopology, NeighborhoodsAreAsConstructed) {
+  const Topology topo = test::tiny_topology();
+  EXPECT_EQ(topo.neighborhood(0), (std::vector<CarrierId>{1, 2}));
+  EXPECT_EQ(topo.neighborhood(4), (std::vector<CarrierId>{5}));
+}
+
+TEST(TinyTopology, TwoHopNeighborhoodExpands) {
+  const Topology topo = test::tiny_topology();
+  // 1 hop from carrier 0: {1, 2}; 2 hops add {3} (via both) but not 0.
+  EXPECT_EQ(topo.neighborhood_hops(0, 1), (std::vector<CarrierId>{1, 2}));
+  EXPECT_EQ(topo.neighborhood_hops(0, 2), (std::vector<CarrierId>{1, 2, 3}));
+  EXPECT_THROW(topo.neighborhood_hops(0, 0), std::invalid_argument);
+}
+
+TEST(TinyTopology, EdgeOffsetsIndexDirectedEdges) {
+  const Topology topo = test::tiny_topology();
+  for (std::size_t c = 0; c < topo.carrier_count(); ++c) {
+    const auto id = static_cast<CarrierId>(c);
+    EXPECT_EQ(topo.edge_offsets[c + 1] - topo.edge_offsets[c], topo.neighborhood(id).size());
+    for (std::size_t e = topo.edge_offsets[c]; e < topo.edge_offsets[c + 1]; ++e) {
+      EXPECT_EQ(topo.edges[e].from, id);
+    }
+  }
+  // Directed edges = sum of neighbor list sizes = 2 * undirected links (5).
+  EXPECT_EQ(topo.edge_count(), 10u);
+}
+
+TEST(TinyTopology, MarketQueries) {
+  const Topology topo = test::tiny_topology();
+  EXPECT_EQ(topo.carriers_in_market(0), (std::vector<CarrierId>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.carriers_in_market(1), (std::vector<CarrierId>{4, 5}));
+  EXPECT_EQ(topo.enodeb_count_in_market(0), 2u);
+  EXPECT_EQ(topo.enodeb_count_in_market(1), 1u);
+}
+
+TEST(TinyTopology, SameENodeBNeighborCountMaintained) {
+  const Topology topo = test::tiny_topology();
+  // Each carrier has exactly one same-site neighbor in the tiny fixture.
+  for (const Carrier& c : topo.carriers) EXPECT_EQ(c.neighbors_same_enodeb, 1);
+}
+
+TEST(Invariants, DetectAsymmetricGraph) {
+  Topology topo = test::tiny_topology();
+  topo.neighbors[0].push_back(5);  // one-directional edge
+  std::sort(topo.neighbors[0].begin(), topo.neighbors[0].end());
+  topo.edge_offsets.clear();
+  topo.finalize_edges();
+  EXPECT_THROW(topo.check_invariants(), std::logic_error);
+}
+
+TEST(Invariants, DetectSelfLoop) {
+  Topology topo = test::tiny_topology();
+  topo.neighbors[2].push_back(2);
+  topo.finalize_edges();
+  EXPECT_THROW(topo.check_invariants(), std::logic_error);
+}
+
+TEST(Names, EnumLabels) {
+  EXPECT_STREQ(band_name(Band::kLow), "LB");
+  EXPECT_STREQ(morphology_name(Morphology::kRural), "rural");
+  EXPECT_STREQ(carrier_type_name(CarrierType::kFirstNet), "FirstNet");
+  EXPECT_STREQ(mimo_mode_name(MimoMode::k4x4), "4x4");
+  EXPECT_STREQ(terrain_name(Terrain::kMountain), "mountain");
+  EXPECT_STREQ(timezone_name(Timezone::kPacific), "Pacific");
+}
+
+}  // namespace
+}  // namespace auric::netsim

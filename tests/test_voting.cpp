@@ -1,0 +1,187 @@
+#include "core/voting.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace auric::core {
+namespace {
+
+// chain_topology(5, 3): 16 carriers; even ids are 700 MHz, odd are 1900 MHz;
+// ids 10..15 belong to market 1. tiny_assignment labels by band: 3 on low
+// band, 7 on mid band.
+struct Fixture {
+  netsim::Topology topo = test::chain_topology();
+  config::ParamCatalog catalog = test::tiny_catalog();
+  config::ConfigAssignment assignment = test::tiny_assignment(topo);
+  netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topo);
+  std::vector<std::vector<netsim::AttrCode>> codes = schema.encode_all(topo);
+  ParamView view = build_param_view(topo, catalog, assignment, 0);
+  std::vector<AttrRef> deps{{false, schema.index_of("carrier_frequency")}};
+
+  void rebuild_view() { view = build_param_view(topo, catalog, assignment, 0); }
+};
+
+TEST(VotingModel, GroupsByDependentAttribute) {
+  Fixture f;
+  const VotingModel model(f.view, f.deps, f.codes);
+  EXPECT_EQ(model.group_count(), 2u);  // 700 MHz and 1900 MHz groups
+}
+
+TEST(VotingModel, UnanimousGroupVotes) {
+  Fixture f;
+  const VotingModel model(f.view, f.deps, f.codes);
+  const GroupKey key = model.key_for(0, netsim::kInvalidCarrier);
+  const auto vote = model.vote(key, 0.75);
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(f.view.labels.values[static_cast<std::size_t>(vote->label)], 3);
+  EXPECT_EQ(vote->group_size, 8);
+  EXPECT_DOUBLE_EQ(vote->support(), 1.0);
+}
+
+TEST(VotingModel, UnknownKeyAbstains) {
+  Fixture f;
+  const VotingModel model(f.view, f.deps, f.codes);
+  GroupKey alien{42};
+  EXPECT_FALSE(model.vote(alien, 0.5).has_value());
+}
+
+TEST(VotingModel, ThresholdGatesTheWinner) {
+  Fixture f;
+  for (netsim::CarrierId c : {0, 2, 4}) {
+    f.assignment.singular[0].value[static_cast<std::size_t>(c)] = 9;
+  }
+  f.rebuild_view();
+  const VotingModel model(f.view, f.deps, f.codes);
+  const GroupKey key = model.key_for(0, netsim::kInvalidCarrier);
+  const auto loose = model.vote(key, 0.60);  // 5/8 = 62.5%
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_EQ(f.view.labels.values[static_cast<std::size_t>(loose->label)], 3);
+  EXPECT_FALSE(model.vote(key, 0.75).has_value());
+}
+
+TEST(VotingModel, LeaveOneOutExcludesOwnObservation) {
+  Fixture f;
+  f.assignment.singular[0].value[4] = 9;  // lone deviant in the 700 group
+  f.rebuild_view();
+  const VotingModel model(f.view, f.deps, f.codes);
+  const GroupKey key = model.key_for(4, netsim::kInvalidCarrier);
+  const ml::ClassLabel own = f.view.labels.code_of(9);
+  const auto vote = model.vote_excluding(key, own, 0.75);
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(f.view.labels.values[static_cast<std::size_t>(vote->label)], 3);
+  EXPECT_EQ(vote->group_size, 7);
+  EXPECT_DOUBLE_EQ(vote->support(), 1.0);
+}
+
+TEST(LocalVote, RestrictsToCandidates) {
+  Fixture f;
+  const VotingModel model(f.view, f.deps, f.codes);
+  const GroupKey key = model.key_for(0, netsim::kInvalidCarrier);
+  const std::vector<netsim::CarrierId> candidates{2};
+  const auto vote = local_vote(f.view, f.deps, f.codes, key, candidates, -1, 0.75);
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(vote->group_size, 1);
+  const std::vector<netsim::CarrierId> wrong{1};  // 1900 MHz: no matching rows
+  EXPECT_FALSE(local_vote(f.view, f.deps, f.codes, key, wrong, -1, 0.75).has_value());
+}
+
+TEST(LocalVote, ExcludeRowSkipsSelf) {
+  Fixture f;
+  const VotingModel model(f.view, f.deps, f.codes);
+  const GroupKey key = model.key_for(0, netsim::kInvalidCarrier);
+  const std::int64_t self_row = static_cast<std::int64_t>(f.view.rows_of(0)[0]);
+  const std::vector<netsim::CarrierId> candidates{0, 2};
+  const auto vote = local_vote(f.view, f.deps, f.codes, key, candidates, self_row, 0.75);
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(vote->group_size, 1);  // only carrier 2 remains
+}
+
+TEST(LocalVote, CarrierWeightsShiftTheWinner) {
+  Fixture f;
+  f.assignment.singular[0].value[2] = 9;
+  f.rebuild_view();
+  const std::vector<netsim::CarrierId> candidates{0, 2, 4};
+  const VotingModel model(f.view, f.deps, f.codes);
+  const GroupKey key = model.key_for(0, netsim::kInvalidCarrier);
+  // Unweighted: 2-vs-1 -> 66% < 75% -> abstain.
+  EXPECT_FALSE(local_vote(f.view, f.deps, f.codes, key, candidates, -1, 0.75).has_value());
+  // The deviating carrier's vote weighted down (poor KPI history): 3 wins.
+  std::vector<double> weights(f.topo.carrier_count(), 1.0);
+  weights[2] = 0.1;
+  const auto vote = local_vote(f.view, f.deps, f.codes, key, candidates, -1, 0.75, weights);
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(f.view.labels.values[static_cast<std::size_t>(vote->label)], 3);
+}
+
+TEST(BackoffVoting, FallsBackWhenQuorumFailsAtFullMatch) {
+  Fixture f;
+  std::vector<AttrRef> deps{{false, f.schema.index_of("carrier_frequency")},
+                            {false, f.schema.index_of("market")}};
+  // Carrier 10 (market 1, 700 MHz): the (freq, market) group has 3 members;
+  // leave-one-out shrinks it under the quorum of 3, so level 1 (frequency
+  // only) decides.
+  const BackoffVoting backoff(f.view, deps, f.codes, /*levels=*/2, /*min_voters=*/3);
+  const auto decision = backoff.vote_excluding(10, netsim::kInvalidCarrier,
+                                               f.view.label[f.view.rows_of(10)[0]], 0.75);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->level, 1);
+  EXPECT_EQ(f.view.labels.values[static_cast<std::size_t>(decision->vote.label)], 3);
+  EXPECT_EQ(decision->vote.group_size, 7);
+}
+
+TEST(BackoffVoting, QuorumSendsThinGroupsToCoarserLevels) {
+  Fixture f;
+  std::vector<AttrRef> deps{{false, f.schema.index_of("carrier_frequency")},
+                            {false, f.schema.index_of("market")}};
+  const BackoffVoting backoff(f.view, deps, f.codes, 2, /*min_voters=*/4);
+  const auto decision = backoff.vote(10, netsim::kInvalidCarrier, 0.75);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->level, 1);
+  EXPECT_EQ(decision->vote.group_size, 8);
+}
+
+TEST(BackoffVoting, LevelZeroWinsWhenStrong) {
+  Fixture f;
+  const BackoffVoting backoff(f.view, f.deps, f.codes, 3, 1);
+  const auto decision = backoff.vote(0, netsim::kInvalidCarrier, 0.75);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->level, 0);
+  EXPECT_EQ(decision->vote.group_size, 8);
+}
+
+TEST(BackoffVoting, DepsAtShrinksByLevel) {
+  Fixture f;
+  std::vector<AttrRef> deps{{false, 0}, {false, 1}, {false, 2}};
+  const BackoffVoting backoff(f.view, deps, f.codes, 3);
+  EXPECT_EQ(backoff.level_count(), 3);
+  EXPECT_EQ(backoff.deps_at(0).size(), 3u);
+  EXPECT_EQ(backoff.deps_at(2).size(), 1u);
+  EXPECT_THROW(BackoffVoting(f.view, deps, f.codes, 0), std::invalid_argument);
+}
+
+TEST(BackoffVoting, EmptyDepsVoteOverWholePopulation) {
+  Fixture f;
+  const BackoffVoting backoff(f.view, {}, f.codes, 3);
+  EXPECT_EQ(backoff.level_count(), 1);
+  // 8-vs-8 between values 3 and 7: no 75% winner.
+  EXPECT_FALSE(backoff.vote(0, netsim::kInvalidCarrier, 0.75).has_value());
+  EXPECT_TRUE(backoff.vote(0, netsim::kInvalidCarrier, 0.5).has_value());
+}
+
+TEST(BackoffVoting, LocalBackoffUsesCandidateRows) {
+  Fixture f;
+  std::vector<AttrRef> deps{{false, f.schema.index_of("carrier_frequency")},
+                            {false, f.schema.index_of("market")}};
+  const BackoffVoting backoff(f.view, deps, f.codes, 2, /*min_voters=*/2);
+  // Neighborhood of carrier 4 (site 2, 700): carriers 5, 2, 6 -> matching
+  // rows at level 0: carriers 2 and 6 (same freq AND market) = quorum 2.
+  const auto decision = backoff.local(f.view, f.topo.neighborhood(4), 4,
+                                      netsim::kInvalidCarrier, -1, 0.75);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->level, 0);
+  EXPECT_EQ(decision->vote.group_size, 2);
+}
+
+}  // namespace
+}  // namespace auric::core

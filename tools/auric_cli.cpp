@@ -1,0 +1,223 @@
+// auric — command-line front end for the library.
+//
+//   auric generate  --out DIR [--seed N] [--markets N] [--scale N]
+//       Generate a synthetic network + configuration snapshot and save it
+//       as a CSV inventory directory (see io/inventory.h for the schema;
+//       operators can produce the same files from their own systems).
+//
+//   auric inspect   --data DIR
+//       Inventory summary and per-parameter variability of a snapshot.
+//
+//   auric evaluate  --data DIR [--global] [--market N]
+//       Leave-one-out accuracy of the (local by default) CF learner.
+//
+//   auric recommend --data DIR --carrier N [--neighbor M]
+//       Recommendations with evidence for one carrier, as the SmartLaunch
+//       controller would consume them.
+//
+//   auric rules     --data DIR [--min-support F] [--min-carriers N]
+//       Synthesize a human-readable rule-book from the learned peer groups
+//       (the paper's "automatically learn the rules" pitch, inverted for
+//       review by engineers).
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <optional>
+
+#include "config/catalog.h"
+#include "config/ground_truth.h"
+#include "core/engine.h"
+#include "core/rulebook_synthesis.h"
+#include "eval/cf_eval.h"
+#include "eval/variability.h"
+#include "io/inventory.h"
+#include "netsim/attributes.h"
+#include "netsim/generator.h"
+#include "util/args.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace auric::cli {
+namespace {
+
+struct Snapshot {
+  netsim::Topology topology;
+  netsim::AttributeSchema schema;
+  config::ParamCatalog catalog = config::ParamCatalog::standard();
+  config::ConfigAssignment assignment;
+};
+
+Snapshot load(const std::string& dir) {
+  Snapshot snap;
+  snap.topology = io::load_topology(dir);
+  snap.schema = netsim::AttributeSchema::standard(snap.topology);
+  snap.assignment = io::load_assignment(snap.topology, snap.catalog, dir);
+  return snap;
+}
+
+int cmd_generate(util::Args& args) {
+  const std::string out = args.get_string("out", "", "output inventory directory (required)");
+  netsim::TopologyParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1, "random seed"));
+  params.num_markets = static_cast<int>(args.get_int("markets", 28, "number of markets"));
+  params.base_enodebs_per_market =
+      static_cast<int>(args.get_int("scale", 55, "base eNodeBs per market"));
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  if (out.empty()) throw std::invalid_argument("generate: --out is required");
+
+  const netsim::Topology topology = netsim::generate_topology(params);
+  const netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topology);
+  const config::ParamCatalog catalog = config::ParamCatalog::standard();
+  config::GroundTruthParams gt;
+  gt.seed = params.seed + 6;
+  const config::ConfigAssignment assignment =
+      config::GroundTruthModel(topology, schema, catalog, gt).assign();
+  io::save_topology(topology, out);
+  io::save_assignment(topology, catalog, assignment, out);
+  std::printf("wrote %zu carriers, %zu X2 links, %zu configured values to %s\n",
+              topology.carrier_count(), topology.edge_count() / 2,
+              assignment.total_configured(), out.c_str());
+  return 0;
+}
+
+int cmd_inspect(util::Args& args) {
+  const std::string dir = args.get_string("data", "", "inventory directory (required)");
+  const int top = static_cast<int>(args.get_int("top", 10, "parameters to list"));
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  const Snapshot snap = load(dir);
+
+  std::printf("inventory: %zu markets, %zu eNodeBs, %zu carriers, %zu X2 links\n",
+              snap.topology.markets.size(), snap.topology.enodebs.size(),
+              snap.topology.carrier_count(), snap.topology.edge_count() / 2);
+  std::printf("configuration: %s values across %zu parameters\n\n",
+              util::with_commas(static_cast<long long>(snap.assignment.total_configured()))
+                  .c_str(),
+              snap.catalog.size());
+
+  auto variability = eval::analyze_variability(snap.topology, snap.catalog, snap.assignment);
+  std::sort(variability.begin(), variability.end(),
+            [](const auto& a, const auto& b) { return a.distinct_overall > b.distinct_overall; });
+  util::Table table({"parameter", "distinct values", "configured", "skewness"});
+  for (int i = 0; i < top && i < static_cast<int>(variability.size()); ++i) {
+    const auto& var = variability[static_cast<std::size_t>(i)];
+    table.add_row({snap.catalog.at(var.param).name, std::to_string(var.distinct_overall),
+                   util::with_commas(static_cast<long long>(var.configured_values)),
+                   util::format_fixed(var.skewness, 2)});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_evaluate(util::Args& args) {
+  const std::string dir = args.get_string("data", "", "inventory directory (required)");
+  const bool global = args.get_bool("global", false, "use the global learner (no proximity)");
+  const std::int64_t market = args.get_int("market", -1, "restrict to one market (-1 = all)");
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  const Snapshot snap = load(dir);
+
+  eval::CfEvalOptions options;
+  options.local = !global;
+  const eval::CfEvaluator evaluator(snap.topology, snap.schema, snap.catalog, snap.assignment,
+                                    options);
+  const std::optional<netsim::MarketId> scope =
+      market >= 0 ? std::optional<netsim::MarketId>(static_cast<netsim::MarketId>(market))
+                  : std::nullopt;
+  const auto results = evaluator.evaluate_all(scope);
+  std::size_t rows = 0;
+  std::size_t fallbacks = 0;
+  for (const auto& r : results) {
+    rows += r.rows;
+    fallbacks += r.fallback_default;
+  }
+  std::printf("%s learner: %.2f%% leave-one-out accuracy over %s values"
+              " (%.2f%% decided by the rule-book default)\n",
+              global ? "global" : "local", 100.0 * eval::overall_accuracy(results),
+              util::with_commas(static_cast<long long>(rows)).c_str(),
+              rows > 0 ? 100.0 * static_cast<double>(fallbacks) / static_cast<double>(rows)
+                       : 0.0);
+  return 0;
+}
+
+int cmd_recommend(util::Args& args) {
+  const std::string dir = args.get_string("data", "", "inventory directory (required)");
+  const auto carrier =
+      static_cast<netsim::CarrierId>(args.get_int("carrier", -1, "carrier id (required)"));
+  const auto neighbor = static_cast<netsim::CarrierId>(
+      args.get_int("neighbor", -1, "neighbor carrier id (pair-wise parameters)"));
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  const Snapshot snap = load(dir);
+  if (carrier < 0 || static_cast<std::size_t>(carrier) >= snap.topology.carrier_count()) {
+    throw std::invalid_argument("recommend: --carrier must name a carrier in the inventory");
+  }
+
+  const core::AuricEngine engine(snap.topology, snap.schema, snap.catalog, snap.assignment);
+  if (neighbor == netsim::kInvalidCarrier) {
+    for (const core::Recommendation& rec : engine.recommend_singular(carrier)) {
+      std::printf("%s\n", engine.explain(rec, carrier).c_str());
+    }
+    std::printf("\n(pass --neighbor to get the pair-wise relation parameters; X2 neighbors of"
+                " %d:", carrier);
+    for (netsim::CarrierId n : snap.topology.neighborhood(carrier)) std::printf(" %d", n);
+    std::printf(")\n");
+  } else {
+    for (const core::Recommendation& rec : engine.recommend_pairwise(carrier, neighbor)) {
+      std::printf("%s\n", engine.explain(rec, carrier, neighbor).c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_rules(util::Args& args) {
+  const std::string dir = args.get_string("data", "", "inventory directory (required)");
+  const double min_support =
+      args.get_double("min-support", 0.75, "minimum vote support for a rule");
+  const std::int64_t min_carriers =
+      args.get_int("min-carriers", 8, "minimum carriers behind a rule");
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  const Snapshot snap = load(dir);
+
+  const core::AuricEngine engine(snap.topology, snap.schema, snap.catalog, snap.assignment);
+  core::RulebookSynthesisOptions options;
+  options.min_support = min_support;
+  options.min_carriers = static_cast<std::int32_t>(min_carriers);
+  const core::SynthesizedRulebook book = core::synthesize_rulebook(engine, options);
+  std::printf("synthesized %zu non-default rules from the learned peer groups:\n",
+              book.rules.size());
+  std::fputs(book.render(snap.schema, snap.catalog).c_str(), stdout);
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: auric <generate|inspect|evaluate|recommend|rules> [flags]\n"
+      "run a subcommand with --help for its flags\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+}  // namespace auric::cli
+
+int main(int argc, char** argv) {
+  using namespace auric;
+  if (argc < 2) return cli::usage();
+  const std::string command = argv[1];
+  try {
+    util::Args args(argc - 1, argv + 1);
+    if (command == "generate") return cli::cmd_generate(args);
+    if (command == "inspect") return cli::cmd_inspect(args);
+    if (command == "evaluate") return cli::cmd_evaluate(args);
+    if (command == "recommend") return cli::cmd_recommend(args);
+    if (command == "rules") return cli::cmd_rules(args);
+    return cli::usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "auric %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
