@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_skewness.dir/bench_fig04_skewness.cpp.o"
+  "CMakeFiles/bench_fig04_skewness.dir/bench_fig04_skewness.cpp.o.d"
+  "bench_fig04_skewness"
+  "bench_fig04_skewness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_skewness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_global_learners.dir/bench_fig10_global_learners.cpp.o"
+  "CMakeFiles/bench_fig10_global_learners.dir/bench_fig10_global_learners.cpp.o.d"
+  "bench_fig10_global_learners"
+  "bench_fig10_global_learners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_global_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

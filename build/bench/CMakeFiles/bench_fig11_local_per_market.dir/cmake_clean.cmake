@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_local_per_market.dir/bench_fig11_local_per_market.cpp.o"
+  "CMakeFiles/bench_fig11_local_per_market.dir/bench_fig11_local_per_market.cpp.o.d"
+  "bench_fig11_local_per_market"
+  "bench_fig11_local_per_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_local_per_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

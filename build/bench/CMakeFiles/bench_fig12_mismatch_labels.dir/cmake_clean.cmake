@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mismatch_labels.dir/bench_fig12_mismatch_labels.cpp.o"
+  "CMakeFiles/bench_fig12_mismatch_labels.dir/bench_fig12_mismatch_labels.cpp.o.d"
+  "bench_fig12_mismatch_labels"
+  "bench_fig12_mismatch_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mismatch_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

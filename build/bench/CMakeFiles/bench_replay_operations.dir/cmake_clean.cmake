@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replay_operations.dir/bench_replay_operations.cpp.o"
+  "CMakeFiles/bench_replay_operations.dir/bench_replay_operations.cpp.o.d"
+  "bench_replay_operations"
+  "bench_replay_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replay_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

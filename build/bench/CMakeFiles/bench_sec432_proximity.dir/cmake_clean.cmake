@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec432_proximity.dir/bench_sec432_proximity.cpp.o"
+  "CMakeFiles/bench_sec432_proximity.dir/bench_sec432_proximity.cpp.o.d"
+  "bench_sec432_proximity"
+  "bench_sec432_proximity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec432_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_smartlaunch.dir/bench_table5_smartlaunch.cpp.o"
+  "CMakeFiles/bench_table5_smartlaunch.dir/bench_table5_smartlaunch.cpp.o.d"
+  "bench_table5_smartlaunch"
+  "bench_table5_smartlaunch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_smartlaunch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

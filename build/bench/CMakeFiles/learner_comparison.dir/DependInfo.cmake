@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/learner_comparison.cpp" "bench/CMakeFiles/learner_comparison.dir/learner_comparison.cpp.o" "gcc" "bench/CMakeFiles/learner_comparison.dir/learner_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/auric_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/auric_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/auric_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/auric_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/auric_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auric_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/auric_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

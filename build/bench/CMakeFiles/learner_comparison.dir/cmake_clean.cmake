@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learner_comparison.dir/learner_comparison.cpp.o"
+  "CMakeFiles/learner_comparison.dir/learner_comparison.cpp.o.d"
+  "liblearner_comparison.a"
+  "liblearner_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learner_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblearner_comparison.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_expansion.dir/market_expansion.cpp.o"
+  "CMakeFiles/market_expansion.dir/market_expansion.cpp.o.d"
+  "market_expansion"
+  "market_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

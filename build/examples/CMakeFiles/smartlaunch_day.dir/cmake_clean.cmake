@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartlaunch_day.dir/smartlaunch_day.cpp.o"
+  "CMakeFiles/smartlaunch_day.dir/smartlaunch_day.cpp.o.d"
+  "smartlaunch_day"
+  "smartlaunch_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartlaunch_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/assignment.cpp" "src/config/CMakeFiles/auric_config.dir/assignment.cpp.o" "gcc" "src/config/CMakeFiles/auric_config.dir/assignment.cpp.o.d"
+  "/root/repo/src/config/catalog.cpp" "src/config/CMakeFiles/auric_config.dir/catalog.cpp.o" "gcc" "src/config/CMakeFiles/auric_config.dir/catalog.cpp.o.d"
+  "/root/repo/src/config/ground_truth.cpp" "src/config/CMakeFiles/auric_config.dir/ground_truth.cpp.o" "gcc" "src/config/CMakeFiles/auric_config.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/config/managed_object.cpp" "src/config/CMakeFiles/auric_config.dir/managed_object.cpp.o" "gcc" "src/config/CMakeFiles/auric_config.dir/managed_object.cpp.o.d"
+  "/root/repo/src/config/rulebook.cpp" "src/config/CMakeFiles/auric_config.dir/rulebook.cpp.o" "gcc" "src/config/CMakeFiles/auric_config.dir/rulebook.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/auric_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/auric_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

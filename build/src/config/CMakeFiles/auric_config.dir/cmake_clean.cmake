@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_config.dir/assignment.cpp.o"
+  "CMakeFiles/auric_config.dir/assignment.cpp.o.d"
+  "CMakeFiles/auric_config.dir/catalog.cpp.o"
+  "CMakeFiles/auric_config.dir/catalog.cpp.o.d"
+  "CMakeFiles/auric_config.dir/ground_truth.cpp.o"
+  "CMakeFiles/auric_config.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/auric_config.dir/managed_object.cpp.o"
+  "CMakeFiles/auric_config.dir/managed_object.cpp.o.d"
+  "CMakeFiles/auric_config.dir/rulebook.cpp.o"
+  "CMakeFiles/auric_config.dir/rulebook.cpp.o.d"
+  "libauric_config.a"
+  "libauric_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dependency.cpp" "src/core/CMakeFiles/auric_core.dir/dependency.cpp.o" "gcc" "src/core/CMakeFiles/auric_core.dir/dependency.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/auric_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/auric_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/param_view.cpp" "src/core/CMakeFiles/auric_core.dir/param_view.cpp.o" "gcc" "src/core/CMakeFiles/auric_core.dir/param_view.cpp.o.d"
+  "/root/repo/src/core/rulebook_synthesis.cpp" "src/core/CMakeFiles/auric_core.dir/rulebook_synthesis.cpp.o" "gcc" "src/core/CMakeFiles/auric_core.dir/rulebook_synthesis.cpp.o.d"
+  "/root/repo/src/core/voting.cpp" "src/core/CMakeFiles/auric_core.dir/voting.cpp.o" "gcc" "src/core/CMakeFiles/auric_core.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/auric_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/auric_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/auric_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/auric_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auric_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

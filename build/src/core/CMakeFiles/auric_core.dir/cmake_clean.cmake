@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_core.dir/dependency.cpp.o"
+  "CMakeFiles/auric_core.dir/dependency.cpp.o.d"
+  "CMakeFiles/auric_core.dir/engine.cpp.o"
+  "CMakeFiles/auric_core.dir/engine.cpp.o.d"
+  "CMakeFiles/auric_core.dir/param_view.cpp.o"
+  "CMakeFiles/auric_core.dir/param_view.cpp.o.d"
+  "CMakeFiles/auric_core.dir/rulebook_synthesis.cpp.o"
+  "CMakeFiles/auric_core.dir/rulebook_synthesis.cpp.o.d"
+  "CMakeFiles/auric_core.dir/voting.cpp.o"
+  "CMakeFiles/auric_core.dir/voting.cpp.o.d"
+  "libauric_core.a"
+  "libauric_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_eval.dir/cf_eval.cpp.o"
+  "CMakeFiles/auric_eval.dir/cf_eval.cpp.o.d"
+  "CMakeFiles/auric_eval.dir/mismatch.cpp.o"
+  "CMakeFiles/auric_eval.dir/mismatch.cpp.o.d"
+  "CMakeFiles/auric_eval.dir/model_eval.cpp.o"
+  "CMakeFiles/auric_eval.dir/model_eval.cpp.o.d"
+  "CMakeFiles/auric_eval.dir/variability.cpp.o"
+  "CMakeFiles/auric_eval.dir/variability.cpp.o.d"
+  "libauric_eval.a"
+  "libauric_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_io.dir/inventory.cpp.o"
+  "CMakeFiles/auric_io.dir/inventory.cpp.o.d"
+  "libauric_io.a"
+  "libauric_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/auric_linalg.dir/matrix.cpp.o.d"
+  "libauric_linalg.a"
+  "libauric_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

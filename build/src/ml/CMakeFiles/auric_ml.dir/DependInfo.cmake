@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/chi_square.cpp" "src/ml/CMakeFiles/auric_ml.dir/chi_square.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/chi_square.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/auric_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/auric_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/auric_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/auric_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/auric_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/auric_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/auric_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/split.cpp" "src/ml/CMakeFiles/auric_ml.dir/split.cpp.o" "gcc" "src/ml/CMakeFiles/auric_ml.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/auric_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/auric_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/auric_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/auric_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_ml.dir/chi_square.cpp.o"
+  "CMakeFiles/auric_ml.dir/chi_square.cpp.o.d"
+  "CMakeFiles/auric_ml.dir/classifier.cpp.o"
+  "CMakeFiles/auric_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/auric_ml.dir/dataset.cpp.o"
+  "CMakeFiles/auric_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/auric_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/auric_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/auric_ml.dir/knn.cpp.o"
+  "CMakeFiles/auric_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/auric_ml.dir/metrics.cpp.o"
+  "CMakeFiles/auric_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/auric_ml.dir/mlp.cpp.o"
+  "CMakeFiles/auric_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/auric_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/auric_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/auric_ml.dir/split.cpp.o"
+  "CMakeFiles/auric_ml.dir/split.cpp.o.d"
+  "libauric_ml.a"
+  "libauric_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/attributes.cpp" "src/netsim/CMakeFiles/auric_netsim.dir/attributes.cpp.o" "gcc" "src/netsim/CMakeFiles/auric_netsim.dir/attributes.cpp.o.d"
+  "/root/repo/src/netsim/generator.cpp" "src/netsim/CMakeFiles/auric_netsim.dir/generator.cpp.o" "gcc" "src/netsim/CMakeFiles/auric_netsim.dir/generator.cpp.o.d"
+  "/root/repo/src/netsim/geo.cpp" "src/netsim/CMakeFiles/auric_netsim.dir/geo.cpp.o" "gcc" "src/netsim/CMakeFiles/auric_netsim.dir/geo.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/auric_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/auric_netsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/auric_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_netsim.dir/attributes.cpp.o"
+  "CMakeFiles/auric_netsim.dir/attributes.cpp.o.d"
+  "CMakeFiles/auric_netsim.dir/generator.cpp.o"
+  "CMakeFiles/auric_netsim.dir/generator.cpp.o.d"
+  "CMakeFiles/auric_netsim.dir/geo.cpp.o"
+  "CMakeFiles/auric_netsim.dir/geo.cpp.o.d"
+  "CMakeFiles/auric_netsim.dir/topology.cpp.o"
+  "CMakeFiles/auric_netsim.dir/topology.cpp.o.d"
+  "libauric_netsim.a"
+  "libauric_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

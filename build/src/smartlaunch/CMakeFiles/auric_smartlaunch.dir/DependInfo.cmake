@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smartlaunch/controller.cpp" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/controller.cpp.o" "gcc" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/controller.cpp.o.d"
+  "/root/repo/src/smartlaunch/ems.cpp" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/ems.cpp.o" "gcc" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/ems.cpp.o.d"
+  "/root/repo/src/smartlaunch/kpi.cpp" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/kpi.cpp.o" "gcc" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/kpi.cpp.o.d"
+  "/root/repo/src/smartlaunch/pipeline.cpp" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/pipeline.cpp.o" "gcc" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/pipeline.cpp.o.d"
+  "/root/repo/src/smartlaunch/replay.cpp" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/replay.cpp.o" "gcc" "src/smartlaunch/CMakeFiles/auric_smartlaunch.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/auric_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/auric_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/auric_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/auric_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/auric_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auric_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_smartlaunch.dir/controller.cpp.o"
+  "CMakeFiles/auric_smartlaunch.dir/controller.cpp.o.d"
+  "CMakeFiles/auric_smartlaunch.dir/ems.cpp.o"
+  "CMakeFiles/auric_smartlaunch.dir/ems.cpp.o.d"
+  "CMakeFiles/auric_smartlaunch.dir/kpi.cpp.o"
+  "CMakeFiles/auric_smartlaunch.dir/kpi.cpp.o.d"
+  "CMakeFiles/auric_smartlaunch.dir/pipeline.cpp.o"
+  "CMakeFiles/auric_smartlaunch.dir/pipeline.cpp.o.d"
+  "CMakeFiles/auric_smartlaunch.dir/replay.cpp.o"
+  "CMakeFiles/auric_smartlaunch.dir/replay.cpp.o.d"
+  "libauric_smartlaunch.a"
+  "libauric_smartlaunch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_smartlaunch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

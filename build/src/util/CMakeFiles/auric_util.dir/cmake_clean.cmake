@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric_util.dir/args.cpp.o"
+  "CMakeFiles/auric_util.dir/args.cpp.o.d"
+  "CMakeFiles/auric_util.dir/csv.cpp.o"
+  "CMakeFiles/auric_util.dir/csv.cpp.o.d"
+  "CMakeFiles/auric_util.dir/csv_reader.cpp.o"
+  "CMakeFiles/auric_util.dir/csv_reader.cpp.o.d"
+  "CMakeFiles/auric_util.dir/log.cpp.o"
+  "CMakeFiles/auric_util.dir/log.cpp.o.d"
+  "CMakeFiles/auric_util.dir/parallel.cpp.o"
+  "CMakeFiles/auric_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/auric_util.dir/rng.cpp.o"
+  "CMakeFiles/auric_util.dir/rng.cpp.o.d"
+  "CMakeFiles/auric_util.dir/strings.cpp.o"
+  "CMakeFiles/auric_util.dir/strings.cpp.o.d"
+  "CMakeFiles/auric_util.dir/table.cpp.o"
+  "CMakeFiles/auric_util.dir/table.cpp.o.d"
+  "libauric_util.a"
+  "libauric_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

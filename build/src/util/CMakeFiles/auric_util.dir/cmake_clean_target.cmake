@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libauric_util.a"
+)

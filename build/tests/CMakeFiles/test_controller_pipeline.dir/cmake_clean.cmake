@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_pipeline.dir/test_controller_pipeline.cpp.o"
+  "CMakeFiles/test_controller_pipeline.dir/test_controller_pipeline.cpp.o.d"
+  "test_controller_pipeline"
+  "test_controller_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

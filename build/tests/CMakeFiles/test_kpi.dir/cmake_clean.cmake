@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kpi.dir/test_kpi.cpp.o"
+  "CMakeFiles/test_kpi.dir/test_kpi.cpp.o.d"
+  "test_kpi"
+  "test_kpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_managed_object.dir/test_managed_object.cpp.o"
+  "CMakeFiles/test_managed_object.dir/test_managed_object.cpp.o.d"
+  "test_managed_object"
+  "test_managed_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_managed_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_split.dir/test_metrics_split.cpp.o"
+  "CMakeFiles/test_metrics_split.dir/test_metrics_split.cpp.o.d"
+  "test_metrics_split"
+  "test_metrics_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

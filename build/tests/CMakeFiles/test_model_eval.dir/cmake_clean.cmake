@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_eval.dir/test_model_eval.cpp.o"
+  "CMakeFiles/test_model_eval.dir/test_model_eval.cpp.o.d"
+  "test_model_eval"
+  "test_model_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_view.dir/test_param_view.cpp.o"
+  "CMakeFiles/test_param_view.dir/test_param_view.cpp.o.d"
+  "test_param_view"
+  "test_param_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

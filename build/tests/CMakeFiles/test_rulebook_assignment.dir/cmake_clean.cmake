@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rulebook_assignment.dir/test_rulebook_assignment.cpp.o"
+  "CMakeFiles/test_rulebook_assignment.dir/test_rulebook_assignment.cpp.o.d"
+  "test_rulebook_assignment"
+  "test_rulebook_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rulebook_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

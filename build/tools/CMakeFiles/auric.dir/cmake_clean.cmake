@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auric.dir/auric_cli.cpp.o"
+  "CMakeFiles/auric.dir/auric_cli.cpp.o.d"
+  "auric"
+  "auric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
