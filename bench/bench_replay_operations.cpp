@@ -26,6 +26,8 @@ int body(util::Args& args) {
       args.get_int("launches-per-day", 21, "new carriers per day (~1251 over 60 days)"));
   options.relearn_every_days = static_cast<int>(
       args.get_int("relearn-days", 7, "engine re-learn cadence in days"));
+  options.robust = args.get_bool(
+      "robust", false, "push through the fault-tolerant path (chunk/retry/breaker)");
   if (args.help_requested()) return 0;
 
   smartlaunch::OperationReplay replay(ctx.topology, ctx.schema, ctx.catalog,
@@ -60,6 +62,16 @@ int body(util::Args& args) {
   std::printf("\nnetwork mean KPI %.3f -> %.3f over the window (launched carriers go on air"
               " at intent)\n",
               report.initial_network_kpi, report.final_network_kpi);
+
+  if (options.robust) {
+    const smartlaunch::RobustReplayTotals& r = report.robust;
+    std::printf("\nfault-tolerant push layer: %zu recovered after retry/resume, %zu chunked,"
+                " %zu retries,\n%d breaker trips, %zu queued degraded (%zu drained in"
+                " maintenance windows, %zu still queued),\n%zu clean unlock aborts,"
+                " %zu terminal EMS fall-outs\n",
+                r.recovered, r.chunked, r.retries, r.breaker_trips, r.queued_degraded,
+                r.drained, r.still_queued, r.aborted_unlocked, r.fallout_terminal);
+  }
   return 0;
 }
 

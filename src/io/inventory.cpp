@@ -8,6 +8,7 @@
 
 #include "util/csv.h"
 #include "util/csv_reader.h"
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace auric::io {
@@ -57,6 +58,41 @@ Band band_of_frequency(int mhz) {
 
 std::string path_in(const std::string& dir, const char* file) {
   return (std::filesystem::path(dir) / file).string();
+}
+
+/// Header validation for operator-produced files: every required column must
+/// exist (error naming the file and the missing columns), and columns we do
+/// not understand are skipped with a warning rather than silently ignored —
+/// an operator who typo'd "frequencyMhz" should hear about it.
+void check_headers(const util::CsvTable& csv, std::initializer_list<const char*> required,
+                   std::initializer_list<const char*> optional = {}) {
+  std::string missing;
+  for (const char* column : required) {
+    if (!csv.has_column(column)) missing += (missing.empty() ? "" : ", ") + std::string(column);
+  }
+  if (!missing.empty()) {
+    throw std::invalid_argument(csv.source() + ": missing required column(s): " + missing);
+  }
+  for (const std::string& header : csv.headers()) {
+    const auto known = [&](std::initializer_list<const char*> names) {
+      return std::any_of(names.begin(), names.end(),
+                         [&](const char* name) { return header == name; });
+    };
+    if (!known(required) && !known(optional)) {
+      util::log_warn(csv.source() + ": ignoring unknown column '" + header + "'");
+    }
+  }
+}
+
+/// Bounds check with file + line context for values whose domain the schema
+/// defines (latitudes, faces, ...).
+void check_range(const util::CsvTable& csv, std::size_t row, const char* column, double value,
+                 double lo, double hi) {
+  if (value < lo || value > hi) {
+    throw std::invalid_argument(csv.context(row) + ", column " + column + ": value " +
+                                util::format("%g", value) + " outside [" +
+                                util::format("%g", lo) + ", " + util::format("%g", hi) + "]");
+  }
 }
 
 }  // namespace
@@ -113,60 +149,94 @@ netsim::Topology load_topology(const std::string& dir) {
   netsim::Topology topo;
 
   const util::CsvTable markets = util::CsvTable::load(path_in(dir, "markets.csv"));
+  check_headers(markets, {"id", "name", "timezone", "lat", "lon", "size_multiplier"});
   topo.markets.resize(markets.row_count());
   for (std::size_t r = 0; r < markets.row_count(); ++r) {
     const auto id = static_cast<netsim::MarketId>(markets.field_int(r, "id"));
     if (id < 0 || static_cast<std::size_t>(id) >= topo.markets.size()) {
-      throw std::invalid_argument("markets.csv: ids must be dense 0..N-1");
+      throw std::invalid_argument(markets.context(r) + ": ids must be dense 0..N-1, got " +
+                                  std::to_string(id));
     }
     netsim::Market& m = topo.markets[static_cast<std::size_t>(id)];
     m.id = id;
     m.name = markets.field(r, "name");
-    m.timezone = parse_timezone(markets.field(r, "timezone"));
+    try {
+      m.timezone = parse_timezone(markets.field(r, "timezone"));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(markets.context(r) + ": " + e.what());
+    }
+    check_range(markets, r, "lat", markets.field_double(r, "lat"), -90.0, 90.0);
+    check_range(markets, r, "lon", markets.field_double(r, "lon"), -180.0, 180.0);
     m.center = {markets.field_double(r, "lat"), markets.field_double(r, "lon")};
     m.size_multiplier = markets.field_double(r, "size_multiplier");
+    check_range(markets, r, "size_multiplier", m.size_multiplier, 0.0, 1000.0);
   }
 
   const util::CsvTable enodebs = util::CsvTable::load(path_in(dir, "enodebs.csv"));
+  check_headers(enodebs, {"id", "market", "lat", "lon", "morphology", "terrain"});
   topo.enodebs.resize(enodebs.row_count());
   for (std::size_t r = 0; r < enodebs.row_count(); ++r) {
     const auto id = static_cast<netsim::ENodeBId>(enodebs.field_int(r, "id"));
     if (id < 0 || static_cast<std::size_t>(id) >= topo.enodebs.size()) {
-      throw std::invalid_argument("enodebs.csv: ids must be dense 0..N-1");
+      throw std::invalid_argument(enodebs.context(r) + ": ids must be dense 0..N-1, got " +
+                                  std::to_string(id));
     }
     netsim::ENodeB& e = topo.enodebs[static_cast<std::size_t>(id)];
     e.id = id;
     e.market = static_cast<netsim::MarketId>(enodebs.field_int(r, "market"));
+    if (e.market < 0 || static_cast<std::size_t>(e.market) >= topo.markets.size()) {
+      throw std::invalid_argument(enodebs.context(r) + ": unknown market " +
+                                  std::to_string(e.market));
+    }
+    check_range(enodebs, r, "lat", enodebs.field_double(r, "lat"), -90.0, 90.0);
+    check_range(enodebs, r, "lon", enodebs.field_double(r, "lon"), -180.0, 180.0);
     e.location = {enodebs.field_double(r, "lat"), enodebs.field_double(r, "lon")};
-    e.morphology = parse_morphology(enodebs.field(r, "morphology"));
-    e.terrain = parse_terrain(enodebs.field(r, "terrain"));
+    try {
+      e.morphology = parse_morphology(enodebs.field(r, "morphology"));
+      e.terrain = parse_terrain(enodebs.field(r, "terrain"));
+    } catch (const std::invalid_argument& e2) {
+      throw std::invalid_argument(enodebs.context(r) + ": " + e2.what());
+    }
     e.faces.resize(3);
   }
 
   const util::CsvTable carriers = util::CsvTable::load(path_in(dir, "carriers.csv"));
+  check_headers(carriers,
+                {"id", "enodeb", "face", "frequency_mhz", "carrier_type", "carrier_info",
+                 "bandwidth_mhz", "mimo", "hardware", "cell_size_miles", "tracking_area_code",
+                 "vendor", "neighbor_channel", "software_version"});
   topo.carriers.resize(carriers.row_count());
   for (std::size_t r = 0; r < carriers.row_count(); ++r) {
     const auto id = static_cast<netsim::CarrierId>(carriers.field_int(r, "id"));
     if (id < 0 || static_cast<std::size_t>(id) >= topo.carriers.size()) {
-      throw std::invalid_argument("carriers.csv: ids must be dense 0..N-1");
+      throw std::invalid_argument(carriers.context(r) + ": ids must be dense 0..N-1, got " +
+                                  std::to_string(id));
     }
     netsim::Carrier& c = topo.carriers[static_cast<std::size_t>(id)];
     c.id = id;
     c.enodeb = static_cast<netsim::ENodeBId>(carriers.field_int(r, "enodeb"));
     if (c.enodeb < 0 || static_cast<std::size_t>(c.enodeb) >= topo.enodebs.size()) {
-      throw std::invalid_argument("carriers.csv: unknown eNodeB for carrier " +
+      throw std::invalid_argument(carriers.context(r) + ": unknown eNodeB " +
+                                  std::to_string(c.enodeb) + " for carrier " +
                                   std::to_string(id));
     }
     netsim::ENodeB& site = topo.enodebs[static_cast<std::size_t>(c.enodeb)];
     c.market = site.market;
     c.face = static_cast<int>(carriers.field_int(r, "face"));
+    check_range(carriers, r, "face", c.face, 0, static_cast<double>(site.faces.size()) - 1);
     c.frequency_mhz = static_cast<int>(carriers.field_int(r, "frequency_mhz"));
+    check_range(carriers, r, "frequency_mhz", c.frequency_mhz, 1.0, 100000.0);
     c.band = band_of_frequency(c.frequency_mhz);
-    c.type = parse_carrier_type(carriers.field(r, "carrier_type"));
+    try {
+      c.type = parse_carrier_type(carriers.field(r, "carrier_type"));
+      c.mimo = parse_mimo(carriers.field(r, "mimo"));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(carriers.context(r) + ": " + e.what());
+    }
     c.carrier_info = static_cast<int>(carriers.field_int(r, "carrier_info"));
     c.morphology = site.morphology;
     c.bandwidth_mhz = static_cast<int>(carriers.field_int(r, "bandwidth_mhz"));
-    c.mimo = parse_mimo(carriers.field(r, "mimo"));
+    check_range(carriers, r, "bandwidth_mhz", c.bandwidth_mhz, 1.0, 400.0);
     c.hardware = static_cast<int>(carriers.field_int(r, "hardware"));
     c.cell_size_miles = static_cast<int>(carriers.field_int(r, "cell_size_miles"));
     c.tracking_area_code = static_cast<int>(carriers.field_int(r, "tracking_area_code"));
@@ -180,13 +250,23 @@ netsim::Topology load_topology(const std::string& dir) {
   }
 
   const util::CsvTable x2 = util::CsvTable::load(path_in(dir, "x2.csv"));
+  check_headers(x2, {"from", "to"});
   topo.neighbors.assign(topo.carriers.size(), {});
   for (std::size_t r = 0; r < x2.row_count(); ++r) {
     const auto from = static_cast<netsim::CarrierId>(x2.field_int(r, "from"));
     const auto to = static_cast<netsim::CarrierId>(x2.field_int(r, "to"));
     if (from < 0 || to < 0 || static_cast<std::size_t>(from) >= topo.carriers.size() ||
         static_cast<std::size_t>(to) >= topo.carriers.size()) {
-      throw std::invalid_argument("x2.csv: edge references unknown carrier");
+      throw std::invalid_argument(x2.context(r) + ": X2 edge " + std::to_string(from) +
+                                  " -> " + std::to_string(to) +
+                                  " references an unknown carrier");
+    }
+    if (from == to) {
+      // A self-relation is meaningless but harmless: skip it rather than
+      // reject an otherwise usable operator export.
+      util::log_warn(x2.context(r) + ": skipping X2 self-loop on carrier " +
+                     std::to_string(from));
+      continue;
     }
     topo.neighbors[static_cast<std::size_t>(from)].push_back(to);
     topo.neighbors[static_cast<std::size_t>(to)].push_back(from);
@@ -274,26 +354,34 @@ config::ConfigAssignment load_assignment(const netsim::Topology& topology,
   }
 
   const util::CsvTable csv = util::CsvTable::load(path_in(dir, "config.csv"));
+  check_headers(csv, {"parameter", "from", "to", "value"}, {"intended", "cause"});
   const bool has_ground_truth = csv.has_column("intended") && csv.has_column("cause");
+  std::size_t unknown_params = 0;
   for (std::size_t r = 0; r < csv.row_count(); ++r) {
     const std::string& name = csv.field(r, "parameter");
     const auto it = param_pos.find(name);
     if (it == param_pos.end()) {
-      throw std::invalid_argument("config.csv: unknown parameter " + name);
+      // A parameter the catalog does not manage (operator feeds routinely
+      // carry extra vendor parameters): skip it, keep the rest of the file.
+      if (++unknown_params <= 5) {
+        util::log_warn(csv.context(r) + ": skipping unknown parameter '" + name + "'");
+      }
+      continue;
     }
     const auto [pairwise, pos] = it->second;
     const config::ParamDef& def =
         catalog.at(pairwise ? catalog.pairwise_ids()[pos] : catalog.singular_ids()[pos]);
     const auto from = static_cast<netsim::CarrierId>(csv.field_int(r, "from"));
     if (from < 0 || static_cast<std::size_t>(from) >= topology.carrier_count()) {
-      throw std::invalid_argument("config.csv: unknown carrier in row " + std::to_string(r));
+      throw std::invalid_argument(csv.context(r) + ": unknown carrier " +
+                                  std::to_string(from));
     }
 
     std::size_t slot = 0;
     config::ParamColumn* col = nullptr;
     if (pairwise) {
       if (csv.field(r, "to").empty()) {
-        throw std::invalid_argument("config.csv: pair-wise parameter " + name +
+        throw std::invalid_argument(csv.context(r) + ": pair-wise parameter " + name +
                                     " needs a 'to' carrier");
       }
       const auto to = static_cast<netsim::CarrierId>(csv.field_int(r, "to"));
@@ -308,20 +396,29 @@ config::ConfigAssignment load_assignment(const netsim::Topology& topology,
         }
       }
       if (slot == end) {
-        throw std::invalid_argument("config.csv: no X2 relation " + std::to_string(from) +
-                                    " -> " + std::to_string(to));
+        throw std::invalid_argument(csv.context(r) + ": no X2 relation " +
+                                    std::to_string(from) + " -> " + std::to_string(to));
       }
       col = &assignment.pairwise[pos];
     } else {
       if (!csv.field(r, "to").empty()) {
-        throw std::invalid_argument("config.csv: singular parameter " + name +
+        throw std::invalid_argument(csv.context(r) + ": singular parameter " + name +
                                     " must not name a 'to' carrier");
       }
       slot = static_cast<std::size_t>(from);
       col = &assignment.singular[pos];
     }
 
-    col->value[slot] = def.domain.nearest_index(csv.field_double(r, "value"));
+    const double raw = csv.field_double(r, "value");
+    if (raw < def.domain.min() || raw > def.domain.max()) {
+      // Out-of-domain vendor value: clamp to the nearest domain point (what
+      // nearest_index does anyway) but tell the operator their feed and
+      // Auric's catalog disagree about this parameter's range.
+      util::log_warn(csv.context(r) + ": " + name + " = " + util::format("%g", raw) +
+                     " outside domain [" + util::format("%g", def.domain.min()) + ", " +
+                     util::format("%g", def.domain.max()) + "]; clamping");
+    }
+    col->value[slot] = def.domain.nearest_index(raw);
     if (has_ground_truth) {
       col->intended[slot] = def.domain.nearest_index(csv.field_double(r, "intended"));
       const std::string& cause = csv.field(r, "cause");
@@ -333,10 +430,16 @@ config::ConfigAssignment load_assignment(const netsim::Topology& topology,
           break;
         }
       }
-      if (!found) throw std::invalid_argument("config.csv: unknown cause '" + cause + "'");
+      if (!found) {
+        throw std::invalid_argument(csv.context(r) + ": unknown cause '" + cause + "'");
+      }
     } else {
       col->intended[slot] = col->value[slot];
     }
+  }
+  if (unknown_params > 5) {
+    util::log_warn(csv.source() + ": skipped " + std::to_string(unknown_params) +
+                   " rows with unknown parameters in total");
   }
   return assignment;
 }

@@ -1,5 +1,6 @@
 #include "smartlaunch/ems.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -11,6 +12,7 @@ const char* push_status_name(PushStatus status) {
     case PushStatus::kApplied: return "applied";
     case PushStatus::kRejectedUnlocked: return "rejected-unlocked";
     case PushStatus::kTimeout: return "timeout";
+    case PushStatus::kAbortedLockFlap: return "aborted-lock-flap";
   }
   return "?";
 }
@@ -18,7 +20,9 @@ const char* push_status_name(PushStatus status) {
 EmsSimulator::EmsSimulator(std::size_t carrier_count, EmsOptions options)
     : options_(options),
       states_(carrier_count, CarrierState::kLocked),
-      fault_stream_(options.seed) {}
+      fault_stream_(options.seed),
+      flap_stream_(options.seed ^ 0xF1A9F1A9F1A9F1A9ULL),
+      burst_stream_(options.seed ^ 0xB0857B0857B0857BULL) {}
 
 CarrierState EmsSimulator::state(netsim::CarrierId carrier) const {
   return states_.at(static_cast<std::size_t>(carrier));
@@ -36,6 +40,24 @@ void EmsSimulator::unlock(netsim::CarrierId carrier) {
 
 void EmsSimulator::unlock_out_of_band(netsim::CarrierId carrier) { unlock(carrier); }
 
+bool EmsSimulator::persistent_fault(netsim::CarrierId carrier) const {
+  if (options_.faults.persistent_fault_prob <= 0.0) return false;
+  if (repaired_.count(carrier) > 0) return false;
+  const double u = static_cast<double>(
+                       util::hash_combine({options_.seed, 0x5157C4ULL,
+                                           static_cast<std::uint64_t>(carrier)}) >>
+                       11) *
+                   0x1.0p-53;
+  return u < options_.faults.persistent_fault_prob;
+}
+
+void EmsSimulator::repair_carrier(netsim::CarrierId carrier) { repaired_.insert(carrier); }
+
+std::size_t EmsSimulator::max_settings_per_push() const {
+  const auto waves = static_cast<std::size_t>(options_.deadline_ms / options_.command_ms);
+  return waves * static_cast<std::size_t>(options_.concurrency);
+}
+
 PushResult EmsSimulator::push(netsim::CarrierId carrier,
                               const std::vector<config::MoSetting>& settings) {
   PushResult result;
@@ -46,21 +68,85 @@ PushResult EmsSimulator::push(netsim::CarrierId carrier,
   if (settings.empty()) return result;
 
   // Commands execute in waves of `concurrency`.
-  const auto waves =
-      (settings.size() + static_cast<std::size_t>(options_.concurrency) - 1) /
-      static_cast<std::size_t>(options_.concurrency);
+  const auto concurrency = static_cast<std::size_t>(options_.concurrency);
+  const auto waves = (settings.size() + concurrency - 1) / concurrency;
   const double needed_ms = static_cast<double>(waves) * options_.command_ms;
 
+  const std::size_t push_index = pushes_executed_++;
+  // The legacy transient-fault stream is consumed exactly once per executing
+  // push, before any new-fault stream, so the default configuration (all
+  // EmsFaultOptions probabilities zero) reproduces the seed's push-status
+  // sequence bit for bit.
   const double fault_draw =
       static_cast<double>(util::splitmix64(fault_stream_) >> 11) * 0x1.0p-53;
-  if (needed_ms > options_.deadline_ms || fault_draw < options_.flaky_timeout_prob) {
-    // Partial application up to the deadline; remaining settings are lost.
+
+  // A transient abort point: the fault fired after a uniform fraction of the
+  // waves, derived from the fault draw itself (u / prob is uniform in [0, 1)
+  // conditioned on the fault firing).
+  const auto transient_applied = [&](double u, double prob) {
+    const auto waves_done = static_cast<std::size_t>(u / prob * static_cast<double>(waves));
+    return std::min(settings.size(), waves_done * concurrency);
+  };
+
+  if (persistent_fault(carrier)) {
+    // Wedged EMS agent / broken transport: the push stalls from the start
+    // and nothing lands. Retries hit the same wall until repair_carrier().
+    result.status = PushStatus::kTimeout;
+    result.applied = 0;
+    result.elapsed_ms = options_.deadline_ms;
+    result.transient = false;
+    return result;
+  }
+
+  if (needed_ms > options_.deadline_ms) {
+    // Structural timeout: the change set cannot fit the deadline at this
+    // concurrency. Partial application up to the deadline; retrying the
+    // same set can only fail again (callers must chunk).
     const auto waves_done = static_cast<std::size_t>(options_.deadline_ms / options_.command_ms);
     result.status = PushStatus::kTimeout;
-    result.applied = std::min(settings.size(),
-                              waves_done * static_cast<std::size_t>(options_.concurrency));
+    result.applied = std::min(settings.size(), waves_done * concurrency);
     result.elapsed_ms = options_.deadline_ms;
+    result.transient = false;
     return result;
+  }
+
+  if (fault_draw < options_.flaky_timeout_prob) {
+    result.status = PushStatus::kTimeout;
+    result.applied = transient_applied(fault_draw, options_.flaky_timeout_prob);
+    result.elapsed_ms = options_.deadline_ms;
+    result.transient = true;
+    return result;
+  }
+
+  const EmsFaultOptions& faults = options_.faults;
+  if (faults.burst_every > 0 &&
+      static_cast<int>(push_index % static_cast<std::size_t>(faults.burst_every)) <
+          faults.burst_length) {
+    const double burst_draw =
+        static_cast<double>(util::splitmix64(burst_stream_) >> 11) * 0x1.0p-53;
+    if (burst_draw < faults.burst_timeout_prob) {
+      result.status = PushStatus::kTimeout;
+      result.applied = transient_applied(burst_draw, faults.burst_timeout_prob);
+      result.elapsed_ms = options_.deadline_ms;
+      result.transient = true;
+      return result;
+    }
+  }
+
+  if (faults.lock_flap_prob > 0.0) {
+    const double flap_draw =
+        static_cast<double>(util::splitmix64(flap_stream_) >> 11) * 0x1.0p-53;
+    if (flap_draw < faults.lock_flap_prob) {
+      // The carrier dropped out of the locked state mid-push: half the
+      // waves landed, the rest were refused, and the carrier is unlocked.
+      const std::size_t waves_done = waves / 2;
+      result.status = PushStatus::kAbortedLockFlap;
+      result.applied = std::min(settings.size(), waves_done * concurrency);
+      result.elapsed_ms = static_cast<double>(waves_done) * options_.command_ms;
+      result.transient = false;
+      unlock(carrier);
+      return result;
+    }
   }
 
   result.applied = settings.size();

@@ -10,6 +10,19 @@
 // The simulator models carrier lock state, per-command execution cost
 // against a concurrency budget, deterministic fault injection for flaky
 // executions, and an out-of-band unlock hook.
+//
+// Fault taxonomy (all deterministic and seedable; see EmsFaultOptions):
+//   transient timeout   the legacy flaky_timeout_prob fault: one push stalls
+//                       and times out, a retry of the remainder may succeed.
+//   persistent fault    a per-carrier condition (broken transport, wedged
+//                       EMS agent): every push to that carrier times out
+//                       until repair; retries cannot help.
+//   lock flap           the carrier drops out of the locked state mid-push
+//                       (EMS-side glitch); the push aborts partially applied
+//                       and the carrier is left unlocked.
+//   burst window        correlated outage: pushes that land inside a
+//                       deterministic window see an elevated transient
+//                       fault probability (models an EMS brown-out).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +40,7 @@ enum class PushStatus : std::uint8_t {
   kApplied = 0,          ///< all settings written
   kRejectedUnlocked,     ///< carrier was unlocked; push refused
   kTimeout,              ///< execution exceeded the EMS time budget
+  kAbortedLockFlap,      ///< carrier lock flapped mid-push; partial apply
 };
 
 const char* push_status_name(PushStatus status);
@@ -35,6 +49,29 @@ struct PushResult {
   PushStatus status = PushStatus::kApplied;
   std::size_t applied = 0;   ///< settings written before completion/abort
   double elapsed_ms = 0.0;   ///< simulated execution time
+  /// True when the failure was a transient fault: retrying the remaining
+  /// settings may succeed. False for structural timeouts (change set too
+  /// large for the deadline) and persistent per-carrier faults.
+  bool transient = false;
+};
+
+/// Expanded fault model. All probabilities default to zero so the simulator
+/// behaves exactly like the legacy flaky-timeout-only model unless a fault
+/// class is explicitly enabled; each class draws from its own SplitMix64
+/// stream, so enabling one never perturbs another.
+struct EmsFaultOptions {
+  /// Per-carrier probability the carrier suffers a persistent fault: every
+  /// push to it times out (non-transient) until repair_carrier() is called.
+  double persistent_fault_prob = 0.0;
+  /// Per-push probability the carrier lock flaps mid-push: roughly half the
+  /// settings land, the push aborts, and the carrier is left unlocked.
+  double lock_flap_prob = 0.0;
+  /// Burst windows: when burst_every > 0, pushes whose (0-based) execution
+  /// index i satisfies i % burst_every < burst_length land in a correlated
+  /// fault window with transient-timeout probability burst_timeout_prob.
+  int burst_every = 0;
+  int burst_length = 0;
+  double burst_timeout_prob = 0.9;
 };
 
 struct EmsOptions {
@@ -49,6 +86,7 @@ struct EmsOptions {
   /// Probability a push hits a transient EMS fault and times out anyway.
   double flaky_timeout_prob = 0.06;
   std::uint64_t seed = 99;
+  EmsFaultOptions faults;
 };
 
 class EmsSimulator {
@@ -70,13 +108,32 @@ class EmsSimulator {
   /// Pushes a change set to a carrier. Refused unless the carrier is locked.
   PushResult push(netsim::CarrierId carrier, const std::vector<config::MoSetting>& settings);
 
+  /// True when `carrier` drew a persistent fault (pushes to it always time
+  /// out, non-transiently).
+  bool persistent_fault(netsim::CarrierId carrier) const;
+
+  /// Clears a persistent fault (field tech swapped the transport card).
+  void repair_carrier(netsim::CarrierId carrier);
+
+  /// Largest change set guaranteed to fit one push deadline when no fault
+  /// fires: floor(deadline / command_ms) waves of `concurrency` settings.
+  std::size_t max_settings_per_push() const;
+
+  const EmsOptions& options() const { return options_; }
+
   std::size_t lock_cycles() const { return lock_cycles_; }
+  /// Pushes that reached execution (locked carrier, non-empty change set).
+  std::size_t pushes_executed() const { return pushes_executed_; }
 
  private:
   EmsOptions options_;
   std::vector<CarrierState> states_;
   std::size_t lock_cycles_ = 0;
-  std::uint64_t fault_stream_;
+  std::size_t pushes_executed_ = 0;
+  std::uint64_t fault_stream_;       ///< legacy transient-timeout stream
+  std::uint64_t flap_stream_;        ///< lock-flap stream
+  std::uint64_t burst_stream_;       ///< burst-window stream
+  std::unordered_set<netsim::CarrierId> repaired_;
 };
 
 }  // namespace auric::smartlaunch

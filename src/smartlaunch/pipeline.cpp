@@ -50,6 +50,9 @@ LaunchRecord SmartLaunchPipeline::launch(netsim::CarrierId carrier) {
         record.outcome = LaunchOutcome::kImplemented;
         break;
       case PushStatus::kRejectedUnlocked:
+      case PushStatus::kAbortedLockFlap:
+        // The naive pipeline has no re-lock path: a mid-push lock flap is
+        // indistinguishable from an out-of-band unlock and falls out.
         record.outcome = LaunchOutcome::kFalloutUnlocked;
         break;
       case PushStatus::kTimeout:

@@ -88,6 +88,8 @@ ReplayReport OperationReplay::run() {
   std::size_t cursor = 0;
 
   EmsSimulator ems(topology_->carrier_count(), options_.ems);
+  RobustPushExecutor executor(ems, options_.robust_executor);
+  std::vector<netsim::CarrierId> deferred;
   const config::Rulebook rulebook(*ground_truth_, *catalog_);
 
   // Engine + controller are rebuilt on the re-learn cadence so Auric keeps
@@ -138,23 +140,59 @@ ReplayReport OperationReplay::run() {
       if (!changes.empty()) {
         ++report.totals.change_recommended;
         ++week.change_recommended;
-        const double u =
-            static_cast<double>(util::hash_combine({options_.seed, 0x0B0BULL,
-                                                    static_cast<std::uint64_t>(carrier)}) >>
-                                11) *
-            0x1.0p-53;
-        if (u < options_.pipeline.premature_unlock_prob) ems.unlock_out_of_band(carrier);
-        std::vector<config::MoSetting> settings;
-        settings.reserve(changes.size());
-        for (const auto& change : changes) {
-          settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
-        }
-        const PushResult push = ems.push(carrier, settings);
-        applied = push.applied;
-        switch (push.status) {
-          case PushStatus::kApplied: outcome = LaunchOutcome::kImplemented; break;
-          case PushStatus::kRejectedUnlocked: outcome = LaunchOutcome::kFalloutUnlocked; break;
-          case PushStatus::kTimeout: outcome = LaunchOutcome::kFalloutTimeout; break;
+        if (options_.robust && executor.should_defer()) {
+          // Breaker open: the carrier goes on air vendor-only and its
+          // corrections wait in the deferred queue (outcome stays
+          // kNoChangeNeeded so it counts as neither implemented nor
+          // fall-out until the drain resolves it).
+          deferred.push_back(carrier);
+          ++report.robust.queued_degraded;
+        } else {
+          const double u =
+              static_cast<double>(util::hash_combine({options_.seed, 0x0B0BULL,
+                                                      static_cast<std::uint64_t>(carrier)}) >>
+                                  11) *
+              0x1.0p-53;
+          if (u < options_.pipeline.premature_unlock_prob) ems.unlock_out_of_band(carrier);
+          std::vector<config::MoSetting> settings;
+          settings.reserve(changes.size());
+          for (const auto& change : changes) {
+            settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
+          }
+          if (options_.robust) {
+            const RobustPushExecutor::Result push = executor.execute(carrier, settings);
+            applied = push.applied;
+            report.robust.retries += static_cast<std::size_t>(push.retries);
+            if (push.chunks > 1) ++report.robust.chunked;
+            switch (push.outcome) {
+              case RobustOutcome::kRecovered: ++report.robust.recovered; [[fallthrough]];
+              case RobustOutcome::kImplemented:
+                outcome = LaunchOutcome::kImplemented;
+                break;
+              case RobustOutcome::kAbortedUnlocked:
+                ++report.robust.aborted_unlocked;
+                outcome = LaunchOutcome::kFalloutUnlocked;
+                break;
+              case RobustOutcome::kFalloutTerminal:
+                ++report.robust.fallout_terminal;
+                outcome = LaunchOutcome::kFalloutTimeout;
+                break;
+              case RobustOutcome::kNoChangeNeeded:
+              case RobustOutcome::kQueuedDegraded:
+                break;
+            }
+          } else {
+            const PushResult push = ems.push(carrier, settings);
+            applied = push.applied;
+            switch (push.status) {
+              case PushStatus::kApplied: outcome = LaunchOutcome::kImplemented; break;
+              case PushStatus::kRejectedUnlocked:
+              case PushStatus::kAbortedLockFlap:
+                outcome = LaunchOutcome::kFalloutUnlocked;
+                break;
+              case PushStatus::kTimeout: outcome = LaunchOutcome::kFalloutTimeout; break;
+            }
+          }
         }
       }
       ems.unlock(carrier);
@@ -188,8 +226,60 @@ ReplayReport OperationReplay::run() {
       week_quality += carrier_quality(*topology_, *catalog_, state_, carrier);
       ++week_quality_n;
     }
+
+    // End-of-day maintenance window: once the breaker has closed again,
+    // drain the deferred queue — re-lock each queued carrier (the simulator
+    // counts the disruptive cycle), re-plan against the current engine, and
+    // push with the same chunk/retry/journal machinery.
+    while (options_.robust && !deferred.empty() &&
+           executor.breaker().state() == util::CircuitBreaker::State::kClosed) {
+      const netsim::CarrierId carrier = deferred.front();
+      deferred.erase(deferred.begin());
+      ems.lock(carrier);
+      const std::vector<LaunchController::PlannedChange> changes =
+          controller->plan_changes_detailed(carrier);
+      if (changes.empty()) {
+        // The engine re-learned since the deferral and no longer flags the
+        // carrier: the queue entry resolves with nothing to push.
+        ems.unlock(carrier);
+        ++report.robust.drained;
+        ++report.totals.implemented;
+        ++week.implemented;
+        continue;
+      }
+      std::vector<config::MoSetting> settings;
+      settings.reserve(changes.size());
+      for (const auto& change : changes) {
+        settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
+      }
+      const RobustPushExecutor::Result push = executor.execute(carrier, settings);
+      ems.unlock(carrier);
+      report.robust.retries += static_cast<std::size_t>(push.retries);
+      for (std::size_t i = 0; i < push.applied && i < changes.size(); ++i) {
+        apply_slot(changes[i].slot, changes[i].new_value);
+      }
+      if (push.outcome == RobustOutcome::kImplemented ||
+          push.outcome == RobustOutcome::kRecovered) {
+        ++report.robust.drained;
+        ++report.totals.implemented;
+        ++week.implemented;
+        report.totals.parameters_changed += push.applied;
+        week.parameters_changed += push.applied;
+      } else if (push.outcome == RobustOutcome::kFalloutTerminal) {
+        ++report.robust.fallout_terminal;
+        ++report.totals.fallout_timeout;
+        ++week.fallouts;
+      } else if (push.outcome == RobustOutcome::kAbortedUnlocked) {
+        ++report.robust.aborted_unlocked;
+        ++report.totals.fallout_unlocked;
+        ++week.fallouts;
+      }
+    }
+
     if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
   }
+  report.robust.breaker_trips = executor.breaker().trips();
+  report.robust.still_queued = deferred.size();
 
   report.final_network_kpi = mean_network_kpi();
   return report;

@@ -29,6 +29,7 @@
 #include "smartlaunch/controller.h"
 #include "smartlaunch/ems.h"
 #include "smartlaunch/pipeline.h"
+#include "smartlaunch/robust_pipeline.h"
 
 namespace auric::smartlaunch {
 
@@ -40,7 +41,25 @@ struct ReplayOptions {
   PushPolicy push_policy;
   PipelineOptions pipeline;
   EmsOptions ems;
+  /// When true, pushes go through the fault-tolerant path (chunking,
+  /// retry/backoff, apply journal, circuit breaker with a deferred queue
+  /// drained at end of day) instead of the naive one-shot push.
+  bool robust = false;
+  RobustPushExecutor::Options robust_executor;
   std::uint64_t seed = 2024;
+};
+
+/// Recovery-mode counters (populated when ReplayOptions::robust).
+struct RobustReplayTotals {
+  std::size_t recovered = 0;         ///< implemented only after retry/resume
+  std::size_t chunked = 0;           ///< plans split into > 1 push chunk
+  std::size_t queued_degraded = 0;   ///< deferred while the breaker was open
+  std::size_t drained = 0;           ///< deferred launches later implemented
+  std::size_t still_queued = 0;      ///< deferrals unresolved at end of window
+  std::size_t aborted_unlocked = 0;  ///< clean aborts on out-of-band unlock
+  std::size_t fallout_terminal = 0;  ///< unrecoverable EMS fall-outs
+  std::size_t retries = 0;
+  int breaker_trips = 0;
 };
 
 struct WeeklySummary {
@@ -56,6 +75,7 @@ struct WeeklySummary {
 struct ReplayReport {
   std::vector<WeeklySummary> weeks;
   SmartLaunchReport totals;       ///< Table 5 aggregate over the window
+  RobustReplayTotals robust;      ///< recovery breakdown (robust mode only)
   double initial_network_kpi = 0.0;
   double final_network_kpi = 0.0;
   int engine_relearns = 0;

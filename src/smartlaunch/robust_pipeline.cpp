@@ -1,0 +1,289 @@
+#include "smartlaunch/robust_pipeline.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace auric::smartlaunch {
+
+const char* robust_outcome_name(RobustOutcome outcome) {
+  switch (outcome) {
+    case RobustOutcome::kNoChangeNeeded: return "no-change";
+    case RobustOutcome::kImplemented: return "implemented";
+    case RobustOutcome::kRecovered: return "recovered";
+    case RobustOutcome::kQueuedDegraded: return "queued-degraded";
+    case RobustOutcome::kAbortedUnlocked: return "aborted-unlocked";
+    case RobustOutcome::kFalloutTerminal: return "fallout-terminal";
+  }
+  return "?";
+}
+
+RobustPushExecutor::RobustPushExecutor(EmsSimulator& ems)
+    : RobustPushExecutor(ems, Options{}) {}
+
+RobustPushExecutor::RobustPushExecutor(EmsSimulator& ems, Options options)
+    : ems_(&ems), options_(options), breaker_(options.breaker) {}
+
+std::size_t RobustPushExecutor::chunk_size() const {
+  std::size_t limit = ems_->max_settings_per_push();
+  const EmsOptions& ems = ems_->options();
+  if (options_.retry.attempt_deadline_ms > 0.0 &&
+      options_.retry.attempt_deadline_ms < ems.deadline_ms) {
+    const auto waves =
+        static_cast<std::size_t>(options_.retry.attempt_deadline_ms / ems.command_ms);
+    limit = std::min(limit, waves * static_cast<std::size_t>(ems.concurrency));
+  }
+  limit = limit > options_.chunk_margin ? limit - options_.chunk_margin : 1;
+  return std::max<std::size_t>(1, limit);
+}
+
+std::size_t RobustPushExecutor::journal_applied(netsim::CarrierId carrier) const {
+  const auto it = journal_.find(carrier);
+  return it == journal_.end() ? 0 : it->second;
+}
+
+bool RobustPushExecutor::should_defer() { return !breaker_.allow(); }
+
+RobustPushExecutor::Result RobustPushExecutor::execute(
+    netsim::CarrierId carrier, const std::vector<config::MoSetting>& settings) {
+  Result result;
+  const std::size_t max_chunk = chunk_size();
+  std::size_t landed = journal_applied(carrier);
+  const bool resumed = landed > 0;
+  result.chunks = static_cast<int>((settings.size() + max_chunk - 1) / max_chunk);
+
+  // Consecutive failed pushes on this launch; RetryPolicy::max_attempts
+  // bounds it. Any successful (even partial-progress) push resets it.
+  int consecutive_failures = 0;
+
+  while (landed < settings.size()) {
+    // Re-check lock state before every attempt: an engineer may have
+    // unlocked the carrier out-of-band while we were backing off, and
+    // pushing to a live carrier would disrupt service.
+    if (ems_->state(carrier) != CarrierState::kLocked) {
+      result.outcome = RobustOutcome::kAbortedUnlocked;
+      result.applied = landed;
+      journal_[carrier] = landed;  // durable partial progress
+      return result;
+    }
+
+    const std::size_t take = std::min(max_chunk, settings.size() - landed);
+    const std::vector<config::MoSetting> chunk(settings.begin() + static_cast<std::ptrdiff_t>(landed),
+                                               settings.begin() +
+                                                   static_cast<std::ptrdiff_t>(landed + take));
+    const PushResult push = ems_->push(carrier, chunk);
+    ++result.attempts;
+
+    switch (push.status) {
+      case PushStatus::kApplied:
+        landed += chunk.size();
+        consecutive_failures = 0;
+        continue;
+
+      case PushStatus::kRejectedUnlocked:
+        // Unlock raced the push: same clean abort as the pre-attempt check.
+        result.outcome = RobustOutcome::kAbortedUnlocked;
+        result.applied = landed;
+        journal_[carrier] = landed;
+        return result;
+
+      case PushStatus::kAbortedLockFlap:
+      case PushStatus::kTimeout: {
+        landed += push.applied;  // settings written before the abort stay
+        if (push.status == PushStatus::kTimeout && !push.transient) {
+          // Structural or persistent fault: retrying the same settings can
+          // only fail again.
+          result.outcome = RobustOutcome::kFalloutTerminal;
+          result.applied = landed;
+          journal_[carrier] = landed;
+          breaker_.record_failure();
+          return result;
+        }
+        ++consecutive_failures;
+        if (consecutive_failures >= options_.retry.max_attempts) {
+          result.outcome = RobustOutcome::kFalloutTerminal;
+          result.applied = landed;
+          journal_[carrier] = landed;
+          breaker_.record_failure();
+          return result;
+        }
+        ++result.retries;
+        result.backoff_ms +=
+            util::backoff_ms(options_.retry, consecutive_failures,
+                             options_.seed ^ static_cast<std::uint64_t>(carrier));
+        if (push.status == PushStatus::kAbortedLockFlap) {
+          // EMS-side flap, not an engineer: re-locking is safe (the carrier
+          // was never meant to be on air yet) and counted by the simulator.
+          ems_->lock(carrier);
+        }
+        continue;
+      }
+    }
+  }
+
+  result.outcome =
+      (result.retries > 0 || resumed) ? RobustOutcome::kRecovered : RobustOutcome::kImplemented;
+  result.applied = landed;
+  journal_.erase(carrier);
+  breaker_.record_success();
+  return result;
+}
+
+RobustLaunchController::RobustLaunchController(const LaunchController& controller,
+                                               EmsSimulator& ems, const KpiModel& kpi,
+                                               RobustPipelineOptions options)
+    : controller_(&controller),
+      ems_(&ems),
+      kpi_(&kpi),
+      options_(options),
+      executor_(ems, options.executor) {}
+
+RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
+  RobustLaunchRecord record;
+  record.carrier = carrier;
+
+  ems_->lock(carrier);
+  const std::vector<config::MoSetting> changes = controller_->plan_changes(carrier);
+  record.changes_planned = changes.size();
+
+  if (changes.empty()) {
+    ems_->unlock(carrier);
+    record.post_quality = kpi_->quality(carrier);
+    return record;
+  }
+
+  if (executor_.should_defer()) {
+    // Degraded mode: the carrier launches with the vendor configuration
+    // only; Auric's corrections wait in the queue for the breaker to close.
+    ems_->unlock(carrier);
+    deferred_.push_back(carrier);
+    record.outcome = RobustOutcome::kQueuedDegraded;
+    record.post_quality = kpi_->quality(carrier);
+    return record;
+  }
+
+  // Same engineer-behavior fault draw as SmartLaunchPipeline::launch, so a
+  // naive-vs-robust comparison differs only in the pipeline's response.
+  const double u = static_cast<double>(
+                       util::hash_combine({options_.seed, 0x0B0BULL,
+                                           static_cast<std::uint64_t>(carrier)}) >>
+                       11) *
+                   0x1.0p-53;
+  if (u < options_.premature_unlock_prob) ems_->unlock_out_of_band(carrier);
+
+  const RobustPushExecutor::Result push = executor_.execute(carrier, changes);
+  record.outcome = push.outcome;
+  record.changes_applied = push.applied;
+  record.attempts = push.attempts;
+  record.chunks = push.chunks;
+  record.retries = push.retries;
+  record.backoff_ms = push.backoff_ms;
+
+  ems_->unlock(carrier);
+  record.post_quality = kpi_->quality(carrier);
+  return record;
+}
+
+void RobustLaunchController::tally(const RobustLaunchRecord& record,
+                                   RobustLaunchReport& report) const {
+  ++report.launches;
+  if (record.changes_planned > 0) ++report.change_recommended;
+  report.retries += static_cast<std::size_t>(record.retries);
+  if (record.chunks > 1) ++report.chunked;
+  switch (record.outcome) {
+    case RobustOutcome::kImplemented:
+      ++report.implemented;
+      report.parameters_changed += record.changes_applied;
+      break;
+    case RobustOutcome::kRecovered:
+      ++report.implemented;
+      ++report.recovered;
+      report.parameters_changed += record.changes_applied;
+      break;
+    case RobustOutcome::kQueuedDegraded: ++report.queued_degraded; break;
+    case RobustOutcome::kAbortedUnlocked: ++report.aborted_unlocked; break;
+    case RobustOutcome::kFalloutTerminal: ++report.fallout_terminal; break;
+    case RobustOutcome::kNoChangeNeeded: break;
+  }
+}
+
+void RobustLaunchController::drain(
+    RobustLaunchReport& report,
+    std::unordered_map<netsim::CarrierId, std::size_t>& record_index) {
+  std::vector<netsim::CarrierId> queue;
+  queue.swap(deferred_);
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (executor_.breaker().state() != util::CircuitBreaker::State::kClosed) {
+      // The breaker tripped again mid-drain: re-queue the remainder.
+      deferred_.insert(deferred_.end(), queue.begin() + static_cast<std::ptrdiff_t>(i),
+                       queue.end());
+      return;
+    }
+    const netsim::CarrierId carrier = queue[i];
+    // Maintenance window: re-locking an on-air carrier is the disruptive
+    // operation the paper avoids during launches; the simulator counts it.
+    ems_->lock(carrier);
+    const std::vector<config::MoSetting> changes = controller_->plan_changes(carrier);
+    RobustLaunchRecord* record = nullptr;
+    if (const auto it = record_index.find(carrier); it != record_index.end()) {
+      record = &report.records[it->second];
+    }
+    if (changes.empty()) {
+      // The re-plan came back empty (changes landed earlier or were
+      // superseded): the queue entry is resolved with nothing to push.
+      ems_->unlock(carrier);
+      ++report.drained;
+      ++report.implemented;
+      if (record != nullptr) record->drained_late = true;
+      continue;
+    }
+    const RobustPushExecutor::Result push = executor_.execute(carrier, changes);
+    ems_->unlock(carrier);
+    report.retries += static_cast<std::size_t>(push.retries);
+    if (push.outcome == RobustOutcome::kImplemented ||
+        push.outcome == RobustOutcome::kRecovered) {
+      ++report.drained;
+      ++report.implemented;
+      report.parameters_changed += push.applied;
+      if (record != nullptr) {
+        record->drained_late = true;
+        record->changes_applied = push.applied;
+        record->post_quality = kpi_->quality(carrier);
+      }
+    } else if (push.outcome == RobustOutcome::kFalloutTerminal) {
+      ++report.fallout_terminal;
+      if (record != nullptr) record->outcome = RobustOutcome::kFalloutTerminal;
+    } else if (push.outcome == RobustOutcome::kAbortedUnlocked) {
+      ++report.aborted_unlocked;
+      if (record != nullptr) record->outcome = RobustOutcome::kAbortedUnlocked;
+    }
+  }
+}
+
+RobustLaunchReport RobustLaunchController::run(std::span<const netsim::CarrierId> carriers) {
+  RobustLaunchReport report;
+  report.records.reserve(carriers.size());
+  std::unordered_map<netsim::CarrierId, std::size_t> record_index;
+  for (netsim::CarrierId carrier : carriers) {
+    RobustLaunchRecord record = launch(carrier);
+    report.total_backoff_ms += record.backoff_ms;
+    tally(record, report);
+    record_index[carrier] = report.records.size();
+    report.records.push_back(record);
+    // Drain as soon as the breaker closes again (successful half-open
+    // probe) rather than waiting for the end of the cohort.
+    if (!deferred_.empty() &&
+        executor_.breaker().state() == util::CircuitBreaker::State::kClosed) {
+      drain(report, record_index);
+    }
+  }
+  if (!deferred_.empty() &&
+      executor_.breaker().state() == util::CircuitBreaker::State::kClosed) {
+    drain(report, record_index);
+  }
+  report.breaker_trips = executor_.breaker().trips();
+  report.still_queued = deferred_.size();
+  return report;
+}
+
+}  // namespace auric::smartlaunch

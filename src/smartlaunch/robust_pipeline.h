@@ -1,0 +1,195 @@
+// Fault-tolerant launch pipeline (robust counterpart of SmartLaunchPipeline).
+//
+// The paper's production run (Table 5, §5) loses 29 of 143 flagged launches
+// to EMS timeouts and premature out-of-band unlocks; the naive pipeline
+// reproduces those fall-outs but treats every fault as terminal. This module
+// adds the recovery paths a production push layer needs:
+//
+//   chunking        change sets are split so each push fits the EMS deadline
+//                   (command_count / concurrency * command_ms <= deadline),
+//                   eliminating structural timeouts;
+//   retry/backoff   transient EMS timeouts are retried under a bounded
+//                   util::RetryPolicy with deterministic exponential
+//                   backoff; carrier lock state is re-checked between
+//                   attempts and the push aborts cleanly if an engineer
+//                   unlocked the carrier out-of-band;
+//   apply journal   per-carrier count of settings already written, so a
+//                   retried or resumed push continues after the last landed
+//                   setting instead of re-pushing from scratch (pushes are
+//                   idempotent at the setting level — re-writing a value is
+//                   harmless — but the journal keeps retries inside the
+//                   deadline and makes partial progress durable);
+//   circuit breaker consecutive EMS faults trip a util::CircuitBreaker;
+//                   while open, launches degrade to "vendor config only,
+//                   queue for later" and the queue is drained once the
+//                   half-open probe succeeds (re-locking each queued carrier
+//                   in a maintenance window — the simulator counts those
+//                   disruptive lock cycles).
+//
+// Everything is deterministic under a fixed seed: two runs over the same
+// cohort produce identical counters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "smartlaunch/controller.h"
+#include "smartlaunch/ems.h"
+#include "smartlaunch/kpi.h"
+#include "util/retry.h"
+
+namespace auric::smartlaunch {
+
+enum class RobustOutcome : std::uint8_t {
+  kNoChangeNeeded = 0,  ///< Auric agreed with the vendor configuration
+  kImplemented,         ///< all changes pushed, no recovery needed
+  kRecovered,           ///< implemented, but only after retry/resume/re-lock
+  kQueuedDegraded,      ///< breaker open: on air vendor-only, queued for later
+  kAbortedUnlocked,     ///< out-of-band unlock observed; aborted cleanly
+  kFalloutTerminal,     ///< retries exhausted or persistent EMS fault
+};
+
+const char* robust_outcome_name(RobustOutcome outcome);
+
+/// Executes one change set against the EMS with chunking, retry/backoff, an
+/// apply journal, and circuit-breaker accounting. Shared by the robust
+/// pipeline and the operation replay so both report identical semantics.
+class RobustPushExecutor {
+ public:
+  struct Options {
+    util::RetryPolicy retry;
+    util::CircuitBreaker::Options breaker;
+    /// Settings held back from each chunk as safety margin below the EMS
+    /// structural limit (guards against command_ms jitter in a real EMS).
+    std::size_t chunk_margin = 0;
+    std::uint64_t seed = 31337;
+  };
+
+  struct Result {
+    RobustOutcome outcome = RobustOutcome::kImplemented;
+    std::size_t applied = 0;   ///< settings landed in total (journal included)
+    int attempts = 0;          ///< pushes issued this call
+    int chunks = 0;            ///< chunks the plan was split into
+    int retries = 0;           ///< failed pushes that were retried/resumed
+    double backoff_ms = 0.0;   ///< simulated backoff waited this call
+  };
+
+  explicit RobustPushExecutor(EmsSimulator& ems);  // default Options
+  RobustPushExecutor(EmsSimulator& ems, Options options);
+
+  /// Circuit-breaker admission for one launch. True when the breaker is
+  /// open (the launch should go vendor-only and be deferred); advances the
+  /// open-state cooldown, so call exactly once per launch.
+  bool should_defer();
+
+  /// Pushes `settings` to a locked carrier, chunked and retried. Resumes
+  /// from the carrier's journal entry if a previous call partially applied.
+  /// Records success/failure with the breaker (clean unlock aborts are not
+  /// EMS health signals and leave the breaker untouched).
+  Result execute(netsim::CarrierId carrier, const std::vector<config::MoSetting>& settings);
+
+  /// Largest chunk the executor will push at once: the EMS structural limit
+  /// (optionally tightened by RetryPolicy::attempt_deadline_ms) minus the
+  /// configured margin, floored at one setting.
+  std::size_t chunk_size() const;
+
+  /// Settings already landed for `carrier` (0 when fully applied/unknown).
+  std::size_t journal_applied(netsim::CarrierId carrier) const;
+
+  const util::CircuitBreaker& breaker() const { return breaker_; }
+  const Options& options() const { return options_; }
+
+ private:
+  EmsSimulator* ems_;
+  Options options_;
+  util::CircuitBreaker breaker_;
+  std::unordered_map<netsim::CarrierId, std::size_t> journal_;
+};
+
+struct RobustLaunchRecord {
+  netsim::CarrierId carrier = netsim::kInvalidCarrier;
+  RobustOutcome outcome = RobustOutcome::kNoChangeNeeded;
+  std::size_t changes_planned = 0;
+  std::size_t changes_applied = 0;
+  int attempts = 0;
+  int chunks = 0;
+  int retries = 0;
+  double backoff_ms = 0.0;
+  bool drained_late = false;  ///< queued-degraded launch completed on drain
+  double post_quality = 1.0;
+};
+
+/// Table-5-style aggregate with the recovery modes broken out.
+struct RobustLaunchReport {
+  std::size_t launches = 0;
+  std::size_t change_recommended = 0;
+  std::size_t implemented = 0;       ///< includes recovered and drained
+  std::size_t recovered = 0;         ///< needed >= 1 retry/resume/re-lock
+  std::size_t chunked = 0;           ///< plan split into > 1 chunk
+  std::size_t queued_degraded = 0;   ///< deferred while the breaker was open
+  std::size_t drained = 0;           ///< deferred launches later implemented
+  std::size_t still_queued = 0;      ///< deferrals unresolved at end of run
+  std::size_t aborted_unlocked = 0;  ///< clean aborts on out-of-band unlock
+  std::size_t fallout_terminal = 0;  ///< unrecoverable EMS fall-outs
+  std::size_t parameters_changed = 0;
+  std::size_t retries = 0;
+  int breaker_trips = 0;
+  double total_backoff_ms = 0.0;
+  std::vector<RobustLaunchRecord> records;
+
+  /// Launches that ended without their changes on air: terminal EMS
+  /// fall-outs, clean unlock aborts, and still-queued deferrals. The
+  /// invariant change_recommended == implemented + terminal_fallouts()
+  /// holds after run().
+  std::size_t terminal_fallouts() const {
+    return fallout_terminal + aborted_unlocked + still_queued;
+  }
+};
+
+struct RobustPipelineOptions {
+  /// Same out-of-band unlock fault environment as the naive pipeline (and
+  /// the same per-carrier hash draw, so naive/robust runs see identical
+  /// engineer behavior and differ only in how they respond).
+  double premature_unlock_prob = 0.14;
+  std::uint64_t seed = 31337;
+  RobustPushExecutor::Options executor;
+};
+
+/// Drop-in robust counterpart of SmartLaunchPipeline: same launch flow
+/// (pre-check -> plan -> push -> unlock -> post-check), with the fault
+/// tolerance described above.
+class RobustLaunchController {
+ public:
+  RobustLaunchController(const LaunchController& controller, EmsSimulator& ems,
+                         const KpiModel& kpi, RobustPipelineOptions options = {});
+
+  /// Launches one carrier; does not drain the deferred queue.
+  RobustLaunchRecord launch(netsim::CarrierId carrier);
+
+  /// Launches a batch; drains the deferred queue whenever the breaker
+  /// closes after a successful half-open probe, and once more at the end.
+  RobustLaunchReport run(std::span<const netsim::CarrierId> carriers);
+
+  std::size_t deferred_count() const { return deferred_.size(); }
+  const RobustPushExecutor& executor() const { return executor_; }
+
+ private:
+  const LaunchController* controller_;
+  EmsSimulator* ems_;
+  const KpiModel* kpi_;
+  RobustPipelineOptions options_;
+  RobustPushExecutor executor_;
+  std::vector<netsim::CarrierId> deferred_;
+
+  /// Re-locks queued carriers in a maintenance window and pushes their
+  /// (re-planned) changes. Stops and re-queues the remainder if the breaker
+  /// trips again mid-drain.
+  void drain(RobustLaunchReport& report,
+             std::unordered_map<netsim::CarrierId, std::size_t>& record_index);
+
+  void tally(const RobustLaunchRecord& record, RobustLaunchReport& report) const;
+};
+
+}  // namespace auric::smartlaunch

@@ -41,22 +41,38 @@ std::vector<std::string> parse_csv_line(const std::string& line) {
   return fields;
 }
 
-CsvTable CsvTable::parse(std::istream& in) {
+CsvTable CsvTable::parse(std::istream& in, const std::string& source) {
   CsvTable table;
+  table.source_ = source;
   std::string line;
-  if (!std::getline(in, line)) throw std::invalid_argument("CSV: missing header row");
-  table.headers_ = parse_csv_line(line);
+  std::size_t line_number = 0;
+  const auto parse_record = [&](const std::string& record) {
+    try {
+      return parse_csv_line(record);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(source + " line " + std::to_string(line_number) + ": " +
+                                  e.what());
+    }
+  };
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument(source + ": missing header row");
+  }
+  ++line_number;
+  table.headers_ = parse_record(line);
   for (std::size_t c = 0; c < table.headers_.size(); ++c) {
     table.column_index_[table.headers_[c]] = c;
   }
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line == "\r") continue;
-    auto fields = parse_csv_line(line);
+    auto fields = parse_record(line);
     if (fields.size() != table.headers_.size()) {
-      throw std::invalid_argument("CSV: row arity mismatch at data row " +
-                                  std::to_string(table.rows_.size() + 1));
+      throw std::invalid_argument(source + " line " + std::to_string(line_number) +
+                                  ": expected " + std::to_string(table.headers_.size()) +
+                                  " fields, got " + std::to_string(fields.size()));
     }
     table.rows_.push_back(std::move(fields));
+    table.line_numbers_.push_back(line_number);
   }
   return table;
 }
@@ -64,21 +80,30 @@ CsvTable CsvTable::parse(std::istream& in) {
 CsvTable CsvTable::load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("CsvTable: cannot open " + path);
-  return parse(in);
+  return parse(in, path);
+}
+
+std::string CsvTable::context(std::size_t row) const {
+  return source_ + " line " + std::to_string(line(row));
 }
 
 const std::string& CsvTable::field(std::size_t row, const std::string& column) const {
   const auto it = column_index_.find(column);
-  if (it == column_index_.end()) throw std::out_of_range("CSV: unknown column " + column);
+  if (it == column_index_.end()) {
+    throw std::out_of_range(source_ + ": unknown column " + column);
+  }
   return rows_.at(row).at(it->second);
 }
 
 long long CsvTable::field_int(std::size_t row, const std::string& column) const {
   const std::string& raw = field(row, column);
   try {
-    return std::stoll(raw);
+    std::size_t consumed = 0;
+    const long long value = std::stoll(raw, &consumed);
+    if (consumed != raw.size()) throw std::invalid_argument("trailing characters");
+    return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("CSV: column " + column + " row " + std::to_string(row) +
+    throw std::invalid_argument(context(row) + ", column " + column +
                                 ": expected integer, got '" + raw + "'");
   }
 }
@@ -86,9 +111,12 @@ long long CsvTable::field_int(std::size_t row, const std::string& column) const 
 double CsvTable::field_double(std::size_t row, const std::string& column) const {
   const std::string& raw = field(row, column);
   try {
-    return std::stod(raw);
+    std::size_t consumed = 0;
+    const double value = std::stod(raw, &consumed);
+    if (consumed != raw.size()) throw std::invalid_argument("trailing characters");
+    return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("CSV: column " + column + " row " + std::to_string(row) +
+    throw std::invalid_argument(context(row) + ", column " + column +
                                 ": expected number, got '" + raw + "'");
   }
 }

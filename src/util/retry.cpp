@@ -1,0 +1,82 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace auric::util {
+
+double backoff_ms(const RetryPolicy& policy, int retry, std::uint64_t seed) {
+  if (retry < 1) return 0.0;
+  const double raw = policy.base_backoff_ms *
+                     std::pow(policy.backoff_multiplier, static_cast<double>(retry - 1));
+  const double capped = std::min(raw, policy.max_backoff_ms);
+  if (policy.jitter_frac <= 0.0) return capped;
+  const double u =
+      static_cast<double>(hash_combine({seed, 0xBACC0FFULL, static_cast<std::uint64_t>(retry)}) >>
+                          11) *
+      0x1.0p-53;
+  return capped * (1.0 - policy.jitter_frac + 2.0 * policy.jitter_frac * u);
+}
+
+double total_backoff_ms(const RetryPolicy& policy, int retries, std::uint64_t seed) {
+  double total = 0.0;
+  for (int r = 1; r <= retries; ++r) total += backoff_ms(policy, r, seed);
+  return total;
+}
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options{}) {}
+
+CircuitBreaker::CircuitBreaker(Options options) : options_(options) {
+  options_.failure_threshold = std::max(1, options_.failure_threshold);
+  options_.cooldown_ops = std::max(1, options_.cooldown_ops);
+}
+
+void CircuitBreaker::trip() {
+  state_ = State::kOpen;
+  cooldown_remaining_ = options_.cooldown_ops;
+  consecutive_failures_ = 0;
+  ++trips_;
+}
+
+bool CircuitBreaker::allow() {
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      ++refusals_;
+      if (--cooldown_remaining_ <= 0) {
+        // Cooled down: the *next* operation is the half-open probe.
+        state_ = State::kHalfOpen;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::record_failure() {
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: straight back to open.
+    trip();
+    return;
+  }
+  if (++consecutive_failures_ >= options_.failure_threshold) trip();
+}
+
+const char* circuit_state_name(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace auric::util

@@ -1,0 +1,101 @@
+// Fault-tolerance primitives: bounded retry with deterministic backoff, and
+// a consecutive-failure circuit breaker.
+//
+// The SmartLaunch push path (§5 of the paper) loses launches to transient
+// EMS faults; production RAN automation retries those with exponential
+// backoff and stops hammering a sick EMS via a circuit breaker. Everything
+// here is deterministic — jitter comes from util::splitmix64 seeded by the
+// caller, never from wall-clock or a global RNG — so replayed experiments
+// are bit-identical across runs.
+#pragma once
+
+#include <cstdint>
+
+namespace auric::util {
+
+/// Bounded-retry policy with exponential backoff and deterministic jitter.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 disables retrying).
+  int max_attempts = 4;
+  /// Backoff before the first retry.
+  double base_backoff_ms = 250.0;
+  /// Exponential growth factor per retry.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling (pre-jitter).
+  double max_backoff_ms = 4000.0;
+  /// Jitter amplitude as a fraction of the backoff: the actual wait is
+  /// backoff * (1 - jitter_frac + 2 * jitter_frac * u) for a deterministic
+  /// u in [0, 1). Zero disables jitter.
+  double jitter_frac = 0.25;
+  /// Budget for one attempt; 0 means "no per-attempt deadline". Callers
+  /// that simulate time (the EMS simulator) compare elapsed_ms against it.
+  double attempt_deadline_ms = 0.0;
+};
+
+/// Backoff to wait before retry number `retry` (1-based: the wait after the
+/// first failed attempt is retry == 1). Jitter is derived from
+/// (seed, retry) via SplitMix64, so a fixed seed reproduces the exact wait
+/// schedule.
+double backoff_ms(const RetryPolicy& policy, int retry, std::uint64_t seed);
+
+/// Sum of backoff_ms over retries 1..n (the total simulated wait a caller
+/// incurs after n failed attempts).
+double total_backoff_ms(const RetryPolicy& policy, int retries, std::uint64_t seed);
+
+/// Consecutive-failure circuit breaker with a half-open probe.
+///
+/// States:
+///   closed     operations proceed; `failure_threshold` consecutive
+///              failures trip the breaker open.
+///   open       operations are refused; after `cooldown_ops` refused
+///              operations the breaker half-opens.
+///   half-open  exactly one probe operation proceeds; success closes the
+///              breaker (and the caller should drain whatever it queued),
+///              failure re-opens it for another cooldown.
+///
+/// "Time" is operation count, not wall-clock, which keeps simulated
+/// experiments deterministic and makes the breaker usable from both the
+/// discrete-event replay and the plain pipeline.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+  struct Options {
+    int failure_threshold = 3;  ///< consecutive failures that trip the breaker
+    int cooldown_ops = 5;       ///< refused ops before half-opening
+  };
+
+  CircuitBreaker();  // default Options
+  explicit CircuitBreaker(Options options);
+
+  State state() const { return state_; }
+
+  /// True when the caller may run the protected operation now. While open,
+  /// each refusal advances the cooldown clock; the call that exhausts the
+  /// cooldown transitions to half-open and is allowed as the probe.
+  bool allow();
+
+  /// Reports the outcome of an allowed operation.
+  void record_success();
+  void record_failure();
+
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// Times the breaker tripped closed -> open (or half-open -> open).
+  int trips() const { return trips_; }
+  /// Operations refused while open.
+  int refusals() const { return refusals_; }
+
+ private:
+  Options options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int cooldown_remaining_ = 0;
+  int trips_ = 0;
+  int refusals_ = 0;
+
+  void trip();
+};
+
+const char* circuit_state_name(CircuitBreaker::State state);
+
+}  // namespace auric::util

@@ -141,6 +141,39 @@ TEST(Pipeline, PrematureUnlockBecomesFallout) {
   EXPECT_EQ(report.parameters_changed, 0u);
 }
 
+TEST(Pipeline, UnlockBetweenPlanAndPushRejectsThePush) {
+  // The race the paper's fall-outs come from: an engineer unlocks the
+  // carrier out-of-band after the diff is planned but before the push
+  // lands. The EMS must refuse the push and leave the config untouched.
+  Fixture f;
+  VendorFaultOptions always_stale;
+  always_stale.stale_template_prob = 1.0;
+  always_stale.stale_slot_frac = 1.0;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, always_stale);
+  EmsOptions reliable;
+  reliable.flaky_timeout_prob = 0.0;
+  EmsSimulator ems(f.topo.carrier_count(), reliable);
+
+  netsim::CarrierId carrier = netsim::kInvalidCarrier;
+  for (netsim::CarrierId c = 0; c < 40; ++c) {
+    if (!controller.plan_changes(c).empty()) {
+      carrier = c;
+      break;
+    }
+  }
+  ASSERT_NE(carrier, netsim::kInvalidCarrier);
+
+  ems.lock(carrier);
+  const std::vector<config::MoSetting> changes = controller.plan_changes(carrier);
+  ems.unlock_out_of_band(carrier);
+  const PushResult push = ems.push(carrier, changes);
+  EXPECT_EQ(push.status, PushStatus::kRejectedUnlocked);
+  EXPECT_EQ(push.applied, 0u);
+  EXPECT_FALSE(push.transient);
+  EXPECT_EQ(ems.state(carrier), CarrierState::kUnlocked);
+  EXPECT_EQ(ems.pushes_executed(), 0u);  // the push never reached execution
+}
+
 TEST(Pipeline, ReportCountersAreConsistent) {
   Fixture f;
   const LaunchController controller(f.engine, f.rulebook, f.assignment);

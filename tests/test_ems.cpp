@@ -79,9 +79,149 @@ TEST(Ems, FlakyFaultsEventuallyTimeout) {
   EXPECT_EQ(ems.push(0, settings(2)).status, PushStatus::kTimeout);
 }
 
+TEST(Ems, AlwaysFaultStreamTimesOutEveryPush) {
+  EmsOptions flaky;
+  flaky.flaky_timeout_prob = 1.0;
+  EmsSimulator ems(1, flaky);
+  for (int i = 0; i < 50; ++i) {
+    const PushResult result = ems.push(0, settings(8));
+    EXPECT_EQ(result.status, PushStatus::kTimeout);
+    EXPECT_TRUE(result.transient);  // flaky faults are retryable by contract
+    EXPECT_LT(result.applied, 8u);  // the fault aborts before completion
+  }
+}
+
+TEST(Ems, PartialApplyNeverExceedsChangeSet) {
+  EmsOptions flaky;
+  flaky.flaky_timeout_prob = 0.5;
+  flaky.seed = 7;
+  EmsSimulator ems(1, flaky);
+  std::size_t timeouts = 0;
+  for (int i = 0; i < 200; ++i) {
+    const PushResult result = ems.push(0, settings(20));
+    if (result.status == PushStatus::kTimeout) {
+      ++timeouts;
+      EXPECT_LT(result.applied, 20u);  // partial: some settings lost
+    } else {
+      EXPECT_EQ(result.applied, 20u);
+    }
+  }
+  EXPECT_GT(timeouts, 50u);  // at prob 0.5 the stream must fault often
+}
+
+TEST(Ems, StructuralTimeoutIsNotTransient) {
+  EmsSimulator ems(1, reliable());
+  const PushResult result = ems.push(0, settings(200));
+  EXPECT_EQ(result.status, PushStatus::kTimeout);
+  EXPECT_FALSE(result.transient);  // retrying the same set cannot succeed
+}
+
+TEST(Ems, MaxSettingsPerPushMatchesDeadline) {
+  EmsSimulator ems(1, reliable());
+  // deadline 1500 ms / 180 ms = 8 waves x concurrency 4.
+  EXPECT_EQ(ems.max_settings_per_push(), 32u);
+  EXPECT_EQ(ems.push(0, settings(32)).status, PushStatus::kApplied);
+  EXPECT_EQ(ems.push(0, settings(33)).status, PushStatus::kTimeout);
+}
+
+TEST(Ems, PersistentFaultsAreDeterministicAndRepairable) {
+  EmsOptions options = reliable();
+  options.faults.persistent_fault_prob = 0.3;
+  options.seed = 11;
+  EmsSimulator ems(64, options);
+  std::size_t sick = 0;
+  for (netsim::CarrierId c = 0; c < 64; ++c) {
+    if (!ems.persistent_fault(c)) continue;
+    ++sick;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const PushResult result = ems.push(c, settings(4));
+      EXPECT_EQ(result.status, PushStatus::kTimeout);
+      EXPECT_FALSE(result.transient);  // retries cannot help
+      EXPECT_EQ(result.applied, 0u);
+    }
+    ems.repair_carrier(c);
+    EXPECT_FALSE(ems.persistent_fault(c));
+    EXPECT_EQ(ems.push(c, settings(4)).status, PushStatus::kApplied);
+  }
+  EXPECT_GT(sick, 5u);
+  EXPECT_LT(sick, 40u);
+}
+
+TEST(Ems, LockFlapAbortsPartiallyAndUnlocks) {
+  EmsOptions options = reliable();
+  options.faults.lock_flap_prob = 1.0;
+  EmsSimulator ems(1, options);
+  const PushResult result = ems.push(0, settings(16));  // 4 waves
+  EXPECT_EQ(result.status, PushStatus::kAbortedLockFlap);
+  EXPECT_EQ(result.applied, 8u);  // half the waves landed
+  EXPECT_EQ(ems.state(0), CarrierState::kUnlocked);
+  // The carrier is now unlocked; a follow-up push is refused until re-lock.
+  EXPECT_EQ(ems.push(0, settings(4)).status, PushStatus::kRejectedUnlocked);
+  ems.lock(0);
+  EXPECT_EQ(ems.push(0, settings(4)).status, PushStatus::kAbortedLockFlap);
+}
+
+TEST(Ems, BurstWindowsConcentrateFaults) {
+  EmsOptions options = reliable();
+  options.faults.burst_every = 10;
+  options.faults.burst_length = 3;
+  options.faults.burst_timeout_prob = 1.0;
+  EmsSimulator ems(1, options);
+  // Push indices 0,1,2 (mod 10) are inside the burst window.
+  for (int i = 0; i < 30; ++i) {
+    const PushResult result = ems.push(0, settings(4));
+    const bool in_burst = i % 10 < 3;
+    EXPECT_EQ(result.status, in_burst ? PushStatus::kTimeout : PushStatus::kApplied) << i;
+    if (in_burst) {
+      EXPECT_TRUE(result.transient);
+    }
+  }
+  EXPECT_EQ(ems.pushes_executed(), 30u);
+}
+
+TEST(Ems, FaultStreamsAreDeterministicUnderSeed) {
+  EmsOptions options;
+  options.flaky_timeout_prob = 0.2;
+  options.faults.lock_flap_prob = 0.1;
+  options.faults.burst_every = 7;
+  options.faults.burst_length = 2;
+  options.seed = 1234;
+  EmsSimulator a(4, options);
+  EmsSimulator b(4, options);
+  for (int i = 0; i < 100; ++i) {
+    const auto carrier = static_cast<netsim::CarrierId>(i % 4);
+    const PushResult ra = a.push(carrier, settings(6));
+    const PushResult rb = b.push(carrier, settings(6));
+    EXPECT_EQ(ra.status, rb.status) << i;
+    EXPECT_EQ(ra.applied, rb.applied) << i;
+    EXPECT_EQ(a.state(carrier), b.state(carrier)) << i;
+    if (a.state(carrier) == CarrierState::kUnlocked) {
+      a.lock(carrier);
+      b.lock(carrier);
+    }
+  }
+}
+
+TEST(Ems, NewFaultClassesDefaultOff) {
+  // The expanded fault model must not perturb the legacy behavior when its
+  // knobs are zero: same seed, same statuses as a legacy-only configuration.
+  EmsOptions options;
+  options.flaky_timeout_prob = 0.06;
+  EmsSimulator ems(8, options);
+  std::size_t timeouts = 0;
+  for (int i = 0; i < 400; ++i) {
+    const PushResult result = ems.push(static_cast<netsim::CarrierId>(i % 8), settings(8));
+    EXPECT_NE(result.status, PushStatus::kAbortedLockFlap);
+    if (result.status == PushStatus::kTimeout) ++timeouts;
+  }
+  EXPECT_GT(timeouts, 5u);   // ~24 expected at 6%
+  EXPECT_LT(timeouts, 70u);
+}
+
 TEST(PushStatusNames, Stable) {
   EXPECT_STREQ(push_status_name(PushStatus::kApplied), "applied");
   EXPECT_STREQ(push_status_name(PushStatus::kTimeout), "timeout");
+  EXPECT_STREQ(push_status_name(PushStatus::kAbortedLockFlap), "aborted-lock-flap");
 }
 
 }  // namespace

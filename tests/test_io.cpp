@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -50,6 +51,43 @@ TEST(CsvTable, RejectsMalformedInput) {
   std::istringstream empty("");
   EXPECT_THROW(util::CsvTable::parse(empty), std::invalid_argument);
   EXPECT_THROW(util::CsvTable::load("/nonexistent/file.csv"), std::runtime_error);
+}
+
+std::string thrown_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(CsvTable, ErrorsNameSourceAndLineNumber) {
+  // Arity mismatch on the 4th file line (header + blank + good row + bad).
+  std::istringstream arity("a,b\n\n1,2\n3\n");
+  const std::string arity_msg =
+      thrown_message([&] { util::CsvTable::parse(arity, "feed.csv"); });
+  EXPECT_NE(arity_msg.find("feed.csv line 4"), std::string::npos) << arity_msg;
+
+  std::istringstream ok("id,score\n1,2.5\n\nx,oops\n");
+  const util::CsvTable table = util::CsvTable::parse(ok, "scores.csv");
+  EXPECT_EQ(table.source(), "scores.csv");
+  ASSERT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.line(0), 2u);
+  EXPECT_EQ(table.line(1), 4u);  // the blank line is counted, not stored
+
+  const std::string int_msg = thrown_message([&] { (void)table.field_int(1, "id"); });
+  EXPECT_NE(int_msg.find("scores.csv line 4"), std::string::npos) << int_msg;
+  EXPECT_NE(int_msg.find("column id"), std::string::npos) << int_msg;
+  const std::string dbl_msg = thrown_message([&] { (void)table.field_double(1, "score"); });
+  EXPECT_NE(dbl_msg.find("scores.csv line 4"), std::string::npos) << dbl_msg;
+}
+
+TEST(CsvTable, TypedAccessorsRejectTrailingGarbage) {
+  std::istringstream in("n,x\n12x,3.5oops\n");
+  const util::CsvTable table = util::CsvTable::parse(in, "t.csv");
+  EXPECT_THROW((void)table.field_int(0, "n"), std::invalid_argument);
+  EXPECT_THROW((void)table.field_double(0, "x"), std::invalid_argument);
 }
 
 TEST(InventoryIo, TopologyRoundTripsExactly) {
@@ -144,6 +182,84 @@ TEST(InventoryIo, AssignmentWithoutGroundTruthColumnsDefaults) {
   EXPECT_EQ(loaded.singular[pos].intended[0], loaded.singular[pos].value[0]);
   EXPECT_EQ(loaded.singular[pos].cause[0], config::Cause::kDefault);
   EXPECT_EQ(loaded.total_configured(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, MissingColumnErrorNamesFileAndColumn) {
+  const std::string dir = temp_dir("nocol");
+  const netsim::Topology topo = test::tiny_topology();
+  io::save_topology(topo, dir);
+  {
+    std::ofstream markets(std::filesystem::path(dir) / "markets.csv");
+    markets << "id,name,lat,lon,size_multiplier\n";  // timezone dropped
+    markets << "0,M,40,-75,1\n0,N,41,-90,1\n";
+  }
+  const std::string msg = thrown_message([&] { io::load_topology(dir); });
+  EXPECT_NE(msg.find("markets.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("timezone"), std::string::npos) << msg;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, OutOfDomainValueErrorNamesFileAndLine) {
+  const std::string dir = temp_dir("badlat");
+  netsim::Topology topo = test::tiny_topology();
+  io::save_topology(topo, dir);
+  {
+    std::ofstream enodebs(std::filesystem::path(dir) / "enodebs.csv");
+    enodebs << "id,market,lat,lon,morphology,terrain\n";
+    enodebs << "0,0,40.0,-75.0,urban,flat\n";
+    enodebs << "1,0,140.0,-75.0,urban,flat\n";  // latitude out of range
+    enodebs << "2,1,41.0,-90.0,urban,flat\n";
+  }
+  const std::string msg = thrown_message([&] { io::load_topology(dir); });
+  EXPECT_NE(msg.find("enodebs.csv line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("lat"), std::string::npos) << msg;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, UnknownEnumValueErrorNamesFileAndLine) {
+  const std::string dir = temp_dir("badenum");
+  const netsim::Topology topo = test::tiny_topology();
+  io::save_topology(topo, dir);
+  {
+    std::ofstream enodebs(std::filesystem::path(dir) / "enodebs.csv");
+    enodebs << "id,market,lat,lon,morphology,terrain\n";
+    enodebs << "0,0,40.0,-75.0,urbane,flat\n";  // typo'd morphology
+    enodebs << "1,0,40.2,-75.0,urban,flat\n";
+    enodebs << "2,1,41.0,-90.0,urban,flat\n";
+  }
+  const std::string msg = thrown_message([&] { io::load_topology(dir); });
+  EXPECT_NE(msg.find("enodebs.csv line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("urbane"), std::string::npos) << msg;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, SelfLoopEdgesAreSkippedWithWarning) {
+  const std::string dir = temp_dir("selfloop");
+  const netsim::Topology original = test::tiny_topology();
+  io::save_topology(original, dir);
+  {
+    std::ofstream x2(std::filesystem::path(dir) / "x2.csv", std::ios::app);
+    x2 << "3,3\n";  // meaningless self-relation: skip, don't reject
+  }
+  const netsim::Topology loaded = io::load_topology(dir);
+  EXPECT_EQ(loaded.edge_count(), original.edge_count());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InventoryIo, UnknownConfigParameterIsSkippedWithWarning) {
+  const std::string dir = temp_dir("unkparam");
+  const netsim::Topology topo = test::tiny_topology();
+  const auto catalog = config::ParamCatalog::standard();
+  io::save_topology(topo, dir);
+  {
+    std::ofstream cfg(std::filesystem::path(dir) / "config.csv");
+    cfg << "parameter,from,to,value\n";
+    cfg << "vendorSecretKnob,0,,17\n";  // not in the catalog: skipped
+    cfg << "pMax,0,,30\n";
+  }
+  const config::ConfigAssignment loaded = io::load_assignment(topo, catalog, dir);
+  EXPECT_EQ(loaded.total_configured(), 1u);  // only the pMax row landed
   std::filesystem::remove_all(dir);
 }
 

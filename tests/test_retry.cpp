@@ -1,0 +1,102 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace auric::util {
+namespace {
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 350.0;
+  policy.jitter_frac = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_ms(policy, 1, 7), 100.0);
+  EXPECT_DOUBLE_EQ(backoff_ms(policy, 2, 7), 200.0);
+  EXPECT_DOUBLE_EQ(backoff_ms(policy, 3, 7), 350.0);  // capped, not 400
+  EXPECT_DOUBLE_EQ(backoff_ms(policy, 9, 7), 350.0);
+  EXPECT_DOUBLE_EQ(backoff_ms(policy, 0, 7), 0.0);
+}
+
+TEST(RetryPolicy, JitterIsBoundedAndDeterministic) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1000.0;
+  policy.jitter_frac = 0.25;
+  const double a = backoff_ms(policy, 1, 42);
+  const double b = backoff_ms(policy, 1, 42);
+  EXPECT_DOUBLE_EQ(a, b);  // same seed, same wait
+  EXPECT_GE(a, 750.0);
+  EXPECT_LT(a, 1250.0);
+  // Different seeds explore the jitter window.
+  bool differs = false;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    if (backoff_ms(policy, 1, seed) != a) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicy, TotalBackoffSumsTheSchedule) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100.0;
+  policy.jitter_frac = 0.0;
+  policy.max_backoff_ms = 1000.0;
+  EXPECT_DOUBLE_EQ(total_backoff_ms(policy, 3, 1), 100.0 + 200.0 + 400.0);
+  EXPECT_DOUBLE_EQ(total_backoff_ms(policy, 0, 1), 0.0);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_success();  // success resets the consecutive count
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreaker, CooldownHalfOpensThenProbeCloses) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.cooldown_ops = 2;
+  CircuitBreaker breaker(options);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());  // refused, cooldown 1 left
+  EXPECT_FALSE(breaker.allow());  // refused, transitions to half-open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.refusals(), 2);
+  EXPECT_TRUE(breaker.allow());  // the probe
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreaker, FailedProbeReopens) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.cooldown_ops = 1;
+  CircuitBreaker breaker(options);
+  breaker.record_failure();
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();  // probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+}
+
+TEST(CircuitStateNames, Stable) {
+  EXPECT_STREQ(circuit_state_name(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_STREQ(circuit_state_name(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(circuit_state_name(CircuitBreaker::State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace auric::util
