@@ -28,6 +28,13 @@ int body(util::Args& args) {
       args.get_int("relearn-days", 7, "engine re-learn cadence in days"));
   options.robust = args.get_bool(
       "robust", false, "push through the fault-tolerant path (chunk/retry/breaker)");
+  options.state_dir = args.get_string(
+      "state-dir", "", "checkpoint replay state into this directory after every launch");
+  options.resume =
+      args.get_bool("resume", false, "restart from the checkpoint in --state-dir");
+  options.stop_after_launches = static_cast<int>(args.get_int(
+      "stop-after-launches", 0,
+      "simulated kill: checkpoint and exit after N total launches (0 = full window)"));
   if (args.help_requested()) return 0;
 
   smartlaunch::OperationReplay replay(ctx.topology, ctx.schema, ctx.catalog,
@@ -71,6 +78,15 @@ int body(util::Args& args) {
                 " %zu terminal EMS fall-outs\n",
                 r.recovered, r.chunked, r.retries, r.breaker_trips, r.queued_degraded,
                 r.drained, r.still_queued, r.aborted_unlocked, r.fallout_terminal);
+  }
+
+  const std::size_t window_launches =
+      static_cast<std::size_t>(options.days) * static_cast<std::size_t>(options.launches_per_day);
+  if (options.stop_after_launches > 0 && report.totals.launches < window_launches) {
+    std::printf("\nstopped after %zu of %zu launches; state checkpointed in %s —\n"
+                "rerun with --resume (and without --stop-after-launches) to converge to"
+                " the uninterrupted counters bit for bit\n",
+                report.totals.launches, window_launches, options.state_dir.c_str());
   }
   return 0;
 }

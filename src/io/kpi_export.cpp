@@ -1,0 +1,49 @@
+#include "io/kpi_export.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/csv_reader.h"
+#include "util/strings.h"
+
+namespace auric::io {
+
+void save_kpi_scores(const std::string& path, const std::vector<double>& qualities) {
+  util::CsvWriter csv(path, {"carrier", "quality"});
+  for (std::size_t carrier = 0; carrier < qualities.size(); ++carrier) {
+    csv.add_row({std::to_string(carrier), util::format("%a", qualities[carrier])});
+  }
+}
+
+std::vector<double> load_kpi_scores(const std::string& path) {
+  const util::CsvTable csv = util::CsvTable::load(path);
+  for (const char* column : {"carrier", "quality"}) {
+    if (!csv.has_column(column)) {
+      throw std::invalid_argument(csv.source() + ": missing required column '" +
+                                  std::string(column) + "'");
+    }
+  }
+  std::vector<double> qualities(csv.row_count(), -1.0);
+  for (std::size_t r = 0; r < csv.row_count(); ++r) {
+    const long long carrier = csv.field_int(r, "carrier");
+    if (carrier < 0 || static_cast<std::size_t>(carrier) >= qualities.size()) {
+      throw std::invalid_argument(csv.context(r) + ": carrier " + std::to_string(carrier) +
+                                  " outside dense range [0, " +
+                                  std::to_string(qualities.size()) + ")");
+    }
+    if (qualities[static_cast<std::size_t>(carrier)] >= 0.0) {
+      throw std::invalid_argument(csv.context(r) + ": duplicate carrier " +
+                                  std::to_string(carrier));
+    }
+    const double quality = csv.field_double(r, "quality");
+    if (!(quality >= 0.0 && quality <= 1.0)) {
+      throw std::invalid_argument(csv.context(r) + ": quality " + std::to_string(quality) +
+                                  " outside [0, 1]");
+    }
+    qualities[static_cast<std::size_t>(carrier)] = quality;
+  }
+  return qualities;
+}
+
+}  // namespace auric::io

@@ -1,0 +1,25 @@
+// Export / import of per-carrier KPI quality scores.
+//
+// The paper's post-check loop consumes service-KPI feeds produced outside
+// the configuration system; this round-trips them as a two-column CSV
+// (carrier, quality). The loader enforces the same diagnostics contract as
+// the inventory readers: malformed input fails with file + line context,
+// never a silent partial import.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace auric::io {
+
+/// Writes one row per carrier: (carrier, quality). Qualities are stored as
+/// hexfloats so save/load round-trips are bit-identical.
+/// Throws std::runtime_error if the file cannot be opened.
+void save_kpi_scores(const std::string& path, const std::vector<double>& qualities);
+
+/// Loads a KPI score file. Carrier ids must be dense 0..n-1 (any order),
+/// each appearing exactly once, with qualities in [0, 1]. Violations throw
+/// std::invalid_argument naming the file and 1-based line.
+std::vector<double> load_kpi_scores(const std::string& path);
+
+}  // namespace auric::io

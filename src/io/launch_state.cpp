@@ -1,0 +1,274 @@
+#include "io/launch_state.h"
+
+#include <filesystem>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/csv_reader.h"
+
+namespace auric::io {
+
+namespace {
+
+constexpr const char* kJournalFile = "journal.csv";
+constexpr const char* kDeferredFile = "deferred.csv";
+constexpr const char* kQuarantineFile = "quarantine.csv";
+constexpr const char* kBreakerFile = "breaker.csv";
+constexpr const char* kEmsFile = "ems.csv";
+constexpr const char* kAppliedFile = "applied.csv";
+constexpr const char* kRelearnFile = "relearn.csv";
+constexpr const char* kProgressFile = "progress.csv";
+
+std::string path_in(const std::string& dir, const char* file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
+/// Writes `rows` under `headers` to `<dir>/<file>` via a temporary name, so
+/// a crash mid-write never clobbers the previous consistent checkpoint.
+void write_atomic(const std::string& dir, const char* file,
+                  const std::vector<std::string>& headers,
+                  const std::vector<std::vector<std::string>>& rows) {
+  const std::string final_path = path_in(dir, file);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    util::CsvWriter csv(tmp_path, headers);
+    for (const auto& row : rows) csv.add_row(row);
+  }
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+long long checked_int(const util::CsvTable& csv, std::size_t row, const char* column,
+                      long long lo, long long hi) {
+  const long long value = csv.field_int(row, column);
+  if (value < lo || value > hi) {
+    throw std::invalid_argument(csv.context(row) + ", column " + column + ": value " +
+                                std::to_string(value) + " outside [" + std::to_string(lo) +
+                                ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const util::CsvTable& csv, std::size_t row, const char* column) {
+  const std::string& text = csv.field(row, column);
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(text, &consumed);
+    if (consumed != text.size() || text.empty() || text[0] == '-') {
+      throw std::invalid_argument("trailing garbage");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(csv.context(row) + ", column " + column + ": '" + text +
+                                "' is not an unsigned 64-bit integer");
+  }
+}
+
+void require_headers(const util::CsvTable& csv, std::initializer_list<const char*> required) {
+  std::string missing;
+  for (const char* column : required) {
+    if (!csv.has_column(column)) missing += (missing.empty() ? "" : ", ") + std::string(column);
+  }
+  if (!missing.empty()) {
+    throw std::invalid_argument(csv.source() + ": missing required column(s): " + missing);
+  }
+}
+
+}  // namespace
+
+const std::string* LaunchState::find_progress(const std::string& key) const {
+  for (const auto& [k, v] : progress) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+LaunchStateStore::LaunchStateStore(std::string dir) : dir_(std::move(dir)) {}
+
+bool LaunchStateStore::exists() const {
+  return std::filesystem::exists(path_in(dir_, kProgressFile));
+}
+
+void LaunchStateStore::save(const LaunchState& state) const {
+  std::filesystem::create_directories(dir_);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [carrier, applied] : state.journal) {
+    rows.push_back({std::to_string(carrier), std::to_string(applied)});
+  }
+  write_atomic(dir_, kJournalFile, {"carrier", "applied"}, rows);
+
+  rows.clear();
+  for (netsim::CarrierId carrier : state.deferred) rows.push_back({std::to_string(carrier)});
+  write_atomic(dir_, kDeferredFile, {"carrier"}, rows);
+
+  rows.clear();
+  for (const auto& [carrier, rollbacks] : state.quarantine) {
+    rows.push_back({std::to_string(carrier), std::to_string(rollbacks)});
+  }
+  write_atomic(dir_, kQuarantineFile, {"carrier", "rollbacks"}, rows);
+
+  const util::CircuitBreaker::Snapshot& b = state.breaker;
+  write_atomic(dir_, kBreakerFile,
+               {"state", "consecutive_failures", "cooldown_remaining", "trips", "refusals"},
+               {{util::circuit_state_name(b.state), std::to_string(b.consecutive_failures),
+                 std::to_string(b.cooldown_remaining), std::to_string(b.trips),
+                 std::to_string(b.refusals)}});
+
+  // ems.csv is a typed key/value file: scalar rows carry the counters and
+  // stream positions, carrier rows list unlocked / repaired ids.
+  rows.clear();
+  const LaunchState::EmsState& e = state.ems;
+  rows.push_back({"pushes_executed", std::to_string(e.pushes_executed)});
+  rows.push_back({"lock_cycles", std::to_string(e.lock_cycles)});
+  rows.push_back({"fault_stream", std::to_string(e.fault_stream)});
+  rows.push_back({"flap_stream", std::to_string(e.flap_stream)});
+  rows.push_back({"burst_stream", std::to_string(e.burst_stream)});
+  for (netsim::CarrierId c : e.unlocked) rows.push_back({"unlocked", std::to_string(c)});
+  for (netsim::CarrierId c : e.repaired) rows.push_back({"repaired", std::to_string(c)});
+  write_atomic(dir_, kEmsFile, {"key", "value"}, rows);
+
+  const auto slot_rows = [](const std::vector<LaunchState::SlotWrite>& writes) {
+    std::vector<std::vector<std::string>> out;
+    out.reserve(writes.size());
+    for (const LaunchState::SlotWrite& w : writes) {
+      out.push_back({w.pairwise ? "1" : "0", std::to_string(w.param_pos),
+                     std::to_string(w.entity), std::to_string(w.value)});
+    }
+    return out;
+  };
+  write_atomic(dir_, kAppliedFile, {"pairwise", "param_pos", "entity", "value"},
+               slot_rows(state.applied_slots));
+  write_atomic(dir_, kRelearnFile, {"pairwise", "param_pos", "entity", "value"},
+               slot_rows(state.relearn_applied_slots));
+
+  // progress.csv is committed LAST: its rename is the checkpoint's commit
+  // point. exists() keys off it, so a crash among the earlier renames can
+  // at worst leave a newer partial state behind an older committed one —
+  // and the next save() overwrites every file again.
+  rows.clear();
+  for (const auto& [key, value] : state.progress) rows.push_back({key, value});
+  write_atomic(dir_, kProgressFile, {"key", "value"}, rows);
+}
+
+LaunchState LaunchStateStore::load() const {
+  LaunchState state;
+
+  const util::CsvTable journal = util::CsvTable::load(path_in(dir_, kJournalFile));
+  require_headers(journal, {"carrier", "applied"});
+  std::set<netsim::CarrierId> seen;
+  for (std::size_t r = 0; r < journal.row_count(); ++r) {
+    const auto carrier = static_cast<netsim::CarrierId>(
+        checked_int(journal, r, "carrier", 0, std::numeric_limits<std::int32_t>::max()));
+    if (!seen.insert(carrier).second) {
+      throw std::invalid_argument(journal.context(r) + ": duplicate journal entry for carrier " +
+                                  std::to_string(carrier));
+    }
+    state.journal.emplace_back(carrier, parse_u64(journal, r, "applied"));
+  }
+
+  const util::CsvTable deferred = util::CsvTable::load(path_in(dir_, kDeferredFile));
+  require_headers(deferred, {"carrier"});
+  for (std::size_t r = 0; r < deferred.row_count(); ++r) {
+    state.deferred.push_back(static_cast<netsim::CarrierId>(
+        checked_int(deferred, r, "carrier", 0, std::numeric_limits<std::int32_t>::max())));
+  }
+
+  const util::CsvTable quarantine = util::CsvTable::load(path_in(dir_, kQuarantineFile));
+  require_headers(quarantine, {"carrier", "rollbacks"});
+  for (std::size_t r = 0; r < quarantine.row_count(); ++r) {
+    state.quarantine.emplace_back(
+        static_cast<netsim::CarrierId>(
+            checked_int(quarantine, r, "carrier", 0, std::numeric_limits<std::int32_t>::max())),
+        static_cast<int>(checked_int(quarantine, r, "rollbacks", 0, 1 << 20)));
+  }
+
+  const util::CsvTable breaker = util::CsvTable::load(path_in(dir_, kBreakerFile));
+  require_headers(breaker,
+                  {"state", "consecutive_failures", "cooldown_remaining", "trips", "refusals"});
+  if (breaker.row_count() != 1) {
+    throw std::invalid_argument(breaker.source() + ": expected exactly 1 row, got " +
+                                std::to_string(breaker.row_count()));
+  }
+  try {
+    state.breaker.state = util::circuit_state_from_name(breaker.field(0, "state"));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(breaker.context(0) + ": " + e.what());
+  }
+  state.breaker.consecutive_failures =
+      static_cast<int>(checked_int(breaker, 0, "consecutive_failures", 0, 1 << 20));
+  state.breaker.cooldown_remaining =
+      static_cast<int>(checked_int(breaker, 0, "cooldown_remaining", 0, 1 << 20));
+  state.breaker.trips = static_cast<int>(checked_int(breaker, 0, "trips", 0, 1 << 30));
+  state.breaker.refusals = static_cast<int>(checked_int(breaker, 0, "refusals", 0, 1 << 30));
+
+  const util::CsvTable ems = util::CsvTable::load(path_in(dir_, kEmsFile));
+  require_headers(ems, {"key", "value"});
+  std::set<std::string> scalars_seen;
+  for (std::size_t r = 0; r < ems.row_count(); ++r) {
+    const std::string& key = ems.field(r, "key");
+    if (key == "unlocked" || key == "repaired") {
+      auto& list = key == "unlocked" ? state.ems.unlocked : state.ems.repaired;
+      list.push_back(static_cast<netsim::CarrierId>(
+          checked_int(ems, r, "value", 0, std::numeric_limits<std::int32_t>::max())));
+      continue;
+    }
+    std::uint64_t* slot = nullptr;
+    if (key == "pushes_executed") slot = &state.ems.pushes_executed;
+    else if (key == "lock_cycles") slot = &state.ems.lock_cycles;
+    else if (key == "fault_stream") slot = &state.ems.fault_stream;
+    else if (key == "flap_stream") slot = &state.ems.flap_stream;
+    else if (key == "burst_stream") slot = &state.ems.burst_stream;
+    if (slot == nullptr) {
+      throw std::invalid_argument(ems.context(r) + ": unknown key '" + key + "'");
+    }
+    if (!scalars_seen.insert(key).second) {
+      throw std::invalid_argument(ems.context(r) + ": duplicate key '" + key + "'");
+    }
+    *slot = parse_u64(ems, r, "value");
+  }
+
+  const auto load_slots = [&](const char* file) {
+    std::vector<LaunchState::SlotWrite> writes;
+    const util::CsvTable csv = util::CsvTable::load(path_in(dir_, file));
+    require_headers(csv, {"pairwise", "param_pos", "entity", "value"});
+    for (std::size_t r = 0; r < csv.row_count(); ++r) {
+      LaunchState::SlotWrite w;
+      w.pairwise = checked_int(csv, r, "pairwise", 0, 1) != 0;
+      w.param_pos = static_cast<std::uint32_t>(
+          checked_int(csv, r, "param_pos", 0, std::numeric_limits<std::uint32_t>::max()));
+      w.entity = parse_u64(csv, r, "entity");
+      w.value = static_cast<std::int32_t>(
+          checked_int(csv, r, "value", 0, std::numeric_limits<std::int32_t>::max()));
+      writes.push_back(w);
+    }
+    return writes;
+  };
+  state.applied_slots = load_slots(kAppliedFile);
+  state.relearn_applied_slots = load_slots(kRelearnFile);
+
+  const util::CsvTable progress = util::CsvTable::load(path_in(dir_, kProgressFile));
+  require_headers(progress, {"key", "value"});
+  std::set<std::string> keys_seen;
+  for (std::size_t r = 0; r < progress.row_count(); ++r) {
+    const std::string& key = progress.field(r, "key");
+    if (!keys_seen.insert(key).second) {
+      throw std::invalid_argument(progress.context(r) + ": duplicate progress key '" + key +
+                                  "'");
+    }
+    state.progress.emplace_back(key, progress.field(r, "value"));
+  }
+
+  return state;
+}
+
+void LaunchStateStore::clear() const {
+  for (const char* file : {kJournalFile, kDeferredFile, kQuarantineFile, kBreakerFile,
+                           kEmsFile, kAppliedFile, kRelearnFile, kProgressFile}) {
+    std::filesystem::remove(path_in(dir_, file));
+    std::filesystem::remove(path_in(dir_, file) + ".tmp");
+  }
+}
+
+}  // namespace auric::io

@@ -1,0 +1,102 @@
+// Crash-safe persistence for the fault-tolerant launch pipeline.
+//
+// The paper's deployment runs SmartLaunch against nightly inventory feeds;
+// a push window that dies mid-run must pick up where it left off instead of
+// re-planning launches whose changes are already on air. This module makes
+// the pipeline's recovery state durable as a directory of small CSVs
+// (matching the nightly-feed deployment model — plain files an operator can
+// inspect and an external tool can produce):
+//
+//   journal.csv     per-carrier apply-journal offsets (settings landed)
+//   deferred.csv    the breaker's deferred launch queue, in order
+//   quarantine.csv  rolled-back carriers and their rollback counts
+//   breaker.csv     circuit-breaker dynamic state (one row)
+//   ems.csv         EMS simulator dynamic state (fault-stream positions,
+//                   push counter, unlocked/repaired carriers)
+//   applied.csv     slot writes applied to the evolving network state since
+//                   the run started (delta vs. the initial assignment)
+//   relearn.csv     the same delta frozen at the last engine re-learn (the
+//                   state the current engine's models were trained on)
+//   progress.csv    caller-defined key/value counters (the operation replay
+//                   stores its day/launch cursor and report totals here;
+//                   doubles are stored as hexfloats so a resumed run's
+//                   counters are bit-identical)
+//
+// Every save() writes each file to a temporary name and renames it into
+// place, so a crash mid-checkpoint leaves the previous consistent state on
+// disk. load() validates everything it reads and reports malformed state
+// with file + line context ("journal.csv line 3: ...") — a corrupt
+// checkpoint must fail loudly, never resume partially.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netsim/topology.h"
+#include "util/retry.h"
+
+namespace auric::io {
+
+/// Everything the launch pipeline needs to survive a crash, as plain data
+/// (no smartlaunch types: the io layer sits below the pipeline).
+struct LaunchState {
+  /// EMS simulator dynamic state; mirrors smartlaunch::EmsSimulator::Snapshot.
+  struct EmsState {
+    std::uint64_t pushes_executed = 0;
+    std::uint64_t lock_cycles = 0;
+    std::uint64_t fault_stream = 0;
+    std::uint64_t flap_stream = 0;
+    std::uint64_t burst_stream = 0;
+    std::vector<netsim::CarrierId> unlocked;
+    std::vector<netsim::CarrierId> repaired;
+  };
+
+  /// One configuration-slot write relative to the initial assignment (the
+  /// replay's delta encoding of its evolving network state).
+  struct SlotWrite {
+    bool pairwise = false;
+    std::uint32_t param_pos = 0;  ///< position in the singular/pairwise column list
+    std::uint64_t entity = 0;     ///< carrier id (singular) or edge index (pairwise)
+    std::int32_t value = 0;       ///< ValueIndex written (never kUnset)
+  };
+
+  std::vector<std::pair<netsim::CarrierId, std::uint64_t>> journal;
+  std::vector<netsim::CarrierId> deferred;
+  std::vector<std::pair<netsim::CarrierId, int>> quarantine;  ///< carrier, rollbacks
+  util::CircuitBreaker::Snapshot breaker;
+  EmsState ems;
+  std::vector<SlotWrite> applied_slots;          ///< delta vs. initial assignment
+  std::vector<SlotWrite> relearn_applied_slots;  ///< delta at last engine re-learn
+  /// Caller-defined counters, persisted in order. Keys must be unique.
+  std::vector<std::pair<std::string, std::string>> progress;
+
+  const std::string* find_progress(const std::string& key) const;
+};
+
+class LaunchStateStore {
+ public:
+  explicit LaunchStateStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// True once a checkpoint has been committed (progress.csv exists).
+  bool exists() const;
+
+  /// Persists the full state atomically per file (tmp + rename). Creates
+  /// the directory if missing; throws std::runtime_error on I/O failure.
+  void save(const LaunchState& state) const;
+
+  /// Loads and validates a checkpoint. Malformed state throws
+  /// std::invalid_argument naming the file and 1-based line.
+  LaunchState load() const;
+
+  /// Removes the checkpoint files (leaves unrelated files alone).
+  void clear() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace auric::io

@@ -1,0 +1,135 @@
+#include "ml/dataset_io.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/csv_reader.h"
+
+namespace auric::ml {
+
+namespace {
+
+constexpr const char* kLabelColumn = "label";
+
+long long checked_int(const util::CsvTable& csv, std::size_t row, const std::string& column,
+                      long long lo, long long hi) {
+  const long long value = csv.field_int(row, column);
+  if (value < lo || value > hi) {
+    throw std::invalid_argument(csv.context(row) + ", column " + column + ": value " +
+                                std::to_string(value) + " outside [" + std::to_string(lo) +
+                                ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_dataset(const std::string& stem, const CategoricalDataset& data) {
+  data.check();
+  for (const std::string& name : data.column_names) {
+    if (name == kLabelColumn) {
+      throw std::invalid_argument("save_dataset: attribute column named '" +
+                                  std::string(kLabelColumn) + "' collides with the label column");
+    }
+  }
+
+  {
+    util::CsvWriter meta(stem + "_meta.csv", {"kind", "index", "name", "value"});
+    for (std::size_t a = 0; a < data.num_attributes(); ++a) {
+      meta.add_row({"column", std::to_string(a), data.column_names[a],
+                    std::to_string(data.cardinality[a])});
+    }
+    for (std::size_t c = 0; c < data.num_classes(); ++c) {
+      meta.add_row({"class", std::to_string(c), "", std::to_string(data.class_values[c])});
+    }
+  }
+
+  std::vector<std::string> headers = data.column_names;
+  headers.push_back(kLabelColumn);
+  util::CsvWriter csv(stem + ".csv", headers);
+  std::vector<std::string> row(headers.size());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t a = 0; a < data.num_attributes(); ++a) {
+      row[a] = std::to_string(data.columns[a][r]);
+    }
+    row.back() = std::to_string(data.labels[r]);
+    csv.add_row(row);
+  }
+}
+
+CategoricalDataset load_dataset(const std::string& stem) {
+  CategoricalDataset data;
+
+  const util::CsvTable meta = util::CsvTable::load(stem + "_meta.csv");
+  for (const char* column : {"kind", "index", "name", "value"}) {
+    if (!meta.has_column(column)) {
+      throw std::invalid_argument(meta.source() + ": missing required column '" +
+                                  std::string(column) + "'");
+    }
+  }
+  // First pass sizes the schema so indices can be bounds-checked on the
+  // second, order-independent pass.
+  std::size_t columns = 0;
+  std::size_t classes = 0;
+  for (std::size_t r = 0; r < meta.row_count(); ++r) {
+    const std::string& kind = meta.field(r, "kind");
+    if (kind == "column") ++columns;
+    else if (kind == "class") ++classes;
+    else throw std::invalid_argument(meta.context(r) + ": unknown kind '" + kind + "'");
+  }
+  data.column_names.assign(columns, "");
+  data.cardinality.assign(columns, 0);
+  data.class_values.assign(classes, -1);
+  for (std::size_t r = 0; r < meta.row_count(); ++r) {
+    const bool is_column = meta.field(r, "kind") == "column";
+    const std::size_t count = is_column ? columns : classes;
+    const auto index = static_cast<std::size_t>(
+        checked_int(meta, r, "index", 0, static_cast<long long>(count) - 1));
+    if (is_column) {
+      if (data.cardinality[index] != 0) {
+        throw std::invalid_argument(meta.context(r) + ": duplicate column index " +
+                                    std::to_string(index));
+      }
+      data.column_names[index] = meta.field(r, "name");
+      data.cardinality[index] = static_cast<std::size_t>(
+          checked_int(meta, r, "value", 1, std::numeric_limits<std::int32_t>::max()));
+    } else {
+      if (data.class_values[index] != -1) {
+        throw std::invalid_argument(meta.context(r) + ": duplicate class index " +
+                                    std::to_string(index));
+      }
+      data.class_values[index] = static_cast<config::ValueIndex>(
+          checked_int(meta, r, "value", 0, std::numeric_limits<std::int32_t>::max()));
+    }
+  }
+
+  const util::CsvTable csv = util::CsvTable::load(stem + ".csv");
+  for (const std::string& name : data.column_names) {
+    if (!csv.has_column(name)) {
+      throw std::invalid_argument(csv.source() + ": missing attribute column '" + name +
+                                  "' declared in " + meta.source());
+    }
+  }
+  if (!csv.has_column(kLabelColumn)) {
+    throw std::invalid_argument(csv.source() + ": missing required column '" +
+                                std::string(kLabelColumn) + "'");
+  }
+  data.columns.assign(columns, {});
+  for (std::size_t r = 0; r < csv.row_count(); ++r) {
+    for (std::size_t a = 0; a < columns; ++a) {
+      data.columns[a].push_back(static_cast<std::int32_t>(
+          checked_int(csv, r, data.column_names[a], 0,
+                      static_cast<long long>(data.cardinality[a]) - 1)));
+    }
+    data.labels.push_back(static_cast<ClassLabel>(
+        checked_int(csv, r, kLabelColumn, 0, static_cast<long long>(classes) - 1)));
+  }
+
+  data.check();
+  return data;
+}
+
+}  // namespace auric::ml

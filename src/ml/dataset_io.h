@@ -1,0 +1,27 @@
+// CSV round-trip for CategoricalDataset.
+//
+// A dataset export is two files: `<stem>.csv` with one row per carrier
+// (integer attribute codes plus a `label` column) and `<stem>_meta.csv`
+// describing the schema (column names, cardinalities, class dictionary).
+// The loader enforces the same diagnostics contract as the inventory
+// readers: malformed input fails with file + line context, and the loaded
+// dataset must pass CategoricalDataset::check() — never a silent partial
+// import.
+#pragma once
+
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace auric::ml {
+
+/// Writes `<stem>.csv` and `<stem>_meta.csv`. The dataset must pass check().
+/// Throws std::runtime_error if a file cannot be opened.
+void save_dataset(const std::string& stem, const CategoricalDataset& data);
+
+/// Loads a dataset written by save_dataset(). Schema violations (unknown
+/// meta kinds, out-of-range codes or labels, arity mismatches) throw
+/// std::invalid_argument naming the file and 1-based line.
+CategoricalDataset load_dataset(const std::string& stem);
+
+}  // namespace auric::ml

@@ -1,6 +1,7 @@
 #include "smartlaunch/controller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "util/rng.h"
@@ -154,6 +155,39 @@ std::vector<LaunchController::PlannedChange> LaunchController::plan_changes_deta
     changes.push_back({slot, from_vendor, rec.value});
   }
   return changes;
+}
+
+double LaunchController::launch_quality(netsim::CarrierId carrier,
+                                        const std::vector<PlannedChange>& changes,
+                                        std::size_t applied, const KpiOptions& kpi) const {
+  applied = std::min(applied, changes.size());
+  const config::ParamCatalog& catalog = engine_->catalog();
+  double quality = 1.0;
+  for (const SlotRef& slot :
+       applicable_slots(engine_->topology(), catalog, *assignment_, carrier)) {
+    ValueIndex value = vendor_value_of(engine_->topology(), catalog, *assignment_, *rulebook_,
+                                       vendor_faults_, seed_, carrier, slot);
+    // The applied prefix of the plan overrides the vendor value. Slot
+    // identity is (param, entity): MO paths can collide across freq
+    // relations, slots cannot.
+    for (std::size_t i = 0; i < applied; ++i) {
+      if (changes[i].slot.param == slot.param && changes[i].slot.entity == slot.entity) {
+        value = changes[i].new_value;
+        break;
+      }
+    }
+    const ValueIndex intended = intended_of(catalog, *assignment_, slot);
+    if (value == config::kUnset || value == intended) continue;
+    const config::ParamDef& def = catalog.at(slot.param);
+    const int step_scale = std::max(1, def.domain.size() / 48);
+    const double deviation =
+        std::fabs(static_cast<double>(value - intended)) / static_cast<double>(step_scale);
+    quality -= kpi.penalty_per_deviation * std::min(3.0, deviation);
+  }
+  if (applied > 0 && applied < changes.size()) {
+    quality -= kpi.partial_apply_penalty * static_cast<double>(changes.size() - applied);
+  }
+  return std::max(kpi.min_quality, quality);
 }
 
 CarrierConfig LaunchController::intent_config(netsim::CarrierId carrier) const {

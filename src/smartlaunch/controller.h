@@ -20,6 +20,7 @@
 #include "config/rulebook.h"
 #include "core/engine.h"
 #include "netsim/topology.h"
+#include "smartlaunch/kpi.h"
 #include "util/rng.h"
 
 namespace auric::smartlaunch {
@@ -96,6 +97,15 @@ class LaunchController {
   /// configuration the carrier goes on air with).
   std::vector<PlannedChange> plan_changes_detailed(
       netsim::CarrierId carrier, std::vector<PlannedChange>* vendor = nullptr) const;
+
+  /// Service quality `carrier` would show on air with its vendor
+  /// configuration overlaid by the first `applied` of `changes` (the state a
+  /// faulted push leaves behind). The score uses the KpiModel deviation math
+  /// against engineering intent, plus KpiOptions::partial_apply_penalty per
+  /// unapplied change when 0 < applied < changes.size() — the post-check
+  /// oracle behind the KPI-gated rollback.
+  double launch_quality(netsim::CarrierId carrier, const std::vector<PlannedChange>& changes,
+                        std::size_t applied, const KpiOptions& kpi = {}) const;
 
  private:
   const core::AuricEngine* engine_;

@@ -53,6 +53,45 @@ bool EmsSimulator::persistent_fault(netsim::CarrierId carrier) const {
 
 void EmsSimulator::repair_carrier(netsim::CarrierId carrier) { repaired_.insert(carrier); }
 
+EmsSimulator::Snapshot EmsSimulator::snapshot() const {
+  Snapshot snap;
+  snap.pushes_executed = pushes_executed_;
+  snap.lock_cycles = lock_cycles_;
+  snap.fault_stream = fault_stream_;
+  snap.flap_stream = flap_stream_;
+  snap.burst_stream = burst_stream_;
+  for (std::size_t c = 0; c < states_.size(); ++c) {
+    if (states_[c] == CarrierState::kUnlocked) {
+      snap.unlocked.push_back(static_cast<netsim::CarrierId>(c));
+    }
+  }
+  snap.repaired.assign(repaired_.begin(), repaired_.end());
+  std::sort(snap.repaired.begin(), snap.repaired.end());
+  return snap;
+}
+
+void EmsSimulator::restore(const Snapshot& snapshot) {
+  const auto check = [&](netsim::CarrierId carrier) {
+    if (carrier < 0 || static_cast<std::size_t>(carrier) >= states_.size()) {
+      throw std::invalid_argument("EmsSimulator::restore: unknown carrier " +
+                                  std::to_string(carrier));
+    }
+  };
+  for (netsim::CarrierId c : snapshot.unlocked) check(c);
+  for (netsim::CarrierId c : snapshot.repaired) check(c);
+  pushes_executed_ = snapshot.pushes_executed;
+  lock_cycles_ = snapshot.lock_cycles;
+  fault_stream_ = snapshot.fault_stream;
+  flap_stream_ = snapshot.flap_stream;
+  burst_stream_ = snapshot.burst_stream;
+  std::fill(states_.begin(), states_.end(), CarrierState::kLocked);
+  for (netsim::CarrierId c : snapshot.unlocked) {
+    states_[static_cast<std::size_t>(c)] = CarrierState::kUnlocked;
+  }
+  repaired_.clear();
+  repaired_.insert(snapshot.repaired.begin(), snapshot.repaired.end());
+}
+
 std::size_t EmsSimulator::max_settings_per_push() const {
   const auto waves = static_cast<std::size_t>(options_.deadline_ms / options_.command_ms);
   return waves * static_cast<std::size_t>(options_.concurrency);

@@ -91,8 +91,27 @@ struct EmsOptions {
 
 class EmsSimulator {
  public:
+  /// Full dynamic state of the simulator: lock states, the per-class fault
+  /// stream positions and the push counter that drives burst windows.
+  /// Restoring a snapshot into a simulator built with the same options
+  /// reproduces the exact fault sequence the snapshotted run would have
+  /// seen — the basis of the crash-safe replay resume.
+  struct Snapshot {
+    std::uint64_t pushes_executed = 0;
+    std::uint64_t lock_cycles = 0;
+    std::uint64_t fault_stream = 0;
+    std::uint64_t flap_stream = 0;
+    std::uint64_t burst_stream = 0;
+    std::vector<netsim::CarrierId> unlocked;  ///< carriers currently on air
+    std::vector<netsim::CarrierId> repaired;  ///< persistent faults cleared
+  };
+
   /// All carriers start locked (newly integrated, not yet on air).
   EmsSimulator(std::size_t carrier_count, EmsOptions options = {});
+
+  Snapshot snapshot() const;
+  /// Throws std::invalid_argument if the snapshot names unknown carriers.
+  void restore(const Snapshot& snapshot);
 
   CarrierState state(netsim::CarrierId carrier) const;
 

@@ -21,6 +21,14 @@ struct KpiOptions {
   double penalty_per_deviation = 0.02;
   /// Floor so even badly misconfigured carriers keep a positive score.
   double min_quality = 0.1;
+  /// Extra penalty per *unapplied* planned change when a push landed only
+  /// part of its change set (0 < applied < planned). A half-configured
+  /// carrier is worse than either endpoint — the applied settings were tuned
+  /// to work together with the ones that never landed (think a lowered
+  /// handover threshold without the matching hysteresis widening). A clean
+  /// full apply or a clean no-op never pays this, which is what lets the
+  /// rollback gate stay silent at fault rate zero.
+  double partial_apply_penalty = 0.04;
 };
 
 class KpiModel {

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "core/engine.h"
+#include "io/launch_state.h"
 #include "smartlaunch/kpi.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace auric::smartlaunch {
 
@@ -32,6 +36,7 @@ void OperationReplay::apply_slot(const SlotRef& slot, config::ValueIndex value) 
   // Intent is unchanged: the launch config is what the network RUNS, not
   // what engineering ultimately wants; cause tracking is reset to neutral.
   col.cause[slot.entity] = config::Cause::kDefault;
+  if (track_delta_) delta_[{pairwise, pos, slot.entity}] = value;
 }
 
 namespace {
@@ -75,7 +80,10 @@ double OperationReplay::mean_network_kpi() const {
 
 ReplayReport OperationReplay::run() {
   ReplayReport report;
-  report.initial_network_kpi = mean_network_kpi();
+
+  const bool persist = !options_.state_dir.empty();
+  track_delta_ = persist;
+  const io::LaunchStateStore store(options_.state_dir.empty() ? "." : options_.state_dir);
 
   // Launch order: a seeded shuffle; each carrier launches at most once.
   util::Rng rng(options_.seed);
@@ -96,14 +104,17 @@ ReplayReport OperationReplay::run() {
   // learning from the evolving network.
   std::unique_ptr<core::AuricEngine> engine;
   std::unique_ptr<LaunchController> controller;
-  const auto relearn = [&] {
+  const auto rebuild_engine = [&] {
     engine = std::make_unique<core::AuricEngine>(*topology_, *schema_, *catalog_, state_);
     controller = std::make_unique<LaunchController>(*engine, rulebook, state_,
                                                     options_.vendor_faults,
                                                     options_.push_policy, options_.seed);
+  };
+  const auto relearn = [&] {
+    rebuild_engine();
+    relearn_delta_ = delta_;
     ++report.engine_relearns;
   };
-  relearn();
 
   WeeklySummary week;
   week.week = 1;
@@ -119,10 +130,180 @@ ReplayReport OperationReplay::run() {
     week_quality_n = 0;
   };
 
-  for (int day = 0; day < options_.days; ++day) {
-    if (day > 0 && day % options_.relearn_every_days == 0) relearn();
+  // Writes one delta cell back into the evolving state (resume path).
+  const auto write_cell = [&](const io::LaunchState::SlotWrite& w) {
+    auto& columns = w.pairwise ? state_.pairwise : state_.singular;
+    if (w.param_pos >= columns.size()) {
+      throw std::invalid_argument(store.dir() + ": persisted slot write names column " +
+                                  std::to_string(w.param_pos) + " of " +
+                                  std::to_string(columns.size()));
+    }
+    config::ParamColumn& col = columns[w.param_pos];
+    if (w.entity >= col.value.size()) {
+      throw std::invalid_argument(store.dir() + ": persisted slot write names entity " +
+                                  std::to_string(w.entity) + " of " +
+                                  std::to_string(col.value.size()));
+    }
+    col.value[w.entity] = w.value;
+    col.cause[w.entity] = config::Cause::kDefault;
+  };
 
-    for (int l = 0; l < options_.launches_per_day && cursor < queue.size(); ++l) {
+  int start_day = 0;
+  int start_launch = 0;
+  if (persist && options_.resume && store.exists()) {
+    const io::LaunchState state = store.load();
+    const auto progress_value = [&](const std::string& key) -> const std::string& {
+      const std::string* value = state.find_progress(key);
+      if (value == nullptr) {
+        throw std::invalid_argument(store.dir() + "/progress.csv: missing key '" + key + "'");
+      }
+      return *value;
+    };
+    const auto p_int = [&](const std::string& key) {
+      return std::stoll(progress_value(key));
+    };
+    const auto p_size = [&](const std::string& key) {
+      return static_cast<std::size_t>(p_int(key));
+    };
+    const auto p_double = [&](const std::string& key) {
+      return std::stod(progress_value(key));  // hexfloat: bit-exact round trip
+    };
+
+    // Rebuild the engine from the state it actually learned from (the delta
+    // frozen at the last re-learn), then fast-forward the evolving state to
+    // the checkpoint. The re-learn counter comes from the checkpoint, so the
+    // rebuild is not double-counted.
+    for (const io::LaunchState::SlotWrite& w : state.relearn_applied_slots) {
+      write_cell(w);
+      relearn_delta_[{w.pairwise, w.param_pos, static_cast<std::size_t>(w.entity)}] = w.value;
+    }
+    rebuild_engine();
+    for (const io::LaunchState::SlotWrite& w : state.applied_slots) {
+      write_cell(w);
+      delta_[{w.pairwise, w.param_pos, static_cast<std::size_t>(w.entity)}] = w.value;
+    }
+
+    ems.restore(ems_state_from_io(state.ems));
+    executor.restore_journal(state.journal);
+    executor.restore_breaker(state.breaker);
+    deferred = state.deferred;
+
+    start_day = static_cast<int>(p_int("day"));
+    start_launch = static_cast<int>(p_int("launch"));
+    cursor = p_size("cursor");
+    report.engine_relearns = static_cast<int>(p_int("relearns"));
+    report.initial_network_kpi = p_double("initial_network_kpi");
+    report.totals.launches = p_size("totals.launches");
+    report.totals.change_recommended = p_size("totals.change_recommended");
+    report.totals.implemented = p_size("totals.implemented");
+    report.totals.fallout_unlocked = p_size("totals.fallout_unlocked");
+    report.totals.fallout_timeout = p_size("totals.fallout_timeout");
+    report.totals.parameters_changed = p_size("totals.parameters_changed");
+    report.robust.recovered = p_size("robust.recovered");
+    report.robust.chunked = p_size("robust.chunked");
+    report.robust.queued_degraded = p_size("robust.queued_degraded");
+    report.robust.drained = p_size("robust.drained");
+    report.robust.aborted_unlocked = p_size("robust.aborted_unlocked");
+    report.robust.fallout_terminal = p_size("robust.fallout_terminal");
+    report.robust.retries = p_size("robust.retries");
+    const std::size_t weeks_done = p_size("weeks");
+    for (std::size_t wk = 0; wk < weeks_done; ++wk) {
+      const std::string prefix = "week." + std::to_string(wk + 1) + ".";
+      WeeklySummary done;
+      done.week = static_cast<int>(wk) + 1;
+      done.launches = p_size(prefix + "launches");
+      done.change_recommended = p_size(prefix + "change_recommended");
+      done.implemented = p_size(prefix + "implemented");
+      done.fallouts = p_size(prefix + "fallouts");
+      done.parameters_changed = p_size(prefix + "parameters_changed");
+      done.mean_launched_kpi = p_double(prefix + "kpi");
+      report.weeks.push_back(done);
+    }
+    week.week = static_cast<int>(p_int("week.number"));
+    week.launches = p_size("week.launches");
+    week.change_recommended = p_size("week.change_recommended");
+    week.implemented = p_size("week.implemented");
+    week.fallouts = p_size("week.fallouts");
+    week.parameters_changed = p_size("week.parameters_changed");
+    week_quality = p_double("week.quality");
+    week_quality_n = p_size("week.quality_n");
+  } else {
+    report.initial_network_kpi = mean_network_kpi();
+    relearn();
+  }
+
+  const auto checkpoint = [&](int day, int launch_in_day) {
+    io::LaunchState state;
+    for (const auto& [carrier, applied] : executor.journal()) {
+      state.journal.emplace_back(carrier, static_cast<std::uint64_t>(applied));
+    }
+    std::sort(state.journal.begin(), state.journal.end());
+    state.deferred = deferred;
+    state.breaker = executor.breaker().snapshot();
+    state.ems = ems_state_to_io(ems.snapshot());
+    const auto to_writes = [](const std::map<SlotKey, config::ValueIndex>& delta) {
+      std::vector<io::LaunchState::SlotWrite> writes;
+      writes.reserve(delta.size());
+      for (const auto& [key, value] : delta) {
+        writes.push_back({std::get<0>(key), static_cast<std::uint32_t>(std::get<1>(key)),
+                          static_cast<std::uint64_t>(std::get<2>(key)), value});
+      }
+      return writes;
+    };
+    state.applied_slots = to_writes(delta_);
+    state.relearn_applied_slots = to_writes(relearn_delta_);
+
+    auto& p = state.progress;
+    const auto put = [&](const std::string& key, std::size_t value) {
+      p.emplace_back(key, std::to_string(value));
+    };
+    p.emplace_back("day", std::to_string(day));
+    p.emplace_back("launch", std::to_string(launch_in_day));
+    put("cursor", cursor);
+    p.emplace_back("relearns", std::to_string(report.engine_relearns));
+    p.emplace_back("initial_network_kpi", util::format("%a", report.initial_network_kpi));
+    put("totals.launches", report.totals.launches);
+    put("totals.change_recommended", report.totals.change_recommended);
+    put("totals.implemented", report.totals.implemented);
+    put("totals.fallout_unlocked", report.totals.fallout_unlocked);
+    put("totals.fallout_timeout", report.totals.fallout_timeout);
+    put("totals.parameters_changed", report.totals.parameters_changed);
+    put("robust.recovered", report.robust.recovered);
+    put("robust.chunked", report.robust.chunked);
+    put("robust.queued_degraded", report.robust.queued_degraded);
+    put("robust.drained", report.robust.drained);
+    put("robust.aborted_unlocked", report.robust.aborted_unlocked);
+    put("robust.fallout_terminal", report.robust.fallout_terminal);
+    put("robust.retries", report.robust.retries);
+    put("weeks", report.weeks.size());
+    for (const WeeklySummary& done : report.weeks) {
+      const std::string prefix = "week." + std::to_string(done.week) + ".";
+      put(prefix + "launches", done.launches);
+      put(prefix + "change_recommended", done.change_recommended);
+      put(prefix + "implemented", done.implemented);
+      put(prefix + "fallouts", done.fallouts);
+      put(prefix + "parameters_changed", done.parameters_changed);
+      p.emplace_back(prefix + "kpi", util::format("%a", done.mean_launched_kpi));
+    }
+    p.emplace_back("week.number", std::to_string(week.week));
+    put("week.launches", week.launches);
+    put("week.change_recommended", week.change_recommended);
+    put("week.implemented", week.implemented);
+    put("week.fallouts", week.fallouts);
+    put("week.parameters_changed", week.parameters_changed);
+    p.emplace_back("week.quality", util::format("%a", week_quality));
+    put("week.quality_n", week_quality_n);
+    store.save(state);
+  };
+
+  bool stopped = false;
+  for (int day = start_day; day < options_.days && !stopped; ++day) {
+    const int first_launch = day == start_day ? start_launch : 0;
+    // A checkpoint taken mid-day (first_launch > 0) implies this day's
+    // re-learn already happened before the checkpoint.
+    if (first_launch == 0 && day > 0 && day % options_.relearn_every_days == 0) relearn();
+
+    for (int l = first_launch; l < options_.launches_per_day && cursor < queue.size(); ++l) {
       const netsim::CarrierId carrier = queue[cursor++];
 
       // Vendor integration: the carrier goes on air with the vendor config
@@ -179,7 +360,15 @@ ReplayReport OperationReplay::run() {
                 break;
               case RobustOutcome::kNoChangeNeeded:
               case RobustOutcome::kQueuedDegraded:
+              case RobustOutcome::kRolledBack:  // executor never returns this
                 break;
+            }
+            if (push.outcome == RobustOutcome::kFalloutTerminal ||
+                push.outcome == RobustOutcome::kAbortedUnlocked) {
+              // Terminal fall-out: drop the journal entry so a later manual
+              // relaunch re-plans from scratch instead of resuming a stale
+              // partial apply.
+              executor.clear_journal(carrier);
             }
           } else {
             const PushResult push = ems.push(carrier, settings);
@@ -225,7 +414,15 @@ ReplayReport OperationReplay::run() {
       // Post-check KPI of the launched carrier under the evolved state.
       week_quality += carrier_quality(*topology_, *catalog_, state_, carrier);
       ++week_quality_n;
+
+      if (persist) checkpoint(day, l + 1);
+      if (options_.stop_after_launches > 0 &&
+          report.totals.launches >= static_cast<std::size_t>(options_.stop_after_launches)) {
+        stopped = true;
+        break;
+      }
     }
+    if (stopped) break;
 
     // End-of-day maintenance window: once the breaker has closed again,
     // drain the deferred queue — re-lock each queued carrier (the simulator
@@ -245,6 +442,7 @@ ReplayReport OperationReplay::run() {
         ++report.robust.drained;
         ++report.totals.implemented;
         ++week.implemented;
+        if (persist) checkpoint(day, options_.launches_per_day);
         continue;
       }
       std::vector<config::MoSetting> settings;
@@ -269,14 +467,18 @@ ReplayReport OperationReplay::run() {
         ++report.robust.fallout_terminal;
         ++report.totals.fallout_timeout;
         ++week.fallouts;
+        executor.clear_journal(carrier);
       } else if (push.outcome == RobustOutcome::kAbortedUnlocked) {
         ++report.robust.aborted_unlocked;
         ++report.totals.fallout_unlocked;
         ++week.fallouts;
+        executor.clear_journal(carrier);
       }
+      if (persist) checkpoint(day, options_.launches_per_day);
     }
 
     if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
+    if (persist) checkpoint(day + 1, 0);
   }
   report.robust.breaker_trips = executor.breaker().trips();
   report.robust.still_queued = deferred.size();

@@ -15,10 +15,22 @@
 // The replay exposes the weekly operational counters (Table 5 sliced over
 // time) and the mean post-launch KPI quality, which trends upward as the
 // pushed corrections accumulate.
+//
+// Crash-safe resume: with ReplayOptions::state_dir set, the replay
+// checkpoints its full dynamic state (EMS streams, apply journal, deferred
+// queue, breaker, evolving-state delta, day/launch cursor and every report
+// counter) through an io::LaunchStateStore after every launch, every
+// drained carrier and every completed day. A replay killed mid-window and
+// restarted with ReplayOptions::resume converges to final counters
+// bit-identical with an uninterrupted run — all randomness is either
+// stateless (per-carrier hashes) or carried in the persisted stream
+// positions, and doubles are persisted as hexfloats.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "config/assignment.h"
@@ -47,9 +59,18 @@ struct ReplayOptions {
   bool robust = false;
   RobustPushExecutor::Options robust_executor;
   std::uint64_t seed = 2024;
+  /// When non-empty, checkpoint the replay state into this directory after
+  /// every launch, drained carrier and completed day (see header comment).
+  std::string state_dir;
+  /// Restart from the checkpoint in state_dir (requires the replay to be
+  /// constructed with the same inputs and options as the killed run).
+  bool resume = false;
+  /// Simulated kill switch: checkpoint and stop once this many launches
+  /// have executed in total, counting resumed progress (0 = full window).
+  int stop_after_launches = 0;
 };
 
-/// Recovery-mode counters (populated when ReplayOptions::robust).
+///// Recovery-mode counters (populated when ReplayOptions::robust).
 struct RobustReplayTotals {
   std::size_t recovered = 0;         ///< implemented only after retry/resume
   std::size_t chunked = 0;           ///< plans split into > 1 push chunk
@@ -98,12 +119,23 @@ class OperationReplay {
   const config::ConfigAssignment& network_state() const { return state_; }
 
  private:
+  /// Slot identity for the evolving-state delta: (pairwise, column position,
+  /// entity). Ordered so checkpoints serialize deterministically.
+  using SlotKey = std::tuple<bool, std::size_t, std::size_t>;
+
   const netsim::Topology* topology_;
   const netsim::AttributeSchema* schema_;
   const config::ParamCatalog* catalog_;
   const config::GroundTruthModel* ground_truth_;
   config::ConfigAssignment state_;
   ReplayOptions options_;
+
+  /// Slot writes since construction (delta vs. the initial assignment),
+  /// tracked only when checkpointing is enabled.
+  bool track_delta_ = false;
+  std::map<SlotKey, config::ValueIndex> delta_;
+  /// The delta frozen at the last engine re-learn (what the engine saw).
+  std::map<SlotKey, config::ValueIndex> relearn_delta_;
 
   /// Writes a slot value into the evolving state.
   void apply_slot(const SlotRef& slot, config::ValueIndex value);

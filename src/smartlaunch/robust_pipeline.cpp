@@ -14,8 +14,33 @@ const char* robust_outcome_name(RobustOutcome outcome) {
     case RobustOutcome::kQueuedDegraded: return "queued-degraded";
     case RobustOutcome::kAbortedUnlocked: return "aborted-unlocked";
     case RobustOutcome::kFalloutTerminal: return "fallout-terminal";
+    case RobustOutcome::kRolledBack: return "rolled-back";
   }
   return "?";
+}
+
+io::LaunchState::EmsState ems_state_to_io(const EmsSimulator::Snapshot& snapshot) {
+  io::LaunchState::EmsState state;
+  state.pushes_executed = snapshot.pushes_executed;
+  state.lock_cycles = snapshot.lock_cycles;
+  state.fault_stream = snapshot.fault_stream;
+  state.flap_stream = snapshot.flap_stream;
+  state.burst_stream = snapshot.burst_stream;
+  state.unlocked = snapshot.unlocked;
+  state.repaired = snapshot.repaired;
+  return state;
+}
+
+EmsSimulator::Snapshot ems_state_from_io(const io::LaunchState::EmsState& state) {
+  EmsSimulator::Snapshot snapshot;
+  snapshot.pushes_executed = state.pushes_executed;
+  snapshot.lock_cycles = state.lock_cycles;
+  snapshot.fault_stream = state.fault_stream;
+  snapshot.flap_stream = state.flap_stream;
+  snapshot.burst_stream = state.burst_stream;
+  snapshot.unlocked = state.unlocked;
+  snapshot.repaired = state.repaired;
+  return snapshot;
 }
 
 RobustPushExecutor::RobustPushExecutor(EmsSimulator& ems)
@@ -40,6 +65,14 @@ std::size_t RobustPushExecutor::chunk_size() const {
 std::size_t RobustPushExecutor::journal_applied(netsim::CarrierId carrier) const {
   const auto it = journal_.find(carrier);
   return it == journal_.end() ? 0 : it->second;
+}
+
+void RobustPushExecutor::restore_journal(
+    const std::vector<std::pair<netsim::CarrierId, std::uint64_t>>& entries) {
+  journal_.clear();
+  for (const auto& [carrier, applied] : entries) {
+    journal_[carrier] = static_cast<std::size_t>(applied);
+  }
 }
 
 bool RobustPushExecutor::should_defer() { return !breaker_.allow(); }
@@ -143,13 +176,31 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
   record.carrier = carrier;
 
   ems_->lock(carrier);
-  const std::vector<config::MoSetting> changes = controller_->plan_changes(carrier);
+  const std::vector<LaunchController::PlannedChange> changes =
+      controller_->plan_changes_detailed(carrier);
   record.changes_planned = changes.size();
 
   if (changes.empty()) {
     ems_->unlock(carrier);
-    record.post_quality = kpi_->quality(carrier);
+    record.pre_quality = record.post_quality = kpi_->quality(carrier);
     return record;
+  }
+
+  record.pre_quality =
+      controller_->launch_quality(carrier, changes, 0, options_.rollback.kpi);
+
+  if (options_.rollback.enabled) {
+    if (const auto it = quarantine_.find(carrier);
+        it != quarantine_.end() && it->second >= options_.rollback.max_rollbacks) {
+      // Quarantined: an earlier launch of this carrier breached the KPI gate
+      // max_rollbacks times. It goes on air vendor-only; no further pushes
+      // this run.
+      ems_->unlock(carrier);
+      record.outcome = RobustOutcome::kRolledBack;
+      record.quarantine_skipped = true;
+      record.post_quality = record.pre_quality;
+      return record;
+    }
   }
 
   if (executor_.should_defer()) {
@@ -171,17 +222,110 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
                    0x1.0p-53;
   if (u < options_.premature_unlock_prob) ems_->unlock_out_of_band(carrier);
 
-  const RobustPushExecutor::Result push = executor_.execute(carrier, changes);
-  record.outcome = push.outcome;
-  record.changes_applied = push.applied;
-  record.attempts = push.attempts;
-  record.chunks = push.chunks;
-  record.retries = push.retries;
-  record.backoff_ms = push.backoff_ms;
+  push_gated(carrier, changes, record);
 
-  ems_->unlock(carrier);
-  record.post_quality = kpi_->quality(carrier);
+  // A launch whose outcome is terminal for this run gives up its journal
+  // entry: a later manual relaunch must re-plan from scratch rather than
+  // resume a stale partial apply against a plan that may have changed.
+  if (record.outcome == RobustOutcome::kFalloutTerminal ||
+      record.outcome == RobustOutcome::kAbortedUnlocked) {
+    executor_.clear_journal(carrier);
+  }
   return record;
+}
+
+void RobustLaunchController::push_gated(
+    netsim::CarrierId carrier, const std::vector<LaunchController::PlannedChange>& changes,
+    RobustLaunchRecord& record) {
+  std::vector<config::MoSetting> settings;
+  settings.reserve(changes.size());
+  for (const auto& change : changes) {
+    settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
+  }
+  const RollbackOptions& gate = options_.rollback;
+  // Quality the plan promises when every change lands. A clean full apply
+  // reproduces this value exactly, so the gate below can only arm on a
+  // launch that underperforms its own plan — a fault-damaged partial apply
+  // — never on a healthy full push whose recommendations happen to score
+  // poorly (that is the re-learn loop's concern, not the push layer's).
+  const double planned_quality =
+      controller_->launch_quality(carrier, changes, changes.size(), gate.kpi);
+
+  for (;;) {
+    const RobustPushExecutor::Result push = executor_.execute(carrier, settings);
+    record.outcome = push.outcome;
+    record.changes_applied = push.applied;
+    record.attempts += push.attempts;
+    record.chunks = push.chunks;
+    record.retries += push.retries;
+    record.backoff_ms += push.backoff_ms;
+
+    // Unlock step: the carrier goes on air in whatever state the push left.
+    if (ems_->state(carrier) == CarrierState::kLocked) ems_->unlock(carrier);
+    record.post_quality =
+        controller_->launch_quality(carrier, changes, push.applied, gate.kpi);
+
+    // The KPI gate. kAbortedUnlocked is exempt: an engineer owns the
+    // carrier out-of-band, and a rollback push would be refused anyway.
+    const bool gated = gate.enabled && push.applied > 0 &&
+                       (push.outcome == RobustOutcome::kImplemented ||
+                        push.outcome == RobustOutcome::kRecovered ||
+                        push.outcome == RobustOutcome::kFalloutTerminal);
+    const bool breach =
+        gated && record.post_quality < planned_quality &&
+        record.post_quality < record.pre_quality &&
+        (record.post_quality < gate.min_quality ||
+         record.post_quality < record.pre_quality * (1.0 - gate.max_relative_drop));
+    if (!breach) return;
+
+    // Roll back: reverse-replay the applied prefix with the vendor values
+    // through the same executor — chunked, retried and breaker-accounted,
+    // because a rollback push can itself fault and must recover.
+    ems_->lock(carrier);  // counted cycle: the carrier was already on air
+    executor_.clear_journal(carrier);
+    std::vector<config::MoSetting> reverse;
+    reverse.reserve(push.applied);
+    for (std::size_t i = push.applied; i-- > 0;) {
+      reverse.push_back({changes[i].slot.mo_path, changes[i].slot.param,
+                         changes[i].vendor_value});
+    }
+    const RobustPushExecutor::Result undo = executor_.execute(carrier, reverse);
+    record.attempts += undo.attempts;
+    record.rollback_retries += undo.retries;
+    record.backoff_ms += undo.backoff_ms;
+
+    if (undo.outcome != RobustOutcome::kImplemented &&
+        undo.outcome != RobustOutcome::kRecovered) {
+      // The rollback itself failed. The reverse push undid a suffix of the
+      // applied prefix (it replays in reverse order), so `applied - undone`
+      // settings remain on air as a contiguous prefix of the plan.
+      record.rollback_failed = true;
+      record.outcome = undo.outcome == RobustOutcome::kAbortedUnlocked
+                           ? RobustOutcome::kAbortedUnlocked
+                           : RobustOutcome::kFalloutTerminal;
+      record.changes_applied = push.applied - std::min(push.applied, undo.applied);
+      executor_.clear_journal(carrier);
+      if (ems_->state(carrier) == CarrierState::kLocked) ems_->unlock(carrier);
+      record.post_quality =
+          controller_->launch_quality(carrier, changes, record.changes_applied, gate.kpi);
+      return;
+    }
+
+    ++record.rollbacks;
+    record.outcome = RobustOutcome::kRolledBack;
+    record.changes_applied = 0;
+    record.post_quality = record.pre_quality;
+    executor_.clear_journal(carrier);
+    const int count = ++quarantine_[carrier];
+    if (count >= gate.max_rollbacks) {
+      record.quarantined = true;
+      ems_->unlock(carrier);
+      return;
+    }
+    // Immediate re-attempt in the same maintenance window (still locked);
+    // the quarantine count caps how often this can repeat.
+    ++record.reattempts;
+  }
 }
 
 void RobustLaunchController::tally(const RobustLaunchRecord& record,
@@ -190,6 +334,11 @@ void RobustLaunchController::tally(const RobustLaunchRecord& record,
   if (record.changes_planned > 0) ++report.change_recommended;
   report.retries += static_cast<std::size_t>(record.retries);
   if (record.chunks > 1) ++report.chunked;
+  report.rollbacks += static_cast<std::size_t>(record.rollbacks);
+  report.rollback_retries += static_cast<std::size_t>(record.rollback_retries);
+  report.reattempted += static_cast<std::size_t>(record.reattempts);
+  if (record.rollback_failed) ++report.rollback_failed;
+  if (record.quarantined) ++report.quarantined;
   switch (record.outcome) {
     case RobustOutcome::kImplemented:
       ++report.implemented;
@@ -203,6 +352,7 @@ void RobustLaunchController::tally(const RobustLaunchRecord& record,
     case RobustOutcome::kQueuedDegraded: ++report.queued_degraded; break;
     case RobustOutcome::kAbortedUnlocked: ++report.aborted_unlocked; break;
     case RobustOutcome::kFalloutTerminal: ++report.fallout_terminal; break;
+    case RobustOutcome::kRolledBack: ++report.rolled_back; break;
     case RobustOutcome::kNoChangeNeeded: break;
   }
 }
@@ -220,14 +370,29 @@ void RobustLaunchController::drain(
       return;
     }
     const netsim::CarrierId carrier = queue[i];
-    // Maintenance window: re-locking an on-air carrier is the disruptive
-    // operation the paper avoids during launches; the simulator counts it.
-    ems_->lock(carrier);
-    const std::vector<config::MoSetting> changes = controller_->plan_changes(carrier);
     RobustLaunchRecord* record = nullptr;
     if (const auto it = record_index.find(carrier); it != record_index.end()) {
       record = &report.records[it->second];
     }
+    if (options_.rollback.enabled) {
+      if (const auto it = quarantine_.find(carrier);
+          it != quarantine_.end() && it->second >= options_.rollback.max_rollbacks) {
+        // Quarantined since the deferral (possible on a resumed run): the
+        // carrier stays vendor-only and the queue entry resolves as a
+        // rollback fall-out.
+        ++report.rolled_back;
+        if (record != nullptr) {
+          record->outcome = RobustOutcome::kRolledBack;
+          record->quarantine_skipped = true;
+        }
+        continue;
+      }
+    }
+    // Maintenance window: re-locking an on-air carrier is the disruptive
+    // operation the paper avoids during launches; the simulator counts it.
+    ems_->lock(carrier);
+    const std::vector<LaunchController::PlannedChange> changes =
+        controller_->plan_changes_detailed(carrier);
     if (changes.empty()) {
       // The re-plan came back empty (changes landed earlier or were
       // superseded): the queue entry is resolved with nothing to push.
@@ -237,25 +402,43 @@ void RobustLaunchController::drain(
       if (record != nullptr) record->drained_late = true;
       continue;
     }
-    const RobustPushExecutor::Result push = executor_.execute(carrier, changes);
-    ems_->unlock(carrier);
-    report.retries += static_cast<std::size_t>(push.retries);
-    if (push.outcome == RobustOutcome::kImplemented ||
-        push.outcome == RobustOutcome::kRecovered) {
+    RobustLaunchRecord late;
+    late.carrier = carrier;
+    late.pre_quality = controller_->launch_quality(carrier, changes, 0, options_.rollback.kpi);
+    push_gated(carrier, changes, late);
+    if (late.outcome == RobustOutcome::kFalloutTerminal ||
+        late.outcome == RobustOutcome::kAbortedUnlocked) {
+      executor_.clear_journal(carrier);
+    }
+    report.retries += static_cast<std::size_t>(late.retries);
+    report.rollbacks += static_cast<std::size_t>(late.rollbacks);
+    report.rollback_retries += static_cast<std::size_t>(late.rollback_retries);
+    report.reattempted += static_cast<std::size_t>(late.reattempts);
+    if (late.rollback_failed) ++report.rollback_failed;
+    if (late.quarantined) ++report.quarantined;
+    if (late.outcome == RobustOutcome::kImplemented ||
+        late.outcome == RobustOutcome::kRecovered) {
       ++report.drained;
       ++report.implemented;
-      report.parameters_changed += push.applied;
+      report.parameters_changed += late.changes_applied;
       if (record != nullptr) {
         record->drained_late = true;
-        record->changes_applied = push.applied;
+        record->changes_applied = late.changes_applied;
         record->post_quality = kpi_->quality(carrier);
       }
-    } else if (push.outcome == RobustOutcome::kFalloutTerminal) {
+    } else if (late.outcome == RobustOutcome::kFalloutTerminal) {
       ++report.fallout_terminal;
       if (record != nullptr) record->outcome = RobustOutcome::kFalloutTerminal;
-    } else if (push.outcome == RobustOutcome::kAbortedUnlocked) {
+    } else if (late.outcome == RobustOutcome::kAbortedUnlocked) {
       ++report.aborted_unlocked;
       if (record != nullptr) record->outcome = RobustOutcome::kAbortedUnlocked;
+    } else if (late.outcome == RobustOutcome::kRolledBack) {
+      ++report.rolled_back;
+      if (record != nullptr) {
+        record->outcome = RobustOutcome::kRolledBack;
+        record->rollbacks += late.rollbacks;
+        record->quarantined = late.quarantined;
+      }
     }
   }
 }
@@ -263,6 +446,9 @@ void RobustLaunchController::drain(
 RobustLaunchReport RobustLaunchController::run(std::span<const netsim::CarrierId> carriers) {
   RobustLaunchReport report;
   report.records.reserve(carriers.size());
+  const bool persist = !options_.state_dir.empty();
+  io::LaunchStateStore store(options_.state_dir);
+  if (persist && options_.resume && store.exists()) restore_state(store.load());
   std::unordered_map<netsim::CarrierId, std::size_t> record_index;
   for (netsim::CarrierId carrier : carriers) {
     RobustLaunchRecord record = launch(carrier);
@@ -276,14 +462,40 @@ RobustLaunchReport RobustLaunchController::run(std::span<const netsim::CarrierId
         executor_.breaker().state() == util::CircuitBreaker::State::kClosed) {
       drain(report, record_index);
     }
+    if (persist) save_state(store);
   }
   if (!deferred_.empty() &&
       executor_.breaker().state() == util::CircuitBreaker::State::kClosed) {
     drain(report, record_index);
   }
+  if (persist) save_state(store);
   report.breaker_trips = executor_.breaker().trips();
   report.still_queued = deferred_.size();
   return report;
+}
+
+void RobustLaunchController::save_state(const io::LaunchStateStore& store) const {
+  io::LaunchState state;
+  for (const auto& [carrier, applied] : executor_.journal()) {
+    state.journal.emplace_back(carrier, static_cast<std::uint64_t>(applied));
+  }
+  std::sort(state.journal.begin(), state.journal.end());
+  state.deferred = deferred_;
+  state.quarantine.assign(quarantine_.begin(), quarantine_.end());
+  std::sort(state.quarantine.begin(), state.quarantine.end());
+  state.breaker = executor_.breaker().snapshot();
+  state.ems = ems_state_to_io(ems_->snapshot());
+  state.progress.emplace_back("kind", "pipeline");
+  store.save(state);
+}
+
+void RobustLaunchController::restore_state(const io::LaunchState& state) {
+  executor_.restore_journal(state.journal);
+  executor_.restore_breaker(state.breaker);
+  deferred_ = state.deferred;
+  quarantine_.clear();
+  for (const auto& [carrier, rollbacks] : state.quarantine) quarantine_[carrier] = rollbacks;
+  ems_->restore(ems_state_from_io(state.ems));
 }
 
 }  // namespace auric::smartlaunch

@@ -24,7 +24,19 @@
 //                   queue for later" and the queue is drained once the
 //                   half-open probe succeeds (re-locking each queued carrier
 //                   in a maintenance window — the simulator counts those
-//                   disruptive lock cycles).
+//                   disruptive lock cycles);
+//   KPI gate        after the unlock step the launch quality is re-checked
+//                   against a degradation threshold (absolute floor plus
+//                   relative drop vs. the pre-push quality); on breach the
+//                   applied settings are rolled back to the vendor values by
+//                   reverse-replaying the apply journal through the same
+//                   executor, the launch is re-attempted once, and a carrier
+//                   that breaches again is quarantined for the run;
+//   persistence     with RobustPipelineOptions::state_dir set, the apply
+//                   journal, deferred queue, quarantine list, breaker state
+//                   and EMS state are checkpointed through an
+//                   io::LaunchStateStore after every launch, so a run killed
+//                   mid-cohort resumes its recovery state.
 //
 // Everything is deterministic under a fixed seed: two runs over the same
 // cohort produce identical counters.
@@ -32,9 +44,11 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "io/launch_state.h"
 #include "smartlaunch/controller.h"
 #include "smartlaunch/ems.h"
 #include "smartlaunch/kpi.h"
@@ -49,9 +63,16 @@ enum class RobustOutcome : std::uint8_t {
   kQueuedDegraded,      ///< breaker open: on air vendor-only, queued for later
   kAbortedUnlocked,     ///< out-of-band unlock observed; aborted cleanly
   kFalloutTerminal,     ///< retries exhausted or persistent EMS fault
+  kRolledBack,          ///< KPI breach: changes reverted to vendor values
 };
 
 const char* robust_outcome_name(RobustOutcome outcome);
+
+/// Converts between the EMS simulator snapshot and its io-layer mirror
+/// (io::LaunchState::EmsState), shared by the pipeline and replay
+/// persistence paths.
+io::LaunchState::EmsState ems_state_to_io(const EmsSimulator::Snapshot& snapshot);
+EmsSimulator::Snapshot ems_state_from_io(const io::LaunchState::EmsState& state);
 
 /// Executes one change set against the EMS with chunking, retry/backoff, an
 /// apply journal, and circuit-breaker accounting. Shared by the robust
@@ -98,6 +119,19 @@ class RobustPushExecutor {
   /// Settings already landed for `carrier` (0 when fully applied/unknown).
   std::size_t journal_applied(netsim::CarrierId carrier) const;
 
+  /// The full apply journal (for persistence; iteration order unspecified).
+  const std::unordered_map<netsim::CarrierId, std::size_t>& journal() const { return journal_; }
+
+  /// Drops `carrier`'s journal entry so the next execute() starts from
+  /// scratch (used by the rollback path and by terminal-fall-out cleanup).
+  void clear_journal(netsim::CarrierId carrier) { journal_.erase(carrier); }
+
+  /// Replaces the journal / breaker state with persisted values (resume).
+  void restore_journal(const std::vector<std::pair<netsim::CarrierId, std::uint64_t>>& entries);
+  void restore_breaker(const util::CircuitBreaker::Snapshot& snapshot) {
+    breaker_.restore(snapshot);
+  }
+
   const util::CircuitBreaker& breaker() const { return breaker_; }
   const Options& options() const { return options_; }
 
@@ -118,7 +152,14 @@ struct RobustLaunchRecord {
   int retries = 0;
   double backoff_ms = 0.0;
   bool drained_late = false;  ///< queued-degraded launch completed on drain
+  double pre_quality = 1.0;   ///< launch quality of the vendor configuration
   double post_quality = 1.0;
+  int rollbacks = 0;           ///< KPI-breach rollbacks completed this launch
+  int rollback_retries = 0;    ///< transient faults retried inside rollbacks
+  int reattempts = 0;          ///< forward pushes re-issued after a rollback
+  bool rollback_failed = false;   ///< a rollback push itself faulted terminally
+  bool quarantined = false;       ///< hit the rollback cap; no more attempts
+  bool quarantine_skipped = false;  ///< launch skipped: carrier in quarantine
 };
 
 /// Table-5-style aggregate with the recovery modes broken out.
@@ -133,6 +174,12 @@ struct RobustLaunchReport {
   std::size_t still_queued = 0;      ///< deferrals unresolved at end of run
   std::size_t aborted_unlocked = 0;  ///< clean aborts on out-of-band unlock
   std::size_t fallout_terminal = 0;  ///< unrecoverable EMS fall-outs
+  std::size_t rolled_back = 0;       ///< launches ending in kRolledBack
+  std::size_t rollbacks = 0;         ///< rollback pushes completed
+  std::size_t rollback_retries = 0;  ///< transient faults retried in rollbacks
+  std::size_t rollback_failed = 0;   ///< rollback pushes that faulted terminally
+  std::size_t reattempted = 0;       ///< forward pushes re-issued after rollback
+  std::size_t quarantined = 0;       ///< carriers that hit the rollback cap
   std::size_t parameters_changed = 0;
   std::size_t retries = 0;
   int breaker_trips = 0;
@@ -140,12 +187,38 @@ struct RobustLaunchReport {
   std::vector<RobustLaunchRecord> records;
 
   /// Launches that ended without their changes on air: terminal EMS
-  /// fall-outs, clean unlock aborts, and still-queued deferrals. The
-  /// invariant change_recommended == implemented + terminal_fallouts()
-  /// holds after run().
+  /// fall-outs, clean unlock aborts, KPI-gated rollbacks, and still-queued
+  /// deferrals. The invariant
+  /// change_recommended == implemented + terminal_fallouts() holds after
+  /// run().
   std::size_t terminal_fallouts() const {
-    return fallout_terminal + aborted_unlocked + still_queued;
+    return fallout_terminal + aborted_unlocked + rolled_back + still_queued;
   }
+};
+
+/// The KPI degradation gate evaluated after the unlock step.
+///
+/// The gate arms only when the post-push quality sits below BOTH the
+/// pre-push quality and the quality the plan itself promised (all changes
+/// applied). A clean full apply reproduces the planned quality exactly and
+/// therefore never rolls back — at fault rate zero the gate is silent by
+/// construction — while a fault-damaged partial apply underperforms its
+/// plan and is judged against the floors below.
+struct RollbackOptions {
+  bool enabled = true;
+  /// Absolute floor: post-push quality below this is a breach.
+  double min_quality = 0.70;
+  /// Relative floor: post-push quality below pre_quality * (1 - drop) is a
+  /// breach. Either floor triggers, but only when the push actually degraded
+  /// the carrier (post < pre), so a carrier that was already below the floor
+  /// is not punished for a push that helped or was neutral.
+  double max_relative_drop = 0.05;
+  /// KPI model parameters used for the pre/post launch-quality oracle.
+  KpiOptions kpi;
+  /// Rollbacks allowed per carrier per run: with the default of 2, a
+  /// rolled-back carrier is re-attempted exactly once, and a second breach
+  /// quarantines it.
+  int max_rollbacks = 2;
 };
 
 struct RobustPipelineOptions {
@@ -155,6 +228,13 @@ struct RobustPipelineOptions {
   double premature_unlock_prob = 0.14;
   std::uint64_t seed = 31337;
   RobustPushExecutor::Options executor;
+  RollbackOptions rollback;
+  /// When non-empty, recovery state (apply journal, deferred queue,
+  /// quarantine list, breaker and EMS state) is checkpointed into this
+  /// directory after every launch; with `resume` set, run() restores it
+  /// before launching.
+  std::string state_dir;
+  bool resume = false;
 };
 
 /// Drop-in robust counterpart of SmartLaunchPipeline: same launch flow
@@ -175,6 +255,10 @@ class RobustLaunchController {
   std::size_t deferred_count() const { return deferred_.size(); }
   const RobustPushExecutor& executor() const { return executor_; }
 
+  /// Rollback counts per carrier; a carrier whose count has reached
+  /// RollbackOptions::max_rollbacks is quarantined for the run.
+  const std::unordered_map<netsim::CarrierId, int>& quarantine() const { return quarantine_; }
+
  private:
   const LaunchController* controller_;
   EmsSimulator* ems_;
@@ -182,6 +266,14 @@ class RobustLaunchController {
   RobustPipelineOptions options_;
   RobustPushExecutor executor_;
   std::vector<netsim::CarrierId> deferred_;
+  std::unordered_map<netsim::CarrierId, int> quarantine_;
+
+  /// Forward push plus the KPI gate: on breach, reverse-replays the applied
+  /// prefix with vendor values and re-attempts or quarantines. The carrier
+  /// is unlocked when this returns.
+  void push_gated(netsim::CarrierId carrier,
+                  const std::vector<LaunchController::PlannedChange>& changes,
+                  RobustLaunchRecord& record);
 
   /// Re-locks queued carriers in a maintenance window and pushes their
   /// (re-planned) changes. Stops and re-queues the remainder if the breaker
@@ -190,6 +282,9 @@ class RobustLaunchController {
              std::unordered_map<netsim::CarrierId, std::size_t>& record_index);
 
   void tally(const RobustLaunchRecord& record, RobustLaunchReport& report) const;
+
+  void save_state(const io::LaunchStateStore& store) const;
+  void restore_state(const io::LaunchState& state);
 };
 
 }  // namespace auric::smartlaunch

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.h"
 
@@ -70,6 +72,26 @@ void CircuitBreaker::record_failure() {
   if (++consecutive_failures_ >= options_.failure_threshold) trip();
 }
 
+CircuitBreaker::Snapshot CircuitBreaker::snapshot() const {
+  return {state_, consecutive_failures_, cooldown_remaining_, trips_, refusals_};
+}
+
+void CircuitBreaker::restore(const Snapshot& snapshot) {
+  if (snapshot.consecutive_failures < 0 ||
+      snapshot.consecutive_failures >= options_.failure_threshold ||
+      snapshot.cooldown_remaining < 0 ||
+      snapshot.cooldown_remaining > options_.cooldown_ops || snapshot.trips < 0 ||
+      snapshot.refusals < 0) {
+    throw std::invalid_argument(
+        "CircuitBreaker::restore: counters out of range for this breaker's options");
+  }
+  state_ = snapshot.state;
+  consecutive_failures_ = snapshot.consecutive_failures;
+  cooldown_remaining_ = snapshot.cooldown_remaining;
+  trips_ = snapshot.trips;
+  refusals_ = snapshot.refusals;
+}
+
 const char* circuit_state_name(CircuitBreaker::State state) {
   switch (state) {
     case CircuitBreaker::State::kClosed: return "closed";
@@ -77,6 +99,15 @@ const char* circuit_state_name(CircuitBreaker::State state) {
     case CircuitBreaker::State::kHalfOpen: return "half-open";
   }
   return "?";
+}
+
+CircuitBreaker::State circuit_state_from_name(std::string_view name) {
+  for (const auto state :
+       {CircuitBreaker::State::kClosed, CircuitBreaker::State::kOpen,
+        CircuitBreaker::State::kHalfOpen}) {
+    if (name == circuit_state_name(state)) return state;
+  }
+  throw std::invalid_argument("unknown circuit-breaker state '" + std::string(name) + "'");
 }
 
 }  // namespace auric::util

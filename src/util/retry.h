@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace auric::util {
 
@@ -65,10 +66,27 @@ class CircuitBreaker {
     int cooldown_ops = 5;       ///< refused ops before half-opening
   };
 
+  /// Full dynamic state, exportable for crash-safe persistence (the
+  /// io::LaunchStateStore) and re-importable into a fresh breaker so a
+  /// resumed run continues the exact open/half-open/cooldown sequence.
+  struct Snapshot {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int cooldown_remaining = 0;
+    int trips = 0;
+    int refusals = 0;
+  };
+
   CircuitBreaker();  // default Options
   explicit CircuitBreaker(Options options);
 
   State state() const { return state_; }
+
+  Snapshot snapshot() const;
+  /// Restores a snapshot taken from a breaker with the same Options. Throws
+  /// std::invalid_argument on out-of-range counters (corrupt persisted
+  /// state must not be half-loaded).
+  void restore(const Snapshot& snapshot);
 
   /// True when the caller may run the protected operation now. While open,
   /// each refusal advances the cooldown clock; the call that exhausts the
@@ -97,5 +115,9 @@ class CircuitBreaker {
 };
 
 const char* circuit_state_name(CircuitBreaker::State state);
+
+/// Inverse of circuit_state_name; throws std::invalid_argument on an
+/// unknown name (used when loading persisted breaker state).
+CircuitBreaker::State circuit_state_from_name(std::string_view name);
 
 }  // namespace auric::util

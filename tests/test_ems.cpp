@@ -218,6 +218,54 @@ TEST(Ems, NewFaultClassesDefaultOff) {
   EXPECT_LT(timeouts, 70u);
 }
 
+TEST(Ems, SnapshotRestoreReproducesFaultSequence) {
+  EmsOptions options;
+  options.flaky_timeout_prob = 0.2;
+  options.faults.lock_flap_prob = 0.1;
+  options.faults.burst_every = 7;
+  options.faults.burst_length = 2;
+  options.seed = 77;
+  EmsSimulator original(6, options);
+  for (int i = 0; i < 40; ++i) {
+    const auto carrier = static_cast<netsim::CarrierId>(i % 6);
+    original.lock(carrier);
+    original.push(carrier, settings(6));
+  }
+  original.unlock(2);
+  original.repair_carrier(4);
+
+  // A fresh simulator restored from the snapshot must continue with the
+  // exact fault sequence the original sees — counters, streams and lock
+  // states all carry over.
+  EmsSimulator resumed(6, options);
+  resumed.restore(original.snapshot());
+  EXPECT_EQ(resumed.pushes_executed(), original.pushes_executed());
+  EXPECT_EQ(resumed.lock_cycles(), original.lock_cycles());
+  EXPECT_EQ(resumed.state(2), CarrierState::kUnlocked);
+  for (int i = 0; i < 60; ++i) {
+    const auto carrier = static_cast<netsim::CarrierId>(i % 6);
+    original.lock(carrier);
+    resumed.lock(carrier);
+    const PushResult a = original.push(carrier, settings(5));
+    const PushResult b = resumed.push(carrier, settings(5));
+    EXPECT_EQ(a.status, b.status) << i;
+    EXPECT_EQ(a.applied, b.applied) << i;
+    EXPECT_EQ(a.transient, b.transient) << i;
+  }
+  EXPECT_EQ(resumed.snapshot().fault_stream, original.snapshot().fault_stream);
+  EXPECT_EQ(resumed.snapshot().burst_stream, original.snapshot().burst_stream);
+}
+
+TEST(Ems, RestoreRejectsUnknownCarriers) {
+  EmsSimulator ems(3);
+  EmsSimulator::Snapshot snapshot = ems.snapshot();
+  snapshot.unlocked.push_back(9);
+  EXPECT_THROW(ems.restore(snapshot), std::invalid_argument);
+  snapshot.unlocked.clear();
+  snapshot.repaired.push_back(-1);
+  EXPECT_THROW(ems.restore(snapshot), std::invalid_argument);
+}
+
 TEST(PushStatusNames, Stable) {
   EXPECT_STREQ(push_status_name(PushStatus::kApplied), "applied");
   EXPECT_STREQ(push_status_name(PushStatus::kTimeout), "timeout");

@@ -1,0 +1,132 @@
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "io/kpi_export.h"
+#include "ml/dataset_io.h"
+
+namespace auric {
+namespace {
+
+std::string temp_path(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() / "auric_export_io";
+  std::filesystem::create_directories(dir);
+  return (dir / tag).string();
+}
+
+std::string thrown_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(KpiExport, RoundTripsBitIdentically) {
+  const std::string path = temp_path("kpi_roundtrip.csv");
+  const std::vector<double> scores = {1.0, 0.0, 0.123456789012345678, 0x1.fffffffffffffp-1};
+  io::save_kpi_scores(path, scores);
+  const std::vector<double> loaded = io::load_kpi_scores(path);
+  ASSERT_EQ(loaded.size(), scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(loaded[i], scores[i]) << i;  // exact, not approximate
+  }
+}
+
+TEST(KpiExport, RejectsDuplicateCarrierWithFileAndLine) {
+  const std::string path = temp_path("kpi_dup.csv");
+  std::ofstream(path) << "carrier,quality\n0,0.5\n0,0.6\n";
+  const std::string msg = thrown_message([&] { (void)io::load_kpi_scores(path); });
+  EXPECT_NE(msg.find("kpi_dup.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate carrier"), std::string::npos) << msg;
+}
+
+TEST(KpiExport, RejectsSparseCarrierIds) {
+  const std::string path = temp_path("kpi_sparse.csv");
+  std::ofstream(path) << "carrier,quality\n0,0.5\n2,0.6\n";
+  const std::string msg = thrown_message([&] { (void)io::load_kpi_scores(path); });
+  EXPECT_NE(msg.find("outside dense range"), std::string::npos) << msg;
+}
+
+TEST(KpiExport, RejectsOutOfRangeQualityIncludingNan) {
+  const std::string bad = temp_path("kpi_range.csv");
+  std::ofstream(bad) << "carrier,quality\n0,1.5\n";
+  EXPECT_NE(thrown_message([&] { (void)io::load_kpi_scores(bad); }).find("outside [0, 1]"),
+            std::string::npos);
+  const std::string nan = temp_path("kpi_nan.csv");
+  std::ofstream(nan) << "carrier,quality\n0,nan\n";
+  const std::string msg = thrown_message([&] { (void)io::load_kpi_scores(nan); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+ml::CategoricalDataset sample_dataset() {
+  ml::CategoricalDataset data;
+  data.column_names = {"band", "morphology"};
+  data.cardinality = {3, 2};
+  data.columns = {{0, 1, 2, 0}, {1, 0, 1, 1}};
+  data.labels = {0, 1, 0, 2};
+  data.class_values = {4, 9, 17};
+  return data;
+}
+
+TEST(DatasetIo, RoundTripsExactly) {
+  const std::string stem = temp_path("ds_roundtrip");
+  const ml::CategoricalDataset saved = sample_dataset();
+  ml::save_dataset(stem, saved);
+  const ml::CategoricalDataset loaded = ml::load_dataset(stem);
+  EXPECT_EQ(loaded.column_names, saved.column_names);
+  EXPECT_EQ(loaded.cardinality, saved.cardinality);
+  EXPECT_EQ(loaded.columns, saved.columns);
+  EXPECT_EQ(loaded.labels, saved.labels);
+  EXPECT_EQ(loaded.class_values, saved.class_values);
+  loaded.check();  // must still be internally consistent
+}
+
+TEST(DatasetIo, RejectsLabelColumnNameCollision) {
+  ml::CategoricalDataset data = sample_dataset();
+  data.column_names[0] = "label";
+  EXPECT_THROW(ml::save_dataset(temp_path("ds_collision"), data), std::invalid_argument);
+}
+
+TEST(DatasetIo, OutOfRangeCodeNamesFileAndLine) {
+  const std::string stem = temp_path("ds_badcode");
+  ml::save_dataset(stem, sample_dataset());
+  // Corrupt one attribute code beyond its cardinality (band has 3 values).
+  std::ofstream(stem + ".csv") << "band,morphology,label\n0,1,0\n7,0,1\n";
+  const std::string msg = thrown_message([&] { (void)ml::load_dataset(stem); });
+  EXPECT_NE(msg.find("ds_badcode.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(DatasetIo, OutOfRangeLabelNamesFileAndLine) {
+  const std::string stem = temp_path("ds_badlabel");
+  ml::save_dataset(stem, sample_dataset());
+  std::ofstream(stem + ".csv") << "band,morphology,label\n0,1,3\n";
+  const std::string msg = thrown_message([&] { (void)ml::load_dataset(stem); });
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(DatasetIo, UnknownMetaKindNamesFileAndLine) {
+  const std::string stem = temp_path("ds_badmeta");
+  ml::save_dataset(stem, sample_dataset());
+  std::ofstream(stem + "_meta.csv") << "kind,index,name,value\nwidget,0,x,1\n";
+  const std::string msg = thrown_message([&] { (void)ml::load_dataset(stem); });
+  EXPECT_NE(msg.find("ds_badmeta_meta.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown kind"), std::string::npos) << msg;
+}
+
+TEST(DatasetIo, DuplicateMetaIndexRejected) {
+  const std::string stem = temp_path("ds_dupmeta");
+  ml::save_dataset(stem, sample_dataset());
+  std::ofstream(stem + "_meta.csv")
+      << "kind,index,name,value\ncolumn,0,a,2\ncolumn,0,b,2\nclass,0,,1\n";
+  const std::string msg = thrown_message([&] { (void)ml::load_dataset(stem); });
+  EXPECT_NE(msg.find("duplicate column index"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace auric

@@ -1,0 +1,175 @@
+#include "io/launch_state.h"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+namespace auric::io {
+namespace {
+
+std::string temp_dir(const char* tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("auric_launch_state_" + std::string(tag));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+std::string thrown_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+LaunchState sample_state() {
+  LaunchState state;
+  state.journal = {{3, 17}, {9, 2}};
+  state.deferred = {4, 1, 8};
+  state.quarantine = {{2, 1}, {7, 2}};
+  state.breaker.state = util::CircuitBreaker::State::kOpen;
+  state.breaker.consecutive_failures = 3;
+  state.breaker.cooldown_remaining = 2;
+  state.breaker.trips = 1;
+  state.breaker.refusals = 4;
+  state.ems.pushes_executed = 123;
+  state.ems.lock_cycles = 7;
+  state.ems.fault_stream = 0xDEADBEEFULL;
+  state.ems.flap_stream = 42;
+  state.ems.burst_stream = 0xFFFFFFFFFFFFFFFFULL;
+  state.ems.unlocked = {1, 5};
+  state.ems.repaired = {6};
+  state.applied_slots = {{false, 2, 11, 5}, {true, 0, 190, 3}};
+  state.relearn_applied_slots = {{false, 2, 11, 4}};
+  state.progress = {{"day", "12"}, {"kpi", "0x1.8p-1"}};
+  return state;
+}
+
+TEST(LaunchStateStore, ExistsOnlyAfterCommit) {
+  const LaunchStateStore store(temp_dir("exists"));
+  EXPECT_FALSE(store.exists());
+  store.save(sample_state());
+  EXPECT_TRUE(store.exists());
+  store.clear();
+  EXPECT_FALSE(store.exists());
+}
+
+TEST(LaunchStateStore, RoundTripsEveryField) {
+  const LaunchStateStore store(temp_dir("roundtrip"));
+  const LaunchState saved = sample_state();
+  store.save(saved);
+  const LaunchState loaded = store.load();
+
+  EXPECT_EQ(loaded.journal, saved.journal);
+  EXPECT_EQ(loaded.deferred, saved.deferred);
+  EXPECT_EQ(loaded.quarantine, saved.quarantine);
+  EXPECT_EQ(loaded.breaker.state, saved.breaker.state);
+  EXPECT_EQ(loaded.breaker.consecutive_failures, saved.breaker.consecutive_failures);
+  EXPECT_EQ(loaded.breaker.cooldown_remaining, saved.breaker.cooldown_remaining);
+  EXPECT_EQ(loaded.breaker.trips, saved.breaker.trips);
+  EXPECT_EQ(loaded.breaker.refusals, saved.breaker.refusals);
+  EXPECT_EQ(loaded.ems.pushes_executed, saved.ems.pushes_executed);
+  EXPECT_EQ(loaded.ems.fault_stream, saved.ems.fault_stream);
+  EXPECT_EQ(loaded.ems.flap_stream, saved.ems.flap_stream);
+  EXPECT_EQ(loaded.ems.burst_stream, saved.ems.burst_stream);
+  EXPECT_EQ(loaded.ems.unlocked, saved.ems.unlocked);
+  EXPECT_EQ(loaded.ems.repaired, saved.ems.repaired);
+  ASSERT_EQ(loaded.applied_slots.size(), saved.applied_slots.size());
+  for (std::size_t i = 0; i < saved.applied_slots.size(); ++i) {
+    EXPECT_EQ(loaded.applied_slots[i].pairwise, saved.applied_slots[i].pairwise);
+    EXPECT_EQ(loaded.applied_slots[i].param_pos, saved.applied_slots[i].param_pos);
+    EXPECT_EQ(loaded.applied_slots[i].entity, saved.applied_slots[i].entity);
+    EXPECT_EQ(loaded.applied_slots[i].value, saved.applied_slots[i].value);
+  }
+  EXPECT_EQ(loaded.relearn_applied_slots.size(), saved.relearn_applied_slots.size());
+  EXPECT_EQ(loaded.progress, saved.progress);
+  ASSERT_NE(loaded.find_progress("kpi"), nullptr);
+  EXPECT_EQ(*loaded.find_progress("kpi"), "0x1.8p-1");
+  EXPECT_EQ(loaded.find_progress("missing"), nullptr);
+}
+
+TEST(LaunchStateStore, SaveOverwritesPreviousCheckpoint) {
+  const LaunchStateStore store(temp_dir("overwrite"));
+  store.save(sample_state());
+  LaunchState second;  // mostly empty
+  second.progress = {{"day", "13"}};
+  store.save(second);
+  const LaunchState loaded = store.load();
+  EXPECT_TRUE(loaded.journal.empty());
+  EXPECT_TRUE(loaded.deferred.empty());
+  ASSERT_NE(loaded.find_progress("day"), nullptr);
+  EXPECT_EQ(*loaded.find_progress("day"), "13");
+}
+
+void corrupt(const std::string& dir, const char* file, const std::string& content) {
+  std::ofstream out(std::filesystem::path(dir) / file);
+  out << content;
+}
+
+TEST(LaunchStateStore, MalformedJournalNamesFileAndLine) {
+  const LaunchStateStore store(temp_dir("bad_journal"));
+  store.save(sample_state());
+  corrupt(store.dir(), "journal.csv", "carrier,applied\n3,17\nxyz,2\n");
+  const std::string msg = thrown_message([&] { (void)store.load(); });
+  EXPECT_NE(msg.find("journal.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(LaunchStateStore, DuplicateJournalCarrierRejected) {
+  const LaunchStateStore store(temp_dir("dup_journal"));
+  store.save(sample_state());
+  corrupt(store.dir(), "journal.csv", "carrier,applied\n3,17\n3,4\n");
+  const std::string msg = thrown_message([&] { (void)store.load(); });
+  EXPECT_NE(msg.find("duplicate journal entry"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(LaunchStateStore, UnknownBreakerStateNamesFileAndLine) {
+  const LaunchStateStore store(temp_dir("bad_breaker"));
+  store.save(sample_state());
+  corrupt(store.dir(), "breaker.csv",
+          "state,consecutive_failures,cooldown_remaining,trips,refusals\nwedged,0,0,0,0\n");
+  const std::string msg = thrown_message([&] { (void)store.load(); });
+  EXPECT_NE(msg.find("breaker.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wedged"), std::string::npos) << msg;
+}
+
+TEST(LaunchStateStore, UnknownEmsKeyNamesFileAndLine) {
+  const LaunchStateStore store(temp_dir("bad_ems"));
+  store.save(sample_state());
+  corrupt(store.dir(), "ems.csv", "key,value\npushes_executed,5\nwarp_factor,9\n");
+  const std::string msg = thrown_message([&] { (void)store.load(); });
+  EXPECT_NE(msg.find("ems.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("warp_factor"), std::string::npos) << msg;
+}
+
+TEST(LaunchStateStore, SlotWritePairwiseFlagValidated) {
+  const LaunchStateStore store(temp_dir("bad_applied"));
+  store.save(sample_state());
+  corrupt(store.dir(), "applied.csv", "pairwise,param_pos,entity,value\n2,0,0,1\n");
+  const std::string msg = thrown_message([&] { (void)store.load(); });
+  EXPECT_NE(msg.find("applied.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(LaunchStateStore, DuplicateProgressKeyRejected) {
+  const LaunchStateStore store(temp_dir("dup_progress"));
+  store.save(sample_state());
+  corrupt(store.dir(), "progress.csv", "key,value\nday,1\nday,2\n");
+  const std::string msg = thrown_message([&] { (void)store.load(); });
+  EXPECT_NE(msg.find("progress.csv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate progress key"), std::string::npos) << msg;
+}
+
+TEST(LaunchStateStore, MissingFileFailsLoudly) {
+  const LaunchStateStore store(temp_dir("missing_file"));
+  store.save(sample_state());
+  std::filesystem::remove(std::filesystem::path(store.dir()) / "ems.csv");
+  EXPECT_THROW((void)store.load(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace auric::io

@@ -1,6 +1,8 @@
 #include "smartlaunch/replay.h"
 
+#include <filesystem>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -80,6 +82,128 @@ TEST(OperationReplay, StateEvolvesOnlyOnLaunchedCarriers) {
     }
   }
   EXPECT_LE(touched.size(), 3u);
+}
+
+void expect_reports_identical(const ReplayReport& a, const ReplayReport& b) {
+  EXPECT_EQ(a.totals.launches, b.totals.launches);
+  EXPECT_EQ(a.totals.change_recommended, b.totals.change_recommended);
+  EXPECT_EQ(a.totals.implemented, b.totals.implemented);
+  EXPECT_EQ(a.totals.fallout_unlocked, b.totals.fallout_unlocked);
+  EXPECT_EQ(a.totals.fallout_timeout, b.totals.fallout_timeout);
+  EXPECT_EQ(a.totals.parameters_changed, b.totals.parameters_changed);
+  EXPECT_EQ(a.robust.recovered, b.robust.recovered);
+  EXPECT_EQ(a.robust.chunked, b.robust.chunked);
+  EXPECT_EQ(a.robust.queued_degraded, b.robust.queued_degraded);
+  EXPECT_EQ(a.robust.drained, b.robust.drained);
+  EXPECT_EQ(a.robust.still_queued, b.robust.still_queued);
+  EXPECT_EQ(a.robust.aborted_unlocked, b.robust.aborted_unlocked);
+  EXPECT_EQ(a.robust.fallout_terminal, b.robust.fallout_terminal);
+  EXPECT_EQ(a.robust.retries, b.robust.retries);
+  EXPECT_EQ(a.robust.breaker_trips, b.robust.breaker_trips);
+  EXPECT_EQ(a.engine_relearns, b.engine_relearns);
+  // Bit-identical, not approximately equal: the checkpoint stores doubles
+  // as hexfloats precisely so a resumed run reproduces these exactly.
+  EXPECT_EQ(a.initial_network_kpi, b.initial_network_kpi);
+  EXPECT_EQ(a.final_network_kpi, b.final_network_kpi);
+  ASSERT_EQ(a.weeks.size(), b.weeks.size());
+  for (std::size_t w = 0; w < a.weeks.size(); ++w) {
+    EXPECT_EQ(a.weeks[w].week, b.weeks[w].week) << w;
+    EXPECT_EQ(a.weeks[w].launches, b.weeks[w].launches) << w;
+    EXPECT_EQ(a.weeks[w].change_recommended, b.weeks[w].change_recommended) << w;
+    EXPECT_EQ(a.weeks[w].implemented, b.weeks[w].implemented) << w;
+    EXPECT_EQ(a.weeks[w].fallouts, b.weeks[w].fallouts) << w;
+    EXPECT_EQ(a.weeks[w].parameters_changed, b.weeks[w].parameters_changed) << w;
+    EXPECT_EQ(a.weeks[w].mean_launched_kpi, b.weeks[w].mean_launched_kpi) << w;
+  }
+}
+
+TEST(OperationReplay, KilledAndResumedRunMatchesUninterruptedBitForBit) {
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.ems.flaky_timeout_prob = 0.15;
+  options.ems.faults.burst_every = 30;
+  options.ems.faults.burst_length = 3;
+  options.ems.faults.burst_timeout_prob = 1.0;
+
+  // Baseline: the full window in one process, no persistence.
+  OperationReplay uninterrupted(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                                options);
+  const ReplayReport baseline = uninterrupted.run();
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "auric_replay_resume").string();
+  std::filesystem::remove_all(dir);
+  options.state_dir = dir;
+
+  // "Kill" the replay mid-week, mid-day (launch 33 of 70, not a boundary).
+  options.stop_after_launches = 33;
+  OperationReplay killed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport partial = killed.run();
+  EXPECT_EQ(partial.totals.launches, 33u);
+
+  // A fresh process resumes from the checkpoint and finishes the window.
+  options.stop_after_launches = 0;
+  options.resume = true;
+  OperationReplay resumed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport report = resumed.run();
+
+  expect_reports_identical(report, baseline);
+  // The evolved network snapshots agree slot for slot.
+  const config::ConfigAssignment& a = uninterrupted.network_state();
+  const config::ConfigAssignment& b = resumed.network_state();
+  for (std::size_t si = 0; si < a.singular.size(); ++si) {
+    EXPECT_EQ(a.singular[si].value, b.singular[si].value) << si;
+  }
+  for (std::size_t pi = 0; pi < a.pairwise.size(); ++pi) {
+    EXPECT_EQ(a.pairwise[pi].value, b.pairwise[pi].value) << pi;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OperationReplay, ResumeAtDayBoundaryReproducesRelearn) {
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+
+  OperationReplay uninterrupted(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                                options);
+  const ReplayReport baseline = uninterrupted.run();
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "auric_replay_resume_day").string();
+  std::filesystem::remove_all(dir);
+  options.state_dir = dir;
+  // Stop exactly at the end of day 7's predecessor: launch 35 = 7 full days,
+  // so the resume must re-run the day-7 engine re-learn deterministically.
+  options.stop_after_launches = 35;
+  OperationReplay killed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  killed.run();
+
+  options.stop_after_launches = 0;
+  options.resume = true;
+  OperationReplay resumed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport report = resumed.run();
+  expect_reports_identical(report, baseline);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OperationReplay, CheckpointingDoesNotPerturbTheRun) {
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  OperationReplay plain(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport a = plain.run();
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "auric_replay_persist").string();
+  std::filesystem::remove_all(dir);
+  options.state_dir = dir;
+  OperationReplay persisted(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                            options);
+  const ReplayReport b = persisted.run();
+  expect_reports_identical(a, b);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(OperationReplay, DeterministicInSeed) {

@@ -98,5 +98,68 @@ TEST(CircuitStateNames, Stable) {
   EXPECT_STREQ(circuit_state_name(CircuitBreaker::State::kHalfOpen), "half-open");
 }
 
+TEST(CircuitStateNames, RoundTripAndRejectUnknown) {
+  for (const auto state : {CircuitBreaker::State::kClosed, CircuitBreaker::State::kOpen,
+                           CircuitBreaker::State::kHalfOpen}) {
+    EXPECT_EQ(circuit_state_from_name(circuit_state_name(state)), state);
+  }
+  EXPECT_THROW(circuit_state_from_name("wedged"), std::invalid_argument);
+  EXPECT_THROW(circuit_state_from_name(""), std::invalid_argument);
+}
+
+TEST(CircuitBreaker, SnapshotRestoreContinuesSequence) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.cooldown_ops = 2;
+  CircuitBreaker original(options);
+  original.record_failure();     // trips open
+  EXPECT_FALSE(original.allow());  // cooldown 1 left
+
+  // Restore mid-cooldown into a fresh breaker: the open -> half-open ->
+  // probe sequence must continue exactly where the original stood.
+  CircuitBreaker resumed(options);
+  resumed.restore(original.snapshot());
+  EXPECT_EQ(resumed.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(resumed.trips(), 1);
+  EXPECT_EQ(resumed.refusals(), 1);
+  EXPECT_FALSE(resumed.allow());  // exhausts cooldown -> half-open
+  EXPECT_EQ(resumed.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(resumed.allow());   // the probe
+  resumed.record_success();
+  EXPECT_EQ(resumed.state(), CircuitBreaker::State::kClosed);
+
+  // The original, stepped identically, agrees.
+  EXPECT_FALSE(original.allow());
+  EXPECT_TRUE(original.allow());
+  original.record_success();
+  EXPECT_EQ(original.state(), resumed.state());
+  EXPECT_EQ(original.refusals(), resumed.refusals());
+}
+
+TEST(CircuitBreaker, RestoreRejectsCorruptSnapshots) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown_ops = 5;
+  CircuitBreaker breaker(options);
+
+  CircuitBreaker::Snapshot negative;
+  negative.consecutive_failures = -1;
+  EXPECT_THROW(breaker.restore(negative), std::invalid_argument);
+
+  CircuitBreaker::Snapshot too_many_failures;
+  too_many_failures.consecutive_failures = 4;  // >= threshold while closed
+  EXPECT_THROW(breaker.restore(too_many_failures), std::invalid_argument);
+
+  CircuitBreaker::Snapshot long_cooldown;
+  long_cooldown.state = CircuitBreaker::State::kOpen;
+  long_cooldown.trips = 1;
+  long_cooldown.cooldown_remaining = 6;  // > cooldown_ops
+  EXPECT_THROW(breaker.restore(long_cooldown), std::invalid_argument);
+
+  // A failed restore must not half-apply: the breaker still works.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+}
+
 }  // namespace
 }  // namespace auric::util

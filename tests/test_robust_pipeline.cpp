@@ -1,5 +1,9 @@
 #include "smartlaunch/robust_pipeline.h"
 
+#include <filesystem>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "config/rulebook.h"
@@ -338,6 +342,229 @@ TEST(RobustOutcomeNames, Stable) {
   EXPECT_STREQ(robust_outcome_name(RobustOutcome::kRecovered), "recovered");
   EXPECT_STREQ(robust_outcome_name(RobustOutcome::kQueuedDegraded), "queued-degraded");
   EXPECT_STREQ(robust_outcome_name(RobustOutcome::kFalloutTerminal), "fallout-terminal");
+  EXPECT_STREQ(robust_outcome_name(RobustOutcome::kRolledBack), "rolled-back");
+}
+
+/// A partially stale vendor profile: templates are always out of date but
+/// corrupt only a fraction of the slots, so the vendor (pre-push) quality
+/// stays well above the KPI floor and the gate has headroom to detect a
+/// degradation.
+VendorFaultOptions partially_stale() {
+  VendorFaultOptions faults;
+  faults.stale_template_prob = 1.0;
+  faults.stale_slot_frac = 0.3;
+  faults.typo_prob = 0.0;
+  return faults;
+}
+
+/// A push policy that accepts thinly-voted recommendations: plans grow to
+/// the multi-setting change sets (≈7–13 slots here) where a fault-aborted
+/// partial apply leaves enough unapplied corrections to drag the KPI below
+/// the gate's floors. The production default (min_votes 8) prunes plans to
+/// 1–3 settings on this small fixture, too few for a partial apply to ever
+/// out-penalize the deviations it fixes.
+PushPolicy relaxed_policy() {
+  PushPolicy policy;
+  policy.min_votes = 2;
+  return policy;
+}
+
+/// Deterministic correlated-outage EMS: pushes whose 0-based index i has
+/// i % every < length time out transiently; every other push is clean.
+/// Concurrency 1 gives per-setting waves, so a transient fault can abort
+/// mid-plan and leave a KPI-degrading partial apply even on the small
+/// change sets this fixture plans (at the default concurrency of 4 a
+/// sub-wave plan aborts before anything lands).
+EmsOptions burst_ems(int every, int length) {
+  EmsOptions options;
+  options.flaky_timeout_prob = 0.0;
+  options.concurrency = 1;
+  options.faults.burst_every = every;
+  options.faults.burst_length = length;
+  options.faults.burst_timeout_prob = 1.0;
+  return options;
+}
+
+TEST(RollbackGate, SilentOnHealthyEms) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, partially_stale(),
+                                    relaxed_policy());
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  EmsOptions reliable;
+  reliable.flaky_timeout_prob = 0.0;
+  EmsSimulator ems(f.topo.carrier_count(), reliable);
+  RobustPipelineOptions options;
+  options.premature_unlock_prob = 0.0;
+  RobustLaunchController robust(controller, ems, kpi, options);
+  const RobustLaunchReport report = robust.run(f.cohort(60));
+  EXPECT_GT(report.implemented, 0u);
+  // No faults -> every push lands completely -> no partial-apply degradation
+  // -> the gate never fires.
+  EXPECT_EQ(report.rollbacks, 0u);
+  EXPECT_EQ(report.rolled_back, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(report.rollback_failed, 0u);
+  EXPECT_TRUE(robust.quarantine().empty());
+}
+
+TEST(RollbackGate, RevertsKpiBreachingPartialApplies) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, partially_stale(),
+                                    relaxed_policy());
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  // Two-fault bursts against a 2-attempt budget: forward pushes regularly
+  // exhaust their retries mid-plan, leaving KPI-degrading partial applies;
+  // the clean third slot of each burst period lets rollbacks land.
+  EmsSimulator ems(f.topo.carrier_count(), burst_ems(3, 2));
+  RobustPipelineOptions options;
+  options.premature_unlock_prob = 0.0;
+  options.executor.retry.max_attempts = 2;
+  options.executor.breaker.failure_threshold = 1000;  // keep the breaker out of the way
+  RobustLaunchController robust(controller, ems, kpi, options);
+  const RobustLaunchReport report = robust.run(f.cohort(60));
+
+  EXPECT_GT(report.rollbacks, 0u);    // breaches were detected and reverted
+  EXPECT_GT(report.reattempted, 0u);  // and the launches were re-attempted
+  EXPECT_EQ(report.change_recommended,
+            report.implemented + report.terminal_fallouts());
+  bool saw_rolled_back = false;
+  for (const RobustLaunchRecord& record : report.records) {
+    if (record.outcome != RobustOutcome::kRolledBack || record.quarantine_skipped) continue;
+    saw_rolled_back = true;
+    // A completed rollback leaves the carrier exactly on its vendor config.
+    EXPECT_EQ(record.changes_applied, 0u);
+    EXPECT_DOUBLE_EQ(record.post_quality, record.pre_quality);
+    EXPECT_GT(record.rollbacks, 0);
+    EXPECT_TRUE(record.quarantined);  // kRolledBack persists only via the cap
+  }
+  EXPECT_TRUE(saw_rolled_back);
+}
+
+TEST(RollbackGate, RollbackPushRecoversFromTransientFault) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, partially_stale(),
+                                    relaxed_policy());
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  // Three-fault bursts: a rollback issued right after a terminal forward
+  // push (two faults) lands inside the burst window, faults transiently,
+  // and must retry through it — the rollback path exercises the same
+  // recovery machinery as the forward path.
+  EmsSimulator ems(f.topo.carrier_count(), burst_ems(5, 3));
+  RobustPipelineOptions options;
+  options.premature_unlock_prob = 0.0;
+  options.executor.retry.max_attempts = 2;
+  options.executor.breaker.failure_threshold = 1000;
+  RobustLaunchController robust(controller, ems, kpi, options);
+  const RobustLaunchReport report = robust.run(f.cohort(60));
+  EXPECT_GT(report.rollbacks, 0u);
+  EXPECT_GT(report.rollback_retries, 0u);  // a rollback push faulted and recovered
+  EXPECT_EQ(report.change_recommended,
+            report.implemented + report.terminal_fallouts());
+}
+
+TEST(RollbackGate, QuarantineSkipsRepeatOffender) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, partially_stale(),
+                                    relaxed_policy());
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  EmsSimulator ems(f.topo.carrier_count(), burst_ems(3, 2));
+  RobustPipelineOptions options;
+  options.premature_unlock_prob = 0.0;
+  options.executor.retry.max_attempts = 2;
+  options.executor.breaker.failure_threshold = 1000;
+  RobustLaunchController robust(controller, ems, kpi, options);
+  const RobustLaunchReport report = robust.run(f.cohort(60));
+
+  netsim::CarrierId offender = netsim::kInvalidCarrier;
+  for (const RobustLaunchRecord& record : report.records) {
+    if (record.quarantined) {
+      offender = record.carrier;
+      break;
+    }
+  }
+  ASSERT_NE(offender, netsim::kInvalidCarrier);
+  ASSERT_GE(robust.quarantine().at(offender), 2);
+
+  // A manual relaunch of a quarantined carrier is refused up front: vendor
+  // config only, no pushes, no EMS traffic.
+  const RobustLaunchRecord again = robust.launch(offender);
+  EXPECT_EQ(again.outcome, RobustOutcome::kRolledBack);
+  EXPECT_TRUE(again.quarantine_skipped);
+  EXPECT_EQ(again.attempts, 0);
+  EXPECT_EQ(again.changes_applied, 0u);
+}
+
+TEST(RollbackGate, TerminalFalloutClearsJournal) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, Fixture::always_stale());
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  EmsOptions sick;
+  sick.flaky_timeout_prob = 1.0;  // every push faults transiently
+  sick.concurrency = 1;           // per-setting waves: partials can land
+  EmsSimulator ems(f.topo.carrier_count(), sick);
+  RobustPipelineOptions options;
+  options.premature_unlock_prob = 0.0;
+  options.executor.retry.max_attempts = 2;
+  options.executor.breaker.failure_threshold = 1000;  // no deferrals, only terminals
+  options.rollback.enabled = false;  // isolate the journal-clearing contract
+  RobustLaunchController robust(controller, ems, kpi, options);
+  // Find a carrier whose launch terminates with a journaled partial apply;
+  // not every carrier plans changes, and some partials abort at zero.
+  bool found = false;
+  for (netsim::CarrierId c = 0; c < f.topo.carrier_count() && !found; ++c) {
+    const RobustLaunchRecord record = robust.launch(c);
+    if (record.changes_planned == 0) continue;
+    ASSERT_EQ(record.outcome, RobustOutcome::kFalloutTerminal) << c;
+    if (record.changes_applied == 0) continue;
+    found = true;
+    // The partial apply was journaled by the executor, but a terminal launch
+    // gives the entry up: a later manual relaunch must re-plan from scratch
+    // instead of resuming a stale partial apply.
+    EXPECT_EQ(robust.executor().journal_applied(c), 0u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RollbackGate, PersistedQuarantineSurvivesRestart) {
+  Fixture f;
+  const LaunchController controller(f.engine, f.rulebook, f.assignment, partially_stale(),
+                                    relaxed_policy());
+  const KpiModel kpi(f.topo, f.catalog, f.assignment);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "auric_robust_resume").string();
+  std::filesystem::remove_all(dir);
+
+  RobustPipelineOptions options;
+  options.premature_unlock_prob = 0.0;
+  options.executor.retry.max_attempts = 2;
+  options.executor.breaker.failure_threshold = 1000;
+  options.state_dir = dir;
+
+  netsim::CarrierId offender = netsim::kInvalidCarrier;
+  {
+    EmsSimulator ems(f.topo.carrier_count(), burst_ems(3, 2));
+    RobustLaunchController first(controller, ems, kpi, options);
+    const RobustLaunchReport report = first.run(f.cohort(60));
+    for (const RobustLaunchRecord& record : report.records) {
+      if (record.quarantined) {
+        offender = record.carrier;
+        break;
+      }
+    }
+    ASSERT_NE(offender, netsim::kInvalidCarrier);
+  }
+
+  // A fresh process (new EMS, new executor) resuming from the checkpoint
+  // must still refuse the quarantined carrier.
+  EmsSimulator ems(f.topo.carrier_count(), burst_ems(3, 2));
+  options.resume = true;
+  RobustLaunchController second(controller, ems, kpi, options);
+  const std::vector<netsim::CarrierId> relaunch = {offender};
+  const RobustLaunchReport report = second.run(relaunch);
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_TRUE(report.records[0].quarantine_skipped);
+  EXPECT_EQ(report.records[0].outcome, RobustOutcome::kRolledBack);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
