@@ -13,7 +13,6 @@
 #include "smartlaunch/replay.h"
 #include "util/strings.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 namespace auric::bench {
 namespace {
@@ -39,7 +38,7 @@ int body(util::Args& args) {
 
   smartlaunch::OperationReplay replay(ctx.topology, ctx.schema, ctx.catalog,
                                       *ctx.ground_truth, ctx.assignment, options);
-  util::Timer timer;
+  obs::ScopedTimer timer(phase_histogram("replay"));
   const smartlaunch::ReplayReport report = replay.run();
 
   util::Table table({"week", "launches", "flagged", "implemented", "fallouts",
@@ -63,7 +62,7 @@ int body(util::Args& args) {
                   : 0.0,
               totals.implemented, totals.fallout_unlocked + totals.fallout_timeout,
               totals.parameters_changed, report.engine_relearns,
-              options.days * 86400.0, timer.elapsed_seconds());
+              options.days * 86400.0, timer.stop());
   std::printf("[paper Table 5: 1251 launches, 143 (11.4%%) flagged, 114 implemented, 29"
               " fall-outs, 1102 parameters]\n");
   std::printf("\nnetwork mean KPI %.3f -> %.3f over the window (launched carriers go on air"

@@ -20,7 +20,6 @@
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 namespace auric::bench {
 namespace {
@@ -33,9 +32,9 @@ int body(util::Args& args) {
       args.get_bool("robust", true, "also compare the naive vs fault-tolerant pipeline");
   if (args.help_requested()) return 0;
 
-  util::Timer timer;
+  obs::ScopedTimer timer(phase_histogram("engine_learn"));
   const core::AuricEngine engine(ctx.topology, ctx.schema, ctx.catalog, ctx.assignment);
-  util::log_info(util::format("Auric engine learned in %.1fs", timer.elapsed_seconds()));
+  util::log_info(util::format("Auric engine learned in %.1fs", timer.stop()));
 
   const config::Rulebook rulebook(*ctx.ground_truth, ctx.catalog);
   const smartlaunch::LaunchController controller(engine, rulebook, ctx.assignment);

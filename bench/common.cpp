@@ -3,12 +3,18 @@
 #include <cstdio>
 #include <exception>
 
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
 #include "util/table.h"
-#include "util/timer.h"
 
 namespace auric::bench {
+
+obs::Histogram& phase_histogram(const std::string& phase) {
+  return obs::MetricsRegistry::global().histogram(
+      "auric_bench_phase_seconds", obs::default_seconds_bounds(),
+      "bench harness phase wall-clock (s)", {{"phase", phase}});
+}
 
 ExperimentContext make_context(util::Args& args) {
   ExperimentContext ctx;
@@ -20,7 +26,7 @@ ExperimentContext make_context(util::Args& args) {
       args.get_int("scale", 55, "base eNodeBs per market (dataset size knob)"));
   if (args.help_requested()) return ctx;  // flags declared; skip the heavy build
 
-  util::Timer timer;
+  obs::ScopedTimer timer(phase_histogram("context"));
   ctx.topology = netsim::generate_topology(ctx.topo_params);
   ctx.schema = netsim::AttributeSchema::standard(ctx.topology);
   ctx.catalog = config::ParamCatalog::standard();
@@ -33,7 +39,7 @@ ExperimentContext make_context(util::Args& args) {
       "context: %zu carriers, %zu eNodeBs, %d markets, %zu X2 edges, %zu configured values "
       "(%.1fs)",
       ctx.topology.carrier_count(), ctx.topology.enodebs.size(), ctx.topo_params.num_markets,
-      ctx.topology.edge_count(), ctx.assignment.total_configured(), timer.elapsed_seconds()));
+      ctx.topology.edge_count(), ctx.assignment.total_configured(), timer.stop()));
   return ctx;
 }
 
@@ -41,12 +47,24 @@ int run_bench(int argc, char** argv, const char* title, int (*body)(util::Args& 
   try {
     util::Args args(argc, argv);
     util::print_banner(title);
+    const std::string metrics_out = args.get_string(
+        "metrics-out", "", "write a metrics snapshot here after the run (.prom/.csv/.json)");
+    const std::string trace_out =
+        args.get_string("trace-out", "", "write the span trace here as JSONL after the run");
     const int rc = body(args);  // bodies return immediately under --help
     if (args.help_requested()) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
     args.check_unknown();
+    if (!metrics_out.empty()) {
+      obs::write_metrics_file(obs::MetricsRegistry::global(), metrics_out);
+      util::log_info("metrics snapshot written to " + metrics_out);
+    }
+    if (!trace_out.empty()) {
+      obs::write_trace_file(obs::TraceRecorder::global(), trace_out);
+      util::log_info("span trace written to " + trace_out);
+    }
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", title, e.what());

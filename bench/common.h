@@ -8,9 +8,14 @@
 //              400K+ carriers corresponds to roughly --scale 1700)
 // Each binary prints the paper's reported numbers next to the measured ones
 // so bench_output.txt reads as a self-contained EXPERIMENTS record.
+// Every binary also understands --metrics-out and --trace-out: after the
+// body returns, the process-wide metrics registry is snapshotted to the
+// given path (.prom / .csv / .json by extension) and the span trace is
+// dumped as JSONL.
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "config/assignment.h"
 #include "config/catalog.h"
@@ -18,6 +23,7 @@
 #include "netsim/attributes.h"
 #include "netsim/generator.h"
 #include "netsim/topology.h"
+#include "obs/metrics.h"
 #include "util/args.h"
 
 namespace auric::bench {
@@ -35,8 +41,14 @@ struct ExperimentContext {
 /// Declares the common flags on `args` and builds the context.
 ExperimentContext make_context(util::Args& args);
 
+/// The shared `auric_bench_phase_seconds{phase=...}` histogram for one named
+/// bench phase. Time phases with `obs::ScopedTimer timer(phase_histogram("x"))`
+/// so the printed number and the exported metric are the same measurement.
+obs::Histogram& phase_histogram(const std::string& phase);
+
 /// Standard wrapper: parses args, handles --help, runs `body`, reports
-/// errors on stderr with a non-zero exit.
+/// errors on stderr with a non-zero exit. Declares --metrics-out/--trace-out
+/// and dumps both after the body completes.
 int run_bench(int argc, char** argv, const char* title,
               int (*body)(util::Args& args));
 

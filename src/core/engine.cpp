@@ -1,10 +1,52 @@
 #include "core/engine.h"
 
+#include <array>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace auric::core {
+
+namespace {
+
+/// Learning-phase timings (§4–5: dependency learning, matching, voting
+/// model build) plus a learn counter. One histogram per phase so a relearn
+/// regression is attributable to the phase that slowed down.
+struct EngineMetrics {
+  obs::Histogram& phase_param_view;
+  obs::Histogram& phase_dependency;
+  obs::Histogram& phase_voting;
+  obs::Counter& learns;
+};
+
+EngineMetrics& engine_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  const auto phase = [&reg](const char* name) -> obs::Histogram& {
+    return reg.histogram("auric_engine_phase_seconds", obs::default_seconds_bounds(),
+                         "engine learning time by phase, per parameter (s)", {{"phase", name}});
+  };
+  static EngineMetrics m{phase("param_view"), phase("dependency"), phase("voting"),
+                         reg.counter("auric_engine_learns_total", "full engine (re)learns")};
+  return m;
+}
+
+obs::Counter& recommendation_counter(RecommendationSource source) {
+  static const auto counters = [] {
+    std::array<obs::Counter*, 3> a{};
+    auto& reg = obs::MetricsRegistry::global();
+    for (int i = 0; i < 3; ++i) {
+      a[static_cast<std::size_t>(i)] = &reg.counter(
+          "auric_engine_recommendations_total", "recommendations served, by decision source",
+          {{"source", recommendation_source_name(static_cast<RecommendationSource>(i))}});
+    }
+    return a;
+  }();
+  return *counters[static_cast<std::size_t>(source)];
+}
+
+}  // namespace
 
 const char* recommendation_source_name(RecommendationSource source) {
   switch (source) {
@@ -19,6 +61,8 @@ AuricEngine::AuricEngine(const netsim::Topology& topology, const netsim::Attribu
                          const config::ParamCatalog& catalog,
                          const config::ConfigAssignment& assignment, AuricOptions options)
     : topology_(&topology), schema_(&schema), catalog_(&catalog), options_(options) {
+  obs::ScopedSpan span("engine.learn");
+  EngineMetrics& metrics = engine_metrics();
   attr_codes_ = schema.encode_all(topology);
   views_.reserve(catalog.size());
   dependencies_.reserve(catalog.size());
@@ -28,11 +72,21 @@ AuricEngine::AuricEngine(const netsim::Topology& topology, const netsim::Attribu
   dep_options.max_dependent = options_.max_dependent;
   for (std::size_t p = 0; p < catalog.size(); ++p) {
     const auto param = static_cast<config::ParamId>(p);
-    views_.push_back(build_param_view(topology, catalog, assignment, param));
-    dependencies_.push_back(learn_dependencies(views_.back(), attr_codes_, schema, dep_options));
-    voting_.emplace_back(views_.back(), dependencies_.back().dependent, attr_codes_,
-                         options_.backoff_levels);
+    {
+      obs::ScopedTimer timer(metrics.phase_param_view);
+      views_.push_back(build_param_view(topology, catalog, assignment, param));
+    }
+    {
+      obs::ScopedTimer timer(metrics.phase_dependency);
+      dependencies_.push_back(learn_dependencies(views_.back(), attr_codes_, schema, dep_options));
+    }
+    {
+      obs::ScopedTimer timer(metrics.phase_voting);
+      voting_.emplace_back(views_.back(), dependencies_.back().dependent, attr_codes_,
+                           options_.backoff_levels);
+    }
   }
+  metrics.learns.inc();
 }
 
 const ParamView& AuricEngine::view(config::ParamId param) const {
@@ -78,6 +132,7 @@ Recommendation AuricEngine::recommend(config::ParamId param, netsim::CarrierId c
     rec.group_size = vote.group_size;
     rec.support = vote.support();
     rec.source = source;
+    recommendation_counter(source).inc();
   };
 
   if (options_.use_proximity) {
@@ -110,6 +165,7 @@ Recommendation AuricEngine::recommend(config::ParamId param, netsim::CarrierId c
   // with the rule-book default.
   rec.value = def.default_index;
   rec.source = RecommendationSource::kRulebookDefault;
+  recommendation_counter(rec.source).inc();
   return rec;
 }
 
@@ -157,6 +213,7 @@ Recommendation AuricEngine::recommend_for(const netsim::Carrier& new_carrier,
     rec.group_size = vote.group_size;
     rec.support = vote.support();
     rec.source = source;
+    recommendation_counter(source).inc();
   };
 
   if (options_.use_proximity) {
@@ -172,6 +229,7 @@ Recommendation AuricEngine::recommend_for(const netsim::Carrier& new_carrier,
   }
   rec.value = def.default_index;
   rec.source = RecommendationSource::kRulebookDefault;
+  recommendation_counter(rec.source).inc();
   return rec;
 }
 

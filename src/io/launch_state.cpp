@@ -1,16 +1,36 @@
 #include "io/launch_state.h"
 
+#include <cstdint>
 #include <filesystem>
 #include <limits>
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/csv.h"
 #include "util/csv_reader.h"
 
 namespace auric::io {
 
 namespace {
+
+/// Checkpoint instrumentation: how often the launch state is persisted, how
+/// big a checkpoint is, and how long the 8-file write takes end to end.
+struct CheckpointMetrics {
+  obs::Counter& writes;
+  obs::Counter& bytes;
+  obs::Histogram& latency_seconds;
+};
+
+CheckpointMetrics& checkpoint_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static CheckpointMetrics m{
+      reg.counter("auric_checkpoint_writes_total", "launch-state checkpoints committed"),
+      reg.counter("auric_checkpoint_bytes_total", "bytes written across all checkpoint files"),
+      reg.histogram("auric_checkpoint_write_seconds", obs::default_seconds_bounds(),
+                    "end-to-end latency of one launch-state checkpoint (s)")};
+  return m;
+}
 
 constexpr const char* kJournalFile = "journal.csv";
 constexpr const char* kDeferredFile = "deferred.csv";
@@ -27,16 +47,19 @@ std::string path_in(const std::string& dir, const char* file) {
 
 /// Writes `rows` under `headers` to `<dir>/<file>` via a temporary name, so
 /// a crash mid-write never clobbers the previous consistent checkpoint.
-void write_atomic(const std::string& dir, const char* file,
-                  const std::vector<std::string>& headers,
-                  const std::vector<std::vector<std::string>>& rows) {
+/// Returns the bytes written, for the checkpoint-size counter.
+std::uintmax_t write_atomic(const std::string& dir, const char* file,
+                            const std::vector<std::string>& headers,
+                            const std::vector<std::vector<std::string>>& rows) {
   const std::string final_path = path_in(dir, file);
   const std::string tmp_path = final_path + ".tmp";
   {
     util::CsvWriter csv(tmp_path, headers);
     for (const auto& row : rows) csv.add_row(row);
   }
+  const std::uintmax_t bytes = std::filesystem::file_size(tmp_path);
   std::filesystem::rename(tmp_path, final_path);
+  return bytes;
 }
 
 long long checked_int(const util::CsvTable& csv, std::size_t row, const char* column,
@@ -91,30 +114,34 @@ bool LaunchStateStore::exists() const {
 }
 
 void LaunchStateStore::save(const LaunchState& state) const {
+  CheckpointMetrics& metrics = checkpoint_metrics();
+  obs::ScopedTimer timer(metrics.latency_seconds);
+  std::uintmax_t bytes = 0;
   std::filesystem::create_directories(dir_);
 
   std::vector<std::vector<std::string>> rows;
   for (const auto& [carrier, applied] : state.journal) {
     rows.push_back({std::to_string(carrier), std::to_string(applied)});
   }
-  write_atomic(dir_, kJournalFile, {"carrier", "applied"}, rows);
+  bytes += write_atomic(dir_, kJournalFile, {"carrier", "applied"}, rows);
 
   rows.clear();
   for (netsim::CarrierId carrier : state.deferred) rows.push_back({std::to_string(carrier)});
-  write_atomic(dir_, kDeferredFile, {"carrier"}, rows);
+  bytes += write_atomic(dir_, kDeferredFile, {"carrier"}, rows);
 
   rows.clear();
   for (const auto& [carrier, rollbacks] : state.quarantine) {
     rows.push_back({std::to_string(carrier), std::to_string(rollbacks)});
   }
-  write_atomic(dir_, kQuarantineFile, {"carrier", "rollbacks"}, rows);
+  bytes += write_atomic(dir_, kQuarantineFile, {"carrier", "rollbacks"}, rows);
 
   const util::CircuitBreaker::Snapshot& b = state.breaker;
-  write_atomic(dir_, kBreakerFile,
-               {"state", "consecutive_failures", "cooldown_remaining", "trips", "refusals"},
-               {{util::circuit_state_name(b.state), std::to_string(b.consecutive_failures),
-                 std::to_string(b.cooldown_remaining), std::to_string(b.trips),
-                 std::to_string(b.refusals)}});
+  bytes += write_atomic(
+      dir_, kBreakerFile,
+      {"state", "consecutive_failures", "cooldown_remaining", "trips", "refusals"},
+      {{util::circuit_state_name(b.state), std::to_string(b.consecutive_failures),
+        std::to_string(b.cooldown_remaining), std::to_string(b.trips),
+        std::to_string(b.refusals)}});
 
   // ems.csv is a typed key/value file: scalar rows carry the counters and
   // stream positions, carrier rows list unlocked / repaired ids.
@@ -127,7 +154,7 @@ void LaunchStateStore::save(const LaunchState& state) const {
   rows.push_back({"burst_stream", std::to_string(e.burst_stream)});
   for (netsim::CarrierId c : e.unlocked) rows.push_back({"unlocked", std::to_string(c)});
   for (netsim::CarrierId c : e.repaired) rows.push_back({"repaired", std::to_string(c)});
-  write_atomic(dir_, kEmsFile, {"key", "value"}, rows);
+  bytes += write_atomic(dir_, kEmsFile, {"key", "value"}, rows);
 
   const auto slot_rows = [](const std::vector<LaunchState::SlotWrite>& writes) {
     std::vector<std::vector<std::string>> out;
@@ -138,10 +165,10 @@ void LaunchStateStore::save(const LaunchState& state) const {
     }
     return out;
   };
-  write_atomic(dir_, kAppliedFile, {"pairwise", "param_pos", "entity", "value"},
-               slot_rows(state.applied_slots));
-  write_atomic(dir_, kRelearnFile, {"pairwise", "param_pos", "entity", "value"},
-               slot_rows(state.relearn_applied_slots));
+  bytes += write_atomic(dir_, kAppliedFile, {"pairwise", "param_pos", "entity", "value"},
+                        slot_rows(state.applied_slots));
+  bytes += write_atomic(dir_, kRelearnFile, {"pairwise", "param_pos", "entity", "value"},
+                        slot_rows(state.relearn_applied_slots));
 
   // progress.csv is committed LAST: its rename is the checkpoint's commit
   // point. exists() keys off it, so a crash among the earlier renames can
@@ -149,7 +176,10 @@ void LaunchStateStore::save(const LaunchState& state) const {
   // and the next save() overwrites every file again.
   rows.clear();
   for (const auto& [key, value] : state.progress) rows.push_back({key, value});
-  write_atomic(dir_, kProgressFile, {"key", "value"}, rows);
+  bytes += write_atomic(dir_, kProgressFile, {"key", "value"}, rows);
+
+  metrics.writes.inc();
+  metrics.bytes.inc(bytes);
 }
 
 LaunchState LaunchStateStore::load() const {

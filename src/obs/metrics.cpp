@@ -1,0 +1,405 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace auric::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+Labels canonical_labels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (!valid_label_name(sorted[i].first)) {
+      throw std::invalid_argument("obs: invalid label name '" + sorted[i].first + "'");
+    }
+    if (i > 0 && sorted[i].first == sorted[i - 1].first) {
+      throw std::invalid_argument("obs: duplicate label name '" + sorted[i].first + "'");
+    }
+  }
+  return sorted;
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first + "=\"" + escape_label_value(labels[i].second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+/// Like render_labels but with an extra le pair appended (histogram buckets).
+std::string render_labels_le(const Labels& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) out += k + "=\"" + escape_label_value(v) + "\",";
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gauge::add(double delta) noexcept {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: bounds must be non-empty");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_bounds_ms() {
+  static const std::vector<double> bounds{0.5,   1.0,   2.5,    5.0,    10.0,   25.0,  50.0,
+                                          100.0, 250.0, 500.0,  1000.0, 2500.0, 5000.0, 10000.0};
+  return bounds;
+}
+
+const std::vector<double>& default_seconds_bounds() {
+  static const std::vector<double> bounds{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                                          0.25,  0.5,    1.0,   2.5,  5.0,   10.0, 30.0, 60.0};
+  return bounds;
+}
+
+const char* metric_kind_name(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(MetricSample::Kind kind,
+                                                        std::string_view name,
+                                                        std::string_view help,
+                                                        const Labels& labels,
+                                                        const std::vector<double>* bounds) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name '" + std::string(name) + "'");
+  }
+  const Labels sorted = canonical_labels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->name != name) continue;
+    if (entry->kind != kind) {
+      throw std::invalid_argument("obs: metric '" + std::string(name) + "' already registered as " +
+                                  metric_kind_name(entry->kind));
+    }
+    if (entry->labels != sorted) continue;
+    if (kind == MetricSample::Kind::kHistogram && entry->histogram->bounds() != *bounds) {
+      throw std::invalid_argument("obs: histogram '" + std::string(name) +
+                                  "' re-registered with different bounds");
+    }
+    return *entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->labels = sorted;
+  switch (kind) {
+    case MetricSample::Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case MetricSample::Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case MetricSample::Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(*bounds);
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  const Labels& labels) {
+  return *find_or_create(MetricSample::Kind::kCounter, name, help, labels, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              const Labels& labels) {
+  return *find_or_create(MetricSample::Kind::kGauge, name, help, labels, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, const std::vector<double>& bounds,
+                                      std::string_view help, const Labels& labels) {
+  return *find_or_create(MetricSample::Kind::kHistogram, name, help, labels, &bounds).histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      MetricSample sample;
+      sample.kind = entry->kind;
+      sample.name = entry->name;
+      sample.help = entry->help;
+      sample.labels = entry->labels;
+      switch (entry->kind) {
+        case MetricSample::Kind::kCounter:
+          sample.value = static_cast<double>(entry->counter->value());
+          break;
+        case MetricSample::Kind::kGauge:
+          sample.value = entry->gauge->value();
+          break;
+        case MetricSample::Kind::kHistogram:
+          sample.bounds = entry->histogram->bounds();
+          sample.buckets = entry->histogram->bucket_counts();
+          sample.count = entry->histogram->count();
+          sample.sum = entry->histogram->sum();
+          break;
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(samples.begin(), samples.end(), [](const MetricSample& a, const MetricSample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return samples;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  const std::vector<MetricSample> samples = snapshot();
+  std::string out;
+  std::string last_name;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_name) {
+      if (!s.help.empty()) out += "# HELP " + s.name + " " + s.help + "\n";
+      out += "# TYPE " + s.name + " " + metric_kind_name(s.kind) + "\n";
+      last_name = s.name;
+    }
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+        cumulative += s.buckets[i];
+        out += s.name + "_bucket" + render_labels_le(s.labels, format_double(s.bounds[i])) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      cumulative += s.buckets.back();
+      out += s.name + "_bucket" + render_labels_le(s.labels, "+Inf") + " " +
+             std::to_string(cumulative) + "\n";
+      out += s.name + "_sum" + render_labels(s.labels) + " " + format_double(s.sum) + "\n";
+      out += s.name + "_count" + render_labels(s.labels) + " " + std::to_string(s.count) + "\n";
+    } else {
+      out += s.name + render_labels(s.labels) + " " + format_double(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::csv_text() const {
+  const std::vector<MetricSample> samples = snapshot();
+  std::string out = "kind,name,labels,field,value\n";
+  const auto row = [&](const MetricSample& s, const std::string& field,
+                       const std::string& value) {
+    std::string labels = render_labels(s.labels);
+    // CSV-quote the label cell: it contains commas and double quotes.
+    std::string quoted = "\"";
+    for (char c : labels) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    out += std::string(metric_kind_name(s.kind)) + "," + s.name + "," + quoted + "," + field +
+           "," + value + "\n";
+  };
+  for (const MetricSample& s : samples) {
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+        row(s, "bucket_le_" + format_double(s.bounds[i]), std::to_string(s.buckets[i]));
+      }
+      row(s, "bucket_le_inf", std::to_string(s.buckets.back()));
+      row(s, "sum", format_double(s.sum));
+      row(s, "count", std::to_string(s.count));
+    } else {
+      row(s, "value", format_double(s.value));
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json_text() const {
+  const std::vector<MetricSample> samples = snapshot();
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    out += "  {\"kind\":\"";
+    out += metric_kind_name(s.kind);
+    out += "\",\"name\":\"";
+    out += json_escape(s.name);
+    out += "\",\"labels\":{";
+    for (std::size_t l = 0; l < s.labels.size(); ++l) {
+      if (l > 0) out += ',';
+      out += '"';
+      out += json_escape(s.labels[l].first);
+      out += "\":\"";
+      out += json_escape(s.labels[l].second);
+      out += '"';
+    }
+    out += "}";
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      out += ",\"bounds\":[";
+      for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+        if (b > 0) out += ',';
+        out += format_double(s.bounds[b]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+        if (b > 0) out += ',';
+        out += std::to_string(s.buckets[b]);
+      }
+      out += "],\"count\":" + std::to_string(s.count) + ",\"sum\":" + format_double(s.sum);
+    } else {
+      out += ",\"value\":" + format_double(s.value);
+    }
+    out += "}";
+    if (i + 1 < samples.size()) out += ',';
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case MetricSample::Kind::kCounter: entry->counter->reset(); break;
+      case MetricSample::Kind::kGauge: entry->gauge->reset(); break;
+      case MetricSample::Kind::kHistogram: entry->histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void write_metrics_file(const MetricsRegistry& registry, const std::string& path) {
+  std::string text;
+  const auto ends_with = [&](const char* suffix) {
+    const std::string_view sv(suffix);
+    return path.size() >= sv.size() && path.compare(path.size() - sv.size(), sv.size(), sv) == 0;
+  };
+  if (ends_with(".csv")) {
+    text = registry.csv_text();
+  } else if (ends_with(".json")) {
+    text = registry.json_text();
+  } else {
+    text = registry.prometheus_text();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("obs: cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  if (written != text.size() || rc != 0) {
+    throw std::runtime_error("obs: short write to '" + path + "'");
+  }
+}
+
+}  // namespace auric::obs

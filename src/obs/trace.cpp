@@ -1,0 +1,149 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+namespace auric::obs {
+
+namespace {
+
+/// Innermost open span id on this thread (0 = none). Shared across
+/// recorders: a thread has one trace context.
+thread_local std::uint64_t t_current_span = 0;
+
+/// Dense per-(recorder-agnostic) thread index; assigned on first span.
+thread_local std::uint32_t t_thread_index = 0;
+
+/// Escapes a span name for embedding in a JSON string literal.
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_ns_(steady_now_ns()) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+std::uint64_t TraceRecorder::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+void TraceRecorder::record(SpanRecord&& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span.thread == 0) {
+    if (t_thread_index == 0) t_thread_index = next_thread_++;
+    span.thread = t_thread_index;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[ring_head_] = std::move(span);
+  ring_head_ = (ring_head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<SpanRecord> TraceRecorder::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceRecorder::jsonl() const {
+  std::string out;
+  for (const SpanRecord& s : records()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%llu,\"parent\":%llu,\"name\":\"%s\",\"start_ns\":%llu,"
+                  "\"end_ns\":%llu,\"dur_ns\":%llu,\"thread\":%u}\n",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent), json_escape(s.name).c_str(),
+                  static_cast<unsigned long long>(s.start_ns),
+                  static_cast<unsigned long long>(s.end_ns),
+                  static_cast<unsigned long long>(s.end_ns - s.start_ns), s.thread);
+    out += buf;
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_head_ = 0;
+  dropped_ = 0;
+  next_id_.store(1, std::memory_order_relaxed);
+  epoch_ns_ = steady_now_ns();
+}
+
+void write_trace_file(const TraceRecorder& recorder, const std::string& path) {
+  const std::string text = recorder.jsonl();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("obs: cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  if (written != text.size() || rc != 0) {
+    throw std::runtime_error("obs: short write to '" + path + "'");
+  }
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, TraceRecorder& recorder) {
+  if (!recorder.enabled()) return;
+  recorder_ = &recorder;
+  id_ = recorder.next_id();
+  parent_ = t_current_span;
+  t_current_span = id_;
+  name_ = std::string(name);
+  start_ns_ = recorder.now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  SpanRecord span;
+  span.id = id_;
+  span.parent = parent_;
+  span.name = std::move(name_);
+  span.start_ns = start_ns_;
+  span.end_ns = recorder_->now_ns();
+  t_current_span = parent_;
+  recorder_->record(std::move(span));
+}
+
+}  // namespace auric::obs

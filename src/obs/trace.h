@@ -1,0 +1,115 @@
+// Structured span tracing: RAII spans with parent/child ids recorded into a
+// bounded ring buffer, dumpable as a JSONL trace journal.
+//
+// A span is one timed region (a launch, a push, an engine relearn, a replay
+// day). Spans opened while another span is open on the same thread become
+// its children, so a dumped trace reconstructs the call tree:
+//
+//   {"id":3,"parent":2,"name":"replay.launch","start_ns":...,"end_ns":...}
+//
+// Ids are assigned at span start from a per-recorder counter that clear()
+// resets, so a single-threaded run produces a deterministic id sequence —
+// tests assert on exact span trees. Timestamps are monotonic
+// (steady_clock), measured from the recorder's epoch.
+//
+// The ring buffer is bounded: once full, the oldest completed span is
+// overwritten and dropped() counts the loss — tracing must never grow
+// memory without bound in a long operational run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace auric::obs {
+
+/// One completed span. parent == 0 means a root span.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  /// Small dense per-thread index (first thread to record is 1), stable for
+  /// the recorder's lifetime; NOT the OS thread id.
+  std::uint32_t thread = 0;
+};
+
+class ScopedSpan;
+
+class TraceRecorder {
+ public:
+  /// The process-wide recorder ScopedSpan uses by default.
+  static TraceRecorder& global();
+
+  explicit TraceRecorder(std::size_t capacity = 65536);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Disabled recorders make ScopedSpan a no-op (a couple of branches).
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Completed spans, oldest first (completion order).
+  std::vector<SpanRecord> records() const;
+
+  /// Spans overwritten after the ring filled.
+  std::uint64_t dropped() const;
+
+  /// One JSON object per line, oldest first:
+  /// {"id":N,"parent":N,"name":"...","start_ns":N,"end_ns":N,"dur_ns":N,"thread":N}
+  std::string jsonl() const;
+
+  /// Drops all records and resets the id counter and epoch, so the next
+  /// span is id 1 at t≈0 — deterministic traces for tests.
+  void clear();
+
+ private:
+  friend class ScopedSpan;
+
+  std::uint64_t next_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t now_ns() const;
+  void record(SpanRecord&& span);
+
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;   ///< insertion ring; size() < capacity_ until full
+  std::size_t ring_head_ = 0;      ///< next overwrite position once full
+  std::uint64_t dropped_ = 0;
+  std::uint64_t epoch_ns_ = 0;     ///< steady-clock origin for start/end_ns
+  std::uint32_t next_thread_ = 1;  ///< dense thread index allocator
+};
+
+/// Writes recorder.jsonl() to `path`; throws std::runtime_error on failure.
+void write_trace_file(const TraceRecorder& recorder, const std::string& path);
+
+/// RAII span: records [construction, destruction) into the recorder. The
+/// innermost live ScopedSpan on this thread becomes the parent of any span
+/// opened inside it (across recorders too — one trace context per thread).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      TraceRecorder& recorder = TraceRecorder::global());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// 0 when the recorder was disabled at construction.
+  std::uint64_t id() const { return id_; }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;  ///< null when disabled
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::string name_;
+};
+
+}  // namespace auric::obs

@@ -3,9 +3,48 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace auric::smartlaunch {
+
+namespace {
+
+/// Injected-fault counters by taxonomy plus push/lock totals, shared by all
+/// simulator instances (the registry is process-wide). Resolved once; the
+/// push hot path only does relaxed increments.
+struct EmsMetrics {
+  obs::Counter& pushes;
+  obs::Counter& settings_applied;
+  obs::Counter& lock_cycles;
+  obs::Counter& fault_persistent;
+  obs::Counter& fault_structural;
+  obs::Counter& fault_transient;
+  obs::Counter& fault_burst;
+  obs::Counter& fault_lock_flap;
+  obs::Counter& rejected_unlocked;
+};
+
+EmsMetrics& ems_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  const auto fault = [&reg](const char* kind) -> obs::Counter& {
+    return reg.counter("auric_ems_faults_total", "EMS faults injected, by taxonomy class",
+                       {{"kind", kind}});
+  };
+  static EmsMetrics m{
+      reg.counter("auric_ems_pushes_total", "pushes that reached execution"),
+      reg.counter("auric_ems_settings_applied_total", "settings written by the EMS"),
+      reg.counter("auric_ems_lock_cycles_total", "disruptive re-locks of on-air carriers"),
+      fault("persistent"),
+      fault("structural_timeout"),
+      fault("transient_timeout"),
+      fault("burst_timeout"),
+      fault("lock_flap"),
+      reg.counter("auric_ems_rejected_unlocked_total", "pushes refused: carrier unlocked")};
+  return m;
+}
+
+}  // namespace
 
 const char* push_status_name(PushStatus status) {
   switch (status) {
@@ -30,7 +69,10 @@ CarrierState EmsSimulator::state(netsim::CarrierId carrier) const {
 
 void EmsSimulator::lock(netsim::CarrierId carrier) {
   auto& state = states_.at(static_cast<std::size_t>(carrier));
-  if (state == CarrierState::kUnlocked) ++lock_cycles_;
+  if (state == CarrierState::kUnlocked) {
+    ++lock_cycles_;
+    ems_metrics().lock_cycles.inc();
+  }
   state = CarrierState::kLocked;
 }
 
@@ -99,12 +141,15 @@ std::size_t EmsSimulator::max_settings_per_push() const {
 
 PushResult EmsSimulator::push(netsim::CarrierId carrier,
                               const std::vector<config::MoSetting>& settings) {
+  EmsMetrics& metrics = ems_metrics();
   PushResult result;
   if (state(carrier) != CarrierState::kLocked) {
     result.status = PushStatus::kRejectedUnlocked;
+    metrics.rejected_unlocked.inc();
     return result;
   }
   if (settings.empty()) return result;
+  metrics.pushes.inc();
 
   // Commands execute in waves of `concurrency`.
   const auto concurrency = static_cast<std::size_t>(options_.concurrency);
@@ -134,6 +179,7 @@ PushResult EmsSimulator::push(netsim::CarrierId carrier,
     result.applied = 0;
     result.elapsed_ms = options_.deadline_ms;
     result.transient = false;
+    metrics.fault_persistent.inc();
     return result;
   }
 
@@ -146,6 +192,8 @@ PushResult EmsSimulator::push(netsim::CarrierId carrier,
     result.applied = std::min(settings.size(), waves_done * concurrency);
     result.elapsed_ms = options_.deadline_ms;
     result.transient = false;
+    metrics.fault_structural.inc();
+    metrics.settings_applied.inc(result.applied);
     return result;
   }
 
@@ -154,6 +202,8 @@ PushResult EmsSimulator::push(netsim::CarrierId carrier,
     result.applied = transient_applied(fault_draw, options_.flaky_timeout_prob);
     result.elapsed_ms = options_.deadline_ms;
     result.transient = true;
+    metrics.fault_transient.inc();
+    metrics.settings_applied.inc(result.applied);
     return result;
   }
 
@@ -168,6 +218,8 @@ PushResult EmsSimulator::push(netsim::CarrierId carrier,
       result.applied = transient_applied(burst_draw, faults.burst_timeout_prob);
       result.elapsed_ms = options_.deadline_ms;
       result.transient = true;
+      metrics.fault_burst.inc();
+      metrics.settings_applied.inc(result.applied);
       return result;
     }
   }
@@ -183,6 +235,8 @@ PushResult EmsSimulator::push(netsim::CarrierId carrier,
       result.applied = std::min(settings.size(), waves_done * concurrency);
       result.elapsed_ms = static_cast<double>(waves_done) * options_.command_ms;
       result.transient = false;
+      metrics.fault_lock_flap.inc();
+      metrics.settings_applied.inc(result.applied);
       unlock(carrier);
       return result;
     }
@@ -190,6 +244,7 @@ PushResult EmsSimulator::push(netsim::CarrierId carrier,
 
   result.applied = settings.size();
   result.elapsed_ms = needed_ms;
+  metrics.settings_applied.inc(result.applied);
   return result;
 }
 

@@ -2,16 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "core/engine.h"
 #include "io/launch_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smartlaunch/kpi.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
 namespace auric::smartlaunch {
+
+namespace {
+
+/// Replay-level instruments: how often a run resumed from a checkpoint, how
+/// many launches replayed, and how long each weekly re-learn took.
+struct ReplayMetrics {
+  obs::Counter& resumes;
+  obs::Counter& launches;
+  obs::Histogram& relearn_seconds;
+};
+
+ReplayMetrics& replay_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static ReplayMetrics m{
+      reg.counter("auric_replay_resumes_total", "replay runs resumed from a checkpoint"),
+      reg.counter("auric_replay_launches_total", "carrier launches replayed"),
+      reg.histogram("auric_engine_relearn_seconds", obs::default_seconds_bounds(),
+                    "wall-clock duration of one engine re-learn (s)")};
+  return m;
+}
+
+}  // namespace
 
 OperationReplay::OperationReplay(const netsim::Topology& topology,
                                  const netsim::AttributeSchema& schema,
@@ -79,6 +104,8 @@ double OperationReplay::mean_network_kpi() const {
 }
 
 ReplayReport OperationReplay::run() {
+  obs::ScopedSpan run_span("replay.run");
+  ReplayMetrics& metrics = replay_metrics();
   ReplayReport report;
 
   const bool persist = !options_.state_dir.empty();
@@ -111,6 +138,8 @@ ReplayReport OperationReplay::run() {
                                                     options_.push_policy, options_.seed);
   };
   const auto relearn = [&] {
+    obs::ScopedSpan relearn_span("replay.relearn");
+    obs::ScopedTimer relearn_timer(metrics.relearn_seconds);
     rebuild_engine();
     relearn_delta_ = delta_;
     ++report.engine_relearns;
@@ -151,6 +180,7 @@ ReplayReport OperationReplay::run() {
   int start_day = 0;
   int start_launch = 0;
   if (persist && options_.resume && store.exists()) {
+    metrics.resumes.inc();
     const io::LaunchState state = store.load();
     const auto progress_value = [&](const std::string& key) -> const std::string& {
       const std::string* value = state.find_progress(key);
@@ -298,12 +328,15 @@ ReplayReport OperationReplay::run() {
 
   bool stopped = false;
   for (int day = start_day; day < options_.days && !stopped; ++day) {
+    obs::ScopedSpan day_span("replay.day");
     const int first_launch = day == start_day ? start_launch : 0;
     // A checkpoint taken mid-day (first_launch > 0) implies this day's
     // re-learn already happened before the checkpoint.
     if (first_launch == 0 && day > 0 && day % options_.relearn_every_days == 0) relearn();
 
     for (int l = first_launch; l < options_.launches_per_day && cursor < queue.size(); ++l) {
+      obs::ScopedSpan launch_span("replay.launch");
+      metrics.launches.inc();
       const netsim::CarrierId carrier = queue[cursor++];
 
       // Vendor integration: the carrier goes on air with the vendor config
@@ -428,6 +461,11 @@ ReplayReport OperationReplay::run() {
     // drain the deferred queue — re-lock each queued carrier (the simulator
     // counts the disruptive cycle), re-plan against the current engine, and
     // push with the same chunk/retry/journal machinery.
+    std::optional<obs::ScopedSpan> drain_span;
+    if (options_.robust && !deferred.empty() &&
+        executor.breaker().state() == util::CircuitBreaker::State::kClosed) {
+      drain_span.emplace("replay.drain");
+    }
     while (options_.robust && !deferred.empty() &&
            executor.breaker().state() == util::CircuitBreaker::State::kClosed) {
       const netsim::CarrierId carrier = deferred.front();
@@ -476,6 +514,7 @@ ReplayReport OperationReplay::run() {
       }
       if (persist) checkpoint(day, options_.launches_per_day);
     }
+    drain_span.reset();
 
     if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
     if (persist) checkpoint(day + 1, 0);

@@ -1,10 +1,94 @@
 #include "smartlaunch/robust_pipeline.h"
 
 #include <algorithm>
+#include <array>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace auric::smartlaunch {
+
+namespace {
+
+constexpr int kOutcomeCount = 7;  // RobustOutcome enumerators
+
+/// Executor-layer instruments: per-attempt simulated push latency, retry and
+/// backoff accounting. Resolved once per process; execute() only touches
+/// relaxed atomics.
+struct ExecutorMetrics {
+  obs::Histogram& push_latency_ms;
+  obs::Histogram& backoff_ms;
+  obs::Counter& attempts;
+  obs::Counter& retries;
+};
+
+ExecutorMetrics& executor_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static ExecutorMetrics m{
+      reg.histogram("auric_push_latency_ms", obs::default_latency_bounds_ms(),
+                    "simulated EMS push latency per attempt (ms)"),
+      reg.histogram("auric_push_backoff_ms", obs::default_latency_bounds_ms(),
+                    "backoff injected before each executor retry (ms)"),
+      reg.counter("auric_push_attempts_total", "EMS push attempts issued by the executor"),
+      reg.counter("auric_push_retries_total", "executor retries after transient faults")};
+  return m;
+}
+
+obs::Counter& push_outcome_counter(RobustOutcome outcome) {
+  static const auto counters = [] {
+    std::array<obs::Counter*, kOutcomeCount> a{};
+    auto& reg = obs::MetricsRegistry::global();
+    for (int i = 0; i < kOutcomeCount; ++i) {
+      a[static_cast<std::size_t>(i)] =
+          &reg.counter("auric_push_outcomes_total", "executor push results by outcome",
+                       {{"outcome", robust_outcome_name(static_cast<RobustOutcome>(i))}});
+    }
+    return a;
+  }();
+  return *counters[static_cast<std::size_t>(outcome)];
+}
+
+obs::Counter& launch_outcome_counter(RobustOutcome outcome) {
+  static const auto counters = [] {
+    std::array<obs::Counter*, kOutcomeCount> a{};
+    auto& reg = obs::MetricsRegistry::global();
+    for (int i = 0; i < kOutcomeCount; ++i) {
+      a[static_cast<std::size_t>(i)] =
+          &reg.counter("auric_launch_outcomes_total", "robust launch results by outcome",
+                       {{"outcome", robust_outcome_name(static_cast<RobustOutcome>(i))}});
+    }
+    return a;
+  }();
+  return *counters[static_cast<std::size_t>(outcome)];
+}
+
+/// Controller-layer instruments: KPI-gate decisions, rollback and quarantine
+/// accounting, deferred-queue flow.
+struct ControllerMetrics {
+  obs::Counter& gate_pass;
+  obs::Counter& gate_breach;
+  obs::Counter& rollbacks;
+  obs::Counter& rollback_failed;
+  obs::Counter& quarantines;
+  obs::Counter& deferred;
+  obs::Counter& drained;
+};
+
+ControllerMetrics& controller_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static ControllerMetrics m{
+      reg.counter("auric_kpi_gate_total", "KPI gate evaluations", {{"decision", "pass"}}),
+      reg.counter("auric_kpi_gate_total", "KPI gate evaluations", {{"decision", "breach"}}),
+      reg.counter("auric_rollbacks_total", "completed KPI-gate rollbacks"),
+      reg.counter("auric_rollback_failed_total", "rollback pushes that themselves faulted"),
+      reg.counter("auric_quarantines_total", "carriers quarantined after repeated breaches"),
+      reg.counter("auric_deferred_total", "launches deferred while the breaker was open"),
+      reg.counter("auric_drained_total", "deferred launches drained after breaker close")};
+  return m;
+}
+
+}  // namespace
 
 const char* robust_outcome_name(RobustOutcome outcome) {
   switch (outcome) {
@@ -79,6 +163,8 @@ bool RobustPushExecutor::should_defer() { return !breaker_.allow(); }
 
 RobustPushExecutor::Result RobustPushExecutor::execute(
     netsim::CarrierId carrier, const std::vector<config::MoSetting>& settings) {
+  obs::ScopedSpan span("push");
+  ExecutorMetrics& metrics = executor_metrics();
   Result result;
   const std::size_t max_chunk = chunk_size();
   std::size_t landed = journal_applied(carrier);
@@ -97,6 +183,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
       result.outcome = RobustOutcome::kAbortedUnlocked;
       result.applied = landed;
       journal_[carrier] = landed;  // durable partial progress
+      push_outcome_counter(result.outcome).inc();
       return result;
     }
 
@@ -106,6 +193,8 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
                                                    static_cast<std::ptrdiff_t>(landed + take));
     const PushResult push = ems_->push(carrier, chunk);
     ++result.attempts;
+    metrics.attempts.inc();
+    metrics.push_latency_ms.observe(push.elapsed_ms);
 
     switch (push.status) {
       case PushStatus::kApplied:
@@ -118,6 +207,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
         result.outcome = RobustOutcome::kAbortedUnlocked;
         result.applied = landed;
         journal_[carrier] = landed;
+        push_outcome_counter(result.outcome).inc();
         return result;
 
       case PushStatus::kAbortedLockFlap:
@@ -130,6 +220,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
           result.applied = landed;
           journal_[carrier] = landed;
           breaker_.record_failure();
+          push_outcome_counter(result.outcome).inc();
           return result;
         }
         ++consecutive_failures;
@@ -138,12 +229,16 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
           result.applied = landed;
           journal_[carrier] = landed;
           breaker_.record_failure();
+          push_outcome_counter(result.outcome).inc();
           return result;
         }
         ++result.retries;
-        result.backoff_ms +=
+        metrics.retries.inc();
+        const double backoff =
             util::backoff_ms(options_.retry, consecutive_failures,
                              options_.seed ^ static_cast<std::uint64_t>(carrier));
+        result.backoff_ms += backoff;
+        metrics.backoff_ms.observe(backoff);
         if (push.status == PushStatus::kAbortedLockFlap) {
           // EMS-side flap, not an engineer: re-locking is safe (the carrier
           // was never meant to be on air yet) and counted by the simulator.
@@ -159,6 +254,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
   result.applied = landed;
   journal_.erase(carrier);
   breaker_.record_success();
+  push_outcome_counter(result.outcome).inc();
   return result;
 }
 
@@ -172,6 +268,7 @@ RobustLaunchController::RobustLaunchController(const LaunchController& controlle
       executor_(ems, options.executor) {}
 
 RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
+  obs::ScopedSpan span("launch");
   RobustLaunchRecord record;
   record.carrier = carrier;
 
@@ -183,6 +280,7 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
   if (changes.empty()) {
     ems_->unlock(carrier);
     record.pre_quality = record.post_quality = kpi_->quality(carrier);
+    launch_outcome_counter(record.outcome).inc();
     return record;
   }
 
@@ -199,6 +297,7 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
       record.outcome = RobustOutcome::kRolledBack;
       record.quarantine_skipped = true;
       record.post_quality = record.pre_quality;
+      launch_outcome_counter(record.outcome).inc();
       return record;
     }
   }
@@ -210,6 +309,8 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
     deferred_.push_back(carrier);
     record.outcome = RobustOutcome::kQueuedDegraded;
     record.post_quality = kpi_->quality(carrier);
+    controller_metrics().deferred.inc();
+    launch_outcome_counter(record.outcome).inc();
     return record;
   }
 
@@ -231,6 +332,7 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
       record.outcome == RobustOutcome::kAbortedUnlocked) {
     executor_.clear_journal(carrier);
   }
+  launch_outcome_counter(record.outcome).inc();
   return record;
 }
 
@@ -276,6 +378,7 @@ void RobustLaunchController::push_gated(
         record.post_quality < record.pre_quality &&
         (record.post_quality < gate.min_quality ||
          record.post_quality < record.pre_quality * (1.0 - gate.max_relative_drop));
+    if (gated) (breach ? controller_metrics().gate_breach : controller_metrics().gate_pass).inc();
     if (!breach) return;
 
     // Roll back: reverse-replay the applied prefix with the vendor values
@@ -289,7 +392,11 @@ void RobustLaunchController::push_gated(
       reverse.push_back({changes[i].slot.mo_path, changes[i].slot.param,
                          changes[i].vendor_value});
     }
-    const RobustPushExecutor::Result undo = executor_.execute(carrier, reverse);
+    RobustPushExecutor::Result undo;
+    {
+      obs::ScopedSpan rollback_span("rollback");
+      undo = executor_.execute(carrier, reverse);
+    }
     record.attempts += undo.attempts;
     record.rollback_retries += undo.retries;
     record.backoff_ms += undo.backoff_ms;
@@ -300,6 +407,7 @@ void RobustLaunchController::push_gated(
       // applied prefix (it replays in reverse order), so `applied - undone`
       // settings remain on air as a contiguous prefix of the plan.
       record.rollback_failed = true;
+      controller_metrics().rollback_failed.inc();
       record.outcome = undo.outcome == RobustOutcome::kAbortedUnlocked
                            ? RobustOutcome::kAbortedUnlocked
                            : RobustOutcome::kFalloutTerminal;
@@ -312,6 +420,7 @@ void RobustLaunchController::push_gated(
     }
 
     ++record.rollbacks;
+    controller_metrics().rollbacks.inc();
     record.outcome = RobustOutcome::kRolledBack;
     record.changes_applied = 0;
     record.post_quality = record.pre_quality;
@@ -319,6 +428,7 @@ void RobustLaunchController::push_gated(
     const int count = ++quarantine_[carrier];
     if (count >= gate.max_rollbacks) {
       record.quarantined = true;
+      controller_metrics().quarantines.inc();
       ems_->unlock(carrier);
       return;
     }
@@ -398,6 +508,7 @@ void RobustLaunchController::drain(
       // superseded): the queue entry is resolved with nothing to push.
       ems_->unlock(carrier);
       ++report.drained;
+      controller_metrics().drained.inc();
       ++report.implemented;
       if (record != nullptr) record->drained_late = true;
       continue;
@@ -416,9 +527,11 @@ void RobustLaunchController::drain(
     report.reattempted += static_cast<std::size_t>(late.reattempts);
     if (late.rollback_failed) ++report.rollback_failed;
     if (late.quarantined) ++report.quarantined;
+    launch_outcome_counter(late.outcome).inc();
     if (late.outcome == RobustOutcome::kImplemented ||
         late.outcome == RobustOutcome::kRecovered) {
       ++report.drained;
+      controller_metrics().drained.inc();
       ++report.implemented;
       report.parameters_changed += late.changes_applied;
       if (record != nullptr) {

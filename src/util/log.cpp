@@ -3,11 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
 
 namespace auric::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,20 +20,72 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("AURIC_LOG_LEVEL")) {
+    if (const std::optional<LogLevel> parsed = parse_log_level(env)) return *parsed;
+    // A bad value must not silently change verbosity; note it and fall back.
+    std::fprintf(stderr, "AURIC_LOG_LEVEL='%s' not recognized; using info\n", env);
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_state() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+/// Emitted-message counters by level; registered once, bumped lock-free.
+obs::Counter& message_counter(LogLevel level) {
+  static obs::Counter* counters[4] = {
+      &obs::MetricsRegistry::global().counter("auric_log_messages_total",
+                                              "log calls by level", {{"level", "debug"}}),
+      &obs::MetricsRegistry::global().counter("auric_log_messages_total",
+                                              "log calls by level", {{"level", "info"}}),
+      &obs::MetricsRegistry::global().counter("auric_log_messages_total",
+                                              "log calls by level", {{"level", "warn"}}),
+      &obs::MetricsRegistry::global().counter("auric_log_messages_total",
+                                              "log calls by level", {{"level", "error"}})};
+  return *counters[static_cast<int>(level)];
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") return LogLevel::kWarn;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { level_state().store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return level_state().load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& message) {
+  // WARN/ERROR rates are operational signals; count them even when the
+  // verbosity filter swallows the text.
+  if (level == LogLevel::kWarn || level == LogLevel::kError) message_counter(level).inc();
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   using Clock = std::chrono::system_clock;
   const auto now = Clock::now().time_since_epoch();
   const auto secs = std::chrono::duration_cast<std::chrono::seconds>(now).count();
   const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(now).count() % 1000;
-  std::fprintf(stderr, "[%lld.%03lld] %-5s %s\n", static_cast<long long>(secs),
-               static_cast<long long>(millis), level_name(level), message.c_str());
+  // One formatted buffer, one stderr write: concurrent log lines never
+  // interleave mid-line (stdio locks each fwrite/fprintf call).
+  char head[64];
+  std::snprintf(head, sizeof(head), "[%lld.%03lld] %-5s ", static_cast<long long>(secs),
+                static_cast<long long>(millis), level_name(level));
+  std::string line;
+  line.reserve(sizeof(head) + message.size() + 1);
+  line += head;
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }

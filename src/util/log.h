@@ -2,15 +2,31 @@
 //
 // Kept intentionally tiny: benches and tests want a way to note progress on
 // long runs without polluting the stdout report stream.
+//
+// Thread-safe: each message is formatted into one buffer and emitted with a
+// single stderr write, so concurrent loggers never interleave mid-line. The
+// minimum level defaults to kInfo and can be overridden by the
+// AURIC_LOG_LEVEL environment variable ("debug"/"info"/"warn"/"error" or
+// 0-3), read once at first use; set_log_level() still wins afterwards.
+// Every WARN/ERROR call increments the obs counter
+// auric_log_messages_total{level=...} (even when filtered out), so error
+// rates are queryable from the metrics snapshot.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace auric::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the minimum level that is emitted (default kInfo).
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive) or "0".."3";
+/// nullopt on anything else. Exposed for tests of the env-var path.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Sets the minimum level that is emitted (default kInfo, or
+/// AURIC_LOG_LEVEL when set and valid).
 void set_log_level(LogLevel level);
 
 LogLevel log_level();

@@ -5,9 +5,41 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace auric::util {
+
+namespace {
+
+/// Process-wide breaker metrics, shared by every CircuitBreaker instance:
+/// transition counts by destination state, refusals, and a state gauge
+/// reflecting the most recent transition of any breaker (single-breaker
+/// deployments read it directly; multi-breaker setups use the counters).
+struct BreakerMetrics {
+  obs::Counter& to_open;
+  obs::Counter& to_half_open;
+  obs::Counter& to_closed;
+  obs::Counter& refusals;
+  obs::Gauge& state;
+};
+
+BreakerMetrics& breaker_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static BreakerMetrics m{
+      reg.counter("auric_breaker_transitions_total", "circuit-breaker state transitions",
+                  {{"to", "open"}}),
+      reg.counter("auric_breaker_transitions_total", "circuit-breaker state transitions",
+                  {{"to", "half_open"}}),
+      reg.counter("auric_breaker_transitions_total", "circuit-breaker state transitions",
+                  {{"to", "closed"}}),
+      reg.counter("auric_breaker_refusals_total", "operations refused while a breaker was open"),
+      reg.gauge("auric_breaker_state", "last-transitioned breaker state "
+                                       "(0 closed, 1 open, 2 half-open)")};
+  return m;
+}
+
+}  // namespace
 
 double backoff_ms(const RetryPolicy& policy, int retry, std::uint64_t seed) {
   if (retry < 1) return 0.0;
@@ -40,6 +72,9 @@ void CircuitBreaker::trip() {
   cooldown_remaining_ = options_.cooldown_ops;
   consecutive_failures_ = 0;
   ++trips_;
+  BreakerMetrics& m = breaker_metrics();
+  m.to_open.inc();
+  m.state.set(static_cast<double>(State::kOpen));
 }
 
 bool CircuitBreaker::allow() {
@@ -49,9 +84,13 @@ bool CircuitBreaker::allow() {
       return true;
     case State::kOpen:
       ++refusals_;
+      breaker_metrics().refusals.inc();
       if (--cooldown_remaining_ <= 0) {
         // Cooled down: the *next* operation is the half-open probe.
         state_ = State::kHalfOpen;
+        BreakerMetrics& m = breaker_metrics();
+        m.to_half_open.inc();
+        m.state.set(static_cast<double>(State::kHalfOpen));
       }
       return false;
   }
@@ -59,6 +98,11 @@ bool CircuitBreaker::allow() {
 }
 
 void CircuitBreaker::record_success() {
+  if (state_ != State::kClosed) {
+    BreakerMetrics& m = breaker_metrics();
+    m.to_closed.inc();
+    m.state.set(static_cast<double>(State::kClosed));
+  }
   state_ = State::kClosed;
   consecutive_failures_ = 0;
 }

@@ -1,0 +1,457 @@
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/log.h"
+#include "util/retry.h"
+
+namespace auric::obs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test_counter", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test_gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.add(-5.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketBoundariesArePrometheusLe) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test_hist", {1.0, 10.0, 100.0});
+  // `le` semantics: a value exactly on a boundary lands in that bucket.
+  h.observe(1.0);
+  h.observe(0.5);
+  h.observe(10.0);
+  h.observe(10.5);
+  h.observe(1000.0);  // overflow bucket
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(buckets[1], 1u);  // 10.0
+  EXPECT_EQ(buckets[2], 1u);  // 10.5
+  EXPECT_EQ(buckets[3], 1u);  // 1000.0
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 0.5 + 10.0 + 10.5 + 1000.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("ops_total", "ops");
+  Counter& b = reg.counter("ops_total", "ops");
+  EXPECT_EQ(&a, &b);
+  // Distinct label sets are distinct instruments; label order is canonical.
+  Counter& x = reg.counter("by_kind", "", {{"kind", "a"}, {"zone", "1"}});
+  Counter& y = reg.counter("by_kind", "", {{"zone", "1"}, {"kind", "a"}});
+  Counter& z = reg.counter("by_kind", "", {{"kind", "b"}, {"zone", "1"}});
+  EXPECT_EQ(&x, &y);
+  EXPECT_NE(&x, &z);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, KindAndBoundsConflictsThrow) {
+  MetricsRegistry reg;
+  reg.counter("name_a");
+  EXPECT_THROW(reg.gauge("name_a"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("name_a", {1.0}), std::invalid_argument);
+  reg.histogram("name_h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("name_h", {1.0, 3.0}), std::invalid_argument);
+  EXPECT_NO_THROW(reg.histogram("name_h", {1.0, 2.0}));
+}
+
+TEST(MetricsRegistry, ValidatesNamesAndLabels) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("9starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has space"), std::invalid_argument);
+  EXPECT_NO_THROW(reg.counter("ok_name:subsystem_total"));
+  EXPECT_THROW(reg.counter("lbl", "", {{"bad key", "v"}}), std::invalid_argument);
+  EXPECT_THROW(reg.counter("lbl", "", {{"k", "v"}, {"k", "w"}}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("zeta_total").inc(1);
+  reg.counter("alpha_total", "", {{"kind", "b"}}).inc(2);
+  reg.counter("alpha_total", "", {{"kind", "a"}}).inc(3);
+  reg.gauge("mid_gauge").set(7);
+  const std::vector<MetricSample> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "alpha_total");
+  EXPECT_EQ(snap[0].labels[0].second, "a");
+  EXPECT_DOUBLE_EQ(snap[0].value, 3.0);
+  EXPECT_EQ(snap[1].name, "alpha_total");
+  EXPECT_EQ(snap[1].labels[0].second, "b");
+  EXPECT_EQ(snap[2].name, "mid_gauge");
+  EXPECT_EQ(snap[3].name, "zeta_total");
+}
+
+TEST(MetricsRegistry, PrometheusExportParsesAndIsCumulative) {
+  MetricsRegistry reg;
+  reg.counter("req_total", "requests", {{"code", "200"}}).inc(5);
+  Histogram& h = reg.histogram("lat_ms", {1.0, 5.0, 25.0}, "latency");
+  for (const double v : {0.5, 0.7, 3.0, 30.0, 400.0}) h.observe(v);
+  const std::string text = reg.prometheus_text();
+
+  EXPECT_NE(text.find("# HELP req_total requests"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("req_total{code=\"200\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+
+  // Parse every histogram bucket line; cumulative counts must be monotone
+  // and the +Inf bucket must equal _count.
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::uint64_t> cumulative;
+  std::uint64_t inf_value = 0;
+  std::uint64_t count_value = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("lat_ms_bucket{", 0) == 0) {
+      const std::uint64_t v = std::stoull(line.substr(line.rfind(' ') + 1));
+      cumulative.push_back(v);
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf_value = v;
+    } else if (line.rfind("lat_ms_count", 0) == 0) {
+      count_value = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  ASSERT_EQ(cumulative.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_TRUE(std::is_sorted(cumulative.begin(), cumulative.end()));
+  EXPECT_EQ(cumulative[0], 2u);
+  EXPECT_EQ(inf_value, 5u);
+  EXPECT_EQ(count_value, 5u);
+}
+
+TEST(MetricsRegistry, CsvAndJsonRenderEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("c_total", "a counter").inc(3);
+  reg.gauge("g", "", {{"k", "va\"lue"}}).set(1.5);
+  reg.histogram("h", {1.0}).observe(0.5);
+
+  const std::string csv = reg.csv_text();
+  EXPECT_EQ(csv.rfind("kind,name,labels,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,c_total,\"\",value,3"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,\"\",count,1"), std::string::npos);
+
+  const std::string json = reg.json_text();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"name\":\"c_total\""), std::string::npos);
+  EXPECT_NE(json.find("va\\\"lue"), std::string::npos);  // label values are escaped
+  EXPECT_NE(json.find("\"buckets\":[1,0]"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteMetricsFilePicksFormatByExtension) {
+  MetricsRegistry reg;
+  reg.counter("c_total").inc(1);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "auric_obs_test";
+  std::filesystem::create_directories(dir);
+  const auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream in(p);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  write_metrics_file(reg, (dir / "m.prom").string());
+  write_metrics_file(reg, (dir / "m.csv").string());
+  write_metrics_file(reg, (dir / "m.json").string());
+  EXPECT_NE(slurp(dir / "m.prom").find("# TYPE c_total counter"), std::string::npos);
+  EXPECT_EQ(slurp(dir / "m.csv").rfind("kind,", 0), 0u);
+  EXPECT_EQ(slurp(dir / "m.json").front(), '[');
+  EXPECT_THROW(write_metrics_file(reg, (dir / "no_such_dir" / "m.prom").string()),
+               std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c_total");
+  Histogram& h = reg.histogram("h", {1.0});
+  c.inc(9);
+  h.observe(0.5);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAndSnapshotsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("stress_total");
+  Histogram& h = reg.histogram("stress_hist", {10.0, 100.0, 1000.0});
+  Gauge& g = reg.gauge("stress_gauge");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!go.load()) {}
+      // Some threads resolve the instrument themselves — registration must
+      // be safe against concurrent lookups too.
+      Counter& mine = reg.counter("stress_total");
+      for (int i = 0; i < kPerThread; ++i) {
+        mine.inc();
+        h.observe(static_cast<double>((t * kPerThread + i) % 2000));
+        g.add(1.0);
+      }
+    });
+  }
+  // One reader snapshotting concurrently; snapshots must be internally
+  // consistent (never more observations than the final total).
+  workers.emplace_back([&] {
+    while (!go.load()) {}
+    for (int i = 0; i < 50; ++i) {
+      for (const MetricSample& s : reg.snapshot()) {
+        if (s.name == "stress_hist") {
+          std::uint64_t total = 0;
+          for (std::uint64_t b : s.buckets) total += b;
+          EXPECT_LE(total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+        }
+      }
+    }
+  });
+  go.store(true);
+  for (std::thread& w : workers) w.join();
+  const std::uint64_t expected = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(c.value(), expected);
+  EXPECT_EQ(h.count(), expected);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(expected));
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, expected);
+}
+
+TEST(Trace, SpansNestAndIdsAreDeterministic) {
+  TraceRecorder rec(16);
+  {
+    ScopedSpan outer("outer", rec);
+    EXPECT_EQ(outer.id(), 1u);
+    {
+      ScopedSpan child_a("child.a", rec);
+      EXPECT_EQ(child_a.id(), 2u);
+    }
+    {
+      ScopedSpan child_b("child.b", rec);
+      ScopedSpan grandchild("grandchild", rec);
+      EXPECT_EQ(grandchild.id(), 4u);
+    }
+  }
+  const std::vector<SpanRecord> spans = rec.records();  // completion order
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "child.a");
+  EXPECT_EQ(spans[0].parent, 1u);
+  EXPECT_EQ(spans[1].name, "grandchild");
+  EXPECT_EQ(spans[1].parent, 3u);
+  EXPECT_EQ(spans[2].name, "child.b");
+  EXPECT_EQ(spans[2].parent, 1u);
+  EXPECT_EQ(spans[3].name, "outer");
+  EXPECT_EQ(spans[3].parent, 0u);  // root
+  for (const SpanRecord& s : spans) {
+    EXPECT_LE(s.start_ns, s.end_ns);
+    EXPECT_EQ(s.thread, 1u);
+  }
+  // Siblings complete in program order.
+  EXPECT_LE(spans[0].end_ns, spans[2].start_ns);
+}
+
+TEST(Trace, ClearResetsIdsAndRecords) {
+  TraceRecorder rec(8);
+  { ScopedSpan s("one", rec); }
+  rec.clear();
+  EXPECT_TRUE(rec.records().empty());
+  { ScopedSpan s("two", rec); }
+  const std::vector<SpanRecord> spans = rec.records();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, 1u);  // counter restarted
+}
+
+TEST(Trace, RingOverflowDropsOldest) {
+  TraceRecorder rec(3);
+  for (int i = 0; i < 7; ++i) {
+    ScopedSpan s("span." + std::to_string(i), rec);
+  }
+  const std::vector<SpanRecord> spans = rec.records();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 4u);
+  EXPECT_EQ(spans[0].name, "span.4");  // oldest surviving
+  EXPECT_EQ(spans[2].name, "span.6");
+}
+
+TEST(Trace, DisabledRecorderIsANoOp) {
+  TraceRecorder rec(8);
+  rec.set_enabled(false);
+  {
+    ScopedSpan s("ghost", rec);
+    EXPECT_EQ(s.id(), 0u);
+  }
+  EXPECT_TRUE(rec.records().empty());
+  rec.set_enabled(true);
+  { ScopedSpan s("real", rec); }
+  EXPECT_EQ(rec.records().size(), 1u);
+}
+
+TEST(Trace, JsonlEmitsOneParsableObjectPerSpan) {
+  TraceRecorder rec(8);
+  {
+    ScopedSpan outer("outer", rec);
+    ScopedSpan inner("in\"ner", rec);  // name needs escaping
+  }
+  const std::string jsonl = rec.jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"id\":"), std::string::npos);
+    EXPECT_NE(line.find("\"parent\":"), std::string::npos);
+    EXPECT_NE(line.find("\"dur_ns\":"), std::string::npos);
+  }
+  EXPECT_EQ(n, 2);
+  EXPECT_NE(jsonl.find("\"name\":\"in\\\"ner\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"parent\":1"), std::string::npos);
+}
+
+TEST(Trace, ThreadsGetDenseIndicesAndIndependentParents) {
+  TraceRecorder rec(256);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&rec] {
+      ScopedSpan outer("t.outer", rec);
+      ScopedSpan inner("t.inner", rec);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::vector<SpanRecord> spans = rec.records();
+  ASSERT_EQ(spans.size(), 2u * kThreads);
+  std::vector<std::uint32_t> threads;
+  for (const SpanRecord& s : spans) {
+    threads.push_back(s.thread);
+    if (s.name == "t.inner") {
+      // The inner span's parent is the same thread's outer span.
+      const auto outer = std::find_if(spans.begin(), spans.end(), [&](const SpanRecord& o) {
+        return o.id == s.parent;
+      });
+      ASSERT_NE(outer, spans.end());
+      EXPECT_EQ(outer->name, "t.outer");
+      EXPECT_EQ(outer->thread, s.thread);
+    } else {
+      EXPECT_EQ(s.parent, 0u);
+    }
+  }
+  std::sort(threads.begin(), threads.end());
+  threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+  ASSERT_EQ(threads.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(threads.front(), 1u);  // dense, starting at 1
+  EXPECT_EQ(threads.back(), static_cast<std::uint32_t>(kThreads));
+}
+
+TEST(Trace, WriteTraceFileRoundTrips) {
+  TraceRecorder rec(8);
+  { ScopedSpan s("filed", rec); }
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "auric_obs_trace_test.jsonl";
+  write_trace_file(rec, path.string());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"name\":\"filed\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(LogObs, ParseLogLevelAcceptsNamesAndNumbers) {
+  EXPECT_EQ(util::parse_log_level("debug"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("INFO"), util::LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("Warning"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("3"), util::LogLevel::kError);
+  EXPECT_FALSE(util::parse_log_level("loud").has_value());
+  EXPECT_FALSE(util::parse_log_level("").has_value());
+}
+
+TEST(LogObs, WarnAndErrorAreCountedEvenWhenFiltered) {
+  Counter& warns = MetricsRegistry::global().counter("auric_log_messages_total", "",
+                                                     {{"level", "warn"}});
+  Counter& errors = MetricsRegistry::global().counter("auric_log_messages_total", "",
+                                                      {{"level", "error"}});
+  const util::LogLevel before = util::log_level();
+  const std::uint64_t warns_before = warns.value();
+  const std::uint64_t errors_before = errors.value();
+  util::set_log_level(util::LogLevel::kError);  // warn text is filtered...
+  util::log_warn("obs test warn");
+  util::log_error("obs test error");
+  util::set_log_level(before);
+  EXPECT_EQ(warns.value(), warns_before + 1);  // ...but still counted
+  EXPECT_EQ(errors.value(), errors_before + 1);
+}
+
+TEST(BreakerObs, TransitionsAndRefusalsAreCounted) {
+  auto& reg = MetricsRegistry::global();
+  Counter& to_open = reg.counter("auric_breaker_transitions_total", "", {{"to", "open"}});
+  Counter& to_half = reg.counter("auric_breaker_transitions_total", "", {{"to", "half_open"}});
+  Counter& to_closed = reg.counter("auric_breaker_transitions_total", "", {{"to", "closed"}});
+  Counter& refusals = reg.counter("auric_breaker_refusals_total");
+  Gauge& state = reg.gauge("auric_breaker_state");
+  const std::uint64_t open0 = to_open.value();
+  const std::uint64_t half0 = to_half.value();
+  const std::uint64_t closed0 = to_closed.value();
+  const std::uint64_t refusals0 = refusals.value();
+
+  util::CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  options.cooldown_ops = 2;
+  util::CircuitBreaker breaker(options);
+  breaker.record_failure();
+  breaker.record_failure();  // trips
+  EXPECT_EQ(to_open.value(), open0 + 1);
+  EXPECT_DOUBLE_EQ(state.value(),
+                   static_cast<double>(util::CircuitBreaker::State::kOpen));
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());  // cooldown exhausted -> half-open
+  EXPECT_EQ(refusals.value(), refusals0 + 2);
+  EXPECT_EQ(to_half.value(), half0 + 1);
+  EXPECT_TRUE(breaker.allow());  // half-open probe
+  breaker.record_success();
+  EXPECT_EQ(to_closed.value(), closed0 + 1);
+  EXPECT_DOUBLE_EQ(state.value(),
+                   static_cast<double>(util::CircuitBreaker::State::kClosed));
+}
+
+}  // namespace
+}  // namespace auric::obs

@@ -34,6 +34,8 @@
 #include "io/inventory.h"
 #include "netsim/attributes.h"
 #include "netsim/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/args.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -196,7 +198,9 @@ int cmd_rules(util::Args& args) {
 int usage() {
   std::fputs(
       "usage: auric <generate|inspect|evaluate|recommend|rules> [flags]\n"
-      "run a subcommand with --help for its flags\n",
+      "run a subcommand with --help for its flags\n"
+      "every subcommand accepts --metrics-out PATH (.prom/.csv/.json) and\n"
+      "--trace-out PATH (JSONL spans), written after the command completes\n",
       stderr);
   return 2;
 }
@@ -210,12 +214,26 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     util::Args args(argc - 1, argv + 1);
-    if (command == "generate") return cli::cmd_generate(args);
-    if (command == "inspect") return cli::cmd_inspect(args);
-    if (command == "evaluate") return cli::cmd_evaluate(args);
-    if (command == "recommend") return cli::cmd_recommend(args);
-    if (command == "rules") return cli::cmd_rules(args);
-    return cli::usage();
+    // Observability flags are shared by every subcommand: declare them
+    // before dispatch so check_unknown() inside the commands accepts them.
+    const std::string metrics_out = args.get_string(
+        "metrics-out", "", "write a metrics snapshot here on exit (.prom/.csv/.json)");
+    const std::string trace_out =
+        args.get_string("trace-out", "", "write the span trace here as JSONL on exit");
+    int rc = 0;
+    if (command == "generate") rc = cli::cmd_generate(args);
+    else if (command == "inspect") rc = cli::cmd_inspect(args);
+    else if (command == "evaluate") rc = cli::cmd_evaluate(args);
+    else if (command == "recommend") rc = cli::cmd_recommend(args);
+    else if (command == "rules") rc = cli::cmd_rules(args);
+    else return cli::usage();
+    if (!args.help_requested()) {
+      if (!metrics_out.empty()) {
+        obs::write_metrics_file(obs::MetricsRegistry::global(), metrics_out);
+      }
+      if (!trace_out.empty()) obs::write_trace_file(obs::TraceRecorder::global(), trace_out);
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "auric %s: %s\n", command.c_str(), e.what());
     return 1;
