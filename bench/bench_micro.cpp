@@ -14,6 +14,9 @@
 #include "netsim/attributes.h"
 #include "netsim/generator.h"
 #include "obs/metrics.h"
+#include "obs/rules.h"
+#include "obs/sampler.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 
@@ -251,6 +254,78 @@ void BM_ObsScopedSpanDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsScopedSpanDisabled);
+
+// --- Live plane ------------------------------------------------------------
+//
+// The live plane adds work per *sample tick*, not per event: one registry
+// snapshot, one rule sweep, and (when scraped) one text render. At the
+// default 100 ms cadence the per-tick cost below must amortize to <2% of a
+// replay step, which these arms make checkable: tick cost × 10/s against
+// the replay arm's per-second budget.
+
+void BM_ObsSamplerTick(benchmark::State& state) {
+  // A registry about the size a replay run carries (~60 instruments).
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 20; ++i) {
+    registry.counter("tick_counter", "", {{"k", std::to_string(i)}}).inc(i);
+    registry.gauge("tick_gauge", "", {{"k", std::to_string(i)}}).set(i);
+    registry.histogram("tick_hist", obs::default_latency_bounds_ms(), "",
+                       {{"k", std::to_string(i)}})
+        .observe(i + 0.5);
+  }
+  obs::SamplerOptions options;
+  options.capacity = 600;
+  obs::Sampler sampler(registry, options);
+  double t = 0.0;
+  for (auto _ : state) {
+    sampler.tick(t);
+    t += 0.1;
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(registry.size()));
+}
+BENCHMARK(BM_ObsSamplerTick);
+
+void BM_ObsRuleEvaluation(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  registry.counter("bad_total").inc(1);
+  registry.counter("all_total").inc(100);
+  registry.gauge("depth").set(3.0);
+  obs::RuleEngine engine(registry);
+  engine.set_log([](const std::string&) {});
+  engine.load_text(
+      "depth_high,threshold,depth,>,100\n"
+      "bad_rate,rate_over_window,bad_total,>,50,10\n"
+      "heartbeat,absence,all_total,>,0\n"
+      "burn,burn_rate,bad_total/all_total,>,0.9,5,30\n");
+  obs::Sampler sampler(registry);
+  double t = 0.0;
+  sampler.tick(t);
+  for (auto _ : state) {
+    t += 0.1;
+    sampler.tick(t);
+    engine.evaluate(sampler, t);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(engine.size()));
+}
+BENCHMARK(BM_ObsRuleEvaluation);
+
+void BM_ObsScrapeRender(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 20; ++i) {
+    registry.counter("scrape_counter", "a counter", {{"k", std::to_string(i)}}).inc(i);
+    registry.histogram("scrape_hist", obs::default_latency_bounds_ms(), "a histogram",
+                       {{"k", std::to_string(i)}})
+        .observe(i + 0.5);
+  }
+  obs::MetricsServer server(registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle("GET", "/metrics"));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(registry.size()));
+}
+BENCHMARK(BM_ObsScrapeRender);
 
 }  // namespace
 }  // namespace auric

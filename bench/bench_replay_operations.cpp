@@ -27,6 +27,8 @@ int body(util::Args& args) {
       args.get_int("relearn-days", 7, "engine re-learn cadence in days"));
   options.robust = args.get_bool(
       "robust", false, "push through the fault-tolerant path (chunk/retry/breaker)");
+  options.rollback.enabled = args.get_bool(
+      "rollback", true, "KPI-gate robust pushes (roll back + quarantine on breach)");
   options.state_dir = args.get_string(
       "state-dir", "", "checkpoint replay state into this directory after every launch");
   options.resume =
@@ -41,12 +43,13 @@ int body(util::Args& args) {
   obs::ScopedTimer timer(phase_histogram("replay"));
   const smartlaunch::ReplayReport report = replay.run();
 
-  util::Table table({"week", "launches", "flagged", "implemented", "fallouts",
-                     "params changed", "mean launch KPI"});
+  util::Table table({"week", "launches", "flagged", "implemented", "fallouts", "rolled back",
+                     "quarantined", "params changed", "mean launch KPI"});
   for (const smartlaunch::WeeklySummary& week : report.weeks) {
     table.add_row({std::to_string(week.week), std::to_string(week.launches),
                    std::to_string(week.change_recommended), std::to_string(week.implemented),
-                   std::to_string(week.fallouts), std::to_string(week.parameters_changed),
+                   std::to_string(week.fallouts), std::to_string(week.rolled_back),
+                   std::to_string(week.quarantined), std::to_string(week.parameters_changed),
                    util::format_fixed(week.mean_launched_kpi, 3)});
   }
   table.print();
@@ -77,6 +80,10 @@ int body(util::Args& args) {
                 " %zu terminal EMS fall-outs\n",
                 r.recovered, r.chunked, r.retries, r.breaker_trips, r.queued_degraded,
                 r.drained, r.still_queued, r.aborted_unlocked, r.fallout_terminal);
+    std::printf("KPI gate: %zu launches rolled back (%zu rollback pushes, %zu reattempts,"
+                " %zu rollback retries,\n%zu failed rollbacks), %zu carriers quarantined\n",
+                r.rolled_back, r.rollbacks, r.reattempts, r.rollback_retries, r.rollback_failed,
+                r.quarantined);
   }
 
   const std::size_t window_launches =

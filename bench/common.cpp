@@ -5,6 +5,7 @@
 
 #include "obs/trace.h"
 #include "util/log.h"
+#include "util/obs_flags.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -51,6 +52,8 @@ int run_bench(int argc, char** argv, const char* title, int (*body)(util::Args& 
         "metrics-out", "", "write a metrics snapshot here after the run (.prom/.csv/.json)");
     const std::string trace_out =
         args.get_string("trace-out", "", "write the span trace here as JSONL after the run");
+    const obs::LivePlaneOptions live_options = util::declare_live_plane_flags(args);
+    util::LivePlaneScope live(args.help_requested() ? obs::LivePlaneOptions{} : live_options);
     const int rc = body(args);  // bodies return immediately under --help
     if (args.help_requested()) {
       std::fputs(args.usage().c_str(), stdout);

@@ -1,0 +1,69 @@
+#include "obs/live.h"
+
+#include "obs/log_buffer.h"
+#include "obs/trace.h"
+
+namespace auric::obs {
+
+LivePlane::LivePlane(LivePlaneOptions options, MetricsRegistry& registry)
+    : options_(std::move(options)), registry_(&registry) {}
+
+LivePlane::~LivePlane() { stop(); }
+
+void LivePlane::start() {
+  if (!options_.serve || active_) {
+    return;
+  }
+  Sampler::Options sampler_options;
+  sampler_options.capacity = options_.sample_capacity;
+  sampler_options.interval_ms = options_.sample_interval_ms;
+  sampler_ = std::make_unique<Sampler>(*registry_, sampler_options);
+
+  rules_ = std::make_unique<RuleEngine>(*registry_);
+  if (!options_.rules_file.empty()) {
+    rules_->load_file(options_.rules_file);
+  }
+
+  // Derived gauges refresh just before each snapshot so every sample (and
+  // every rule evaluation) sees current values.
+  Gauge& trace_drops = registry_->gauge(
+      "obs_trace_ring_dropped", "spans overwritten after the trace ring filled");
+  sampler_->set_pre_tick([&trace_drops] {
+    trace_drops.set(static_cast<double>(TraceRecorder::global().dropped()));
+  });
+  RuleEngine* rules = rules_.get();
+  Sampler* sampler = sampler_.get();
+  sampler_->set_on_tick([rules, sampler](double t) { rules->evaluate(*sampler, t); });
+
+  MetricsServer::Options server_options;
+  server_options.port = options_.port;
+  server_ = std::make_unique<MetricsServer>(*registry_, server_options);
+  server_->set_rule_engine(rules_.get());
+  server_->set_trace_recorder(&TraceRecorder::global());
+  server_->set_log_buffer(&LogBuffer::global());
+
+  sampler_->start();
+  server_->start();
+  active_ = true;
+}
+
+void LivePlane::stop() {
+  if (!active_) {
+    return;
+  }
+  server_->stop();
+  sampler_->stop();
+  // A final tick captures the end state in the series (the background
+  // cadence may not have sampled since the last increment). Guarded: with a
+  // manual-only sampler the caller may have driven non-wall-clock times.
+  if (options_.series_out.empty() == false) {
+    double next_t = sampler_->last_time().value_or(0.0) + 1e-3;
+    sampler_->tick(next_t);
+    sampler_->write_series_csv(options_.series_out);
+  }
+  active_ = false;
+}
+
+std::uint16_t LivePlane::port() const { return active_ ? server_->port() : 0; }
+
+}  // namespace auric::obs

@@ -1,0 +1,83 @@
+// One-stop live plane: sampler + rule engine + HTTP endpoint, wired.
+//
+// Every long-running entry point (replay, benches, the CLI subcommands)
+// wants the same bundle: a Sampler ticking in the background, a RuleEngine
+// evaluated on every tick, a MetricsServer exposing /metrics /healthz /varz
+// /tracez /logz, and — at shutdown — the sampled series dumped as CSV.
+// LivePlane owns that composition so call sites hold one object and one
+// options struct instead of re-plumbing four.
+//
+// start() order matters and is encapsulated here: the rule engine loads
+// before the sampler starts (rules see every tick), the pre-tick hook
+// refreshes derived gauges (trace-ring drops) so they appear IN each
+// snapshot, and the server starts last so a scrape never observes a
+// half-wired plane.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/rules.h"
+#include "obs/sampler.h"
+#include "obs/server.h"
+
+namespace auric::obs {
+
+struct LivePlaneOptions {
+  /// Master switch; when false start() is a no-op and active() stays false.
+  bool serve = false;
+  /// HTTP port (0 = ephemeral; see LivePlane::port()).
+  std::uint16_t port = 0;
+  /// Sampler cadence; <= 0 disables the background tick thread (manual
+  /// tick() only — deterministic tests).
+  double sample_interval_ms = 100.0;
+  /// Snapshots retained in the ring.
+  std::size_t sample_capacity = 600;
+  /// Alert rules file (the CSV dialect in rules.h); empty = no rules, and
+  /// /healthz reports ok while the process is alive.
+  std::string rules_file;
+  /// Where stop() writes the sampled series CSV; empty = no dump.
+  std::string series_out;
+};
+
+class LivePlane {
+ public:
+  explicit LivePlane(LivePlaneOptions options = {},
+                     MetricsRegistry& registry = MetricsRegistry::global());
+  ~LivePlane();
+  LivePlane(const LivePlane&) = delete;
+  LivePlane& operator=(const LivePlane&) = delete;
+
+  /// Loads rules, starts the sampler thread and the HTTP server. Throws on
+  /// unreadable rules or an unbindable port. No-op when !options.serve or
+  /// already active.
+  void start();
+
+  /// Stops the server and sampler and writes series_out (when set); the
+  /// destructor calls this. Safe to call twice.
+  void stop();
+
+  bool active() const { return active_; }
+  /// The bound HTTP port; 0 when inactive.
+  std::uint16_t port() const;
+
+  /// Components, for tests and manual driving (tick(), extra rules).
+  /// Null when inactive.
+  Sampler* sampler() { return sampler_.get(); }
+  RuleEngine* rules() { return rules_.get(); }
+  MetricsServer* server() { return server_.get(); }
+
+  const LivePlaneOptions& options() const { return options_; }
+
+ private:
+  LivePlaneOptions options_;
+  MetricsRegistry* registry_;
+  std::unique_ptr<Sampler> sampler_;
+  std::unique_ptr<RuleEngine> rules_;
+  std::unique_ptr<MetricsServer> server_;
+  bool active_ = false;
+};
+
+}  // namespace auric::obs

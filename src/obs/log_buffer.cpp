@@ -1,0 +1,54 @@
+#include "obs/log_buffer.h"
+
+namespace auric::obs {
+
+LogBuffer::LogBuffer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+LogBuffer& LogBuffer::global() {
+  static LogBuffer* buffer = new LogBuffer();  // never destroyed
+  return *buffer;
+}
+
+void LogBuffer::append(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(line));
+    return;
+  }
+  ring_[head_] = std::move(line);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<std::string> LogBuffer::tail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string LogBuffer::text() const {
+  std::string out;
+  for (const std::string& line : tail()) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t LogBuffer::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void LogBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace auric::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace auric::obs {
@@ -159,6 +160,35 @@ const std::vector<double>& default_seconds_bounds() {
   return bounds;
 }
 
+double histogram_quantile(const MetricSample& sample, double q) {
+  if (sample.kind != MetricSample::Kind::kHistogram || sample.count == 0 ||
+      sample.buckets.size() != sample.bounds.size() + 1) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, Prometheus convention:
+  // rank q*count, clamped into [1, count]).
+  const double rank = std::max(1.0, q * static_cast<double>(sample.count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += sample.buckets[i];
+    if (static_cast<double>(cumulative) + 1e-12 < rank) continue;
+    // The target observation sits in bucket i: interpolate linearly
+    // between the bucket's bounds. The first bucket's lower bound is 0
+    // unless the boundary itself is negative (then there is no better
+    // anchor than the boundary).
+    const double upper = sample.bounds[i];
+    const double lower = i > 0 ? sample.bounds[i - 1] : std::min(0.0, upper);
+    const auto in_bucket = static_cast<double>(sample.buckets[i]);
+    if (in_bucket <= 0.0) return upper;
+    const double fraction = (rank - static_cast<double>(before)) / in_bucket;
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+  }
+  // Overflow bucket: no finite upper bound, clamp to the largest boundary.
+  return sample.bounds.back();
+}
+
 const char* metric_kind_name(MetricSample::Kind kind) {
   switch (kind) {
     case MetricSample::Kind::kCounter: return "counter";
@@ -173,6 +203,31 @@ MetricsRegistry& MetricsRegistry::global() {
   return *registry;
 }
 
+namespace {
+
+/// The counter every over-cap registration bumps (see set_label_limit).
+constexpr const char* kLabelsDroppedName = "obs_labels_dropped_total";
+
+}  // namespace
+
+std::unique_ptr<MetricsRegistry::Entry> MetricsRegistry::make_entry(
+    MetricSample::Kind kind, std::string_view name, std::string_view help, Labels labels,
+    const std::vector<double>* bounds) {
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->labels = std::move(labels);
+  switch (kind) {
+    case MetricSample::Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case MetricSample::Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case MetricSample::Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(*bounds);
+      break;
+  }
+  return entry;
+}
+
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(MetricSample::Kind kind,
                                                         std::string_view name,
                                                         std::string_view help,
@@ -183,12 +238,14 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(MetricSample::Kind kind,
   }
   const Labels sorted = canonical_labels(labels);
   std::lock_guard<std::mutex> lock(mu_);
+  std::size_t label_sets = 0;
   for (const auto& entry : entries_) {
     if (entry->name != name) continue;
     if (entry->kind != kind) {
       throw std::invalid_argument("obs: metric '" + std::string(name) + "' already registered as " +
                                   metric_kind_name(entry->kind));
     }
+    ++label_sets;
     if (entry->labels != sorted) continue;
     if (kind == MetricSample::Kind::kHistogram && entry->histogram->bounds() != *bounds) {
       throw std::invalid_argument("obs: histogram '" + std::string(name) +
@@ -196,19 +253,30 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(MetricSample::Kind kind,
     }
     return *entry;
   }
-  auto entry = std::make_unique<Entry>();
-  entry->kind = kind;
-  entry->name = std::string(name);
-  entry->help = std::string(help);
-  entry->labels = sorted;
-  switch (kind) {
-    case MetricSample::Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
-    case MetricSample::Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
-    case MetricSample::Kind::kHistogram:
-      entry->histogram = std::make_unique<Histogram>(*bounds);
-      break;
+  if (label_sets >= label_limit_ && name != kLabelsDroppedName) {
+    // Past the cardinality cap: a runaway label (carrier id, file path)
+    // must not grow the export without bound. Count the drop and hand out
+    // a shared sink of the right kind; the caller's increments land in the
+    // sink instead of a fresh exported series.
+    Entry* dropped = nullptr;
+    for (const auto& entry : entries_) {
+      if (entry->name == kLabelsDroppedName) {
+        dropped = entry.get();
+        break;
+      }
+    }
+    if (dropped == nullptr) {
+      entries_.push_back(make_entry(MetricSample::Kind::kCounter, kLabelsDroppedName,
+                                    "instrument registrations dropped by the label-cardinality cap",
+                                    {}, nullptr));
+      dropped = entries_.back().get();
+    }
+    dropped->counter->inc();
+    auto& sink = sinks_[static_cast<std::size_t>(kind)];
+    if (sink == nullptr) sink = make_entry(kind, "obs_label_overflow_sink", "", {}, bounds);
+    return *sink;
   }
-  entries_.push_back(std::move(entry));
+  entries_.push_back(make_entry(kind, name, help, sorted, bounds));
   return *entries_.back();
 }
 
@@ -378,6 +446,25 @@ void MetricsRegistry::reset_values() {
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+void MetricsRegistry::set_label_limit(std::size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  label_limit_ = std::max<std::size_t>(1, limit);
+}
+
+std::size_t MetricsRegistry::label_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_limit_;
+}
+
+std::size_t MetricsRegistry::label_sets(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t count = 0;
+  for (const auto& entry : entries_) {
+    if (entry->name == name) ++count;
+  }
+  return count;
 }
 
 void write_metrics_file(const MetricsRegistry& registry, const std::string& path) {

@@ -112,6 +112,14 @@ struct MetricSample {
 
 const char* metric_kind_name(MetricSample::Kind kind);
 
+/// The q-quantile (0 <= q <= 1) of a histogram sample, estimated with
+/// linear interpolation inside the fixed bucket boundaries (the Prometheus
+/// histogram_quantile estimate): the first bucket interpolates from 0 (or
+/// from its lower bound when that bound is negative), a quantile landing in
+/// the overflow bucket clamps to the largest finite bound. Returns NaN for
+/// a non-histogram sample or one with no observations.
+double histogram_quantile(const MetricSample& sample, double q);
+
 /// Thread-safe registry of named instruments. Registration (counter() /
 /// gauge() / histogram()) takes a mutex and validates the name; re-asking
 /// for the same (name, labels) returns the same instrument, so call sites
@@ -151,6 +159,18 @@ class MetricsRegistry {
 
   std::size_t size() const;
 
+  /// Cardinality guard: at most this many distinct label sets may register
+  /// under one metric name (default 256). A registration past the cap
+  /// returns a shared unexported sink instrument of the right kind — call
+  /// sites keep working, the export stays bounded — and increments
+  /// obs_labels_dropped_total. The limit is a floor of 1 and applies to
+  /// future registrations only.
+  void set_label_limit(std::size_t limit);
+  std::size_t label_limit() const;
+
+  /// Distinct label sets currently registered under `name`.
+  std::size_t label_sets(std::string_view name) const;
+
  private:
   struct Entry {
     MetricSample::Kind kind = MetricSample::Kind::kCounter;
@@ -162,6 +182,10 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  static std::unique_ptr<Entry> make_entry(MetricSample::Kind kind, std::string_view name,
+                                           std::string_view help, Labels labels,
+                                           const std::vector<double>* bounds);
+
   Entry& find_or_create(MetricSample::Kind kind, std::string_view name, std::string_view help,
                         const Labels& labels, const std::vector<double>* bounds);
 
@@ -170,6 +194,11 @@ class MetricsRegistry {
   /// plus unique_ptr keeps instrument references valid for the registry's
   /// lifetime.
   std::vector<std::unique_ptr<Entry>> entries_;
+  std::size_t label_limit_ = 256;
+  /// Shared overflow sinks handed out past the label cap, one per kind;
+  /// live outside entries_ so they are never exported. The histogram sink
+  /// keeps the bounds of the first overflowing registration.
+  std::unique_ptr<Entry> sinks_[3];
 };
 
 /// Writes `registry.snapshot()` to `path`; the format follows the

@@ -1,0 +1,105 @@
+// Embedded HTTP/1.1 endpoint for the live observability plane.
+//
+// A replay or launch run that only writes metrics files at exit cannot be
+// watched; the MetricsServer makes the process scrapeable WHILE it runs, the
+// way Prometheus expects exporters to behave. One background thread, POSIX
+// sockets only, bound to loopback:
+//
+//   GET /metrics   Prometheus text exposition of the registry
+//   GET /healthz   RuleEngine verdict JSON; 200 when healthy, 503 firing
+//   GET /varz      full JSON snapshot of every instrument
+//   GET /tracez    recent spans from the trace ring, JSONL
+//   GET /logz      the last lines util::log emitted (plain text)
+//
+// Port 0 requests an ephemeral port; port() reports what the kernel chose,
+// so tests and parallel CI jobs never collide. The accept loop polls with a
+// short timeout and re-checks a stop flag, so stop() completes promptly
+// without pthread_cancel games. Requests are size-bounded and handled
+// serially — scrape traffic is a few requests per second, not a web tier.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace auric::obs {
+
+class RuleEngine;
+class TraceRecorder;
+class LogBuffer;
+
+struct MetricsServerOptions {
+  /// Loopback only by default; this is an operator peephole, not a
+  /// service.
+  std::string bind_address = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Requests larger than this are answered 413 and dropped.
+  std::size_t max_request_bytes = 8192;
+};
+
+class MetricsServer {
+ public:
+  using Options = MetricsServerOptions;
+
+  explicit MetricsServer(const MetricsRegistry& registry = MetricsRegistry::global(),
+                         Options options = {});
+  ~MetricsServer();
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Optional data sources; null disables the corresponding endpoint (404).
+  /// Set before start() — the pointers are read from the server thread.
+  void set_rule_engine(const RuleEngine* engine) { rules_ = engine; }
+  void set_trace_recorder(const TraceRecorder* recorder) { traces_ = recorder; }
+  void set_log_buffer(const LogBuffer* buffer) { logs_ = buffer; }
+
+  /// Binds, listens and launches the server thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+  /// Stops the thread and closes the socket; idempotent.
+  void stop();
+  bool running() const { return running_.load(); }
+
+  /// The bound port (the kernel's pick when Options::port was 0); 0 before
+  /// start().
+  std::uint16_t port() const { return port_; }
+  const Options& options() const { return options_; }
+
+  std::uint64_t requests_served() const { return requests_.load(); }
+
+  /// One parsed response; exposed so tests can exercise routing without a
+  /// socket.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// Routes one request line (method + target, query string ignored) to an
+  /// endpoint. The socket path and tests share this.
+  Response handle(std::string_view method, std::string_view target) const;
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  const MetricsRegistry* registry_;
+  Options options_;
+  const RuleEngine* rules_ = nullptr;
+  const TraceRecorder* traces_ = nullptr;
+  const LogBuffer* logs_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace auric::obs

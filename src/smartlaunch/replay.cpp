@@ -123,9 +123,18 @@ ReplayReport OperationReplay::run() {
   std::size_t cursor = 0;
 
   EmsSimulator ems(topology_->carrier_count(), options_.ems);
-  RobustPushExecutor executor(ems, options_.robust_executor);
+  RobustPushExecutor naive_executor(ems, options_.robust_executor);
   std::vector<netsim::CarrierId> deferred;
   const config::Rulebook rulebook(*ground_truth_, *catalog_);
+
+  // Robust pushes route through a RobustLaunchController so replayed
+  // launches share the KPI gate / rollback / quarantine semantics with the
+  // pipeline. The gate owns the executor in that mode; `executor` points at
+  // whichever instance is live so the checkpoint/resume plumbing below is
+  // mode-agnostic.
+  std::unique_ptr<KpiModel> gate_kpi;
+  std::unique_ptr<RobustLaunchController> gate;
+  RobustPushExecutor* executor = &naive_executor;
 
   // Engine + controller are rebuilt on the re-learn cadence so Auric keeps
   // learning from the evolving network.
@@ -136,6 +145,25 @@ ReplayReport OperationReplay::run() {
     controller = std::make_unique<LaunchController>(*engine, rulebook, state_,
                                                     options_.vendor_faults,
                                                     options_.push_policy, options_.seed);
+    if (options_.robust) {
+      if (gate == nullptr) {
+        // The gate's KPI oracle is controller->launch_quality (per carrier);
+        // the model reference the constructor wants is only consulted on
+        // paths the replay never takes (empty plans, internal deferral), so
+        // one build at window start suffices.
+        gate_kpi = std::make_unique<KpiModel>(*topology_, *catalog_, state_);
+        RobustPipelineOptions gate_options;
+        gate_options.premature_unlock_prob = 0.0;  // the replay draws its own
+        gate_options.seed = options_.seed;
+        gate_options.executor = options_.robust_executor;
+        gate_options.rollback = options_.rollback;
+        gate = std::make_unique<RobustLaunchController>(*controller, ems, *gate_kpi,
+                                                        gate_options);
+        executor = &gate->executor_mutable();
+      } else {
+        gate->rebind(*controller);
+      }
+    }
   };
   const auto relearn = [&] {
     obs::ScopedSpan relearn_span("replay.relearn");
@@ -214,8 +242,9 @@ ReplayReport OperationReplay::run() {
     }
 
     ems.restore(ems_state_from_io(state.ems));
-    executor.restore_journal(state.journal);
-    executor.restore_breaker(state.breaker);
+    executor->restore_journal(state.journal);
+    executor->restore_breaker(state.breaker);
+    if (gate != nullptr) gate->restore_quarantine(state.quarantine);
     deferred = state.deferred;
 
     start_day = static_cast<int>(p_int("day"));
@@ -235,6 +264,12 @@ ReplayReport OperationReplay::run() {
     report.robust.drained = p_size("robust.drained");
     report.robust.aborted_unlocked = p_size("robust.aborted_unlocked");
     report.robust.fallout_terminal = p_size("robust.fallout_terminal");
+    report.robust.rolled_back = p_size("robust.rolled_back");
+    report.robust.rollbacks = p_size("robust.rollbacks");
+    report.robust.rollback_retries = p_size("robust.rollback_retries");
+    report.robust.rollback_failed = p_size("robust.rollback_failed");
+    report.robust.reattempts = p_size("robust.reattempts");
+    report.robust.quarantined = p_size("robust.quarantined");
     report.robust.retries = p_size("robust.retries");
     const std::size_t weeks_done = p_size("weeks");
     for (std::size_t wk = 0; wk < weeks_done; ++wk) {
@@ -245,6 +280,8 @@ ReplayReport OperationReplay::run() {
       done.change_recommended = p_size(prefix + "change_recommended");
       done.implemented = p_size(prefix + "implemented");
       done.fallouts = p_size(prefix + "fallouts");
+      done.rolled_back = p_size(prefix + "rolled_back");
+      done.quarantined = p_size(prefix + "quarantined");
       done.parameters_changed = p_size(prefix + "parameters_changed");
       done.mean_launched_kpi = p_double(prefix + "kpi");
       report.weeks.push_back(done);
@@ -254,6 +291,8 @@ ReplayReport OperationReplay::run() {
     week.change_recommended = p_size("week.change_recommended");
     week.implemented = p_size("week.implemented");
     week.fallouts = p_size("week.fallouts");
+    week.rolled_back = p_size("week.rolled_back");
+    week.quarantined = p_size("week.quarantined");
     week.parameters_changed = p_size("week.parameters_changed");
     week_quality = p_double("week.quality");
     week_quality_n = p_size("week.quality_n");
@@ -264,12 +303,16 @@ ReplayReport OperationReplay::run() {
 
   const auto checkpoint = [&](int day, int launch_in_day) {
     io::LaunchState state;
-    for (const auto& [carrier, applied] : executor.journal()) {
+    for (const auto& [carrier, applied] : executor->journal()) {
       state.journal.emplace_back(carrier, static_cast<std::uint64_t>(applied));
     }
     std::sort(state.journal.begin(), state.journal.end());
     state.deferred = deferred;
-    state.breaker = executor.breaker().snapshot();
+    if (gate != nullptr) {
+      state.quarantine.assign(gate->quarantine().begin(), gate->quarantine().end());
+      std::sort(state.quarantine.begin(), state.quarantine.end());
+    }
+    state.breaker = executor->breaker().snapshot();
     state.ems = ems_state_to_io(ems.snapshot());
     const auto to_writes = [](const std::map<SlotKey, config::ValueIndex>& delta) {
       std::vector<io::LaunchState::SlotWrite> writes;
@@ -304,6 +347,12 @@ ReplayReport OperationReplay::run() {
     put("robust.drained", report.robust.drained);
     put("robust.aborted_unlocked", report.robust.aborted_unlocked);
     put("robust.fallout_terminal", report.robust.fallout_terminal);
+    put("robust.rolled_back", report.robust.rolled_back);
+    put("robust.rollbacks", report.robust.rollbacks);
+    put("robust.rollback_retries", report.robust.rollback_retries);
+    put("robust.rollback_failed", report.robust.rollback_failed);
+    put("robust.reattempts", report.robust.reattempts);
+    put("robust.quarantined", report.robust.quarantined);
     put("robust.retries", report.robust.retries);
     put("weeks", report.weeks.size());
     for (const WeeklySummary& done : report.weeks) {
@@ -312,6 +361,8 @@ ReplayReport OperationReplay::run() {
       put(prefix + "change_recommended", done.change_recommended);
       put(prefix + "implemented", done.implemented);
       put(prefix + "fallouts", done.fallouts);
+      put(prefix + "rolled_back", done.rolled_back);
+      put(prefix + "quarantined", done.quarantined);
       put(prefix + "parameters_changed", done.parameters_changed);
       p.emplace_back(prefix + "kpi", util::format("%a", done.mean_launched_kpi));
     }
@@ -320,6 +371,8 @@ ReplayReport OperationReplay::run() {
     put("week.change_recommended", week.change_recommended);
     put("week.implemented", week.implemented);
     put("week.fallouts", week.fallouts);
+    put("week.rolled_back", week.rolled_back);
+    put("week.quarantined", week.quarantined);
     put("week.parameters_changed", week.parameters_changed);
     p.emplace_back("week.quality", util::format("%a", week_quality));
     put("week.quality_n", week_quality_n);
@@ -354,7 +407,7 @@ ReplayReport OperationReplay::run() {
       if (!changes.empty()) {
         ++report.totals.change_recommended;
         ++week.change_recommended;
-        if (options_.robust && executor.should_defer()) {
+        if (options_.robust && executor->should_defer()) {
           // Breaker open: the carrier goes on air vendor-only and its
           // corrections wait in the deferred queue (outcome stays
           // kNoChangeNeeded so it counts as neither implemented nor
@@ -368,17 +421,23 @@ ReplayReport OperationReplay::run() {
                                   11) *
               0x1.0p-53;
           if (u < options_.pipeline.premature_unlock_prob) ems.unlock_out_of_band(carrier);
-          std::vector<config::MoSetting> settings;
-          settings.reserve(changes.size());
-          for (const auto& change : changes) {
-            settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
-          }
           if (options_.robust) {
-            const RobustPushExecutor::Result push = executor.execute(carrier, settings);
-            applied = push.applied;
-            report.robust.retries += static_cast<std::size_t>(push.retries);
-            if (push.chunks > 1) ++report.robust.chunked;
-            switch (push.outcome) {
+            // KPI-gated push: the gate runs the quarantine check, forward
+            // push, rollback loop and unlock, and owns the journal cleanup
+            // for terminal outcomes.
+            const RobustLaunchRecord rec = gate->push_gated_launch(carrier, changes);
+            applied = rec.changes_applied;
+            report.robust.retries += static_cast<std::size_t>(rec.retries);
+            if (rec.chunks > 1) ++report.robust.chunked;
+            report.robust.rollbacks += static_cast<std::size_t>(rec.rollbacks);
+            report.robust.rollback_retries += static_cast<std::size_t>(rec.rollback_retries);
+            report.robust.reattempts += static_cast<std::size_t>(rec.reattempts);
+            if (rec.rollback_failed) ++report.robust.rollback_failed;
+            if (rec.quarantined) {
+              ++report.robust.quarantined;
+              ++week.quarantined;
+            }
+            switch (rec.outcome) {
               case RobustOutcome::kRecovered: ++report.robust.recovered; [[fallthrough]];
               case RobustOutcome::kImplemented:
                 outcome = LaunchOutcome::kImplemented;
@@ -391,19 +450,23 @@ ReplayReport OperationReplay::run() {
                 ++report.robust.fallout_terminal;
                 outcome = LaunchOutcome::kFalloutTimeout;
                 break;
+              case RobustOutcome::kRolledBack:
+                // Reverted to vendor values (or quarantine-skipped): neither
+                // implemented nor an EMS fall-out — the gate withdrew the
+                // changes on purpose. Counted in its own column.
+                ++report.robust.rolled_back;
+                ++week.rolled_back;
+                break;
               case RobustOutcome::kNoChangeNeeded:
-              case RobustOutcome::kQueuedDegraded:
-              case RobustOutcome::kRolledBack:  // executor never returns this
+              case RobustOutcome::kQueuedDegraded:  // gate never returns this
                 break;
             }
-            if (push.outcome == RobustOutcome::kFalloutTerminal ||
-                push.outcome == RobustOutcome::kAbortedUnlocked) {
-              // Terminal fall-out: drop the journal entry so a later manual
-              // relaunch re-plans from scratch instead of resuming a stale
-              // partial apply.
-              executor.clear_journal(carrier);
-            }
           } else {
+            std::vector<config::MoSetting> settings;
+            settings.reserve(changes.size());
+            for (const auto& change : changes) {
+              settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
+            }
             const PushResult push = ems.push(carrier, settings);
             applied = push.applied;
             switch (push.status) {
@@ -463,11 +526,11 @@ ReplayReport OperationReplay::run() {
     // push with the same chunk/retry/journal machinery.
     std::optional<obs::ScopedSpan> drain_span;
     if (options_.robust && !deferred.empty() &&
-        executor.breaker().state() == util::CircuitBreaker::State::kClosed) {
+        executor->breaker().state() == util::CircuitBreaker::State::kClosed) {
       drain_span.emplace("replay.drain");
     }
     while (options_.robust && !deferred.empty() &&
-           executor.breaker().state() == util::CircuitBreaker::State::kClosed) {
+           executor->breaker().state() == util::CircuitBreaker::State::kClosed) {
       const netsim::CarrierId carrier = deferred.front();
       deferred.erase(deferred.begin());
       ems.lock(carrier);
@@ -483,34 +546,39 @@ ReplayReport OperationReplay::run() {
         if (persist) checkpoint(day, options_.launches_per_day);
         continue;
       }
-      std::vector<config::MoSetting> settings;
-      settings.reserve(changes.size());
-      for (const auto& change : changes) {
-        settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
+      // Same KPI-gated path as the main launch stream (unlocks internally).
+      const RobustLaunchRecord rec = gate->push_gated_launch(carrier, changes);
+      report.robust.retries += static_cast<std::size_t>(rec.retries);
+      report.robust.rollbacks += static_cast<std::size_t>(rec.rollbacks);
+      report.robust.rollback_retries += static_cast<std::size_t>(rec.rollback_retries);
+      report.robust.reattempts += static_cast<std::size_t>(rec.reattempts);
+      if (rec.rollback_failed) ++report.robust.rollback_failed;
+      if (rec.quarantined) {
+        ++report.robust.quarantined;
+        ++week.quarantined;
       }
-      const RobustPushExecutor::Result push = executor.execute(carrier, settings);
-      ems.unlock(carrier);
-      report.robust.retries += static_cast<std::size_t>(push.retries);
-      for (std::size_t i = 0; i < push.applied && i < changes.size(); ++i) {
+      for (std::size_t i = 0; i < rec.changes_applied && i < changes.size(); ++i) {
         apply_slot(changes[i].slot, changes[i].new_value);
       }
-      if (push.outcome == RobustOutcome::kImplemented ||
-          push.outcome == RobustOutcome::kRecovered) {
+      if (rec.outcome == RobustOutcome::kImplemented ||
+          rec.outcome == RobustOutcome::kRecovered) {
+        if (rec.outcome == RobustOutcome::kRecovered) ++report.robust.recovered;
         ++report.robust.drained;
         ++report.totals.implemented;
         ++week.implemented;
-        report.totals.parameters_changed += push.applied;
-        week.parameters_changed += push.applied;
-      } else if (push.outcome == RobustOutcome::kFalloutTerminal) {
+        report.totals.parameters_changed += rec.changes_applied;
+        week.parameters_changed += rec.changes_applied;
+      } else if (rec.outcome == RobustOutcome::kFalloutTerminal) {
         ++report.robust.fallout_terminal;
         ++report.totals.fallout_timeout;
         ++week.fallouts;
-        executor.clear_journal(carrier);
-      } else if (push.outcome == RobustOutcome::kAbortedUnlocked) {
+      } else if (rec.outcome == RobustOutcome::kAbortedUnlocked) {
         ++report.robust.aborted_unlocked;
         ++report.totals.fallout_unlocked;
         ++week.fallouts;
-        executor.clear_journal(carrier);
+      } else if (rec.outcome == RobustOutcome::kRolledBack) {
+        ++report.robust.rolled_back;
+        ++week.rolled_back;
       }
       if (persist) checkpoint(day, options_.launches_per_day);
     }
@@ -519,7 +587,7 @@ ReplayReport OperationReplay::run() {
     if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
     if (persist) checkpoint(day + 1, 0);
   }
-  report.robust.breaker_trips = executor.breaker().trips();
+  report.robust.breaker_trips = executor->breaker().trips();
   report.robust.still_queued = deferred.size();
 
   report.final_network_kpi = mean_network_kpi();

@@ -58,6 +58,11 @@ struct ReplayOptions {
   /// drained at end of day) instead of the naive one-shot push.
   bool robust = false;
   RobustPushExecutor::Options robust_executor;
+  /// KPI gate applied to every robust push (replayed launches route through
+  /// RobustLaunchController::push_gated_launch): a fault-damaged apply that
+  /// breaches the quality floors is rolled back, re-attempted once, and the
+  /// carrier quarantined on a second breach. Ignored in naive mode.
+  RollbackOptions rollback;
   std::uint64_t seed = 2024;
   /// When non-empty, checkpoint the replay state into this directory after
   /// every launch, drained carrier and completed day (see header comment).
@@ -79,6 +84,12 @@ struct RobustReplayTotals {
   std::size_t still_queued = 0;      ///< deferrals unresolved at end of window
   std::size_t aborted_unlocked = 0;  ///< clean aborts on out-of-band unlock
   std::size_t fallout_terminal = 0;  ///< unrecoverable EMS fall-outs
+  std::size_t rolled_back = 0;       ///< launches ending in kRolledBack
+  std::size_t rollbacks = 0;         ///< rollback pushes completed
+  std::size_t rollback_retries = 0;  ///< transient faults retried in rollbacks
+  std::size_t rollback_failed = 0;   ///< rollback pushes that faulted terminally
+  std::size_t reattempts = 0;        ///< forward pushes re-issued after rollback
+  std::size_t quarantined = 0;       ///< carriers that hit the rollback cap
   std::size_t retries = 0;
   int breaker_trips = 0;
 };
@@ -89,6 +100,8 @@ struct WeeklySummary {
   std::size_t change_recommended = 0;
   std::size_t implemented = 0;
   std::size_t fallouts = 0;
+  std::size_t rolled_back = 0;   ///< KPI-gated rollbacks this week (robust mode)
+  std::size_t quarantined = 0;   ///< carriers quarantined this week (robust mode)
   std::size_t parameters_changed = 0;
   double mean_launched_kpi = 0.0;  ///< post-check quality of this week's cohort
 };

@@ -336,6 +336,50 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
   return record;
 }
 
+RobustLaunchRecord RobustLaunchController::push_gated_launch(
+    netsim::CarrierId carrier, const std::vector<LaunchController::PlannedChange>& changes) {
+  RobustLaunchRecord record;
+  record.carrier = carrier;
+  record.changes_planned = changes.size();
+
+  if (changes.empty()) {
+    ems_->unlock(carrier);
+    record.pre_quality = record.post_quality = kpi_->quality(carrier);
+    launch_outcome_counter(record.outcome).inc();
+    return record;
+  }
+
+  record.pre_quality =
+      controller_->launch_quality(carrier, changes, 0, options_.rollback.kpi);
+
+  if (options_.rollback.enabled) {
+    if (const auto it = quarantine_.find(carrier);
+        it != quarantine_.end() && it->second >= options_.rollback.max_rollbacks) {
+      ems_->unlock(carrier);
+      record.outcome = RobustOutcome::kRolledBack;
+      record.quarantine_skipped = true;
+      record.post_quality = record.pre_quality;
+      launch_outcome_counter(record.outcome).inc();
+      return record;
+    }
+  }
+
+  push_gated(carrier, changes, record);
+
+  if (record.outcome == RobustOutcome::kFalloutTerminal ||
+      record.outcome == RobustOutcome::kAbortedUnlocked) {
+    executor_.clear_journal(carrier);
+  }
+  launch_outcome_counter(record.outcome).inc();
+  return record;
+}
+
+void RobustLaunchController::restore_quarantine(
+    const std::vector<std::pair<netsim::CarrierId, int>>& entries) {
+  quarantine_.clear();
+  for (const auto& [carrier, rollbacks] : entries) quarantine_[carrier] = rollbacks;
+}
+
 void RobustLaunchController::push_gated(
     netsim::CarrierId carrier, const std::vector<LaunchController::PlannedChange>& changes,
     RobustLaunchRecord& record) {

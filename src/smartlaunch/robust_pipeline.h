@@ -248,6 +248,26 @@ class RobustLaunchController {
   /// Launches one carrier; does not drain the deferred queue.
   RobustLaunchRecord launch(netsim::CarrierId carrier);
 
+  /// KPI-gated push of an externally planned change set. The caller owns the
+  /// launch flow (lock, plan, fault injection, deferral) and hands over a
+  /// LOCKED carrier; this runs the quarantine check, the pre-quality oracle,
+  /// the forward push and the rollback loop, and unlocks before returning.
+  /// OperationReplay routes its day-by-day pushes through here so replayed
+  /// launches get the same rollback/quarantine semantics as run().
+  RobustLaunchRecord push_gated_launch(netsim::CarrierId carrier,
+                                       const std::vector<LaunchController::PlannedChange>& changes);
+
+  /// Points the gate at a rebuilt recommendation engine (weekly relearn in
+  /// replay); executor, breaker, quarantine and deferred state carry over.
+  void rebind(const LaunchController& controller) { controller_ = &controller; }
+
+  /// Mutable executor access for callers that drive their own deferral /
+  /// resume bookkeeping (replay persistence restores the journal + breaker).
+  RobustPushExecutor& executor_mutable() { return executor_; }
+
+  /// Replaces the quarantine map from persisted state (replay resume).
+  void restore_quarantine(const std::vector<std::pair<netsim::CarrierId, int>>& entries);
+
   /// Launches a batch; drains the deferred queue whenever the breaker
   /// closes after a successful half-open probe, and once more at the end.
   RobustLaunchReport run(std::span<const netsim::CarrierId> carriers);

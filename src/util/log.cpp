@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/log_buffer.h"
 #include "obs/metrics.h"
 
 namespace auric::util {
@@ -86,6 +87,10 @@ void log(LogLevel level, const std::string& message) {
   line += message;
   line += '\n';
   std::fwrite(line.data(), 1, line.size(), stderr);
+  // Mirror every emitted line into the obs ring so GET /logz can show the
+  // recent tail of a live run.
+  line.pop_back();
+  obs::LogBuffer::global().append(std::move(line));
 }
 
 void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }

@@ -1,0 +1,57 @@
+#include "util/obs_flags.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace auric::util {
+
+obs::LivePlaneOptions declare_live_plane_flags(Args& args) {
+  obs::LivePlaneOptions options;
+  const std::string serve = args.get_string(
+      "serve-metrics", "",
+      "serve /metrics /healthz /varz /tracez /logz on 127.0.0.1 (bare flag or 0 = ephemeral port)");
+  options.sample_interval_ms =
+      args.get_double("sample-interval-ms", 100.0, "live-plane sampler cadence in ms");
+  options.rules_file = args.get_string("rules", "", "alert rules CSV evaluated every sample tick");
+  options.series_out =
+      args.get_string("series-out", "", "write the sampled time series CSV here at exit");
+
+  if (serve.empty() || serve == "false" || serve == "no") {
+    options.serve = false;
+    return options;
+  }
+  options.serve = true;
+  if (serve == "true" || serve == "yes") {  // bare --serve-metrics
+    options.port = 0;
+    return options;
+  }
+  try {
+    const int port = std::stoi(serve);
+    if (port < 0 || port > 65535) throw std::out_of_range(serve);
+    options.port = static_cast<std::uint16_t>(port);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--serve-metrics expects a port (0 = ephemeral), got '" + serve +
+                                "'");
+  }
+  return options;
+}
+
+LivePlaneScope::LivePlaneScope(const obs::LivePlaneOptions& options) : plane_(options) {
+  if (!options.serve) return;
+  plane_.start();
+  log_info(format("live plane: http://127.0.0.1:%u/metrics (healthz, varz, tracez, logz)%s%s",
+                  static_cast<unsigned>(plane_.port()),
+                  options.rules_file.empty() ? "" : ", rules=",
+                  options.rules_file.c_str()));
+}
+
+LivePlaneScope::~LivePlaneScope() {
+  if (!plane_.active()) return;
+  const std::string series = plane_.options().series_out;
+  plane_.stop();
+  if (!series.empty()) log_info("live plane: series written to " + series);
+}
+
+}  // namespace auric::util

@@ -1,0 +1,49 @@
+// Shared command-line wiring for the live observability plane.
+//
+// Every entry point that can run for minutes (the auric CLI subcommands,
+// both smartlaunch benches, the replay driver) takes the same four flags:
+//
+//   --serve-metrics[=PORT]   start the embedded HTTP endpoint (/metrics,
+//                            /healthz, /varz, /tracez, /logz); bare flag or
+//                            PORT 0 picks an ephemeral port, logged at start
+//   --sample-interval-ms N   sampler cadence (default 100)
+//   --rules FILE             alert rules CSV for the RuleEngine
+//   --series-out FILE        dump the sampled time series as CSV at exit
+//
+// declare_live_plane_flags() registers them on a util::Args (so
+// check_unknown() accepts them) and returns the parsed LivePlaneOptions;
+// LivePlaneScope is the RAII wrapper that starts the plane and logs the
+// bound port. Lives in util, not obs, because obs sits below util and must
+// not know about Args or the logger.
+#pragma once
+
+#include "obs/live.h"
+#include "util/args.h"
+
+namespace auric::util {
+
+/// Declares --serve-metrics / --sample-interval-ms / --rules / --series-out
+/// on `args` and returns the resulting options. --serve-metrics accepts a
+/// bare flag ("true"), yes/no, or a port number; anything else throws
+/// std::invalid_argument.
+obs::LivePlaneOptions declare_live_plane_flags(Args& args);
+
+/// Starts a LivePlane over the global registry when options.serve is set
+/// (logging the bound port) and stops it — dumping --series-out — on
+/// destruction. Inactive construction is free, so call sites hold one
+/// unconditionally.
+class LivePlaneScope {
+ public:
+  explicit LivePlaneScope(const obs::LivePlaneOptions& options);
+  ~LivePlaneScope();
+  LivePlaneScope(const LivePlaneScope&) = delete;
+  LivePlaneScope& operator=(const LivePlaneScope&) = delete;
+
+  bool active() const { return plane_.active(); }
+  obs::LivePlane& plane() { return plane_; }
+
+ private:
+  obs::LivePlane plane_;
+};
+
+}  // namespace auric::util

@@ -1,3 +1,4 @@
+#include "obs/log_buffer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -394,6 +395,78 @@ TEST(Trace, WriteTraceFileRoundTrips) {
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_NE(line.find("\"name\":\"filed\""), std::string::npos);
   std::filesystem::remove(path);
+}
+
+TEST(MetricsRegistry, LabelCardinalityGuardCapsDistinctLabelSets) {
+  MetricsRegistry reg;
+  reg.set_label_limit(3);
+  EXPECT_EQ(reg.label_limit(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    reg.counter("per_cell_total", "", {{"cell", std::to_string(i)}}).inc();
+  }
+  EXPECT_EQ(reg.label_sets("per_cell_total"), 3u);
+  const std::size_t size_at_cap = reg.size();
+
+  // Registrations past the cap return a shared sink: call sites keep
+  // working, the export stays bounded, and the drop is counted.
+  Counter& sink_a = reg.counter("per_cell_total", "", {{"cell", "overflow-a"}});
+  Counter& sink_b = reg.counter("per_cell_total", "", {{"cell", "overflow-b"}});
+  EXPECT_EQ(&sink_a, &sink_b);
+  sink_a.inc(5);
+  EXPECT_EQ(sink_b.value(), 5u);
+  EXPECT_EQ(reg.label_sets("per_cell_total"), 3u);
+  EXPECT_EQ(reg.counter("obs_labels_dropped_total").value(), 2u);
+  // The sink itself is never exported.
+  EXPECT_NE(reg.prometheus_text().find("per_cell_total{cell=\"2\"}"), std::string::npos);
+  EXPECT_EQ(reg.prometheus_text().find("overflow"), std::string::npos);
+  EXPECT_EQ(reg.size(), size_at_cap + 1);  // only obs_labels_dropped_total was added
+
+  // Re-asking for a label set that got in under the cap still resolves to
+  // the real instrument, not the sink.
+  Counter& real = reg.counter("per_cell_total", "", {{"cell", "1"}});
+  EXPECT_NE(&real, &sink_a);
+
+  // Gauges and histograms overflow into kind-matched sinks too.
+  reg.set_label_limit(1);
+  reg.gauge("g", "", {{"k", "a"}});
+  Gauge& gsink = reg.gauge("g", "", {{"k", "b"}});
+  gsink.set(7.0);
+  EXPECT_EQ(reg.label_sets("g"), 1u);
+  reg.histogram("h", {1.0}, "", {{"k", "a"}});
+  Histogram& hsink = reg.histogram("h", {1.0}, "", {{"k", "b"}});
+  hsink.observe(0.5);
+  EXPECT_EQ(hsink.count(), 1u);
+  EXPECT_EQ(reg.label_sets("h"), 1u);
+}
+
+TEST(LogBufferObs, RingKeepsTheMostRecentLines) {
+  LogBuffer ring(3);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_TRUE(ring.tail().empty());
+  EXPECT_EQ(ring.text(), "");
+  for (int i = 0; i < 5; ++i) {
+    ring.append("line " + std::to_string(i));
+  }
+  const std::vector<std::string> tail = ring.tail();
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0], "line 2");  // oldest surviving
+  EXPECT_EQ(tail[2], "line 4");
+  EXPECT_EQ(ring.text(), "line 2\nline 3\nline 4\n");
+  EXPECT_EQ(ring.total_appended(), 5u);
+  ring.clear();
+  EXPECT_TRUE(ring.tail().empty());
+  EXPECT_EQ(ring.total_appended(), 0u);
+}
+
+TEST(LogBufferObs, UtilLogFeedsTheGlobalRing) {
+  const std::uint64_t before = LogBuffer::global().total_appended();
+  util::log_info("obs ring probe 1147");
+  EXPECT_EQ(LogBuffer::global().total_appended(), before + 1);
+  const std::vector<std::string> tail = LogBuffer::global().tail();
+  ASSERT_FALSE(tail.empty());
+  EXPECT_NE(tail.back().find("obs ring probe 1147"), std::string::npos);
+  EXPECT_NE(tail.back().find("INFO"), std::string::npos);
+  EXPECT_EQ(tail.back().find('\n'), std::string::npos);  // lines are stored bare
 }
 
 TEST(LogObs, ParseLogLevelAcceptsNamesAndNumbers) {

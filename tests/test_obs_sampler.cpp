@@ -1,0 +1,248 @@
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace auric::obs {
+namespace {
+
+MetricSample counter_sample(const std::string& name, double value, Labels labels = {}) {
+  MetricSample s;
+  s.kind = MetricSample::Kind::kCounter;
+  s.name = name;
+  s.labels = std::move(labels);
+  s.value = value;
+  return s;
+}
+
+MetricSample gauge_sample(const std::string& name, double value, Labels labels = {}) {
+  MetricSample s;
+  s.kind = MetricSample::Kind::kGauge;
+  s.name = name;
+  s.labels = std::move(labels);
+  s.value = value;
+  return s;
+}
+
+MetricSample histogram_sample(const std::string& name, std::vector<double> bounds,
+                              std::vector<std::uint64_t> buckets) {
+  MetricSample s;
+  s.kind = MetricSample::Kind::kHistogram;
+  s.name = name;
+  s.bounds = std::move(bounds);
+  s.buckets = std::move(buckets);
+  for (std::uint64_t b : s.buckets) s.count += b;
+  return s;
+}
+
+TEST(SeriesSelector, ParsesBareNamesAndLabelSets) {
+  SeriesSelector bare = SeriesSelector::parse("req_total");
+  EXPECT_EQ(bare.name, "req_total");
+  EXPECT_TRUE(bare.labels.empty());
+
+  SeriesSelector labelled = SeriesSelector::parse("req_total{code=\"200\",zone=\"a,b\"}");
+  EXPECT_EQ(labelled.name, "req_total");
+  ASSERT_EQ(labelled.labels.size(), 2u);
+  EXPECT_EQ(labelled.labels[0].first, "code");
+  EXPECT_EQ(labelled.labels[0].second, "200");
+  EXPECT_EQ(labelled.labels[1].second, "a,b");  // commas inside quotes survive
+
+  SeriesSelector escaped = SeriesSelector::parse("m{k=\"va\\\"lue\"}");
+  EXPECT_EQ(escaped.labels[0].second, "va\"lue");
+}
+
+TEST(SeriesSelector, RejectsMalformedSyntax) {
+  EXPECT_THROW(SeriesSelector::parse(""), std::invalid_argument);
+  EXPECT_THROW(SeriesSelector::parse("m{unclosed=\"v\""), std::invalid_argument);
+  EXPECT_THROW(SeriesSelector::parse("m{k=unquoted}"), std::invalid_argument);
+  EXPECT_THROW(SeriesSelector::parse("m{=\"v\"}"), std::invalid_argument);
+}
+
+TEST(SeriesSelector, MatchingIsASubsetMatch) {
+  SeriesSelector sel = SeriesSelector::parse("req_total{code=\"200\"}");
+  EXPECT_TRUE(sel.matches(counter_sample("req_total", 1, {{"code", "200"}, {"zone", "a"}})));
+  EXPECT_FALSE(sel.matches(counter_sample("req_total", 1, {{"code", "500"}})));
+  EXPECT_FALSE(sel.matches(counter_sample("req_total", 1)));
+  EXPECT_FALSE(sel.matches(counter_sample("other", 1, {{"code", "200"}})));
+  // str() round-trips through parse().
+  SeriesSelector again = SeriesSelector::parse(sel.str());
+  EXPECT_EQ(again.name, sel.name);
+  EXPECT_EQ(again.labels, sel.labels);
+}
+
+TEST(Sampler, ValueSumsAcrossLabelMatches) {
+  Sampler sampler;
+  sampler.tick_with(0.0, {counter_sample("req_total", 3, {{"code", "200"}}),
+                          counter_sample("req_total", 4, {{"code", "500"}}),
+                          gauge_sample("depth", 7)});
+  EXPECT_DOUBLE_EQ(*sampler.value(SeriesSelector::parse("req_total")), 7.0);
+  EXPECT_DOUBLE_EQ(*sampler.value(SeriesSelector::parse("req_total{code=\"200\"}")), 3.0);
+  EXPECT_DOUBLE_EQ(*sampler.value(SeriesSelector::parse("depth")), 7.0);
+  EXPECT_FALSE(sampler.value(SeriesSelector::parse("missing")).has_value());
+}
+
+TEST(Sampler, RateUsesOldestPointInsideTheWindow) {
+  Sampler sampler;
+  sampler.tick_with(0.0, {counter_sample("c", 0)});
+  sampler.tick_with(1.0, {counter_sample("c", 10)});
+  sampler.tick_with(2.0, {counter_sample("c", 30)});
+  const SeriesSelector c = SeriesSelector::parse("c");
+  // Window covers everything: (30 - 0) / (2 - 0).
+  EXPECT_DOUBLE_EQ(*sampler.rate(c, 10.0), 15.0);
+  // Window [0.5, 2) only holds t=1: (30 - 10) / (2 - 1).
+  EXPECT_DOUBLE_EQ(*sampler.rate(c, 1.5), 20.0);
+  // Window [1.5, 2) holds nothing older; falls back to the previous point.
+  EXPECT_DOUBLE_EQ(*sampler.rate(c, 0.5), 20.0);
+}
+
+TEST(Sampler, RateNeedsTwoPointsAndClampsCounterResets) {
+  Sampler sampler;
+  const SeriesSelector c = SeriesSelector::parse("c");
+  EXPECT_FALSE(sampler.rate(c, 10.0).has_value());
+  sampler.tick_with(0.0, {counter_sample("c", 30)});
+  EXPECT_FALSE(sampler.rate(c, 10.0).has_value());  // one point is no rate
+  sampler.tick_with(1.0, {counter_sample("c", 5)});  // process restarted
+  EXPECT_DOUBLE_EQ(*sampler.rate(c, 10.0), 0.0);     // clamped, not negative
+}
+
+TEST(Sampler, TickTimesMustStrictlyIncrease) {
+  Sampler sampler;
+  sampler.tick_with(1.0, {});
+  EXPECT_THROW(sampler.tick_with(1.0, {}), std::invalid_argument);
+  EXPECT_THROW(sampler.tick_with(0.5, {}), std::invalid_argument);
+  sampler.tick_with(1.5, {});
+  EXPECT_EQ(sampler.ticks(), 2u);
+}
+
+TEST(Sampler, QuantileInterpolatesInsideBuckets) {
+  Sampler sampler;
+  sampler.tick_with(0.0, {histogram_sample("lat", {1.0, 2.0, 4.0}, {2, 2, 4, 2})});
+  const SeriesSelector lat = SeriesSelector::parse("lat");
+  // rank(0.5) = 5 of 10 -> bucket (2, 4], 1 of 4 into it: 2 + 2 * 0.25.
+  EXPECT_DOUBLE_EQ(*sampler.quantile(lat, 0.5), 2.5);
+  // rank(0.1) = 1 -> first bucket interpolates from 0: 0 + 1 * (1/2).
+  EXPECT_DOUBLE_EQ(*sampler.quantile(lat, 0.1), 0.5);
+  // rank(0.9) = 9 lands in the overflow bucket -> clamps to the last bound.
+  EXPECT_DOUBLE_EQ(*sampler.quantile(lat, 0.9), 4.0);
+  EXPECT_FALSE(sampler.quantile(SeriesSelector::parse("missing"), 0.5).has_value());
+}
+
+TEST(HistogramQuantile, NanOnNonHistogramOrEmpty) {
+  EXPECT_TRUE(std::isnan(histogram_quantile(counter_sample("c", 1), 0.5)));
+  EXPECT_TRUE(std::isnan(histogram_quantile(histogram_sample("h", {1.0}, {0, 0}), 0.5)));
+  // A sample with mismatched bucket/bound arity is malformed, not a crash.
+  MetricSample bad = histogram_sample("h", {1.0, 2.0}, {1, 1});
+  EXPECT_TRUE(std::isnan(histogram_quantile(bad, 0.5)));
+}
+
+TEST(Sampler, RingOverwritesOldestAtCapacity) {
+  SamplerOptions options;
+  options.capacity = 3;
+  Sampler sampler(MetricsRegistry::global(), options);
+  for (int i = 0; i < 5; ++i) {
+    sampler.tick_with(static_cast<double>(i), {counter_sample("c", i)});
+  }
+  EXPECT_EQ(sampler.size(), 3u);
+  EXPECT_EQ(sampler.ticks(), 5u);
+  const std::vector<SamplePoint> points = sampler.points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points.front().t, 2.0);  // oldest surviving
+  EXPECT_DOUBLE_EQ(points.back().t, 4.0);
+  EXPECT_DOUBLE_EQ(*sampler.last_time(), 4.0);
+  sampler.clear();
+  EXPECT_EQ(sampler.size(), 0u);
+  EXPECT_FALSE(sampler.last_time().has_value());
+}
+
+TEST(Sampler, TickScrapesTheRegistryAndRunsHooks) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("scraped_total");
+  Sampler sampler(reg);
+  int pre = 0;
+  std::vector<double> seen;
+  sampler.set_pre_tick([&] {
+    ++pre;
+    c.inc(5);  // pre-tick mutations land IN the snapshot
+  });
+  sampler.set_on_tick([&](double t) {
+    seen.push_back(t);
+    // The hook runs outside the ring lock: derivations are safe here.
+    EXPECT_TRUE(sampler.value(SeriesSelector::parse("scraped_total")).has_value());
+  });
+  sampler.tick(1.0);
+  sampler.tick(2.0);
+  EXPECT_EQ(pre, 2);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[1], 2.0);
+  EXPECT_DOUBLE_EQ(*sampler.value(SeriesSelector::parse("scraped_total")), 10.0);
+}
+
+TEST(Sampler, BackgroundThreadTicksAndStops) {
+  MetricsRegistry reg;
+  reg.counter("bg_total").inc();
+  SamplerOptions options;
+  options.interval_ms = 1.0;
+  Sampler sampler(reg, options);
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  for (int i = 0; i < 2000 && sampler.ticks() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.ticks(), 3u);
+  const std::uint64_t after_stop = sampler.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(sampler.ticks(), after_stop);
+  sampler.stop();  // idempotent
+}
+
+TEST(Sampler, SeriesCsvHasOneRowPerTickAndDerivedColumns) {
+  Sampler sampler;
+  sampler.tick_with(0.0, {counter_sample("c", 0, {{"k", "a"}}), gauge_sample("g", 1),
+                          histogram_sample("h", {1.0, 2.0, 4.0}, {2, 2, 4, 2})});
+  sampler.tick_with(2.0, {counter_sample("c", 10, {{"k", "a"}}), gauge_sample("g", 3),
+                          histogram_sample("h", {1.0, 2.0, 4.0}, {2, 2, 4, 2})});
+  const std::string csv = sampler.series_csv();
+  std::istringstream lines(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header.rfind("t_s,", 0), 0u);
+  // Label sets contain commas, so the column name is CSV-quoted.
+  EXPECT_NE(header.find("\"c{k=\"\"a\"\"}\""), std::string::npos);
+  EXPECT_NE(header.find(":rate"), std::string::npos);  // counters get a rate column
+  EXPECT_NE(header.find("h:count"), std::string::npos);
+  EXPECT_NE(header.find("h:p50"), std::string::npos);
+  EXPECT_NE(header.find("h:p99"), std::string::npos);
+  std::string row1;
+  std::string row2;
+  ASSERT_TRUE(std::getline(lines, row1));
+  ASSERT_TRUE(std::getline(lines, row2));
+  std::string extra;
+  EXPECT_FALSE(std::getline(lines, extra));
+  EXPECT_EQ(row2.rfind("2,", 0), 0u);           // t_s column
+  EXPECT_NE(row2.find('5'), std::string::npos);  // counter rate (10 - 0) / 2
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "auric_sampler_series_test.csv";
+  sampler.write_series_csv(path.string());
+  std::ifstream in(path);
+  std::string first;
+  ASSERT_TRUE(std::getline(in, first));
+  EXPECT_EQ(first, header);
+  std::filesystem::remove(path);
+  EXPECT_THROW(sampler.write_series_csv((path / "nope" / "x.csv").string()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace auric::obs

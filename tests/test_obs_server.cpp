@@ -1,0 +1,231 @@
+#include "obs/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log_buffer.h"
+#include "obs/rules.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+
+namespace auric::obs {
+namespace {
+
+// Minimal HTTP client: one raw request, read to connection close.
+std::string http_request(std::uint16_t port, const std::string& raw) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("client socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("client connect() failed");
+  }
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  return http_request(port, "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+TEST(MetricsServer, HandleRoutesEveryEndpoint) {
+  MetricsRegistry reg;
+  reg.counter("req_total", "requests").inc(7);
+  MetricsServer server(reg);
+
+  MetricsServer::Response metrics = server.handle("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.body.find("req_total 7"), std::string::npos);
+
+  MetricsServer::Response varz = server.handle("GET", "/varz");
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_EQ(varz.content_type, "application/json");
+  EXPECT_EQ(varz.body.front(), '[');
+  EXPECT_NE(varz.body.find("\"name\":\"req_total\""), std::string::npos);
+
+  // Query strings are stripped; endpoints take no parameters.
+  EXPECT_EQ(server.handle("GET", "/metrics?format=json").status, 200);
+  // The index lists the endpoints; unknown paths are 404, non-GET is 405.
+  EXPECT_NE(server.handle("GET", "/").body.find("/healthz"), std::string::npos);
+  EXPECT_EQ(server.handle("GET", "/nope").status, 404);
+  EXPECT_EQ(server.handle("POST", "/metrics").status, 405);
+  EXPECT_EQ(server.handle("HEAD", "/metrics").status, 405);
+}
+
+TEST(MetricsServer, OptionalSourcesGateTheirEndpoints) {
+  MetricsRegistry reg;
+  MetricsServer server(reg);
+  // Nothing wired: healthz degrades to "alive == healthy", the rest 404.
+  MetricsServer::Response healthz = server.handle("GET", "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(server.handle("GET", "/tracez").status, 404);
+  EXPECT_EQ(server.handle("GET", "/logz").status, 404);
+
+  TraceRecorder traces(8);
+  { ScopedSpan span("test.span", traces); }
+  LogBuffer logs(8);
+  logs.append("hello from the ring");
+  server.set_trace_recorder(&traces);
+  server.set_log_buffer(&logs);
+  MetricsServer::Response tracez = server.handle("GET", "/tracez");
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_EQ(tracez.content_type, "application/x-ndjson");
+  EXPECT_NE(tracez.body.find("\"name\":\"test.span\""), std::string::npos);
+  MetricsServer::Response logz = server.handle("GET", "/logz");
+  EXPECT_EQ(logz.status, 200);
+  EXPECT_EQ(logz.body, "hello from the ring\n");
+}
+
+TEST(MetricsServer, HealthzFollowsTheRuleEngineVerdict) {
+  MetricsRegistry reg;
+  RuleEngine engine(reg);
+  AlertRule rule;
+  rule.name = "must_fire";
+  rule.kind = AlertRule::Kind::kAbsence;
+  rule.metric = SeriesSelector::parse("no_such_metric");
+  engine.add_rule(rule);
+  engine.set_log([](const std::string&) {});
+  MetricsServer server(reg);
+  server.set_rule_engine(&engine);
+
+  EXPECT_EQ(server.handle("GET", "/healthz").status, 200);  // not yet evaluated
+  Sampler sampler(reg);
+  sampler.tick_with(1.0, {});
+  engine.evaluate(sampler, 1.0);
+  MetricsServer::Response firing = server.handle("GET", "/healthz");
+  EXPECT_EQ(firing.status, 503);
+  EXPECT_NE(firing.body.find("\"status\":\"alerting\""), std::string::npos);
+  EXPECT_NE(firing.body.find("must_fire"), std::string::npos);
+}
+
+TEST(MetricsServer, ServesOverAnEphemeralPort) {
+  MetricsRegistry reg;
+  reg.counter("live_total", "liveness probe").inc(3);
+  MetricsServer server(reg);
+  EXPECT_EQ(server.port(), 0);
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(server.port(), 0);
+
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Length: "), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("live_total 3"), std::string::npos);
+
+  EXPECT_NE(http_get(server.port(), "/nope").rfind("HTTP/1.1 404", 0), std::string::npos);
+  EXPECT_GE(server.requests_served(), 2u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+  EXPECT_THROW(http_get(server.port(), "/metrics"), std::runtime_error);
+}
+
+TEST(MetricsServer, RejectsMalformedAndOversizedRequests) {
+  MetricsRegistry reg;
+  MetricsServerOptions options;
+  options.max_request_bytes = 256;
+  MetricsServer server(reg, options);
+  server.start();
+
+  EXPECT_EQ(http_request(server.port(), "GARBAGE\r\n\r\n").rfind("HTTP/1.1 400", 0), 0u);
+  EXPECT_EQ(http_request(server.port(), "GET /metrics\r\n\r\n").rfind("HTTP/1.1 400", 0), 0u);
+  EXPECT_EQ(http_request(server.port(), "POST /metrics HTTP/1.1\r\n\r\n").rfind("HTTP/1.1 405", 0),
+            0u);
+  const std::string oversized =
+      "GET /metrics HTTP/1.1\r\nX-Padding: " + std::string(512, 'x') + "\r\n\r\n";
+  EXPECT_EQ(http_request(server.port(), oversized).rfind("HTTP/1.1 413", 0), 0u);
+  server.stop();
+}
+
+TEST(MetricsServer, ConcurrentScrapesAllSucceed) {
+  MetricsRegistry reg;
+  reg.counter("scrape_total").inc(1);
+  MetricsServer server(reg);
+  server.start();
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 5;
+  std::vector<std::thread> clients;
+  std::vector<int> ok(kClients, 0);
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const std::string response = http_get(server.port(), "/metrics");
+        if (response.rfind("HTTP/1.1 200", 0) == 0 &&
+            response.find("scrape_total 1") != std::string::npos) {
+          ++ok[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  int total = 0;
+  for (int n : ok) {
+    total += n;
+  }
+  EXPECT_EQ(total, kClients * kRequestsEach);
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(kClients * kRequestsEach));
+  server.stop();
+}
+
+TEST(MetricsServer, RebindingAFixedPortAfterStopWorks) {
+  MetricsRegistry reg;
+  MetricsServer first(reg);
+  first.start();
+  const std::uint16_t port = first.port();
+  first.stop();
+
+  MetricsServerOptions options;
+  options.port = port;  // freed by stop(); SO_REUSEADDR covers TIME_WAIT
+  MetricsServer second(reg, options);
+  second.start();
+  EXPECT_EQ(second.port(), port);
+  EXPECT_EQ(http_get(port, "/healthz").rfind("HTTP/1.1 200", 0), 0u);
+  second.stop();
+}
+
+TEST(MetricsServer, BadBindAddressThrows) {
+  MetricsRegistry reg;
+  MetricsServerOptions options;
+  options.bind_address = "not-an-address";
+  MetricsServer server(reg, options);
+  EXPECT_THROW(server.start(), std::runtime_error);
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace auric::obs

@@ -19,6 +19,16 @@
 //       Synthesize a human-readable rule-book from the learned peer groups
 //       (the paper's "automatically learn the rules" pitch, inverted for
 //       review by engineers).
+//
+//   auric replay    [--data DIR] [--days N] [--robust] [--state-dir DIR]
+//       Replay the paper's two-month operation window day by day (synthetic
+//       network by default); weekly Table-5 counters plus rollback and
+//       quarantine columns in robust mode.
+//
+// Every subcommand additionally accepts the live-plane flags
+// (--serve-metrics[=PORT] --sample-interval-ms --rules FILE --series-out):
+// with --serve-metrics the process exposes /metrics /healthz /varz /tracez
+// /logz on loopback WHILE it runs.
 #include <cstdio>
 #include <algorithm>
 #include <cstring>
@@ -36,7 +46,9 @@
 #include "netsim/generator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "smartlaunch/replay.h"
 #include "util/args.h"
+#include "util/obs_flags.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -195,12 +207,85 @@ int cmd_rules(util::Args& args) {
   return 0;
 }
 
+int cmd_replay(util::Args& args) {
+  const std::string dir =
+      args.get_string("data", "", "inventory directory (default: synthetic network)");
+  netsim::TopologyParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1, "random seed (synthetic)"));
+  params.num_markets =
+      static_cast<int>(args.get_int("markets", 28, "number of markets (synthetic)"));
+  params.base_enodebs_per_market =
+      static_cast<int>(args.get_int("scale", 55, "base eNodeBs per market (synthetic)"));
+
+  smartlaunch::ReplayOptions options;
+  options.days = static_cast<int>(args.get_int("days", 60, "operation window in days"));
+  options.launches_per_day =
+      static_cast<int>(args.get_int("launches-per-day", 21, "new carriers per day"));
+  options.relearn_every_days =
+      static_cast<int>(args.get_int("relearn-days", 7, "engine re-learn cadence in days"));
+  options.robust = args.get_bool(
+      "robust", true, "push through the fault-tolerant path (chunk/retry/breaker/KPI gate)");
+  options.rollback.enabled = args.get_bool(
+      "rollback", true, "KPI-gate robust pushes (roll back + quarantine on breach)");
+  options.state_dir = args.get_string(
+      "state-dir", "", "checkpoint replay state into this directory after every launch");
+  options.resume = args.get_bool("resume", false, "restart from the checkpoint in --state-dir");
+  options.stop_after_launches = static_cast<int>(
+      args.get_int("stop-after-launches", 0, "checkpoint and exit after N launches (0 = all)"));
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+
+  Snapshot snap;
+  if (dir.empty()) {
+    snap.topology = netsim::generate_topology(params);
+    snap.schema = netsim::AttributeSchema::standard(snap.topology);
+  } else {
+    snap = load(dir);
+  }
+  config::GroundTruthParams gt;
+  gt.seed = params.seed + 6;  // matches `auric generate`, so --data round-trips
+  const config::GroundTruthModel ground_truth(snap.topology, snap.schema, snap.catalog, gt);
+  if (dir.empty()) snap.assignment = ground_truth.assign();
+
+  smartlaunch::OperationReplay replay(snap.topology, snap.schema, snap.catalog, ground_truth,
+                                      snap.assignment, options);
+  const smartlaunch::ReplayReport report = replay.run();
+
+  util::Table table({"week", "launches", "flagged", "implemented", "fallouts", "rolled back",
+                     "quarantined", "params changed", "mean launch KPI"});
+  for (const smartlaunch::WeeklySummary& week : report.weeks) {
+    table.add_row({std::to_string(week.week), std::to_string(week.launches),
+                   std::to_string(week.change_recommended), std::to_string(week.implemented),
+                   std::to_string(week.fallouts), std::to_string(week.rolled_back),
+                   std::to_string(week.quarantined), std::to_string(week.parameters_changed),
+                   util::format_fixed(week.mean_launched_kpi, 3)});
+  }
+  table.print();
+
+  const auto& totals = report.totals;
+  std::printf("\n%d days: %zu launches, %zu flagged, %zu implemented, %zu fall-outs, %zu"
+              " parameters changed;\nnetwork mean KPI %.3f -> %.3f, %d engine re-learns\n",
+              options.days, totals.launches, totals.change_recommended, totals.implemented,
+              totals.fallout_unlocked + totals.fallout_timeout, totals.parameters_changed,
+              report.initial_network_kpi, report.final_network_kpi, report.engine_relearns);
+  if (options.robust) {
+    const smartlaunch::RobustReplayTotals& r = report.robust;
+    std::printf("robust layer: %zu recovered, %zu retries, %d breaker trips, %zu deferred"
+                " (%zu drained, %zu queued);\nKPI gate: %zu rolled back, %zu rollback pushes,"
+                " %zu reattempts, %zu quarantined\n",
+                r.recovered, r.retries, r.breaker_trips, r.queued_degraded, r.drained,
+                r.still_queued, r.rolled_back, r.rollbacks, r.reattempts, r.quarantined);
+  }
+  return 0;
+}
+
 int usage() {
   std::fputs(
-      "usage: auric <generate|inspect|evaluate|recommend|rules> [flags]\n"
+      "usage: auric <generate|inspect|evaluate|recommend|rules|replay> [flags]\n"
       "run a subcommand with --help for its flags\n"
-      "every subcommand accepts --metrics-out PATH (.prom/.csv/.json) and\n"
-      "--trace-out PATH (JSONL spans), written after the command completes\n",
+      "every subcommand accepts --metrics-out PATH (.prom/.csv/.json), --trace-out PATH\n"
+      "(JSONL spans), and the live-plane flags --serve-metrics[=PORT]\n"
+      "--sample-interval-ms N --rules FILE --series-out PATH\n",
       stderr);
   return 2;
 }
@@ -220,14 +305,19 @@ int main(int argc, char** argv) {
         "metrics-out", "", "write a metrics snapshot here on exit (.prom/.csv/.json)");
     const std::string trace_out =
         args.get_string("trace-out", "", "write the span trace here as JSONL on exit");
+    const obs::LivePlaneOptions live_options = util::declare_live_plane_flags(args);
+    util::LivePlaneScope live(args.help_requested() ? obs::LivePlaneOptions{} : live_options);
     int rc = 0;
     if (command == "generate") rc = cli::cmd_generate(args);
     else if (command == "inspect") rc = cli::cmd_inspect(args);
     else if (command == "evaluate") rc = cli::cmd_evaluate(args);
     else if (command == "recommend") rc = cli::cmd_recommend(args);
     else if (command == "rules") rc = cli::cmd_rules(args);
+    else if (command == "replay") rc = cli::cmd_replay(args);
     else return cli::usage();
-    if (!args.help_requested()) {
+    if (args.help_requested()) {
+      std::fputs(args.usage().c_str(), stdout);
+    } else {
       if (!metrics_out.empty()) {
         obs::write_metrics_file(obs::MetricsRegistry::global(), metrics_out);
       }
