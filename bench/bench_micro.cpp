@@ -18,6 +18,9 @@
 #include "obs/sampler.h"
 #include "obs/server.h"
 #include "obs/trace.h"
+#include "smartlaunch/ems.h"
+#include "smartlaunch/replay.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace auric {
@@ -188,6 +191,68 @@ void BM_EngineRecommendCarrier(benchmark::State& state) {
                           static_cast<std::int64_t>(w.catalog.singular_ids().size()));
 }
 BENCHMARK(BM_EngineRecommendCarrier);
+
+// --- SmartLaunch push / sharded replay -------------------------------------
+//
+// The push arm prices one EMS round trip (lock, apply, unlock) — the unit
+// the launch stream is made of. The sharded-replay arm runs a small but
+// complete operation window at 1/4/8 EMS shards on a worker pool forced to
+// one thread per shard; on a multi-core runner the N>1 arms must show the
+// shard-parallel speedup, and CI fails the build if any arm regresses.
+
+void BM_EmsPush(benchmark::State& state) {
+  const World& w = world();
+  smartlaunch::EmsOptions options;
+  options.flaky_timeout_prob = 0.0;
+  smartlaunch::EmsSimulator ems(w.topo.carrier_count(), options);
+  const std::vector<config::MoSetting> settings = {
+      {"ENodeBFunction", w.catalog.id_of("pMax"), 3},
+      {"ENodeBFunction", w.catalog.id_of("crsGain"), 1}};
+  netsim::CarrierId carrier = 0;
+  for (auto _ : state) {
+    ems.lock(carrier);
+    benchmark::DoNotOptimize(ems.push(carrier, settings));
+    ems.unlock(carrier);
+    carrier = static_cast<netsim::CarrierId>(
+        (carrier + 1) % static_cast<netsim::CarrierId>(w.topo.carrier_count()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(settings.size()));
+}
+BENCHMARK(BM_EmsPush);
+
+void BM_ShardedReplay(benchmark::State& state) {
+  const auto shards = static_cast<int>(state.range(0));
+  // A wider world than the shared one so every shard stays populated (market
+  // hashing clusters small topologies onto few shards).
+  static const netsim::Topology topo = [] {
+    netsim::TopologyParams params;
+    params.seed = 11;
+    params.num_markets = 16;
+    params.base_enodebs_per_market = 4;
+    return netsim::generate_topology(params);
+  }();
+  static const netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topo);
+  static const config::ParamCatalog catalog = config::ParamCatalog::standard();
+  static const config::GroundTruthModel ground_truth(topo, schema, catalog);
+  static const config::ConfigAssignment assignment = ground_truth.assign();
+
+  util::set_worker_count(static_cast<std::size_t>(shards));
+  if (shards > 1) util::TaskPool::shared().reserve(static_cast<std::size_t>(shards));
+
+  smartlaunch::ReplayOptions options;
+  options.days = 7;
+  options.launches_per_day = 16;
+  options.robust = true;
+  options.shards = shards;
+  for (auto _ : state) {
+    smartlaunch::OperationReplay replay(topo, schema, catalog, ground_truth, assignment,
+                                        options);
+    benchmark::DoNotOptimize(replay.run());
+  }
+  util::set_worker_count(0);
+  state.SetItemsProcessed(state.iterations() * options.days * options.launches_per_day);
+}
+BENCHMARK(BM_ShardedReplay)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // --- Observability primitives ---------------------------------------------
 //

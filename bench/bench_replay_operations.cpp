@@ -36,6 +36,8 @@ int body(util::Args& args) {
   options.stop_after_launches = static_cast<int>(args.get_int(
       "stop-after-launches", 0,
       "simulated kill: checkpoint and exit after N total launches (0 = full window)"));
+  options.shards = static_cast<int>(args.get_int(
+      "shards", 1, "EMS shards; the launch stream runs shard-parallel (1 = legacy serial)"));
   if (args.help_requested()) return 0;
 
   smartlaunch::OperationReplay replay(ctx.topology, ctx.schema, ctx.catalog,

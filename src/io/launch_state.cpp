@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 #include <stdexcept>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "util/csv.h"
@@ -41,14 +42,30 @@ constexpr const char* kAppliedFile = "applied.csv";
 constexpr const char* kRelearnFile = "relearn.csv";
 constexpr const char* kProgressFile = "progress.csv";
 
-std::string path_in(const std::string& dir, const char* file) {
+/// Progress key carrying the shard count of a sharded-layout checkpoint.
+/// Living inside progress.csv makes the layout mode part of the atomic
+/// commit: a crash between renames can never leave a checkpoint whose
+/// committed progress disagrees about which block files to read.
+constexpr const char* kShardsKey = "__shards";
+
+/// "journal.csv" with shard suffix 2 -> "journal.2.csv"; shard < 0 keeps the
+/// flat single-shard name.
+std::string shard_file(const char* file, int shard) {
+  if (shard < 0) return file;
+  const std::string_view name(file);
+  const std::size_t dot = name.rfind('.');
+  return std::string(name.substr(0, dot)) + "." + std::to_string(shard) +
+         std::string(name.substr(dot));
+}
+
+std::string path_in(const std::string& dir, const std::string& file) {
   return (std::filesystem::path(dir) / file).string();
 }
 
 /// Writes `rows` under `headers` to `<dir>/<file>` via a temporary name, so
 /// a crash mid-write never clobbers the previous consistent checkpoint.
 /// Returns the bytes written, for the checkpoint-size counter.
-std::uintmax_t write_atomic(const std::string& dir, const char* file,
+std::uintmax_t write_atomic(const std::string& dir, const std::string& file,
                             const std::vector<std::string>& headers,
                             const std::vector<std::vector<std::string>>& rows) {
   const std::string final_path = path_in(dir, file);
@@ -88,6 +105,55 @@ std::uint64_t parse_u64(const util::CsvTable& csv, std::size_t row, const char* 
   }
 }
 
+/// Writes the five per-shard recovery blocks (journal, deferred queue,
+/// quarantine, breaker, EMS) under shard-suffixed names; shard < 0 writes
+/// the legacy flat names. Returns the bytes written.
+std::uintmax_t save_blocks(const std::string& dir, int shard,
+                           const std::vector<std::pair<netsim::CarrierId, std::uint64_t>>& journal,
+                           const std::vector<netsim::CarrierId>& deferred,
+                           const std::vector<std::pair<netsim::CarrierId, int>>& quarantine,
+                           const util::CircuitBreaker::Snapshot& breaker,
+                           const LaunchState::EmsState& ems) {
+  std::uintmax_t bytes = 0;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [carrier, applied] : journal) {
+    rows.push_back({std::to_string(carrier), std::to_string(applied)});
+  }
+  bytes += write_atomic(dir, shard_file(kJournalFile, shard), {"carrier", "applied"}, rows);
+
+  rows.clear();
+  for (netsim::CarrierId carrier : deferred) rows.push_back({std::to_string(carrier)});
+  bytes += write_atomic(dir, shard_file(kDeferredFile, shard), {"carrier"}, rows);
+
+  rows.clear();
+  for (const auto& [carrier, rollbacks] : quarantine) {
+    rows.push_back({std::to_string(carrier), std::to_string(rollbacks)});
+  }
+  bytes += write_atomic(dir, shard_file(kQuarantineFile, shard), {"carrier", "rollbacks"}, rows);
+
+  bytes += write_atomic(
+      dir, shard_file(kBreakerFile, shard),
+      {"state", "consecutive_failures", "cooldown_remaining", "trips", "refusals"},
+      {{util::circuit_state_name(breaker.state), std::to_string(breaker.consecutive_failures),
+        std::to_string(breaker.cooldown_remaining), std::to_string(breaker.trips),
+        std::to_string(breaker.refusals)}});
+
+  // ems.csv is a typed key/value file: scalar rows carry the counters and
+  // stream positions, carrier rows list unlocked / repaired ids.
+  rows.clear();
+  rows.push_back({"pushes_executed", std::to_string(ems.pushes_executed)});
+  rows.push_back({"lock_cycles", std::to_string(ems.lock_cycles)});
+  rows.push_back({"fault_stream", std::to_string(ems.fault_stream)});
+  rows.push_back({"flap_stream", std::to_string(ems.flap_stream)});
+  rows.push_back({"burst_stream", std::to_string(ems.burst_stream)});
+  for (netsim::CarrierId c : ems.unlocked) rows.push_back({"unlocked", std::to_string(c)});
+  for (netsim::CarrierId c : ems.repaired) rows.push_back({"repaired", std::to_string(c)});
+  bytes += write_atomic(dir, shard_file(kEmsFile, shard), {"key", "value"}, rows);
+
+  return bytes;
+}
+
 void require_headers(const util::CsvTable& csv, std::initializer_list<const char*> required) {
   std::string missing;
   for (const char* column : required) {
@@ -95,6 +161,90 @@ void require_headers(const util::CsvTable& csv, std::initializer_list<const char
   }
   if (!missing.empty()) {
     throw std::invalid_argument(csv.source() + ": missing required column(s): " + missing);
+  }
+}
+
+/// Loads and validates the five per-shard recovery blocks written by
+/// save_blocks(); shard < 0 reads the legacy flat names.
+void load_blocks(const std::string& dir, int shard,
+                 std::vector<std::pair<netsim::CarrierId, std::uint64_t>>& journal_out,
+                 std::vector<netsim::CarrierId>& deferred_out,
+                 std::vector<std::pair<netsim::CarrierId, int>>& quarantine_out,
+                 util::CircuitBreaker::Snapshot& breaker_out,
+                 LaunchState::EmsState& ems_out) {
+  const util::CsvTable journal = util::CsvTable::load(path_in(dir, shard_file(kJournalFile, shard)));
+  require_headers(journal, {"carrier", "applied"});
+  std::set<netsim::CarrierId> seen;
+  for (std::size_t r = 0; r < journal.row_count(); ++r) {
+    const auto carrier = static_cast<netsim::CarrierId>(
+        checked_int(journal, r, "carrier", 0, std::numeric_limits<std::int32_t>::max()));
+    if (!seen.insert(carrier).second) {
+      throw std::invalid_argument(journal.context(r) + ": duplicate journal entry for carrier " +
+                                  std::to_string(carrier));
+    }
+    journal_out.emplace_back(carrier, parse_u64(journal, r, "applied"));
+  }
+
+  const util::CsvTable deferred = util::CsvTable::load(path_in(dir, shard_file(kDeferredFile, shard)));
+  require_headers(deferred, {"carrier"});
+  for (std::size_t r = 0; r < deferred.row_count(); ++r) {
+    deferred_out.push_back(static_cast<netsim::CarrierId>(
+        checked_int(deferred, r, "carrier", 0, std::numeric_limits<std::int32_t>::max())));
+  }
+
+  const util::CsvTable quarantine =
+      util::CsvTable::load(path_in(dir, shard_file(kQuarantineFile, shard)));
+  require_headers(quarantine, {"carrier", "rollbacks"});
+  for (std::size_t r = 0; r < quarantine.row_count(); ++r) {
+    quarantine_out.emplace_back(
+        static_cast<netsim::CarrierId>(
+            checked_int(quarantine, r, "carrier", 0, std::numeric_limits<std::int32_t>::max())),
+        static_cast<int>(checked_int(quarantine, r, "rollbacks", 0, 1 << 20)));
+  }
+
+  const util::CsvTable breaker = util::CsvTable::load(path_in(dir, shard_file(kBreakerFile, shard)));
+  require_headers(breaker,
+                  {"state", "consecutive_failures", "cooldown_remaining", "trips", "refusals"});
+  if (breaker.row_count() != 1) {
+    throw std::invalid_argument(breaker.source() + ": expected exactly 1 row, got " +
+                                std::to_string(breaker.row_count()));
+  }
+  try {
+    breaker_out.state = util::circuit_state_from_name(breaker.field(0, "state"));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(breaker.context(0) + ": " + e.what());
+  }
+  breaker_out.consecutive_failures =
+      static_cast<int>(checked_int(breaker, 0, "consecutive_failures", 0, 1 << 20));
+  breaker_out.cooldown_remaining =
+      static_cast<int>(checked_int(breaker, 0, "cooldown_remaining", 0, 1 << 20));
+  breaker_out.trips = static_cast<int>(checked_int(breaker, 0, "trips", 0, 1 << 30));
+  breaker_out.refusals = static_cast<int>(checked_int(breaker, 0, "refusals", 0, 1 << 30));
+
+  const util::CsvTable ems = util::CsvTable::load(path_in(dir, shard_file(kEmsFile, shard)));
+  require_headers(ems, {"key", "value"});
+  std::set<std::string> scalars_seen;
+  for (std::size_t r = 0; r < ems.row_count(); ++r) {
+    const std::string& key = ems.field(r, "key");
+    if (key == "unlocked" || key == "repaired") {
+      auto& list = key == "unlocked" ? ems_out.unlocked : ems_out.repaired;
+      list.push_back(static_cast<netsim::CarrierId>(
+          checked_int(ems, r, "value", 0, std::numeric_limits<std::int32_t>::max())));
+      continue;
+    }
+    std::uint64_t* slot = nullptr;
+    if (key == "pushes_executed") slot = &ems_out.pushes_executed;
+    else if (key == "lock_cycles") slot = &ems_out.lock_cycles;
+    else if (key == "fault_stream") slot = &ems_out.fault_stream;
+    else if (key == "flap_stream") slot = &ems_out.flap_stream;
+    else if (key == "burst_stream") slot = &ems_out.burst_stream;
+    if (slot == nullptr) {
+      throw std::invalid_argument(ems.context(r) + ": unknown key '" + key + "'");
+    }
+    if (!scalars_seen.insert(key).second) {
+      throw std::invalid_argument(ems.context(r) + ": duplicate key '" + key + "'");
+    }
+    *slot = parse_u64(ems, r, "value");
   }
 }
 
@@ -114,48 +264,27 @@ bool LaunchStateStore::exists() const {
 }
 
 void LaunchStateStore::save(const LaunchState& state) const {
+  if (state.find_progress(kShardsKey) != nullptr) {
+    throw std::invalid_argument("LaunchStateStore::save: progress key '" +
+                                std::string(kShardsKey) + "' is reserved for the store");
+  }
   CheckpointMetrics& metrics = checkpoint_metrics();
   obs::ScopedTimer timer(metrics.latency_seconds);
   std::uintmax_t bytes = 0;
   std::filesystem::create_directories(dir_);
 
+  if (state.shards.empty()) {
+    bytes += save_blocks(dir_, -1, state.journal, state.deferred, state.quarantine,
+                         state.breaker, state.ems);
+  } else {
+    for (std::size_t k = 0; k < state.shards.size(); ++k) {
+      const LaunchState::ShardState& shard = state.shards[k];
+      bytes += save_blocks(dir_, static_cast<int>(k), shard.journal, shard.deferred,
+                           shard.quarantine, shard.breaker, shard.ems);
+    }
+  }
+
   std::vector<std::vector<std::string>> rows;
-  for (const auto& [carrier, applied] : state.journal) {
-    rows.push_back({std::to_string(carrier), std::to_string(applied)});
-  }
-  bytes += write_atomic(dir_, kJournalFile, {"carrier", "applied"}, rows);
-
-  rows.clear();
-  for (netsim::CarrierId carrier : state.deferred) rows.push_back({std::to_string(carrier)});
-  bytes += write_atomic(dir_, kDeferredFile, {"carrier"}, rows);
-
-  rows.clear();
-  for (const auto& [carrier, rollbacks] : state.quarantine) {
-    rows.push_back({std::to_string(carrier), std::to_string(rollbacks)});
-  }
-  bytes += write_atomic(dir_, kQuarantineFile, {"carrier", "rollbacks"}, rows);
-
-  const util::CircuitBreaker::Snapshot& b = state.breaker;
-  bytes += write_atomic(
-      dir_, kBreakerFile,
-      {"state", "consecutive_failures", "cooldown_remaining", "trips", "refusals"},
-      {{util::circuit_state_name(b.state), std::to_string(b.consecutive_failures),
-        std::to_string(b.cooldown_remaining), std::to_string(b.trips),
-        std::to_string(b.refusals)}});
-
-  // ems.csv is a typed key/value file: scalar rows carry the counters and
-  // stream positions, carrier rows list unlocked / repaired ids.
-  rows.clear();
-  const LaunchState::EmsState& e = state.ems;
-  rows.push_back({"pushes_executed", std::to_string(e.pushes_executed)});
-  rows.push_back({"lock_cycles", std::to_string(e.lock_cycles)});
-  rows.push_back({"fault_stream", std::to_string(e.fault_stream)});
-  rows.push_back({"flap_stream", std::to_string(e.flap_stream)});
-  rows.push_back({"burst_stream", std::to_string(e.burst_stream)});
-  for (netsim::CarrierId c : e.unlocked) rows.push_back({"unlocked", std::to_string(c)});
-  for (netsim::CarrierId c : e.repaired) rows.push_back({"repaired", std::to_string(c)});
-  bytes += write_atomic(dir_, kEmsFile, {"key", "value"}, rows);
-
   const auto slot_rows = [](const std::vector<LaunchState::SlotWrite>& writes) {
     std::vector<std::vector<std::string>> out;
     out.reserve(writes.size());
@@ -173,8 +302,13 @@ void LaunchStateStore::save(const LaunchState& state) const {
   // progress.csv is committed LAST: its rename is the checkpoint's commit
   // point. exists() keys off it, so a crash among the earlier renames can
   // at worst leave a newer partial state behind an older committed one —
-  // and the next save() overwrites every file again.
+  // and the next save() overwrites every file again. The sharded-layout
+  // marker lives here too, so the commit also decides which block files a
+  // later load() reads.
   rows.clear();
+  if (!state.shards.empty()) {
+    rows.push_back({kShardsKey, std::to_string(state.shards.size())});
+  }
   for (const auto& [key, value] : state.progress) rows.push_back({key, value});
   bytes += write_atomic(dir_, kProgressFile, {"key", "value"}, rows);
 
@@ -185,78 +319,35 @@ void LaunchStateStore::save(const LaunchState& state) const {
 LaunchState LaunchStateStore::load() const {
   LaunchState state;
 
-  const util::CsvTable journal = util::CsvTable::load(path_in(dir_, kJournalFile));
-  require_headers(journal, {"carrier", "applied"});
-  std::set<netsim::CarrierId> seen;
-  for (std::size_t r = 0; r < journal.row_count(); ++r) {
-    const auto carrier = static_cast<netsim::CarrierId>(
-        checked_int(journal, r, "carrier", 0, std::numeric_limits<std::int32_t>::max()));
-    if (!seen.insert(carrier).second) {
-      throw std::invalid_argument(journal.context(r) + ": duplicate journal entry for carrier " +
-                                  std::to_string(carrier));
+  // progress.csv first: it is the commit record, and its "__shards" marker
+  // decides which set of block files belongs to this checkpoint.
+  std::size_t shard_count = 0;
+  const util::CsvTable progress = util::CsvTable::load(path_in(dir_, kProgressFile));
+  require_headers(progress, {"key", "value"});
+  std::set<std::string> keys_seen;
+  for (std::size_t r = 0; r < progress.row_count(); ++r) {
+    const std::string& key = progress.field(r, "key");
+    if (!keys_seen.insert(key).second) {
+      throw std::invalid_argument(progress.context(r) + ": duplicate progress key '" + key +
+                                  "'");
     }
-    state.journal.emplace_back(carrier, parse_u64(journal, r, "applied"));
+    if (key == kShardsKey) {
+      shard_count = static_cast<std::size_t>(checked_int(progress, r, "value", 1, 1 << 16));
+      continue;  // store-internal; not surfaced as caller progress
+    }
+    state.progress.emplace_back(key, progress.field(r, "value"));
   }
 
-  const util::CsvTable deferred = util::CsvTable::load(path_in(dir_, kDeferredFile));
-  require_headers(deferred, {"carrier"});
-  for (std::size_t r = 0; r < deferred.row_count(); ++r) {
-    state.deferred.push_back(static_cast<netsim::CarrierId>(
-        checked_int(deferred, r, "carrier", 0, std::numeric_limits<std::int32_t>::max())));
-  }
-
-  const util::CsvTable quarantine = util::CsvTable::load(path_in(dir_, kQuarantineFile));
-  require_headers(quarantine, {"carrier", "rollbacks"});
-  for (std::size_t r = 0; r < quarantine.row_count(); ++r) {
-    state.quarantine.emplace_back(
-        static_cast<netsim::CarrierId>(
-            checked_int(quarantine, r, "carrier", 0, std::numeric_limits<std::int32_t>::max())),
-        static_cast<int>(checked_int(quarantine, r, "rollbacks", 0, 1 << 20)));
-  }
-
-  const util::CsvTable breaker = util::CsvTable::load(path_in(dir_, kBreakerFile));
-  require_headers(breaker,
-                  {"state", "consecutive_failures", "cooldown_remaining", "trips", "refusals"});
-  if (breaker.row_count() != 1) {
-    throw std::invalid_argument(breaker.source() + ": expected exactly 1 row, got " +
-                                std::to_string(breaker.row_count()));
-  }
-  try {
-    state.breaker.state = util::circuit_state_from_name(breaker.field(0, "state"));
-  } catch (const std::invalid_argument& e) {
-    throw std::invalid_argument(breaker.context(0) + ": " + e.what());
-  }
-  state.breaker.consecutive_failures =
-      static_cast<int>(checked_int(breaker, 0, "consecutive_failures", 0, 1 << 20));
-  state.breaker.cooldown_remaining =
-      static_cast<int>(checked_int(breaker, 0, "cooldown_remaining", 0, 1 << 20));
-  state.breaker.trips = static_cast<int>(checked_int(breaker, 0, "trips", 0, 1 << 30));
-  state.breaker.refusals = static_cast<int>(checked_int(breaker, 0, "refusals", 0, 1 << 30));
-
-  const util::CsvTable ems = util::CsvTable::load(path_in(dir_, kEmsFile));
-  require_headers(ems, {"key", "value"});
-  std::set<std::string> scalars_seen;
-  for (std::size_t r = 0; r < ems.row_count(); ++r) {
-    const std::string& key = ems.field(r, "key");
-    if (key == "unlocked" || key == "repaired") {
-      auto& list = key == "unlocked" ? state.ems.unlocked : state.ems.repaired;
-      list.push_back(static_cast<netsim::CarrierId>(
-          checked_int(ems, r, "value", 0, std::numeric_limits<std::int32_t>::max())));
-      continue;
+  if (shard_count == 0) {
+    load_blocks(dir_, -1, state.journal, state.deferred, state.quarantine, state.breaker,
+                state.ems);
+  } else {
+    state.shards.resize(shard_count);
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      LaunchState::ShardState& shard = state.shards[k];
+      load_blocks(dir_, static_cast<int>(k), shard.journal, shard.deferred, shard.quarantine,
+                  shard.breaker, shard.ems);
     }
-    std::uint64_t* slot = nullptr;
-    if (key == "pushes_executed") slot = &state.ems.pushes_executed;
-    else if (key == "lock_cycles") slot = &state.ems.lock_cycles;
-    else if (key == "fault_stream") slot = &state.ems.fault_stream;
-    else if (key == "flap_stream") slot = &state.ems.flap_stream;
-    else if (key == "burst_stream") slot = &state.ems.burst_stream;
-    if (slot == nullptr) {
-      throw std::invalid_argument(ems.context(r) + ": unknown key '" + key + "'");
-    }
-    if (!scalars_seen.insert(key).second) {
-      throw std::invalid_argument(ems.context(r) + ": duplicate key '" + key + "'");
-    }
-    *slot = parse_u64(ems, r, "value");
   }
 
   const auto load_slots = [&](const char* file) {
@@ -278,18 +369,6 @@ LaunchState LaunchStateStore::load() const {
   state.applied_slots = load_slots(kAppliedFile);
   state.relearn_applied_slots = load_slots(kRelearnFile);
 
-  const util::CsvTable progress = util::CsvTable::load(path_in(dir_, kProgressFile));
-  require_headers(progress, {"key", "value"});
-  std::set<std::string> keys_seen;
-  for (std::size_t r = 0; r < progress.row_count(); ++r) {
-    const std::string& key = progress.field(r, "key");
-    if (!keys_seen.insert(key).second) {
-      throw std::invalid_argument(progress.context(r) + ": duplicate progress key '" + key +
-                                  "'");
-    }
-    state.progress.emplace_back(key, progress.field(r, "value"));
-  }
-
   return state;
 }
 
@@ -298,6 +377,17 @@ void LaunchStateStore::clear() const {
                            kEmsFile, kAppliedFile, kRelearnFile, kProgressFile}) {
     std::filesystem::remove(path_in(dir_, file));
     std::filesystem::remove(path_in(dir_, file) + ".tmp");
+  }
+  // Shard-suffixed block files: sweep ascending shard indices until a whole
+  // index is absent (save() always writes every block of a shard).
+  for (int k = 0;; ++k) {
+    bool removed_any = false;
+    for (const char* file :
+         {kJournalFile, kDeferredFile, kQuarantineFile, kBreakerFile, kEmsFile}) {
+      removed_any |= std::filesystem::remove(path_in(dir_, shard_file(file, k)));
+      std::filesystem::remove(path_in(dir_, shard_file(file, k)) + ".tmp");
+    }
+    if (!removed_any) break;
   }
 }
 

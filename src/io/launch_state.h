@@ -13,6 +13,15 @@
 //   breaker.csv     circuit-breaker dynamic state (one row)
 //   ems.csv         EMS simulator dynamic state (fault-stream positions,
 //                   push counter, unlocked/repaired carriers)
+//
+// A sharded pipeline (smartlaunch::ShardedEms, N EMS instances each with
+// its own breaker, journal and deferred queue) persists those five blocks
+// per shard instead, as suffixed files journal.0.csv .. journal.N-1.csv and
+// so on; the flat single-shard files above are untouched at N = 1, so
+// existing checkpoints stay readable byte-for-byte. The shard count rides
+// inside progress.csv under the reserved key "__shards", which means the
+// layout mode commits atomically with the rest of the checkpoint (see
+// below: progress.csv's rename is the single commit point).
 //   applied.csv     slot writes applied to the evolving network state since
 //                   the run started (delta vs. the initial assignment)
 //   relearn.csv     the same delta frozen at the last engine re-learn (the
@@ -62,14 +71,32 @@ struct LaunchState {
     std::int32_t value = 0;       ///< ValueIndex written (never kUnset)
   };
 
+  /// The per-EMS-shard slice of the recovery state: one apply journal, one
+  /// deferred queue, one quarantine, one breaker and one EMS simulator per
+  /// shard (launches, retries and rollbacks are shard-local by design).
+  struct ShardState {
+    std::vector<std::pair<netsim::CarrierId, std::uint64_t>> journal;
+    std::vector<netsim::CarrierId> deferred;
+    std::vector<std::pair<netsim::CarrierId, int>> quarantine;
+    util::CircuitBreaker::Snapshot breaker;
+    EmsState ems;
+  };
+
   std::vector<std::pair<netsim::CarrierId, std::uint64_t>> journal;
   std::vector<netsim::CarrierId> deferred;
   std::vector<std::pair<netsim::CarrierId, int>> quarantine;  ///< carrier, rollbacks
   util::CircuitBreaker::Snapshot breaker;
   EmsState ems;
+  /// Sharded-pipeline layout: when non-empty, the five blocks above are
+  /// persisted per shard (shards[k] -> journal.k.csv, ...) and the flat
+  /// fields are ignored; when empty, the legacy flat layout is used. load()
+  /// restores whichever layout the checkpoint committed.
+  std::vector<ShardState> shards;
   std::vector<SlotWrite> applied_slots;          ///< delta vs. initial assignment
   std::vector<SlotWrite> relearn_applied_slots;  ///< delta at last engine re-learn
-  /// Caller-defined counters, persisted in order. Keys must be unique.
+  /// Caller-defined counters, persisted in order. Keys must be unique; the
+  /// key "__shards" is reserved for the store's sharded-layout marker and
+  /// save() rejects states that use it.
   std::vector<std::pair<std::string, std::string>> progress;
 
   const std::string* find_progress(const std::string& key) const;

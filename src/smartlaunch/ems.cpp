@@ -1,19 +1,22 @@
 #include "smartlaunch/ems.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace auric::smartlaunch {
 
-namespace {
-
-/// Injected-fault counters by taxonomy plus push/lock totals, shared by all
-/// simulator instances (the registry is process-wide). Resolved once; the
-/// push hot path only does relaxed increments.
-struct EmsMetrics {
+/// Injected-fault counters by taxonomy plus push/lock totals, one set per
+/// EMS shard (every series carries a `shard` label; unlabeled selectors
+/// aggregate across shards). Resolved once per simulator at construction;
+/// the push hot path only does relaxed increments.
+struct EmsSimulator::Metrics {
   obs::Counter& pushes;
   obs::Counter& settings_applied;
   obs::Counter& lock_cycles;
@@ -25,23 +28,35 @@ struct EmsMetrics {
   obs::Counter& rejected_unlocked;
 };
 
-EmsMetrics& ems_metrics() {
-  auto& reg = obs::MetricsRegistry::global();
-  const auto fault = [&reg](const char* kind) -> obs::Counter& {
-    return reg.counter("auric_ems_faults_total", "EMS faults injected, by taxonomy class",
-                       {{"kind", kind}});
-  };
-  static EmsMetrics m{
-      reg.counter("auric_ems_pushes_total", "pushes that reached execution"),
-      reg.counter("auric_ems_settings_applied_total", "settings written by the EMS"),
-      reg.counter("auric_ems_lock_cycles_total", "disruptive re-locks of on-air carriers"),
-      fault("persistent"),
-      fault("structural_timeout"),
-      fault("transient_timeout"),
-      fault("burst_timeout"),
-      fault("lock_flap"),
-      reg.counter("auric_ems_rejected_unlocked_total", "pushes refused: carrier unlocked")};
-  return m;
+namespace {
+
+EmsSimulator::Metrics& ems_metrics(int shard) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::unique_ptr<EmsSimulator::Metrics>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[shard];
+  if (slot == nullptr) {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string k = std::to_string(shard);
+    const auto fault = [&](const char* kind) -> obs::Counter& {
+      return reg.counter("auric_ems_faults_total", "EMS faults injected, by taxonomy class",
+                         {{"kind", kind}, {"shard", k}});
+    };
+    slot = std::make_unique<EmsSimulator::Metrics>(EmsSimulator::Metrics{
+        reg.counter("auric_ems_pushes_total", "pushes that reached execution", {{"shard", k}}),
+        reg.counter("auric_ems_settings_applied_total", "settings written by the EMS",
+                    {{"shard", k}}),
+        reg.counter("auric_ems_lock_cycles_total", "disruptive re-locks of on-air carriers",
+                    {{"shard", k}}),
+        fault("persistent"),
+        fault("structural_timeout"),
+        fault("transient_timeout"),
+        fault("burst_timeout"),
+        fault("lock_flap"),
+        reg.counter("auric_ems_rejected_unlocked_total", "pushes refused: carrier unlocked",
+                    {{"shard", k}})});
+  }
+  return *slot;
 }
 
 }  // namespace
@@ -58,6 +73,7 @@ const char* push_status_name(PushStatus status) {
 
 EmsSimulator::EmsSimulator(std::size_t carrier_count, EmsOptions options)
     : options_(options),
+      metrics_(&ems_metrics(options.shard)),
       states_(carrier_count, CarrierState::kLocked),
       fault_stream_(options.seed),
       flap_stream_(options.seed ^ 0xF1A9F1A9F1A9F1A9ULL),
@@ -71,7 +87,7 @@ void EmsSimulator::lock(netsim::CarrierId carrier) {
   auto& state = states_.at(static_cast<std::size_t>(carrier));
   if (state == CarrierState::kUnlocked) {
     ++lock_cycles_;
-    ems_metrics().lock_cycles.inc();
+    metrics_->lock_cycles.inc();
   }
   state = CarrierState::kLocked;
 }
@@ -141,7 +157,7 @@ std::size_t EmsSimulator::max_settings_per_push() const {
 
 PushResult EmsSimulator::push(netsim::CarrierId carrier,
                               const std::vector<config::MoSetting>& settings) {
-  EmsMetrics& metrics = ems_metrics();
+  Metrics& metrics = *metrics_;
   PushResult result;
   if (state(carrier) != CarrierState::kLocked) {
     result.status = PushStatus::kRejectedUnlocked;

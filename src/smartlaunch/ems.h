@@ -86,6 +86,9 @@ struct EmsOptions {
   /// Probability a push hits a transient EMS fault and times out anyway.
   double flaky_timeout_prob = 0.06;
   std::uint64_t seed = 99;
+  /// EMS shard index this simulator represents; stamped as a `shard` label
+  /// on its metric series (a single-EMS deployment is shard 0).
+  int shard = 0;
   EmsFaultOptions faults;
 };
 
@@ -105,6 +108,10 @@ class EmsSimulator {
     std::vector<netsim::CarrierId> unlocked;  ///< carriers currently on air
     std::vector<netsim::CarrierId> repaired;  ///< persistent faults cleared
   };
+
+  /// Shard-labeled instrument set (defined in ems.cpp; public only so the
+  /// per-shard interning helper can construct it).
+  struct Metrics;
 
   /// All carriers start locked (newly integrated, not yet on air).
   EmsSimulator(std::size_t carrier_count, EmsOptions options = {});
@@ -146,6 +153,7 @@ class EmsSimulator {
 
  private:
   EmsOptions options_;
+  Metrics* metrics_;  ///< shard-labeled instruments, resolved at construction
   std::vector<CarrierState> states_;
   std::size_t lock_cycles_ = 0;
   std::size_t pushes_executed_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -11,6 +12,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "smartlaunch/kpi.h"
+#include "smartlaunch/sharded_ems.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -50,7 +53,8 @@ OperationReplay::OperationReplay(const netsim::Topology& topology,
       state_(std::move(assignment)),
       options_(options) {}
 
-void OperationReplay::apply_slot(const SlotRef& slot, config::ValueIndex value) {
+void OperationReplay::apply_slot(const SlotRef& slot, config::ValueIndex value,
+                                 std::vector<RecordedWrite>* record) {
   const config::ParamDef& def = catalog_->at(slot.param);
   const bool pairwise = def.kind == config::ParamKind::kPairwise;
   const auto& ids = pairwise ? catalog_->pairwise_ids() : catalog_->singular_ids();
@@ -61,7 +65,11 @@ void OperationReplay::apply_slot(const SlotRef& slot, config::ValueIndex value) 
   // Intent is unchanged: the launch config is what the network RUNS, not
   // what engineering ultimately wants; cause tracking is reset to neutral.
   col.cause[slot.entity] = config::Cause::kDefault;
-  if (track_delta_) delta_[{pairwise, pos, slot.entity}] = value;
+  if (record != nullptr) {
+    record->push_back({pairwise, pos, slot.entity, value});
+  } else if (track_delta_) {
+    delta_[{pairwise, pos, slot.entity}] = value;
+  }
 }
 
 namespace {
@@ -94,6 +102,28 @@ double carrier_quality(const netsim::Topology& topology, const config::ParamCata
   return std::max(options.min_quality, quality);
 }
 
+/// Per-launch facts a shard worker records for the main-thread merge. The
+/// merge replays the serial counter arithmetic in global launch order, so
+/// the aggregate report/week counters (and the FP-summed weekly KPI) come
+/// out identical to a single serial stream over the same per-launch facts.
+struct ShardLaunchResult {
+  bool change_recommended = false;
+  bool deferred_now = false;  ///< breaker open: launched vendor-only, queued
+  bool robust_used = false;   ///< outcome derives from `rec`, not `outcome`
+  LaunchOutcome outcome = LaunchOutcome::kNoChangeNeeded;
+  std::size_t applied = 0;
+  RobustLaunchRecord rec;
+  double quality = 0.0;
+  std::vector<OperationReplay::RecordedWrite> writes;
+};
+
+/// Per-drained-carrier facts from one shard's end-of-day drain.
+struct ShardDrainResult {
+  bool no_change = false;  ///< queue entry resolved with nothing to push
+  RobustLaunchRecord rec;
+  std::vector<OperationReplay::RecordedWrite> writes;
+};
+
 }  // namespace
 
 double OperationReplay::mean_network_kpi() const {
@@ -122,19 +152,31 @@ ReplayReport OperationReplay::run() {
   rng.shuffle(queue);
   std::size_t cursor = 0;
 
-  EmsSimulator ems(topology_->carrier_count(), options_.ems);
-  RobustPushExecutor naive_executor(ems, options_.robust_executor);
-  std::vector<netsim::CarrierId> deferred;
+  // One EMS per shard (shard 0 of a single-shard run is byte-identical to
+  // the legacy single-EMS stream), one executor and one deferred queue per
+  // shard: retries, breaker state and queued launches stay shard-local.
+  const int shard_count = std::max(1, options_.shards);
+  ShardedEms sharded(*topology_, shard_count, options_.ems);
+  EmsSimulator& ems = sharded.shard(0);  // the single-shard path's instance
+  std::vector<std::vector<netsim::CarrierId>> deferred(static_cast<std::size_t>(shard_count));
   const config::Rulebook rulebook(*ground_truth_, *catalog_);
 
   // Robust pushes route through a RobustLaunchController so replayed
   // launches share the KPI gate / rollback / quarantine semantics with the
-  // pipeline. The gate owns the executor in that mode; `executor` points at
-  // whichever instance is live so the checkpoint/resume plumbing below is
-  // mode-agnostic.
+  // pipeline. The gates own the executors in that mode; `executors[k]`
+  // points at whichever instance is live for shard k so the
+  // checkpoint/resume plumbing below is mode-agnostic.
   std::unique_ptr<KpiModel> gate_kpi;
-  std::unique_ptr<RobustLaunchController> gate;
-  RobustPushExecutor* executor = &naive_executor;
+  std::vector<std::unique_ptr<RobustLaunchController>> gates;
+  std::vector<std::unique_ptr<RobustPushExecutor>> naive_executors;
+  std::vector<RobustPushExecutor*> executors;
+  for (int k = 0; k < shard_count; ++k) {
+    RobustPushExecutor::Options exec_options = options_.robust_executor;
+    exec_options.shard = k;
+    naive_executors.push_back(
+        std::make_unique<RobustPushExecutor>(sharded.shard(k), exec_options));
+    executors.push_back(naive_executors.back().get());
+  }
 
   // Engine + controller are rebuilt on the re-learn cadence so Auric keeps
   // learning from the evolving network.
@@ -146,22 +188,25 @@ ReplayReport OperationReplay::run() {
                                                     options_.vendor_faults,
                                                     options_.push_policy, options_.seed);
     if (options_.robust) {
-      if (gate == nullptr) {
-        // The gate's KPI oracle is controller->launch_quality (per carrier);
+      if (gates.empty()) {
+        // The gates' KPI oracle is controller->launch_quality (per carrier);
         // the model reference the constructor wants is only consulted on
         // paths the replay never takes (empty plans, internal deferral), so
-        // one build at window start suffices.
+        // one build at window start suffices — shared by every shard.
         gate_kpi = std::make_unique<KpiModel>(*topology_, *catalog_, state_);
-        RobustPipelineOptions gate_options;
-        gate_options.premature_unlock_prob = 0.0;  // the replay draws its own
-        gate_options.seed = options_.seed;
-        gate_options.executor = options_.robust_executor;
-        gate_options.rollback = options_.rollback;
-        gate = std::make_unique<RobustLaunchController>(*controller, ems, *gate_kpi,
-                                                        gate_options);
-        executor = &gate->executor_mutable();
+        for (int k = 0; k < shard_count; ++k) {
+          RobustPipelineOptions gate_options;
+          gate_options.premature_unlock_prob = 0.0;  // the replay draws its own
+          gate_options.seed = options_.seed;
+          gate_options.executor = options_.robust_executor;
+          gate_options.rollback = options_.rollback;
+          gate_options.shard = k;
+          gates.push_back(std::make_unique<RobustLaunchController>(
+              *controller, sharded.shard(k), *gate_kpi, gate_options));
+          executors[static_cast<std::size_t>(k)] = &gates.back()->executor_mutable();
+        }
       } else {
-        gate->rebind(*controller);
+        for (auto& gate : gates) gate->rebind(*controller);
       }
     }
   };
@@ -241,11 +286,35 @@ ReplayReport OperationReplay::run() {
       delta_[{w.pairwise, w.param_pos, static_cast<std::size_t>(w.entity)}] = w.value;
     }
 
-    ems.restore(ems_state_from_io(state.ems));
-    executor->restore_journal(state.journal);
-    executor->restore_breaker(state.breaker);
-    if (gate != nullptr) gate->restore_quarantine(state.quarantine);
-    deferred = state.deferred;
+    // The checkpoint's shard layout must match the options: a sharded
+    // checkpoint encodes per-shard fault-stream positions that cannot be
+    // re-partitioned into a different shard count.
+    if (shard_count == 1) {
+      if (!state.shards.empty()) {
+        throw std::invalid_argument(store.dir() + ": checkpoint was written with " +
+                                    std::to_string(state.shards.size()) +
+                                    " shards; resume requested 1");
+      }
+      ems.restore(ems_state_from_io(state.ems));
+      executors[0]->restore_journal(state.journal);
+      executors[0]->restore_breaker(state.breaker);
+      if (!gates.empty()) gates[0]->restore_quarantine(state.quarantine);
+      deferred[0] = state.deferred;
+    } else {
+      if (state.shards.size() != static_cast<std::size_t>(shard_count)) {
+        throw std::invalid_argument(store.dir() + ": checkpoint was written with " +
+                                    std::to_string(state.shards.size()) +
+                                    " shards; resume requested " + std::to_string(shard_count));
+      }
+      for (int k = 0; k < shard_count; ++k) {
+        const io::LaunchState::ShardState& shard = state.shards[static_cast<std::size_t>(k)];
+        sharded.shard(k).restore(ems_state_from_io(shard.ems));
+        executors[static_cast<std::size_t>(k)]->restore_journal(shard.journal);
+        executors[static_cast<std::size_t>(k)]->restore_breaker(shard.breaker);
+        if (!gates.empty()) gates[static_cast<std::size_t>(k)]->restore_quarantine(shard.quarantine);
+        deferred[static_cast<std::size_t>(k)] = shard.deferred;
+      }
+    }
 
     start_day = static_cast<int>(p_int("day"));
     start_launch = static_cast<int>(p_int("launch"));
@@ -303,17 +372,40 @@ ReplayReport OperationReplay::run() {
 
   const auto checkpoint = [&](int day, int launch_in_day) {
     io::LaunchState state;
-    for (const auto& [carrier, applied] : executor->journal()) {
-      state.journal.emplace_back(carrier, static_cast<std::uint64_t>(applied));
+    const auto sorted_journal = [](const RobustPushExecutor& exec) {
+      std::vector<std::pair<netsim::CarrierId, std::uint64_t>> journal;
+      for (const auto& [carrier, applied] : exec.journal()) {
+        journal.emplace_back(carrier, static_cast<std::uint64_t>(applied));
+      }
+      std::sort(journal.begin(), journal.end());
+      return journal;
+    };
+    const auto sorted_quarantine = [&](int k) {
+      std::vector<std::pair<netsim::CarrierId, int>> quarantine;
+      if (!gates.empty()) {
+        const auto& q = gates[static_cast<std::size_t>(k)]->quarantine();
+        quarantine.assign(q.begin(), q.end());
+        std::sort(quarantine.begin(), quarantine.end());
+      }
+      return quarantine;
+    };
+    if (shard_count == 1) {
+      state.journal = sorted_journal(*executors[0]);
+      state.deferred = deferred[0];
+      state.quarantine = sorted_quarantine(0);
+      state.breaker = executors[0]->breaker().snapshot();
+      state.ems = ems_state_to_io(ems.snapshot());
+    } else {
+      state.shards.resize(static_cast<std::size_t>(shard_count));
+      for (int k = 0; k < shard_count; ++k) {
+        io::LaunchState::ShardState& shard = state.shards[static_cast<std::size_t>(k)];
+        shard.journal = sorted_journal(*executors[static_cast<std::size_t>(k)]);
+        shard.deferred = deferred[static_cast<std::size_t>(k)];
+        shard.quarantine = sorted_quarantine(k);
+        shard.breaker = executors[static_cast<std::size_t>(k)]->breaker().snapshot();
+        shard.ems = ems_state_to_io(sharded.shard(k).snapshot());
+      }
     }
-    std::sort(state.journal.begin(), state.journal.end());
-    state.deferred = deferred;
-    if (gate != nullptr) {
-      state.quarantine.assign(gate->quarantine().begin(), gate->quarantine().end());
-      std::sort(state.quarantine.begin(), state.quarantine.end());
-    }
-    state.breaker = executor->breaker().snapshot();
-    state.ems = ems_state_to_io(ems.snapshot());
     const auto to_writes = [](const std::map<SlotKey, config::ValueIndex>& delta) {
       std::vector<io::LaunchState::SlotWrite> writes;
       writes.reserve(delta.size());
@@ -380,215 +472,479 @@ ReplayReport OperationReplay::run() {
   };
 
   bool stopped = false;
-  for (int day = start_day; day < options_.days && !stopped; ++day) {
-    obs::ScopedSpan day_span("replay.day");
-    const int first_launch = day == start_day ? start_launch : 0;
-    // A checkpoint taken mid-day (first_launch > 0) implies this day's
-    // re-learn already happened before the checkpoint.
-    if (first_launch == 0 && day > 0 && day % options_.relearn_every_days == 0) relearn();
 
-    for (int l = first_launch; l < options_.launches_per_day && cursor < queue.size(); ++l) {
-      obs::ScopedSpan launch_span("replay.launch");
-      metrics.launches.inc();
-      const netsim::CarrierId carrier = queue[cursor++];
+  // Serial window: the exact legacy single-EMS loop, kept verbatim so a
+  // --shards 1 run stays byte-identical to earlier releases (per-launch
+  // checkpoint cadence included).
+  const auto run_serial_window = [&] {
+    RobustLaunchController* gate = gates.empty() ? nullptr : gates[0].get();
+    RobustPushExecutor* executor = executors[0];
+    std::vector<netsim::CarrierId>& dq = deferred[0];
+    for (int day = start_day; day < options_.days && !stopped; ++day) {
+      obs::ScopedSpan day_span("replay.day");
+      const int first_launch = day == start_day ? start_launch : 0;
+      // A checkpoint taken mid-day (first_launch > 0) implies this day's
+      // re-learn already happened before the checkpoint.
+      if (first_launch == 0 && day > 0 && day % options_.relearn_every_days == 0) relearn();
 
-      // Vendor integration: the carrier goes on air with the vendor config
-      // plus whatever Auric corrections land before unlock.
-      std::vector<LaunchController::PlannedChange> vendor;
-      const std::vector<LaunchController::PlannedChange> changes =
-          controller->plan_changes_detailed(carrier, &vendor);
+      for (int l = first_launch; l < options_.launches_per_day && cursor < queue.size(); ++l) {
+        obs::ScopedSpan launch_span("replay.launch");
+        metrics.launches.inc();
+        const netsim::CarrierId carrier = queue[cursor++];
 
-      ++report.totals.launches;
-      ++week.launches;
+        // Vendor integration: the carrier goes on air with the vendor config
+        // plus whatever Auric corrections land before unlock.
+        std::vector<LaunchController::PlannedChange> vendor;
+        const std::vector<LaunchController::PlannedChange> changes =
+            controller->plan_changes_detailed(carrier, &vendor);
 
-      ems.lock(carrier);
-      LaunchOutcome outcome = LaunchOutcome::kNoChangeNeeded;
-      std::size_t applied = 0;
-      if (!changes.empty()) {
-        ++report.totals.change_recommended;
-        ++week.change_recommended;
-        if (options_.robust && executor->should_defer()) {
-          // Breaker open: the carrier goes on air vendor-only and its
-          // corrections wait in the deferred queue (outcome stays
-          // kNoChangeNeeded so it counts as neither implemented nor
-          // fall-out until the drain resolves it).
-          deferred.push_back(carrier);
-          ++report.robust.queued_degraded;
-        } else {
-          const double u =
-              static_cast<double>(util::hash_combine({options_.seed, 0x0B0BULL,
-                                                      static_cast<std::uint64_t>(carrier)}) >>
-                                  11) *
-              0x1.0p-53;
-          if (u < options_.pipeline.premature_unlock_prob) ems.unlock_out_of_band(carrier);
-          if (options_.robust) {
-            // KPI-gated push: the gate runs the quarantine check, forward
-            // push, rollback loop and unlock, and owns the journal cleanup
-            // for terminal outcomes.
-            const RobustLaunchRecord rec = gate->push_gated_launch(carrier, changes);
-            applied = rec.changes_applied;
-            report.robust.retries += static_cast<std::size_t>(rec.retries);
-            if (rec.chunks > 1) ++report.robust.chunked;
-            report.robust.rollbacks += static_cast<std::size_t>(rec.rollbacks);
-            report.robust.rollback_retries += static_cast<std::size_t>(rec.rollback_retries);
-            report.robust.reattempts += static_cast<std::size_t>(rec.reattempts);
-            if (rec.rollback_failed) ++report.robust.rollback_failed;
-            if (rec.quarantined) {
-              ++report.robust.quarantined;
-              ++week.quarantined;
-            }
-            switch (rec.outcome) {
-              case RobustOutcome::kRecovered: ++report.robust.recovered; [[fallthrough]];
-              case RobustOutcome::kImplemented:
-                outcome = LaunchOutcome::kImplemented;
-                break;
-              case RobustOutcome::kAbortedUnlocked:
-                ++report.robust.aborted_unlocked;
-                outcome = LaunchOutcome::kFalloutUnlocked;
-                break;
-              case RobustOutcome::kFalloutTerminal:
-                ++report.robust.fallout_terminal;
-                outcome = LaunchOutcome::kFalloutTimeout;
-                break;
-              case RobustOutcome::kRolledBack:
-                // Reverted to vendor values (or quarantine-skipped): neither
-                // implemented nor an EMS fall-out — the gate withdrew the
-                // changes on purpose. Counted in its own column.
-                ++report.robust.rolled_back;
-                ++week.rolled_back;
-                break;
-              case RobustOutcome::kNoChangeNeeded:
-              case RobustOutcome::kQueuedDegraded:  // gate never returns this
-                break;
-            }
+        ++report.totals.launches;
+        ++week.launches;
+
+        ems.lock(carrier);
+        LaunchOutcome outcome = LaunchOutcome::kNoChangeNeeded;
+        std::size_t applied = 0;
+        if (!changes.empty()) {
+          ++report.totals.change_recommended;
+          ++week.change_recommended;
+          if (options_.robust && executor->should_defer()) {
+            // Breaker open: the carrier goes on air vendor-only and its
+            // corrections wait in the deferred queue (outcome stays
+            // kNoChangeNeeded so it counts as neither implemented nor
+            // fall-out until the drain resolves it).
+            dq.push_back(carrier);
+            ++report.robust.queued_degraded;
           } else {
-            std::vector<config::MoSetting> settings;
-            settings.reserve(changes.size());
-            for (const auto& change : changes) {
-              settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
-            }
-            const PushResult push = ems.push(carrier, settings);
-            applied = push.applied;
-            switch (push.status) {
-              case PushStatus::kApplied: outcome = LaunchOutcome::kImplemented; break;
-              case PushStatus::kRejectedUnlocked:
-              case PushStatus::kAbortedLockFlap:
-                outcome = LaunchOutcome::kFalloutUnlocked;
-                break;
-              case PushStatus::kTimeout: outcome = LaunchOutcome::kFalloutTimeout; break;
+            const double u =
+                static_cast<double>(util::hash_combine({options_.seed, 0x0B0BULL,
+                                                        static_cast<std::uint64_t>(carrier)}) >>
+                                    11) *
+                0x1.0p-53;
+            if (u < options_.pipeline.premature_unlock_prob) ems.unlock_out_of_band(carrier);
+            if (options_.robust) {
+              // KPI-gated push: the gate runs the quarantine check, forward
+              // push, rollback loop and unlock, and owns the journal cleanup
+              // for terminal outcomes.
+              const RobustLaunchRecord rec = gate->push_gated_launch(carrier, changes);
+              applied = rec.changes_applied;
+              report.robust.retries += static_cast<std::size_t>(rec.retries);
+              if (rec.chunks > 1) ++report.robust.chunked;
+              report.robust.rollbacks += static_cast<std::size_t>(rec.rollbacks);
+              report.robust.rollback_retries += static_cast<std::size_t>(rec.rollback_retries);
+              report.robust.reattempts += static_cast<std::size_t>(rec.reattempts);
+              if (rec.rollback_failed) ++report.robust.rollback_failed;
+              if (rec.quarantined) {
+                ++report.robust.quarantined;
+                ++week.quarantined;
+              }
+              switch (rec.outcome) {
+                case RobustOutcome::kRecovered: ++report.robust.recovered; [[fallthrough]];
+                case RobustOutcome::kImplemented:
+                  outcome = LaunchOutcome::kImplemented;
+                  break;
+                case RobustOutcome::kAbortedUnlocked:
+                  ++report.robust.aborted_unlocked;
+                  outcome = LaunchOutcome::kFalloutUnlocked;
+                  break;
+                case RobustOutcome::kFalloutTerminal:
+                  ++report.robust.fallout_terminal;
+                  outcome = LaunchOutcome::kFalloutTimeout;
+                  break;
+                case RobustOutcome::kRolledBack:
+                  // Reverted to vendor values (or quarantine-skipped): neither
+                  // implemented nor an EMS fall-out — the gate withdrew the
+                  // changes on purpose. Counted in its own column.
+                  ++report.robust.rolled_back;
+                  ++week.rolled_back;
+                  break;
+                case RobustOutcome::kNoChangeNeeded:
+                case RobustOutcome::kQueuedDegraded:  // gate never returns this
+                  break;
+              }
+            } else {
+              std::vector<config::MoSetting> settings;
+              settings.reserve(changes.size());
+              for (const auto& change : changes) {
+                settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
+              }
+              const PushResult push = ems.push(carrier, settings);
+              applied = push.applied;
+              switch (push.status) {
+                case PushStatus::kApplied: outcome = LaunchOutcome::kImplemented; break;
+                case PushStatus::kRejectedUnlocked:
+                case PushStatus::kAbortedLockFlap:
+                  outcome = LaunchOutcome::kFalloutUnlocked;
+                  break;
+                case PushStatus::kTimeout: outcome = LaunchOutcome::kFalloutTimeout; break;
+              }
             }
           }
         }
-      }
-      ems.unlock(carrier);
+        ems.unlock(carrier);
 
-      // The network state evolves: vendor values everywhere, plus the
-      // corrections that actually landed (settings apply in order).
-      for (const auto& slot_value : vendor) apply_slot(slot_value.slot, slot_value.new_value);
-      for (std::size_t i = 0; i < applied && i < changes.size(); ++i) {
-        apply_slot(changes[i].slot, changes[i].new_value);
-      }
+        // The network state evolves: vendor values everywhere, plus the
+        // corrections that actually landed (settings apply in order).
+        for (const auto& slot_value : vendor) apply_slot(slot_value.slot, slot_value.new_value);
+        for (std::size_t i = 0; i < applied && i < changes.size(); ++i) {
+          apply_slot(changes[i].slot, changes[i].new_value);
+        }
 
-      switch (outcome) {
-        case LaunchOutcome::kImplemented:
+        switch (outcome) {
+          case LaunchOutcome::kImplemented:
+            ++report.totals.implemented;
+            ++week.implemented;
+            report.totals.parameters_changed += applied;
+            week.parameters_changed += applied;
+            break;
+          case LaunchOutcome::kFalloutUnlocked:
+            ++report.totals.fallout_unlocked;
+            ++week.fallouts;
+            break;
+          case LaunchOutcome::kFalloutTimeout:
+            ++report.totals.fallout_timeout;
+            ++week.fallouts;
+            break;
+          case LaunchOutcome::kNoChangeNeeded: break;
+        }
+
+        // Post-check KPI of the launched carrier under the evolved state.
+        week_quality += carrier_quality(*topology_, *catalog_, state_, carrier);
+        ++week_quality_n;
+
+        if (persist) checkpoint(day, l + 1);
+        if (options_.stop_after_launches > 0 &&
+            report.totals.launches >= static_cast<std::size_t>(options_.stop_after_launches)) {
+          stopped = true;
+          break;
+        }
+      }
+      if (stopped) break;
+
+      // End-of-day maintenance window: once the breaker has closed again,
+      // drain the deferred queue — re-lock each queued carrier (the simulator
+      // counts the disruptive cycle), re-plan against the current engine, and
+      // push with the same chunk/retry/journal machinery.
+      std::optional<obs::ScopedSpan> drain_span;
+      if (options_.robust && !dq.empty() &&
+          executor->breaker().state() == util::CircuitBreaker::State::kClosed) {
+        drain_span.emplace("replay.drain");
+      }
+      while (options_.robust && !dq.empty() &&
+             executor->breaker().state() == util::CircuitBreaker::State::kClosed) {
+        const netsim::CarrierId carrier = dq.front();
+        dq.erase(dq.begin());
+        ems.lock(carrier);
+        const std::vector<LaunchController::PlannedChange> changes =
+            controller->plan_changes_detailed(carrier);
+        if (changes.empty()) {
+          // The engine re-learned since the deferral and no longer flags the
+          // carrier: the queue entry resolves with nothing to push.
+          ems.unlock(carrier);
+          ++report.robust.drained;
           ++report.totals.implemented;
           ++week.implemented;
-          report.totals.parameters_changed += applied;
-          week.parameters_changed += applied;
-          break;
-        case LaunchOutcome::kFalloutUnlocked:
-          ++report.totals.fallout_unlocked;
-          ++week.fallouts;
-          break;
-        case LaunchOutcome::kFalloutTimeout:
+          if (persist) checkpoint(day, options_.launches_per_day);
+          continue;
+        }
+        // Same KPI-gated path as the main launch stream (unlocks internally).
+        const RobustLaunchRecord rec = gate->push_gated_launch(carrier, changes);
+        report.robust.retries += static_cast<std::size_t>(rec.retries);
+        report.robust.rollbacks += static_cast<std::size_t>(rec.rollbacks);
+        report.robust.rollback_retries += static_cast<std::size_t>(rec.rollback_retries);
+        report.robust.reattempts += static_cast<std::size_t>(rec.reattempts);
+        if (rec.rollback_failed) ++report.robust.rollback_failed;
+        if (rec.quarantined) {
+          ++report.robust.quarantined;
+          ++week.quarantined;
+        }
+        for (std::size_t i = 0; i < rec.changes_applied && i < changes.size(); ++i) {
+          apply_slot(changes[i].slot, changes[i].new_value);
+        }
+        if (rec.outcome == RobustOutcome::kImplemented ||
+            rec.outcome == RobustOutcome::kRecovered) {
+          if (rec.outcome == RobustOutcome::kRecovered) ++report.robust.recovered;
+          ++report.robust.drained;
+          ++report.totals.implemented;
+          ++week.implemented;
+          report.totals.parameters_changed += rec.changes_applied;
+          week.parameters_changed += rec.changes_applied;
+        } else if (rec.outcome == RobustOutcome::kFalloutTerminal) {
+          ++report.robust.fallout_terminal;
           ++report.totals.fallout_timeout;
           ++week.fallouts;
-          break;
-        case LaunchOutcome::kNoChangeNeeded: break;
+        } else if (rec.outcome == RobustOutcome::kAbortedUnlocked) {
+          ++report.robust.aborted_unlocked;
+          ++report.totals.fallout_unlocked;
+          ++week.fallouts;
+        } else if (rec.outcome == RobustOutcome::kRolledBack) {
+          ++report.robust.rolled_back;
+          ++week.rolled_back;
+        }
+        if (persist) checkpoint(day, options_.launches_per_day);
+      }
+      drain_span.reset();
+
+      if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
+      if (persist) checkpoint(day + 1, 0);
+    }
+  };
+
+  // Sharded window: each day's launch batch partitions by shard (market
+  // keyed, so every slot a launch touches is shard-local) and executes in
+  // parallel — one task per shard, serial within the shard because each
+  // shard's EMS fault streams are serial devices. Workers write the network
+  // state directly (disjoint slices) and record per-launch facts; the main
+  // thread then folds those into the report in global launch order, which
+  // keeps counters and the FP-summed weekly KPI deterministic for any
+  // worker count. Checkpoints are day-granular: the parallel stream has no
+  // serializable mid-day cursor.
+  const auto run_sharded_window = [&] {
+    util::TaskPool& pool = util::TaskPool::shared();
+    for (int day = start_day; day < options_.days && !stopped; ++day) {
+      obs::ScopedSpan day_span("replay.day");
+      if (day > 0 && day % options_.relearn_every_days == 0) relearn();
+
+      const std::size_t batch = std::min(static_cast<std::size_t>(options_.launches_per_day),
+                                         queue.size() - cursor);
+      const std::size_t first = cursor;
+      cursor += batch;
+
+      std::vector<std::vector<std::size_t>> by_shard(static_cast<std::size_t>(shard_count));
+      for (std::size_t i = 0; i < batch; ++i) {
+        by_shard[static_cast<std::size_t>(sharded.shard_of(queue[first + i]))].push_back(i);
       }
 
-      // Post-check KPI of the launched carrier under the evolved state.
-      week_quality += carrier_quality(*topology_, *catalog_, state_, carrier);
-      ++week_quality_n;
+      std::vector<ShardLaunchResult> results(batch);
+      std::vector<std::vector<ShardDrainResult>> drains(static_cast<std::size_t>(shard_count));
 
-      if (persist) checkpoint(day, l + 1);
+      const auto run_shard = [&](int k) {
+        EmsSimulator& shard_ems = sharded.shard(k);
+        RobustPushExecutor& executor = *executors[static_cast<std::size_t>(k)];
+        RobustLaunchController* gate =
+            gates.empty() ? nullptr : gates[static_cast<std::size_t>(k)].get();
+        std::vector<netsim::CarrierId>& dq = deferred[static_cast<std::size_t>(k)];
+
+        for (std::size_t i : by_shard[static_cast<std::size_t>(k)]) {
+          obs::ScopedSpan launch_span("replay.launch");
+          metrics.launches.inc();
+          const netsim::CarrierId carrier = queue[first + i];
+          ShardLaunchResult& r = results[i];
+
+          std::vector<LaunchController::PlannedChange> vendor;
+          const std::vector<LaunchController::PlannedChange> changes =
+              controller->plan_changes_detailed(carrier, &vendor);
+
+          shard_ems.lock(carrier);
+          if (!changes.empty()) {
+            r.change_recommended = true;
+            if (options_.robust && executor.should_defer()) {
+              dq.push_back(carrier);
+              r.deferred_now = true;
+            } else {
+              const double u =
+                  static_cast<double>(util::hash_combine({options_.seed, 0x0B0BULL,
+                                                          static_cast<std::uint64_t>(carrier)}) >>
+                                      11) *
+                  0x1.0p-53;
+              if (u < options_.pipeline.premature_unlock_prob) {
+                shard_ems.unlock_out_of_band(carrier);
+              }
+              if (options_.robust) {
+                r.rec = gate->push_gated_launch(carrier, changes);
+                r.robust_used = true;
+                r.applied = r.rec.changes_applied;
+              } else {
+                std::vector<config::MoSetting> settings;
+                settings.reserve(changes.size());
+                for (const auto& change : changes) {
+                  settings.push_back({change.slot.mo_path, change.slot.param, change.new_value});
+                }
+                const PushResult push = shard_ems.push(carrier, settings);
+                r.applied = push.applied;
+                switch (push.status) {
+                  case PushStatus::kApplied: r.outcome = LaunchOutcome::kImplemented; break;
+                  case PushStatus::kRejectedUnlocked:
+                  case PushStatus::kAbortedLockFlap:
+                    r.outcome = LaunchOutcome::kFalloutUnlocked;
+                    break;
+                  case PushStatus::kTimeout:
+                    r.outcome = LaunchOutcome::kFalloutTimeout;
+                    break;
+                }
+              }
+            }
+          }
+          shard_ems.unlock(carrier);
+
+          for (const auto& slot_value : vendor) {
+            apply_slot(slot_value.slot, slot_value.new_value, &r.writes);
+          }
+          for (std::size_t s = 0; s < r.applied && s < changes.size(); ++s) {
+            apply_slot(changes[s].slot, changes[s].new_value, &r.writes);
+          }
+          r.quality = carrier_quality(*topology_, *catalog_, state_, carrier);
+        }
+
+        // Shard-local end-of-day drain: same machinery as the serial path,
+        // with the counter arithmetic deferred to the merge.
+        while (options_.robust && !dq.empty() &&
+               executor.breaker().state() == util::CircuitBreaker::State::kClosed) {
+          const netsim::CarrierId carrier = dq.front();
+          dq.erase(dq.begin());
+          shard_ems.lock(carrier);
+          const std::vector<LaunchController::PlannedChange> changes =
+              controller->plan_changes_detailed(carrier);
+          ShardDrainResult d;
+          if (changes.empty()) {
+            shard_ems.unlock(carrier);
+            d.no_change = true;
+          } else {
+            d.rec = gate->push_gated_launch(carrier, changes);
+            for (std::size_t s = 0; s < d.rec.changes_applied && s < changes.size(); ++s) {
+              apply_slot(changes[s].slot, changes[s].new_value, &d.writes);
+            }
+          }
+          drains[static_cast<std::size_t>(k)].push_back(std::move(d));
+        }
+      };
+
+      std::vector<std::function<void()>> tasks;
+      for (int k = 0; k < shard_count; ++k) {
+        const bool has_launches = !by_shard[static_cast<std::size_t>(k)].empty();
+        const bool has_drain = options_.robust && !deferred[static_cast<std::size_t>(k)].empty();
+        if (has_launches || has_drain) tasks.push_back([&run_shard, k] { run_shard(k); });
+      }
+      pool.run(std::move(tasks));
+
+      // Ordered merge. merge_robust_record mirrors the serial per-record
+      // bookkeeping shared by launches and drains.
+      const auto merge_robust_record = [&](const RobustLaunchRecord& rec) {
+        report.robust.retries += static_cast<std::size_t>(rec.retries);
+        report.robust.rollbacks += static_cast<std::size_t>(rec.rollbacks);
+        report.robust.rollback_retries += static_cast<std::size_t>(rec.rollback_retries);
+        report.robust.reattempts += static_cast<std::size_t>(rec.reattempts);
+        if (rec.rollback_failed) ++report.robust.rollback_failed;
+        if (rec.quarantined) {
+          ++report.robust.quarantined;
+          ++week.quarantined;
+        }
+      };
+      const auto merge_writes = [&](const std::vector<RecordedWrite>& writes) {
+        if (!track_delta_) return;
+        for (const RecordedWrite& w : writes) delta_[{w.pairwise, w.pos, w.entity}] = w.value;
+      };
+
+      for (std::size_t i = 0; i < batch; ++i) {
+        const ShardLaunchResult& r = results[i];
+        ++report.totals.launches;
+        ++week.launches;
+        if (r.change_recommended) {
+          ++report.totals.change_recommended;
+          ++week.change_recommended;
+        }
+        if (r.deferred_now) ++report.robust.queued_degraded;
+        LaunchOutcome outcome = r.outcome;
+        if (r.robust_used) {
+          merge_robust_record(r.rec);
+          if (r.rec.chunks > 1) ++report.robust.chunked;
+          switch (r.rec.outcome) {
+            case RobustOutcome::kRecovered: ++report.robust.recovered; [[fallthrough]];
+            case RobustOutcome::kImplemented:
+              outcome = LaunchOutcome::kImplemented;
+              break;
+            case RobustOutcome::kAbortedUnlocked:
+              ++report.robust.aborted_unlocked;
+              outcome = LaunchOutcome::kFalloutUnlocked;
+              break;
+            case RobustOutcome::kFalloutTerminal:
+              ++report.robust.fallout_terminal;
+              outcome = LaunchOutcome::kFalloutTimeout;
+              break;
+            case RobustOutcome::kRolledBack:
+              ++report.robust.rolled_back;
+              ++week.rolled_back;
+              outcome = LaunchOutcome::kNoChangeNeeded;
+              break;
+            case RobustOutcome::kNoChangeNeeded:
+            case RobustOutcome::kQueuedDegraded:  // gate never returns this
+              outcome = LaunchOutcome::kNoChangeNeeded;
+              break;
+          }
+        }
+        merge_writes(r.writes);
+        switch (outcome) {
+          case LaunchOutcome::kImplemented:
+            ++report.totals.implemented;
+            ++week.implemented;
+            report.totals.parameters_changed += r.applied;
+            week.parameters_changed += r.applied;
+            break;
+          case LaunchOutcome::kFalloutUnlocked:
+            ++report.totals.fallout_unlocked;
+            ++week.fallouts;
+            break;
+          case LaunchOutcome::kFalloutTimeout:
+            ++report.totals.fallout_timeout;
+            ++week.fallouts;
+            break;
+          case LaunchOutcome::kNoChangeNeeded: break;
+        }
+        week_quality += r.quality;
+        ++week_quality_n;
+      }
+
+      for (int k = 0; k < shard_count; ++k) {
+        for (const ShardDrainResult& d : drains[static_cast<std::size_t>(k)]) {
+          if (d.no_change) {
+            ++report.robust.drained;
+            ++report.totals.implemented;
+            ++week.implemented;
+            continue;
+          }
+          merge_robust_record(d.rec);
+          merge_writes(d.writes);
+          if (d.rec.outcome == RobustOutcome::kImplemented ||
+              d.rec.outcome == RobustOutcome::kRecovered) {
+            if (d.rec.outcome == RobustOutcome::kRecovered) ++report.robust.recovered;
+            ++report.robust.drained;
+            ++report.totals.implemented;
+            ++week.implemented;
+            report.totals.parameters_changed += d.rec.changes_applied;
+            week.parameters_changed += d.rec.changes_applied;
+          } else if (d.rec.outcome == RobustOutcome::kFalloutTerminal) {
+            ++report.robust.fallout_terminal;
+            ++report.totals.fallout_timeout;
+            ++week.fallouts;
+          } else if (d.rec.outcome == RobustOutcome::kAbortedUnlocked) {
+            ++report.robust.aborted_unlocked;
+            ++report.totals.fallout_unlocked;
+            ++week.fallouts;
+          } else if (d.rec.outcome == RobustOutcome::kRolledBack) {
+            ++report.robust.rolled_back;
+            ++week.rolled_back;
+          }
+        }
+      }
+
       if (options_.stop_after_launches > 0 &&
           report.totals.launches >= static_cast<std::size_t>(options_.stop_after_launches)) {
-        stopped = true;
-        break;
+        stopped = true;  // day granularity: the whole day ran, then we stop
       }
+      if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
+      if (persist) checkpoint(day + 1, 0);
     }
-    if (stopped) break;
+  };
 
-    // End-of-day maintenance window: once the breaker has closed again,
-    // drain the deferred queue — re-lock each queued carrier (the simulator
-    // counts the disruptive cycle), re-plan against the current engine, and
-    // push with the same chunk/retry/journal machinery.
-    std::optional<obs::ScopedSpan> drain_span;
-    if (options_.robust && !deferred.empty() &&
-        executor->breaker().state() == util::CircuitBreaker::State::kClosed) {
-      drain_span.emplace("replay.drain");
-    }
-    while (options_.robust && !deferred.empty() &&
-           executor->breaker().state() == util::CircuitBreaker::State::kClosed) {
-      const netsim::CarrierId carrier = deferred.front();
-      deferred.erase(deferred.begin());
-      ems.lock(carrier);
-      const std::vector<LaunchController::PlannedChange> changes =
-          controller->plan_changes_detailed(carrier);
-      if (changes.empty()) {
-        // The engine re-learned since the deferral and no longer flags the
-        // carrier: the queue entry resolves with nothing to push.
-        ems.unlock(carrier);
-        ++report.robust.drained;
-        ++report.totals.implemented;
-        ++week.implemented;
-        if (persist) checkpoint(day, options_.launches_per_day);
-        continue;
-      }
-      // Same KPI-gated path as the main launch stream (unlocks internally).
-      const RobustLaunchRecord rec = gate->push_gated_launch(carrier, changes);
-      report.robust.retries += static_cast<std::size_t>(rec.retries);
-      report.robust.rollbacks += static_cast<std::size_t>(rec.rollbacks);
-      report.robust.rollback_retries += static_cast<std::size_t>(rec.rollback_retries);
-      report.robust.reattempts += static_cast<std::size_t>(rec.reattempts);
-      if (rec.rollback_failed) ++report.robust.rollback_failed;
-      if (rec.quarantined) {
-        ++report.robust.quarantined;
-        ++week.quarantined;
-      }
-      for (std::size_t i = 0; i < rec.changes_applied && i < changes.size(); ++i) {
-        apply_slot(changes[i].slot, changes[i].new_value);
-      }
-      if (rec.outcome == RobustOutcome::kImplemented ||
-          rec.outcome == RobustOutcome::kRecovered) {
-        if (rec.outcome == RobustOutcome::kRecovered) ++report.robust.recovered;
-        ++report.robust.drained;
-        ++report.totals.implemented;
-        ++week.implemented;
-        report.totals.parameters_changed += rec.changes_applied;
-        week.parameters_changed += rec.changes_applied;
-      } else if (rec.outcome == RobustOutcome::kFalloutTerminal) {
-        ++report.robust.fallout_terminal;
-        ++report.totals.fallout_timeout;
-        ++week.fallouts;
-      } else if (rec.outcome == RobustOutcome::kAbortedUnlocked) {
-        ++report.robust.aborted_unlocked;
-        ++report.totals.fallout_unlocked;
-        ++week.fallouts;
-      } else if (rec.outcome == RobustOutcome::kRolledBack) {
-        ++report.robust.rolled_back;
-        ++week.rolled_back;
-      }
-      if (persist) checkpoint(day, options_.launches_per_day);
-    }
-    drain_span.reset();
-
-    if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
-    if (persist) checkpoint(day + 1, 0);
+  if (shard_count == 1) {
+    run_serial_window();
+  } else {
+    run_sharded_window();
   }
-  report.robust.breaker_trips = executor->breaker().trips();
-  report.robust.still_queued = deferred.size();
+
+  for (int k = 0; k < shard_count; ++k) {
+    report.robust.breaker_trips += executors[static_cast<std::size_t>(k)]->breaker().trips();
+    report.robust.still_queued += deferred[static_cast<std::size_t>(k)].size();
+  }
 
   report.final_network_kpi = mean_network_kpi();
   return report;

@@ -64,14 +64,29 @@ struct ReplayOptions {
   /// carrier quarantined on a second breach. Ignored in naive mode.
   RollbackOptions rollback;
   std::uint64_t seed = 2024;
+  /// EMS shards: carriers are partitioned across this many independent
+  /// EmsSimulators (keyed by market; see smartlaunch::ShardedEms), each with
+  /// its own fault streams, circuit breaker, apply journal and deferred
+  /// queue, and each day's launch stream executes shard-parallel on the
+  /// process worker pool. 1 keeps the legacy single-EMS serial path,
+  /// byte-identical to earlier releases. With fault injection disabled the
+  /// weekly summaries are invariant in the shard count (all remaining
+  /// randomness is stateless per-carrier hashing); fault streams are
+  /// shard-local by design, so fault-enabled runs are deterministic for a
+  /// given N but not comparable across different N.
+  int shards = 1;
   /// When non-empty, checkpoint the replay state into this directory after
   /// every launch, drained carrier and completed day (see header comment).
+  /// Sharded runs (shards > 1) checkpoint at day granularity instead: the
+  /// parallel launch stream has no serializable mid-day cursor.
   std::string state_dir;
   /// Restart from the checkpoint in state_dir (requires the replay to be
   /// constructed with the same inputs and options as the killed run).
   bool resume = false;
   /// Simulated kill switch: checkpoint and stop once this many launches
   /// have executed in total, counting resumed progress (0 = full window).
+  /// Sharded runs round the stop up to the end of the day that crosses the
+  /// threshold (day granularity matches the sharded checkpoint cadence).
   int stop_after_launches = 0;
 };
 
@@ -117,6 +132,17 @@ struct ReplayReport {
 
 class OperationReplay {
  public:
+  /// One slot write as recorded by a parallel shard worker. Workers write
+  /// the network state directly (launches touch disjoint slots) but must
+  /// not touch the delta map; the main thread folds recorded writes into it
+  /// during the per-day merge.
+  struct RecordedWrite {
+    bool pairwise = false;
+    std::size_t pos = 0;     ///< position in the singular/pairwise column list
+    std::size_t entity = 0;  ///< carrier id (singular) or edge index (pairwise)
+    config::ValueIndex value = 0;
+  };
+
   /// Copies `assignment` as the evolving network state. `topology`,
   /// `schema`, `catalog` and `rulebook_model` must outlive the replay.
   OperationReplay(const netsim::Topology& topology, const netsim::AttributeSchema& schema,
@@ -150,8 +176,12 @@ class OperationReplay {
   /// The delta frozen at the last engine re-learn (what the engine saw).
   std::map<SlotKey, config::ValueIndex> relearn_delta_;
 
-  /// Writes a slot value into the evolving state.
-  void apply_slot(const SlotRef& slot, config::ValueIndex value);
+  /// Writes a slot value into the evolving state. With `record` set the
+  /// write is appended there instead of the delta map (thread-safe: shard
+  /// workers only ever touch their own carriers' cells and their own record
+  /// vector); without it the delta map is updated directly (serial path).
+  void apply_slot(const SlotRef& slot, config::ValueIndex value,
+                  std::vector<RecordedWrite>* record = nullptr);
 
   double mean_network_kpi() const;
 };

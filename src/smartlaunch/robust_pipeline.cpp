@@ -13,59 +13,26 @@ namespace {
 
 constexpr int kOutcomeCount = 7;  // RobustOutcome enumerators
 
-/// Executor-layer instruments: per-attempt simulated push latency, retry and
-/// backoff accounting. Resolved once per process; execute() only touches
-/// relaxed atomics.
-struct ExecutorMetrics {
+}  // namespace
+
+/// Executor-layer instruments: per-attempt simulated push latency, retry,
+/// backoff and outcome accounting. One set per EMS shard (every series
+/// carries a `shard` label; unlabeled selectors aggregate across shards);
+/// resolved at construction so execute() only touches relaxed atomics.
+struct RobustPushExecutor::Metrics {
   obs::Histogram& push_latency_ms;
   obs::Histogram& backoff_ms;
   obs::Counter& attempts;
   obs::Counter& retries;
+  std::array<obs::Counter*, kOutcomeCount> outcomes;
+
+  obs::Counter& outcome(RobustOutcome o) { return *outcomes[static_cast<std::size_t>(o)]; }
 };
 
-ExecutorMetrics& executor_metrics() {
-  auto& reg = obs::MetricsRegistry::global();
-  static ExecutorMetrics m{
-      reg.histogram("auric_push_latency_ms", obs::default_latency_bounds_ms(),
-                    "simulated EMS push latency per attempt (ms)"),
-      reg.histogram("auric_push_backoff_ms", obs::default_latency_bounds_ms(),
-                    "backoff injected before each executor retry (ms)"),
-      reg.counter("auric_push_attempts_total", "EMS push attempts issued by the executor"),
-      reg.counter("auric_push_retries_total", "executor retries after transient faults")};
-  return m;
-}
-
-obs::Counter& push_outcome_counter(RobustOutcome outcome) {
-  static const auto counters = [] {
-    std::array<obs::Counter*, kOutcomeCount> a{};
-    auto& reg = obs::MetricsRegistry::global();
-    for (int i = 0; i < kOutcomeCount; ++i) {
-      a[static_cast<std::size_t>(i)] =
-          &reg.counter("auric_push_outcomes_total", "executor push results by outcome",
-                       {{"outcome", robust_outcome_name(static_cast<RobustOutcome>(i))}});
-    }
-    return a;
-  }();
-  return *counters[static_cast<std::size_t>(outcome)];
-}
-
-obs::Counter& launch_outcome_counter(RobustOutcome outcome) {
-  static const auto counters = [] {
-    std::array<obs::Counter*, kOutcomeCount> a{};
-    auto& reg = obs::MetricsRegistry::global();
-    for (int i = 0; i < kOutcomeCount; ++i) {
-      a[static_cast<std::size_t>(i)] =
-          &reg.counter("auric_launch_outcomes_total", "robust launch results by outcome",
-                       {{"outcome", robust_outcome_name(static_cast<RobustOutcome>(i))}});
-    }
-    return a;
-  }();
-  return *counters[static_cast<std::size_t>(outcome)];
-}
-
 /// Controller-layer instruments: KPI-gate decisions, rollback and quarantine
-/// accounting, deferred-queue flow.
-struct ControllerMetrics {
+/// accounting, deferred-queue flow and per-launch outcomes. Shard-labeled
+/// like the executor's.
+struct RobustLaunchController::Metrics {
   obs::Counter& gate_pass;
   obs::Counter& gate_breach;
   obs::Counter& rollbacks;
@@ -73,19 +40,72 @@ struct ControllerMetrics {
   obs::Counter& quarantines;
   obs::Counter& deferred;
   obs::Counter& drained;
+  std::array<obs::Counter*, kOutcomeCount> outcomes;
+
+  obs::Counter& outcome(RobustOutcome o) { return *outcomes[static_cast<std::size_t>(o)]; }
 };
 
-ControllerMetrics& controller_metrics() {
+namespace {
+
+std::array<obs::Counter*, kOutcomeCount> outcome_counters(const char* name, const char* help,
+                                                          const std::string& shard) {
+  std::array<obs::Counter*, kOutcomeCount> a{};
   auto& reg = obs::MetricsRegistry::global();
-  static ControllerMetrics m{
-      reg.counter("auric_kpi_gate_total", "KPI gate evaluations", {{"decision", "pass"}}),
-      reg.counter("auric_kpi_gate_total", "KPI gate evaluations", {{"decision", "breach"}}),
-      reg.counter("auric_rollbacks_total", "completed KPI-gate rollbacks"),
-      reg.counter("auric_rollback_failed_total", "rollback pushes that themselves faulted"),
-      reg.counter("auric_quarantines_total", "carriers quarantined after repeated breaches"),
-      reg.counter("auric_deferred_total", "launches deferred while the breaker was open"),
-      reg.counter("auric_drained_total", "deferred launches drained after breaker close")};
-  return m;
+  for (int i = 0; i < kOutcomeCount; ++i) {
+    a[static_cast<std::size_t>(i)] = &reg.counter(
+        name, help,
+        {{"outcome", robust_outcome_name(static_cast<RobustOutcome>(i))}, {"shard", shard}});
+  }
+  return a;
+}
+
+RobustPushExecutor::Metrics& executor_metrics(int shard) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::unique_ptr<RobustPushExecutor::Metrics>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[shard];
+  if (slot == nullptr) {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string k = std::to_string(shard);
+    slot = std::make_unique<RobustPushExecutor::Metrics>(RobustPushExecutor::Metrics{
+        reg.histogram("auric_push_latency_ms", obs::default_latency_bounds_ms(),
+                      "simulated EMS push latency per attempt (ms)", {{"shard", k}}),
+        reg.histogram("auric_push_backoff_ms", obs::default_latency_bounds_ms(),
+                      "backoff injected before each executor retry (ms)", {{"shard", k}}),
+        reg.counter("auric_push_attempts_total", "EMS push attempts issued by the executor",
+                    {{"shard", k}}),
+        reg.counter("auric_push_retries_total", "executor retries after transient faults",
+                    {{"shard", k}}),
+        outcome_counters("auric_push_outcomes_total", "executor push results by outcome", k)});
+  }
+  return *slot;
+}
+
+RobustLaunchController::Metrics& controller_metrics(int shard) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::unique_ptr<RobustLaunchController::Metrics>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[shard];
+  if (slot == nullptr) {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string k = std::to_string(shard);
+    slot = std::make_unique<RobustLaunchController::Metrics>(RobustLaunchController::Metrics{
+        reg.counter("auric_kpi_gate_total", "KPI gate evaluations",
+                    {{"decision", "pass"}, {"shard", k}}),
+        reg.counter("auric_kpi_gate_total", "KPI gate evaluations",
+                    {{"decision", "breach"}, {"shard", k}}),
+        reg.counter("auric_rollbacks_total", "completed KPI-gate rollbacks", {{"shard", k}}),
+        reg.counter("auric_rollback_failed_total", "rollback pushes that themselves faulted",
+                    {{"shard", k}}),
+        reg.counter("auric_quarantines_total", "carriers quarantined after repeated breaches",
+                    {{"shard", k}}),
+        reg.counter("auric_deferred_total", "launches deferred while the breaker was open",
+                    {{"shard", k}}),
+        reg.counter("auric_drained_total", "deferred launches drained after breaker close",
+                    {{"shard", k}}),
+        outcome_counters("auric_launch_outcomes_total", "robust launch results by outcome", k)});
+  }
+  return *slot;
 }
 
 }  // namespace
@@ -131,7 +151,18 @@ RobustPushExecutor::RobustPushExecutor(EmsSimulator& ems)
     : RobustPushExecutor(ems, Options{}) {}
 
 RobustPushExecutor::RobustPushExecutor(EmsSimulator& ems, Options options)
-    : ems_(&ems), options_(options), breaker_(options.breaker) {}
+    : ems_(&ems),
+      options_(options),
+      metrics_(&executor_metrics(options.shard)),
+      breaker_([&options] {
+        // One shard knob labels the whole stack: the executor stamps its
+        // shard on the breaker it owns.
+        auto breaker = options.breaker;
+        breaker.shard = options.shard;
+        return breaker;
+      }()) {
+  options_.breaker.shard = options_.shard;
+}
 
 std::size_t RobustPushExecutor::chunk_size() const {
   std::size_t limit = ems_->max_settings_per_push();
@@ -164,7 +195,7 @@ bool RobustPushExecutor::should_defer() { return !breaker_.allow(); }
 RobustPushExecutor::Result RobustPushExecutor::execute(
     netsim::CarrierId carrier, const std::vector<config::MoSetting>& settings) {
   obs::ScopedSpan span("push");
-  ExecutorMetrics& metrics = executor_metrics();
+  Metrics& metrics = *metrics_;
   Result result;
   const std::size_t max_chunk = chunk_size();
   std::size_t landed = journal_applied(carrier);
@@ -183,7 +214,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
       result.outcome = RobustOutcome::kAbortedUnlocked;
       result.applied = landed;
       journal_[carrier] = landed;  // durable partial progress
-      push_outcome_counter(result.outcome).inc();
+      metrics.outcome(result.outcome).inc();
       return result;
     }
 
@@ -207,7 +238,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
         result.outcome = RobustOutcome::kAbortedUnlocked;
         result.applied = landed;
         journal_[carrier] = landed;
-        push_outcome_counter(result.outcome).inc();
+        metrics.outcome(result.outcome).inc();
         return result;
 
       case PushStatus::kAbortedLockFlap:
@@ -220,7 +251,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
           result.applied = landed;
           journal_[carrier] = landed;
           breaker_.record_failure();
-          push_outcome_counter(result.outcome).inc();
+          metrics.outcome(result.outcome).inc();
           return result;
         }
         ++consecutive_failures;
@@ -229,7 +260,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
           result.applied = landed;
           journal_[carrier] = landed;
           breaker_.record_failure();
-          push_outcome_counter(result.outcome).inc();
+          metrics.outcome(result.outcome).inc();
           return result;
         }
         ++result.retries;
@@ -254,7 +285,7 @@ RobustPushExecutor::Result RobustPushExecutor::execute(
   result.applied = landed;
   journal_.erase(carrier);
   breaker_.record_success();
-  push_outcome_counter(result.outcome).inc();
+  metrics.outcome(result.outcome).inc();
   return result;
 }
 
@@ -265,7 +296,14 @@ RobustLaunchController::RobustLaunchController(const LaunchController& controlle
       ems_(&ems),
       kpi_(&kpi),
       options_(options),
-      executor_(ems, options.executor) {}
+      metrics_(&controller_metrics(options.shard)),
+      executor_(ems, [&options] {
+        auto executor = options.executor;
+        executor.shard = options.shard;
+        return executor;
+      }()) {
+  options_.executor.shard = options_.shard;
+}
 
 RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
   obs::ScopedSpan span("launch");
@@ -280,7 +318,7 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
   if (changes.empty()) {
     ems_->unlock(carrier);
     record.pre_quality = record.post_quality = kpi_->quality(carrier);
-    launch_outcome_counter(record.outcome).inc();
+    metrics_->outcome(record.outcome).inc();
     return record;
   }
 
@@ -297,7 +335,7 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
       record.outcome = RobustOutcome::kRolledBack;
       record.quarantine_skipped = true;
       record.post_quality = record.pre_quality;
-      launch_outcome_counter(record.outcome).inc();
+      metrics_->outcome(record.outcome).inc();
       return record;
     }
   }
@@ -309,8 +347,8 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
     deferred_.push_back(carrier);
     record.outcome = RobustOutcome::kQueuedDegraded;
     record.post_quality = kpi_->quality(carrier);
-    controller_metrics().deferred.inc();
-    launch_outcome_counter(record.outcome).inc();
+    metrics_->deferred.inc();
+    metrics_->outcome(record.outcome).inc();
     return record;
   }
 
@@ -332,7 +370,7 @@ RobustLaunchRecord RobustLaunchController::launch(netsim::CarrierId carrier) {
       record.outcome == RobustOutcome::kAbortedUnlocked) {
     executor_.clear_journal(carrier);
   }
-  launch_outcome_counter(record.outcome).inc();
+  metrics_->outcome(record.outcome).inc();
   return record;
 }
 
@@ -345,7 +383,7 @@ RobustLaunchRecord RobustLaunchController::push_gated_launch(
   if (changes.empty()) {
     ems_->unlock(carrier);
     record.pre_quality = record.post_quality = kpi_->quality(carrier);
-    launch_outcome_counter(record.outcome).inc();
+    metrics_->outcome(record.outcome).inc();
     return record;
   }
 
@@ -359,7 +397,7 @@ RobustLaunchRecord RobustLaunchController::push_gated_launch(
       record.outcome = RobustOutcome::kRolledBack;
       record.quarantine_skipped = true;
       record.post_quality = record.pre_quality;
-      launch_outcome_counter(record.outcome).inc();
+      metrics_->outcome(record.outcome).inc();
       return record;
     }
   }
@@ -370,7 +408,7 @@ RobustLaunchRecord RobustLaunchController::push_gated_launch(
       record.outcome == RobustOutcome::kAbortedUnlocked) {
     executor_.clear_journal(carrier);
   }
-  launch_outcome_counter(record.outcome).inc();
+  metrics_->outcome(record.outcome).inc();
   return record;
 }
 
@@ -422,7 +460,7 @@ void RobustLaunchController::push_gated(
         record.post_quality < record.pre_quality &&
         (record.post_quality < gate.min_quality ||
          record.post_quality < record.pre_quality * (1.0 - gate.max_relative_drop));
-    if (gated) (breach ? controller_metrics().gate_breach : controller_metrics().gate_pass).inc();
+    if (gated) (breach ? metrics_->gate_breach : metrics_->gate_pass).inc();
     if (!breach) return;
 
     // Roll back: reverse-replay the applied prefix with the vendor values
@@ -451,7 +489,7 @@ void RobustLaunchController::push_gated(
       // applied prefix (it replays in reverse order), so `applied - undone`
       // settings remain on air as a contiguous prefix of the plan.
       record.rollback_failed = true;
-      controller_metrics().rollback_failed.inc();
+      metrics_->rollback_failed.inc();
       record.outcome = undo.outcome == RobustOutcome::kAbortedUnlocked
                            ? RobustOutcome::kAbortedUnlocked
                            : RobustOutcome::kFalloutTerminal;
@@ -464,7 +502,7 @@ void RobustLaunchController::push_gated(
     }
 
     ++record.rollbacks;
-    controller_metrics().rollbacks.inc();
+    metrics_->rollbacks.inc();
     record.outcome = RobustOutcome::kRolledBack;
     record.changes_applied = 0;
     record.post_quality = record.pre_quality;
@@ -472,7 +510,7 @@ void RobustLaunchController::push_gated(
     const int count = ++quarantine_[carrier];
     if (count >= gate.max_rollbacks) {
       record.quarantined = true;
-      controller_metrics().quarantines.inc();
+      metrics_->quarantines.inc();
       ems_->unlock(carrier);
       return;
     }
@@ -552,7 +590,7 @@ void RobustLaunchController::drain(
       // superseded): the queue entry is resolved with nothing to push.
       ems_->unlock(carrier);
       ++report.drained;
-      controller_metrics().drained.inc();
+      metrics_->drained.inc();
       ++report.implemented;
       if (record != nullptr) record->drained_late = true;
       continue;
@@ -571,11 +609,11 @@ void RobustLaunchController::drain(
     report.reattempted += static_cast<std::size_t>(late.reattempts);
     if (late.rollback_failed) ++report.rollback_failed;
     if (late.quarantined) ++report.quarantined;
-    launch_outcome_counter(late.outcome).inc();
+    metrics_->outcome(late.outcome).inc();
     if (late.outcome == RobustOutcome::kImplemented ||
         late.outcome == RobustOutcome::kRecovered) {
       ++report.drained;
-      controller_metrics().drained.inc();
+      metrics_->drained.inc();
       ++report.implemented;
       report.parameters_changed += late.changes_applied;
       if (record != nullptr) {

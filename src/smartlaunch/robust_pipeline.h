@@ -86,6 +86,9 @@ class RobustPushExecutor {
     /// structural limit (guards against command_ms jitter in a real EMS).
     std::size_t chunk_margin = 0;
     std::uint64_t seed = 31337;
+    /// EMS shard this executor pushes to; stamped as a `shard` label on the
+    /// executor metric series and propagated to the breaker's label.
+    int shard = 0;
   };
 
   struct Result {
@@ -96,6 +99,10 @@ class RobustPushExecutor {
     int retries = 0;           ///< failed pushes that were retried/resumed
     double backoff_ms = 0.0;   ///< simulated backoff waited this call
   };
+
+  /// Shard-labeled instrument set (defined in robust_pipeline.cpp; public
+  /// only so the per-shard interning helper can construct it).
+  struct Metrics;
 
   explicit RobustPushExecutor(EmsSimulator& ems);  // default Options
   RobustPushExecutor(EmsSimulator& ems, Options options);
@@ -138,6 +145,7 @@ class RobustPushExecutor {
  private:
   EmsSimulator* ems_;
   Options options_;
+  Metrics* metrics_;  ///< shard-labeled instruments, resolved at construction
   util::CircuitBreaker breaker_;
   std::unordered_map<netsim::CarrierId, std::size_t> journal_;
 };
@@ -227,6 +235,10 @@ struct RobustPipelineOptions {
   /// engineer behavior and differ only in how they respond).
   double premature_unlock_prob = 0.14;
   std::uint64_t seed = 31337;
+  /// EMS shard this controller drives; stamped as a `shard` label on the
+  /// controller metric series and propagated to executor.shard (which in
+  /// turn labels the breaker), so one knob labels the whole stack.
+  int shard = 0;
   RobustPushExecutor::Options executor;
   RollbackOptions rollback;
   /// When non-empty, recovery state (apply journal, deferred queue,
@@ -242,6 +254,10 @@ struct RobustPipelineOptions {
 /// tolerance described above.
 class RobustLaunchController {
  public:
+  /// Shard-labeled instrument set (defined in robust_pipeline.cpp; public
+  /// only so the per-shard interning helper can construct it).
+  struct Metrics;
+
   RobustLaunchController(const LaunchController& controller, EmsSimulator& ems,
                          const KpiModel& kpi, RobustPipelineOptions options = {});
 
@@ -284,6 +300,7 @@ class RobustLaunchController {
   EmsSimulator* ems_;
   const KpiModel* kpi_;
   RobustPipelineOptions options_;
+  Metrics* metrics_;  ///< shard-labeled instruments, resolved at construction
   RobustPushExecutor executor_;
   std::vector<netsim::CarrierId> deferred_;
   std::unordered_map<netsim::CarrierId, int> quarantine_;

@@ -1,0 +1,72 @@
+#include "smartlaunch/sharded_ems.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace auric::smartlaunch {
+namespace {
+
+/// Salt separating the shard-mapping / shard-seed hash domain from every
+/// other hash_combine user in the codebase.
+constexpr std::uint64_t kShardSalt = 0x5A2DED;
+
+}  // namespace
+
+int shard_of_market(netsim::MarketId market, int shards) {
+  if (shards <= 1) return 0;
+  const std::uint64_t h =
+      util::hash_combine({kShardSalt, static_cast<std::uint64_t>(static_cast<std::uint32_t>(market))});
+  return static_cast<int>(h % static_cast<std::uint64_t>(shards));
+}
+
+std::uint64_t ShardedEms::shard_seed(std::uint64_t seed, int shard) {
+  if (shard == 0) return seed;
+  return util::hash_combine({seed, kShardSalt, static_cast<std::uint64_t>(shard)});
+}
+
+ShardedEms::ShardedEms(const netsim::Topology& topology, int shards, EmsOptions options) {
+  if (shards < 1) shards = 1;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    EmsOptions shard_options = options;
+    shard_options.seed = shard_seed(options.seed, k);
+    shard_options.shard = k;
+    shards_.emplace_back(topology.carrier_count(), shard_options);
+  }
+  carrier_shard_.resize(topology.carrier_count());
+  for (std::size_t c = 0; c < topology.carrier_count(); ++c) {
+    carrier_shard_[c] =
+        shard_of_market(topology.carrier(static_cast<netsim::CarrierId>(c)).market, shards);
+  }
+}
+
+std::size_t ShardedEms::lock_cycles() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.lock_cycles();
+  return total;
+}
+
+std::size_t ShardedEms::pushes_executed() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.pushes_executed();
+  return total;
+}
+
+std::vector<EmsSimulator::Snapshot> ShardedEms::snapshot() const {
+  std::vector<EmsSimulator::Snapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (const auto& shard : shards_) snapshots.push_back(shard.snapshot());
+  return snapshots;
+}
+
+void ShardedEms::restore(const std::vector<EmsSimulator::Snapshot>& snapshots) {
+  if (snapshots.size() != shards_.size()) {
+    throw std::invalid_argument("ShardedEms::restore: snapshot count " +
+                                std::to_string(snapshots.size()) + " does not match shard count " +
+                                std::to_string(shards_.size()));
+  }
+  for (std::size_t k = 0; k < shards_.size(); ++k) shards_[k].restore(snapshots[k]);
+}
+
+}  // namespace auric::smartlaunch

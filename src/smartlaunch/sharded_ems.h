@@ -1,0 +1,78 @@
+// Multi-EMS sharding façade.
+//
+// Real RANs are not managed by one EMS: each vendor/market pairing runs its
+// own management plane, and §5's push constraints (lock discipline,
+// concurrency budget, fault behavior) apply per EMS instance. ShardedEms
+// models that: carriers are partitioned across N EmsSimulator instances
+// keyed by market — consistent with X2 locality, since the topology
+// generator only creates inter-site neighbor relations inside one market,
+// so a carrier, its X2 edges and its EMS always live on the same shard.
+//
+// Each shard is a full, independent EmsSimulator: its own deterministic
+// fault streams (shard 0 keeps the caller's seed bit-for-bit, so N=1 is
+// byte-compatible with the single-EMS model; shard k > 0 derives its seed
+// from (seed, k)), its own lock state, its own push counters, and a
+// `shard="k"` label on every metric series it emits. Fault domains are
+// shard-local by construction: a burst window or flaky streak on one shard
+// never perturbs another shard's stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/topology.h"
+#include "smartlaunch/ems.h"
+
+namespace auric::smartlaunch {
+
+/// Market → shard mapping: a pure function of the market id and the shard
+/// count (never of the topology's market list), so the mapping of existing
+/// markets is stable when markets are added or the inventory is reordered.
+int shard_of_market(netsim::MarketId market, int shards);
+
+class ShardedEms {
+ public:
+  /// Builds `shards` EmsSimulators (>= 1; values < 1 are clamped to 1).
+  /// Every shard spans the full carrier id space so carrier ids index
+  /// directly; a carrier only ever touches the shard its market maps to.
+  /// Shard 0 runs with `options` verbatim — same seed, same streams — and
+  /// shard k > 0 with a seed derived from (options.seed, k); each shard's
+  /// EmsOptions::shard is set to its index for metric labeling.
+  ShardedEms(const netsim::Topology& topology, int shards, EmsOptions options = {});
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// The shard `carrier` belongs to (resolved once at construction from the
+  /// carrier's market).
+  int shard_of(netsim::CarrierId carrier) const {
+    return carrier_shard_[static_cast<std::size_t>(carrier)];
+  }
+
+  EmsSimulator& shard(int k) { return shards_[static_cast<std::size_t>(k)]; }
+  const EmsSimulator& shard(int k) const { return shards_[static_cast<std::size_t>(k)]; }
+
+  /// The simulator managing `carrier`.
+  EmsSimulator& ems_for(netsim::CarrierId carrier) { return shard(shard_of(carrier)); }
+  const EmsSimulator& ems_for(netsim::CarrierId carrier) const {
+    return shards_[static_cast<std::size_t>(shard_of(carrier))];
+  }
+
+  /// Aggregates across shards (the single-EMS counters, summed).
+  std::size_t lock_cycles() const;
+  std::size_t pushes_executed() const;
+
+  /// Per-shard snapshots, index k = shard k (for per-shard checkpointing).
+  std::vector<EmsSimulator::Snapshot> snapshot() const;
+  /// Throws std::invalid_argument when the snapshot count does not match
+  /// shard_count() — a checkpoint taken at a different N cannot be resumed.
+  void restore(const std::vector<EmsSimulator::Snapshot>& snapshots);
+
+  /// Seed of shard `shard` under base seed `seed` (shard 0 = `seed`).
+  static std::uint64_t shard_seed(std::uint64_t seed, int shard);
+
+ private:
+  std::vector<EmsSimulator> shards_;
+  std::vector<int> carrier_shard_;  ///< carrier id -> shard index
+};
+
+}  // namespace auric::smartlaunch

@@ -2,21 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace auric::util {
 
-namespace {
-
-/// Process-wide breaker metrics, shared by every CircuitBreaker instance:
-/// transition counts by destination state, refusals, and a state gauge
-/// reflecting the most recent transition of any breaker (single-breaker
-/// deployments read it directly; multi-breaker setups use the counters).
-struct BreakerMetrics {
+/// Per-shard breaker instruments: transition counts by destination state,
+/// refusals, and a state gauge reflecting the most recent transition of any
+/// breaker on that shard. Every series carries a `shard` label; unlabeled
+/// alert selectors aggregate across shards by subset match.
+struct CircuitBreaker::Metrics {
   obs::Counter& to_open;
   obs::Counter& to_half_open;
   obs::Counter& to_closed;
@@ -24,19 +25,33 @@ struct BreakerMetrics {
   obs::Gauge& state;
 };
 
-BreakerMetrics& breaker_metrics() {
-  auto& reg = obs::MetricsRegistry::global();
-  static BreakerMetrics m{
-      reg.counter("auric_breaker_transitions_total", "circuit-breaker state transitions",
-                  {{"to", "open"}}),
-      reg.counter("auric_breaker_transitions_total", "circuit-breaker state transitions",
-                  {{"to", "half_open"}}),
-      reg.counter("auric_breaker_transitions_total", "circuit-breaker state transitions",
-                  {{"to", "closed"}}),
-      reg.counter("auric_breaker_refusals_total", "operations refused while a breaker was open"),
-      reg.gauge("auric_breaker_state", "last-transitioned breaker state "
-                                       "(0 closed, 1 open, 2 half-open)")};
-  return m;
+namespace {
+
+/// Interns one Metrics per shard so breaker construction resolves its
+/// instruments once and the hot path only does relaxed increments.
+CircuitBreaker::Metrics& breaker_metrics(int shard) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::unique_ptr<CircuitBreaker::Metrics>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[shard];
+  if (slot == nullptr) {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string k = std::to_string(shard);
+    const auto transition = [&](const char* to) -> obs::Counter& {
+      return reg.counter("auric_breaker_transitions_total", "circuit-breaker state transitions",
+                         {{"shard", k}, {"to", to}});
+    };
+    slot = std::make_unique<CircuitBreaker::Metrics>(CircuitBreaker::Metrics{
+        transition("open"),
+        transition("half_open"),
+        transition("closed"),
+        reg.counter("auric_breaker_refusals_total",
+                    "operations refused while a breaker was open", {{"shard", k}}),
+        reg.gauge("auric_breaker_state",
+                  "last-transitioned breaker state (0 closed, 1 open, 2 half-open)",
+                  {{"shard", k}})});
+  }
+  return *slot;
 }
 
 }  // namespace
@@ -62,7 +77,8 @@ double total_backoff_ms(const RetryPolicy& policy, int retries, std::uint64_t se
 
 CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options{}) {}
 
-CircuitBreaker::CircuitBreaker(Options options) : options_(options) {
+CircuitBreaker::CircuitBreaker(Options options)
+    : options_(options), metrics_(&breaker_metrics(options.shard)) {
   options_.failure_threshold = std::max(1, options_.failure_threshold);
   options_.cooldown_ops = std::max(1, options_.cooldown_ops);
 }
@@ -72,9 +88,8 @@ void CircuitBreaker::trip() {
   cooldown_remaining_ = options_.cooldown_ops;
   consecutive_failures_ = 0;
   ++trips_;
-  BreakerMetrics& m = breaker_metrics();
-  m.to_open.inc();
-  m.state.set(static_cast<double>(State::kOpen));
+  metrics_->to_open.inc();
+  metrics_->state.set(static_cast<double>(State::kOpen));
 }
 
 bool CircuitBreaker::allow() {
@@ -84,13 +99,12 @@ bool CircuitBreaker::allow() {
       return true;
     case State::kOpen:
       ++refusals_;
-      breaker_metrics().refusals.inc();
+      metrics_->refusals.inc();
       if (--cooldown_remaining_ <= 0) {
         // Cooled down: the *next* operation is the half-open probe.
         state_ = State::kHalfOpen;
-        BreakerMetrics& m = breaker_metrics();
-        m.to_half_open.inc();
-        m.state.set(static_cast<double>(State::kHalfOpen));
+        metrics_->to_half_open.inc();
+        metrics_->state.set(static_cast<double>(State::kHalfOpen));
       }
       return false;
   }
@@ -99,9 +113,8 @@ bool CircuitBreaker::allow() {
 
 void CircuitBreaker::record_success() {
   if (state_ != State::kClosed) {
-    BreakerMetrics& m = breaker_metrics();
-    m.to_closed.inc();
-    m.state.set(static_cast<double>(State::kClosed));
+    metrics_->to_closed.inc();
+    metrics_->state.set(static_cast<double>(State::kClosed));
   }
   state_ = State::kClosed;
   consecutive_failures_ = 0;

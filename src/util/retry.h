@@ -64,6 +64,10 @@ class CircuitBreaker {
   struct Options {
     int failure_threshold = 3;  ///< consecutive failures that trip the breaker
     int cooldown_ops = 5;       ///< refused ops before half-opening
+    /// EMS shard this breaker protects; stamped as a `shard` label on the
+    /// breaker metric series so per-shard breakers stay distinguishable
+    /// while unlabeled alert selectors aggregate across all of them.
+    int shard = 0;
   };
 
   /// Full dynamic state, exportable for crash-safe persistence (the
@@ -76,6 +80,10 @@ class CircuitBreaker {
     int trips = 0;
     int refusals = 0;
   };
+
+  /// Shard-labeled instrument set (defined in retry.cpp; public only so the
+  /// per-shard interning helper can construct it).
+  struct Metrics;
 
   CircuitBreaker();  // default Options
   explicit CircuitBreaker(Options options);
@@ -105,6 +113,7 @@ class CircuitBreaker {
 
  private:
   Options options_;
+  Metrics* metrics_;  ///< shard-labeled instruments, resolved at construction
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   int cooldown_remaining_ = 0;

@@ -171,5 +171,104 @@ TEST(LaunchStateStore, MissingFileFailsLoudly) {
   EXPECT_THROW((void)store.load(), std::runtime_error);
 }
 
+LaunchState sharded_state() {
+  LaunchState state;
+  // Shard 0 and shard 1 carry deliberately different content so a swapped
+  // or merged load would be caught.
+  LaunchState::ShardState shard0;
+  shard0.journal = {{3, 17}};
+  shard0.deferred = {4};
+  shard0.quarantine = {{2, 1}};
+  shard0.breaker.state = util::CircuitBreaker::State::kOpen;
+  shard0.breaker.trips = 1;
+  shard0.ems.pushes_executed = 10;
+  shard0.ems.fault_stream = 0xAAAA;
+  shard0.ems.unlocked = {1};
+  LaunchState::ShardState shard1;
+  shard1.journal = {{9, 2}, {11, 5}};
+  shard1.deferred = {};
+  shard1.quarantine = {};
+  shard1.breaker.state = util::CircuitBreaker::State::kClosed;
+  shard1.ems.pushes_executed = 99;
+  shard1.ems.fault_stream = 0xBBBB;
+  shard1.ems.repaired = {6};
+  state.shards = {shard0, shard1};
+  state.applied_slots = {{false, 2, 11, 5}};
+  state.progress = {{"day", "3"}, {"shards_note", "two"}};
+  return state;
+}
+
+TEST(LaunchStateStore, ShardedStateRoundTripsPerShard) {
+  const LaunchStateStore store(temp_dir("sharded_roundtrip"));
+  const LaunchState saved = sharded_state();
+  store.save(saved);
+  const LaunchState loaded = store.load();
+
+  ASSERT_EQ(loaded.shards.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(loaded.shards[k].journal, saved.shards[k].journal) << "shard " << k;
+    EXPECT_EQ(loaded.shards[k].deferred, saved.shards[k].deferred) << "shard " << k;
+    EXPECT_EQ(loaded.shards[k].quarantine, saved.shards[k].quarantine) << "shard " << k;
+    EXPECT_EQ(loaded.shards[k].breaker.state, saved.shards[k].breaker.state) << "shard " << k;
+    EXPECT_EQ(loaded.shards[k].breaker.trips, saved.shards[k].breaker.trips) << "shard " << k;
+    EXPECT_EQ(loaded.shards[k].ems.pushes_executed, saved.shards[k].ems.pushes_executed);
+    EXPECT_EQ(loaded.shards[k].ems.fault_stream, saved.shards[k].ems.fault_stream);
+    EXPECT_EQ(loaded.shards[k].ems.unlocked, saved.shards[k].ems.unlocked);
+    EXPECT_EQ(loaded.shards[k].ems.repaired, saved.shards[k].ems.repaired);
+  }
+  // The reserved layout marker is store-internal, never caller progress.
+  EXPECT_EQ(loaded.progress, saved.progress);
+  EXPECT_EQ(loaded.find_progress("__shards"), nullptr);
+}
+
+TEST(LaunchStateStore, ShardedLayoutUsesSuffixedFiles) {
+  const LaunchStateStore store(temp_dir("sharded_files"));
+  store.save(sharded_state());
+  const std::filesystem::path dir(store.dir());
+  for (const char* base : {"journal", "deferred", "quarantine", "breaker", "ems"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir / (std::string(base) + ".0.csv"))) << base;
+    EXPECT_TRUE(std::filesystem::exists(dir / (std::string(base) + ".1.csv"))) << base;
+    EXPECT_FALSE(std::filesystem::exists(dir / (std::string(base) + ".csv")))
+        << base << " flat file must not be written in sharded mode";
+  }
+}
+
+TEST(LaunchStateStore, SingleShardLegacyLayoutHasNoMarker) {
+  const LaunchStateStore store(temp_dir("legacy_marker"));
+  store.save(sample_state());  // shards empty -> legacy flat layout
+  std::ifstream progress(std::filesystem::path(store.dir()) / "progress.csv");
+  std::string contents((std::istreambuf_iterator<char>(progress)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents.find("__shards"), std::string::npos);
+  const LaunchState loaded = store.load();
+  EXPECT_TRUE(loaded.shards.empty());
+}
+
+TEST(LaunchStateStore, ReservedProgressKeyRejected) {
+  const LaunchStateStore store(temp_dir("reserved_key"));
+  LaunchState state = sample_state();
+  state.progress.emplace_back("__shards", "4");
+  EXPECT_THROW(store.save(state), std::invalid_argument);
+}
+
+TEST(LaunchStateStore, MissingShardFileFailsLoudly) {
+  const LaunchStateStore store(temp_dir("missing_shard_file"));
+  store.save(sharded_state());
+  std::filesystem::remove(std::filesystem::path(store.dir()) / "ems.1.csv");
+  EXPECT_THROW((void)store.load(), std::runtime_error);
+}
+
+TEST(LaunchStateStore, ClearRemovesShardFiles) {
+  const LaunchStateStore store(temp_dir("sharded_clear"));
+  store.save(sharded_state());
+  store.clear();
+  EXPECT_FALSE(store.exists());
+  const std::filesystem::path dir(store.dir());
+  for (const char* base : {"journal", "deferred", "quarantine", "breaker", "ems"}) {
+    EXPECT_FALSE(std::filesystem::exists(dir / (std::string(base) + ".0.csv"))) << base;
+    EXPECT_FALSE(std::filesystem::exists(dir / (std::string(base) + ".1.csv"))) << base;
+  }
+}
+
 }  // namespace
 }  // namespace auric::io

@@ -496,11 +496,15 @@ TEST(LogObs, WarnAndErrorAreCountedEvenWhenFiltered) {
 
 TEST(BreakerObs, TransitionsAndRefusalsAreCounted) {
   auto& reg = MetricsRegistry::global();
-  Counter& to_open = reg.counter("auric_breaker_transitions_total", "", {{"to", "open"}});
-  Counter& to_half = reg.counter("auric_breaker_transitions_total", "", {{"to", "half_open"}});
-  Counter& to_closed = reg.counter("auric_breaker_transitions_total", "", {{"to", "closed"}});
-  Counter& refusals = reg.counter("auric_breaker_refusals_total");
-  Gauge& state = reg.gauge("auric_breaker_state");
+  // Breaker series carry a `shard` label (a default breaker is shard 0).
+  Counter& to_open =
+      reg.counter("auric_breaker_transitions_total", "", {{"shard", "0"}, {"to", "open"}});
+  Counter& to_half =
+      reg.counter("auric_breaker_transitions_total", "", {{"shard", "0"}, {"to", "half_open"}});
+  Counter& to_closed =
+      reg.counter("auric_breaker_transitions_total", "", {{"shard", "0"}, {"to", "closed"}});
+  Counter& refusals = reg.counter("auric_breaker_refusals_total", "", {{"shard", "0"}});
+  Gauge& state = reg.gauge("auric_breaker_state", "", {{"shard", "0"}});
   const std::uint64_t open0 = to_open.value();
   const std::uint64_t half0 = to_half.value();
   const std::uint64_t closed0 = to_closed.value();

@@ -152,6 +152,47 @@ TEST(RuleEngine, RateOverWindowComparesThePerSecondIncrease) {
   EXPECT_DOUBLE_EQ(*states[0].last_value, 50.0);
 }
 
+TEST(RuleEngine, RateRuleAggregatesAcrossShardLabels) {
+  // Pins the fleet-wide semantics the default breaker_open_rate and
+  // rollback_rate rules rely on under --shards N: every per-shard series
+  // carries a `shard` label, the rule's selector does not name it, and a
+  // subset match sums the matching series — so two shards each under the
+  // threshold still breach it together.
+  MetricsRegistry reg;
+  RuleEngine engine(reg);
+  AlertRule rule;
+  rule.name = "breaker_open_rate";
+  rule.kind = AlertRule::Kind::kRateOverWindow;
+  rule.metric = SeriesSelector::parse("auric_breaker_transitions_total{to=\"open\"}");
+  rule.op = AlertRule::Op::kGt;
+  rule.value = 1.0;
+  rule.window_s = 10.0;
+  engine.add_rule(rule);
+
+  const auto open_sample = [](const std::string& shard, double value) {
+    return counter_sample("auric_breaker_transitions_total", value,
+                          {{"to", "open"}, {"shard", shard}});
+  };
+  Sampler sampler(reg);
+  sampler.tick_with(0.0, {open_sample("0", 0), open_sample("1", 0),
+                          counter_sample("auric_breaker_transitions_total", 0,
+                                         {{"to", "closed"}, {"shard", "0"}})});
+  engine.evaluate(sampler, 0.0);
+  EXPECT_TRUE(engine.healthy());
+
+  // 0.8 opens/s per shard: below the 1/s threshold shard-by-shard, 1.6/s
+  // fleet-wide. The rule must see the sum. The closed-transition series
+  // races ahead but never matches the selector.
+  sampler.tick_with(10.0, {open_sample("0", 8), open_sample("1", 8),
+                           counter_sample("auric_breaker_transitions_total", 500,
+                                          {{"to", "closed"}, {"shard", "0"}})});
+  engine.evaluate(sampler, 10.0);
+  EXPECT_FALSE(engine.healthy());
+  const std::vector<RuleState> states = engine.states();
+  ASSERT_TRUE(states[0].last_value.has_value());
+  EXPECT_DOUBLE_EQ(*states[0].last_value, 1.6);
+}
+
 TEST(RuleEngine, AbsenceFiresWhileTheMetricIsMissing) {
   MetricsRegistry reg;
   RuleEngine engine(reg);

@@ -42,9 +42,112 @@ TEST_P(WorkerCountTest, ResultsMatchSerialComputation) {
 
 INSTANTIATE_TEST_SUITE_P(Workers, WorkerCountTest, ::testing::Values(1u, 2u, 4u));
 
+TEST_P(WorkerCountTest, HandlesFewerItemsThanWorkers) {
+  // n < workers: only n runners are spun up; every index still runs once.
+  std::vector<std::atomic<int>> hits(2);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(WorkerCountTest, NestedCallRunsSerially) {
+  // The nested-call guard: a parallel_for from inside a pool task must not
+  // re-enter the pool (deadlock/oversubscription), it runs inline instead.
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t) {
+    parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
 TEST(WorkerCount, DefaultAtLeastOne) {
   set_worker_count(0);
   EXPECT_GE(worker_count(), 1u);
+}
+
+class TaskPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_worker_count(0); }
+};
+
+TEST_F(TaskPoolTest, RunsEveryTaskOnce) {
+  TaskPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::vector<std::atomic<int>> hits(57);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.run(std::move(tasks));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(TaskPoolTest, EmptyBatchIsNoop) {
+  TaskPool pool(2);
+  pool.run({});
+}
+
+TEST_F(TaskPoolTest, ZeroWorkersRunsInline) {
+  TaskPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int hits = 0;
+  pool.run({[&] { ++hits; }, [&] { ++hits; }});
+  EXPECT_EQ(hits, 2);
+}
+
+TEST_F(TaskPoolTest, PropagatesFirstExceptionByTaskIndex) {
+  TaskPool pool(4);
+  // All tasks run to completion even when siblings throw, and the first
+  // exception *by task index* (not completion order) is rethrown.
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&completed, i] {
+      completed.fetch_add(1);
+      if (i == 5) throw std::runtime_error("late");
+      if (i == 2) throw std::logic_error("early");
+    });
+  }
+  try {
+    pool.run(std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "early");
+  }
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST_F(TaskPoolTest, NestedRunExecutesInline) {
+  TaskPool pool(2);
+  std::atomic<int> inner{0};
+  std::atomic<bool> saw_guard{false};
+  pool.run({[&] {
+    EXPECT_TRUE(TaskPool::on_worker_thread());
+    saw_guard.store(true);
+    // Nested batch must run inline on this thread, not deadlock the pool.
+    pool.run({[&] { inner.fetch_add(1); }, [&] { inner.fetch_add(1); }});
+  }});
+  EXPECT_TRUE(saw_guard.load());
+  EXPECT_EQ(inner.load(), 2);
+  EXPECT_FALSE(TaskPool::on_worker_thread());
+}
+
+TEST_F(TaskPoolTest, ReserveGrowsButNeverShrinks) {
+  TaskPool pool(1);
+  pool.reserve(3);
+  EXPECT_EQ(pool.size(), 3u);
+  pool.reserve(2);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST_F(TaskPoolTest, SequentialBatchesReuseWorkers) {
+  TaskPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> hits{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 5; ++i) tasks.push_back([&] { hits.fetch_add(1); });
+    pool.run(std::move(tasks));
+    EXPECT_EQ(hits.load(), 5);
+  }
 }
 
 }  // namespace

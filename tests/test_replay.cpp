@@ -8,6 +8,7 @@
 
 #include "config/ground_truth.h"
 #include "test_helpers.h"
+#include "util/parallel.h"
 
 namespace auric::smartlaunch {
 namespace {
@@ -203,6 +204,138 @@ TEST(OperationReplay, CheckpointingDoesNotPerturbTheRun) {
                             options);
   const ReplayReport b = persisted.run();
   expect_reports_identical(a, b);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OperationReplay, WeeklySummariesInvariantInShardCount) {
+  // With fault injection off, the only randomness left is stateless
+  // per-carrier hashing, so the weekly summaries (and the evolved network)
+  // must not depend on how carriers are partitioned across EMS shards.
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.ems.flaky_timeout_prob = 0.0;
+
+  OperationReplay serial(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport base = serial.run();
+
+  options.shards = 3;
+  OperationReplay parallel(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                           options);
+  const ReplayReport sharded = parallel.run();
+
+  expect_reports_identical(base, sharded);
+  const config::ConfigAssignment& a = serial.network_state();
+  const config::ConfigAssignment& b = parallel.network_state();
+  for (std::size_t si = 0; si < a.singular.size(); ++si) {
+    EXPECT_EQ(a.singular[si].value, b.singular[si].value) << si;
+  }
+  for (std::size_t pi = 0; pi < a.pairwise.size(); ++pi) {
+    EXPECT_EQ(a.pairwise[pi].value, b.pairwise[pi].value) << pi;
+  }
+}
+
+TEST(OperationReplay, ShardedRunIsDeterministic) {
+  // Fault streams are shard-local, so a fault-enabled sharded run is not
+  // comparable across shard counts — but for a fixed N it must reproduce
+  // exactly, regardless of how the worker pool schedules the shards.
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.shards = 4;
+  options.ems.flaky_timeout_prob = 0.15;
+  options.ems.faults.burst_every = 30;
+  options.ems.faults.burst_length = 3;
+  options.ems.faults.burst_timeout_prob = 1.0;
+  OperationReplay a(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  OperationReplay b(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  expect_reports_identical(a.run(), b.run());
+}
+
+TEST(OperationReplay, ShardedRunMatchesUnderForcedThreadPool) {
+  // The merge is ordered on the main thread, so the report must not depend
+  // on whether shard tasks ran inline (1-core hosts) or on real pool
+  // workers. Forcing the pool to four threads exercises the genuinely
+  // concurrent path on any host (and under TSan in CI).
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.shards = 4;
+  options.ems.flaky_timeout_prob = 0.15;
+
+  OperationReplay inline_run(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                             options);
+  const ReplayReport base = inline_run.run();
+
+  util::set_worker_count(4);
+  util::TaskPool::shared().reserve(4);
+  OperationReplay threaded_run(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                               options);
+  const ReplayReport threaded = threaded_run.run();
+  util::set_worker_count(0);
+
+  expect_reports_identical(base, threaded);
+}
+
+TEST(OperationReplay, ShardedKilledAndResumedRunMatchesBitForBit) {
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.shards = 4;
+  options.ems.flaky_timeout_prob = 0.15;
+  options.ems.faults.burst_every = 30;
+  options.ems.faults.burst_length = 3;
+  options.ems.faults.burst_timeout_prob = 1.0;
+
+  OperationReplay uninterrupted(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                                options);
+  const ReplayReport baseline = uninterrupted.run();
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "auric_replay_shard_resume").string();
+  std::filesystem::remove_all(dir);
+  options.state_dir = dir;
+  // Sharded checkpoints are day-granular: asking to stop after launch 33
+  // rounds up to the end of that day (35 = 7 full days of 5).
+  options.stop_after_launches = 33;
+  OperationReplay killed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport partial = killed.run();
+  EXPECT_EQ(partial.totals.launches, 35u);
+
+  options.stop_after_launches = 0;
+  options.resume = true;
+  OperationReplay resumed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  expect_reports_identical(resumed.run(), baseline);
+
+  const config::ConfigAssignment& a = uninterrupted.network_state();
+  const config::ConfigAssignment& b = resumed.network_state();
+  for (std::size_t si = 0; si < a.singular.size(); ++si) {
+    EXPECT_EQ(a.singular[si].value, b.singular[si].value) << si;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OperationReplay, ResumeRejectsShardCountMismatch) {
+  // Per-shard fault-stream positions cannot be re-partitioned, so resuming
+  // a checkpoint under a different shard count must fail loudly instead of
+  // silently diverging.
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.shards = 4;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "auric_replay_shard_mismatch").string();
+  std::filesystem::remove_all(dir);
+  options.state_dir = dir;
+  options.stop_after_launches = 10;
+  OperationReplay killed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  killed.run();
+
+  options.stop_after_launches = 0;
+  options.resume = true;
+  options.shards = 1;
+  OperationReplay wrong(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  EXPECT_THROW(wrong.run(), std::invalid_argument);
   std::filesystem::remove_all(dir);
 }
 

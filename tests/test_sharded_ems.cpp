@@ -1,0 +1,232 @@
+#include "smartlaunch/sharded_ems.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "netsim/generator.h"
+#include "smartlaunch/robust_pipeline.h"
+
+namespace auric::smartlaunch {
+namespace {
+
+netsim::Topology small_topology(int markets = 4) {
+  netsim::TopologyParams params;
+  params.seed = 7;
+  params.num_markets = markets;
+  params.base_enodebs_per_market = 3;
+  return netsim::generate_topology(params);
+}
+
+std::vector<config::MoSetting> settings(std::size_t n) {
+  std::vector<config::MoSetting> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back({"MO=" + std::to_string(i), 0, 1});
+  return out;
+}
+
+TEST(ShardOfMarket, SingleShardMapsEverythingToZero) {
+  for (netsim::MarketId m = 0; m < 64; ++m) EXPECT_EQ(shard_of_market(m, 1), 0);
+}
+
+TEST(ShardOfMarket, CoversAllShards) {
+  const int shards = 4;
+  std::set<int> seen;
+  for (netsim::MarketId m = 0; m < 64; ++m) {
+    const int shard = shard_of_market(m, shards);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, shards);
+    seen.insert(shard);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(shards));
+}
+
+// The satellite requirement: the mapping of an existing market must not move
+// when markets are added (or the inventory is renumbered elsewhere). Because
+// shard_of_market is a pure function of (market id, shard count), topologies
+// with 4 and 9 markets must agree on markets 0..3.
+TEST(ShardOfMarket, StableWhenMarketsAreAdded) {
+  const auto before = small_topology(4);
+  const auto after = small_topology(9);
+  ShardedEms sharded_before(before, 3);
+  ShardedEms sharded_after(after, 3);
+  for (std::size_t c = 0; c < before.carrier_count(); ++c) {
+    const auto carrier = static_cast<netsim::CarrierId>(c);
+    const netsim::MarketId market = before.carrier(carrier).market;
+    EXPECT_EQ(shard_of_market(market, 3),
+              shard_of_market(market, 3));  // pure — same inputs, same output
+    // All carriers of this market land on one shard in both topologies.
+    EXPECT_EQ(sharded_before.shard_of(carrier), shard_of_market(market, 3));
+  }
+  for (std::size_t c = 0; c < after.carrier_count(); ++c) {
+    const auto carrier = static_cast<netsim::CarrierId>(c);
+    EXPECT_EQ(sharded_after.shard_of(carrier),
+              shard_of_market(after.carrier(carrier).market, 3));
+  }
+}
+
+TEST(ShardedEms, CarriersOfOneMarketShareAShard) {
+  const auto topology = small_topology(6);
+  ShardedEms sharded(topology, 4);
+  for (const auto& market : topology.markets) {
+    const auto carriers = topology.carriers_in_market(market.id);
+    ASSERT_FALSE(carriers.empty());
+    const int shard = sharded.shard_of(carriers.front());
+    for (const auto carrier : carriers) EXPECT_EQ(sharded.shard_of(carrier), shard);
+  }
+}
+
+// X2 locality: the topology generator only creates edges within a market, so
+// both endpoints of every edge live on the same shard — the property that
+// makes per-shard parallel launches race-free.
+TEST(ShardedEms, X2EdgesNeverCrossShards) {
+  const auto topology = small_topology(6);
+  ShardedEms sharded(topology, 4);
+  for (std::size_t c = 0; c < topology.carrier_count(); ++c) {
+    const auto carrier = static_cast<netsim::CarrierId>(c);
+    for (std::size_t e = topology.edge_offsets[c]; e < topology.edge_offsets[c + 1]; ++e) {
+      EXPECT_EQ(sharded.shard_of(topology.edges[e].to), sharded.shard_of(carrier));
+    }
+  }
+}
+
+// N=1 must be bit-compatible with the single-EMS model: same seed, same
+// fault stream, same push results.
+TEST(ShardedEms, SingleShardMatchesPlainSimulatorStream) {
+  const auto topology = small_topology(2);
+  EmsOptions options;
+  options.flaky_timeout_prob = 0.35;  // exercise the fault stream
+  options.seed = 2024;
+  ShardedEms sharded(topology, 1, options);
+  EmsSimulator plain(topology.carrier_count(), options);
+  for (int i = 0; i < 40; ++i) {
+    const auto carrier = static_cast<netsim::CarrierId>(i % topology.carrier_count());
+    const PushResult a = sharded.ems_for(carrier).push(carrier, settings(8));
+    const PushResult b = plain.push(carrier, settings(8));
+    ASSERT_EQ(a.status, b.status) << "push " << i;
+    ASSERT_EQ(a.applied, b.applied) << "push " << i;
+    ASSERT_DOUBLE_EQ(a.elapsed_ms, b.elapsed_ms) << "push " << i;
+  }
+  EXPECT_EQ(sharded.pushes_executed(), plain.pushes_executed());
+}
+
+// Shard-local fault domains: pushes on shard A must not advance shard B's
+// fault stream. Interleaving traffic on other shards leaves a shard's own
+// push sequence byte-identical.
+TEST(ShardedEms, FaultStreamsAreShardLocal) {
+  const auto topology = small_topology(12);  // 12 markets spread over >1 shard at N=3
+  EmsOptions options;
+  options.flaky_timeout_prob = 0.35;
+  options.seed = 99;
+
+  ShardedEms quiet(topology, 3, options);   // traffic on shard 0 only
+  ShardedEms noisy(topology, 3, options);   // traffic everywhere
+
+  const int probe = quiet.shard_of(0);  // a shard that definitely has carriers
+  std::vector<netsim::CarrierId> shard0;
+  std::vector<netsim::CarrierId> others;
+  for (std::size_t c = 0; c < topology.carrier_count(); ++c) {
+    const auto carrier = static_cast<netsim::CarrierId>(c);
+    (quiet.shard_of(carrier) == probe ? shard0 : others).push_back(carrier);
+  }
+  ASSERT_FALSE(shard0.empty());
+  ASSERT_FALSE(others.empty());
+
+  for (int i = 0; i < 30; ++i) {
+    const auto carrier = shard0[static_cast<std::size_t>(i) % shard0.size()];
+    // Interleave pushes on the other shards before each shard-0 push.
+    const auto other = others[static_cast<std::size_t>(i) % others.size()];
+    noisy.ems_for(other).push(other, settings(4));
+    const PushResult a = quiet.ems_for(carrier).push(carrier, settings(8));
+    const PushResult b = noisy.ems_for(carrier).push(carrier, settings(8));
+    ASSERT_EQ(a.status, b.status) << "push " << i;
+    ASSERT_DOUBLE_EQ(a.elapsed_ms, b.elapsed_ms) << "push " << i;
+  }
+}
+
+TEST(ShardedEms, ShardSeedsAreDistinctAndShardZeroKeepsBaseSeed) {
+  EXPECT_EQ(ShardedEms::shard_seed(2024, 0), 2024u);
+  std::set<std::uint64_t> seeds;
+  for (int k = 0; k < 8; ++k) seeds.insert(ShardedEms::shard_seed(2024, k));
+  EXPECT_EQ(seeds.size(), 8u);
+
+  const auto topology = small_topology(4);
+  EmsOptions options;
+  options.seed = 2024;
+  const ShardedEms sharded(topology, 4, options);
+  EXPECT_EQ(sharded.shard(0).options().seed, 2024u);
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(sharded.shard(k).options().shard, k);
+}
+
+TEST(ShardedEms, SnapshotRestoreRoundTripsPerShard) {
+  const auto topology = small_topology(4);
+  EmsOptions options;
+  options.flaky_timeout_prob = 0.3;
+  ShardedEms sharded(topology, 3, options);
+  for (std::size_t c = 0; c < topology.carrier_count(); ++c) {
+    const auto carrier = static_cast<netsim::CarrierId>(c);
+    sharded.ems_for(carrier).push(carrier, settings(4));
+  }
+  const auto snapshots = sharded.snapshot();
+  ASSERT_EQ(snapshots.size(), 3u);
+
+  ShardedEms restored(topology, 3, options);
+  restored.restore(snapshots);
+  // Both continue with the identical stream.
+  for (std::size_t c = 0; c < topology.carrier_count(); ++c) {
+    const auto carrier = static_cast<netsim::CarrierId>(c);
+    const PushResult a = sharded.ems_for(carrier).push(carrier, settings(8));
+    const PushResult b = restored.ems_for(carrier).push(carrier, settings(8));
+    ASSERT_EQ(a.status, b.status);
+    ASSERT_DOUBLE_EQ(a.elapsed_ms, b.elapsed_ms);
+  }
+}
+
+TEST(ShardedEms, RestoreRejectsShardCountMismatch) {
+  const auto topology = small_topology(4);
+  ShardedEms sharded(topology, 3);
+  auto snapshots = sharded.snapshot();
+  snapshots.pop_back();
+  EXPECT_THROW(sharded.restore(snapshots), std::invalid_argument);
+}
+
+TEST(ShardedEms, ShardCountClampedToOne) {
+  const auto topology = small_topology(2);
+  const ShardedEms sharded(topology, 0);
+  EXPECT_EQ(sharded.shard_count(), 1);
+}
+
+// Breaker isolation between shards: a fault storm tripping shard 0's breaker
+// must leave shard 1's executor admitting launches.
+TEST(ShardedEms, BreakerIsolationBetweenShards) {
+  const auto topology = small_topology(6);
+  EmsOptions options;
+  options.flaky_timeout_prob = 1.0;  // every executed push times out
+  ShardedEms sharded(topology, 2, options);
+
+  RobustPushExecutor::Options exec_options;
+  exec_options.retry.max_attempts = 1;  // no retries: each execute() is one failure
+  exec_options.breaker.failure_threshold = 2;
+  exec_options.shard = 0;
+  RobustPushExecutor exec0(sharded.shard(0), exec_options);
+  exec_options.shard = 1;
+  RobustPushExecutor exec1(sharded.shard(1), exec_options);
+
+  std::vector<netsim::CarrierId> shard0;
+  for (std::size_t c = 0; c < topology.carrier_count(); ++c) {
+    const auto carrier = static_cast<netsim::CarrierId>(c);
+    if (sharded.shard_of(carrier) == 0) shard0.push_back(carrier);
+  }
+  ASSERT_GE(shard0.size(), 2u);
+
+  exec0.execute(shard0[0], settings(4));
+  exec0.execute(shard0[1], settings(4));
+  EXPECT_EQ(exec0.breaker().state(), util::CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(exec0.should_defer());
+
+  EXPECT_EQ(exec1.breaker().state(), util::CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(exec1.should_defer());
+}
+
+}  // namespace
+}  // namespace auric::smartlaunch

@@ -21,9 +21,12 @@
 //       review by engineers).
 //
 //   auric replay    [--data DIR] [--days N] [--robust] [--state-dir DIR]
+//                   [--shards N] [--weekly-out FILE]
 //       Replay the paper's two-month operation window day by day (synthetic
 //       network by default); weekly Table-5 counters plus rollback and
-//       quarantine columns in robust mode.
+//       quarantine columns in robust mode. --shards N partitions the EMS by
+//       market and runs each day's launches shard-parallel; --weekly-out
+//       writes the weekly table as CSV (bit-exact KPI) for CI diffing.
 //
 // Every subcommand additionally accepts the live-plane flags
 // (--serve-metrics[=PORT] --sample-interval-ms --rules FILE --series-out):
@@ -232,6 +235,13 @@ int cmd_replay(util::Args& args) {
   options.resume = args.get_bool("resume", false, "restart from the checkpoint in --state-dir");
   options.stop_after_launches = static_cast<int>(
       args.get_int("stop-after-launches", 0, "checkpoint and exit after N launches (0 = all)"));
+  options.shards = static_cast<int>(args.get_int(
+      "shards", 1, "EMS shards; the launch stream runs shard-parallel (1 = legacy serial)"));
+  options.ems.flaky_timeout_prob =
+      args.get_double("flaky-timeout-prob", options.ems.flaky_timeout_prob,
+                      "per-push transient EMS timeout probability (0 disables fault injection)");
+  const std::string weekly_out = args.get_string(
+      "weekly-out", "", "also write the weekly summary table to this file as CSV");
   if (args.help_requested()) return 0;
   args.check_unknown();
 
@@ -261,6 +271,28 @@ int cmd_replay(util::Args& args) {
                    util::format_fixed(week.mean_launched_kpi, 3)});
   }
   table.print();
+
+  if (!weekly_out.empty()) {
+    // Machine-readable weekly summary for CI determinism checks: a fault-free
+    // (--flaky-timeout-prob 0) run must produce byte-identical CSVs at any
+    // --shards value. KPI is emitted as a hexfloat so the comparison is
+    // bit-exact, not print-rounded.
+    std::FILE* out = std::fopen(weekly_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "auric replay: cannot write %s\n", weekly_out.c_str());
+      return 1;
+    }
+    std::fputs(
+        "week,launches,flagged,implemented,fallouts,rolled_back,quarantined,params_changed,"
+        "mean_launch_kpi\n",
+        out);
+    for (const smartlaunch::WeeklySummary& week : report.weeks) {
+      std::fprintf(out, "%d,%zu,%zu,%zu,%zu,%zu,%zu,%zu,%a\n", week.week, week.launches,
+                   week.change_recommended, week.implemented, week.fallouts, week.rolled_back,
+                   week.quarantined, week.parameters_changed, week.mean_launched_kpi);
+    }
+    std::fclose(out);
+  }
 
   const auto& totals = report.totals;
   std::printf("\n%d days: %zu launches, %zu flagged, %zu implemented, %zu fall-outs, %zu"

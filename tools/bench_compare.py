@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against the checked-in baseline.
+
+CI gate for the perf-critical arms: exits non-zero if any arm in the current
+run is more than --threshold slower (real_time) than the same arm in the
+baseline. Arms present in only one of the two files are reported but never
+fail the build (new arms land with the PR that adds them; the baseline is
+refreshed with --update).
+
+Usage:
+    bench_micro --benchmark_filter='BM_Obs|BM_EmsPush|BM_ShardedReplay' \
+        --benchmark_out=BENCH_ci.json --benchmark_out_format=json
+    tools/bench_compare.py bench/baseline.json BENCH_ci.json
+    tools/bench_compare.py bench/baseline.json BENCH_ci.json --update
+
+The threshold is deliberately loose (25% by default): shared CI runners are
+noisy, and the gate is meant to catch step-change regressions (an accidental
+O(n^2), a lock on the hot path), not single-digit drift. Aggregate arms
+(_mean/_median/_stddev and repetition suffixes) are skipped so repeated runs
+gate on the same names as single runs.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_arms(path):
+    with open(path) as f:
+        doc = json.load(f)
+    arms = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        ns = float(b["real_time"]) * TIME_UNIT_NS[b.get("time_unit", "ns")]
+        # Repetitions share a name; keep the fastest run (least noise-prone
+        # statistic for a regression gate on shared runners).
+        arms[name] = min(arms.get(name, ns), ns)
+    return arms
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in baseline JSON (bench/baseline.json)")
+    parser.add_argument("current", help="fresh benchmark JSON to compare")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated slowdown as a fraction (default 0.25 = 25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current over baseline instead of comparing")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated from {args.current}")
+        return 0
+
+    baseline = load_arms(args.baseline)
+    current = load_arms(args.current)
+
+    regressions = []
+    width = max((len(n) for n in current), default=0)
+    for name in sorted(current):
+        if name not in baseline:
+            print(f"  NEW       {name:<{width}}  {fmt_ns(current[name])}")
+            continue
+        base, cur = baseline[name], current[name]
+        ratio = cur / base if base > 0 else 1.0
+        flag = "REGRESSED" if ratio > 1.0 + args.threshold else "ok       "
+        print(f"  {flag} {name:<{width}}  {fmt_ns(base)} -> {fmt_ns(cur)}"
+              f"  ({(ratio - 1.0) * 100.0:+.1f}%)")
+        if ratio > 1.0 + args.threshold:
+            regressions.append(name)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  MISSING   {name} (in baseline, not in current run)")
+
+    if regressions:
+        print(f"\n{len(regressions)} arm(s) regressed more than "
+              f"{args.threshold * 100:.0f}%: {', '.join(regressions)}")
+        return 1
+    print(f"\nno arm regressed more than {args.threshold * 100:.0f}% "
+          f"({len(current)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
