@@ -3,7 +3,10 @@
 // built from, so performance regressions surface immediately.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "config/ground_truth.h"
+#include "io/launch_state.h"
 #include "core/dependency.h"
 #include "core/engine.h"
 #include "core/param_view.h"
@@ -253,6 +256,89 @@ void BM_ShardedReplay(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * options.days * options.launches_per_day);
 }
 BENCHMARK(BM_ShardedReplay)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- Checkpoint persistence -------------------------------------------------
+//
+// Both arms price one save() of a GROWN state image (a multi-week window's
+// accumulated journal/quarantine/slot deltas) after a small per-iteration
+// mutation — the shape every post-launch checkpoint has. The journal arm
+// appends only the delta; the rewrite arm re-serializes the full image.
+// bytes_per_save (from auric_checkpoint_bytes_total) is the honest metric:
+// the journal layout must land >= 5x fewer bytes, and wall time follows.
+// fsync is off in both arms so the comparison prices serialization + write
+// volume, not the (noisy, device-bound) flush cost.
+
+io::LaunchState grown_launch_state() {
+  io::LaunchState s;
+  for (int c = 0; c < 2000; ++c) {
+    s.journal.emplace_back(static_cast<netsim::CarrierId>(c),
+                           static_cast<std::uint64_t>(3 + c % 7));
+  }
+  for (int c = 0; c < 500; ++c) {
+    s.quarantine.emplace_back(static_cast<netsim::CarrierId>(c * 4), 1 + c % 3);
+  }
+  for (int e = 0; e < 1500; ++e) {
+    io::LaunchState::SlotWrite w;
+    w.param_pos = 0;
+    w.entity = static_cast<std::uint64_t>(e);
+    w.value = e % 11;
+    s.applied_slots.push_back(w);
+  }
+  s.relearn_applied_slots = s.applied_slots;
+  s.ems.pushes_executed = 4000;
+  s.progress = {{"day", "42"}, {"launches", "880"}, {"kpi", "0x1.8p-1"}};
+  return s;
+}
+
+/// One day's worth of churn: a handful of journal offsets, one quarantine
+/// bump, a few fresh slot writes and the progress counters.
+void mutate_launch_state(io::LaunchState& s, std::uint64_t step) {
+  for (int k = 0; k < 4; ++k) {
+    auto& entry = s.journal[(step * 97 + static_cast<std::uint64_t>(k) * 13) % s.journal.size()];
+    entry.second += 1;
+  }
+  s.quarantine[step % s.quarantine.size()].second += 1;
+  auto& slot = s.applied_slots[(step * 31) % s.applied_slots.size()];
+  slot.value = static_cast<std::int32_t>((slot.value + 1) % 11);
+  s.ems.pushes_executed += 3;
+  s.progress[1].second = std::to_string(880 + step);
+}
+
+void run_checkpoint_bench(benchmark::State& state, bool journal) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (journal ? "auric_bench_ckpt_journal" : "auric_bench_ckpt_rewrite"))
+          .string();
+  std::filesystem::remove_all(dir);
+  io::LaunchStateStore::Options options;
+  options.journal = journal;
+  options.fsync = false;
+  const io::LaunchStateStore store(dir, options);
+  io::LaunchState image = grown_launch_state();
+  store.save(image);  // prime: the baseline snapshot is not what we price
+  obs::Counter& bytes =
+      obs::MetricsRegistry::global().counter("auric_checkpoint_bytes_total");
+  const std::uint64_t bytes_before = bytes.value();
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    mutate_launch_state(image, ++step);
+    store.save(image);
+  }
+  state.counters["bytes_per_save"] = benchmark::Counter(
+      static_cast<double>(bytes.value() - bytes_before) /
+      static_cast<double>(state.iterations()));
+  std::filesystem::remove_all(dir);
+}
+
+void BM_CheckpointJournal(benchmark::State& state) {
+  run_checkpoint_bench(state, /*journal=*/true);
+}
+BENCHMARK(BM_CheckpointJournal)->Unit(benchmark::kMicrosecond);
+
+void BM_CheckpointRewrite(benchmark::State& state) {
+  run_checkpoint_bench(state, /*journal=*/false);
+}
+BENCHMARK(BM_CheckpointRewrite)->Unit(benchmark::kMicrosecond);
 
 // --- Observability primitives ---------------------------------------------
 //

@@ -1,0 +1,256 @@
+#include "io/fault_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <system_error>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace auric::io {
+
+namespace {
+
+obs::Counter& injected_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "auric_faultfs_injected_total", "FaultFs fault plans fired");
+  return c;
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("FaultFs: " + what + " " + path + ": " +
+                           std::system_category().message(errno));
+}
+
+/// RAII fd so an injected crash (exception) never leaks a descriptor.
+class Fd {
+ public:
+  Fd(const std::string& path, int flags, mode_t mode = 0644) : path_(path) {
+    do {
+      fd_ = ::open(path.c_str(), flags, mode);
+    } while (fd_ < 0 && errno == EINTR);
+    if (fd_ < 0) throw_errno("cannot open", path);
+  }
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  void write_all(const char* data, std::size_t size) const {
+    std::size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(fd_, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write failed on", path_);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() const {
+    if (::fsync(fd_) != 0) throw_errno("fsync failed on", path_);
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Byte length of the payload a short-write/torn-tail fault lets land.
+/// Short write: a raw prefix. Torn tail: every complete line, plus the
+/// final line cut mid-record — the "power died inside the last sector"
+/// shape the recovery path must truncate away.
+std::size_t torn_length(const std::string& data, FaultFs::Fault fault, double fraction) {
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  if (fault == FaultFs::Fault::kShortWrite) {
+    return static_cast<std::size_t>(fraction * static_cast<double>(data.size()));
+  }
+  // kTornTail: find the final record (text after the last '\n' in the
+  // payload minus its terminator) and keep only a fraction of it.
+  if (data.empty()) return 0;
+  std::size_t body_end = data.size();
+  if (data.back() == '\n') --body_end;  // the terminator we will withhold
+  const std::size_t last_nl = data.rfind('\n', body_end == 0 ? 0 : body_end - 1);
+  const std::size_t line_start = last_nl == std::string::npos ? 0 : last_nl + 1;
+  const std::size_t line_len = body_end - line_start;
+  return line_start + static_cast<std::size_t>(fraction * static_cast<double>(line_len));
+}
+
+}  // namespace
+
+FaultFs& FaultFs::global() {
+  static FaultFs fs;
+  return fs;
+}
+
+void FaultFs::install(const FaultPlan& plan) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  armed_ = plan.fault != Fault::kNone;
+  matched_ops_ = 0;
+  total_ops_ = 0;
+}
+
+void FaultFs::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = FaultPlan{};
+  armed_ = false;
+  matched_ops_ = 0;
+  total_ops_ = 0;
+}
+
+bool FaultFs::armed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+std::uint64_t FaultFs::ops() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_ops_;
+}
+
+void FaultFs::enable_trace(bool on) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tracing_ = on;
+  if (!on) trace_.clear();
+}
+
+std::vector<std::string> FaultFs::take_trace() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.swap(trace_);
+  return out;
+}
+
+FaultFs::FaultPlan FaultFs::seeded_plan(std::uint64_t seed, std::uint64_t total_ops) {
+  util::Rng rng(util::hash_combine({0xFA017F5ULL, seed}));
+  FaultPlan plan;
+  // Crash faults only: kFailOp is a soft error the caller handles inline,
+  // not a crash site the kill-and-resume loop can exercise.
+  static constexpr Fault kCrashFaults[] = {Fault::kCrashBefore, Fault::kCrashAfter,
+                                           Fault::kShortWrite, Fault::kTornTail};
+  plan.fault = kCrashFaults[rng() % 4];
+  plan.after_ops = total_ops == 0 ? 0 : rng() % total_ops;
+  plan.tear_fraction = 0.25 + 0.5 * rng.uniform();
+  return plan;
+}
+
+const char* FaultFs::fault_name(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kFailOp: return "fail_op";
+    case Fault::kCrashBefore: return "crash_before";
+    case Fault::kCrashAfter: return "crash_after";
+    case Fault::kShortWrite: return "short_write";
+    case Fault::kTornTail: return "torn_tail";
+  }
+  return "?";
+}
+
+FaultFs::Fault FaultFs::advance(const char* point) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++total_ops_;
+  if (tracing_) trace_.emplace_back(point);
+  if (!armed_) return Fault::kNone;
+  if (!plan_.point.empty() && plan_.point != point) return Fault::kNone;
+  if (matched_ops_++ != plan_.after_ops) return Fault::kNone;
+  armed_ = false;  // fire exactly once
+  return plan_.fault;
+}
+
+void FaultFs::crash(const char* point) {
+  injected_counter().inc();
+  if (plan_.exit_process) std::_Exit(kCrashExitCode);
+  throw CrashInjected(point);
+}
+
+void FaultFs::write_impl(const char* point, const std::string& path, const std::string& data,
+                         bool append) {
+  const Fault fault = advance(point);
+  if (fault == Fault::kFailOp) throw_errno("injected failure writing", path);
+  if (fault == Fault::kCrashBefore) crash(point);
+  std::size_t length = data.size();
+  if (fault == Fault::kShortWrite || fault == Fault::kTornTail) {
+    length = torn_length(data, fault, plan_.tear_fraction);
+  }
+  {
+    const Fd fd(path, O_WRONLY | O_CREAT | O_CLOEXEC | (append ? O_APPEND : O_TRUNC));
+    fd.write_all(data.data(), length);
+  }
+  if (fault != Fault::kNone) crash(point);  // kCrashAfter / kShortWrite / kTornTail
+}
+
+void FaultFs::write_file(const char* point, const std::string& path, const std::string& data) {
+  write_impl(point, path, data, /*append=*/false);
+}
+
+void FaultFs::append_file(const char* point, const std::string& path,
+                          const std::string& data) {
+  write_impl(point, path, data, /*append=*/true);
+}
+
+void FaultFs::sync_file(const char* point, const std::string& path) {
+  const Fault fault = advance(point);
+  if (fault == Fault::kFailOp) throw_errno("injected failure syncing", path);
+  if (fault == Fault::kCrashBefore || fault == Fault::kShortWrite ||
+      fault == Fault::kTornTail) {
+    crash(point);
+  }
+  Fd(path, O_RDONLY | O_CLOEXEC).sync();
+  if (fault == Fault::kCrashAfter) crash(point);
+}
+
+void FaultFs::sync_dir(const char* point, const std::string& dir) {
+  const Fault fault = advance(point);
+  if (fault == Fault::kFailOp) throw_errno("injected failure syncing dir", dir);
+  if (fault == Fault::kCrashBefore || fault == Fault::kShortWrite ||
+      fault == Fault::kTornTail) {
+    crash(point);
+  }
+  Fd(dir, O_RDONLY | O_DIRECTORY | O_CLOEXEC).sync();
+  if (fault == Fault::kCrashAfter) crash(point);
+}
+
+void FaultFs::rename_file(const char* point, const std::string& from, const std::string& to) {
+  const Fault fault = advance(point);
+  if (fault == Fault::kFailOp) throw_errno("injected failure renaming", from);
+  if (fault == Fault::kCrashBefore || fault == Fault::kShortWrite ||
+      fault == Fault::kTornTail) {
+    crash(point);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) throw_errno("rename failed on", from);
+  if (fault == Fault::kCrashAfter) crash(point);
+}
+
+void FaultFs::truncate_file(const char* point, const std::string& path, std::uint64_t size) {
+  const Fault fault = advance(point);
+  if (fault == Fault::kFailOp) throw_errno("injected failure truncating", path);
+  if (fault == Fault::kCrashBefore || fault == Fault::kShortWrite ||
+      fault == Fault::kTornTail) {
+    crash(point);
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    throw_errno("truncate failed on", path);
+  }
+  if (fault == Fault::kCrashAfter) crash(point);
+}
+
+void FaultFs::remove_file(const char* point, const std::string& path) {
+  const Fault fault = advance(point);
+  if (fault == Fault::kFailOp) throw_errno("injected failure removing", path);
+  if (fault == Fault::kCrashBefore || fault == Fault::kShortWrite ||
+      fault == Fault::kTornTail) {
+    crash(point);
+  }
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) throw_errno("unlink failed on", path);
+  if (fault == Fault::kCrashAfter) crash(point);
+}
+
+}  // namespace auric::io

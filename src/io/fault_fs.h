@@ -1,0 +1,144 @@
+// Deterministic fault injection for the durability-critical file I/O path.
+//
+// The launch-state checkpoint claims to survive crashes at any instant —
+// process kills, power loss mid-write, torn sectors. That claim is only
+// worth anything if it is exercised: FaultFs is a thin file-operation layer
+// (POSIX under the hood, so it can fsync files and directories — something
+// <filesystem> cannot express) whose every call is a *named crash point*.
+// An installed FaultPlan fires exactly once, deterministically, at a chosen
+// operation:
+//
+//   kFailOp       the operation reports an I/O error (std::runtime_error);
+//                 the process lives and the caller must surface it cleanly
+//   kCrashBefore  the process "dies" before the operation touches the disk
+//   kCrashAfter   the operation completes durably, then the process "dies"
+//   kShortWrite   a write lands only a prefix of its payload, then "death"
+//   kTornTail     a write lands every complete record but cuts the final
+//                 line mid-record, then "death" (the torn-sector model)
+//
+// "Death" is either a CrashInjected exception (unit tests catch it, then
+// reopen the state directory exactly like a restarted process would) or a
+// real std::_Exit(kCrashExitCode) — no destructors, no stream flushes — for
+// end-to-end kill-and-resume loops driven from the CLI (--faultfs-seed).
+//
+// Plans address operations two ways: by global operation index (the
+// crash-matrix harness records a trace of an uninterrupted run, then
+// replays it crashing at every index), or by (point name, occurrence) for
+// targeted tests. seeded_plan() derives a plan from a single seed so CI can
+// sweep random crash sites reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace auric::io {
+
+/// Thrown when a fault plan fires a simulated crash. Everything the faulted
+/// operation durably wrote before the crash stays on disk, like a real kill.
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& point)
+      : std::runtime_error("FaultFs: injected crash at " + point), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+class FaultFs {
+ public:
+  enum class Fault { kNone, kFailOp, kCrashBefore, kCrashAfter, kShortWrite, kTornTail };
+
+  struct FaultPlan {
+    Fault fault = Fault::kNone;
+    /// Crash-point name the plan waits for; empty matches every operation.
+    std::string point;
+    /// Fire on the (after_ops + 1)-th matching operation (0 = the first).
+    std::uint64_t after_ops = 0;
+    /// kShortWrite: fraction of the payload that lands before the crash.
+    /// kTornTail: fraction of the *final record* that lands.
+    double tear_fraction = 0.5;
+    /// True: std::_Exit(kCrashExitCode) instead of throwing CrashInjected —
+    /// the honest simulation for cross-process kill-and-resume loops.
+    bool exit_process = false;
+  };
+
+  /// Exit code of an exit_process crash; CI keys resume-vs-abort off it.
+  static constexpr int kCrashExitCode = 86;
+
+  /// The process-wide instance every store write routes through.
+  static FaultFs& global();
+
+  /// Arms `plan` (replacing any previous one) and zeroes the op counters.
+  /// A plan fires at most once, then disarms itself.
+  void install(const FaultPlan& plan);
+
+  /// Disarms any plan and zeroes the op counters. Trace mode is untouched.
+  void reset();
+
+  /// True while an installed plan has not fired yet.
+  bool armed() const;
+
+  /// Operations observed since the last install()/reset() (fired or not).
+  std::uint64_t ops() const;
+
+  /// When tracing, every operation appends its crash-point name; the
+  /// crash-matrix harness uses the trace of a clean run as its op universe.
+  void enable_trace(bool on);
+  std::vector<std::string> take_trace();
+
+  /// Deterministic seed -> plan: a crash fault (never kFailOp) at a uniform
+  /// operation index in [0, total_ops). Same seed, same plan, every run.
+  static FaultPlan seeded_plan(std::uint64_t seed, std::uint64_t total_ops);
+
+  static const char* fault_name(Fault fault);
+
+  // --- Faultable primitives -----------------------------------------------
+  // Each call is one operation at crash point `point`. All throw
+  // std::runtime_error on real I/O errors (errno text included) and
+  // CrashInjected when a throwing plan fires.
+
+  /// Creates/truncates `path` and writes `data` in full.
+  void write_file(const char* point, const std::string& path, const std::string& data);
+
+  /// Appends `data` to `path` (creating it if missing).
+  void append_file(const char* point, const std::string& path, const std::string& data);
+
+  /// fsync(2) on the file.
+  void sync_file(const char* point, const std::string& path);
+
+  /// fsync(2) on the directory (makes renames/creates in it durable).
+  void sync_dir(const char* point, const std::string& dir);
+
+  /// rename(2) — the atomic commit primitive.
+  void rename_file(const char* point, const std::string& from, const std::string& to);
+
+  /// truncate(2) to `size` — the torn-tail repair primitive.
+  void truncate_file(const char* point, const std::string& path, std::uint64_t size);
+
+  /// unlink(2); a missing file is not an error (cleanup is idempotent).
+  void remove_file(const char* point, const std::string& path);
+
+ private:
+  FaultFs() = default;
+
+  /// Pre-op bookkeeping: counts/traces the op and decides whether the armed
+  /// plan fires on it. Returns the fault to enact (kNone = proceed).
+  Fault advance(const char* point);
+  [[noreturn]] void crash(const char* point);
+  void write_impl(const char* point, const std::string& path, const std::string& data,
+                  bool append);
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  std::uint64_t matched_ops_ = 0;
+  std::uint64_t total_ops_ = 0;
+  bool tracing_ = false;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace auric::io

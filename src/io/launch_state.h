@@ -5,40 +5,65 @@
 // re-planning launches whose changes are already on air. This module makes
 // the pipeline's recovery state durable as a directory of small CSVs
 // (matching the nightly-feed deployment model — plain files an operator can
-// inspect and an external tool can produce):
+// inspect and an external tool can produce).
 //
-//   journal.csv     per-carrier apply-journal offsets (settings landed)
-//   deferred.csv    the breaker's deferred launch queue, in order
-//   quarantine.csv  rolled-back carriers and their rollback counts
-//   breaker.csv     circuit-breaker dynamic state (one row)
-//   ems.csv         EMS simulator dynamic state (fault-stream positions,
-//                   push counter, unlocked/repaired carriers)
+// The recovery state is a set of STREAMS, five of them per EMS shard:
 //
-// A sharded pipeline (smartlaunch::ShardedEms, N EMS instances each with
-// its own breaker, journal and deferred queue) persists those five blocks
-// per shard instead, as suffixed files journal.0.csv .. journal.N-1.csv and
-// so on; the flat single-shard files above are untouched at N = 1, so
-// existing checkpoints stay readable byte-for-byte. The shard count rides
-// inside progress.csv under the reserved key "__shards", which means the
-// layout mode commits atomically with the rest of the checkpoint (see
-// below: progress.csv's rename is the single commit point).
-//   applied.csv     slot writes applied to the evolving network state since
-//                   the run started (delta vs. the initial assignment)
-//   relearn.csv     the same delta frozen at the last engine re-learn (the
-//                   state the current engine's models were trained on)
-//   progress.csv    caller-defined key/value counters (the operation replay
-//                   stores its day/launch cursor and report totals here;
-//                   doubles are stored as hexfloats so a resumed run's
-//                   counters are bit-identical)
+//   journal      per-carrier apply-journal offsets (settings landed)
+//   deferred     the breaker's deferred launch queue, in order
+//   quarantine   rolled-back carriers and their rollback counts
+//   breaker      circuit-breaker dynamic state
+//   ems          EMS simulator dynamic state (fault-stream positions,
+//                push counter, unlocked/repaired carriers)
 //
-// Every save() writes each file to a temporary name and renames it into
-// place, so a crash mid-checkpoint leaves the previous consistent state on
-// disk. load() validates everything it reads and reports malformed state
-// with file + line context ("journal.csv line 3: ...") — a corrupt
-// checkpoint must fail loudly, never resume partially.
+// plus two global ones:
+//
+//   applied      slot writes applied to the evolving network state since
+//                the run started (delta vs. the initial assignment)
+//   relearn      the same delta frozen at the last engine re-learn (the
+//                state the current engine's models were trained on)
+//
+// and progress.csv, caller-defined key/value counters whose tmp+rename is
+// the checkpoint's single atomic commit point (doubles stored as hexfloats
+// so a resumed run's counters are bit-identical).
+//
+// Persistence comes in two modes (Options::journal):
+//
+//  * Journal mode (default). Every stream lives in an append-only log
+//    (`journal.log3.csv`, `ems.2.log7.csv`, ...) of CSV op records; each
+//    save() appends only the ops that transform the previously committed
+//    state into the new one, fsyncs the appended logs, and then commits by
+//    rewriting progress.csv (tmp + fsync + rename + directory fsync).
+//    progress.csv carries one reserved `__log.<stream>` row per log naming
+//    the generation and the SEALED byte length — bytes past the seal are an
+//    uncommitted tail from a crashed append, and recovery truncates them
+//    away before replaying the ops. When a log's appended tail outgrows its
+//    last full snapshot (Options::compact_factor) the stream is compacted:
+//    a fresh snapshot log at the next generation, tmp+fsync+renamed, with
+//    the old generation removed only after the commit that references the
+//    new one. Checkpoint cost is therefore O(day's deltas), not O(total
+//    state).
+//
+//  * Rewrite mode (Options::journal = false): the legacy layout — every
+//    stream rewritten as a flat CSV (journal.csv / journal.2.csv, ...) per
+//    checkpoint, now with the same fsync-before-rename durability. load()
+//    auto-detects which mode committed the checkpoint, so journal-mode
+//    stores resume from legacy checkpoints (and re-baseline them into logs
+//    on the next save).
+//
+// Every write routes through io::FaultFs, so crash-injection tests can kill
+// the store at any named operation; the crash-point catalog below is the
+// matrix those tests iterate. load() validates everything it reads and
+// reports malformed state with file + line context ("journal.csv line 3:
+// ...") — a corrupt checkpoint must fail loudly, never resume partially.
+// The one tolerated defect is a torn final record in a legacy CSV (no
+// trailing newline): those are dropped with a warning, mirroring the
+// journal seal rule.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -82,21 +107,25 @@ struct LaunchState {
     EmsState ems;
   };
 
+  /// Keyed streams (journal, quarantine, applied/relearn) must be sorted by
+  /// key: the store persists them as ordered op logs and a resumed store
+  /// diffs against the replayed (sorted) image. The pipeline already sorts
+  /// its snapshots; save() rejects unsorted or duplicate-keyed input.
   std::vector<std::pair<netsim::CarrierId, std::uint64_t>> journal;
   std::vector<netsim::CarrierId> deferred;
   std::vector<std::pair<netsim::CarrierId, int>> quarantine;  ///< carrier, rollbacks
   util::CircuitBreaker::Snapshot breaker;
   EmsState ems;
   /// Sharded-pipeline layout: when non-empty, the five blocks above are
-  /// persisted per shard (shards[k] -> journal.k.csv, ...) and the flat
-  /// fields are ignored; when empty, the legacy flat layout is used. load()
-  /// restores whichever layout the checkpoint committed.
+  /// persisted per shard (shards[k] -> journal.k.*, ...) and the flat
+  /// fields are ignored; when empty, the flat single-shard layout is used.
+  /// load() restores whichever layout the checkpoint committed.
   std::vector<ShardState> shards;
   std::vector<SlotWrite> applied_slots;          ///< delta vs. initial assignment
   std::vector<SlotWrite> relearn_applied_slots;  ///< delta at last engine re-learn
-  /// Caller-defined counters, persisted in order. Keys must be unique; the
-  /// key "__shards" is reserved for the store's sharded-layout marker and
-  /// save() rejects states that use it.
+  /// Caller-defined counters, persisted in order. Keys must be unique; keys
+  /// starting with "__" are reserved for the store's own markers (layout,
+  /// journal seals) and save() rejects states that use them.
   std::vector<std::pair<std::string, std::string>> progress;
 
   const std::string* find_progress(const std::string& key) const;
@@ -104,26 +133,87 @@ struct LaunchState {
 
 class LaunchStateStore {
  public:
+  struct Options {
+    /// Append-only journal checkpoints (O(delta) per save). False restores
+    /// the legacy rewrite-every-file layout (O(total state) per save).
+    bool journal = true;
+    /// fsync appended logs / temp files before, and the directory after,
+    /// the progress.csv commit rename. Off only for benches that price the
+    /// serialization path without the (noisy) device-flush cost.
+    bool fsync = true;
+    /// Compaction trigger: a stream is re-snapshotted once its appended
+    /// tail exceeds max(compact_min_bytes, compact_factor x snapshot size).
+    std::uint64_t compact_min_bytes = 4096;
+    double compact_factor = 4.0;
+  };
+
+  /// What the last load() had to repair; zero everywhere on a clean open.
+  struct LoadStats {
+    std::size_t torn_tails_truncated = 0;  ///< journal logs cut back to their seal
+    std::size_t records_replayed = 0;      ///< journal op records applied
+    bool legacy_layout = false;            ///< checkpoint predates journal mode
+  };
+
   explicit LaunchStateStore(std::string dir);
+  LaunchStateStore(std::string dir, Options options);
 
   const std::string& dir() const { return dir_; }
+  const Options& options() const { return options_; }
 
   /// True once a checkpoint has been committed (progress.csv exists).
   bool exists() const;
 
-  /// Persists the full state atomically per file (tmp + rename). Creates
-  /// the directory if missing; throws std::runtime_error on I/O failure.
+  /// Persists `state`. Journal mode appends per-stream deltas and commits
+  /// them via the progress.csv rename; rewrite mode rewrites every file.
+  /// Either way a crash at any point leaves the previous committed
+  /// checkpoint loadable. Throws std::runtime_error on I/O failure (the
+  /// store stays usable: the next save() repairs any uncommitted tails).
+  ///
+  /// The store keeps the last committed image in memory to diff against;
+  /// that cache is primed by load() or by the first save() (which writes
+  /// full snapshot logs). Stores are stateful, not bound to one process:
+  /// a fresh store over an existing directory re-baselines on first save.
   void save(const LaunchState& state) const;
 
-  /// Loads and validates a checkpoint. Malformed state throws
+  /// Loads and validates a checkpoint, repairing (truncating) any journal
+  /// tail left unsealed by a crashed append. Malformed state throws
   /// std::invalid_argument naming the file and 1-based line.
   LaunchState load() const;
+
+  /// Repairs performed by the most recent load() on this store.
+  const LoadStats& load_stats() const { return load_stats_; }
 
   /// Removes the checkpoint files (leaves unrelated files alone).
   void clear() const;
 
+  /// Every named FaultFs crash point the store's write paths visit — the
+  /// universe the crash-matrix tests iterate. Documented in DESIGN.md §14.
+  static const std::vector<std::string>& crash_point_catalog();
+
  private:
+  /// Per-stream journal bookkeeping, keyed by stream id ("journal",
+  /// "ems.2", "applied", ...): committed generation, sealed byte length,
+  /// and the size of the last full snapshot (the compaction yardstick).
+  struct StreamLog {
+    std::uint64_t gen = 0;
+    std::uint64_t sealed_bytes = 0;
+    std::uint64_t snapshot_bytes = 0;
+  };
+
+  void save_journal(const LaunchState& state) const;
+  void save_rewrite(const LaunchState& state) const;
+  void cleanup_unreferenced() const;
+
   std::string dir_;
+  Options options_;
+  // Journal-mode commit cache: the last committed image and the per-stream
+  // log positions. Mutable because save()/load() are logically const to
+  // callers (the checkpoint directory is the real state); guarded by the
+  // pipeline's single-writer discipline, not a lock.
+  mutable bool primed_ = false;
+  mutable LaunchState last_;
+  mutable std::map<std::string, StreamLog> logs_;
+  mutable LoadStats load_stats_;
 };
 
 }  // namespace auric::io

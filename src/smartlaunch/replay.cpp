@@ -140,7 +140,8 @@ ReplayReport OperationReplay::run() {
 
   const bool persist = !options_.state_dir.empty();
   track_delta_ = persist;
-  const io::LaunchStateStore store(options_.state_dir.empty() ? "." : options_.state_dir);
+  const io::LaunchStateStore store(options_.state_dir.empty() ? "." : options_.state_dir,
+                                   options_.checkpoint);
 
   // Launch order: a seeded shuffle; each carrier launches at most once.
   util::Rng rng(options_.seed);

@@ -36,6 +36,7 @@
 #include "config/assignment.h"
 #include "config/catalog.h"
 #include "config/rulebook.h"
+#include "io/launch_state.h"
 #include "netsim/attributes.h"
 #include "netsim/topology.h"
 #include "smartlaunch/controller.h"
@@ -80,6 +81,9 @@ struct ReplayOptions {
   /// Sharded runs (shards > 1) checkpoint at day granularity instead: the
   /// parallel launch stream has no serializable mid-day cursor.
   std::string state_dir;
+  /// Checkpoint durability knobs (journal vs. legacy rewrite layout, fsync,
+  /// compaction thresholds), passed to the io::LaunchStateStore.
+  io::LaunchStateStore::Options checkpoint;
   /// Restart from the checkpoint in state_dir (requires the replay to be
   /// constructed with the same inputs and options as the killed run).
   bool resume = false;

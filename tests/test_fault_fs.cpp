@@ -1,0 +1,155 @@
+#include "io/fault_fs.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace auric::io {
+namespace {
+
+std::filesystem::path temp_file(const char* tag) {
+  const auto path =
+      std::filesystem::temp_directory_path() / ("auric_faultfs_" + std::string(tag));
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+class FaultFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultFs::global().reset(); }
+  void TearDown() override {
+    FaultFs::global().reset();
+    FaultFs::global().enable_trace(false);
+  }
+};
+
+TEST_F(FaultFsTest, UnarmedOperationsJustWork) {
+  const auto path = temp_file("plain");
+  FaultFs& fs = FaultFs::global();
+  fs.write_file("t.write", path.string(), "a,b\n1,2\n");
+  fs.append_file("t.append", path.string(), "3,4\n");
+  EXPECT_EQ(read_file(path), "a,b\n1,2\n3,4\n");
+  fs.sync_file("t.sync", path.string());
+  const auto renamed = temp_file("plain_renamed");
+  fs.rename_file("t.rename", path.string(), renamed.string());
+  EXPECT_TRUE(std::filesystem::exists(renamed));
+  fs.truncate_file("t.truncate", renamed.string(), 4);
+  EXPECT_EQ(read_file(renamed), "a,b\n");
+  fs.remove_file("t.remove", renamed.string());
+  EXPECT_FALSE(std::filesystem::exists(renamed));
+  // Removing a missing file is idempotent, not an error.
+  fs.remove_file("t.remove", renamed.string());
+  EXPECT_GE(fs.ops(), 7u);
+}
+
+TEST_F(FaultFsTest, FailOpThrowsAndDisarms) {
+  const auto path = temp_file("failop");
+  FaultFs& fs = FaultFs::global();
+  fs.install({.fault = FaultFs::Fault::kFailOp, .point = "t.write"});
+  EXPECT_THROW(fs.write_file("t.write", path.string(), "x\n"), std::runtime_error);
+  EXPECT_FALSE(fs.armed());
+  // Fires exactly once: the retry succeeds.
+  fs.write_file("t.write", path.string(), "x\n");
+  EXPECT_EQ(read_file(path), "x\n");
+}
+
+TEST_F(FaultFsTest, CrashBeforeLeavesFileUntouched) {
+  const auto path = temp_file("crash_before");
+  FaultFs& fs = FaultFs::global();
+  fs.write_file("t.write", path.string(), "old\n");
+  fs.install({.fault = FaultFs::Fault::kCrashBefore, .point = "t.write"});
+  EXPECT_THROW(fs.write_file("t.write", path.string(), "new\n"), CrashInjected);
+  EXPECT_EQ(read_file(path), "old\n");
+}
+
+TEST_F(FaultFsTest, CrashAfterLandsThePayload) {
+  const auto path = temp_file("crash_after");
+  FaultFs& fs = FaultFs::global();
+  fs.install({.fault = FaultFs::Fault::kCrashAfter, .point = "t.write"});
+  EXPECT_THROW(fs.write_file("t.write", path.string(), "new\n"), CrashInjected);
+  EXPECT_EQ(read_file(path), "new\n");
+}
+
+TEST_F(FaultFsTest, ShortWriteLandsPrefix) {
+  const auto path = temp_file("short");
+  FaultFs& fs = FaultFs::global();
+  fs.install(
+      {.fault = FaultFs::Fault::kShortWrite, .point = "t.write", .tear_fraction = 0.5});
+  EXPECT_THROW(fs.write_file("t.write", path.string(), "12345678"), CrashInjected);
+  EXPECT_EQ(read_file(path), "1234");
+}
+
+TEST_F(FaultFsTest, TornTailKeepsCompleteRecordsAndCutsTheLast) {
+  const auto path = temp_file("torn");
+  FaultFs& fs = FaultFs::global();
+  fs.install({.fault = FaultFs::Fault::kTornTail, .point = "t.append", .tear_fraction = 0.5});
+  EXPECT_THROW(fs.append_file("t.append", path.string(), "aaaa,1\nbbbb,2\ncccc,3\n"),
+               CrashInjected);
+  // Every complete line lands; the final record is cut mid-field with no
+  // terminator — exactly the shape load() must truncate away.
+  const std::string landed = read_file(path);
+  EXPECT_TRUE(landed.rfind("aaaa,1\nbbbb,2\n", 0) == 0) << landed;
+  EXPECT_LT(landed.size(), std::string("aaaa,1\nbbbb,2\ncccc,3\n").size());
+  EXPECT_NE(landed.back(), '\n');
+}
+
+TEST_F(FaultFsTest, PlanMatchesPointAndOccurrence) {
+  const auto path = temp_file("occurrence");
+  FaultFs& fs = FaultFs::global();
+  // Fire on the SECOND t.append, ignoring other points entirely.
+  fs.install({.fault = FaultFs::Fault::kCrashBefore, .point = "t.append", .after_ops = 1});
+  fs.write_file("t.write", path.string(), "h\n");
+  fs.append_file("t.append", path.string(), "1\n");
+  EXPECT_THROW(fs.append_file("t.append", path.string(), "2\n"), CrashInjected);
+  EXPECT_EQ(read_file(path), "h\n1\n");
+}
+
+TEST_F(FaultFsTest, EmptyPointMatchesEveryOperation) {
+  const auto path = temp_file("global_index");
+  FaultFs& fs = FaultFs::global();
+  fs.install({.fault = FaultFs::Fault::kCrashBefore, .point = "", .after_ops = 2});
+  fs.write_file("a", path.string(), "1\n");
+  fs.append_file("b", path.string(), "2\n");
+  EXPECT_THROW(fs.sync_file("c", path.string()), CrashInjected);
+}
+
+TEST_F(FaultFsTest, TraceRecordsOperationSequence) {
+  const auto path = temp_file("trace");
+  FaultFs& fs = FaultFs::global();
+  fs.enable_trace(true);
+  (void)fs.take_trace();
+  fs.write_file("p.one", path.string(), "1\n");
+  fs.sync_file("p.two", path.string());
+  const std::vector<std::string> trace = fs.take_trace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], "p.one");
+  EXPECT_EQ(trace[1], "p.two");
+}
+
+TEST_F(FaultFsTest, SeededPlansAreDeterministicAndInRange) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const FaultFs::FaultPlan a = FaultFs::seeded_plan(seed, 100);
+    const FaultFs::FaultPlan b = FaultFs::seeded_plan(seed, 100);
+    EXPECT_EQ(a.fault, b.fault);
+    EXPECT_EQ(a.after_ops, b.after_ops);
+    EXPECT_EQ(a.tear_fraction, b.tear_fraction);
+    EXPECT_LT(a.after_ops, 100u);
+    EXPECT_NE(a.fault, FaultFs::Fault::kNone);
+    EXPECT_NE(a.fault, FaultFs::Fault::kFailOp);
+    EXPECT_GE(a.tear_fraction, 0.25);
+    EXPECT_LE(a.tear_fraction, 0.75);
+  }
+  // Different seeds explore different sites.
+  const FaultFs::FaultPlan p0 = FaultFs::seeded_plan(0, 1000);
+  const FaultFs::FaultPlan p1 = FaultFs::seeded_plan(1, 1000);
+  EXPECT_TRUE(p0.after_ops != p1.after_ops || p0.fault != p1.fault);
+}
+
+}  // namespace
+}  // namespace auric::io

@@ -1,10 +1,13 @@
 #include "io/launch_state.h"
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 
 #include <gtest/gtest.h>
+
+#include "obs/metrics.h"
 
 namespace auric::io {
 namespace {
@@ -14,6 +17,14 @@ std::string temp_dir(const char* tag) {
       std::filesystem::temp_directory_path() / ("auric_launch_state_" + std::string(tag));
   std::filesystem::remove_all(dir);
   return dir.string();
+}
+
+/// Legacy rewrite-every-file layout; most corruption tests target it because
+/// its flat CSVs are what an operator (or a torn disk) would edit.
+LaunchStateStore::Options rewrite_options() {
+  LaunchStateStore::Options options;
+  options.journal = false;
+  return options;
 }
 
 std::string thrown_message(const std::function<void()>& fn) {
@@ -110,7 +121,7 @@ void corrupt(const std::string& dir, const char* file, const std::string& conten
 }
 
 TEST(LaunchStateStore, MalformedJournalNamesFileAndLine) {
-  const LaunchStateStore store(temp_dir("bad_journal"));
+  const LaunchStateStore store(temp_dir("bad_journal"), rewrite_options());
   store.save(sample_state());
   corrupt(store.dir(), "journal.csv", "carrier,applied\n3,17\nxyz,2\n");
   const std::string msg = thrown_message([&] { (void)store.load(); });
@@ -119,7 +130,7 @@ TEST(LaunchStateStore, MalformedJournalNamesFileAndLine) {
 }
 
 TEST(LaunchStateStore, DuplicateJournalCarrierRejected) {
-  const LaunchStateStore store(temp_dir("dup_journal"));
+  const LaunchStateStore store(temp_dir("dup_journal"), rewrite_options());
   store.save(sample_state());
   corrupt(store.dir(), "journal.csv", "carrier,applied\n3,17\n3,4\n");
   const std::string msg = thrown_message([&] { (void)store.load(); });
@@ -128,7 +139,7 @@ TEST(LaunchStateStore, DuplicateJournalCarrierRejected) {
 }
 
 TEST(LaunchStateStore, UnknownBreakerStateNamesFileAndLine) {
-  const LaunchStateStore store(temp_dir("bad_breaker"));
+  const LaunchStateStore store(temp_dir("bad_breaker"), rewrite_options());
   store.save(sample_state());
   corrupt(store.dir(), "breaker.csv",
           "state,consecutive_failures,cooldown_remaining,trips,refusals\nwedged,0,0,0,0\n");
@@ -138,7 +149,7 @@ TEST(LaunchStateStore, UnknownBreakerStateNamesFileAndLine) {
 }
 
 TEST(LaunchStateStore, UnknownEmsKeyNamesFileAndLine) {
-  const LaunchStateStore store(temp_dir("bad_ems"));
+  const LaunchStateStore store(temp_dir("bad_ems"), rewrite_options());
   store.save(sample_state());
   corrupt(store.dir(), "ems.csv", "key,value\npushes_executed,5\nwarp_factor,9\n");
   const std::string msg = thrown_message([&] { (void)store.load(); });
@@ -147,7 +158,7 @@ TEST(LaunchStateStore, UnknownEmsKeyNamesFileAndLine) {
 }
 
 TEST(LaunchStateStore, SlotWritePairwiseFlagValidated) {
-  const LaunchStateStore store(temp_dir("bad_applied"));
+  const LaunchStateStore store(temp_dir("bad_applied"), rewrite_options());
   store.save(sample_state());
   corrupt(store.dir(), "applied.csv", "pairwise,param_pos,entity,value\n2,0,0,1\n");
   const std::string msg = thrown_message([&] { (void)store.load(); });
@@ -165,7 +176,7 @@ TEST(LaunchStateStore, DuplicateProgressKeyRejected) {
 }
 
 TEST(LaunchStateStore, MissingFileFailsLoudly) {
-  const LaunchStateStore store(temp_dir("missing_file"));
+  const LaunchStateStore store(temp_dir("missing_file"), rewrite_options());
   store.save(sample_state());
   std::filesystem::remove(std::filesystem::path(store.dir()) / "ems.csv");
   EXPECT_THROW((void)store.load(), std::runtime_error);
@@ -222,7 +233,7 @@ TEST(LaunchStateStore, ShardedStateRoundTripsPerShard) {
 }
 
 TEST(LaunchStateStore, ShardedLayoutUsesSuffixedFiles) {
-  const LaunchStateStore store(temp_dir("sharded_files"));
+  const LaunchStateStore store(temp_dir("sharded_files"), rewrite_options());
   store.save(sharded_state());
   const std::filesystem::path dir(store.dir());
   for (const char* base : {"journal", "deferred", "quarantine", "breaker", "ems"}) {
@@ -252,14 +263,203 @@ TEST(LaunchStateStore, ReservedProgressKeyRejected) {
 }
 
 TEST(LaunchStateStore, MissingShardFileFailsLoudly) {
-  const LaunchStateStore store(temp_dir("missing_shard_file"));
+  const LaunchStateStore store(temp_dir("missing_shard_file"), rewrite_options());
   store.save(sharded_state());
   std::filesystem::remove(std::filesystem::path(store.dir()) / "ems.1.csv");
   EXPECT_THROW((void)store.load(), std::runtime_error);
 }
 
+// --- Journal-layout behavior ----------------------------------------------
+
+std::vector<std::filesystem::path> log_files(const std::string& dir, const std::string& id) {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(id + ".log", 0) == 0 && name.find(".csv") != std::string::npos) {
+      out.push_back(entry.path());
+    }
+  }
+  return out;
+}
+
+std::uint64_t checkpoint_bytes_total() {
+  return obs::MetricsRegistry::global().counter("auric_checkpoint_bytes_total").value();
+}
+
+TEST(LaunchStateStore, JournalLayoutAppendsDeltasInsideCommit) {
+  const LaunchStateStore store(temp_dir("journal_appends"));
+  LaunchState state = sample_state();
+  store.save(state);
+  ASSERT_EQ(log_files(store.dir(), "journal").size(), 1u);
+  const auto log_path = log_files(store.dir(), "journal")[0];
+  const auto snapshot_size = std::filesystem::file_size(log_path);
+
+  state.journal.push_back({12, 1});
+  state.progress = {{"day", "13"}, {"kpi", "0x1.8p-1"}};
+  store.save(state);
+  // Same generation file, grown by one op record — not rewritten.
+  ASSERT_TRUE(std::filesystem::exists(log_path));
+  EXPECT_GT(std::filesystem::file_size(log_path), snapshot_size);
+
+  // The seal in progress.csv is part of the commit.
+  std::ifstream progress(std::filesystem::path(store.dir()) / "progress.csv");
+  const std::string contents((std::istreambuf_iterator<char>(progress)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("__log.journal"), std::string::npos);
+
+  const LaunchState loaded = store.load();
+  EXPECT_EQ(loaded.journal, state.journal);
+  EXPECT_EQ(loaded.progress, state.progress);
+}
+
+TEST(LaunchStateStore, JournalCheckpointBytesAreFiveTimesBelowRewrite) {
+  // A grown state image (the "400K carriers after a month" shape, scaled
+  // down) with a one-launch delta: the journal checkpoint must write at
+  // least 5x fewer bytes than the rewrite-every-file checkpoint.
+  LaunchState grown;
+  for (netsim::CarrierId c = 0; c < 2000; ++c) grown.journal.push_back({c, 64});
+  for (netsim::CarrierId c = 0; c < 500; ++c) grown.quarantine.push_back({c * 3, 1});
+  for (std::uint32_t p = 0; p < 1500; ++p) grown.applied_slots.push_back({false, p, 77, 3});
+  grown.ems.pushes_executed = 123456;
+  grown.progress = {{"day", "29"}, {"kpi", "0x1.8p-1"}};
+
+  LaunchState next = grown;
+  next.journal.push_back({5000, 7});
+  next.applied_slots.push_back({true, 0, 9, 2});
+  next.ems.pushes_executed += 3;
+  next.progress = {{"day", "30"}, {"kpi", "0x1.9p-1"}};
+
+  const LaunchStateStore journal_store(temp_dir("bytes_journal"));
+  journal_store.save(grown);
+  const std::uint64_t journal_before = checkpoint_bytes_total();
+  journal_store.save(next);
+  const std::uint64_t journal_delta = checkpoint_bytes_total() - journal_before;
+
+  const LaunchStateStore rewrite_store(temp_dir("bytes_rewrite"), rewrite_options());
+  rewrite_store.save(grown);
+  const std::uint64_t rewrite_before = checkpoint_bytes_total();
+  rewrite_store.save(next);
+  const std::uint64_t rewrite_delta = checkpoint_bytes_total() - rewrite_before;
+
+  ASSERT_GT(journal_delta, 0u);
+  EXPECT_GE(rewrite_delta, 5 * journal_delta)
+      << "journal wrote " << journal_delta << " bytes, rewrite wrote " << rewrite_delta;
+  EXPECT_EQ(journal_store.load().journal, rewrite_store.load().journal);
+}
+
+TEST(LaunchStateStore, CompactionAdvancesGenerationAndDropsOldLog) {
+  LaunchStateStore::Options options;
+  options.compact_min_bytes = 1;  // any appended tail beyond one byte compacts
+  options.compact_factor = 0.0;
+  const LaunchStateStore store(temp_dir("compaction"), options);
+  LaunchState state = sample_state();
+  store.save(state);
+  const auto gen1 = log_files(store.dir(), "journal");
+  ASSERT_EQ(gen1.size(), 1u);
+
+  state.journal.push_back({21, 9});
+  store.save(state);
+  const auto gen2 = log_files(store.dir(), "journal");
+  ASSERT_EQ(gen2.size(), 1u);
+  EXPECT_NE(gen1[0], gen2[0]) << "compaction must move to a fresh generation";
+  EXPECT_FALSE(std::filesystem::exists(gen1[0])) << "old generation must be cleaned up";
+
+  const LaunchState loaded = store.load();
+  EXPECT_EQ(loaded.journal, state.journal);
+}
+
+TEST(LaunchStateStore, TornJournalTailTruncatedOnLoad) {
+  const LaunchStateStore store(temp_dir("torn_tail"));
+  LaunchState state = sample_state();
+  store.save(state);
+
+  // A crash after the append but before the commit leaves bytes past the
+  // seal; recovery must cut them off and replay only the committed region.
+  const auto logs = log_files(store.dir(), "journal");
+  ASSERT_EQ(logs.size(), 1u);
+  const auto sealed_size = std::filesystem::file_size(logs[0]);
+  {
+    std::ofstream out(logs[0], std::ios::app);
+    out << "u,999,1\nu,10";  // one whole uncommitted record + a torn one
+  }
+
+  const LaunchStateStore reopened(store.dir());
+  const LaunchState loaded = reopened.load();
+  EXPECT_EQ(loaded.journal, state.journal);
+  EXPECT_EQ(reopened.load_stats().torn_tails_truncated, 1u);
+  EXPECT_EQ(std::filesystem::file_size(logs[0]), sealed_size) << "tail must be cut off on disk";
+}
+
+TEST(LaunchStateStore, LegacyCheckpointMigratesToJournalOnSave) {
+  const std::string dir = temp_dir("legacy_migrate");
+  LaunchState state = sample_state();
+  {
+    const LaunchStateStore legacy(dir, rewrite_options());
+    legacy.save(state);
+  }
+
+  const LaunchStateStore store(dir);  // journal mode over a legacy checkpoint
+  const LaunchState loaded = store.load();
+  EXPECT_TRUE(store.load_stats().legacy_layout);
+  EXPECT_EQ(loaded.journal, state.journal);
+
+  state.journal.push_back({30, 1});
+  store.save(state);  // re-baselines into journal logs
+  EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) / "journal.csv"))
+      << "superseded legacy files must be cleaned up after the journal commit";
+  ASSERT_EQ(log_files(dir, "journal").size(), 1u);
+
+  const LaunchStateStore reopened(dir);
+  EXPECT_EQ(reopened.load().journal, state.journal);
+  EXPECT_FALSE(reopened.load_stats().legacy_layout);
+}
+
+TEST(LaunchStateStore, FreshStoreOverExistingJournalRebaselines) {
+  const std::string dir = temp_dir("rebaseline");
+  LaunchState state = sample_state();
+  {
+    const LaunchStateStore first(dir);
+    first.save(state);
+    state.journal.push_back({40, 2});
+    first.save(state);
+  }
+  // A restarted process saves without loading: the store must not trust any
+  // stale in-memory image, and the result must still round-trip.
+  const LaunchStateStore second(dir);
+  state.journal.push_back({41, 3});
+  second.save(state);
+  EXPECT_EQ(second.load().journal, state.journal);
+}
+
+TEST(LaunchStateStore, UnsortedJournalRejectedInJournalMode) {
+  const LaunchStateStore store(temp_dir("unsorted"));
+  LaunchState state = sample_state();
+  state.journal = {{9, 2}, {3, 17}};
+  EXPECT_THROW(store.save(state), std::invalid_argument);
+}
+
+TEST(LaunchStateStore, TornLegacyCsvTailDroppedWithWarning) {
+  const LaunchStateStore store(temp_dir("legacy_torn"), rewrite_options());
+  LaunchState state = sample_state();
+  store.save(state);
+  // Simulate a torn final sector in the flat layout: the last row of
+  // journal.csv is cut mid-field, no trailing newline.
+  corrupt(store.dir(), "journal.csv", "carrier,applied\n3,17\n9,");
+  const LaunchState loaded = store.load();
+  ASSERT_EQ(loaded.journal.size(), 1u);
+  EXPECT_EQ(loaded.journal[0].first, 3);
+}
+
+TEST(LaunchStateStore, CrashPointCatalogIsStable) {
+  const auto& catalog = LaunchStateStore::crash_point_catalog();
+  EXPECT_GE(catalog.size(), 12u);
+  for (const std::string& point : catalog) {
+    EXPECT_TRUE(point.find('.') != std::string::npos) << point;
+  }
+}
+
 TEST(LaunchStateStore, ClearRemovesShardFiles) {
-  const LaunchStateStore store(temp_dir("sharded_clear"));
+  const LaunchStateStore store(temp_dir("sharded_clear"), rewrite_options());
   store.save(sharded_state());
   store.clear();
   EXPECT_FALSE(store.exists());

@@ -44,6 +44,7 @@
 #include "core/rulebook_synthesis.h"
 #include "eval/cf_eval.h"
 #include "eval/variability.h"
+#include "io/fault_fs.h"
 #include "io/inventory.h"
 #include "netsim/attributes.h"
 #include "netsim/generator.h"
@@ -240,10 +241,30 @@ int cmd_replay(util::Args& args) {
   options.ems.flaky_timeout_prob =
       args.get_double("flaky-timeout-prob", options.ems.flaky_timeout_prob,
                       "per-push transient EMS timeout probability (0 disables fault injection)");
+  options.checkpoint.journal = args.get_bool(
+      "checkpoint-journal", true,
+      "append-only journal checkpoints (false = legacy rewrite-every-file layout)");
+  options.checkpoint.fsync = args.get_bool(
+      "checkpoint-fsync", true, "fsync checkpoint files + directory at the commit point");
+  const std::int64_t faultfs_seed = args.get_int(
+      "faultfs-seed", -1,
+      "arm a seeded FaultFs crash plan: the process dies mid-checkpoint at a "
+      "seed-chosen operation with exit code 86 (-1 = off)");
+  const std::int64_t faultfs_ops = args.get_int(
+      "faultfs-ops-hint", 512, "operation-index universe the --faultfs-seed crash site is "
+      "drawn from (past-the-end seeds complete the run uninterrupted)");
   const std::string weekly_out = args.get_string(
       "weekly-out", "", "also write the weekly summary table to this file as CSV");
   if (args.help_requested()) return 0;
   args.check_unknown();
+
+  if (faultfs_seed >= 0) {
+    io::FaultFs::FaultPlan plan =
+        io::FaultFs::seeded_plan(static_cast<std::uint64_t>(faultfs_seed),
+                                 static_cast<std::uint64_t>(std::max<std::int64_t>(1, faultfs_ops)));
+    plan.exit_process = true;
+    io::FaultFs::global().install(plan);
+  }
 
   Snapshot snap;
   if (dir.empty()) {
