@@ -21,6 +21,7 @@
 #include "obs/sampler.h"
 #include "obs/server.h"
 #include "obs/trace.h"
+#include "serve/daemon.h"
 #include "smartlaunch/ems.h"
 #include "smartlaunch/replay.h"
 #include "util/parallel.h"
@@ -477,6 +478,68 @@ void BM_ObsScrapeRender(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(registry.size()));
 }
 BENCHMARK(BM_ObsScrapeRender);
+
+// --- Serve request plane ----------------------------------------------------
+//
+// BM_ServeRecommend prices the full in-process request path (admission ->
+// deadline -> bulkhead -> dispatch -> engine snapshot -> recommend -> JSON)
+// against a warmed daemon; wall time is dominated by the worker handoff,
+// which is exactly the latency an admitted request pays before its deadline.
+// BM_ServeAdmission prices the shed fast path (queue_high_water = 0) — the
+// cost every request pays under overload, which must stay near-free (no
+// dispatch, no engine work) for shedding to actually protect the daemon.
+
+serve::ServeOptions serve_bench_options() {
+  serve::ServeOptions options;
+  options.workers = 1;
+  return options;
+}
+
+void BM_ServeRecommend(benchmark::State& state) {
+  const World& w = world();
+  static obs::MetricsRegistry registry;
+  static const config::GroundTruthModel ground_truth(w.topo, w.schema, w.catalog);
+  static serve::ServeDaemon daemon(w.topo, w.schema, w.catalog, w.assignment, ground_truth,
+                                   serve_bench_options(), registry);
+  daemon.warm_up();
+  obs::HttpRequest request;
+  request.method = "GET";
+  const auto carriers = static_cast<netsim::CarrierId>(w.topo.carrier_count());
+  netsim::CarrierId carrier = 0;
+  for (auto _ : state) {
+    request.target = "/recommend?carrier=" + std::to_string(carrier);
+    obs::HttpResponse response = daemon.handle(request);
+    if (response.status != 200) state.SkipWithError("recommend returned non-200");
+    benchmark::DoNotOptimize(response.body.data());
+    carrier = static_cast<netsim::CarrierId>((carrier + 1) % carriers);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeRecommend)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeAdmission(benchmark::State& state) {
+  const World& w = world();
+  static obs::MetricsRegistry registry;
+  static const config::GroundTruthModel ground_truth(w.topo, w.schema, w.catalog);
+  static serve::ServeDaemon daemon(w.topo, w.schema, w.catalog, w.assignment, ground_truth,
+                                   [] {
+                                     serve::ServeOptions options = serve_bench_options();
+                                     options.queue_high_water = 0;  // shed everything
+                                     return options;
+                                   }(),
+                                   registry);
+  daemon.warm_up();
+  obs::HttpRequest request;
+  request.method = "GET";
+  request.target = "/recommend?carrier=0";
+  for (auto _ : state) {
+    obs::HttpResponse response = daemon.handle(request);
+    if (response.status != 503) state.SkipWithError("expected a shed (503)");
+    benchmark::DoNotOptimize(response.body.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeAdmission);
 
 }  // namespace
 }  // namespace auric

@@ -97,6 +97,28 @@ double parse_number(const std::string& text, const char* what) {
   }
 }
 
+// Splits a trailing `:pNN` quantile suffix (outside braces) off a threshold
+// selector, returning the quantile in [0, 1] or -1 when there is none.
+double strip_quantile_suffix(std::string& selector) {
+  std::size_t colon = selector.rfind(':');
+  if (colon == std::string::npos || colon + 2 > selector.size() || selector[colon + 1] != 'p') {
+    return -1.0;
+  }
+  if (selector.find('}', colon) != std::string::npos) {
+    return -1.0;  // the ':' sits inside a label value, not after the braces
+  }
+  const std::string digits = selector.substr(colon + 2);
+  if (digits.empty() || digits.find_first_not_of("0123456789.") != std::string::npos) {
+    throw std::invalid_argument("bad quantile suffix ':" + selector.substr(colon + 1) + "'");
+  }
+  double pct = parse_number(digits, "quantile");
+  if (pct <= 0.0 || pct >= 100.0) {
+    throw std::invalid_argument("quantile suffix must be in (p0, p100), got 'p" + digits + "'");
+  }
+  selector.erase(colon);
+  return pct / 100.0;
+}
+
 bool compare(AlertRule::Op op, double lhs, double rhs) {
   switch (op) {
     case AlertRule::Op::kGt:
@@ -190,6 +212,13 @@ void RuleEngine::add_rule(const AlertRule& rule) {
   } else if (rule.metric.name.empty()) {
     throw std::invalid_argument("alert rule '" + rule.name + "': needs a metric selector");
   }
+  if (rule.quantile >= 0 && rule.kind != AlertRule::Kind::kThreshold) {
+    throw std::invalid_argument("alert rule '" + rule.name +
+                                "': a quantile suffix is only valid on threshold rules");
+  }
+  if (rule.quantile >= 1.0) {
+    throw std::invalid_argument("alert rule '" + rule.name + "': quantile must be < 1");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   for (const RuleState& state : states_) {
     if (state.rule.name == rule.name) {
@@ -256,7 +285,9 @@ std::size_t RuleEngine::load_text(std::string_view text, std::string_view origin
         rule.numerator = SeriesSelector::parse(std::string_view(m).substr(0, slash));
         rule.denominator = SeriesSelector::parse(std::string_view(m).substr(slash + 1));
       } else {
-        rule.metric = SeriesSelector::parse(cells[2]);
+        std::string selector = cells[2];
+        rule.quantile = strip_quantile_suffix(selector);
+        rule.metric = SeriesSelector::parse(selector);
       }
       rule.op = parse_op(cells[3]);
       rule.value = parse_number(cells[4], "value");
@@ -303,7 +334,8 @@ bool RuleEngine::breached(const RuleState& state, const Sampler& sampler,
   const AlertRule& rule = state.rule;
   switch (rule.kind) {
     case AlertRule::Kind::kThreshold: {
-      std::optional<double> v = sampler.value(rule.metric);
+      std::optional<double> v = rule.quantile >= 0 ? sampler.quantile(rule.metric, rule.quantile)
+                                                   : sampler.value(rule.metric);
       *out = v;
       return v && compare(rule.op, *v, rule.value);
     }

@@ -45,6 +45,13 @@ struct AlertRule {
   SeriesSelector denominator;
   Op op = Op::kGt;
   double value = 0.0;
+  /// Threshold rules may target a histogram quantile instead of a plain
+  /// value: a `:pNN` suffix on the metric selector (the sampler's
+  /// series_csv column naming, e.g. `auric_serve_latency_ms{...}:p99`)
+  /// sets this to NN/100 and the rule evaluates Sampler::quantile().
+  /// < 0 (the default) keeps the plain Sampler::value() scalar. An empty
+  /// histogram yields no scalar, so the rule cannot fire before traffic.
+  double quantile = -1.0;
   /// Trailing window for rate_over_window and the burn-rate short window.
   double window_s = 60.0;
   /// Burn-rate long window; must exceed window_s.
@@ -85,7 +92,8 @@ class RuleEngine {
   ///
   /// `kind` is threshold | rate_over_window | absence | burn_rate; `metric`
   /// is a series selector (burn_rate writes "num/den" — the '/' is split
-  /// outside braces); `op` is > >= < <= (or gt ge lt le); trailing empty
+  /// outside braces; threshold selectors accept a `:p50`/`:p90`/`:p99`
+  /// histogram-quantile suffix); `op` is > >= < <= (or gt ge lt le); trailing empty
   /// cells fall back to defaults (window 60 s, fire_for/resolve_for 1).
   /// Commas inside {...} or "..." do not split cells. Returns the number of
   /// rules added; throws std::invalid_argument with line context on a

@@ -1,58 +1,10 @@
 #include "obs/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <stdexcept>
-
 #include "obs/log_buffer.h"
 #include "obs/rules.h"
 #include "obs/trace.h"
 
 namespace auric::obs {
-
-namespace {
-
-const char* status_text(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 400:
-      return "Bad Request";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    case 413:
-      return "Payload Too Large";
-    case 503:
-      return "Service Unavailable";
-    default:
-      return "Error";
-  }
-}
-
-// Writes the whole buffer, riding out EINTR and short writes.
-void write_all(int fd, const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return;  // peer went away; nothing useful to do
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-}  // namespace
 
 MetricsServer::MetricsServer(const MetricsRegistry& registry, Options options)
     : registry_(&registry), options_(std::move(options)) {}
@@ -60,137 +12,32 @@ MetricsServer::MetricsServer(const MetricsRegistry& registry, Options options)
 MetricsServer::~MetricsServer() { stop(); }
 
 void MetricsServer::start() {
-  if (running_.load()) {
+  if (running()) {
     return;
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw std::runtime_error(std::string("metrics server: socket(): ") + std::strerror(errno));
+  HttpListenerOptions lopts;
+  lopts.bind_address = options_.bind_address;
+  lopts.port = options_.port;
+  lopts.max_request_bytes = options_.max_request_bytes;
+  lopts.name = "metrics server";
+  listener_ = std::make_unique<HttpListener>(
+      [this](const HttpRequest& request) {
+        Response r = handle(request.method, request.target);
+        return HttpResponse{r.status, std::move(r.content_type), std::move(r.body), {}};
+      },
+      std::move(lopts));
+  try {
+    listener_->start();
+  } catch (...) {
+    listener_.reset();
+    throw;
   }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw std::runtime_error("metrics server: bad bind address: " + options_.bind_address);
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    int err = errno;
-    ::close(fd);
-    throw std::runtime_error(std::string("metrics server: bind(") + options_.bind_address + ":" +
-                             std::to_string(options_.port) + "): " + std::strerror(err));
-  }
-  if (::listen(fd, 16) != 0) {
-    int err = errno;
-    ::close(fd);
-    throw std::runtime_error(std::string("metrics server: listen(): ") + std::strerror(err));
-  }
-  // Recover the kernel's pick when an ephemeral port was requested.
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    int err = errno;
-    ::close(fd);
-    throw std::runtime_error(std::string("metrics server: getsockname(): ") + std::strerror(err));
-  }
-  listen_fd_ = fd;
-  port_ = ntohs(bound.sin_port);
-  stop_requested_.store(false);
-  running_.store(true);
-  thread_ = std::thread([this] { serve_loop(); });
 }
 
 void MetricsServer::stop() {
-  stop_requested_.store(true);
-  if (thread_.joinable()) {
-    thread_.join();
+  if (listener_ != nullptr) {
+    listener_->stop();
   }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  running_.store(false);
-}
-
-void MetricsServer::serve_loop() {
-  while (!stop_requested_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) {
-      continue;  // timeout (re-check stop flag) or EINTR
-    }
-    int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      continue;
-    }
-    handle_connection(client);
-    ::close(client);
-  }
-  running_.store(false);
-}
-
-void MetricsServer::handle_connection(int client_fd) {
-  // A stalled client must not wedge the serve loop.
-  timeval timeout{};
-  timeout.tv_sec = 2;
-  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-
-  std::string request;
-  char buf[1024];
-  bool complete = false;
-  bool oversize = false;
-  while (!complete) {
-    ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      break;  // timeout, error, or close before the header ended
-    }
-    request.append(buf, static_cast<std::size_t>(n));
-    if (request.find("\r\n\r\n") != std::string::npos ||
-        request.find('\n') != std::string::npos) {
-      // The request line is all the routing needs; headers may still be in
-      // flight but GET carries no body worth waiting for.
-      complete = true;
-    }
-    if (request.size() > options_.max_request_bytes) {
-      oversize = true;
-      break;
-    }
-  }
-
-  Response response;
-  if (oversize) {
-    response = {413, "text/plain; charset=utf-8", "request too large\n"};
-  } else if (!complete || request.empty()) {
-    response = {400, "text/plain; charset=utf-8", "malformed request\n"};
-  } else {
-    // Parse "METHOD SP TARGET SP HTTP/x.y" from the first line.
-    std::size_t eol = request.find('\n');
-    std::string_view line(request.data(), eol == std::string::npos ? request.size() : eol);
-    if (!line.empty() && line.back() == '\r') {
-      line.remove_suffix(1);
-    }
-    std::size_t sp1 = line.find(' ');
-    std::size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos : line.find(' ', sp1 + 1);
-    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
-        line.substr(sp2 + 1).substr(0, 5) != "HTTP/") {
-      response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
-    } else {
-      response = handle(line.substr(0, sp1), line.substr(sp1 + 1, sp2 - sp1 - 1));
-    }
-  }
-
-  requests_.fetch_add(1, std::memory_order_relaxed);
-
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                     status_text(response.status) +
-                     "\r\nContent-Type: " + response.content_type +
-                     "\r\nContent-Length: " + std::to_string(response.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
-  write_all(client_fd, head.data(), head.size());
-  write_all(client_fd, response.body.data(), response.body.size());
 }
 
 MetricsServer::Response MetricsServer::handle(std::string_view method,

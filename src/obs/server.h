@@ -2,8 +2,9 @@
 //
 // A replay or launch run that only writes metrics files at exit cannot be
 // watched; the MetricsServer makes the process scrapeable WHILE it runs, the
-// way Prometheus expects exporters to behave. One background thread, POSIX
-// sockets only, bound to loopback:
+// way Prometheus expects exporters to behave. The socket machinery lives in
+// obs::HttpListener (shared with the serve plane); this class is the
+// routing layer, bound to loopback:
 //
 //   GET /metrics   Prometheus text exposition of the registry
 //   GET /healthz   RuleEngine verdict JSON; 200 when healthy, 503 firing
@@ -12,18 +13,17 @@
 //   GET /logz      the last lines util::log emitted (plain text)
 //
 // Port 0 requests an ephemeral port; port() reports what the kernel chose,
-// so tests and parallel CI jobs never collide. The accept loop polls with a
-// short timeout and re-checks a stop flag, so stop() completes promptly
-// without pthread_cancel games. Requests are size-bounded and handled
-// serially — scrape traffic is a few requests per second, not a web tier.
+// so tests and parallel CI jobs never collide. Requests are handled by a
+// single worker — scrape traffic is a few requests per second, not a web
+// tier.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <thread>
 
+#include "obs/http_listener.h"
 #include "obs/metrics.h"
 
 namespace auric::obs {
@@ -63,14 +63,16 @@ class MetricsServer {
   void start();
   /// Stops the thread and closes the socket; idempotent.
   void stop();
-  bool running() const { return running_.load(); }
+  bool running() const { return listener_ != nullptr && listener_->running(); }
 
   /// The bound port (the kernel's pick when Options::port was 0); 0 before
   /// start().
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const { return listener_ == nullptr ? 0 : listener_->port(); }
   const Options& options() const { return options_; }
 
-  std::uint64_t requests_served() const { return requests_.load(); }
+  std::uint64_t requests_served() const {
+    return listener_ == nullptr ? 0 : listener_->requests_served();
+  }
 
   /// One parsed response; exposed so tests can exercise routing without a
   /// socket.
@@ -85,21 +87,13 @@ class MetricsServer {
   Response handle(std::string_view method, std::string_view target) const;
 
  private:
-  void serve_loop();
-  void handle_connection(int client_fd);
-
   const MetricsRegistry* registry_;
   Options options_;
   const RuleEngine* rules_ = nullptr;
   const TraceRecorder* traces_ = nullptr;
   const LogBuffer* logs_ = nullptr;
 
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::thread thread_;
-  std::atomic<bool> stop_requested_{false};
-  std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> requests_{0};
+  std::unique_ptr<HttpListener> listener_;
 };
 
 }  // namespace auric::obs

@@ -1,0 +1,535 @@
+#include "serve/daemon.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/rules.h"
+#include "smartlaunch/sharded_ems.h"
+#include "util/drain.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace auric::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Value of `key` in an HTTP query string ("a=1&b=2"), or empty.
+std::string_view query_param(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    std::string_view pair = amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{} : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return {};
+}
+
+/// Strict integer parse; nullopt on garbage or empty.
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+obs::HttpResponse json_response(int status, std::string body) {
+  return {status, "application/json", std::move(body), {}};
+}
+
+obs::HttpResponse shed_response(const char* why) {
+  return {503,
+          "application/json",
+          std::string("{\"status\":\"shed\",\"reason\":\"") + why + "\"}",
+          {{"Retry-After", "1"}}};
+}
+
+/// The outcome slot a listener thread waits on while the pool computes.
+struct Job {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  obs::HttpResponse response;
+};
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(const netsim::Topology& topology,
+                         const netsim::AttributeSchema& schema,
+                         const config::ParamCatalog& catalog,
+                         const config::ConfigAssignment& assignment,
+                         const config::GroundTruthModel& ground_truth, Options options,
+                         obs::MetricsRegistry& registry)
+    : topology_(&topology),
+      schema_(&schema),
+      catalog_(&catalog),
+      assignment_(&assignment),
+      rulebook_(ground_truth, catalog),
+      options_(std::move(options)),
+      registry_(&registry),
+      pool_(static_cast<std::size_t>(std::max(1, options_.workers))),
+      bulk_used_(static_cast<std::size_t>(std::max(1, options_.bulkheads)), 0),
+      requests_recommend_(registry.counter("auric_serve_requests_total", "serve requests",
+                                           {{"endpoint", "recommend"}})),
+      requests_diff_(registry.counter("auric_serve_requests_total", "serve requests",
+                                      {{"endpoint", "diff"}})),
+      requests_healthz_(registry.counter("auric_serve_requests_total", "serve requests",
+                                         {{"endpoint", "healthz"}})),
+      shed_total_(registry.counter("auric_serve_shed_total",
+                                   "requests shed at admission (503 + Retry-After)")),
+      deadline_expired_total_(registry.counter(
+          "auric_serve_deadline_expired_total",
+          "requests whose deadline expired before dispatch (pre-dispatch 504)")),
+      timeouts_total_(registry.counter("auric_serve_timeouts_total",
+                                       "requests that timed out mid-flight (504)")),
+      engine_swaps_total_(
+          registry.counter("auric_serve_engine_swaps_total", "successful hot engine swaps")),
+      relearn_failures_total_(registry.counter("auric_serve_relearn_failures_total",
+                                               "relearns that failed (last-good kept)")),
+      errors_total_(registry.counter("auric_serve_errors_total",
+                                     "requests answered 500 (handler threw)")),
+      queue_depth_(registry.gauge("auric_serve_queue_depth", "requests in the admission window")),
+      degraded_gauge_(
+          registry.gauge("auric_serve_degraded", "1 while serving a stale last-good engine")),
+      up_gauge_(registry.gauge("auric_serve_up", "1 while the daemon accepts requests")),
+      generation_gauge_(
+          registry.gauge("auric_serve_engine_generation", "generation of the served engine")),
+      latency_recommend_(registry.histogram("auric_serve_latency_ms",
+                                            obs::default_latency_bounds_ms(),
+                                            "serve latency", {{"endpoint", "recommend"}})),
+      latency_diff_(registry.histogram("auric_serve_latency_ms",
+                                       obs::default_latency_bounds_ms(), "serve latency",
+                                       {{"endpoint", "diff"}})) {
+  pool_.set_pending_limit(options_.pool_pending_limit);
+  builder_ = [this] {
+    return std::make_unique<core::AuricEngine>(*topology_, *schema_, *catalog_, *assignment_);
+  };
+  if (options_.http.name == "http listener") {
+    options_.http.name = "serve daemon";
+  }
+}
+
+ServeDaemon::~ServeDaemon() { drain(); }
+
+void ServeDaemon::set_engine_builder(EngineBuilder builder) {
+  std::lock_guard<std::mutex> lock(relearn_mu_);
+  builder_ = std::move(builder);
+}
+
+std::shared_ptr<const ServeDaemon::EngineBundle> ServeDaemon::snapshot() const {
+  std::lock_guard<std::mutex> lock(bundle_mu_);
+  return bundle_;
+}
+
+std::uint64_t ServeDaemon::generation() const {
+  const auto bundle = snapshot();
+  return bundle == nullptr ? 0 : bundle->generation;
+}
+
+std::unique_ptr<ServeDaemon::EngineBundle> ServeDaemon::build_bundle() {
+  auto bundle = std::make_unique<EngineBundle>();
+  bundle->engine = builder_();
+  if (bundle->engine == nullptr) {
+    throw std::runtime_error("serve: engine builder returned null");
+  }
+  bundle->controller = std::make_unique<smartlaunch::LaunchController>(
+      *bundle->engine, rulebook_, *assignment_, smartlaunch::VendorFaultOptions{},
+      smartlaunch::PushPolicy{}, options_.seed);
+  return bundle;
+}
+
+void ServeDaemon::warm_up() {
+  std::lock_guard<std::mutex> relearn_lock(relearn_mu_);
+  {
+    std::lock_guard<std::mutex> lock(bundle_mu_);
+    if (bundle_ != nullptr) {
+      return;
+    }
+  }
+  std::unique_ptr<EngineBundle> bundle = build_bundle();  // throws on failure: no
+                                                          // last-good to fall back to
+  bundle->generation = 1;
+  std::lock_guard<std::mutex> lock(bundle_mu_);
+  bundle_ = std::move(bundle);
+  generation_gauge_.set(1.0);
+}
+
+bool ServeDaemon::relearn() {
+  std::lock_guard<std::mutex> relearn_lock(relearn_mu_);
+  std::uint64_t next_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(bundle_mu_);
+    next_generation = (bundle_ == nullptr ? 0 : bundle_->generation) + 1;
+  }
+  std::unique_ptr<EngineBundle> fresh;
+  try {
+    fresh = build_bundle();
+  } catch (const std::exception& e) {
+    // Graceful degradation: the last-good bundle keeps serving; /healthz
+    // flips to degraded until a later relearn succeeds.
+    relearn_failures_total_.inc();
+    degraded_.store(true);
+    degraded_gauge_.set(1.0);
+    util::log(util::LogLevel::kError,
+              util::format("serve: relearn failed (%s); serving last-good engine", e.what()));
+    return false;
+  }
+  fresh->generation = next_generation;
+  {
+    // RCU-style flip: in-flight requests hold their own shared_ptr and
+    // finish on the bundle they started with.
+    std::lock_guard<std::mutex> lock(bundle_mu_);
+    bundle_ = std::move(fresh);
+  }
+  engine_swaps_total_.inc();
+  degraded_.store(false);
+  degraded_gauge_.set(0.0);
+  generation_gauge_.set(static_cast<double>(next_generation));
+  return true;
+}
+
+void ServeDaemon::start() {
+  if (running()) {
+    return;
+  }
+  warm_up();
+  draining_.store(false);
+  listener_ = std::make_unique<obs::HttpListener>(
+      [this](const obs::HttpRequest& request) { return handle(request); }, options_.http);
+  listener_->start();
+  up_gauge_.set(1.0);
+}
+
+void ServeDaemon::drain() {
+  draining_.store(true);
+  // Admitted requests finish (their listener thread is blocked inside
+  // handle(), which never checks draining_ after admission)...
+  while (admitted_.load() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // ...then abandoned (timed-out) jobs still queued or running on the pool.
+  pool_.wait_idle();
+  // Connections still queued in the listener get a prompt 503 "draining"
+  // terminal response while stop() drains the fd queue.
+  if (listener_ != nullptr) {
+    listener_->stop();
+  }
+  up_gauge_.set(0.0);
+}
+
+obs::HttpResponse ServeDaemon::healthz() const {
+  const char* status = "ok";
+  int code = 200;
+  if (draining_.load()) {
+    status = "draining";
+    code = 503;
+  } else if (degraded_.load()) {
+    status = "degraded";
+    code = 503;
+  } else if (recently_shed()) {
+    status = "overloaded";
+    code = 503;
+  } else if (rules_ != nullptr && !rules_->healthy()) {
+    status = "alerting";
+    code = 503;
+  }
+  std::string body = std::string("{\"status\":\"") + status +
+                     "\",\"generation\":" + std::to_string(generation()) +
+                     ",\"admitted\":" + std::to_string(admitted_.load()) + "}";
+  return json_response(code, std::move(body));
+}
+
+void ServeDaemon::note_shed() {
+  shed_total_.inc();
+  last_shed_ms_.store(now_ms(), std::memory_order_relaxed);
+}
+
+bool ServeDaemon::recently_shed() const {
+  const std::int64_t last = last_shed_ms_.load(std::memory_order_relaxed);
+  return last >= 0 && now_ms() - last < options_.overload_grace_ms;
+}
+
+obs::HttpResponse ServeDaemon::handle(const obs::HttpRequest& request) {
+  const std::string_view path = request.path();
+  // Control plane: never admission-gated, so health and metrics stay
+  // observable under overload — exactly when they matter most.
+  if (request.method == "GET") {
+    if (path == "/healthz") {
+      requests_healthz_.inc();
+      return healthz();
+    }
+    if (path == "/metrics") {
+      return {200, "text/plain; version=0.0.4; charset=utf-8", registry_->prometheus_text(), {}};
+    }
+    if (path == "/varz") {
+      return json_response(200, registry_->json_text());
+    }
+    if (path == "/" || path.empty()) {
+      return {200,
+              "text/plain; charset=utf-8",
+              "auric serve\nGET /recommend?carrier=N[&neighbor=M]  GET /diff?carrier=N\n"
+              "GET /healthz /metrics /varz   POST /relearn /quit\n",
+              {}};
+    }
+    if (path == "/recommend" || path == "/diff") {
+      return handle_data(request, std::string(path.substr(1)));
+    }
+    return {404, "text/plain; charset=utf-8", "unknown endpoint\n", {}};
+  }
+  if (request.method == "POST") {
+    if (path == "/relearn") {
+      const bool ok = relearn();
+      if (ok) {
+        return json_response(
+            200, "{\"status\":\"swapped\",\"generation\":" + std::to_string(generation()) + "}");
+      }
+      return json_response(
+          503, "{\"status\":\"degraded\",\"generation\":" + std::to_string(generation()) + "}");
+    }
+    if (path == "/quit") {
+      util::request_drain();
+      return json_response(200, "{\"status\":\"draining\"}");
+    }
+    return {404, "text/plain; charset=utf-8", "unknown endpoint\n", {}};
+  }
+  return {405, "text/plain; charset=utf-8", "unsupported method\n", {}};
+}
+
+obs::HttpResponse ServeDaemon::handle_data(const obs::HttpRequest& request,
+                                           const std::string& endpoint) {
+  const Clock::time_point arrival = Clock::now();
+  obs::Counter& endpoint_counter =
+      endpoint == "recommend" ? requests_recommend_ : requests_diff_;
+  endpoint_counter.inc();
+
+  if (draining_.load()) {
+    return shed_response("draining");
+  }
+
+  // Admission: a bounded count of requests in the admission window. Shed
+  // BEFORE doing any work — the point of load shedding is that rejected
+  // requests are nearly free.
+  const std::size_t in_flight = admitted_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  queue_depth_.set(static_cast<double>(in_flight));
+  if (in_flight > options_.queue_high_water) {
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    queue_depth_.set(static_cast<double>(admitted_.load()));
+    note_shed();
+    return shed_response("admission queue full");
+  }
+  struct AdmissionGuard {
+    ServeDaemon* daemon;
+    ~AdmissionGuard() {
+      daemon->admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      daemon->queue_depth_.set(static_cast<double>(daemon->admitted_.load()));
+    }
+  } admission_guard{this};
+
+  // Deadline: the client's budget, clamped; default when absent.
+  std::int64_t deadline_ms = options_.default_deadline_ms;
+  const std::string_view header = request.header("x-auric-deadline-ms");
+  if (!header.empty()) {
+    const std::optional<std::int64_t> parsed = parse_int(header);
+    if (!parsed.has_value() || *parsed <= 0) {
+      return json_response(400, "{\"error\":\"bad X-Auric-Deadline-Ms\"}");
+    }
+    deadline_ms = std::min<std::int64_t>(*parsed, options_.max_deadline_ms);
+  }
+  const Clock::time_point expiry = arrival + std::chrono::milliseconds(deadline_ms);
+
+  // Parse the target carrier before burning a bulkhead slot on it.
+  const std::optional<std::int64_t> carrier = parse_int(query_param(request.query(), "carrier"));
+  if (!carrier.has_value() || *carrier < 0 ||
+      static_cast<std::size_t>(*carrier) >= topology_->carrier_count()) {
+    return json_response(400, "{\"error\":\"carrier must name a carrier in the inventory\"}");
+  }
+
+  // Bulkhead: per-market-shard concurrency cap. The same stable mapping the
+  // sharded EMS uses, so a hot market saturates its own lane only.
+  const int bulkheads = static_cast<int>(bulk_used_.size());
+  const std::size_t lane = static_cast<std::size_t>(smartlaunch::shard_of_market(
+      topology_->carriers[static_cast<std::size_t>(*carrier)].market, bulkheads));
+  {
+    std::unique_lock<std::mutex> lock(bulk_mu_);
+    const bool got = bulk_cv_.wait_until(
+        lock, expiry, [&] { return bulk_used_[lane] < options_.bulkhead_width; });
+    if (!got) {
+      // Expired waiting for a lane: dropped BEFORE dispatch, per the
+      // deadline contract — no engine work was spent on it.
+      deadline_expired_total_.inc();
+      return json_response(504, "{\"error\":\"deadline expired before dispatch\"}");
+    }
+    ++bulk_used_[lane];
+  }
+
+  // Dispatch onto the pool against a pinned engine snapshot.
+  auto job = std::make_shared<Job>();
+  std::shared_ptr<const EngineBundle> bundle = snapshot();
+  const bool submitted = pool_.try_submit([this, job, bundle, request, endpoint, lane] {
+    obs::HttpResponse response;
+    try {
+      if (options_.work_delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(options_.work_delay_ms));
+      }
+      response = compute(request, endpoint, *bundle);
+    } catch (const std::exception& e) {
+      errors_total_.inc();
+      response = json_response(
+          500, std::string("{\"error\":\"") + json_escape(e.what()) + "\"}");
+    }
+    {
+      std::lock_guard<std::mutex> lock(bulk_mu_);
+      --bulk_used_[lane];
+    }
+    bulk_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->response = std::move(response);
+      job->done = true;
+    }
+    job->cv.notify_all();
+  });
+  if (!submitted) {
+    {
+      std::lock_guard<std::mutex> lock(bulk_mu_);
+      --bulk_used_[lane];
+    }
+    bulk_cv_.notify_all();
+    note_shed();
+    return shed_response("worker queue full");
+  }
+
+  obs::HttpResponse response;
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    if (!job->cv.wait_until(lock, expiry, [&] { return job->done; })) {
+      // Mid-flight timeout: the client gets a terminal 504 now; the worker
+      // finishes the abandoned job harmlessly (it only touches the job slot
+      // and the bulkhead counter) — no thread is poisoned or cancelled.
+      timeouts_total_.inc();
+      return json_response(504, "{\"error\":\"deadline expired in flight\"}");
+    }
+    response = std::move(job->response);
+  }
+  const double latency_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(Clock::now() -
+                                                                            arrival)
+          .count();
+  (endpoint == "recommend" ? latency_recommend_ : latency_diff_).observe(latency_ms);
+  return response;
+}
+
+obs::HttpResponse ServeDaemon::compute(const obs::HttpRequest& request,
+                                       const std::string& endpoint,
+                                       const EngineBundle& bundle) const {
+  const std::int64_t carrier_id = *parse_int(query_param(request.query(), "carrier"));
+  const auto carrier = static_cast<netsim::CarrierId>(carrier_id);
+
+  if (endpoint == "recommend") {
+    const std::string_view neighbor_raw = query_param(request.query(), "neighbor");
+    std::vector<core::Recommendation> recs;
+    netsim::CarrierId neighbor = netsim::kInvalidCarrier;
+    if (!neighbor_raw.empty()) {
+      const std::optional<std::int64_t> parsed = parse_int(neighbor_raw);
+      if (!parsed.has_value() || *parsed < 0 ||
+          static_cast<std::size_t>(*parsed) >= topology_->carrier_count()) {
+        return json_response(400, "{\"error\":\"neighbor must name a carrier\"}");
+      }
+      neighbor = static_cast<netsim::CarrierId>(*parsed);
+      recs = bundle.engine->recommend_pairwise(carrier, neighbor);
+    } else {
+      recs = bundle.engine->recommend_singular(carrier);
+    }
+    std::string body = "{\"carrier\":" + std::to_string(carrier_id) +
+                       ",\"generation\":" + std::to_string(bundle.generation) +
+                       ",\"recommendations\":[";
+    bool first = true;
+    for (const core::Recommendation& rec : recs) {
+      const config::ParamDef& def = catalog_->at(rec.param);
+      if (!first) {
+        body += ',';
+      }
+      first = false;
+      body += "{\"param\":\"" + json_escape(def.name) + "\"";
+      if (rec.value != config::kUnset) {
+        body += ",\"value\":" + util::format("%g", def.domain.value(rec.value));
+      }
+      body += std::string(",\"source\":\"") + core::recommendation_source_name(rec.source) +
+              "\",\"votes\":" + std::to_string(rec.votes) +
+              ",\"group_size\":" + std::to_string(rec.group_size) +
+              ",\"support\":" + util::format("%.4f", rec.support) + "}";
+    }
+    body += "]}";
+    return json_response(200, std::move(body));
+  }
+
+  // /diff: the SmartLaunch plan — vendor launch config vs Auric corrections.
+  std::vector<smartlaunch::LaunchController::PlannedChange> vendor;
+  const std::vector<smartlaunch::LaunchController::PlannedChange> changes =
+      bundle.controller->plan_changes_detailed(carrier, &vendor);
+  std::string body = "{\"carrier\":" + std::to_string(carrier_id) +
+                     ",\"generation\":" + std::to_string(bundle.generation) +
+                     ",\"slots\":" + std::to_string(vendor.size()) + ",\"changes\":[";
+  bool first = true;
+  for (const auto& change : changes) {
+    const config::ParamDef& def = catalog_->at(change.slot.param);
+    if (!first) {
+      body += ',';
+    }
+    first = false;
+    body += "{\"param\":\"" + json_escape(def.name) + "\",\"mo_path\":\"" +
+            json_escape(change.slot.mo_path) + "\"";
+    if (change.vendor_value != config::kUnset) {
+      body += ",\"vendor\":" + util::format("%g", def.domain.value(change.vendor_value));
+    }
+    if (change.new_value != config::kUnset) {
+      body += ",\"new\":" + util::format("%g", def.domain.value(change.new_value));
+    }
+    body += "}";
+  }
+  body += "]}";
+  return json_response(200, std::move(body));
+}
+
+}  // namespace auric::serve

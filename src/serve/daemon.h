@@ -1,0 +1,213 @@
+// ServeDaemon: the overload-safe online request plane ("Auric-as-a-service").
+//
+// A long-lived daemon hosting a resident AuricEngine + inventory behind the
+// shared obs::HttpListener, answering
+//
+//   GET  /recommend?carrier=N[&neighbor=M]   vote-backed recommendations, JSON
+//   GET  /diff?carrier=N                     SmartLaunch plan (vendor vs Auric)
+//   GET  /healthz                            ok|degraded|overloaded|draining
+//   GET  /metrics, /varz                     registry exposition
+//   POST /relearn                            rebuild + hot-swap the engine
+//   POST /quit                               request a graceful drain
+//
+// Robustness is layered in request order (DESIGN.md §15):
+//   admission   a bounded count of in-flight requests; past the high-water
+//               mark new work is shed with 503 + Retry-After instead of
+//               queueing without bound
+//   deadline    every request carries a budget (X-Auric-Deadline-Ms header,
+//               clamped); requests that expire while waiting for a bulkhead
+//               slot are dropped BEFORE dispatch (504), and requests that
+//               expire mid-flight return 504 while the worker finishes the
+//               abandoned job harmlessly in the background
+//   bulkhead    per-market-shard concurrency caps (smartlaunch's
+//               shard_of_market) so one hot market cannot starve the rest
+//   snapshot    handlers run against an RCU-style engine snapshot
+//               (std::shared_ptr<const EngineBundle>); relearn builds a new
+//               bundle off to the side and flips the pointer, so in-flight
+//               requests finish on the engine they started with, and a
+//               FAILED relearn keeps serving the last-good bundle with
+//               /healthz flipped to degraded
+//   drain       stop admitting, finish in-flight work, answer stragglers
+//               with 503, exit 0 (SIGTERM/SIGINT via util::drain)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "config/assignment.h"
+#include "config/catalog.h"
+#include "config/ground_truth.h"
+#include "config/rulebook.h"
+#include "core/engine.h"
+#include "netsim/attributes.h"
+#include "netsim/topology.h"
+#include "obs/http_listener.h"
+#include "obs/metrics.h"
+#include "smartlaunch/controller.h"
+#include "util/parallel.h"
+
+namespace auric::obs {
+class RuleEngine;
+class Sampler;
+}  // namespace auric::obs
+
+namespace auric::serve {
+
+struct ServeOptions {
+  obs::HttpListenerOptions http;  // threads defaulted in the constructor
+  /// Engine-side worker threads (the daemon owns its pool; TaskPool::shared()
+  /// has zero threads on a 1-core host, which would strand dispatched jobs).
+  int workers = 2;
+  /// Admission high-water mark: requests in flight past this are shed with
+  /// 503 + Retry-After.
+  std::size_t queue_high_water = 64;
+  /// Bound for the pool's detached-task queue; a full queue sheds too.
+  std::size_t pool_pending_limit = 128;
+  /// Per-market-shard bulkheads and the concurrency cap of each.
+  int bulkheads = 4;
+  int bulkhead_width = 8;
+  /// Request deadline when the client sends no X-Auric-Deadline-Ms header,
+  /// and the clamp applied when it does.
+  int default_deadline_ms = 1000;
+  int max_deadline_ms = 10000;
+  /// Artificial per-request service delay (capacity shaping for overload
+  /// tests and the CI soak; 0 in production).
+  int work_delay_ms = 0;
+  /// A shed inside this trailing window makes /healthz report "overloaded".
+  int overload_grace_ms = 2000;
+  /// Vendor-fault seed for the LaunchController behind /diff.
+  std::uint64_t seed = 4242;
+};
+
+class ServeDaemon {
+ public:
+  using Options = ServeOptions;
+  /// Builds fresh engine bundles; injectable so tests can fail a relearn.
+  using EngineBuilder = std::function<std::unique_ptr<core::AuricEngine>()>;
+
+  ServeDaemon(const netsim::Topology& topology, const netsim::AttributeSchema& schema,
+              const config::ParamCatalog& catalog, const config::ConfigAssignment& assignment,
+              const config::GroundTruthModel& ground_truth, Options options = {},
+              obs::MetricsRegistry& registry = obs::MetricsRegistry::global());
+  ~ServeDaemon();
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Replaces the engine builder (test hook for relearn failures). The
+  /// default builder learns an AuricEngine from the resident inventory.
+  void set_engine_builder(EngineBuilder builder);
+
+  /// Optional health sources: when set, firing alert rules flip /healthz to
+  /// 503 "alerting". Set before start().
+  void set_rule_engine(const obs::RuleEngine* rules) { rules_ = rules; }
+
+  /// Builds the initial engine bundle (generation 1) if none exists yet.
+  /// start() calls this; exposed so tests and benches can exercise handle()
+  /// without a socket.
+  void warm_up();
+
+  /// warm_up() + bind the listener and start answering. Throws
+  /// std::runtime_error when the port cannot be bound.
+  void start();
+
+  /// Graceful drain: stop admitting, wait for in-flight requests and
+  /// abandoned background jobs, answer queued stragglers with 503, stop the
+  /// listener. Idempotent.
+  void drain();
+
+  bool running() const { return listener_ != nullptr && listener_->running(); }
+  bool draining() const { return draining_.load(); }
+  bool degraded() const { return degraded_.load(); }
+  std::uint16_t port() const { return listener_ == nullptr ? 0 : listener_->port(); }
+  const Options& options() const { return options_; }
+
+  /// Engine generation currently served (0 before warm_up()).
+  std::uint64_t generation() const;
+
+  /// Rebuilds the engine via the builder and hot-swaps it in. Returns false
+  /// — keeping the last-good bundle and flipping degraded — when the builder
+  /// throws. Serialized; callable while serving.
+  bool relearn();
+
+  /// Requests in the admission window right now.
+  std::size_t admitted() const { return admitted_.load(); }
+
+  /// Responses written over the socket path (0 when handle() is driven
+  /// directly).
+  std::uint64_t requests_served() const {
+    return listener_ == nullptr ? 0 : listener_->requests_served();
+  }
+
+  /// The full request path (admission -> deadline -> bulkhead -> snapshot),
+  /// shared by the socket path, tests, and benches.
+  obs::HttpResponse handle(const obs::HttpRequest& request);
+
+ private:
+  /// One resident engine + its controller; flipped atomically on relearn.
+  struct EngineBundle {
+    std::unique_ptr<core::AuricEngine> engine;
+    std::unique_ptr<smartlaunch::LaunchController> controller;
+    std::uint64_t generation = 0;
+  };
+
+  std::shared_ptr<const EngineBundle> snapshot() const;
+  std::unique_ptr<EngineBundle> build_bundle();
+
+  obs::HttpResponse handle_data(const obs::HttpRequest& request, const std::string& endpoint);
+  obs::HttpResponse compute(const obs::HttpRequest& request, const std::string& endpoint,
+                            const EngineBundle& bundle) const;
+  obs::HttpResponse healthz() const;
+  void note_shed();
+  bool recently_shed() const;
+
+  const netsim::Topology* topology_;
+  const netsim::AttributeSchema* schema_;
+  const config::ParamCatalog* catalog_;
+  const config::ConfigAssignment* assignment_;
+  config::Rulebook rulebook_;
+  Options options_;
+  obs::MetricsRegistry* registry_;
+  const obs::RuleEngine* rules_ = nullptr;
+
+  mutable std::mutex bundle_mu_;
+  std::shared_ptr<const EngineBundle> bundle_;
+  std::mutex relearn_mu_;  ///< serializes concurrent relearns
+  EngineBuilder builder_;
+
+  util::TaskPool pool_;
+  std::unique_ptr<obs::HttpListener> listener_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::size_t> admitted_{0};
+  std::atomic<std::int64_t> last_shed_ms_{-1};  ///< steady-clock ms; -1 = never
+
+  std::mutex bulk_mu_;
+  std::condition_variable bulk_cv_;
+  std::vector<int> bulk_used_;
+
+  // Instruments (all owned by the registry).
+  obs::Counter& requests_recommend_;
+  obs::Counter& requests_diff_;
+  obs::Counter& requests_healthz_;
+  obs::Counter& shed_total_;
+  obs::Counter& deadline_expired_total_;
+  obs::Counter& timeouts_total_;
+  obs::Counter& engine_swaps_total_;
+  obs::Counter& relearn_failures_total_;
+  obs::Counter& errors_total_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& degraded_gauge_;
+  obs::Gauge& up_gauge_;
+  obs::Gauge& generation_gauge_;
+  obs::Histogram& latency_recommend_;
+  obs::Histogram& latency_diff_;
+};
+
+}  // namespace auric::serve

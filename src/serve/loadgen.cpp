@@ -1,0 +1,251 @@
+#include "serve/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace auric::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Outcome { kOk, kShed, kExpired, kClientError, kServerError, kRefused, kNoResponse };
+
+int connect_to(const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads to connection close; returns the raw response.
+std::string read_response(int fd) {
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+/// Status code of a complete response, or -1 when the response is not a
+/// complete HTTP message (header + full Content-Length body).
+int parse_status(const std::string& response) {
+  if (response.rfind("HTTP/1.1 ", 0) != 0 || response.size() < 12) {
+    return -1;
+  }
+  const int status = std::atoi(response.c_str() + 9);
+  if (status < 100 || status > 599) {
+    return -1;
+  }
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return -1;
+  }
+  const std::size_t cl_pos = response.find("Content-Length: ");
+  if (cl_pos == std::string::npos || cl_pos > header_end) {
+    return -1;
+  }
+  const std::size_t body_len =
+      static_cast<std::size_t>(std::atoll(response.c_str() + cl_pos + 16));
+  if (response.size() - (header_end + 4) < body_len) {
+    return -1;  // truncated body: the connection died mid-response
+  }
+  return status;
+}
+
+struct ClientTotals {
+  LoadGenStats stats;
+  std::vector<double> ok_latencies_ms;
+};
+
+void run_client(const LoadGenOptions& options, int client_index, ClientTotals* totals) {
+  util::Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(client_index));
+  const double weights[] = {options.recommend_weight, options.diff_weight,
+                            options.healthz_weight};
+  for (int i = 0; i < options.requests_per_client; ++i) {
+    ++totals->stats.sent;
+    const bool fault = options.fault_prob > 0.0 && rng.bernoulli(options.fault_prob);
+    const std::size_t kind = rng.weighted_index(weights);
+    const std::int64_t carrier =
+        rng.uniform_int(0, std::max(0, options.carrier_universe - 1));
+    std::string target;
+    if (kind == 0) {
+      target = "/recommend?carrier=" + std::to_string(carrier);
+    } else if (kind == 1) {
+      target = "/diff?carrier=" + std::to_string(carrier);
+    } else {
+      target = "/healthz";
+    }
+    std::string request = "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n";
+    if (kind != 2) {
+      request += "X-Auric-Deadline-Ms: " + std::to_string(options.deadline_ms) + "\r\n";
+    }
+    request += "\r\n";
+
+    const int fd = connect_to(options.host, options.port);
+    if (fd < 0) {
+      ++totals->stats.refused;
+      continue;
+    }
+
+    if (fault) {
+      // Misbehave on purpose; any outcome short of wedging the daemon is
+      // acceptable, so faults are counted separately and never as lost.
+      ++totals->stats.faults_injected;
+      const std::size_t mode = static_cast<std::size_t>(rng.uniform_int(0, 2));
+      if (mode == 0) {
+        // Slam: send half the request, close immediately.
+        send_all(fd, request.substr(0, request.size() / 2));
+      } else if (mode == 1) {
+        // Garbage request line.
+        send_all(fd, "XYZZY\r\n\r\n");
+        read_response(fd);
+      } else {
+        // Slow trickle: a few bytes, a pause, then give up (exercises the
+        // per-connection read deadline).
+        send_all(fd, request.substr(0, 4));
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        read_response(fd);
+      }
+      ::close(fd);
+      continue;
+    }
+
+    const Clock::time_point t0 = Clock::now();
+    send_all(fd, request);
+    const std::string response = read_response(fd);
+    ::close(fd);
+    const double latency_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(Clock::now() - t0)
+            .count();
+
+    const int status = parse_status(response);
+    Outcome outcome;
+    if (status < 0) {
+      outcome = Outcome::kNoResponse;
+    } else if (status == 503) {
+      outcome = Outcome::kShed;
+    } else if (status == 504 || status == 408) {
+      outcome = Outcome::kExpired;
+    } else if (status >= 200 && status < 300) {
+      outcome = Outcome::kOk;
+    } else if (status >= 500) {
+      outcome = Outcome::kServerError;
+    } else {
+      outcome = Outcome::kClientError;
+    }
+    switch (outcome) {
+      case Outcome::kOk:
+        ++totals->stats.ok;
+        totals->ok_latencies_ms.push_back(latency_ms);
+        break;
+      case Outcome::kShed:
+        ++totals->stats.shed;
+        break;
+      case Outcome::kExpired:
+        ++totals->stats.expired;
+        break;
+      case Outcome::kClientError:
+        ++totals->stats.client_error;
+        break;
+      case Outcome::kServerError:
+        ++totals->stats.server_error;
+        break;
+      case Outcome::kRefused:
+        ++totals->stats.refused;
+        break;
+      case Outcome::kNoResponse:
+        ++totals->stats.no_response;
+        break;
+    }
+  }
+}
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LoadGenStats run_loadgen(const LoadGenOptions& options) {
+  const int clients = std::max(1, options.clients);
+  std::vector<ClientTotals> per_client(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(run_client, std::cref(options), c,
+                         &per_client[static_cast<std::size_t>(c)]);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  LoadGenStats total;
+  std::vector<double> latencies;
+  for (const ClientTotals& ct : per_client) {
+    total.sent += ct.stats.sent;
+    total.ok += ct.stats.ok;
+    total.shed += ct.stats.shed;
+    total.expired += ct.stats.expired;
+    total.client_error += ct.stats.client_error;
+    total.server_error += ct.stats.server_error;
+    total.refused += ct.stats.refused;
+    total.no_response += ct.stats.no_response;
+    total.faults_injected += ct.stats.faults_injected;
+    latencies.insert(latencies.end(), ct.ok_latencies_ms.begin(), ct.ok_latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  total.p50_ms = quantile(latencies, 0.50);
+  total.p99_ms = quantile(latencies, 0.99);
+  total.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  return total;
+}
+
+}  // namespace auric::serve

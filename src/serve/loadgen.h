@@ -1,0 +1,76 @@
+// Seeded closed-loop load generator for the serve plane.
+//
+// N client threads each run a fixed request budget against a ServeDaemon
+// port: send one request, wait for the full response (or connection close),
+// repeat. Closed-loop clients self-throttle, so "2x capacity" is expressed
+// as more concurrent clients than the daemon admits — exactly the shape the
+// admission queue is built to shed.
+//
+// The request mix (recommend / diff / healthz, carrier choice) is drawn from
+// a per-client seeded Rng, so a run is reproducible bit-for-bit. Optional
+// fault injection makes a seeded fraction of clients misbehave on purpose
+// (close before reading, send garbage, trickle the request slowly) to prove
+// the socket hardening: a faulty client may get any terminal status or a
+// slammed connection, but must never wedge the daemon.
+//
+// Outcome taxonomy (Stats):
+//   ok           2xx with a complete response
+//   shed         503 (admission/listener/draining shed)
+//   expired      504 (deadline before dispatch or mid-flight)
+//   client_error 4xx
+//   refused      connect() failed — the daemon was gone (drain/stop); the
+//                request was never admitted, so this is not a lost request
+//   no_response  connected and sent, but the connection closed without a
+//                complete response — the ONLY bucket that counts as a lost
+//                request (must stay 0 for non-fault requests)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace auric::serve {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int clients = 4;
+  int requests_per_client = 50;
+  /// X-Auric-Deadline-Ms sent with every data request.
+  int deadline_ms = 1000;
+  /// Probability a request is replaced by a fault-injection behavior.
+  double fault_prob = 0.0;
+  /// Weights of the request mix (normalized internally).
+  double recommend_weight = 0.6;
+  double diff_weight = 0.3;
+  double healthz_weight = 0.1;
+  /// Carriers are drawn uniformly from [0, carrier_universe).
+  int carrier_universe = 100;
+  std::uint64_t seed = 1;
+};
+
+struct LoadGenStats {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t client_error = 0;
+  std::uint64_t server_error = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t no_response = 0;
+  std::uint64_t faults_injected = 0;
+  /// Latency of ok responses, milliseconds.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+
+  /// Requests that were admitted (or refusable) and still ended without a
+  /// terminal response. Zero on a healthy daemon, even under overload,
+  /// relearn and drain.
+  std::uint64_t lost() const { return no_response; }
+};
+
+/// Runs the closed loop to completion and aggregates per-client stats.
+LoadGenStats run_loadgen(const LoadGenOptions& options);
+
+}  // namespace auric::serve

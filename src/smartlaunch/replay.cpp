@@ -13,6 +13,7 @@
 #include "obs/trace.h"
 #include "smartlaunch/kpi.h"
 #include "smartlaunch/sharded_ems.h"
+#include "util/drain.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -687,6 +688,13 @@ ReplayReport OperationReplay::run() {
 
       if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
       if (persist) checkpoint(day + 1, 0);
+      if (util::drain_requested()) {
+        // Graceful drain: the day just completed and (when persisting) its
+        // sealed checkpoint committed, so --resume continues bit-identically
+        // — the same stopping point stop_after_launches would produce.
+        stopped = true;
+        report.drained = true;
+      }
     }
   };
 
@@ -933,6 +941,10 @@ ReplayReport OperationReplay::run() {
       }
       if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
       if (persist) checkpoint(day + 1, 0);
+      if (util::drain_requested()) {
+        stopped = true;  // same day-granular stopping point as the serial window
+        report.drained = true;
+      }
     }
   };
 

@@ -132,6 +132,10 @@ struct ReplayReport {
   double initial_network_kpi = 0.0;
   double final_network_kpi = 0.0;
   int engine_relearns = 0;
+  /// True when the window stopped early on a drain request (SIGTERM/SIGINT
+  /// via util::drain): the in-progress day finished, the final checkpoint
+  /// sealed, and --resume continues bit-identically.
+  bool drained = false;
 };
 
 class OperationReplay {

@@ -1,0 +1,31 @@
+#include "util/drain.h"
+
+#include <csignal>
+
+namespace auric::util {
+
+namespace {
+
+volatile std::sig_atomic_t g_drain = 0;
+
+void on_drain_signal(int signum) {
+  g_drain = 1;
+  // One-shot: restore the default disposition so a second signal is not
+  // swallowed by a process wedged in its drain path.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_drain_signal_handlers() {
+  std::signal(SIGTERM, on_drain_signal);
+  std::signal(SIGINT, on_drain_signal);
+}
+
+bool drain_requested() { return g_drain != 0; }
+
+void request_drain() { g_drain = 1; }
+
+void reset_drain_flag() { g_drain = 0; }
+
+}  // namespace auric::util

@@ -1,0 +1,28 @@
+// Process-wide graceful-drain flag, set from SIGTERM/SIGINT.
+//
+// Long-running subcommands (`auric serve`, `auric replay`) want the same
+// shutdown discipline: on the first SIGTERM or SIGINT, stop taking new work,
+// finish what is in flight, persist/respond, and exit 0. The handler here
+// only sets a sig_atomic_t flag — everything else happens on normal control
+// flow where it is safe. The handlers are one-shot: after the first signal
+// the default disposition is restored, so a second Ctrl-C still kills a
+// process stuck in its drain path.
+#pragma once
+
+namespace auric::util {
+
+/// Installs one-shot SIGTERM/SIGINT handlers that set the drain flag.
+/// Idempotent; safe to call more than once.
+void install_drain_signal_handlers();
+
+/// True once SIGTERM/SIGINT was received (or request_drain() was called).
+bool drain_requested();
+
+/// Sets the flag from normal code — tests and in-process shutdown paths
+/// (e.g. a /quit endpoint) share the signal path's semantics.
+void request_drain();
+
+/// Clears the flag so a test or a subsequent run starts fresh.
+void reset_drain_flag();
+
+}  // namespace auric::util

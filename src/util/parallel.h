@@ -61,6 +61,23 @@ class TaskPool {
   /// inside a task (runs inline, see the nested-call guard above).
   void run(std::vector<std::function<void()>> tasks);
 
+  /// Enqueues one detached task (fire-and-forget; the serve plane's
+  /// dispatch primitive). Returns false — shedding to the caller — when the
+  /// pending queue is at its limit or the pool is stopping; the task is NOT
+  /// queued in that case. On a pool with no threads the task runs inline on
+  /// the calling thread (the 1-core degradation path). Detached tasks must
+  /// handle their own errors: exceptions escaping one are swallowed so a
+  /// throwing request cannot poison the worker.
+  bool try_submit(std::function<void()> task);
+
+  /// Bound for the detached-task queue (default 1024). 0 rejects everything.
+  void set_pending_limit(std::size_t limit);
+  /// Detached tasks queued but not yet started.
+  std::size_t pending_count() const;
+  /// Blocks until no detached task is queued or running. Batches submitted
+  /// via run() are not considered.
+  void wait_idle();
+
   /// True on a pool worker thread, or while the calling thread executes a
   /// task batch (the guard parallel_for uses to serialize nested calls).
   static bool on_worker_thread();
@@ -93,8 +110,12 @@ class TaskPool {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
   std::vector<std::thread> threads_;
   std::deque<Batch*> open_batches_;  ///< batches with unclaimed tasks
+  std::deque<std::function<void()>> pending_;  ///< detached tasks (try_submit)
+  std::size_t pending_limit_ = 1024;
+  std::size_t detached_running_ = 0;  ///< detached tasks currently executing
   bool stop_ = false;
 };
 

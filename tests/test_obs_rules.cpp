@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -25,6 +26,18 @@ MetricSample gauge_sample(const std::string& name, double value) {
   s.kind = MetricSample::Kind::kGauge;
   s.name = name;
   s.value = value;
+  return s;
+}
+
+MetricSample histogram_sample(const std::string& name, std::vector<double> bounds,
+                              std::vector<std::uint64_t> buckets, Labels labels = {}) {
+  MetricSample s;
+  s.kind = MetricSample::Kind::kHistogram;
+  s.name = name;
+  s.labels = std::move(labels);
+  s.bounds = std::move(bounds);
+  s.buckets = std::move(buckets);
+  for (std::uint64_t b : s.buckets) s.count += b;
   return s;
 }
 
@@ -296,6 +309,126 @@ TEST(RuleEngine, LoadTextReportsOriginAndLineOnErrors) {
   expect_error("r,burn_rate,no_slash,>,1,5,30\n", "num/den");
   expect_error("r,threshold,m,>,1\nr,threshold,m,>,2\n", "duplicate");
 }
+
+TEST(RuleEngine, ThresholdQuantileSuffixEvaluatesHistogramQuantiles) {
+  // A `:p99` suffix on a threshold selector (series_csv column naming)
+  // gates on Sampler::quantile() instead of the last plain value — the
+  // serve plane's p99 latency rule depends on exactly this.
+  MetricsRegistry reg;
+  RuleEngine engine(reg);
+  engine.set_log([](const std::string&) {});
+  EXPECT_EQ(engine.load_text("lat_p99,threshold,lat_ms{endpoint=\"recommend\"}:p99,>,90\n"), 1u);
+  const std::vector<RuleState> states = engine.states();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_DOUBLE_EQ(states[0].rule.quantile, 0.99);
+  EXPECT_EQ(states[0].rule.metric.name, "lat_ms");  // the suffix was stripped
+  ASSERT_EQ(states[0].rule.metric.labels.size(), 1u);
+
+  Sampler sampler(reg);
+  const Labels labels{{"endpoint", "recommend"}};
+  // Missing-safe: no histogram in the snapshot -> no scalar -> no breach.
+  sampler.tick_with(1.0, {});
+  engine.evaluate(sampler, 1.0);
+  EXPECT_TRUE(engine.healthy());
+  // 90 of 100 observations <= 10 ms, 10 in (10, 100] -> p99 sits 90% into
+  // the second bucket: 10 + 0.9 * 90 = 91 > 90 -> fires.
+  sampler.tick_with(2.0, {histogram_sample("lat_ms", {10.0, 100.0}, {90, 10, 0}, labels)});
+  engine.evaluate(sampler, 2.0);
+  EXPECT_FALSE(engine.healthy());
+  ASSERT_TRUE(engine.states()[0].last_value.has_value());
+  EXPECT_DOUBLE_EQ(*engine.states()[0].last_value, 91.0);
+  // Everything under 10 ms -> p99 = 9.9 -> resolves.
+  sampler.tick_with(3.0, {histogram_sample("lat_ms", {10.0, 100.0}, {100, 0, 0}, labels)});
+  engine.evaluate(sampler, 3.0);
+  EXPECT_TRUE(engine.healthy());
+}
+
+TEST(RuleEngine, QuantileSuffixValidationAndLabelColonsDoNotCollide) {
+  MetricsRegistry reg;
+  const auto expect_error = [&](const char* text, const char* fragment) {
+    RuleEngine engine(reg);
+    try {
+      engine.load_text(text, "rules.csv");
+      FAIL() << "expected std::invalid_argument for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+    }
+  };
+  expect_error("r,threshold,m:pxx,>,1\n", "quantile suffix");
+  expect_error("r,threshold,m:p0,>,1\n", "quantile");
+  expect_error("r,threshold,m:p100,>,1\n", "quantile");
+  expect_error("r,rate_over_window,m:p99,>,1,10\n", "only valid on threshold");
+
+  // A ':' inside a label value is data, not a quantile suffix.
+  RuleEngine engine(reg);
+  EXPECT_EQ(engine.load_text("r,threshold,m{path=\"a:p99\"},>,1\n"), 1u);
+  EXPECT_LT(engine.states()[0].rule.quantile, 0.0);
+  EXPECT_EQ(engine.states()[0].rule.metric.name, "m");
+}
+
+#ifdef AURIC_EXAMPLES_DIR
+TEST(RuleEngine, ShippedDefaultRulesStayQuietWithoutServeTraffic) {
+  // Pins the shipped examples/default.rules file: it must load, carry the
+  // three serve-plane rules, and fire NOTHING when the serve series are
+  // absent — replay and bench runs load this exact file.
+  MetricsRegistry reg;
+  RuleEngine engine(reg);
+  engine.set_log([](const std::string&) {});
+  EXPECT_EQ(engine.load_file(std::string(AURIC_EXAMPLES_DIR) + "/default.rules"), 7u);
+
+  bool saw_shed_burn = false, saw_p99 = false, saw_degraded = false;
+  for (const RuleState& state : engine.states()) {
+    if (state.rule.name == "serve_shed_burn") {
+      saw_shed_burn = true;
+      EXPECT_EQ(state.rule.kind, AlertRule::Kind::kBurnRate);
+      EXPECT_EQ(state.rule.numerator.name, "auric_serve_shed_total");
+      EXPECT_EQ(state.rule.denominator.name, "auric_serve_requests_total");
+    } else if (state.rule.name == "serve_latency_p99") {
+      saw_p99 = true;
+      EXPECT_DOUBLE_EQ(state.rule.quantile, 0.99);
+      EXPECT_EQ(state.rule.metric.name, "auric_serve_latency_ms");
+    } else if (state.rule.name == "serve_degraded") {
+      saw_degraded = true;
+      EXPECT_EQ(state.rule.kind, AlertRule::Kind::kThreshold);
+    }
+  }
+  EXPECT_TRUE(saw_shed_burn && saw_p99 && saw_degraded);
+
+  // A replay-shaped run: push/breaker series exist, serve series do not.
+  Sampler sampler(reg);
+  for (double t = 1.0; t <= 10.0; t += 1.0) {
+    sampler.tick_with(t, {counter_sample("auric_push_outcomes_total", 10.0 * t,
+                                         {{"outcome", "implemented"}})});
+    engine.evaluate(sampler, t);
+    EXPECT_TRUE(engine.healthy()) << "t=" << t;
+  }
+}
+
+TEST(RuleEngine, ShippedServeRulesPageOnAMissingDaemon) {
+  // Pins examples/serve.rules: the absence rule pages when auric_serve_up
+  // vanishes, and resolves once the daemon exports again.
+  MetricsRegistry reg;
+  RuleEngine engine(reg);
+  engine.set_log([](const std::string&) {});
+  EXPECT_EQ(engine.load_file(std::string(AURIC_EXAMPLES_DIR) + "/serve.rules"), 5u);
+
+  Sampler sampler(reg);
+  double t = 0.0;
+  for (int i = 0; i < 3; ++i) {  // fire_for=3 empty snapshots
+    sampler.tick_with(t += 1.0, {});
+    engine.evaluate(sampler, t);
+  }
+  EXPECT_FALSE(engine.healthy());
+  const std::vector<std::string> firing = engine.firing();
+  EXPECT_NE(std::find(firing.begin(), firing.end(), "serve_up_absent"), firing.end());
+
+  for (int i = 0; i < 3; ++i) {  // resolve_for=2 healthy snapshots
+    sampler.tick_with(t += 1.0, {gauge_sample("auric_serve_up", 1.0)});
+    engine.evaluate(sampler, t);
+  }
+  EXPECT_TRUE(engine.healthy());
+}
+#endif  // AURIC_EXAMPLES_DIR
 
 TEST(RuleEngine, HealthzJsonReflectsTheVerdict) {
   MetricsRegistry reg;

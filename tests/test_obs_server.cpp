@@ -7,12 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/http_listener.h"
 #include "obs/log_buffer.h"
 #include "obs/rules.h"
 #include "obs/sampler.h"
@@ -225,6 +227,133 @@ TEST(MetricsServer, BadBindAddressThrows) {
   MetricsServer server(reg, options);
   EXPECT_THROW(server.start(), std::runtime_error);
   EXPECT_FALSE(server.running());
+}
+
+// --- shared HttpListener hardening (the machinery under MetricsServer and
+// --- the serve daemon) ---
+
+int connect_to(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("client socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("client connect() failed");
+  }
+  return fd;
+}
+
+std::string read_all(int fd) {
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  return response;
+}
+
+TEST(HttpListener, SlowClientGets408AndDoesNotWedgeTheWorker) {
+  HttpListenerOptions options;
+  options.read_deadline_ms = 200;
+  options.threads = 1;  // the single worker must not be wedged by the staller
+  HttpListener listener([](const HttpRequest&) { return HttpResponse{200, "text/plain", "ok\n", {}}; },
+                        options);
+  listener.start();
+
+  // The slow client sends half a request and stalls.
+  int slow_fd = connect_to(listener.port());
+  const std::string half = "GET /slow HTTP/1.1\r\nHost: local";
+  ASSERT_EQ(::send(slow_fd, half.data(), half.size(), 0),
+            static_cast<ssize_t>(half.size()));
+
+  // A well-behaved client arriving behind it is served once the read
+  // deadline reaps the staller — bounded delay, not a wedge.
+  const auto t0 = std::chrono::steady_clock::now();
+  int good_fd = connect_to(listener.port());
+  const std::string full = "GET /good HTTP/1.1\r\nHost: local\r\n\r\n";
+  ASSERT_EQ(::send(good_fd, full.data(), full.size(), 0), static_cast<ssize_t>(full.size()));
+  const std::string good_response = read_all(good_fd);
+  ::close(good_fd);
+  const auto waited =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(good_response.rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_LT(waited.count(), 2000);  // reaped at ~200ms, not the 2s default
+
+  // The staller itself got a terminal 408 before its connection closed.
+  const std::string slow_response = read_all(slow_fd);
+  ::close(slow_fd);
+  EXPECT_EQ(slow_response.rfind("HTTP/1.1 408", 0), 0u);
+  listener.stop();
+}
+
+TEST(HttpListener, HalfRequestThenCloseGetsA400NotAHang) {
+  HttpListenerOptions options;
+  options.threads = 1;
+  HttpListener listener([](const HttpRequest&) { return HttpResponse{200, "text/plain", "ok\n", {}}; },
+                        options);
+  listener.start();
+
+  int fd = connect_to(listener.port());
+  const std::string half = "GET /x HTTP/1.1\r\nHost:";
+  ASSERT_EQ(::send(fd, half.data(), half.size(), 0), static_cast<ssize_t>(half.size()));
+  ::shutdown(fd, SHUT_WR);  // EOF before the request completed
+  const std::string response = read_all(fd);
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.1 400", 0), 0u);
+  listener.stop();
+}
+
+TEST(HttpListener, ShedsConnectionsPastThePendingBound) {
+  HttpListenerOptions options;
+  options.pending_connections = 0;  // everything accepted is over the bound
+  HttpListener listener([](const HttpRequest&) { return HttpResponse{200, "text/plain", "ok\n", {}}; },
+                        options);
+  listener.start();
+
+  int fd = connect_to(listener.port());
+  const std::string full = "GET /x HTTP/1.1\r\n\r\n";
+  ::send(fd, full.data(), full.size(), 0);
+  const std::string response = read_all(fd);
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.1 503", 0), 0u);
+  EXPECT_NE(response.find("Retry-After"), std::string::npos);
+  EXPECT_GE(listener.connections_shed(), 1u);
+  listener.stop();
+}
+
+TEST(HttpListener, ClientAbortAfterResponseStartsDoesNotKillTheProcess) {
+  // A client that slams the connection mid-write would deliver SIGPIPE
+  // without MSG_NOSIGNAL; surviving this loop proves the suppression.
+  MetricsRegistry reg;
+  reg.counter("big_total").inc(1);
+  HttpListenerOptions options;
+  HttpListener listener(
+      [](const HttpRequest&) {
+        return HttpResponse{200, "text/plain", std::string(1 << 20, 'x'), {}};
+      },
+      options);
+  listener.start();
+  for (int i = 0; i < 5; ++i) {
+    int fd = connect_to(listener.port());
+    const std::string full = "GET /big HTTP/1.1\r\n\r\n";
+    ::send(fd, full.data(), full.size(), 0);
+    char buf[128];
+    (void)::recv(fd, buf, sizeof(buf), 0);  // read a sliver of the 1 MiB body
+    ::close(fd);                            // then slam the door
+  }
+  // The listener survived and still serves.
+  int fd = connect_to(listener.port());
+  const std::string full = "GET /big HTTP/1.1\r\n\r\n";
+  ::send(fd, full.data(), full.size(), 0);
+  EXPECT_EQ(read_all(fd).rfind("HTTP/1.1 200", 0), 0u);
+  ::close(fd);
+  listener.stop();
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -148,6 +152,130 @@ TEST_F(TaskPoolTest, SequentialBatchesReuseWorkers) {
     pool.run(std::move(tasks));
     EXPECT_EQ(hits.load(), 5);
   }
+}
+
+TEST_F(TaskPoolTest, TrySubmitRunsDetachedTasksToCompletion) {
+  TaskPool pool(2);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pool.try_submit([&] { hits.fetch_add(1); }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 64);
+  EXPECT_EQ(pool.pending_count(), 0u);
+}
+
+TEST_F(TaskPoolTest, TrySubmitRunsInlineOnAThreadlessPool) {
+  // On a 1-core host the shared pool has no workers; detached work must
+  // still execute (inline, in the caller) instead of stranding forever.
+  TaskPool pool(0);
+  int hits = 0;
+  EXPECT_TRUE(pool.try_submit([&] { ++hits; }));
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(pool.pending_count(), 0u);
+}
+
+TEST_F(TaskPoolTest, TrySubmitShedsAtThePendingLimit) {
+  // Saturation: one worker wedged on a gate, a pending limit of 3. The
+  // fourth detached submit must be refused, not queued without bound —
+  // this is the backpressure signal the serve daemon turns into a 503.
+  TaskPool pool(1);
+  pool.set_pending_limit(3);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(pool.try_submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  // Give the worker a moment to pick up the gate task so the queue is empty.
+  while (pool.pending_count() > 0) std::this_thread::yield();
+
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(pool.try_submit([&] { hits.fetch_add(1); })) << i;
+  }
+  EXPECT_EQ(pool.pending_count(), 3u);
+  EXPECT_FALSE(pool.try_submit([&] { hits.fetch_add(1); }));  // full: shed
+  EXPECT_FALSE(pool.try_submit([&] { hits.fetch_add(1); }));  // still full
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 3);  // the shed tasks never ran
+  // The queue drained: capacity is available again.
+  EXPECT_TRUE(pool.try_submit([&] { hits.fetch_add(1); }));
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST_F(TaskPoolTest, TrySubmitSwallowsExceptionsAndKeepsTheWorkerAlive) {
+  // A throwing detached task must not poison its worker: later tasks on
+  // the same (only) worker still run.
+  TaskPool pool(1);
+  ASSERT_TRUE(pool.try_submit([] { throw std::runtime_error("detached boom"); }));
+  pool.wait_idle();
+  std::atomic<int> hits{0};
+  ASSERT_TRUE(pool.try_submit([&] { hits.fetch_add(1); }));
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST_F(TaskPoolTest, WaitIdleBlocksUntilInFlightDetachedTasksFinish) {
+  TaskPool pool(2);
+  std::atomic<bool> finished{false};
+  ASSERT_TRUE(pool.try_submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    finished.store(true);
+  }));
+  pool.wait_idle();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST_F(TaskPoolTest, DestructionDrainsAdmittedDetachedTasks) {
+  // Once try_submit said "yes" the task is admitted work: stopping the pool
+  // (the serve daemon's drain) must run it, not drop it on the floor.
+  std::atomic<int> hits{0};
+  {
+    TaskPool pool(1);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    ASSERT_TRUE(pool.try_submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }));
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(pool.try_submit([&] { hits.fetch_add(1); }));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+  }  // ~TaskPool joins the worker
+  EXPECT_EQ(hits.load(), 8);
+}
+
+TEST_F(TaskPoolTest, BatchesStillRunWhileDetachedTasksAreQueued) {
+  // run() batches and try_submit tasks share the workers; a saturated
+  // detached queue must not deadlock or starve a synchronous batch.
+  TaskPool pool(2);
+  pool.set_pending_limit(256);
+  std::atomic<int> detached{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.try_submit([&] { detached.fetch_add(1); }));
+  }
+  std::atomic<int> batched{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 32; ++i) tasks.push_back([&] { batched.fetch_add(1); });
+  pool.run(std::move(tasks));
+  EXPECT_EQ(batched.load(), 32);
+  pool.wait_idle();
+  EXPECT_EQ(detached.load(), 200);
 }
 
 }  // namespace

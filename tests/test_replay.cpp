@@ -8,6 +8,7 @@
 
 #include "config/ground_truth.h"
 #include "test_helpers.h"
+#include "util/drain.h"
 #include "util/parallel.h"
 
 namespace auric::smartlaunch {
@@ -312,6 +313,68 @@ TEST(OperationReplay, ShardedKilledAndResumedRunMatchesBitForBit) {
   for (std::size_t si = 0; si < a.singular.size(); ++si) {
     EXPECT_EQ(a.singular[si].value, b.singular[si].value) << si;
   }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OperationReplay, DrainedAndResumedRunMatchesUninterruptedBitForBit) {
+  // SIGTERM path minus the signal: util::request_drain() sets the same flag
+  // the handler does. The replay must finish the in-progress day, seal its
+  // checkpoint, report drained, and --resume must converge bit-identically
+  // with an uninterrupted window.
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.ems.flaky_timeout_prob = 0.15;
+
+  OperationReplay uninterrupted(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment,
+                                options);
+  const ReplayReport baseline = uninterrupted.run();
+  EXPECT_FALSE(baseline.drained);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "auric_replay_drain").string();
+  std::filesystem::remove_all(dir);
+  options.state_dir = dir;
+
+  // The flag is already up when the window starts: day 0 still runs to
+  // completion (drain is day-granular), then the run stops.
+  util::request_drain();
+  OperationReplay killed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport partial = killed.run();
+  util::reset_drain_flag();
+  EXPECT_TRUE(partial.drained);
+  EXPECT_EQ(partial.totals.launches, 5u);  // exactly the first day's batch
+
+  options.resume = true;
+  OperationReplay resumed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport report = resumed.run();
+  EXPECT_FALSE(report.drained);
+  expect_reports_identical(report, baseline);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OperationReplay, ShardedDrainStopsAtTheSameDayBoundary) {
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.shards = 3;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "auric_replay_drain_shard").string();
+  std::filesystem::remove_all(dir);
+  options.state_dir = dir;
+
+  util::request_drain();
+  OperationReplay killed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport partial = killed.run();
+  util::reset_drain_flag();
+  EXPECT_TRUE(partial.drained);
+  EXPECT_EQ(partial.totals.launches, 5u);
+
+  options.resume = true;
+  OperationReplay resumed(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  const ReplayReport full = resumed.run();
+  EXPECT_EQ(full.totals.launches, 70u);
+  EXPECT_FALSE(full.drained);
   std::filesystem::remove_all(dir);
 }
 

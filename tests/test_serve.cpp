@@ -1,0 +1,412 @@
+// ServeDaemon: admission control, deadlines, bulkheads, hot engine swap,
+// graceful degradation and drain. Most tests drive handle() directly — the
+// full request path minus the socket — against a private registry; the last
+// ones start a real listener and run the seeded loadgen over loopback.
+#include "serve/daemon.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "config/ground_truth.h"
+#include "obs/rules.h"
+#include "obs/sampler.h"
+#include "serve/loadgen.h"
+#include "smartlaunch/sharded_ems.h"
+#include "test_helpers.h"
+#include "util/drain.h"
+
+namespace auric::serve {
+namespace {
+
+struct Fixture {
+  netsim::Topology topo = test::small_generated_topology(13, 2, 12);
+  netsim::AttributeSchema schema = netsim::AttributeSchema::standard(topo);
+  config::ParamCatalog catalog = config::ParamCatalog::standard();
+  config::GroundTruthModel ground_truth{topo, schema, catalog};
+  config::ConfigAssignment assignment = ground_truth.assign();
+  obs::MetricsRegistry registry;  // private: tests must not share counters
+
+  ServeOptions options() const {
+    ServeOptions o;
+    o.workers = 2;
+    return o;
+  }
+
+  ServeDaemon daemon(ServeOptions o) {
+    return ServeDaemon(topo, schema, catalog, assignment, ground_truth, std::move(o), registry);
+  }
+};
+
+obs::HttpRequest get(std::string target,
+                     std::vector<std::pair<std::string, std::string>> headers = {}) {
+  obs::HttpRequest request;
+  request.method = "GET";
+  request.target = std::move(target);
+  request.headers = std::move(headers);
+  return request;
+}
+
+TEST(ServeDaemon, RoutesTheControlAndDataPlane) {
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  daemon.warm_up();
+  EXPECT_EQ(daemon.generation(), 1u);
+
+  obs::HttpResponse health = daemon.handle(get("/healthz"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"generation\":1"), std::string::npos);
+
+  obs::HttpResponse rec = daemon.handle(get("/recommend?carrier=0"));
+  EXPECT_EQ(rec.status, 200) << rec.body;
+  EXPECT_NE(rec.body.find("\"carrier\":0"), std::string::npos);
+  EXPECT_NE(rec.body.find("\"recommendations\":["), std::string::npos);
+
+  obs::HttpResponse diff = daemon.handle(get("/diff?carrier=1"));
+  EXPECT_EQ(diff.status, 200) << diff.body;
+  EXPECT_NE(diff.body.find("\"changes\":["), std::string::npos);
+  EXPECT_NE(diff.body.find("\"slots\":"), std::string::npos);
+
+  EXPECT_EQ(daemon.handle(get("/metrics")).status, 200);
+  EXPECT_EQ(daemon.handle(get("/varz")).status, 200);
+  EXPECT_EQ(daemon.handle(get("/")).status, 200);
+  EXPECT_EQ(daemon.handle(get("/nope")).status, 404);
+  EXPECT_EQ(daemon.handle(get("/recommend")).status, 400);  // no carrier
+  EXPECT_EQ(daemon.handle(get("/recommend?carrier=999999")).status, 400);
+  EXPECT_EQ(daemon.handle(get("/recommend?carrier=abc")).status, 400);
+  obs::HttpRequest put = get("/recommend?carrier=0");
+  put.method = "PUT";
+  EXPECT_EQ(daemon.handle(put).status, 405);
+  // After all that, nothing is stuck in the admission window.
+  EXPECT_EQ(daemon.admitted(), 0u);
+}
+
+TEST(ServeDaemon, PairwiseRecommendationsNeedAValidNeighbor) {
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  daemon.warm_up();
+  const auto neighbors = f.topo.neighborhood(0);
+  ASSERT_FALSE(neighbors.empty());
+  const std::string target =
+      "/recommend?carrier=0&neighbor=" + std::to_string(neighbors.front());
+  EXPECT_EQ(daemon.handle(get(target)).status, 200);
+  EXPECT_EQ(daemon.handle(get("/recommend?carrier=0&neighbor=999999")).status, 400);
+}
+
+TEST(ServeDaemon, AdmissionShedsPastTheHighWaterMark) {
+  Fixture f;
+  ServeOptions o = f.options();
+  o.queue_high_water = 0;  // every data request is past the mark
+  ServeDaemon daemon = f.daemon(o);
+  daemon.warm_up();
+
+  obs::HttpResponse shed = daemon.handle(get("/recommend?carrier=0"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_NE(shed.body.find("admission queue full"), std::string::npos);
+  ASSERT_EQ(shed.extra_headers.size(), 1u);
+  EXPECT_EQ(shed.extra_headers[0].first, "Retry-After");
+  EXPECT_EQ(f.registry.counter("auric_serve_shed_total").value(), 1u);
+  EXPECT_EQ(daemon.admitted(), 0u);  // the shed path released its slot
+
+  // A recent shed flips /healthz to overloaded — the load balancer's cue.
+  obs::HttpResponse health = daemon.handle(get("/healthz"));
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"status\":\"overloaded\""), std::string::npos);
+  // The control plane itself is never admission-gated.
+  EXPECT_EQ(daemon.handle(get("/metrics")).status, 200);
+}
+
+TEST(ServeDaemon, MalformedDeadlineHeaderIsRejected) {
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  daemon.warm_up();
+  EXPECT_EQ(daemon.handle(get("/recommend?carrier=0", {{"x-auric-deadline-ms", "abc"}})).status,
+            400);
+  EXPECT_EQ(daemon.handle(get("/recommend?carrier=0", {{"x-auric-deadline-ms", "-5"}})).status,
+            400);
+  EXPECT_EQ(daemon.handle(get("/recommend?carrier=0", {{"x-auric-deadline-ms", "250"}})).status,
+            200);
+}
+
+TEST(ServeDaemon, DeadlineExpiryBeforeDispatchReturns504) {
+  Fixture f;
+  ServeOptions o = f.options();
+  o.bulkhead_width = 0;  // no lane ever frees: every request expires waiting
+  ServeDaemon daemon = f.daemon(o);
+  daemon.warm_up();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::HttpResponse response =
+      daemon.handle(get("/recommend?carrier=0", {{"x-auric-deadline-ms", "50"}}));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(response.status, 504);
+  EXPECT_NE(response.body.find("before dispatch"), std::string::npos);
+  EXPECT_GE(waited.count(), 50);
+  EXPECT_EQ(f.registry.counter("auric_serve_deadline_expired_total").value(), 1u);
+  EXPECT_EQ(daemon.admitted(), 0u);
+}
+
+TEST(ServeDaemon, MidFlightTimeoutReturns504WithoutPoisoningTheWorker) {
+  Fixture f;
+  ServeOptions o = f.options();
+  o.workers = 1;
+  o.work_delay_ms = 150;
+  ServeDaemon daemon = f.daemon(o);
+  daemon.warm_up();
+
+  obs::HttpResponse late =
+      daemon.handle(get("/recommend?carrier=0", {{"x-auric-deadline-ms", "30"}}));
+  EXPECT_EQ(late.status, 504);
+  EXPECT_NE(late.body.find("in flight"), std::string::npos);
+  EXPECT_EQ(f.registry.counter("auric_serve_timeouts_total").value(), 1u);
+
+  // The abandoned job finishes in the background; the same worker then
+  // serves a patient request normally.
+  obs::HttpResponse ok =
+      daemon.handle(get("/recommend?carrier=1", {{"x-auric-deadline-ms", "5000"}}));
+  EXPECT_EQ(ok.status, 200) << ok.body;
+  EXPECT_EQ(daemon.admitted(), 0u);
+}
+
+TEST(ServeDaemon, BulkheadsIsolateAHotMarketLane) {
+  // One lane wedged at its width must not block a request routed to a
+  // different lane. Requests run with work_delay to hold their lane briefly.
+  Fixture f;
+  // The market -> lane mapping is a hash; pick a bulkhead count that puts
+  // the fixture's two markets on different lanes (one always exists unless
+  // the 64-bit hashes collide outright).
+  int bulkheads = 0;
+  for (int candidate = 2; candidate <= 8; ++candidate) {
+    if (smartlaunch::shard_of_market(0, candidate) !=
+        smartlaunch::shard_of_market(1, candidate)) {
+      bulkheads = candidate;
+      break;
+    }
+  }
+  ASSERT_GT(bulkheads, 0);
+
+  ServeOptions o = f.options();
+  o.workers = 4;
+  o.bulkheads = bulkheads;
+  o.bulkhead_width = 1;
+  o.work_delay_ms = 200;
+  ServeDaemon daemon = f.daemon(o);
+  daemon.warm_up();
+
+  // One carrier per market: by construction they sit on different lanes.
+  int lane0_carrier = -1, lane1_carrier = -1;
+  for (std::size_t c = 0; c < f.topo.carrier_count(); ++c) {
+    if (f.topo.carriers[c].market == 0 && lane0_carrier < 0) lane0_carrier = static_cast<int>(c);
+    if (f.topo.carriers[c].market == 1 && lane1_carrier < 0) lane1_carrier = static_cast<int>(c);
+  }
+  ASSERT_GE(lane0_carrier, 0);
+  ASSERT_GE(lane1_carrier, 0);
+
+  // Saturate lane 0 (width 1) from a background thread.
+  std::thread hog([&] {
+    daemon.handle(get("/recommend?carrier=" + std::to_string(lane0_carrier),
+                      {{"x-auric-deadline-ms", "5000"}}));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // hog holds its lane
+
+  // Lane 1 is free: a short-deadline request there completes despite the
+  // saturated sibling lane.
+  obs::HttpResponse other = daemon.handle(
+      get("/recommend?carrier=" + std::to_string(lane1_carrier),
+          {{"x-auric-deadline-ms", "5000"}}));
+  EXPECT_EQ(other.status, 200) << other.body;
+  hog.join();
+}
+
+TEST(ServeDaemon, RelearnHotSwapsWhileInFlightRequestsKeepTheirSnapshot) {
+  Fixture f;
+  ServeOptions o = f.options();
+  o.workers = 2;
+  o.work_delay_ms = 250;
+  ServeDaemon daemon = f.daemon(o);
+  daemon.warm_up();
+  ASSERT_EQ(daemon.generation(), 1u);
+
+  // A slow request pins generation 1 while the swap happens underneath it.
+  std::atomic<int> in_flight_generation{0};
+  std::thread slow([&] {
+    obs::HttpResponse r = daemon.handle(
+        get("/recommend?carrier=0", {{"x-auric-deadline-ms", "5000"}}));
+    in_flight_generation.store(
+        r.body.find("\"generation\":1") != std::string::npos ? 1 : -1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));  // it has snapshotted by now
+
+  EXPECT_TRUE(daemon.relearn());
+  EXPECT_EQ(daemon.generation(), 2u);
+  slow.join();
+  EXPECT_EQ(in_flight_generation.load(), 1);  // finished on the engine it started with
+
+  // New requests see the swapped engine.
+  obs::HttpResponse fresh =
+      daemon.handle(get("/recommend?carrier=0", {{"x-auric-deadline-ms", "5000"}}));
+  EXPECT_NE(fresh.body.find("\"generation\":2"), std::string::npos);
+  EXPECT_EQ(f.registry.counter("auric_serve_engine_swaps_total").value(), 1u);
+}
+
+TEST(ServeDaemon, FailedRelearnKeepsServingTheLastGoodEngine) {
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  daemon.warm_up();
+  ASSERT_EQ(daemon.generation(), 1u);
+
+  daemon.set_engine_builder(
+      []() -> std::unique_ptr<core::AuricEngine> { throw std::runtime_error("feed corrupt"); });
+  EXPECT_FALSE(daemon.relearn());
+  EXPECT_TRUE(daemon.degraded());
+  EXPECT_EQ(daemon.generation(), 1u);  // last-good bundle still installed
+  EXPECT_EQ(f.registry.counter("auric_serve_relearn_failures_total").value(), 1u);
+  EXPECT_DOUBLE_EQ(f.registry.gauge("auric_serve_degraded").value(), 1.0);
+
+  obs::HttpResponse health = daemon.handle(get("/healthz"));
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"status\":\"degraded\""), std::string::npos);
+  // Data plane keeps answering from the stale engine.
+  EXPECT_EQ(daemon.handle(get("/recommend?carrier=0")).status, 200);
+
+  // POST /relearn reports the degradation to the caller too.
+  obs::HttpRequest relearn;
+  relearn.method = "POST";
+  relearn.target = "/relearn";
+  EXPECT_EQ(daemon.handle(relearn).status, 503);
+
+  // The feed recovers: the next relearn swaps and clears degraded.
+  daemon.set_engine_builder([&f]() {
+    return std::make_unique<core::AuricEngine>(f.topo, f.schema, f.catalog, f.assignment);
+  });
+  EXPECT_EQ(daemon.handle(relearn).status, 200);
+  EXPECT_FALSE(daemon.degraded());
+  EXPECT_GE(daemon.generation(), 2u);
+  obs::HttpResponse healthy = daemon.handle(get("/healthz"));
+  EXPECT_EQ(healthy.status, 200) << healthy.body;
+}
+
+TEST(ServeDaemon, FiringAlertRulesFlipHealthzToAlerting) {
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  obs::RuleEngine rules(f.registry);
+  rules.set_log([](const std::string&) {});
+  rules.load_text("depth,threshold,some_gauge,>,5\n");
+  daemon.set_rule_engine(&rules);
+  daemon.warm_up();
+
+  EXPECT_EQ(daemon.handle(get("/healthz")).status, 200);
+  obs::Sampler sampler(f.registry);
+  f.registry.gauge("some_gauge").set(10.0);
+  sampler.tick(1.0);
+  rules.evaluate(sampler, 1.0);
+  obs::HttpResponse health = daemon.handle(get("/healthz"));
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"status\":\"alerting\""), std::string::npos);
+}
+
+TEST(ServeDaemon, DrainStopsAdmittingAndReportsDraining) {
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  daemon.warm_up();
+  daemon.drain();
+  EXPECT_TRUE(daemon.draining());
+
+  obs::HttpResponse shed = daemon.handle(get("/recommend?carrier=0"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_NE(shed.body.find("draining"), std::string::npos);
+  obs::HttpResponse health = daemon.handle(get("/healthz"));
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"status\":\"draining\""), std::string::npos);
+  EXPECT_DOUBLE_EQ(f.registry.gauge("auric_serve_up").value(), 0.0);
+}
+
+TEST(ServeDaemon, PostQuitRequestsAProcessDrain) {
+  util::reset_drain_flag();
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  daemon.warm_up();
+  obs::HttpRequest quit;
+  quit.method = "POST";
+  quit.target = "/quit";
+  EXPECT_EQ(daemon.handle(quit).status, 200);
+  EXPECT_TRUE(util::drain_requested());
+  util::reset_drain_flag();
+}
+
+TEST(ServeDaemon, ServesTheSeededLoadgenOverARealSocket) {
+  Fixture f;
+  ServeOptions o = f.options();
+  o.http.threads = 4;
+  ServeDaemon daemon = f.daemon(o);
+  daemon.start();
+  ASSERT_TRUE(daemon.running());
+  ASSERT_NE(daemon.port(), 0);
+
+  LoadGenOptions lg;
+  lg.port = daemon.port();
+  lg.clients = 3;
+  lg.requests_per_client = 15;
+  lg.carrier_universe = static_cast<int>(f.topo.carrier_count());
+  LoadGenStats stats = run_loadgen(lg);
+  EXPECT_EQ(stats.sent, 45u);
+  EXPECT_GT(stats.ok, 0u);
+  EXPECT_EQ(stats.lost(), 0u);
+  EXPECT_EQ(stats.refused, 0u);
+  EXPECT_EQ(stats.server_error, 0u);
+  EXPECT_EQ(stats.ok + stats.shed + stats.expired + stats.client_error, stats.sent);
+
+  // Identical seed, identical daemon state -> identical request stream.
+  daemon.relearn();  // swap mid-life: the stream must still lose nothing
+  LoadGenStats again = run_loadgen(lg);
+  EXPECT_EQ(again.sent, 45u);
+  EXPECT_EQ(again.lost(), 0u);
+
+  daemon.drain();
+  EXPECT_FALSE(daemon.running());
+  EXPECT_GE(daemon.requests_served(), 90u);
+
+  // After drain the port is closed: everything is refused, nothing is lost.
+  LoadGenStats after = run_loadgen(lg);
+  EXPECT_EQ(after.refused, after.sent);
+  EXPECT_EQ(after.lost(), 0u);
+}
+
+TEST(ServeDaemon, OverloadShedsButAdmittedRequestsMeetTheirDeadline) {
+  // The acceptance shape in miniature: more concurrent clients than the
+  // admission window allows, a daemon slowed enough that overload is real.
+  // The daemon must shed (503) rather than queue without bound, and every
+  // admitted request must finish inside its deadline (no losses).
+  Fixture f;
+  ServeOptions o = f.options();
+  o.http.threads = 8;
+  o.workers = 2;
+  o.queue_high_water = 2;
+  o.work_delay_ms = 5;
+  ServeDaemon daemon = f.daemon(o);
+  daemon.start();
+
+  LoadGenOptions lg;
+  lg.port = daemon.port();
+  lg.clients = 8;
+  lg.requests_per_client = 25;
+  lg.deadline_ms = 1000;
+  lg.carrier_universe = static_cast<int>(f.topo.carrier_count());
+  LoadGenStats stats = run_loadgen(lg);
+  EXPECT_EQ(stats.sent, 200u);
+  EXPECT_GT(stats.shed, 0u);  // overload produced real shedding
+  EXPECT_GT(stats.ok, 0u);    // yet admitted work was served
+  EXPECT_EQ(stats.lost(), 0u);
+  EXPECT_LT(stats.p99_ms, 1000.0);  // admitted p99 under the deadline
+  EXPECT_GT(f.registry.counter("auric_serve_shed_total").value(), 0u);
+  daemon.drain();
+}
+
+}  // namespace
+}  // namespace auric::serve

@@ -27,6 +27,18 @@
 //       quarantine columns in robust mode. --shards N partitions the EMS by
 //       market and runs each day's launches shard-parallel; --weekly-out
 //       writes the weekly table as CSV (bit-exact KPI) for CI diffing.
+//       SIGTERM/SIGINT drain gracefully: the current day finishes, a final
+//       sealed checkpoint commits, and --resume continues bit-identically.
+//
+//   auric serve     [--data DIR] [--port N] [--workers N] [--queue-high-water N]
+//       Long-lived recommendation daemon: /recommend /diff /healthz /metrics
+//       over loopback HTTP, with admission control, per-request deadlines,
+//       per-market bulkheads, hot engine swap (POST /relearn) and graceful
+//       drain on SIGTERM/SIGINT or POST /quit.
+//
+//   auric loadgen   --port N [--clients N] [--requests N] [--fault-prob F]
+//       Seeded closed-loop load generator against a serve daemon; exits
+//       nonzero if any well-formed request got no terminal response.
 //
 // Every subcommand additionally accepts the live-plane flags
 // (--serve-metrics[=PORT] --sample-interval-ms --rules FILE --series-out):
@@ -34,9 +46,11 @@
 // /logz on loopback WHILE it runs.
 #include <cstdio>
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <optional>
+#include <thread>
 
 #include "config/catalog.h"
 #include "config/ground_truth.h"
@@ -50,8 +64,13 @@
 #include "netsim/generator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/rules.h"
+#include "obs/sampler.h"
+#include "serve/daemon.h"
+#include "serve/loadgen.h"
 #include "smartlaunch/replay.h"
 #include "util/args.h"
+#include "util/drain.h"
 #include "util/obs_flags.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -278,9 +297,18 @@ int cmd_replay(util::Args& args) {
   const config::GroundTruthModel ground_truth(snap.topology, snap.schema, snap.catalog, gt);
   if (dir.empty()) snap.assignment = ground_truth.assign();
 
+  // SIGTERM/SIGINT drain: finish the in-progress day, seal a final
+  // checkpoint, and exit 0 so --resume continues bit-identically.
+  util::install_drain_signal_handlers();
+
   smartlaunch::OperationReplay replay(snap.topology, snap.schema, snap.catalog, ground_truth,
                                       snap.assignment, options);
   const smartlaunch::ReplayReport report = replay.run();
+
+  if (report.drained) {
+    std::printf("replay: drain requested; stopped after a completed day%s\n",
+                options.state_dir.empty() ? "" : " with a sealed checkpoint (use --resume)");
+  }
 
   util::Table table({"week", "launches", "flagged", "implemented", "fallouts", "rolled back",
                      "quarantined", "params changed", "mean launch KPI"});
@@ -332,9 +360,141 @@ int cmd_replay(util::Args& args) {
   return 0;
 }
 
+int cmd_serve(util::Args& args) {
+  const std::string dir =
+      args.get_string("data", "", "inventory directory (default: synthetic network)");
+  netsim::TopologyParams params;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1, "random seed (synthetic)"));
+  params.num_markets =
+      static_cast<int>(args.get_int("markets", 28, "number of markets (synthetic)"));
+  params.base_enodebs_per_market =
+      static_cast<int>(args.get_int("scale", 55, "base eNodeBs per market (synthetic)"));
+
+  serve::ServeOptions options;
+  options.http.port = static_cast<std::uint16_t>(
+      args.get_int("port", 0, "listen port (0 = ephemeral; printed at startup)"));
+  options.http.threads = static_cast<int>(args.get_int(
+      "http-threads", 8, "connection threads (the data-path concurrency ceiling)"));
+  options.workers =
+      static_cast<int>(args.get_int("workers", 2, "engine worker threads (the daemon's pool)"));
+  options.queue_high_water = static_cast<std::size_t>(args.get_int(
+      "queue-high-water", 64, "admission high-water mark; requests past it are shed with 503"));
+  options.bulkheads =
+      static_cast<int>(args.get_int("bulkheads", 4, "per-market-shard bulkhead lanes"));
+  options.bulkhead_width = static_cast<int>(
+      args.get_int("bulkhead-width", 8, "concurrent requests per bulkhead lane"));
+  options.default_deadline_ms = static_cast<int>(args.get_int(
+      "default-deadline-ms", 1000, "deadline when the client sends no X-Auric-Deadline-Ms"));
+  options.max_deadline_ms = static_cast<int>(
+      args.get_int("max-deadline-ms", 10000, "clamp applied to client deadlines"));
+  options.work_delay_ms = static_cast<int>(args.get_int(
+      "work-delay-ms", 0, "artificial per-request delay (overload/soak capacity shaping)"));
+  const std::string rules_file = args.get_string(
+      "serve-rules", "", "alert rules evaluated into /healthz (rules.h CSV dialect)");
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  options.seed = params.seed;
+
+  Snapshot snap;
+  if (dir.empty()) {
+    snap.topology = netsim::generate_topology(params);
+    snap.schema = netsim::AttributeSchema::standard(snap.topology);
+  } else {
+    snap = load(dir);
+  }
+  config::GroundTruthParams gt;
+  gt.seed = params.seed + 6;  // matches `auric generate`, so --data round-trips
+  const config::GroundTruthModel ground_truth(snap.topology, snap.schema, snap.catalog, gt);
+  if (dir.empty()) snap.assignment = ground_truth.assign();
+
+  serve::ServeDaemon daemon(snap.topology, snap.schema, snap.catalog, snap.assignment,
+                            ground_truth, options);
+
+  // Optional live health rules: evaluated on a background sampler tick and
+  // folded into /healthz ("alerting" when any rule fires).
+  std::unique_ptr<obs::Sampler> sampler;
+  std::unique_ptr<obs::RuleEngine> rules;
+  if (!rules_file.empty()) {
+    rules = std::make_unique<obs::RuleEngine>(obs::MetricsRegistry::global());
+    rules->load_file(rules_file);
+    obs::SamplerOptions sampler_options;
+    sampler_options.interval_ms = 250.0;
+    sampler = std::make_unique<obs::Sampler>(obs::MetricsRegistry::global(), sampler_options);
+    obs::Sampler* raw_sampler = sampler.get();
+    obs::RuleEngine* raw_rules = rules.get();
+    sampler->set_on_tick([raw_sampler, raw_rules](double t) {
+      raw_rules->evaluate(*raw_sampler, t);
+    });
+    daemon.set_rule_engine(rules.get());
+  }
+
+  util::install_drain_signal_handlers();
+  daemon.start();  // learns the initial engine, then binds
+  if (sampler != nullptr) sampler->start();
+  std::printf("auric serve: listening on %s:%u (engine generation %llu, %zu carriers)\n",
+              options.http.bind_address.c_str(), daemon.port(),
+              static_cast<unsigned long long>(daemon.generation()),
+              snap.topology.carrier_count());
+  std::fflush(stdout);
+
+  while (!util::drain_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("auric serve: drain requested; finishing in-flight requests\n");
+  std::fflush(stdout);
+  if (sampler != nullptr) sampler->stop();
+  daemon.drain();
+  std::printf("auric serve: drained cleanly (%llu requests served)\n",
+              static_cast<unsigned long long>(daemon.requests_served()));
+  return 0;
+}
+
+int cmd_loadgen(util::Args& args) {
+  serve::LoadGenOptions options;
+  options.port =
+      static_cast<std::uint16_t>(args.get_int("port", 0, "serve daemon port (required)"));
+  options.clients =
+      static_cast<int>(args.get_int("clients", 4, "concurrent closed-loop clients"));
+  options.requests_per_client =
+      static_cast<int>(args.get_int("requests", 50, "requests per client"));
+  options.deadline_ms = static_cast<int>(
+      args.get_int("deadline-ms", 1000, "X-Auric-Deadline-Ms sent with data requests"));
+  options.fault_prob = args.get_double(
+      "fault-prob", 0.0, "probability a request misbehaves on purpose (slam/garbage/trickle)");
+  options.carrier_universe = static_cast<int>(
+      args.get_int("carrier-universe", 100, "carriers are drawn from [0, N)"));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1, "request-mix seed"));
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  if (options.port == 0) throw std::invalid_argument("loadgen: --port is required");
+
+  const serve::LoadGenStats stats = serve::run_loadgen(options);
+  std::printf("loadgen: %llu sent | %llu ok, %llu shed, %llu expired, %llu client-error,"
+              " %llu server-error, %llu refused, %llu no-response | %llu faults injected\n",
+              static_cast<unsigned long long>(stats.sent),
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.client_error),
+              static_cast<unsigned long long>(stats.server_error),
+              static_cast<unsigned long long>(stats.refused),
+              static_cast<unsigned long long>(stats.no_response),
+              static_cast<unsigned long long>(stats.faults_injected));
+  std::printf("loadgen: ok latency p50 %.2f ms, p99 %.2f ms, max %.2f ms\n", stats.p50_ms,
+              stats.p99_ms, stats.max_ms);
+  if (stats.lost() != 0) {
+    std::fprintf(stderr,
+                 "loadgen: %llu well-formed requests got NO terminal response — the daemon "
+                 "dropped admitted work\n",
+                 static_cast<unsigned long long>(stats.lost()));
+    return 1;
+  }
+  return 0;
+}
+
 int usage() {
   std::fputs(
-      "usage: auric <generate|inspect|evaluate|recommend|rules|replay> [flags]\n"
+      "usage: auric <generate|inspect|evaluate|recommend|rules|replay|serve|loadgen> [flags]\n"
       "run a subcommand with --help for its flags\n"
       "every subcommand accepts --metrics-out PATH (.prom/.csv/.json), --trace-out PATH\n"
       "(JSONL spans), and the live-plane flags --serve-metrics[=PORT]\n"
@@ -367,6 +527,8 @@ int main(int argc, char** argv) {
     else if (command == "recommend") rc = cli::cmd_recommend(args);
     else if (command == "rules") rc = cli::cmd_rules(args);
     else if (command == "replay") rc = cli::cmd_replay(args);
+    else if (command == "serve") rc = cli::cmd_serve(args);
+    else if (command == "loadgen") rc = cli::cmd_loadgen(args);
     else return cli::usage();
     if (args.help_requested()) {
       std::fputs(args.usage().c_str(), stdout);
