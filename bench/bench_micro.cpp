@@ -407,6 +407,46 @@ void BM_ObsScopedSpanDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsScopedSpanDisabled);
 
+void BM_ObsTraceContextScope(benchmark::State& state) {
+  // The per-task cost TaskPool pays to stitch traces across the fan-out:
+  // capture, install, restore.
+  const obs::TraceContext ctx{obs::TraceId{1, 2}, 3, 0};
+  for (auto _ : state) {
+    obs::TraceContextScope scope(ctx);
+    benchmark::DoNotOptimize(obs::current_trace_context().span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceContextScope);
+
+void BM_ObsTraceparentParse(benchmark::State& state) {
+  // Per-request header cost on the serve plane.
+  const std::string header = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  for (auto _ : state) {
+    std::optional<obs::Traceparent> parsed = obs::parse_traceparent(header);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceparentParse);
+
+void BM_ObsHistogramObserveExemplar(benchmark::State& state) {
+  // observe() with exemplars on and a live trace context — the extra cost
+  // over BM_ObsHistogramObserve is the exemplar spinlock write.
+  obs::Histogram& histogram = obs::MetricsRegistry::global().histogram(
+      "bench_micro_exemplar_hist", obs::default_latency_bounds_ms(), "bench arm");
+  histogram.enable_exemplars();
+  obs::TraceContextScope scope(obs::TraceContext{obs::TraceId{0, 99}, 7, 0});
+  double v = 0.1;
+  for (auto _ : state) {
+    histogram.observe(v);
+    v = v < 9000.0 ? v * 1.7 : 0.1;
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserveExemplar);
+
 // --- Live plane ------------------------------------------------------------
 //
 // The live plane adds work per *sample tick*, not per event: one registry

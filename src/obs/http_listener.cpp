@@ -12,7 +12,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
+
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace auric::obs {
 
@@ -384,10 +388,44 @@ void HttpListener::handle_connection(int client_fd) {
   if (error_status != 0) {
     response = {error_status, "text/plain; charset=utf-8", error_body, {}};
   } else {
-    response = handler_(request);
+    response = dispatch(request);
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
   write_response(client_fd, response);
+}
+
+HttpResponse HttpListener::dispatch(const HttpRequest& request) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  if (!recorder.enabled()) {
+    return handler_(request);
+  }
+  const std::optional<Traceparent> remote = parse_traceparent(request.header("traceparent"));
+  HttpResponse response;
+  TraceId trace;
+  {
+    // A valid traceparent is adopted: the root span (and everything the
+    // handler opens under it) joins the caller's trace, parented under the
+    // caller's span id. Otherwise the scope installs a clean context and
+    // the root span starts (and later finalizes) a fresh trace.
+    TraceContextScope adopt(remote.has_value()
+                                ? TraceContext{remote->trace_id, 0, remote->parent_span}
+                                : TraceContext{});
+    ScopedSpan span(std::string("http.") += request.path(), recorder);
+    trace = span.trace();
+    response = handler_(request);
+    if (response.status >= 500) {
+      recorder.mark_trace_error();
+    }
+    if (trace.valid()) {
+      response.extra_headers.emplace_back("Traceparent", format_traceparent(trace, span.id()));
+    }
+  }
+  // Adopted traces have no local starting span to finalize them; the server
+  // is the trace's edge, so it decides keep/drop here.
+  if (remote.has_value()) {
+    recorder.finalize_trace(remote->trace_id);
+  }
+  return response;
 }
 
 void HttpListener::write_response(int client_fd, const HttpResponse& response) {

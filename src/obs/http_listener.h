@@ -18,6 +18,12 @@
 //
 // Port 0 requests an ephemeral port; port() reports the kernel's pick so
 // tests and parallel CI jobs never collide.
+//
+// Trace propagation: every handled request runs under a root span
+// ("http.<path>"). A valid W3C `traceparent` request header is adopted —
+// the handler's spans join the caller's trace — and every response carries
+// a `Traceparent` header naming the trace, so clients (loadgen) can link a
+// slow response to its recorded trace.
 #pragma once
 
 #include <atomic>
@@ -115,6 +121,9 @@ class HttpListener {
   void accept_loop();
   void worker_loop();
   void handle_connection(int client_fd);
+  /// Runs the handler under a root span, adopting the request's W3C
+  /// `traceparent` header when present (the response carries one back).
+  HttpResponse dispatch(const HttpRequest& request);
   void write_response(int client_fd, const HttpResponse& response);
 
   Handler handler_;

@@ -40,6 +40,15 @@ struct LivePlaneOptions {
   std::string rules_file;
   /// Where stop() writes the sampled series CSV; empty = no dump.
   std::string series_out;
+  /// Where the whole-run CPU profile (flamegraph-collapsed stacks) is
+  /// written at exit; empty = no profiling. Managed by util::LivePlaneScope
+  /// (works with or without `serve`); silently inactive when the profiler
+  /// is compiled out (sanitizer builds).
+  std::string profile_out;
+  /// Where the span JSONL (the `auric tracestats` input) is written at
+  /// exit; empty = no dump. Managed by util::LivePlaneScope, like
+  /// profile_out.
+  std::string trace_out;
 };
 
 class LivePlane {

@@ -130,6 +130,39 @@ void Histogram::observe(double v) noexcept {
   double sum = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(sum, sum + v, std::memory_order_relaxed)) {
   }
+  HistogramExemplar* exemplars = exemplars_.load(std::memory_order_acquire);
+  if (exemplars != nullptr) {
+    const TraceContext ctx = current_trace_context();
+    if (ctx.trace_id.valid()) {
+      while (ex_lock_.test_and_set(std::memory_order_acquire)) {
+      }
+      exemplars[idx] = HistogramExemplar{v, ctx.trace_id};
+      ex_lock_.clear(std::memory_order_release);
+    }
+  }
+}
+
+void Histogram::enable_exemplars() {
+  if (exemplars_.load(std::memory_order_acquire) != nullptr) return;
+  while (ex_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  if (exemplars_.load(std::memory_order_relaxed) == nullptr) {
+    // Leaked on purpose: instruments are never destroyed while the registry
+    // lives, and a freed exemplar array would race lock-free readers.
+    exemplars_.store(new HistogramExemplar[bounds_.size() + 1](), std::memory_order_release);
+  }
+  ex_lock_.clear(std::memory_order_release);
+}
+
+std::vector<HistogramExemplar> Histogram::exemplars() const {
+  HistogramExemplar* exemplars = exemplars_.load(std::memory_order_acquire);
+  if (exemplars == nullptr) return {};
+  std::vector<HistogramExemplar> out(bounds_.size() + 1);
+  while (ex_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = exemplars[i];
+  ex_lock_.clear(std::memory_order_release);
+  return out;
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -146,6 +179,13 @@ void Histogram::reset() noexcept {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  HistogramExemplar* exemplars = exemplars_.load(std::memory_order_acquire);
+  if (exemplars != nullptr) {
+    while (ex_lock_.test_and_set(std::memory_order_acquire)) {
+    }
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) exemplars[i] = HistogramExemplar{};
+    ex_lock_.clear(std::memory_order_release);
+  }
 }
 
 const std::vector<double>& default_latency_bounds_ms() {
@@ -318,6 +358,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
           sample.buckets = entry->histogram->bucket_counts();
           sample.count = entry->histogram->count();
           sample.sum = entry->histogram->sum();
+          sample.exemplars = entry->histogram->exemplars();
           break;
       }
       samples.push_back(std::move(sample));
@@ -341,15 +382,22 @@ std::string MetricsRegistry::prometheus_text() const {
       last_name = s.name;
     }
     if (s.kind == MetricSample::Kind::kHistogram) {
+      // OpenMetrics exemplar suffix for bucket i, or "" when that bucket
+      // never saw an observation under an active trace.
+      const auto exemplar_suffix = [&](std::size_t i) -> std::string {
+        if (i >= s.exemplars.size() || !s.exemplars[i].trace_id.valid()) return "";
+        return " # {trace_id=\"" + trace_id_hex(s.exemplars[i].trace_id) + "\"} " +
+               format_double(s.exemplars[i].value);
+      };
       std::uint64_t cumulative = 0;
       for (std::size_t i = 0; i < s.bounds.size(); ++i) {
         cumulative += s.buckets[i];
         out += s.name + "_bucket" + render_labels_le(s.labels, format_double(s.bounds[i])) + " " +
-               std::to_string(cumulative) + "\n";
+               std::to_string(cumulative) + exemplar_suffix(i) + "\n";
       }
       cumulative += s.buckets.back();
       out += s.name + "_bucket" + render_labels_le(s.labels, "+Inf") + " " +
-             std::to_string(cumulative) + "\n";
+             std::to_string(cumulative) + exemplar_suffix(s.bounds.size()) + "\n";
       out += s.name + "_sum" + render_labels(s.labels) + " " + format_double(s.sum) + "\n";
       out += s.name + "_count" + render_labels(s.labels) + " " + std::to_string(s.count) + "\n";
     } else {

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_context.h"
+
 namespace auric::obs {
 
 /// Label key/value pairs. Stored sorted by key; at most a handful per
@@ -61,16 +63,39 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// The last observation that landed in one histogram bucket, tagged with
+/// the trace it belonged to — the OpenMetrics exemplar. An invalid trace_id
+/// means "no exemplar yet" (the bucket never saw an observation under an
+/// active trace).
+struct HistogramExemplar {
+  double value = 0.0;
+  TraceId trace_id;
+};
+
 /// Fixed-boundary histogram with Prometheus `le` semantics: bucket i counts
 /// observations <= bounds[i], plus one overflow bucket. Boundaries are fixed
 /// at registration so observe() is a binary search plus two relaxed
 /// fetch_adds — no locks.
+///
+/// Exemplars are opt-in (enable_exemplars()): when on, observe() also
+/// stores the (value, current trace id) pair into the bucket it hit, so a
+/// scraped p99 bucket links directly to a kept trace. The exemplar write
+/// takes a tiny spinlock; the disabled path costs one relaxed load.
 class Histogram {
  public:
   /// `bounds` must be non-empty and strictly increasing.
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v) noexcept;
+
+  /// Starts recording per-bucket (value, trace_id) exemplars. Idempotent;
+  /// call once at instrument-resolution time, before hot-path traffic.
+  void enable_exemplars();
+  bool exemplars_enabled() const noexcept {
+    return exemplars_.load(std::memory_order_acquire) != nullptr;
+  }
+  /// Per-bucket exemplars, size bounds().size() + 1; empty when disabled.
+  std::vector<HistogramExemplar> exemplars() const;
 
   const std::vector<double>& bounds() const noexcept { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size bounds().size() + 1.
@@ -85,6 +110,10 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  /// Lazily allocated at enable_exemplars(), never freed while the
+  /// histogram lives (cached references stay valid); guarded by ex_lock_.
+  std::atomic<HistogramExemplar*> exemplars_{nullptr};
+  mutable std::atomic_flag ex_lock_ = ATOMIC_FLAG_INIT;
 };
 
 /// Latency buckets in milliseconds (sub-ms to 10s), shared by the push /
@@ -108,6 +137,9 @@ struct MetricSample {
   std::vector<std::uint64_t> buckets;  ///< non-cumulative, bounds.size() + 1
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Per-bucket exemplars (bounds.size() + 1); empty unless the histogram
+  /// has exemplars enabled.
+  std::vector<HistogramExemplar> exemplars;
 };
 
 const char* metric_kind_name(MetricSample::Kind kind);

@@ -1,0 +1,258 @@
+#include "obs/profiler.h"
+
+// Decide at compile time whether the real profiler can exist. Sanitizer
+// runtimes intercept signals and instrument stack walks; interrupting them
+// with backtrace() from a handler is undefined, so those builds get the
+// stub. CMake also sets AURIC_PROFILER_DISABLED for AURIC_SANITIZE builds
+// (belt and suspenders — compiler feature macros differ across toolchains).
+#if !defined(AURIC_PROFILER_DISABLED)
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define AURIC_PROFILER_DISABLED 1
+#endif
+#endif
+#endif
+#if !defined(AURIC_PROFILER_DISABLED)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define AURIC_PROFILER_DISABLED 1
+#endif
+#endif
+
+#if !defined(AURIC_PROFILER_DISABLED) && defined(__linux__)
+#define AURIC_PROFILER_ACTIVE 1
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#ifdef AURIC_PROFILER_ACTIVE
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <sys/time.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#endif
+
+#include "obs/metrics.h"
+
+namespace auric::obs {
+
+namespace {
+
+#ifdef AURIC_PROFILER_ACTIVE
+
+constexpr int kMaxFrames = 64;
+
+/// One raw stack captured in the signal handler. Slots are preallocated by
+/// start() and claimed with a single fetch_add — the handler never
+/// allocates.
+struct RawSample {
+  int depth = 0;
+  void* frames[kMaxFrames];
+};
+
+/// Handler-visible state. g_samples doubles as the "armed" flag: the
+/// handler bails when it is null, so stop() disarms by nulling it before
+/// tearing anything else down.
+std::atomic<RawSample*> g_samples{nullptr};
+std::atomic<std::size_t> g_next{0};
+std::size_t g_capacity = 0;
+
+void on_sigprof(int, siginfo_t*, void*) {
+  RawSample* samples = g_samples.load(std::memory_order_acquire);
+  if (samples == nullptr) return;
+  const std::size_t i = g_next.fetch_add(1, std::memory_order_relaxed);
+  if (i >= g_capacity) return;  // counted as dropped at stop()
+  samples[i].depth = backtrace(samples[i].frames, kMaxFrames);
+}
+
+/// Best-effort frame symbolization (dladdr + demangle); addresses without a
+/// dynamic symbol render as hex. Executables must link with
+/// CMAKE_ENABLE_EXPORTS (-rdynamic) for their own functions to resolve.
+std::string frame_name(void* addr, std::map<void*, std::string>& memo) {
+  const auto it = memo.find(addr);
+  if (it != memo.end()) return it->second;
+  std::string name;
+  Dl_info info;
+  if (dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    name = (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // The folded format reserves ';' as the frame separator and the final
+    // ' ' before the count; scrub both out of demangled names.
+    for (char& c : name) {
+      if (c == ';') c = ':';
+      if (c == ' ') c = '_';
+    }
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<std::size_t>(addr));
+    name = buf;
+  }
+  memo.emplace(addr, name);
+  return name;
+}
+
+struct ProfilerState {
+  std::mutex mu;
+  bool running = false;
+  std::vector<RawSample> slots;
+  struct sigaction old_action {};
+  struct itimerval old_timer {};
+};
+
+ProfilerState& state() {
+  static ProfilerState* s = new ProfilerState();  // never destroyed
+  return *s;
+}
+
+#endif  // AURIC_PROFILER_ACTIVE
+
+/// Samples-collected counter, resolved once. Bumped at stop() — the
+/// handler cannot touch the registry.
+Counter& samples_counter() {
+  static Counter& counter = MetricsRegistry::global().counter(
+      "auric_profiler_samples_total", "stack samples collected by the in-process profiler");
+  return counter;
+}
+
+}  // namespace
+
+bool Profiler::supported() {
+#ifdef AURIC_PROFILER_ACTIVE
+  return true;
+#else
+  return false;
+#endif
+}
+
+Profiler& Profiler::global() {
+  static Profiler* profiler = new Profiler();  // never destroyed
+  return *profiler;
+}
+
+bool Profiler::running() const {
+#ifdef AURIC_PROFILER_ACTIVE
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.running;
+#else
+  return false;
+#endif
+}
+
+bool Profiler::start(const ProfileOptions& options) {
+#ifndef AURIC_PROFILER_ACTIVE
+  (void)options;
+  return false;
+#else
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.running) return false;
+
+  const int hz = std::min(1000, std::max(1, options.hz));
+  const std::size_t capacity = std::max<std::size_t>(64, options.max_samples);
+  s.slots.assign(capacity, RawSample{});
+  g_capacity = capacity;
+  g_next.store(0, std::memory_order_relaxed);
+
+  // Prime backtrace()'s lazy libgcc initialization outside signal context;
+  // the first call may allocate and dlopen, which a handler must not do.
+  void* prime[4];
+  backtrace(prime, 4);
+
+  g_samples.store(s.slots.data(), std::memory_order_release);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = on_sigprof;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, &s.old_action) != 0) {
+    g_samples.store(nullptr, std::memory_order_release);
+    return false;
+  }
+
+  struct itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));
+  timer.it_interval.tv_usec = static_cast<suseconds_t>(1000000 / hz);
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, &s.old_timer) != 0) {
+    sigaction(SIGPROF, &s.old_action, nullptr);
+    g_samples.store(nullptr, std::memory_order_release);
+    return false;
+  }
+  s.running = true;
+  return true;
+#endif
+}
+
+ProfileReport Profiler::stop() {
+  ProfileReport report;
+#ifdef AURIC_PROFILER_ACTIVE
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.running) return report;
+
+  struct itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  setitimer(ITIMER_PROF, &off, nullptr);
+  sigaction(SIGPROF, &s.old_action, nullptr);
+  setitimer(ITIMER_PROF, &s.old_timer, nullptr);
+  g_samples.store(nullptr, std::memory_order_release);
+  s.running = false;
+  // A handler that loaded the slot pointer just before the disarm may still
+  // be writing; give it a moment before reading the slots.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  const std::size_t hits = g_next.load(std::memory_order_relaxed);
+  const std::size_t n = std::min(hits, g_capacity);
+  report.samples = n;
+  report.dropped = hits > g_capacity ? hits - g_capacity : 0;
+  samples_counter().inc(n);
+
+  // Fold: aggregate identical stacks, outermost frame first. The innermost
+  // two frames are the handler itself and the kernel's signal trampoline;
+  // skip them when the stack is deep enough to contain real work below.
+  std::map<void*, std::string> memo;
+  std::map<std::string, std::uint64_t> folded;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RawSample& sample = s.slots[i];
+    if (sample.depth <= 0) continue;
+    const int skip = sample.depth > 2 ? 2 : 0;
+    std::string key;
+    for (int f = sample.depth - 1; f >= skip; --f) {
+      if (!key.empty()) key += ';';
+      key += frame_name(sample.frames[f], memo);
+    }
+    if (!key.empty()) ++folded[key];
+  }
+  for (const auto& [stack, count] : folded) {
+    report.folded += stack;
+    report.folded += ' ';
+    report.folded += std::to_string(count);
+    report.folded += '\n';
+  }
+#else
+  (void)samples_counter();
+#endif
+  return report;
+}
+
+ProfileReport profile_process(int duration_ms, const ProfileOptions& options) {
+  Profiler& profiler = Profiler::global();
+  if (!profiler.start(options)) return {};
+  std::this_thread::sleep_for(std::chrono::milliseconds(std::max(0, duration_ms)));
+  return profiler.stop();
+}
+
+}  // namespace auric::obs

@@ -1,10 +1,57 @@
 #include "obs/server.h"
 
 #include "obs/log_buffer.h"
+#include "obs/profiler.h"
 #include "obs/rules.h"
 #include "obs/trace.h"
 
 namespace auric::obs {
+
+namespace {
+
+/// Value of `key` in an HTTP query string ("a=1&b=2"), or empty.
+std::string_view query_param(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    std::string_view pair = amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{} : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string profilez_text(std::string_view query, int* status) {
+  *status = 200;
+  if (!Profiler::supported()) {
+    *status = 501;
+    return "profiler unavailable in this build (sanitizer or unsupported platform)\n";
+  }
+  int seconds = 1;
+  const std::string_view raw = query_param(query, "seconds");
+  if (!raw.empty()) {
+    try {
+      seconds = std::stoi(std::string(raw));
+    } catch (const std::exception&) {
+      *status = 400;
+      return "bad seconds parameter\n";
+    }
+  }
+  seconds = seconds < 1 ? 1 : (seconds > 30 ? 30 : seconds);
+  const ProfileReport report = profile_process(seconds * 1000);
+  if (report.samples == 0 && report.folded.empty() && Profiler::global().running()) {
+    *status = 409;
+    return "a profile is already running\n";
+  }
+  std::string out = "# samples=" + std::to_string(report.samples) +
+                    " dropped=" + std::to_string(report.dropped) + "\n";
+  out += report.folded;
+  return out;
+}
 
 MetricsServer::MetricsServer(const MetricsRegistry& registry, Options options)
     : registry_(&registry), options_(std::move(options)) {}
@@ -45,10 +92,13 @@ MetricsServer::Response MetricsServer::handle(std::string_view method,
   if (method != "GET") {
     return {405, "text/plain; charset=utf-8", "only GET is supported\n"};
   }
-  // Strip any query string; endpoints take no parameters.
-  std::size_t query = target.find('?');
-  if (query != std::string_view::npos) {
-    target = target.substr(0, query);
+  // Split the query string off; /tracez and /profilez take parameters, the
+  // rest ignore them.
+  std::string_view query;
+  const std::size_t qpos = target.find('?');
+  if (qpos != std::string_view::npos) {
+    query = target.substr(qpos + 1);
+    target = target.substr(0, qpos);
   }
   if (target == "/metrics") {
     return {200, "text/plain; version=0.0.4; charset=utf-8", registry_->prometheus_text()};
@@ -67,7 +117,12 @@ MetricsServer::Response MetricsServer::handle(std::string_view method,
     if (traces_ == nullptr) {
       return {404, "text/plain; charset=utf-8", "tracing not wired\n"};
     }
-    return {200, "application/x-ndjson", traces_->jsonl()};
+    return {200, "application/x-ndjson", tracez_text(*traces_, query)};
+  }
+  if (target == "/profilez") {
+    int status = 200;
+    std::string body = profilez_text(query, &status);
+    return {status, "text/plain; charset=utf-8", std::move(body)};
   }
   if (target == "/logz") {
     if (logs_ == nullptr) {
@@ -77,7 +132,7 @@ MetricsServer::Response MetricsServer::handle(std::string_view method,
   }
   if (target == "/" || target.empty()) {
     return {200, "text/plain; charset=utf-8",
-            "auric live plane\n/metrics /healthz /varz /tracez /logz\n"};
+            "auric live plane\n/metrics /healthz /varz /tracez /logz /profilez\n"};
   }
   return {404, "text/plain; charset=utf-8", "unknown endpoint\n"};
 }

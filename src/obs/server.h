@@ -9,8 +9,11 @@
 //   GET /metrics   Prometheus text exposition of the registry
 //   GET /healthz   RuleEngine verdict JSON; 200 when healthy, 503 firing
 //   GET /varz      full JSON snapshot of every instrument
-//   GET /tracez    recent spans from the trace ring, JSONL
+//   GET /tracez    recent spans, JSONL; ?trace_id= fetches one stitched
+//                  trace, ?min_ms= lists tail-retained slow/error traces
 //   GET /logz      the last lines util::log emitted (plain text)
+//   GET /profilez  block ?seconds=N (default 1, max 30) sampling the
+//                  process, then return flamegraph-collapsed stacks
 //
 // Port 0 requests an ephemeral port; port() reports what the kernel chose,
 // so tests and parallel CI jobs never collide. Requests are handled by a
@@ -82,8 +85,9 @@ class MetricsServer {
     std::string body;
   };
 
-  /// Routes one request line (method + target, query string ignored) to an
-  /// endpoint. The socket path and tests share this.
+  /// Routes one request line (method + target; /tracez and /profilez read
+  /// the query string) to an endpoint. The socket path and tests share
+  /// this.
   Response handle(std::string_view method, std::string_view target) const;
 
  private:
@@ -95,5 +99,12 @@ class MetricsServer {
 
   std::unique_ptr<HttpListener> listener_;
 };
+
+/// The /profilez handler body, shared with the serve daemon's routing:
+/// parses `seconds` out of `query`, runs profile_process, renders a
+/// "# samples=N dropped=M" header plus folded stacks. Sets `*status` to 501
+/// when the profiler is compiled out, 409 when one is already running, 400
+/// on a bad parameter.
+std::string profilez_text(std::string_view query, int* status);
 
 }  // namespace auric::obs

@@ -1,0 +1,88 @@
+#include "obs/trace_context.h"
+
+#include <cstdio>
+
+namespace auric::obs {
+
+namespace {
+
+/// One context per thread, shared by every recorder (a thread is in at most
+/// one trace at a time).
+thread_local TraceContext t_context;
+
+/// -1 on a non-hex character.
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Parses exactly `hex.size()` hex chars into v; false on garbage.
+bool parse_hex_u64(std::string_view hex, std::uint64_t& v) {
+  v = 0;
+  for (char c : hex) {
+    const int d = hex_value(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string trace_id_hex(const TraceId& id) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx", static_cast<unsigned long long>(id.hi),
+                static_cast<unsigned long long>(id.lo));
+  return buf;
+}
+
+std::optional<TraceId> parse_trace_id_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  TraceId id;
+  if (!parse_hex_u64(hex.substr(0, 16), id.hi) || !parse_hex_u64(hex.substr(16, 16), id.lo)) {
+    return std::nullopt;
+  }
+  if (!id.valid()) return std::nullopt;
+  return id;
+}
+
+TraceContext current_trace_context() { return t_context; }
+
+void set_current_trace_context(const TraceContext& ctx) { t_context = ctx; }
+
+std::optional<Traceparent> parse_traceparent(std::string_view header) {
+  // version-00 layout: 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55 chars. Future
+  // versions may append "-extra"; anything shorter is truncated.
+  if (header.size() < 55) return std::nullopt;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return std::nullopt;
+  std::uint64_t version = 0;
+  if (!parse_hex_u64(header.substr(0, 2), version)) return std::nullopt;
+  if (version == 0xff) return std::nullopt;  // reserved, invalid per spec
+  if (version == 0 && header.size() != 55) return std::nullopt;
+  if (version != 0 && header.size() > 55 && header[55] != '-') return std::nullopt;
+
+  Traceparent out;
+  const std::optional<TraceId> tid = parse_trace_id_hex(header.substr(3, 32));
+  if (!tid.has_value()) return std::nullopt;
+  out.trace_id = *tid;
+  if (!parse_hex_u64(header.substr(36, 16), out.parent_span)) return std::nullopt;
+  if (out.parent_span == 0) return std::nullopt;  // all-zero parent-id invalid
+  std::uint64_t flags = 0;
+  if (!parse_hex_u64(header.substr(53, 2), flags)) return std::nullopt;
+  out.flags = static_cast<std::uint8_t>(flags);
+  return out;
+}
+
+std::string format_traceparent(const TraceId& trace_id, std::uint64_t span_id,
+                               std::uint8_t flags) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "00-%016llx%016llx-%016llx-%02x",
+                static_cast<unsigned long long>(trace_id.hi),
+                static_cast<unsigned long long>(trace_id.lo),
+                static_cast<unsigned long long>(span_id), flags);
+  return buf;
+}
+
+}  // namespace auric::obs

@@ -1,0 +1,107 @@
+// Per-thread trace context and the W3C `traceparent` wire format.
+//
+// A trace is one logical operation — a served /recommend request, a replay
+// day — whose spans may be recorded from many threads. The context that
+// ties them together is deliberately tiny: a 128-bit trace id plus the id
+// of the innermost open span. It lives in a thread-local, costs two loads
+// to read, and crosses thread boundaries explicitly:
+//
+//   capture   TraceContext ctx = current_trace_context();      // submitter
+//   adopt     TraceContextScope scope(ctx);                    // worker
+//
+// util::TaskPool does exactly that around every dispatched task, so a span
+// opened inside a pool task parents under the submitter's span and shares
+// its trace id — one request, one trace tree, across the fan-out.
+//
+// The wire format is W3C Trace Context (`traceparent` header):
+//
+//   00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01
+//   ^v ^trace-id (32 hex, non-zero)     ^parent-id (16hex) ^flags
+//
+// parse_traceparent() accepts future (foreign) versions per the spec —
+// anything but 0xff with the version-00 field layout — and rejects
+// truncated, garbage, or all-zero headers. This header sits below trace.h
+// (no recorder dependency) so obs::metrics can attach trace ids to
+// histogram exemplars without a layering cycle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace auric::obs {
+
+/// 128-bit trace id (W3C trace-id). All-zero means "no trace".
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  friend bool operator==(const TraceId& a, const TraceId& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const TraceId& a, const TraceId& b) { return !(a == b); }
+};
+
+/// 32 lower-case hex characters (the wire rendering of the trace id).
+std::string trace_id_hex(const TraceId& id);
+
+/// Parses 32 hex characters; nullopt on bad length/characters or all-zero.
+std::optional<TraceId> parse_trace_id_hex(std::string_view hex);
+
+/// This thread's trace context: the trace every new span joins and the span
+/// it parents under. span == 0 with a valid trace_id happens right after a
+/// remote context was adopted (the remote parent id is not a local span).
+struct TraceContext {
+  TraceId trace_id;
+  std::uint64_t span = 0;
+  /// The remote parent span id when this context was adopted from a
+  /// traceparent header and no local span has opened yet; 0 otherwise.
+  std::uint64_t remote_parent = 0;
+};
+
+/// Snapshot of the calling thread's context (cheap: two thread-local loads).
+TraceContext current_trace_context();
+
+/// Overwrites the calling thread's context. Prefer TraceContextScope; this
+/// exists for the RAII types and tests.
+void set_current_trace_context(const TraceContext& ctx);
+
+/// RAII adopt/restore: installs `ctx` for the scope's lifetime and restores
+/// the previous context on destruction. This is the cross-thread handoff
+/// primitive the TaskPool wraps around every task.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx)
+      : saved_(current_trace_context()) {
+    set_current_trace_context(ctx);
+  }
+  ~TraceContextScope() { set_current_trace_context(saved_); }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// One parsed traceparent header.
+struct Traceparent {
+  TraceId trace_id;
+  std::uint64_t parent_span = 0;
+  std::uint8_t flags = 0;
+
+  bool sampled() const { return (flags & 0x01) != 0; }
+};
+
+/// Strict W3C parse: version-00 layout, future versions tolerated (their
+/// extra suffix past the flags field is ignored), 0xff and malformed /
+/// truncated / all-zero-id headers rejected.
+std::optional<Traceparent> parse_traceparent(std::string_view header);
+
+/// Renders "00-<trace-id>-<span-id>-<flags>"; span_id 0 is rendered as-is
+/// (callers should pass a real span id).
+std::string format_traceparent(const TraceId& trace_id, std::uint64_t span_id,
+                               std::uint8_t flags = 0x01);
+
+}  // namespace auric::obs

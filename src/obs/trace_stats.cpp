@@ -1,0 +1,222 @@
+#include "obs/trace_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+namespace auric::obs {
+
+namespace {
+
+/// One parsed span line.
+struct ParsedSpan {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string trace;
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Extracts the unsigned integer following `"key":` in `line`.
+std::optional<std::uint64_t> field_u64(std::string_view line, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t i = pos + needle.size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
+  std::uint64_t value = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  return value;
+}
+
+/// Extracts (and unescapes) the string following `"key":"` in `line`.
+std::optional<std::string> field_string(std::string_view line, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 4);
+  needle += '"';
+  needle += key;
+  needle += "\":\"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = pos + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return out;
+    if (c == '\\' && i + 1 < line.size()) {
+      const char next = line[++i];
+      switch (next) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default: out += next;
+      }
+      continue;
+    }
+    out += c;
+  }
+  return std::nullopt;  // unterminated string
+}
+
+std::optional<ParsedSpan> parse_span_line(std::string_view line) {
+  ParsedSpan span;
+  const auto id = field_u64(line, "id");
+  const auto start = field_u64(line, "start_ns");
+  const auto end = field_u64(line, "end_ns");
+  const auto name = field_string(line, "name");
+  if (!id.has_value() || !start.has_value() || !end.has_value() || !name.has_value()) {
+    return std::nullopt;
+  }
+  span.id = *id;
+  span.parent = field_u64(line, "parent").value_or(0);
+  span.trace = field_string(line, "trace").value_or("");
+  span.name = *name;
+  span.start_ns = *start;
+  span.end_ns = *end < *start ? *start : *end;
+  return span;
+}
+
+double to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+std::string format_ms(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+/// Quotes a CSV cell (span names may contain commas or quotes).
+std::string csv_quote(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TraceStatsReport compute_trace_stats(std::string_view jsonl, const TraceStatsOptions& options) {
+  TraceStatsReport report;
+
+  // Group spans by trace id; spans with no trace field land in one bucket
+  // keyed "" (old recordings) and still get name stats.
+  std::map<std::string, std::vector<ParsedSpan>> traces;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t eol = jsonl.find('\n', pos);
+    if (eol == std::string_view::npos) eol = jsonl.size();
+    const std::string_view line = jsonl.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const std::optional<ParsedSpan> span = parse_span_line(line);
+    if (!span.has_value()) {
+      ++report.skipped_lines;
+      continue;
+    }
+    ++report.spans;
+    traces[span->trace].push_back(*span);
+  }
+
+  std::map<std::string, SpanNameStat> by_name;
+  for (auto& [trace_id, spans] : traces) {
+    // Children indexed by parent id, within one trace only — span ids are
+    // recorder-global, but parent links never cross a trace.
+    std::unordered_map<std::uint64_t, std::vector<const ParsedSpan*>> children;
+    std::unordered_map<std::uint64_t, const ParsedSpan*> by_id;
+    for (const ParsedSpan& s : spans) by_id[s.id] = &s;
+    for (const ParsedSpan& s : spans) {
+      if (s.parent != 0 && by_id.count(s.parent) != 0) children[s.parent].push_back(&s);
+    }
+
+    for (const ParsedSpan& s : spans) {
+      SpanNameStat& stat = by_name[s.name];
+      stat.name = s.name;
+      ++stat.count;
+      const double total = to_ms(s.end_ns - s.start_ns);
+      stat.total_ms += total;
+      double child_ms = 0.0;
+      const auto kids = children.find(s.id);
+      if (kids != children.end()) {
+        for (const ParsedSpan* c : kids->second) child_ms += to_ms(c->end_ns - c->start_ns);
+      }
+      stat.self_ms += std::max(0.0, total - child_ms);
+    }
+
+    // Roots: parentless spans, or spans whose parent is outside this
+    // recording (a server span adopted from a remote traceparent). With
+    // options.root set, any span of that name roots a path instead — so
+    // "replay.day" works even though days sit under a "replay.run" span.
+    for (const ParsedSpan& s : spans) {
+      const bool root = options.root.empty()
+                            ? s.parent == 0 || by_id.count(s.parent) == 0
+                            : s.name == options.root;
+      if (!root) continue;
+      CriticalPath path;
+      path.trace = trace_id;
+      path.dur_ms = to_ms(s.end_ns - s.start_ns);
+      // Descend into the last-finishing child at every level: that child
+      // bounds when the parent could finish, so the chain is the critical
+      // path under the "parent waits for children" execution model.
+      const ParsedSpan* cur = &s;
+      path.path = cur->name;
+      while (true) {
+        const auto kids = children.find(cur->id);
+        if (kids == children.end() || kids->second.empty()) break;
+        const ParsedSpan* last = kids->second.front();
+        for (const ParsedSpan* c : kids->second) {
+          if (c->end_ns > last->end_ns) last = c;
+        }
+        cur = last;
+        path.path += '>';
+        path.path += cur->name;
+      }
+      report.paths.push_back(std::move(path));
+    }
+  }
+
+  report.by_name.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) report.by_name.push_back(std::move(stat));
+  std::sort(report.by_name.begin(), report.by_name.end(),
+            [](const SpanNameStat& a, const SpanNameStat& b) {
+              if (a.self_ms != b.self_ms) return a.self_ms > b.self_ms;
+              return a.name < b.name;
+            });
+  std::sort(report.paths.begin(), report.paths.end(),
+            [](const CriticalPath& a, const CriticalPath& b) {
+              if (a.dur_ms != b.dur_ms) return a.dur_ms > b.dur_ms;
+              if (a.trace != b.trace) return a.trace < b.trace;
+              return a.path < b.path;
+            });
+  if (options.top != 0) {
+    if (report.by_name.size() > options.top) report.by_name.resize(options.top);
+    if (report.paths.size() > options.top) report.paths.resize(options.top);
+  }
+  return report;
+}
+
+std::string trace_stats_csv(const TraceStatsReport& report) {
+  std::string out = "kind,trace,name,count,total_ms,self_ms\n";
+  for (const SpanNameStat& stat : report.by_name) {
+    out += "name,," + csv_quote(stat.name) + "," + std::to_string(stat.count) + "," +
+           format_ms(stat.total_ms) + "," + format_ms(stat.self_ms) + "\n";
+  }
+  for (const CriticalPath& path : report.paths) {
+    out += "critical," + path.trace + "," + csv_quote(path.path) + ",1," +
+           format_ms(path.dur_ms) + ",0.000\n";
+  }
+  return out;
+}
+
+}  // namespace auric::obs

@@ -1,0 +1,73 @@
+// Offline latency attribution over recorded traces.
+//
+// The trace ring answers "what happened"; this module answers "where did
+// the time go". It folds span JSONL (the --trace-out / /tracez format) into
+// the two views an engineer triaging a slow replay day or a slow /recommend
+// actually wants:
+//
+//   per-name totals   for every span name: how often it ran, total wall
+//                     time, and SELF time (total minus time covered by its
+//                     children) — self time is what points at real code,
+//                     total time points at the widest box.
+//   critical paths    for every root span: the chain root -> last-finishing
+//                     child -> ... that bounds the end-to-end latency. Work
+//                     off the critical path can be slow for free; work on
+//                     it is the latency.
+//
+// Backs the `auric tracestats` CLI subcommand. Parsing targets the span
+// format spans_jsonl() emits; unknown lines (e.g. the {"trace":...}
+// headers of /tracez?min_ms=) are skipped, so tracestats consumes either
+// endpoint's output unfiltered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace auric::obs {
+
+struct TraceStatsOptions {
+  /// When non-empty, critical paths are rooted at every span with exactly
+  /// this name (e.g. "replay.day" for per-day paths even though days nest
+  /// under "replay.run"). Empty roots paths at the trace roots.
+  std::string root;
+  /// Rows kept per section (by self time / by path duration). 0 = all.
+  std::size_t top = 20;
+};
+
+/// Aggregate for one span name across every trace in the input.
+struct SpanNameStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  /// Total minus the duration covered by direct children, clamped at zero
+  /// per span (parallel children can legitimately out-sum their parent).
+  double self_ms = 0.0;
+};
+
+/// The critical path under one root span: the chain built by repeatedly
+/// descending into the last-finishing child.
+struct CriticalPath {
+  std::string trace;  ///< 32-hex trace id
+  std::string path;   ///< span names joined with '>'
+  double dur_ms = 0.0;
+};
+
+struct TraceStatsReport {
+  std::vector<SpanNameStat> by_name;     ///< sorted by self_ms descending
+  std::vector<CriticalPath> paths;       ///< sorted by dur_ms descending
+  std::uint64_t spans = 0;               ///< span lines parsed
+  std::uint64_t skipped_lines = 0;       ///< non-span lines ignored
+};
+
+/// Parses span JSONL and computes both views. Tolerant of junk: lines that
+/// do not parse as spans are counted in skipped_lines, never fatal.
+TraceStatsReport compute_trace_stats(std::string_view jsonl,
+                                     const TraceStatsOptions& options = {});
+
+/// CSV rendering: header `kind,trace,name,count,total_ms,self_ms`, then one
+/// `name` row per span name and one `critical` row per root path.
+std::string trace_stats_csv(const TraceStatsReport& report);
+
+}  // namespace auric::obs

@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "obs/rules.h"
+#include "obs/server.h"
+#include "obs/trace.h"
 #include "smartlaunch/sharded_ems.h"
 #include "util/drain.h"
 #include "util/log.h"
@@ -141,6 +143,10 @@ ServeDaemon::ServeDaemon(const netsim::Topology& topology,
       latency_diff_(registry.histogram("auric_serve_latency_ms",
                                        obs::default_latency_bounds_ms(), "serve latency",
                                        {{"endpoint", "diff"}})) {
+  // Exemplars link a scraped latency bucket to the trace that landed there:
+  // the p99 bucket on /metrics names a trace_id /tracez can expand.
+  latency_recommend_.enable_exemplars();
+  latency_diff_.enable_exemplars();
   pool_.set_pending_limit(options_.pool_pending_limit);
   builder_ = [this] {
     return std::make_unique<core::AuricEngine>(*topology_, *schema_, *catalog_, *assignment_);
@@ -305,11 +311,20 @@ obs::HttpResponse ServeDaemon::handle(const obs::HttpRequest& request) {
     if (path == "/varz") {
       return json_response(200, registry_->json_text());
     }
+    if (path == "/tracez") {
+      return {200, "application/x-ndjson",
+              obs::tracez_text(obs::TraceRecorder::global(), request.query()), {}};
+    }
+    if (path == "/profilez") {
+      int status = 200;
+      std::string body = obs::profilez_text(request.query(), &status);
+      return {status, "text/plain; charset=utf-8", std::move(body), {}};
+    }
     if (path == "/" || path.empty()) {
       return {200,
               "text/plain; charset=utf-8",
               "auric serve\nGET /recommend?carrier=N[&neighbor=M]  GET /diff?carrier=N\n"
-              "GET /healthz /metrics /varz   POST /relearn /quit\n",
+              "GET /healthz /metrics /varz /tracez /profilez   POST /relearn /quit\n",
               {}};
     }
     if (path == "/recommend" || path == "/diff") {
@@ -339,13 +354,22 @@ obs::HttpResponse ServeDaemon::handle(const obs::HttpRequest& request) {
 obs::HttpResponse ServeDaemon::handle_data(const obs::HttpRequest& request,
                                            const std::string& endpoint) {
   const Clock::time_point arrival = Clock::now();
+  // Child of the listener's http.<path> root span; phases below (admission,
+  // bulkhead, engine) nest under it, so one request reads as one tree.
+  obs::ScopedSpan request_span(std::string("serve.") += endpoint);
   obs::Counter& endpoint_counter =
       endpoint == "recommend" ? requests_recommend_ : requests_diff_;
   endpoint_counter.inc();
 
   if (draining_.load()) {
+    obs::TraceRecorder::global().mark_trace_error();
     return shed_response("draining");
   }
+
+  // Phase spans: optional so one slot can close admission before opening
+  // bulkhead without nesting scopes around every early return.
+  std::optional<obs::ScopedSpan> phase_span;
+  phase_span.emplace("serve.admission");
 
   // Admission: a bounded count of requests in the admission window. Shed
   // BEFORE doing any work — the point of load shedding is that rejected
@@ -356,6 +380,7 @@ obs::HttpResponse ServeDaemon::handle_data(const obs::HttpRequest& request,
     admitted_.fetch_sub(1, std::memory_order_acq_rel);
     queue_depth_.set(static_cast<double>(admitted_.load()));
     note_shed();
+    obs::TraceRecorder::global().mark_trace_error();
     return shed_response("admission queue full");
   }
   struct AdmissionGuard {
@@ -387,6 +412,8 @@ obs::HttpResponse ServeDaemon::handle_data(const obs::HttpRequest& request,
 
   // Bulkhead: per-market-shard concurrency cap. The same stable mapping the
   // sharded EMS uses, so a hot market saturates its own lane only.
+  phase_span.reset();
+  phase_span.emplace("serve.bulkhead");
   const int bulkheads = static_cast<int>(bulk_used_.size());
   const std::size_t lane = static_cast<std::size_t>(smartlaunch::shard_of_market(
       topology_->carriers[static_cast<std::size_t>(*carrier)].market, bulkheads));
@@ -398,10 +425,12 @@ obs::HttpResponse ServeDaemon::handle_data(const obs::HttpRequest& request,
       // Expired waiting for a lane: dropped BEFORE dispatch, per the
       // deadline contract — no engine work was spent on it.
       deadline_expired_total_.inc();
+      obs::TraceRecorder::global().mark_trace_error();
       return json_response(504, "{\"error\":\"deadline expired before dispatch\"}");
     }
     ++bulk_used_[lane];
   }
+  phase_span.reset();
 
   // Dispatch onto the pool against a pinned engine snapshot.
   auto job = std::make_shared<Job>();
@@ -409,12 +438,17 @@ obs::HttpResponse ServeDaemon::handle_data(const obs::HttpRequest& request,
   const bool submitted = pool_.try_submit([this, job, bundle, request, endpoint, lane] {
     obs::HttpResponse response;
     try {
+      // Runs under the submitter's trace context (TaskPool re-establishes
+      // it), so this span parents under serve.<endpoint> across the pool
+      // hop.
+      obs::ScopedSpan engine_span("serve.engine");
       if (options_.work_delay_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(options_.work_delay_ms));
       }
       response = compute(request, endpoint, *bundle);
     } catch (const std::exception& e) {
       errors_total_.inc();
+      obs::TraceRecorder::global().mark_trace_error();
       response = json_response(
           500, std::string("{\"error\":\"") + json_escape(e.what()) + "\"}");
     }
@@ -437,6 +471,7 @@ obs::HttpResponse ServeDaemon::handle_data(const obs::HttpRequest& request,
     }
     bulk_cv_.notify_all();
     note_shed();
+    obs::TraceRecorder::global().mark_trace_error();
     return shed_response("worker queue full");
   }
 
@@ -448,6 +483,7 @@ obs::HttpResponse ServeDaemon::handle_data(const obs::HttpRequest& request,
       // finishes the abandoned job harmlessly (it only touches the job slot
       // and the bulkhead counter) — no thread is poisoned or cancelled.
       timeouts_total_.inc();
+      obs::TraceRecorder::global().mark_trace_error();
       return json_response(504, "{\"error\":\"deadline expired in flight\"}");
     }
     response = std::move(job->response);

@@ -10,8 +10,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <thread>
 
+#include "obs/trace_context.h"
 #include "util/rng.h"
 
 namespace auric::serve {
@@ -95,9 +97,48 @@ int parse_status(const std::string& response) {
   return status;
 }
 
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kShed: return "shed";
+    case Outcome::kExpired: return "expired";
+    case Outcome::kClientError: return "client-error";
+    case Outcome::kServerError: return "server-error";
+    case Outcome::kRefused: return "refused";
+    case Outcome::kNoResponse: return "no-response";
+  }
+  return "?";
+}
+
+/// The 32-hex trace id out of the response's Traceparent header, or empty.
+std::string response_trace_id(const std::string& response) {
+  const std::size_t header_end = response.find("\r\n\r\n");
+  const std::size_t pos = response.find("\r\nTraceparent: ");
+  if (pos == std::string::npos || (header_end != std::string::npos && pos > header_end)) {
+    return {};
+  }
+  const std::size_t start = pos + 15;
+  std::size_t end = response.find("\r\n", start);
+  if (end == std::string::npos) end = response.size();
+  const auto parsed =
+      obs::parse_traceparent(std::string_view(response).substr(start, end - start));
+  if (!parsed.has_value()) return {};
+  return obs::trace_id_hex(parsed->trace_id);
+}
+
+/// One completed (non-fault) request, for per-outcome quantiles and the
+/// slowest-N report.
+struct RequestSample {
+  Outcome outcome = Outcome::kOk;
+  double latency_ms = 0.0;
+  std::string target;
+  std::string trace_id;
+};
+
 struct ClientTotals {
   LoadGenStats stats;
   std::vector<double> ok_latencies_ms;
+  std::vector<RequestSample> samples;
 };
 
 void run_client(const LoadGenOptions& options, int client_index, ClientTotals* totals) {
@@ -121,6 +162,11 @@ void run_client(const LoadGenOptions& options, int client_index, ClientTotals* t
     std::string request = "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n";
     if (kind != 2) {
       request += "X-Auric-Deadline-Ms: " + std::to_string(options.deadline_ms) + "\r\n";
+      // Client-originated trace: the daemon adopts this id, so the
+      // Traceparent echoed in the response (and the server-side spans) carry
+      // a trace the client chose — exactly how a real upstream calls us.
+      const obs::TraceId tid{rng() | 1ULL, rng() | 1ULL};
+      request += "Traceparent: " + obs::format_traceparent(tid, rng() | 1ULL) + "\r\n";
     }
     request += "\r\n";
 
@@ -176,6 +222,8 @@ void run_client(const LoadGenOptions& options, int client_index, ClientTotals* t
     } else {
       outcome = Outcome::kClientError;
     }
+    totals->samples.push_back(
+        RequestSample{outcome, latency_ms, target, response_trace_id(response)});
     switch (outcome) {
       case Outcome::kOk:
         ++totals->stats.ok;
@@ -229,7 +277,8 @@ LoadGenStats run_loadgen(const LoadGenOptions& options) {
 
   LoadGenStats total;
   std::vector<double> latencies;
-  for (const ClientTotals& ct : per_client) {
+  std::vector<RequestSample> samples;
+  for (ClientTotals& ct : per_client) {
     total.sent += ct.stats.sent;
     total.ok += ct.stats.ok;
     total.shed += ct.stats.shed;
@@ -240,11 +289,45 @@ LoadGenStats run_loadgen(const LoadGenOptions& options) {
     total.no_response += ct.stats.no_response;
     total.faults_injected += ct.stats.faults_injected;
     latencies.insert(latencies.end(), ct.ok_latencies_ms.begin(), ct.ok_latencies_ms.end());
+    samples.insert(samples.end(), std::make_move_iterator(ct.samples.begin()),
+                   std::make_move_iterator(ct.samples.end()));
   }
   std::sort(latencies.begin(), latencies.end());
   total.p50_ms = quantile(latencies, 0.50);
   total.p99_ms = quantile(latencies, 0.99);
   total.max_ms = latencies.empty() ? 0.0 : latencies.back();
+
+  // Per-outcome quantiles: a shed request should cost microseconds, an
+  // expired one its deadline — the split makes both visible.
+  std::map<std::string, std::vector<double>> by_outcome;
+  for (const RequestSample& s : samples) {
+    by_outcome[outcome_name(s.outcome)].push_back(s.latency_ms);
+  }
+  for (auto& [name, lats] : by_outcome) {
+    std::sort(lats.begin(), lats.end());
+    OutcomeLatency entry;
+    entry.outcome = name;
+    entry.count = lats.size();
+    entry.p50_ms = quantile(lats, 0.50);
+    entry.p99_ms = quantile(lats, 0.99);
+    entry.max_ms = lats.back();
+    total.by_outcome.push_back(std::move(entry));
+  }
+
+  // Slowest-N with trace ids: the handle into /tracez?trace_id= for the
+  // requests most worth explaining.
+  std::sort(samples.begin(), samples.end(),
+            [](const RequestSample& a, const RequestSample& b) {
+              return a.latency_ms > b.latency_ms;
+            });
+  const std::size_t keep =
+      std::min<std::size_t>(samples.size(),
+                            options.slowest < 0 ? 0 : static_cast<std::size_t>(options.slowest));
+  for (std::size_t i = 0; i < keep; ++i) {
+    total.slowest.push_back(SlowRequest{samples[i].latency_ms, outcome_name(samples[i].outcome),
+                                        std::move(samples[i].target),
+                                        std::move(samples[i].trace_id)});
+  }
   return total;
 }
 

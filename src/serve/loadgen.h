@@ -47,6 +47,27 @@ struct LoadGenOptions {
   /// Carriers are drawn uniformly from [0, carrier_universe).
   int carrier_universe = 100;
   std::uint64_t seed = 1;
+  /// How many of the slowest requests to report with their trace ids.
+  int slowest = 5;
+};
+
+/// Latency quantiles for one outcome bucket (ok, shed, expired, ...).
+struct OutcomeLatency {
+  std::string outcome;
+  std::uint64_t count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// One of the N slowest requests, linked to its server-side trace via the
+/// Traceparent response header — feed the id to /tracez?trace_id= to see
+/// where the time went.
+struct SlowRequest {
+  double latency_ms = 0.0;
+  std::string outcome;
+  std::string target;
+  std::string trace_id;  ///< 32 hex chars; empty when no header came back
 };
 
 struct LoadGenStats {
@@ -63,6 +84,12 @@ struct LoadGenStats {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  /// Latency quantiles for every outcome that occurred (sorted by outcome
+  /// name) — shed/expired latency is the cost of a rejection, and it should
+  /// be far below ok latency if admission control is doing its job.
+  std::vector<OutcomeLatency> by_outcome;
+  /// The LoadGenOptions::slowest slowest requests, slowest first.
+  std::vector<SlowRequest> slowest;
 
   /// Requests that were admitted (or refusable) and still ended without a
   /// terminal response. Zero on a healthy daemon, even under overload,

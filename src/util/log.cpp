@@ -7,6 +7,7 @@
 
 #include "obs/log_buffer.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace auric::util {
 
@@ -82,9 +83,16 @@ void log(LogLevel level, const std::string& message) {
   std::snprintf(head, sizeof(head), "[%lld.%03lld] %-5s ", static_cast<long long>(secs),
                 static_cast<long long>(millis), level_name(level));
   std::string line;
-  line.reserve(sizeof(head) + message.size() + 1);
+  line.reserve(sizeof(head) + message.size() + 48);
   line += head;
   line += message;
+  // A line emitted under an active trace names it, so grepping stderr (or
+  // /logz) for a kept trace's id finds the request's log lines.
+  const obs::TraceContext ctx = obs::current_trace_context();
+  if (ctx.trace_id.valid()) {
+    line += " trace=";
+    line += obs::trace_id_hex(ctx.trace_id);
+  }
   line += '\n';
   std::fwrite(line.data(), 1, line.size(), stderr);
   // Mirror every emitted line into the obs ring so GET /logz can show the

@@ -1,7 +1,10 @@
 #include "util/obs_flags.h"
 
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -17,6 +20,10 @@ obs::LivePlaneOptions declare_live_plane_flags(Args& args) {
   options.rules_file = args.get_string("rules", "", "alert rules CSV evaluated every sample tick");
   options.series_out =
       args.get_string("series-out", "", "write the sampled time series CSV here at exit");
+  options.profile_out = args.get_string(
+      "profile-out", "", "profile the whole run; write flamegraph-collapsed stacks here at exit");
+  options.trace_out = args.get_string(
+      "trace-out", "", "write the span JSONL (tracestats input) here at exit");
 
   if (serve.empty() || serve == "false" || serve == "no") {
     options.serve = false;
@@ -38,16 +45,49 @@ obs::LivePlaneOptions declare_live_plane_flags(Args& args) {
   return options;
 }
 
-LivePlaneScope::LivePlaneScope(const obs::LivePlaneOptions& options) : plane_(options) {
+LivePlaneScope::LivePlaneScope(const obs::LivePlaneOptions& options)
+    : plane_(options), profile_out_(options.profile_out), trace_out_(options.trace_out) {
+  if (!profile_out_.empty()) {
+    if (!obs::Profiler::supported()) {
+      log_warn("--profile-out: profiler unavailable in this build (sanitizer?); ignoring");
+      profile_out_.clear();
+    } else if (obs::Profiler::global().start()) {
+      profiling_ = true;
+    } else {
+      log_warn("--profile-out: a profile is already running; ignoring");
+      profile_out_.clear();
+    }
+  }
   if (!options.serve) return;
   plane_.start();
-  log_info(format("live plane: http://127.0.0.1:%u/metrics (healthz, varz, tracez, logz)%s%s",
-                  static_cast<unsigned>(plane_.port()),
-                  options.rules_file.empty() ? "" : ", rules=",
-                  options.rules_file.c_str()));
+  log_info(format(
+      "live plane: http://127.0.0.1:%u/metrics (healthz, varz, tracez, logz, profilez)%s%s",
+      static_cast<unsigned>(plane_.port()), options.rules_file.empty() ? "" : ", rules=",
+      options.rules_file.c_str()));
 }
 
 LivePlaneScope::~LivePlaneScope() {
+  if (profiling_) {
+    const obs::ProfileReport report = obs::Profiler::global().stop();
+    std::FILE* f = std::fopen(profile_out_.c_str(), "w");
+    if (f == nullptr) {
+      log_error("--profile-out: cannot open " + profile_out_);
+    } else {
+      std::fwrite(report.folded.data(), 1, report.folded.size(), f);
+      std::fclose(f);
+      log_info(format("profile: %llu samples (%llu dropped) written to %s",
+                      static_cast<unsigned long long>(report.samples),
+                      static_cast<unsigned long long>(report.dropped), profile_out_.c_str()));
+    }
+  }
+  if (!trace_out_.empty()) {
+    try {
+      obs::write_trace_file(obs::TraceRecorder::global(), trace_out_);
+      log_info("trace: span JSONL written to " + trace_out_);
+    } catch (const std::exception& e) {
+      log_error(std::string("--trace-out: ") + e.what());
+    }
+  }
   if (!plane_.active()) return;
   const std::string series = plane_.options().series_out;
   plane_.stop();

@@ -9,6 +9,10 @@
 //   --sample-interval-ms N   sampler cadence (default 100)
 //   --rules FILE             alert rules CSV for the RuleEngine
 //   --series-out FILE        dump the sampled time series as CSV at exit
+//   --profile-out FILE       profile the whole run (SIGPROF sampler); write
+//                            flamegraph-collapsed stacks at exit
+//   --trace-out FILE         dump the span ring as JSONL at exit (the
+//                            `auric tracestats` input)
 //
 // declare_live_plane_flags() registers them on a util::Args (so
 // check_unknown() accepts them) and returns the parsed LivePlaneOptions;
@@ -44,6 +48,9 @@ class LivePlaneScope {
 
  private:
   obs::LivePlane plane_;
+  std::string profile_out_;
+  std::string trace_out_;
+  bool profiling_ = false;
 };
 
 }  // namespace auric::util

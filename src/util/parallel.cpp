@@ -1,8 +1,12 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace auric::util {
 
@@ -13,6 +17,40 @@ std::atomic<std::size_t> g_workers{0};  // 0 = use hardware default
 // calling threads that help drain their own batch). Drives the nested-call
 // guard: parallelism requested from inside a task degrades to serial.
 thread_local bool t_in_pool_task = false;
+
+using PoolClock = std::chrono::steady_clock;
+
+// Pool utilization instruments, resolved once (references stay valid for the
+// registry's lifetime). The busy gauge and the submit-to-start wait
+// histogram are what prove — or disprove — multicore speedup: a pool whose
+// busy gauge never exceeds 1 or whose wait histogram dwarfs task runtime is
+// not buying parallelism.
+struct PoolInstruments {
+  obs::Gauge& busy;
+  obs::Histogram& wait_ms;
+};
+
+PoolInstruments& pool_instruments() {
+  static PoolInstruments* instruments = new PoolInstruments{
+      obs::MetricsRegistry::global().gauge("auric_pool_tasks_busy",
+                                           "TaskPool tasks executing right now"),
+      obs::MetricsRegistry::global().histogram(
+          "auric_pool_submit_wait_ms", obs::default_latency_bounds_ms(),
+          "submit-to-start wait of TaskPool tasks")};
+  return *instruments;
+}
+
+/// RAII busy-gauge increment around one task execution.
+struct BusyScope {
+  BusyScope() { pool_instruments().busy.add(1.0); }
+  ~BusyScope() { pool_instruments().busy.add(-1.0); }
+};
+
+double elapsed_ms(PoolClock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(PoolClock::now() -
+                                                                               since)
+      .count();
+}
 }  // namespace
 
 std::size_t worker_count() {
@@ -52,22 +90,26 @@ void TaskPool::reserve(std::size_t workers) {
 bool TaskPool::on_worker_thread() { return t_in_pool_task; }
 
 bool TaskPool::try_submit(std::function<void()> task) {
+  const PoolClock::time_point submitted = PoolClock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_ || pending_.size() >= pending_limit_) {
       return false;
     }
     if (!threads_.empty()) {
-      pending_.push_back(std::move(task));
+      pending_.push_back(Pending{std::move(task), obs::current_trace_context(), submitted});
       work_cv_.notify_one();
       return true;
     }
   }
   // No workers: degrade to inline execution with the same swallow-on-throw
-  // contract as the threaded path.
+  // contract as the threaded path. The submitter's trace context is already
+  // active on this thread.
+  pool_instruments().wait_ms.observe(elapsed_ms(submitted));
   const bool was_in_task = t_in_pool_task;
   t_in_pool_task = true;
   try {
+    BusyScope busy;
     task();
   } catch (...) {
     // Detached tasks own their errors; see the header.
@@ -127,6 +169,8 @@ void TaskPool::run(std::vector<std::function<void()>> tasks) {
     Batch batch;
     batch.tasks = &tasks;
     batch.errors.resize(tasks.size());
+    batch.ctx = obs::current_trace_context();
+    batch.submitted = PoolClock::now();
     {
       std::lock_guard<std::mutex> lock(mu_);
       open_batches_.push_back(&batch);
@@ -160,9 +204,16 @@ void TaskPool::remove_open(Batch& batch) {
 }
 
 void TaskPool::execute(Batch& batch, std::size_t index) {
+  pool_instruments().wait_ms.observe(elapsed_ms(batch.submitted));
   const bool was_in_task = t_in_pool_task;
   t_in_pool_task = true;
   try {
+    // Re-establish the submitter's trace context: a span opened by this
+    // task parents under the submitting thread's span. Restored on exit —
+    // also on the submitter's own help loop, where installing its own
+    // context is a harmless no-op.
+    obs::TraceContextScope trace_scope(batch.ctx);
+    BusyScope busy;
     (*batch.tasks)[index]();
   } catch (...) {
     batch.errors[index] = std::current_exception();
@@ -212,14 +263,17 @@ void TaskPool::worker_loop() {
       continue;
     }
     if (!pending_.empty()) {
-      std::function<void()> task = std::move(pending_.front());
+      Pending pending = std::move(pending_.front());
       pending_.pop_front();
       ++detached_running_;
       lock.unlock();
+      pool_instruments().wait_ms.observe(elapsed_ms(pending.submitted));
       const bool was_in_task = t_in_pool_task;
       t_in_pool_task = true;
       try {
-        task();
+        obs::TraceContextScope trace_scope(pending.ctx);
+        BusyScope busy;
+        pending.task();
       } catch (...) {
         // Detached tasks own their errors; see the header.
       }

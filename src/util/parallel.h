@@ -11,6 +11,7 @@
 // way — callers must still ensure per-task work is independent.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -18,6 +19,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/trace_context.h"
 
 namespace auric::util {
 
@@ -40,6 +43,15 @@ void set_worker_count(std::size_t workers);
 /// nested batch inline on the current thread instead of re-entering the
 /// queue, so nested parallelism can neither deadlock the pool nor
 /// oversubscribe the host.
+///
+/// Trace propagation: run() and try_submit() capture the submitting
+/// thread's obs::TraceContext and every task executes under it, so spans
+/// opened inside a pool task join the submitter's trace and parent under
+/// the submitter's span — one request (or one replay day) stitches into a
+/// single trace tree across the fan-out. The pool also feeds two
+/// utilization instruments (auric_pool_tasks_busy,
+/// auric_pool_submit_wait_ms) that make queueing delay and real
+/// parallelism measurable.
 class TaskPool {
  public:
   /// Spawns `workers` persistent threads (0 = no threads; run() executes
@@ -94,6 +106,16 @@ class TaskPool {
     std::size_t done = 0;              ///< tasks finished (under mu_)
     std::vector<std::exception_ptr> errors;
     std::condition_variable done_cv;
+    obs::TraceContext ctx;             ///< submitter's trace context
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  /// One detached task with its submitter's context and submit time (for
+  /// the submit-to-start wait histogram).
+  struct Pending {
+    std::function<void()> task;
+    obs::TraceContext ctx;
+    std::chrono::steady_clock::time_point submitted;
   };
 
   void worker_loop();
@@ -113,7 +135,7 @@ class TaskPool {
   std::condition_variable idle_cv_;
   std::vector<std::thread> threads_;
   std::deque<Batch*> open_batches_;  ///< batches with unclaimed tasks
-  std::deque<std::function<void()>> pending_;  ///< detached tasks (try_submit)
+  std::deque<Pending> pending_;      ///< detached tasks (try_submit)
   std::size_t pending_limit_ = 1024;
   std::size_t detached_running_ = 0;  ///< detached tasks currently executing
   bool stop_ = false;

@@ -1,6 +1,7 @@
 #include "obs/log_buffer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_stats.h"
 
 #include <gtest/gtest.h>
 
@@ -528,6 +529,297 @@ TEST(BreakerObs, TransitionsAndRefusalsAreCounted) {
   EXPECT_EQ(to_closed.value(), closed0 + 1);
   EXPECT_DOUBLE_EQ(state.value(),
                    static_cast<double>(util::CircuitBreaker::State::kClosed));
+}
+
+// --- trace context and the traceparent wire format ---
+
+TEST(TraceContext, TraceparentRoundTripsThroughParse) {
+  const TraceId id{0x0af7651916cd43ddULL, 0x8448eb211c80319cULL};
+  const std::string header = format_traceparent(id, 0xb7ad6b7169203331ULL);
+  EXPECT_EQ(header, "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01");
+  const std::optional<Traceparent> parsed = parse_traceparent(header);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, id);
+  EXPECT_EQ(parsed->parent_span, 0xb7ad6b7169203331ULL);
+  EXPECT_TRUE(parsed->sampled());
+  EXPECT_EQ(trace_id_hex(id), "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(parse_trace_id_hex(trace_id_hex(id)), id);
+}
+
+TEST(TraceContext, TraceparentRejectsTruncatedGarbageAndZeroIds) {
+  const std::string valid = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  ASSERT_TRUE(parse_traceparent(valid).has_value());
+  // Every strict prefix is a truncation and must be rejected.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_FALSE(parse_traceparent(std::string_view(valid).substr(0, len)).has_value())
+        << "accepted a " << len << "-char truncation";
+  }
+  // Garbage in every field.
+  EXPECT_FALSE(parse_traceparent("not a traceparent header, not even close to 1").has_value());
+  EXPECT_FALSE(
+      parse_traceparent("zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01").has_value());
+  EXPECT_FALSE(
+      parse_traceparent("00-0af7651916cd43dd8448eb211c8031XX-b7ad6b7169203331-01").has_value());
+  EXPECT_FALSE(
+      parse_traceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033XX-01").has_value());
+  EXPECT_FALSE(
+      parse_traceparent("00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01").has_value());
+  // All-zero trace id and all-zero parent id are invalid per spec.
+  EXPECT_FALSE(
+      parse_traceparent("00-00000000000000000000000000000000-b7ad6b7169203331-01").has_value());
+  EXPECT_FALSE(
+      parse_traceparent("00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01").has_value());
+  // Version ff is reserved; version 00 must be exactly 55 chars.
+  EXPECT_FALSE(
+      parse_traceparent("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01").has_value());
+  EXPECT_FALSE(parse_traceparent(valid + "-suffix").has_value());
+  // Foreign (future) versions are tolerated, with or without a suffix —
+  // but the suffix must be '-'-separated.
+  EXPECT_TRUE(
+      parse_traceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01").has_value());
+  EXPECT_TRUE(parse_traceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-xtra")
+                  .has_value());
+  EXPECT_FALSE(parse_traceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01xtra")
+                   .has_value());
+}
+
+TEST(TraceContext, ScopeInstallsAndRestoresTheThreadContext) {
+  const TraceContext before = current_trace_context();
+  const TraceId id{7, 9};
+  {
+    TraceContextScope scope(TraceContext{id, 3, 0});
+    EXPECT_EQ(current_trace_context().trace_id, id);
+    EXPECT_EQ(current_trace_context().span, 3u);
+    {
+      TraceContextScope inner(TraceContext{});  // explicit detach
+      EXPECT_FALSE(current_trace_context().trace_id.valid());
+    }
+    EXPECT_EQ(current_trace_context().trace_id, id);
+  }
+  EXPECT_EQ(current_trace_context().trace_id, before.trace_id);
+}
+
+TEST(Trace, AdoptedContextJoinsTheSubmittersTrace) {
+  TraceRecorder rec(16);
+  TraceContext captured;
+  TraceId trace;
+  std::uint64_t outer_id = 0;
+  {
+    ScopedSpan outer("outer", rec);
+    trace = outer.trace();
+    outer_id = outer.id();
+    EXPECT_TRUE(trace.valid());
+    captured = current_trace_context();
+    // Worker-thread handoff, the way TaskPool does it.
+    std::thread worker([&] {
+      TraceContextScope adopt(captured);
+      ScopedSpan inner("inner", rec);
+      EXPECT_EQ(inner.trace(), trace);
+    });
+    worker.join();
+  }
+  const std::vector<SpanRecord> spans = rec.records();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent, outer_id);
+  EXPECT_EQ(spans[0].trace, trace);
+  EXPECT_EQ(spans[1].trace, trace);
+}
+
+// --- tail-based retention ---
+
+TEST(Trace, TailRetentionKeepsSlowTracesWithTheirSpanTrees) {
+  TraceRecorder rec(64);
+  TailOptions tail;
+  tail.min_ms = 0.0;  // everything is "slow enough"
+  rec.set_tail_options(tail);
+  TraceId id;
+  {
+    ScopedSpan root("root", rec);
+    id = root.trace();
+    ScopedSpan child("child", rec);
+  }
+  const std::vector<KeptTrace> kept = rec.kept_traces();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].trace, id);
+  EXPECT_FALSE(kept[0].error);
+  ASSERT_EQ(kept[0].spans.size(), 2u);  // completion order
+  EXPECT_EQ(kept[0].spans[0].name, "child");
+  EXPECT_EQ(kept[0].spans[1].name, "root");
+}
+
+TEST(Trace, TailRetentionKeepsErrorTracesUnderRingPressure) {
+  TraceRecorder rec(64);
+  TailOptions tail;
+  tail.min_ms = 1e9;  // nothing qualifies on duration
+  tail.capacity = 2;
+  rec.set_tail_options(tail);
+
+  {
+    ScopedSpan fast("fast.and.fine", rec);
+  }
+  EXPECT_TRUE(rec.kept_traces().empty());  // fast + healthy -> discarded
+
+  TraceId errs[3];
+  for (int i = 0; i < 3; ++i) {
+    {
+      ScopedSpan s("err." + std::to_string(i), rec);
+      errs[i] = s.trace();
+      rec.mark_trace_error();
+    }
+    {
+      ScopedSpan healthy("healthy.between", rec);
+    }
+  }
+  // Capacity 2 under pressure: the two newest error traces survive, the
+  // healthy traces never entered, the evicted one is counted.
+  const std::vector<KeptTrace> kept = rec.kept_traces();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].trace, errs[1]);
+  EXPECT_EQ(kept[1].trace, errs[2]);
+  EXPECT_TRUE(kept[0].error);
+  EXPECT_TRUE(kept[1].error);
+  EXPECT_EQ(rec.kept_dropped(), 1u);
+  EXPECT_EQ(kept[1].spans.size(), 1u);  // the healthy child trace is separate
+}
+
+TEST(Trace, TracezAnswersTraceIdAndMinMsQueries) {
+  TraceRecorder rec(64);
+  TailOptions tail;
+  tail.min_ms = 0.0;
+  rec.set_tail_options(tail);
+  TraceId id;
+  {
+    ScopedSpan root("queried", rec);
+    id = root.trace();
+  }
+  {
+    ScopedSpan other("other", rec);
+  }
+
+  const std::string by_id = tracez_text(rec, "trace_id=" + trace_id_hex(id));
+  EXPECT_NE(by_id.find("\"name\":\"queried\""), std::string::npos);
+  EXPECT_EQ(by_id.find("\"name\":\"other\""), std::string::npos);
+  EXPECT_NE(by_id.find("\"trace\":\"" + trace_id_hex(id) + "\""), std::string::npos);
+  EXPECT_TRUE(tracez_text(rec, "trace_id=" + std::string(32, 'e')).empty());
+  EXPECT_TRUE(tracez_text(rec, "trace_id=garbage").empty());
+
+  const std::string slow = tracez_text(rec, "min_ms=0");
+  EXPECT_NE(slow.find("\"dur_ms\":"), std::string::npos);  // per-trace header line
+  EXPECT_NE(slow.find("\"name\":\"queried\""), std::string::npos);
+  EXPECT_TRUE(tracez_text(rec, "min_ms=100000").empty());
+
+  // No query: the live ring, unchanged (back-compat with old scrapers).
+  const std::string live = tracez_text(rec, "");
+  EXPECT_NE(live.find("\"name\":\"other\""), std::string::npos);
+}
+
+// --- histogram exemplars ---
+
+TEST(Histogram, ExemplarsLinkBucketsToTraces) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("exemplar_ms", {1.0, 10.0});
+  EXPECT_FALSE(h.exemplars_enabled());
+  EXPECT_TRUE(h.exemplars().empty());
+  h.observe(0.5);  // before enabling: counted, no exemplar
+  h.enable_exemplars();
+  h.enable_exemplars();  // idempotent
+  ASSERT_TRUE(h.exemplars_enabled());
+
+  const TraceId id{0, 42};
+  {
+    TraceContextScope scope(TraceContext{id, 7, 0});
+    h.observe(5.0);
+  }
+  h.observe(100.0);  // no active trace: the overflow bucket stays bare
+
+  const std::vector<HistogramExemplar> ex = h.exemplars();
+  ASSERT_EQ(ex.size(), 3u);
+  EXPECT_FALSE(ex[0].trace_id.valid());
+  EXPECT_EQ(ex[1].trace_id, id);
+  EXPECT_DOUBLE_EQ(ex[1].value, 5.0);
+  EXPECT_FALSE(ex[2].trace_id.valid());
+
+  // OpenMetrics rendering: the exemplar rides its bucket line.
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# {trace_id=\"" + trace_id_hex(id) + "\"} 5"), std::string::npos);
+
+  // reset clears exemplars with the counts.
+  reg.reset_values();
+  for (const HistogramExemplar& e : h.exemplars()) {
+    EXPECT_FALSE(e.trace_id.valid());
+  }
+}
+
+// --- offline latency attribution (tracestats) ---
+
+TEST(TraceStats, FoldsSelfTimeAndCriticalPaths) {
+  // root [0,10ms] with children fast [0,2ms] and slow [2,9ms]: self 1ms,
+  // critical path root>slow (slow finishes last).
+  const std::string jsonl =
+      "{\"id\":1,\"parent\":0,\"trace\":\"t1\",\"name\":\"root\",\"start_ns\":0,"
+      "\"end_ns\":10000000}\n"
+      "{\"id\":2,\"parent\":1,\"trace\":\"t1\",\"name\":\"fast\",\"start_ns\":0,"
+      "\"end_ns\":2000000}\n"
+      "{\"id\":3,\"parent\":1,\"trace\":\"t1\",\"name\":\"slow\",\"start_ns\":2000000,"
+      "\"end_ns\":9000000}\n"
+      "this line is junk and must be skipped, not fatal\n";
+  const TraceStatsReport report = compute_trace_stats(jsonl);
+  EXPECT_EQ(report.spans, 3u);
+  EXPECT_EQ(report.skipped_lines, 1u);
+  ASSERT_EQ(report.by_name.size(), 3u);
+  // Sorted by self time: slow (7ms), fast (2ms), root (10 - 9 = 1ms).
+  EXPECT_EQ(report.by_name[0].name, "slow");
+  EXPECT_DOUBLE_EQ(report.by_name[0].self_ms, 7.0);
+  EXPECT_EQ(report.by_name[2].name, "root");
+  EXPECT_DOUBLE_EQ(report.by_name[2].total_ms, 10.0);
+  EXPECT_DOUBLE_EQ(report.by_name[2].self_ms, 1.0);
+  ASSERT_EQ(report.paths.size(), 1u);
+  EXPECT_EQ(report.paths[0].path, "root>slow");
+  EXPECT_DOUBLE_EQ(report.paths[0].dur_ms, 10.0);
+  EXPECT_EQ(report.paths[0].trace, "t1");
+
+  const std::string csv = trace_stats_csv(report);
+  EXPECT_EQ(csv.rfind("kind,trace,name,count,total_ms,self_ms\n", 0), 0u);
+  EXPECT_NE(csv.find("name,,slow,1,7.000,7.000"), std::string::npos);
+  EXPECT_NE(csv.find("critical,t1,root>slow,1,10.000,0.000"), std::string::npos);
+}
+
+TEST(TraceStats, RootNameRootsPathsBelowTheTraceRoot) {
+  // day spans nest under run; --root day must still yield per-day paths.
+  const std::string jsonl =
+      "{\"id\":1,\"parent\":0,\"trace\":\"t\",\"name\":\"run\",\"start_ns\":0,"
+      "\"end_ns\":30000000}\n"
+      "{\"id\":2,\"parent\":1,\"trace\":\"t\",\"name\":\"day\",\"start_ns\":0,"
+      "\"end_ns\":10000000}\n"
+      "{\"id\":3,\"parent\":2,\"trace\":\"t\",\"name\":\"launch\",\"start_ns\":1000000,"
+      "\"end_ns\":9000000}\n"
+      "{\"id\":4,\"parent\":1,\"trace\":\"t\",\"name\":\"day\",\"start_ns\":10000000,"
+      "\"end_ns\":30000000}\n";
+  TraceStatsOptions options;
+  options.root = "day";
+  const TraceStatsReport report = compute_trace_stats(jsonl, options);
+  ASSERT_EQ(report.paths.size(), 2u);
+  EXPECT_EQ(report.paths[0].path, "day");        // the slower, childless day
+  EXPECT_DOUBLE_EQ(report.paths[0].dur_ms, 20.0);
+  EXPECT_EQ(report.paths[1].path, "day>launch");
+  EXPECT_DOUBLE_EQ(report.paths[1].dur_ms, 10.0);
+}
+
+TEST(TraceStats, TopTruncatesBothSections) {
+  std::string jsonl;
+  for (int i = 0; i < 6; ++i) {
+    jsonl += "{\"id\":" + std::to_string(i + 1) + ",\"parent\":0,\"trace\":\"t" +
+             std::to_string(i) + "\",\"name\":\"span." + std::to_string(i) +
+             "\",\"start_ns\":0,\"end_ns\":" + std::to_string((i + 1) * 1000000) + "}\n";
+  }
+  TraceStatsOptions options;
+  options.top = 2;
+  const TraceStatsReport report = compute_trace_stats(jsonl, options);
+  ASSERT_EQ(report.by_name.size(), 2u);
+  EXPECT_EQ(report.by_name[0].name, "span.5");  // largest self time first
+  ASSERT_EQ(report.paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.paths[0].dur_ms, 6.0);
 }
 
 }  // namespace

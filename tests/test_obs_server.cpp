@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
@@ -16,9 +17,11 @@
 
 #include "obs/http_listener.h"
 #include "obs/log_buffer.h"
+#include "obs/profiler.h"
 #include "obs/rules.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace auric::obs {
 namespace {
@@ -354,6 +357,123 @@ TEST(HttpListener, ClientAbortAfterResponseStartsDoesNotKillTheProcess) {
   EXPECT_EQ(read_all(fd).rfind("HTTP/1.1 200", 0), 0u);
   ::close(fd);
   listener.stop();
+}
+
+TEST(MetricsServer, TracezRoutesTraceIdAndMinMsQueries) {
+  MetricsRegistry reg;
+  MetricsServer server(reg);
+  TraceRecorder traces(16);
+  TailOptions tail;
+  tail.min_ms = 0.0;
+  traces.set_tail_options(tail);
+  TraceId id;
+  {
+    ScopedSpan span("kept.span", traces);
+    id = span.trace();
+  }
+  server.set_trace_recorder(&traces);
+  MetricsServer::Response by_id =
+      server.handle("GET", "/tracez?trace_id=" + trace_id_hex(id));
+  EXPECT_EQ(by_id.status, 200);
+  EXPECT_NE(by_id.body.find("\"name\":\"kept.span\""), std::string::npos);
+  MetricsServer::Response miss =
+      server.handle("GET", "/tracez?trace_id=" + std::string(32, 'e'));
+  EXPECT_EQ(miss.status, 200);
+  EXPECT_TRUE(miss.body.empty());
+  MetricsServer::Response slow = server.handle("GET", "/tracez?min_ms=0");
+  EXPECT_NE(slow.body.find("\"dur_ms\":"), std::string::npos);
+}
+
+TEST(MetricsServer, ProfilezReportsSupportBusyAndBadParams) {
+  MetricsRegistry reg;
+  MetricsServer server(reg);
+  if (!Profiler::supported()) {
+    // Sanitizer / non-Linux builds: the route must say so, not 404.
+    EXPECT_EQ(server.handle("GET", "/profilez").status, 501);
+    return;
+  }
+  EXPECT_EQ(server.handle("GET", "/profilez?seconds=abc").status, 400);
+
+  // Keep a core busy so SIGPROF has CPU time to sample.
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    volatile std::uint64_t sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      sink = sink * 31 + 1;
+    }
+  });
+  MetricsServer::Response profile = server.handle("GET", "/profilez?seconds=1");
+  stop.store(true);
+  burner.join();
+  EXPECT_EQ(profile.status, 200);
+  EXPECT_EQ(profile.body.rfind("# samples=", 0), 0u);
+  EXPECT_NE(profile.body.find(" dropped="), std::string::npos);
+}
+
+TEST(HttpListener, AdoptsTraceparentAndEchoesTheTraceInTheResponse) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  TailOptions tail;
+  tail.min_ms = 0.0;  // keep every finalized trace for the assertions
+  rec.set_tail_options(tail);
+
+  HttpListener listener(
+      [](const HttpRequest& request) {
+        const int status = request.path() == "/boom" ? 500 : 200;
+        return HttpResponse{status, "text/plain", "done\n", {}};
+      },
+      HttpListenerOptions{});
+  listener.start();
+
+  const std::string client_header = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  int fd = connect_to(listener.port());
+  const std::string request =
+      "GET /hello HTTP/1.1\r\nTraceparent: " + client_header + "\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  const std::string response = read_all(fd);
+  ::close(fd);
+
+  // The response carries the SAME trace id with the server's span id.
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_NE(response.find("\r\nTraceparent: 00-0af7651916cd43dd8448eb211c80319c-"),
+            std::string::npos);
+  EXPECT_EQ(response.find("Traceparent: " + client_header), std::string::npos);
+
+  // The adopted trace was finalized server-side and is queryable by its id.
+  const TraceId id = *parse_trace_id_hex("0af7651916cd43dd8448eb211c80319c");
+  const std::vector<KeptTrace> kept = rec.kept_traces();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].trace, id);
+  EXPECT_FALSE(kept[0].error);
+  ASSERT_EQ(kept[0].spans.size(), 1u);
+  EXPECT_EQ(kept[0].spans[0].name, "http./hello");
+  // The remote parent id is recorded verbatim on the server's root span.
+  EXPECT_EQ(kept[0].spans[0].parent, 0xb7ad6b7169203331ULL);
+
+  // A 5xx response marks its trace as an error.
+  fd = connect_to(listener.port());
+  const std::string boom =
+      "GET /boom HTTP/1.1\r\nTraceparent: 00-0af7651916cd43dd8448eb211c80319d-"
+      "b7ad6b7169203331-01\r\n\r\n";
+  ::send(fd, boom.data(), boom.size(), 0);
+  const std::string boom_response = read_all(fd);
+  ::close(fd);
+  EXPECT_EQ(boom_response.rfind("HTTP/1.1 500", 0), 0u);
+  const std::vector<KeptTrace> kept_after = rec.kept_traces();
+  ASSERT_EQ(kept_after.size(), 2u);
+  EXPECT_TRUE(kept_after[1].error);
+
+  // A request WITHOUT a traceparent still gets a trace of its own.
+  fd = connect_to(listener.port());
+  const std::string bare = "GET /hello HTTP/1.1\r\n\r\n";
+  ::send(fd, bare.data(), bare.size(), 0);
+  const std::string bare_response = read_all(fd);
+  ::close(fd);
+  EXPECT_NE(bare_response.find("\r\nTraceparent: 00-"), std::string::npos);
+
+  listener.stop();
+  rec.clear();
+  rec.set_tail_options(TailOptions{});  // restore defaults for later tests
 }
 
 }  // namespace

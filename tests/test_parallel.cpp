@@ -1,5 +1,6 @@
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -10,6 +11,9 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace auric::util {
 namespace {
@@ -258,6 +262,103 @@ TEST_F(TaskPoolTest, DestructionDrainsAdmittedDetachedTasks) {
     cv.notify_all();
   }  // ~TaskPool joins the worker
   EXPECT_EQ(hits.load(), 8);
+}
+
+TEST_F(TaskPoolTest, RunPropagatesTheSubmittersTraceContext) {
+  TaskPool pool(3);
+  obs::TraceRecorder rec(256);
+  obs::TraceId trace;
+  std::uint64_t root_id = 0;
+  std::atomic<int> mismatches{0};
+  {
+    obs::ScopedSpan root("root", rec);
+    trace = root.trace();
+    root_id = root.id();
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([&] {
+        if (obs::current_trace_context().trace_id != trace) mismatches.fetch_add(1);
+        obs::ScopedSpan task_span("task", rec);
+        if (task_span.trace() != trace) mismatches.fetch_add(1);
+      });
+    }
+    pool.run(std::move(tasks));
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  const std::vector<obs::SpanRecord> spans = rec.records();
+  ASSERT_EQ(spans.size(), 17u);
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_EQ(s.trace, trace) << s.name;
+    if (s.name == "task") {
+      EXPECT_EQ(s.parent, root_id);
+    }
+  }
+}
+
+TEST_F(TaskPoolTest, NestedParallelForReestablishesTheSubmittersContext) {
+  // The acceptance shape for one sharded replay day: a root span, a
+  // parallel_for fan-out, and a nested parallel_for inside each task (runs
+  // inline under the guard). Every span on every thread must land in the
+  // root's trace, parented under the submitting span.
+  set_worker_count(4);
+  obs::TraceRecorder rec(1024);
+  obs::TraceId trace;
+  std::atomic<int> mismatches{0};
+  {
+    obs::ScopedSpan root("root", rec);
+    trace = root.trace();
+    parallel_for(8, [&](std::size_t) {
+      if (obs::current_trace_context().trace_id != trace) mismatches.fetch_add(1);
+      obs::ScopedSpan outer("task.outer", rec);
+      parallel_for(4, [&](std::size_t) {
+        if (obs::current_trace_context().trace_id != trace) mismatches.fetch_add(1);
+        obs::ScopedSpan inner("task.inner", rec);
+        if (inner.trace() != trace) mismatches.fetch_add(1);
+      });
+    });
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  const std::vector<obs::SpanRecord> spans = rec.records();
+  ASSERT_EQ(spans.size(), 1u + 8u + 32u);
+  std::size_t inner_count = 0;
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_EQ(s.trace, trace) << s.name;
+    if (s.name == "task.inner") {
+      ++inner_count;
+      // The inner span's parent is a task.outer span (same trace tree).
+      const auto parent =
+          std::find_if(spans.begin(), spans.end(),
+                       [&](const obs::SpanRecord& p) { return p.id == s.parent; });
+      ASSERT_NE(parent, spans.end());
+      EXPECT_EQ(parent->name, "task.outer");
+    }
+  }
+  EXPECT_EQ(inner_count, 32u);
+}
+
+TEST_F(TaskPoolTest, TrySubmitPropagatesContextAndObservesQueueWait) {
+  TaskPool pool(2);
+  obs::TraceRecorder rec(64);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Histogram& wait = reg.histogram("auric_pool_submit_wait_ms",
+                                       obs::default_latency_bounds_ms(),
+                                       "submit-to-start wait of TaskPool tasks");
+  const std::uint64_t wait0 = wait.count();
+  obs::TraceId trace;
+  {
+    obs::ScopedSpan root("root", rec);
+    trace = root.trace();
+    ASSERT_TRUE(pool.try_submit([&] {
+      obs::ScopedSpan detached("detached", rec);
+      (void)detached;
+    }));
+    pool.wait_idle();
+  }
+  const std::vector<obs::SpanRecord> spans = rec.records();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "detached");
+  EXPECT_EQ(spans[0].trace, trace);
+  EXPECT_GT(wait.count(), wait0);  // the queue wait was observed
 }
 
 TEST_F(TaskPoolTest, BatchesStillRunWhileDetachedTasksAreQueued) {

@@ -15,6 +15,7 @@
 #include "config/ground_truth.h"
 #include "obs/rules.h"
 #include "obs/sampler.h"
+#include "obs/trace.h"
 #include "serve/loadgen.h"
 #include "smartlaunch/sharded_ems.h"
 #include "test_helpers.h"
@@ -376,6 +377,69 @@ TEST(ServeDaemon, ServesTheSeededLoadgenOverARealSocket) {
   LoadGenStats after = run_loadgen(lg);
   EXPECT_EQ(after.refused, after.sent);
   EXPECT_EQ(after.lost(), 0u);
+}
+
+TEST(ServeDaemon, OneTraceStitchesListenerAdmissionBulkheadAndEngineSpans) {
+  // The observability acceptance shape: a client-chosen traceparent rides a
+  // real /recommend over loopback, the response echoes the trace id, the
+  // kept trace shows every hop, and the latency histogram's bucket carries
+  // the trace id as an exemplar on /metrics.
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  rec.clear();
+  obs::TailOptions tail;
+  tail.min_ms = 0.0;  // keep every finalized trace for the assertions
+  rec.set_tail_options(tail);
+
+  Fixture f;
+  ServeOptions o = f.options();
+  o.http.threads = 2;
+  ServeDaemon daemon = f.daemon(o);
+  daemon.start();
+  ASSERT_NE(daemon.port(), 0);
+
+  LoadGenOptions lg;
+  lg.port = daemon.port();
+  lg.clients = 2;
+  lg.requests_per_client = 10;
+  lg.healthz_weight = 0.0;  // every request is a traced data request
+  lg.carrier_universe = static_cast<int>(f.topo.carrier_count());
+  lg.slowest = 3;
+  LoadGenStats stats = run_loadgen(lg);
+  EXPECT_GT(stats.ok, 0u);
+  EXPECT_EQ(stats.lost(), 0u);
+
+  // Per-outcome quantiles and the slowest-N report came back filled in.
+  ASSERT_FALSE(stats.by_outcome.empty());
+  EXPECT_EQ(stats.by_outcome[0].outcome, "ok");
+  EXPECT_GT(stats.by_outcome[0].count, 0u);
+  ASSERT_FALSE(stats.slowest.empty());
+  EXPECT_GE(stats.slowest[0].latency_ms, stats.slowest.back().latency_ms);
+
+  // Every data response echoed the client's trace id (32 hex chars).
+  const std::string& trace_id = stats.slowest[0].trace_id;
+  ASSERT_EQ(trace_id.size(), 32u) << "no Traceparent came back on the slowest request";
+
+  // The kept trace for that id contains every hop of the request path.
+  const std::string endpoint =
+      stats.slowest[0].target.rfind("/diff", 0) == 0 ? "diff" : "recommend";
+  const obs::HttpResponse tracez = daemon.handle(get("/tracez?trace_id=" + trace_id));
+  ASSERT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("\"trace\":\"" + trace_id + "\""), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"name\":\"http./" + endpoint + "\""), std::string::npos)
+      << tracez.body;
+  EXPECT_NE(tracez.body.find("\"name\":\"serve." + endpoint + "\""), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"name\":\"serve.admission\""), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"name\":\"serve.bulkhead\""), std::string::npos);
+  EXPECT_NE(tracez.body.find("\"name\":\"serve.engine\""), std::string::npos);
+
+  // The latency histogram exposes SOME trace id as an OpenMetrics exemplar.
+  const obs::HttpResponse metrics = daemon.handle(get("/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("# {trace_id=\""), std::string::npos);
+
+  daemon.drain();
+  rec.clear();
+  rec.set_tail_options(obs::TailOptions{});  // restore defaults
 }
 
 TEST(ServeDaemon, OverloadShedsButAdmittedRequestsMeetTheirDeadline) {

@@ -40,6 +40,10 @@
 //       Seeded closed-loop load generator against a serve daemon; exits
 //       nonzero if any well-formed request got no terminal response.
 //
+//   auric tracestats --in FILE [--root NAME] [--top N] [--out FILE]
+//       Fold a span JSONL file (--trace-out, /tracez) into per-span-name
+//       total/self time and per-trace critical paths, as CSV.
+//
 // Every subcommand additionally accepts the live-plane flags
 // (--serve-metrics[=PORT] --sample-interval-ms --rules FILE --series-out):
 // with --serve-metrics the process exposes /metrics /healthz /varz /tracez
@@ -48,6 +52,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <optional>
 #include <thread>
@@ -64,6 +70,7 @@
 #include "netsim/generator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_stats.h"
 #include "obs/rules.h"
 #include "obs/sampler.h"
 #include "serve/daemon.h"
@@ -464,6 +471,8 @@ int cmd_loadgen(util::Args& args) {
   options.carrier_universe = static_cast<int>(
       args.get_int("carrier-universe", 100, "carriers are drawn from [0, N)"));
   options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1, "request-mix seed"));
+  options.slowest = static_cast<int>(
+      args.get_int("slowest", 5, "report the N slowest requests with their trace ids"));
   if (args.help_requested()) return 0;
   args.check_unknown();
   if (options.port == 0) throw std::invalid_argument("loadgen: --port is required");
@@ -482,6 +491,15 @@ int cmd_loadgen(util::Args& args) {
               static_cast<unsigned long long>(stats.faults_injected));
   std::printf("loadgen: ok latency p50 %.2f ms, p99 %.2f ms, max %.2f ms\n", stats.p50_ms,
               stats.p99_ms, stats.max_ms);
+  for (const serve::OutcomeLatency& o : stats.by_outcome) {
+    std::printf("loadgen: outcome %-12s n=%-5llu p50 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+                o.outcome.c_str(), static_cast<unsigned long long>(o.count), o.p50_ms, o.p99_ms,
+                o.max_ms);
+  }
+  for (const serve::SlowRequest& s : stats.slowest) {
+    std::printf("loadgen: slow %8.2f ms  %-12s %s trace=%s\n", s.latency_ms, s.outcome.c_str(),
+                s.target.c_str(), s.trace_id.empty() ? "-" : s.trace_id.c_str());
+  }
   if (stats.lost() != 0) {
     std::fprintf(stderr,
                  "loadgen: %llu well-formed requests got NO terminal response — the daemon "
@@ -492,9 +510,43 @@ int cmd_loadgen(util::Args& args) {
   return 0;
 }
 
+int cmd_tracestats(util::Args& args) {
+  const std::string in = args.get_string("in", "", "span JSONL file (--trace-out or /tracez)");
+  obs::TraceStatsOptions options;
+  options.root = args.get_string(
+      "root", "", "report critical paths only for roots with this span name (e.g. replay.day)");
+  options.top =
+      static_cast<std::size_t>(args.get_int("top", 20, "rows per section (0 = all)"));
+  const std::string out = args.get_string("out", "", "write the CSV here instead of stdout");
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  if (in.empty()) throw std::invalid_argument("tracestats: --in is required");
+
+  std::ifstream file(in, std::ios::binary);
+  if (!file) throw std::runtime_error("tracestats: cannot read " + in);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string jsonl = buffer.str();
+
+  const obs::TraceStatsReport report = obs::compute_trace_stats(jsonl, options);
+  const std::string csv = obs::trace_stats_csv(report);
+  if (out.empty()) {
+    std::fputs(csv.c_str(), stdout);
+  } else {
+    std::ofstream sink(out, std::ios::binary);
+    if (!sink) throw std::runtime_error("tracestats: cannot write " + out);
+    sink << csv;
+  }
+  std::fprintf(stderr, "tracestats: %llu spans, %llu non-span lines skipped\n",
+               static_cast<unsigned long long>(report.spans),
+               static_cast<unsigned long long>(report.skipped_lines));
+  return 0;
+}
+
 int usage() {
   std::fputs(
-      "usage: auric <generate|inspect|evaluate|recommend|rules|replay|serve|loadgen> [flags]\n"
+      "usage: auric "
+      "<generate|inspect|evaluate|recommend|rules|replay|serve|loadgen|tracestats> [flags]\n"
       "run a subcommand with --help for its flags\n"
       "every subcommand accepts --metrics-out PATH (.prom/.csv/.json), --trace-out PATH\n"
       "(JSONL spans), and the live-plane flags --serve-metrics[=PORT]\n"
@@ -529,6 +581,7 @@ int main(int argc, char** argv) {
     else if (command == "replay") rc = cli::cmd_replay(args);
     else if (command == "serve") rc = cli::cmd_serve(args);
     else if (command == "loadgen") rc = cli::cmd_loadgen(args);
+    else if (command == "tracestats") rc = cli::cmd_tracestats(args);
     else return cli::usage();
     if (args.help_requested()) {
       std::fputs(args.usage().c_str(), stdout);

@@ -69,10 +69,12 @@ def main():
     current = load_arms(args.current)
 
     regressions = []
+    unbaselined = []
     width = max((len(n) for n in current), default=0)
     for name in sorted(current):
         if name not in baseline:
             print(f"  NEW       {name:<{width}}  {fmt_ns(current[name])}")
+            unbaselined.append(name)
             continue
         base, cur = baseline[name], current[name]
         ratio = cur / base if base > 0 else 1.0
@@ -83,6 +85,14 @@ def main():
             regressions.append(name)
     for name in sorted(set(baseline) - set(current)):
         print(f"  MISSING   {name} (in baseline, not in current run)")
+
+    if unbaselined:
+        # Loud but non-fatal: an arm without a baseline is an arm the gate
+        # silently cannot protect, which is how regressions sneak in.
+        print(f"\nWARNING: {len(unbaselined)} arm(s) have no baseline and are "
+              f"NOT gated: {', '.join(unbaselined)}", file=sys.stderr)
+        print(f"WARNING: refresh it with: tools/bench_compare.py "
+              f"{args.baseline} {args.current} --update", file=sys.stderr)
 
     if regressions:
         print(f"\n{len(regressions)} arm(s) regressed more than "
