@@ -9,6 +9,7 @@
 #include "io/launch_state.h"
 #include "core/dependency.h"
 #include "core/engine.h"
+#include "core/model_watch.h"
 #include "core/param_view.h"
 #include "core/voting.h"
 #include "ml/chi_square.h"
@@ -195,6 +196,28 @@ void BM_EngineRecommendCarrier(benchmark::State& state) {
                           static_cast<std::int64_t>(w.catalog.singular_ids().size()));
 }
 BENCHMARK(BM_EngineRecommendCarrier);
+
+// The same walk with a ModelWatch attached: prices the per-recommendation
+// telemetry (pre-resolved instruments, relaxed atomics). The §17 budget is
+// <5% over BM_EngineRecommendCarrier — eyeball the pair in any report; CI
+// gates both through the shared 25% baseline window.
+void BM_ModelWatchRecommend(benchmark::State& state) {
+  const World& w = world();
+  static obs::MetricsRegistry registry;
+  static const core::ModelWatch watch(w.catalog, registry);
+  static core::AuricEngine engine(w.topo, w.schema, w.catalog, w.assignment);
+  engine.set_watch(&watch);
+  netsim::CarrierId carrier = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.recommend_singular(carrier));
+    carrier = static_cast<netsim::CarrierId>((carrier + 1) %
+                                             static_cast<netsim::CarrierId>(
+                                                 w.topo.carrier_count()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.catalog.singular_ids().size()));
+}
+BENCHMARK(BM_ModelWatchRecommend);
 
 // --- SmartLaunch push / sharded replay -------------------------------------
 //

@@ -3,6 +3,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "core/model_watch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/strings.h"
@@ -131,8 +132,10 @@ Recommendation AuricEngine::recommend(config::ParamId param, netsim::CarrierId c
     rec.votes = vote.count;
     rec.group_size = vote.group_size;
     rec.support = vote.support();
+    rec.margin = vote.margin();
     rec.source = source;
     recommendation_counter(source).inc();
+    if (watch_ != nullptr) watch_->record(rec);
   };
 
   if (options_.use_proximity) {
@@ -166,6 +169,7 @@ Recommendation AuricEngine::recommend(config::ParamId param, netsim::CarrierId c
   rec.value = def.default_index;
   rec.source = RecommendationSource::kRulebookDefault;
   recommendation_counter(rec.source).inc();
+  if (watch_ != nullptr) watch_->record(rec);
   return rec;
 }
 
@@ -212,8 +216,10 @@ Recommendation AuricEngine::recommend_for(const netsim::Carrier& new_carrier,
     rec.votes = vote.count;
     rec.group_size = vote.group_size;
     rec.support = vote.support();
+    rec.margin = vote.margin();
     rec.source = source;
     recommendation_counter(source).inc();
+    if (watch_ != nullptr) watch_->record(rec);
   };
 
   if (options_.use_proximity) {
@@ -230,6 +236,7 @@ Recommendation AuricEngine::recommend_for(const netsim::Carrier& new_carrier,
   rec.value = def.default_index;
   rec.source = RecommendationSource::kRulebookDefault;
   recommendation_counter(rec.source).inc();
+  if (watch_ != nullptr) watch_->record(rec);
   return rec;
 }
 

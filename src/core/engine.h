@@ -61,7 +61,10 @@ struct Recommendation {
   std::int32_t votes = 0;       ///< votes for the winning value
   std::int32_t group_size = 0;  ///< peers that voted
   double support = 0.0;         ///< votes / group_size
+  double margin = 0.0;          ///< (votes - runner-up) / group_size; 0 for defaults
 };
+
+class ModelWatch;
 
 class AuricEngine {
  public:
@@ -121,6 +124,14 @@ class AuricEngine {
   std::string explain(const Recommendation& rec, netsim::CarrierId carrier,
                       netsim::CarrierId neighbor = netsim::kInvalidCarrier) const;
 
+  /// Attaches a per-parameter telemetry sink: every recommendation produced
+  /// by recommend*/recommend_for* is mirrored into `watch` (see
+  /// core/model_watch.h). Pass nullptr to detach. The watch must outlive the
+  /// engine; recording is lock-free, so a watched engine stays safe to share
+  /// across reader threads.
+  void set_watch(const ModelWatch* watch) { watch_ = watch; }
+  const ModelWatch* watch() const { return watch_; }
+
  private:
   const netsim::Topology* topology_;
   const netsim::AttributeSchema* schema_;
@@ -131,6 +142,7 @@ class AuricEngine {
   std::vector<ParamView> views_;              // by catalog param id
   std::vector<DependencyModel> dependencies_;
   std::vector<BackoffVoting> voting_;
+  const ModelWatch* watch_ = nullptr;
 
   /// Row of `view(param)` holding the carrier's own current observation for
   /// this exact slot, or -1.

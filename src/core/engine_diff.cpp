@@ -1,0 +1,116 @@
+#include "core/engine_diff.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace auric::core {
+
+namespace {
+
+void append_churn_json(std::string& out, const EngineDiffReport::ParamChurn& churn) {
+  out += util::format("{\"param\":\"%s\",\"flips\":%zu,\"source_changes\":%zu}",
+                      churn.name.c_str(), churn.flips, churn.source_changes);
+}
+
+}  // namespace
+
+std::string EngineDiffReport::json(std::size_t top) const {
+  std::string out = util::format(
+      "{\"carriers_sampled\":%zu,\"slots_compared\":%zu,\"flips\":%zu,"
+      "\"source_changes\":%zu,\"flip_rate\":%.6g,\"mean_support_delta\":%.6g,"
+      "\"top_churn\":[",
+      carriers_sampled, slots_compared, flips, source_changes, flip_rate, mean_support_delta);
+  const std::size_t n = top == 0 ? churn.size() : std::min(top, churn.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ",";
+    append_churn_json(out, churn[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string EngineDiffReport::text(std::size_t top) const {
+  std::string out;
+  out += util::format("carriers sampled   %zu\n", carriers_sampled);
+  out += util::format("slots compared     %zu\n", slots_compared);
+  out += util::format("value flips        %zu (flip rate %.4f)\n", flips, flip_rate);
+  out += util::format("source changes     %zu\n", source_changes);
+  out += util::format("mean support delta %+.4f\n", mean_support_delta);
+  const std::size_t n = top == 0 ? churn.size() : std::min(top, churn.size());
+  if (n > 0) {
+    out += "churned parameters (flips / source changes):\n";
+    for (std::size_t i = 0; i < n; ++i) {
+      out += util::format("  %-28s %6zu %6zu\n", churn[i].name.c_str(), churn[i].flips,
+                          churn[i].source_changes);
+    }
+  }
+  return out;
+}
+
+EngineDiffReport diff_engines(const AuricEngine& prev, const AuricEngine& next,
+                              std::size_t sample, std::uint64_t seed) {
+  if (prev.catalog().size() != next.catalog().size()) {
+    throw std::invalid_argument("diff_engines: engines use different parameter catalogs");
+  }
+  const std::size_t carriers = prev.topology().carrier_count();
+  if (carriers != next.topology().carrier_count()) {
+    throw std::invalid_argument("diff_engines: engines cover different carrier id spaces");
+  }
+
+  // Seeded sample without replacement: shuffle the id space and take the
+  // prefix, so the audited set is stable for a given (sample, seed).
+  std::vector<netsim::CarrierId> ids(carriers);
+  for (std::size_t i = 0; i < carriers; ++i) ids[i] = static_cast<netsim::CarrierId>(i);
+  if (sample > 0 && sample < carriers) {
+    util::Rng rng(seed);
+    rng.shuffle(ids);
+    ids.resize(sample);
+    std::sort(ids.begin(), ids.end());
+  }
+
+  EngineDiffReport report;
+  report.carriers_sampled = ids.size();
+  const auto& singular = prev.catalog().singular_ids();
+  std::vector<EngineDiffReport::ParamChurn> churn(prev.catalog().size());
+  double support_delta_sum = 0.0;
+  for (netsim::CarrierId carrier : ids) {
+    const std::vector<Recommendation> before = prev.recommend_singular(carrier);
+    const std::vector<Recommendation> after = next.recommend_singular(carrier);
+    for (std::size_t i = 0; i < singular.size(); ++i) {
+      ++report.slots_compared;
+      support_delta_sum += after[i].support - before[i].support;
+      const bool flip = before[i].value != after[i].value;
+      const bool source_change = before[i].source != after[i].source;
+      if (flip) {
+        ++report.flips;
+        ++churn[static_cast<std::size_t>(singular[i])].flips;
+      }
+      if (source_change) {
+        ++report.source_changes;
+        ++churn[static_cast<std::size_t>(singular[i])].source_changes;
+      }
+    }
+  }
+  if (report.slots_compared > 0) {
+    report.flip_rate =
+        static_cast<double>(report.flips) / static_cast<double>(report.slots_compared);
+    report.mean_support_delta = support_delta_sum / static_cast<double>(report.slots_compared);
+  }
+  for (std::size_t p = 0; p < churn.size(); ++p) {
+    if (churn[p].flips == 0 && churn[p].source_changes == 0) continue;
+    churn[p].param = static_cast<config::ParamId>(p);
+    churn[p].name = prev.catalog().at(static_cast<config::ParamId>(p)).name;
+    report.churn.push_back(std::move(churn[p]));
+  }
+  std::sort(report.churn.begin(), report.churn.end(),
+            [](const EngineDiffReport::ParamChurn& a, const EngineDiffReport::ParamChurn& b) {
+              if (a.flips != b.flips) return a.flips > b.flips;
+              return a.param < b.param;
+            });
+  return report;
+}
+
+}  // namespace auric::core

@@ -1,0 +1,58 @@
+// EngineDiff: the relearn shadow-audit (DESIGN.md §17).
+//
+// A relearn swaps the serving engine wholesale; before that flip the operator
+// needs evidence of what the new model would change. diff_engines replays a
+// deterministic sample of carriers through both engines' singular
+// recommendation paths and reports the disagreement surface: how many slots
+// flip value, how many change provenance, how support moved, and which
+// parameters churn most. Serve runs it inside POST /relearn (a flip rate
+// above ServeOptions::max_flip_rate refuses the swap into degraded mode);
+// `auric modeldiff` runs the same comparison offline over two checkpointed
+// inventories.
+//
+// The sample is seeded, so the same (engines, sample, seed) triple always
+// audits the same carriers — audits are reproducible evidence, not spot
+// checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/catalog.h"
+#include "core/engine.h"
+
+namespace auric::core {
+
+struct EngineDiffReport {
+  std::size_t carriers_sampled = 0;
+  std::size_t slots_compared = 0;    ///< carriers x singular parameters
+  std::size_t flips = 0;             ///< slots whose recommended value changed
+  std::size_t source_changes = 0;    ///< slots whose provenance changed
+  double flip_rate = 0.0;            ///< flips / slots_compared
+  double mean_support_delta = 0.0;   ///< mean(new support - old support)
+
+  struct ParamChurn {
+    config::ParamId param = 0;
+    std::string name;
+    std::size_t flips = 0;
+    std::size_t source_changes = 0;
+  };
+  /// Parameters with any churn, most flips first (ties: lower id first).
+  std::vector<ParamChurn> churn;
+
+  /// JSON object (the /relearn and /modelz "audit" payload); `top` caps the
+  /// churn list (0 = all).
+  std::string json(std::size_t top = 10) const;
+  /// Human-readable table for the modeldiff CLI.
+  std::string text(std::size_t top = 10) const;
+};
+
+/// Compares `next` against `prev` on a seeded sample of up to `sample`
+/// carriers (0 = all). Both engines must be built over the same parameter
+/// catalog and the same carrier id space; throws std::invalid_argument when
+/// the catalogs or carrier counts disagree.
+EngineDiffReport diff_engines(const AuricEngine& prev, const AuricEngine& next,
+                              std::size_t sample, std::uint64_t seed);
+
+}  // namespace auric::core

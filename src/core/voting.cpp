@@ -70,8 +70,11 @@ std::optional<Vote> VotingModel::winner(const Group& group, ml::ClassLabel exclu
     std::int32_t c = count;
     if (exclude_one && label == excluded) --c;
     if (c > best.count || (c == best.count && best.label >= 0 && label < best.label)) {
+      best.runner_up = best.count;
       best.label = label;
       best.count = c;
+    } else if (c > best.runner_up) {
+      best.runner_up = c;
     }
   }
   if (exclude_one) --total;
@@ -154,22 +157,28 @@ std::optional<Vote> local_vote(const ParamView& view, std::span<const AttrRef> d
   if (voters == 0 || total <= 0.0) return std::nullopt;
   ml::ClassLabel best_label = -1;
   double best_weight = 0.0;
+  double runner_weight = 0.0;
   for (const auto& [label, count] : counts) {
     if (count > best_weight || (count == best_weight && best_label >= 0 && label < best_label)) {
+      runner_weight = best_weight;
       best_label = label;
       best_weight = count;
+    } else if (count > runner_weight) {
+      runner_weight = count;
     }
   }
   if (best_weight / total < threshold) return std::nullopt;
   Vote best;
   best.label = best_label;
   best.count = static_cast<std::int32_t>(std::lround(best_weight));
+  best.runner_up = static_cast<std::int32_t>(std::lround(runner_weight));
   best.group_size = voters;
   // Vote::support() reports count/group_size; for weighted votes the
   // decisive quantity is the weight fraction, so re-derive counts such that
   // support() reflects it as closely as integer fields allow.
   if (!carrier_weights.empty()) {
     best.count = static_cast<std::int32_t>(std::lround(best_weight / total * voters));
+    best.runner_up = static_cast<std::int32_t>(std::lround(runner_weight / total * voters));
   }
   return best;
 }

@@ -29,9 +29,17 @@ struct GroupKeyHash {
 struct Vote {
   ml::ClassLabel label = -1;     ///< winning class (ParamView label space)
   std::int32_t count = 0;        ///< votes for the winner
+  std::int32_t runner_up = 0;    ///< votes for the second-placed class (0 if unanimous)
   std::int32_t group_size = 0;   ///< total voters
   double support() const {
     return group_size > 0 ? static_cast<double>(count) / static_cast<double>(group_size) : 0.0;
+  }
+  /// Decisiveness of the win: (winner - runner-up) / group. 1.0 when the
+  /// group is unanimous, -> 0 when the top two classes are nearly tied.
+  double margin() const {
+    return group_size > 0
+               ? static_cast<double>(count - runner_up) / static_cast<double>(group_size)
+               : 0.0;
   }
 };
 

@@ -87,6 +87,15 @@ void MetricsServer::stop() {
   }
 }
 
+void MetricsServer::set_json_source(std::string path, std::function<std::string()> source) {
+  std::lock_guard<std::mutex> lock(extra_mu_);
+  if (source) {
+    extra_[std::move(path)] = std::move(source);
+  } else {
+    extra_.erase(path);
+  }
+}
+
 MetricsServer::Response MetricsServer::handle(std::string_view method,
                                               std::string_view target) const {
   if (method != "GET") {
@@ -131,8 +140,26 @@ MetricsServer::Response MetricsServer::handle(std::string_view method,
     return {200, "text/plain; charset=utf-8", logs_->text()};
   }
   if (target == "/" || target.empty()) {
-    return {200, "text/plain; charset=utf-8",
-            "auric live plane\n/metrics /healthz /varz /tracez /logz /profilez\n"};
+    std::string index = "auric live plane\n/metrics /healthz /varz /tracez /logz /profilez";
+    {
+      std::lock_guard<std::mutex> lock(extra_mu_);
+      for (const auto& [path, source] : extra_) index += " " + path;
+    }
+    index += "\n";
+    return {200, "text/plain; charset=utf-8", std::move(index)};
+  }
+  {
+    // Auxiliary endpoints (e.g. /modelz): copy the source out under the
+    // lock, render outside it so a slow source never blocks registration.
+    std::function<std::string()> source;
+    {
+      std::lock_guard<std::mutex> lock(extra_mu_);
+      const auto it = extra_.find(target);
+      if (it != extra_.end()) source = it->second;
+    }
+    if (source) {
+      return {200, "application/json", source()};
+    }
   }
   return {404, "text/plain; charset=utf-8", "unknown endpoint\n"};
 }

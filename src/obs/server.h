@@ -22,7 +22,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -61,6 +64,15 @@ class MetricsServer {
   void set_trace_recorder(const TraceRecorder* recorder) { traces_ = recorder; }
   void set_log_buffer(const LogBuffer* buffer) { logs_ = buffer; }
 
+  /// Registers (or replaces) an auxiliary GET endpoint at `path` (leading
+  /// slash required, e.g. "/modelz") whose application/json body is rendered
+  /// by `source` at request time; an empty function unregisters. Unlike the
+  /// built-in sources this is mutex-guarded, so callers that only learn
+  /// their data source after the plane is up (replay wiring /modelz to its
+  /// ModelWatch) may register mid-run. The source must stay valid until
+  /// stop() or unregistration.
+  void set_json_source(std::string path, std::function<std::string()> source);
+
   /// Binds, listens and launches the server thread. Throws
   /// std::runtime_error when the socket cannot be bound.
   void start();
@@ -96,6 +108,11 @@ class MetricsServer {
   const RuleEngine* rules_ = nullptr;
   const TraceRecorder* traces_ = nullptr;
   const LogBuffer* logs_ = nullptr;
+
+  /// Auxiliary JSON endpoints; guarded (registration can race the server
+  /// thread).
+  mutable std::mutex extra_mu_;
+  std::map<std::string, std::function<std::string()>, std::less<>> extra_;
 
   std::unique_ptr<HttpListener> listener_;
 };

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/engine_diff.h"
 #include "obs/rules.h"
 #include "obs/server.h"
 #include "obs/trace.h"
@@ -110,6 +111,7 @@ ServeDaemon::ServeDaemon(const netsim::Topology& topology,
       rulebook_(ground_truth, catalog),
       options_(std::move(options)),
       registry_(&registry),
+      watch_(catalog, registry),
       pool_(static_cast<std::size_t>(std::max(1, options_.workers))),
       bulk_used_(static_cast<std::size_t>(std::max(1, options_.bulkheads)), 0),
       requests_recommend_(registry.counter("auric_serve_requests_total", "serve requests",
@@ -129,6 +131,9 @@ ServeDaemon::ServeDaemon(const netsim::Topology& topology,
           registry.counter("auric_serve_engine_swaps_total", "successful hot engine swaps")),
       relearn_failures_total_(registry.counter("auric_serve_relearn_failures_total",
                                                "relearns that failed (last-good kept)")),
+      relearn_refused_total_(registry.counter(
+          "auric_serve_relearn_refused_total",
+          "relearns the shadow-audit refused (flip rate over max_flip_rate)")),
       errors_total_(registry.counter("auric_serve_errors_total",
                                      "requests answered 500 (handler threw)")),
       queue_depth_(registry.gauge("auric_serve_queue_depth", "requests in the admission window")),
@@ -137,6 +142,8 @@ ServeDaemon::ServeDaemon(const netsim::Topology& topology,
       up_gauge_(registry.gauge("auric_serve_up", "1 while the daemon accepts requests")),
       generation_gauge_(
           registry.gauge("auric_serve_engine_generation", "generation of the served engine")),
+      flip_rate_gauge_(registry.gauge("auric_serve_relearn_flip_rate",
+                                      "flip rate of the last relearn shadow-audit")),
       latency_recommend_(registry.histogram("auric_serve_latency_ms",
                                             obs::default_latency_bounds_ms(),
                                             "serve latency", {{"endpoint", "recommend"}})),
@@ -179,6 +186,10 @@ std::unique_ptr<ServeDaemon::EngineBundle> ServeDaemon::build_bundle() {
   if (bundle->engine == nullptr) {
     throw std::runtime_error("serve: engine builder returned null");
   }
+  // Every bundle records into the daemon-lifetime watch, so per-parameter
+  // telemetry survives hot swaps (the audit's own recommend calls record too
+  // — model counters measure engine traffic, not client traffic).
+  bundle->engine->set_watch(&watch_);
   bundle->controller = std::make_unique<smartlaunch::LaunchController>(
       *bundle->engine, rulebook_, *assignment_, smartlaunch::VendorFaultOptions{},
       smartlaunch::PushPolicy{}, options_.seed);
@@ -201,13 +212,12 @@ void ServeDaemon::warm_up() {
   generation_gauge_.set(1.0);
 }
 
-bool ServeDaemon::relearn() {
+bool ServeDaemon::relearn() { return relearn_audited(nullptr) == RelearnOutcome::kSwapped; }
+
+ServeDaemon::RelearnOutcome ServeDaemon::relearn_audited(std::string* audit_json) {
   std::lock_guard<std::mutex> relearn_lock(relearn_mu_);
-  std::uint64_t next_generation = 0;
-  {
-    std::lock_guard<std::mutex> lock(bundle_mu_);
-    next_generation = (bundle_ == nullptr ? 0 : bundle_->generation) + 1;
-  }
+  const std::shared_ptr<const EngineBundle> current = snapshot();
+  const std::uint64_t next_generation = (current == nullptr ? 0 : current->generation) + 1;
   std::unique_ptr<EngineBundle> fresh;
   try {
     fresh = build_bundle();
@@ -219,9 +229,46 @@ bool ServeDaemon::relearn() {
     degraded_gauge_.set(1.0);
     util::log(util::LogLevel::kError,
               util::format("serve: relearn failed (%s); serving last-good engine", e.what()));
-    return false;
+    return RelearnOutcome::kFailed;
   }
   fresh->generation = next_generation;
+
+  // Shadow-audit (DESIGN.md §17): replay a seeded carrier sample through the
+  // serving and fresh engines BEFORE the flip. A flip rate over the cap means
+  // the new model disagrees with the serving one on too much of the network
+  // to trust a hot swap — keep last-good, surface degraded, leave the audit
+  // on /modelz as the evidence an operator needs to adjudicate.
+  if (current != nullptr && current->engine != nullptr) {
+    try {
+      const core::EngineDiffReport report = core::diff_engines(
+          *current->engine, *fresh->engine, options_.audit_sample, options_.seed);
+      flip_rate_gauge_.set(report.flip_rate);
+      std::string audit = report.json();
+      if (audit_json != nullptr) {
+        *audit_json = audit;
+      }
+      {
+        std::lock_guard<std::mutex> lock(audit_mu_);
+        last_audit_ = std::move(audit);
+      }
+      if (report.flip_rate > options_.max_flip_rate) {
+        relearn_refused_total_.inc();
+        degraded_.store(true);
+        degraded_gauge_.set(1.0);
+        util::log(util::LogLevel::kError,
+                  util::format("serve: relearn refused (flip rate %.4f > %.4f); "
+                               "serving last-good engine",
+                               report.flip_rate, options_.max_flip_rate));
+        return RelearnOutcome::kRefused;
+      }
+    } catch (const std::exception& e) {
+      // A test-injected builder may produce an engine the audit cannot
+      // compare (different catalog or carrier space). The engine itself is
+      // usable, so swap unaudited rather than fail the relearn.
+      util::log(util::LogLevel::kWarn,
+                util::format("serve: relearn audit skipped (%s)", e.what()));
+    }
+  }
   {
     // RCU-style flip: in-flight requests hold their own shared_ptr and
     // finish on the bundle they started with.
@@ -232,7 +279,23 @@ bool ServeDaemon::relearn() {
   degraded_.store(false);
   degraded_gauge_.set(0.0);
   generation_gauge_.set(static_cast<double>(next_generation));
-  return true;
+  // Each swapped relearn closes a ModelWatch drift day: the drift gauges
+  // compare recommendation traffic between relearn epochs.
+  watch_.roll_day();
+  return RelearnOutcome::kSwapped;
+}
+
+std::string ServeDaemon::modelz_json() const {
+  std::string audit;
+  {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    audit = last_audit_;
+  }
+  std::string body = "{\"generation\":" + std::to_string(generation()) +
+                     ",\"degraded\":" + (degraded_.load() ? "true" : "false") +
+                     ",\"audit\":" + (audit.empty() ? "null" : audit) +
+                     ",\"model\":" + watch_.modelz_json() + "}";
+  return body;
 }
 
 void ServeDaemon::start() {
@@ -320,11 +383,14 @@ obs::HttpResponse ServeDaemon::handle(const obs::HttpRequest& request) {
       std::string body = obs::profilez_text(request.query(), &status);
       return {status, "text/plain; charset=utf-8", std::move(body), {}};
     }
+    if (path == "/modelz") {
+      return json_response(200, modelz_json());
+    }
     if (path == "/" || path.empty()) {
       return {200,
               "text/plain; charset=utf-8",
               "auric serve\nGET /recommend?carrier=N[&neighbor=M]  GET /diff?carrier=N\n"
-              "GET /healthz /metrics /varz /tracez /profilez   POST /relearn /quit\n",
+              "GET /healthz /metrics /varz /tracez /profilez /modelz   POST /relearn /quit\n",
               {}};
     }
     if (path == "/recommend" || path == "/diff") {
@@ -334,13 +400,18 @@ obs::HttpResponse ServeDaemon::handle(const obs::HttpRequest& request) {
   }
   if (request.method == "POST") {
     if (path == "/relearn") {
-      const bool ok = relearn();
-      if (ok) {
-        return json_response(
-            200, "{\"status\":\"swapped\",\"generation\":" + std::to_string(generation()) + "}");
+      std::string audit;
+      const RelearnOutcome outcome = relearn_audited(&audit);
+      if (audit.empty()) {
+        audit = "null";
       }
-      return json_response(
-          503, "{\"status\":\"degraded\",\"generation\":" + std::to_string(generation()) + "}");
+      const char* status = outcome == RelearnOutcome::kSwapped   ? "swapped"
+                           : outcome == RelearnOutcome::kRefused ? "refused"
+                                                                 : "degraded";
+      const int code = outcome == RelearnOutcome::kSwapped ? 200 : 503;
+      return json_response(code, std::string("{\"status\":\"") + status +
+                                     "\",\"generation\":" + std::to_string(generation()) +
+                                     ",\"audit\":" + audit + "}");
     }
     if (path == "/quit") {
       util::request_drain();
@@ -534,7 +605,8 @@ obs::HttpResponse ServeDaemon::compute(const obs::HttpRequest& request,
       body += std::string(",\"source\":\"") + core::recommendation_source_name(rec.source) +
               "\",\"votes\":" + std::to_string(rec.votes) +
               ",\"group_size\":" + std::to_string(rec.group_size) +
-              ",\"support\":" + util::format("%.4f", rec.support) + "}";
+              ",\"support\":" + util::format("%.4f", rec.support) +
+              ",\"margin\":" + util::format("%.4f", rec.margin) + "}";
     }
     body += "]}";
     return json_response(200, std::move(body));

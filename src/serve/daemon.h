@@ -7,7 +7,9 @@
 //   GET  /diff?carrier=N                     SmartLaunch plan (vendor vs Auric)
 //   GET  /healthz                            ok|degraded|overloaded|draining
 //   GET  /metrics, /varz                     registry exposition
-//   POST /relearn                            rebuild + hot-swap the engine
+//   GET  /modelz                             model-quality plane: ModelWatch
+//                                            telemetry + the last relearn audit
+//   POST /relearn                            rebuild, shadow-audit, hot-swap
 //   POST /quit                               request a graceful drain
 //
 // Robustness is layered in request order (DESIGN.md §15):
@@ -27,6 +29,11 @@
 //               requests finish on the engine they started with, and a
 //               FAILED relearn keeps serving the last-good bundle with
 //               /healthz flipped to degraded
+//   audit       before a relearn flips the bundle, core::diff_engines replays
+//               a seeded carrier sample through the old and new engines; a
+//               flip rate above ServeOptions::max_flip_rate REFUSES the swap
+//               (last-good kept, degraded) — the shadow-audit of DESIGN.md
+//               §17. The audit report rides the /relearn response and /modelz.
 //   drain       stop admitting, finish in-flight work, answer stragglers
 //               with 503, exit 0 (SIGTERM/SIGINT via util::drain)
 #pragma once
@@ -45,6 +52,7 @@
 #include "config/ground_truth.h"
 #include "config/rulebook.h"
 #include "core/engine.h"
+#include "core/model_watch.h"
 #include "netsim/attributes.h"
 #include "netsim/topology.h"
 #include "obs/http_listener.h"
@@ -83,6 +91,15 @@ struct ServeOptions {
   int overload_grace_ms = 2000;
   /// Vendor-fault seed for the LaunchController behind /diff.
   std::uint64_t seed = 4242;
+  /// Shadow-audit breadth: carriers replayed through the old AND new engine
+  /// before a relearn flips the bundle (0 = every carrier). Seeded by `seed`,
+  /// so repeated relearns audit the same sample.
+  std::size_t audit_sample = 48;
+  /// Relearns whose audited flip rate EXCEEDS this refuse the swap: the
+  /// last-good bundle keeps serving and /healthz reports degraded until a
+  /// later relearn passes. 1.0 (the default) disables the guard — a rate can
+  /// equal but never exceed it.
+  double max_flip_rate = 1.0;
 };
 
 class ServeDaemon {
@@ -130,10 +147,29 @@ class ServeDaemon {
   /// Engine generation currently served (0 before warm_up()).
   std::uint64_t generation() const;
 
-  /// Rebuilds the engine via the builder and hot-swaps it in. Returns false
-  /// — keeping the last-good bundle and flipping degraded — when the builder
-  /// throws. Serialized; callable while serving.
+  /// How a relearn ended: swapped in, builder threw (last-good kept), or the
+  /// shadow-audit refused the swap (last-good kept, degraded).
+  enum class RelearnOutcome { kSwapped, kFailed, kRefused };
+
+  /// Rebuilds the engine via the builder, shadow-audits the fresh bundle
+  /// against the serving one (core::diff_engines over a seeded carrier
+  /// sample), and hot-swaps it in unless the audited flip rate exceeds
+  /// Options::max_flip_rate. `audit_json`, when non-null, receives the
+  /// EngineDiffReport JSON (empty when no audit ran — first warm-up or a
+  /// failed build). Serialized; callable while serving.
+  RelearnOutcome relearn_audited(std::string* audit_json);
+
+  /// relearn_audited() == kSwapped. Kept for callers that only care whether
+  /// a usable engine is being served.
   bool relearn();
+
+  /// The per-parameter model telemetry every served recommendation records
+  /// into (DESIGN.md §17). Relearn rolls its drift day.
+  const core::ModelWatch& model_watch() const { return watch_; }
+
+  /// The /modelz document: generation, degraded flag, the last relearn audit
+  /// (null before the first relearn) and the ModelWatch snapshot.
+  std::string modelz_json() const;
 
   /// Requests in the admission window right now.
   std::size_t admitted() const { return admitted_.load(); }
@@ -173,7 +209,12 @@ class ServeDaemon {
   config::Rulebook rulebook_;
   Options options_;
   obs::MetricsRegistry* registry_;
+  core::ModelWatch watch_;  ///< attached to every bundle in build_bundle()
   const obs::RuleEngine* rules_ = nullptr;
+
+  /// Last relearn audit JSON (empty until the first audited relearn).
+  mutable std::mutex audit_mu_;
+  std::string last_audit_;
 
   mutable std::mutex bundle_mu_;
   std::shared_ptr<const EngineBundle> bundle_;
@@ -201,11 +242,13 @@ class ServeDaemon {
   obs::Counter& timeouts_total_;
   obs::Counter& engine_swaps_total_;
   obs::Counter& relearn_failures_total_;
+  obs::Counter& relearn_refused_total_;
   obs::Counter& errors_total_;
   obs::Gauge& queue_depth_;
   obs::Gauge& degraded_gauge_;
   obs::Gauge& up_gauge_;
   obs::Gauge& generation_gauge_;
+  obs::Gauge& flip_rate_gauge_;
   obs::Histogram& latency_recommend_;
   obs::Histogram& latency_diff_;
 };

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "core/model_watch.h"
 #include "io/launch_state.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -52,7 +53,13 @@ OperationReplay::OperationReplay(const netsim::Topology& topology,
       catalog_(&catalog),
       ground_truth_(&ground_truth),
       state_(std::move(assignment)),
-      options_(options) {}
+      options_(options) {
+  if (options_.model_watch) {
+    watch_ = std::make_unique<core::ModelWatch>(catalog);
+  }
+}
+
+OperationReplay::~OperationReplay() = default;
 
 void OperationReplay::apply_slot(const SlotRef& slot, config::ValueIndex value,
                                  std::vector<RecordedWrite>* record) {
@@ -186,6 +193,7 @@ ReplayReport OperationReplay::run() {
   std::unique_ptr<LaunchController> controller;
   const auto rebuild_engine = [&] {
     engine = std::make_unique<core::AuricEngine>(*topology_, *schema_, *catalog_, state_);
+    if (watch_ != nullptr) engine->set_watch(watch_.get());
     controller = std::make_unique<LaunchController>(*engine, rulebook, state_,
                                                     options_.vendor_faults,
                                                     options_.push_policy, options_.seed);
@@ -219,6 +227,21 @@ ReplayReport OperationReplay::run() {
     relearn_delta_ = delta_;
     ++report.engine_relearns;
   };
+
+  // Joins the KPI-gate verdict back to every parameter the launch planned
+  // to change (DESIGN.md §17). Lock-free on the watch, so shard workers
+  // call it directly; only terminal accept/rollback verdicts count.
+  const auto record_gate_outcomes =
+      [&](const RobustLaunchRecord& rec,
+          const std::vector<LaunchController::PlannedChange>& changes) {
+        if (watch_ == nullptr) return;
+        const bool accepted = rec.outcome == RobustOutcome::kImplemented ||
+                              rec.outcome == RobustOutcome::kRecovered;
+        if (!accepted && rec.outcome != RobustOutcome::kRolledBack) return;
+        for (const auto& change : changes) {
+          watch_->record_gate_outcome(change.slot.param, accepted);
+        }
+      };
 
   WeeklySummary week;
   week.week = 1;
@@ -528,6 +551,7 @@ ReplayReport OperationReplay::run() {
               // push, rollback loop and unlock, and owns the journal cleanup
               // for terminal outcomes.
               const RobustLaunchRecord rec = gate->push_gated_launch(carrier, changes);
+              record_gate_outcomes(rec, changes);
               applied = rec.changes_applied;
               report.robust.retries += static_cast<std::size_t>(rec.retries);
               if (rec.chunks > 1) ++report.robust.chunked;
@@ -650,6 +674,7 @@ ReplayReport OperationReplay::run() {
         }
         // Same KPI-gated path as the main launch stream (unlocks internally).
         const RobustLaunchRecord rec = gate->push_gated_launch(carrier, changes);
+        record_gate_outcomes(rec, changes);
         report.robust.retries += static_cast<std::size_t>(rec.retries);
         report.robust.rollbacks += static_cast<std::size_t>(rec.rollbacks);
         report.robust.rollback_retries += static_cast<std::size_t>(rec.rollback_retries);
@@ -685,6 +710,10 @@ ReplayReport OperationReplay::run() {
         if (persist) checkpoint(day, options_.launches_per_day);
       }
       drain_span.reset();
+
+      // Close the telemetry day: day-over-day drift (chi-square + PSI) and
+      // coverage gauges. Metrics only — never part of the replay output.
+      if (watch_ != nullptr) watch_->roll_day();
 
       if ((day + 1) % 7 == 0 || day + 1 == options_.days) flush_week();
       if (persist) checkpoint(day + 1, 0);
@@ -760,6 +789,7 @@ ReplayReport OperationReplay::run() {
               }
               if (options_.robust) {
                 r.rec = gate->push_gated_launch(carrier, changes);
+                record_gate_outcomes(r.rec, changes);
                 r.robust_used = true;
                 r.applied = r.rec.changes_applied;
               } else {
@@ -809,6 +839,7 @@ ReplayReport OperationReplay::run() {
             d.no_change = true;
           } else {
             d.rec = gate->push_gated_launch(carrier, changes);
+            record_gate_outcomes(d.rec, changes);
             for (std::size_t s = 0; s < d.rec.changes_applied && s < changes.size(); ++s) {
               apply_slot(changes[s].slot, changes[s].new_value, &d.writes);
             }
@@ -934,6 +965,9 @@ ReplayReport OperationReplay::run() {
           }
         }
       }
+
+      // Close the telemetry day after the merge (workers are quiescent).
+      if (watch_ != nullptr) watch_->roll_day();
 
       if (options_.stop_after_launches > 0 &&
           report.totals.launches >= static_cast<std::size_t>(options_.stop_after_launches)) {

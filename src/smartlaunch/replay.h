@@ -44,6 +44,10 @@
 #include "smartlaunch/pipeline.h"
 #include "smartlaunch/robust_pipeline.h"
 
+namespace auric::core {
+class ModelWatch;
+}
+
 namespace auric::smartlaunch {
 
 struct ReplayOptions {
@@ -92,6 +96,12 @@ struct ReplayOptions {
   /// Sharded runs round the stop up to the end of the day that crosses the
   /// threshold (day granularity matches the sharded checkpoint cadence).
   int stop_after_launches = 0;
+  /// Attach a core::ModelWatch to the engine: per-parameter recommendation
+  /// telemetry, KPI-gate outcome joins and day-over-day drift gauges
+  /// (DESIGN.md §17). Metrics only — weekly output stays byte-identical
+  /// with the watch on or off. Watch state is in-memory (not checkpointed):
+  /// a resumed run's drift gauges restart from its resume day.
+  bool model_watch = true;
 };
 
 ///// Recovery-mode counters (populated when ReplayOptions::robust).
@@ -157,6 +167,7 @@ class OperationReplay {
                   const config::ParamCatalog& catalog,
                   const config::GroundTruthModel& ground_truth,
                   config::ConfigAssignment assignment, ReplayOptions options = {});
+  ~OperationReplay();  // out-of-line: ModelWatch is forward-declared here
 
   /// Runs the full window and returns the report. Each carrier launches at
   /// most once; the launch order is a seeded shuffle of the inventory.
@@ -164,6 +175,10 @@ class OperationReplay {
 
   /// The evolved snapshot (valid after run()).
   const config::ConfigAssignment& network_state() const { return state_; }
+
+  /// The attached model watch (null when ReplayOptions::model_watch is
+  /// false). Live during run() — the /modelz endpoint reads it mid-window.
+  const core::ModelWatch* model_watch() const { return watch_.get(); }
 
  private:
   /// Slot identity for the evolving-state delta: (pairwise, column position,
@@ -176,6 +191,7 @@ class OperationReplay {
   const config::GroundTruthModel* ground_truth_;
   config::ConfigAssignment state_;
   ReplayOptions options_;
+  std::unique_ptr<core::ModelWatch> watch_;
 
   /// Slot writes since construction (delta vs. the initial assignment),
   /// tracked only when checkpointing is enabled.

@@ -369,14 +369,16 @@ TEST(RuleEngine, QuantileSuffixValidationAndLabelColonsDoNotCollide) {
 #ifdef AURIC_EXAMPLES_DIR
 TEST(RuleEngine, ShippedDefaultRulesStayQuietWithoutServeTraffic) {
   // Pins the shipped examples/default.rules file: it must load, carry the
-  // three serve-plane rules, and fire NOTHING when the serve series are
-  // absent — replay and bench runs load this exact file.
+  // three serve-plane rules and the two model-drift rules, and fire NOTHING
+  // when the serve series are absent — replay and bench runs load this
+  // exact file.
   MetricsRegistry reg;
   RuleEngine engine(reg);
   engine.set_log([](const std::string&) {});
-  EXPECT_EQ(engine.load_file(std::string(AURIC_EXAMPLES_DIR) + "/default.rules"), 7u);
+  EXPECT_EQ(engine.load_file(std::string(AURIC_EXAMPLES_DIR) + "/default.rules"), 9u);
 
   bool saw_shed_burn = false, saw_p99 = false, saw_degraded = false;
+  bool saw_psi = false, saw_drifted = false;
   for (const RuleState& state : engine.states()) {
     if (state.rule.name == "serve_shed_burn") {
       saw_shed_burn = true;
@@ -390,15 +392,27 @@ TEST(RuleEngine, ShippedDefaultRulesStayQuietWithoutServeTraffic) {
     } else if (state.rule.name == "serve_degraded") {
       saw_degraded = true;
       EXPECT_EQ(state.rule.kind, AlertRule::Kind::kThreshold);
+    } else if (state.rule.name == "model_support_psi") {
+      saw_psi = true;
+      EXPECT_EQ(state.rule.kind, AlertRule::Kind::kThreshold);
+      EXPECT_EQ(state.rule.metric.name, "auric_model_drift_psi");
+    } else if (state.rule.name == "model_params_drifted") {
+      saw_drifted = true;
+      EXPECT_EQ(state.rule.metric.name, "auric_model_drift_params_flagged");
     }
   }
   EXPECT_TRUE(saw_shed_burn && saw_p99 && saw_degraded);
+  EXPECT_TRUE(saw_psi && saw_drifted);
 
-  // A replay-shaped run: push/breaker series exist, serve series do not.
+  // A replay-shaped run: push/breaker series exist, serve series do not,
+  // and the model-drift gauges sit at their healthy resting values (PSI 0,
+  // nothing flagged) the way a freshly constructed ModelWatch exports them.
   Sampler sampler(reg);
   for (double t = 1.0; t <= 10.0; t += 1.0) {
     sampler.tick_with(t, {counter_sample("auric_push_outcomes_total", 10.0 * t,
-                                         {{"outcome", "implemented"}})});
+                                         {{"outcome", "implemented"}}),
+                          gauge_sample("auric_model_drift_psi", 0.0),
+                          gauge_sample("auric_model_drift_params_flagged", 0.0)});
     engine.evaluate(sampler, t);
     EXPECT_TRUE(engine.healthy()) << "t=" << t;
   }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "config/ground_truth.h"
+#include "core/model_watch.h"
 #include "test_helpers.h"
 #include "util/drain.h"
 #include "util/parallel.h"
@@ -206,6 +207,37 @@ TEST(OperationReplay, CheckpointingDoesNotPerturbTheRun) {
   const ReplayReport b = persisted.run();
   expect_reports_identical(a, b);
   std::filesystem::remove_all(dir);
+}
+
+TEST(OperationReplay, ModelWatchIsOutputNeutralSerialAndSharded) {
+  // The watch only writes metrics: the report must be bit-identical with it
+  // on or off, serial or sharded — the §17 determinism contract.
+  Fixture f;
+  ReplayOptions options = f.options();
+  options.robust = true;
+  options.ems.flaky_timeout_prob = 0.0;
+
+  OperationReplay watched(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  ASSERT_NE(watched.model_watch(), nullptr);
+  const ReplayReport a = watched.run();
+
+  options.model_watch = false;
+  OperationReplay bare(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  EXPECT_EQ(bare.model_watch(), nullptr);
+  expect_reports_identical(a, bare.run());
+
+  options.model_watch = true;
+  options.shards = 3;
+  OperationReplay sharded(f.topo, f.schema, f.catalog, f.ground_truth, f.assignment, options);
+  expect_reports_identical(a, sharded.run());
+
+  // The watch saw the whole window: one drift day per replay day, and a
+  // /modelz document carrying the per-parameter series.
+  const core::ModelWatch& watch = *watched.model_watch();
+  EXPECT_EQ(watch.days_rolled(), options.days);
+  const std::string json = watch.modelz_json();
+  EXPECT_NE(json.find("\"params\":["), std::string::npos);
+  EXPECT_NE(json.find("\"gate_accepted\":"), std::string::npos);
 }
 
 TEST(OperationReplay, WeeklySummariesInvariantInShardCount) {

@@ -293,6 +293,94 @@ TEST(ServeDaemon, FailedRelearnKeepsServingTheLastGoodEngine) {
   EXPECT_EQ(healthy.status, 200) << healthy.body;
 }
 
+TEST(ServeDaemon, RecommendCarriesProvenanceFields) {
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  daemon.warm_up();
+  obs::HttpResponse rec = daemon.handle(get("/recommend?carrier=0"));
+  ASSERT_EQ(rec.status, 200) << rec.body;
+  EXPECT_NE(rec.body.find("\"source\":\""), std::string::npos);
+  EXPECT_NE(rec.body.find("\"support\":"), std::string::npos);
+  EXPECT_NE(rec.body.find("\"margin\":"), std::string::npos);
+}
+
+TEST(ServeDaemon, RelearnAuditRidesTheResponseAndModelz) {
+  Fixture f;
+  ServeDaemon daemon = f.daemon(f.options());
+  daemon.warm_up();
+
+  // Before any relearn /modelz exists but has no audit yet.
+  obs::HttpResponse before = daemon.handle(get("/modelz"));
+  ASSERT_EQ(before.status, 200);
+  EXPECT_NE(before.body.find("\"audit\":null"), std::string::npos);
+  EXPECT_NE(before.body.find("\"model\":{"), std::string::npos);
+
+  obs::HttpRequest relearn;
+  relearn.method = "POST";
+  relearn.target = "/relearn";
+  obs::HttpResponse swapped = daemon.handle(relearn);
+  ASSERT_EQ(swapped.status, 200) << swapped.body;
+  EXPECT_NE(swapped.body.find("\"status\":\"swapped\""), std::string::npos);
+  // Same inventory, same builder: the audit must find a clean diff.
+  EXPECT_NE(swapped.body.find("\"audit\":{"), std::string::npos);
+  EXPECT_NE(swapped.body.find("\"flips\":0"), std::string::npos);
+  EXPECT_DOUBLE_EQ(f.registry.gauge("auric_serve_relearn_flip_rate").value(), 0.0);
+
+  // The audit is retained for /modelz, alongside the watch document.
+  obs::HttpResponse modelz = daemon.handle(get("/modelz"));
+  ASSERT_EQ(modelz.status, 200);
+  EXPECT_NE(modelz.body.find("\"audit\":{"), std::string::npos);
+  EXPECT_NE(modelz.body.find("\"flip_rate\":0"), std::string::npos);
+  EXPECT_NE(modelz.body.find("\"params\":["), std::string::npos);
+  // A swapped relearn rolls a ModelWatch drift day.
+  EXPECT_EQ(daemon.model_watch().days_rolled(), 1);
+}
+
+TEST(ServeDaemon, ShadowAuditRefusesADegradedRelearn) {
+  Fixture f;
+  ServeOptions o = f.options();
+  o.max_flip_rate = 0.0;  // any flip at all refuses the swap
+  ServeDaemon daemon = f.daemon(o);
+  daemon.warm_up();
+  ASSERT_EQ(daemon.generation(), 1u);
+
+  // A candidate whose vote threshold can never be met: every slot falls back
+  // to the rule book, flipping every voted value — exactly the degenerate
+  // relearn the audit exists to catch.
+  daemon.set_engine_builder([&f]() {
+    core::AuricOptions broken;
+    broken.vote_threshold = 1.01;
+    return std::make_unique<core::AuricEngine>(f.topo, f.schema, f.catalog, f.assignment,
+                                               broken);
+  });
+
+  obs::HttpRequest relearn;
+  relearn.method = "POST";
+  relearn.target = "/relearn";
+  obs::HttpResponse refused = daemon.handle(relearn);
+  EXPECT_EQ(refused.status, 503);
+  EXPECT_NE(refused.body.find("\"status\":\"refused\""), std::string::npos);
+  EXPECT_NE(refused.body.find("\"audit\":{"), std::string::npos);
+
+  // Last-good keeps serving; the refusal is accounted and surfaced.
+  EXPECT_EQ(daemon.generation(), 1u);
+  EXPECT_TRUE(daemon.degraded());
+  EXPECT_EQ(f.registry.counter("auric_serve_relearn_refused_total").value(), 1u);
+  EXPECT_EQ(f.registry.counter("auric_serve_engine_swaps_total").value(), 0u);
+  EXPECT_GT(f.registry.gauge("auric_serve_relearn_flip_rate").value(), 0.0);
+  EXPECT_EQ(daemon.handle(get("/recommend?carrier=0")).status, 200);
+  EXPECT_EQ(daemon.handle(get("/healthz")).status, 503);
+
+  // A healthy candidate passes the audit, swaps, and clears degraded.
+  daemon.set_engine_builder([&f]() {
+    return std::make_unique<core::AuricEngine>(f.topo, f.schema, f.catalog, f.assignment);
+  });
+  obs::HttpResponse recovered = daemon.handle(relearn);
+  EXPECT_EQ(recovered.status, 200) << recovered.body;
+  EXPECT_EQ(daemon.generation(), 2u);
+  EXPECT_FALSE(daemon.degraded());
+}
+
 TEST(ServeDaemon, FiringAlertRulesFlipHealthzToAlerting) {
   Fixture f;
   ServeDaemon daemon = f.daemon(f.options());

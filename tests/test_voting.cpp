@@ -60,6 +60,52 @@ TEST(VotingModel, ThresholdGatesTheWinner) {
   EXPECT_FALSE(model.vote(key, 0.75).has_value());
 }
 
+TEST(VotingModel, MarginSeparatesUnanimousFromContestedWins) {
+  Fixture f;
+  const VotingModel unanimous_model(f.view, f.deps, f.codes);
+  const GroupKey key = unanimous_model.key_for(0, netsim::kInvalidCarrier);
+  const auto unanimous = unanimous_model.vote(key, 0.75);
+  ASSERT_TRUE(unanimous.has_value());
+  EXPECT_EQ(unanimous->runner_up, 0);
+  EXPECT_DOUBLE_EQ(unanimous->margin(), 1.0);
+
+  // 5-vs-3 in the 700 MHz group: support 62.5%, margin (5-3)/8 = 25%.
+  for (netsim::CarrierId c : {0, 2, 4}) {
+    f.assignment.singular[0].value[static_cast<std::size_t>(c)] = 9;
+  }
+  f.rebuild_view();
+  const VotingModel model(f.view, f.deps, f.codes);
+  const auto contested = model.vote(model.key_for(0, netsim::kInvalidCarrier), 0.60);
+  ASSERT_TRUE(contested.has_value());
+  EXPECT_EQ(contested->count, 5);
+  EXPECT_EQ(contested->runner_up, 3);
+  EXPECT_DOUBLE_EQ(contested->margin(), 0.25);
+  EXPECT_GT(contested->support(), contested->margin());
+}
+
+TEST(LocalVote, MarginReflectsTheRunnerUp) {
+  Fixture f;
+  f.assignment.singular[0].value[2] = 9;  // one deviant among the candidates
+  f.rebuild_view();
+  const VotingModel model(f.view, f.deps, f.codes);
+  const GroupKey key = model.key_for(0, netsim::kInvalidCarrier);
+  const std::vector<netsim::CarrierId> candidates{0, 2, 4};
+  const auto vote = local_vote(f.view, f.deps, f.codes, key, candidates, -1, 0.60);
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(vote->count, 2);
+  EXPECT_EQ(vote->runner_up, 1);
+  EXPECT_NEAR(vote->margin(), 1.0 / 3.0, 1e-9);
+
+  // Weighted: the deviant's weight shrinks, and so does the runner-up count
+  // after the weighted tally is re-expressed in voter units.
+  std::vector<double> weights(f.topo.carrier_count(), 1.0);
+  weights[2] = 0.1;
+  const auto weighted = local_vote(f.view, f.deps, f.codes, key, candidates, -1, 0.60, weights);
+  ASSERT_TRUE(weighted.has_value());
+  EXPECT_LE(weighted->runner_up, vote->runner_up);
+  EXPECT_GE(weighted->margin(), vote->margin());
+}
+
 TEST(VotingModel, LeaveOneOutExcludesOwnObservation) {
   Fixture f;
   f.assignment.singular[0].value[4] = 9;  // lone deviant in the 700 group

@@ -21,12 +21,15 @@
 //       review by engineers).
 //
 //   auric replay    [--data DIR] [--days N] [--robust] [--state-dir DIR]
-//                   [--shards N] [--weekly-out FILE]
+//                   [--shards N] [--weekly-out FILE] [--state-out DIR]
 //       Replay the paper's two-month operation window day by day (synthetic
 //       network by default); weekly Table-5 counters plus rollback and
 //       quarantine columns in robust mode. --shards N partitions the EMS by
 //       market and runs each day's launches shard-parallel; --weekly-out
-//       writes the weekly table as CSV (bit-exact KPI) for CI diffing.
+//       writes the weekly table as CSV (bit-exact KPI) for CI diffing;
+//       --state-out saves the evolved snapshot as an inventory directory
+//       (the `auric modeldiff` input). With --serve-metrics the live plane
+//       additionally exposes /modelz: the ModelWatch model-quality document.
 //       SIGTERM/SIGINT drain gracefully: the current day finishes, a final
 //       sealed checkpoint commits, and --resume continues bit-identically.
 //
@@ -42,7 +45,17 @@
 //
 //   auric tracestats --in FILE [--root NAME] [--top N] [--out FILE]
 //       Fold a span JSONL file (--trace-out, /tracez) into per-span-name
-//       total/self time and per-trace critical paths, as CSV.
+//       total/self time and per-trace critical paths, as CSV. Exits nonzero
+//       when the input holds no spans — an empty CSV would read as "no slow
+//       paths" in CI when the real story is "tracing was never wired".
+//
+//   auric modeldiff --old DIR --new DIR [--sample N] [--seed S]
+//                   [--max-flip-rate F] [--json]
+//       The relearn shadow-audit, offline: replay a seeded carrier sample
+//       through engines learned from two inventory snapshots (e.g. the
+//       `auric generate` output vs. a replay --state-out) and report the
+//       disagreement surface. Exits nonzero when the flip rate exceeds
+//       --max-flip-rate.
 //
 // Every subcommand additionally accepts the live-plane flags
 // (--serve-metrics[=PORT] --sample-interval-ms --rules FILE --series-out):
@@ -61,6 +74,8 @@
 #include "config/catalog.h"
 #include "config/ground_truth.h"
 #include "core/engine.h"
+#include "core/engine_diff.h"
+#include "core/model_watch.h"
 #include "core/rulebook_synthesis.h"
 #include "eval/cf_eval.h"
 #include "eval/variability.h"
@@ -237,7 +252,7 @@ int cmd_rules(util::Args& args) {
   return 0;
 }
 
-int cmd_replay(util::Args& args) {
+int cmd_replay(util::Args& args, util::LivePlaneScope& live) {
   const std::string dir =
       args.get_string("data", "", "inventory directory (default: synthetic network)");
   netsim::TopologyParams params;
@@ -281,6 +296,14 @@ int cmd_replay(util::Args& args) {
       "drawn from (past-the-end seeds complete the run uninterrupted)");
   const std::string weekly_out = args.get_string(
       "weekly-out", "", "also write the weekly summary table to this file as CSV");
+  options.model_watch = args.get_bool(
+      "model-watch", true,
+      "attach per-parameter model telemetry, KPI-gate joins and drift gauges (metrics only; "
+      "the weekly output is byte-identical either way)");
+  const std::string state_out = args.get_string(
+      "state-out", "",
+      "save the evolved snapshot (topology + end-of-window configuration) to this inventory "
+      "directory — the `auric modeldiff` input");
   if (args.help_requested()) return 0;
   args.check_unknown();
 
@@ -310,6 +333,23 @@ int cmd_replay(util::Args& args) {
 
   smartlaunch::OperationReplay replay(snap.topology, snap.schema, snap.catalog, ground_truth,
                                       snap.assignment, options);
+
+  // /modelz on the live plane: the watch is owned by the replay (constructed
+  // just above), so the endpoint registers here and MUST unregister before
+  // the replay goes out of scope — the guard below outlives every return.
+  struct ModelzGuard {
+    obs::MetricsServer* server = nullptr;
+    ~ModelzGuard() {
+      if (server != nullptr) server->set_json_source("/modelz", nullptr);
+    }
+  } modelz_guard;
+  if (live.active() && live.plane().server() != nullptr && replay.model_watch() != nullptr) {
+    const core::ModelWatch* watch = replay.model_watch();
+    live.plane().server()->set_json_source("/modelz",
+                                           [watch] { return watch->modelz_json(); });
+    modelz_guard.server = live.plane().server();
+  }
+
   const smartlaunch::ReplayReport report = replay.run();
 
   if (report.drained) {
@@ -364,6 +404,18 @@ int cmd_replay(util::Args& args) {
                 r.recovered, r.retries, r.breaker_trips, r.queued_degraded, r.drained,
                 r.still_queued, r.rolled_back, r.rollbacks, r.reattempts, r.quarantined);
   }
+
+  if (replay.model_watch() != nullptr) {
+    const core::ModelWatch& watch = *replay.model_watch();
+    std::printf("model watch: %d drift days, PSI %.4f, %zu parameters flagged\n",
+                watch.days_rolled(), watch.psi(), watch.drifted_params());
+  }
+
+  if (!state_out.empty()) {
+    io::save_topology(snap.topology, state_out);
+    io::save_assignment(snap.topology, snap.catalog, replay.network_state(), state_out);
+    std::printf("evolved snapshot saved to %s\n", state_out.c_str());
+  }
   return 0;
 }
 
@@ -396,6 +448,12 @@ int cmd_serve(util::Args& args) {
       args.get_int("max-deadline-ms", 10000, "clamp applied to client deadlines"));
   options.work_delay_ms = static_cast<int>(args.get_int(
       "work-delay-ms", 0, "artificial per-request delay (overload/soak capacity shaping)"));
+  options.audit_sample = static_cast<std::size_t>(args.get_int(
+      "audit-sample", 48, "carriers shadow-audited through old and new engines on each relearn "
+      "(0 = all)"));
+  options.max_flip_rate = args.get_double(
+      "max-flip-rate", 1.0,
+      "refuse a relearn whose audited flip rate exceeds this (1.0 = guard off)");
   const std::string rules_file = args.get_string(
       "serve-rules", "", "alert rules evaluated into /healthz (rules.h CSV dialect)");
   if (args.help_requested()) return 0;
@@ -529,6 +587,13 @@ int cmd_tracestats(util::Args& args) {
   const std::string jsonl = buffer.str();
 
   const obs::TraceStatsReport report = obs::compute_trace_stats(jsonl, options);
+  if (report.spans == 0) {
+    // An empty CSV would read as "no slow paths" downstream when the real
+    // story is "tracing was never wired" (wrong file, disabled recorder).
+    std::fprintf(stderr, "tracestats: no spans in %s (%llu non-span lines skipped)\n",
+                 in.c_str(), static_cast<unsigned long long>(report.skipped_lines));
+    return 1;
+  }
   const std::string csv = obs::trace_stats_csv(report);
   if (out.empty()) {
     std::fputs(csv.c_str(), stdout);
@@ -543,10 +608,50 @@ int cmd_tracestats(util::Args& args) {
   return 0;
 }
 
+int cmd_modeldiff(util::Args& args) {
+  const std::string old_dir =
+      args.get_string("old", "", "baseline inventory directory (required)");
+  const std::string new_dir =
+      args.get_string("new", "", "candidate inventory directory (required)");
+  const std::size_t sample =
+      static_cast<std::size_t>(args.get_int("sample", 0, "carriers to audit (0 = all)"));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2024, "carrier-sample seed"));
+  const double max_flip_rate = args.get_double(
+      "max-flip-rate", 1.0, "exit nonzero when the flip rate exceeds this (1.0 = report only)");
+  const bool json = args.get_bool("json", false, "emit the report as JSON instead of a table");
+  if (args.help_requested()) return 0;
+  args.check_unknown();
+  if (old_dir.empty() || new_dir.empty()) {
+    throw std::invalid_argument("modeldiff: --old and --new are required");
+  }
+
+  const Snapshot prev = load(old_dir);
+  const Snapshot next = load(new_dir);
+  const core::AuricEngine prev_engine(prev.topology, prev.schema, prev.catalog,
+                                      prev.assignment);
+  const core::AuricEngine next_engine(next.topology, next.schema, next.catalog,
+                                      next.assignment);
+  const core::EngineDiffReport report =
+      core::diff_engines(prev_engine, next_engine, sample, seed);
+  if (json) {
+    std::printf("%s\n", report.json().c_str());
+  } else {
+    std::fputs(report.text().c_str(), stdout);
+  }
+  if (report.flip_rate > max_flip_rate) {
+    std::fprintf(stderr, "modeldiff: flip rate %.4f exceeds --max-flip-rate %.4f\n",
+                 report.flip_rate, max_flip_rate);
+    return 1;
+  }
+  return 0;
+}
+
 int usage() {
   std::fputs(
       "usage: auric "
-      "<generate|inspect|evaluate|recommend|rules|replay|serve|loadgen|tracestats> [flags]\n"
+      "<generate|inspect|evaluate|recommend|rules|replay|serve|loadgen|tracestats|modeldiff>"
+      " [flags]\n"
       "run a subcommand with --help for its flags\n"
       "every subcommand accepts --metrics-out PATH (.prom/.csv/.json), --trace-out PATH\n"
       "(JSONL spans), and the live-plane flags --serve-metrics[=PORT]\n"
@@ -578,10 +683,11 @@ int main(int argc, char** argv) {
     else if (command == "evaluate") rc = cli::cmd_evaluate(args);
     else if (command == "recommend") rc = cli::cmd_recommend(args);
     else if (command == "rules") rc = cli::cmd_rules(args);
-    else if (command == "replay") rc = cli::cmd_replay(args);
+    else if (command == "replay") rc = cli::cmd_replay(args, live);
     else if (command == "serve") rc = cli::cmd_serve(args);
     else if (command == "loadgen") rc = cli::cmd_loadgen(args);
     else if (command == "tracestats") rc = cli::cmd_tracestats(args);
+    else if (command == "modeldiff") rc = cli::cmd_modeldiff(args);
     else return cli::usage();
     if (args.help_requested()) {
       std::fputs(args.usage().c_str(), stdout);
