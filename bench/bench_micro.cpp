@@ -39,11 +39,11 @@ struct World {
   config::ConfigAssignment assignment;
   std::vector<std::vector<netsim::AttrCode>> codes;
 
-  World() {
+  explicit World(int num_markets = 4, int enodebs_per_market = 40) {
     netsim::TopologyParams params;
     params.seed = 3;
-    params.num_markets = 4;
-    params.base_enodebs_per_market = 40;
+    params.num_markets = num_markets;
+    params.base_enodebs_per_market = enodebs_per_market;
     topo = netsim::generate_topology(params);
     schema = netsim::AttributeSchema::standard(topo);
     assignment = config::GroundTruthModel(topo, schema, catalog).assign();
@@ -53,6 +53,14 @@ struct World {
 
 const World& world() {
   static const World w;
+  return w;
+}
+
+/// The replay-default window (28 markets x 55 eNodeBs/market, ~13.5K
+/// carriers): the relearn acceptance bar — incremental >= 5x cheaper than a
+/// full rebuild — is pinned to this world, not the smaller shared one.
+const World& relearn_world() {
+  static const World w(28, 55);
   return w;
 }
 
@@ -218,6 +226,70 @@ void BM_ModelWatchRecommend(benchmark::State& state) {
                           static_cast<std::int64_t>(w.catalog.singular_ids().size()));
 }
 BENCHMARK(BM_ModelWatchRecommend);
+
+// --- Relearn: full rebuild vs incremental delta-apply ----------------------
+//
+// BM_RelearnFull prices the from-scratch learn the weekly relearn cadence
+// used to pay on every refresh. BM_RelearnIncremental toggles a resident
+// engine between the inventory and a day's worth of slot churn (one launch
+// cohort's reconfiguration), pricing AuricEngine::incremental_relearn — the
+// acceptance bar is >= 5x cheaper than the full rebuild on this world.
+// BM_RelearnParallel prices the full learn at 1 and 4 learn threads: output
+// is byte-identical at any width (test_relearn), so this arm is purely a
+// wall-clock observation (flat on the 1-core CI runner, scaling elsewhere).
+
+/// A day's churn: ~21 carriers re-homed onto another carrier's values across
+/// every singular column, plus the leading edges of every pairwise column.
+/// Values are copied from existing slots so the label alphabet is stable —
+/// the steady-state delta path, not the rebuild escape hatch.
+config::ConfigAssignment day_churn(const World& w) {
+  config::ConfigAssignment churned = w.assignment;
+  for (auto& column : churned.singular) {
+    const std::size_t n = column.value.size();
+    for (std::size_t c = 0; c < 21 && c < n; ++c) {
+      column.value[c] = column.value[(c + 37) % n];
+    }
+  }
+  for (auto& column : churned.pairwise) {
+    const std::size_t n = column.value.size();
+    for (std::size_t e = 0; e < 21 && e < n; ++e) {
+      column.value[e] = column.value[(e + 37) % n];
+    }
+  }
+  return churned;
+}
+
+void BM_RelearnFull(benchmark::State& state) {
+  const World& w = relearn_world();
+  for (auto _ : state) {
+    core::AuricEngine engine(w.topo, w.schema, w.catalog, w.assignment);
+    benchmark::DoNotOptimize(&engine);
+  }
+}
+BENCHMARK(BM_RelearnFull)->Unit(benchmark::kMillisecond);
+
+void BM_RelearnIncremental(benchmark::State& state) {
+  const World& w = relearn_world();
+  static core::AuricEngine engine(w.topo, w.schema, w.catalog, w.assignment);
+  static const config::ConfigAssignment churned = day_churn(w);
+  bool forward = true;
+  for (auto _ : state) {
+    engine.incremental_relearn(forward ? churned : w.assignment);
+    forward = !forward;
+  }
+}
+BENCHMARK(BM_RelearnIncremental)->Unit(benchmark::kMillisecond);
+
+void BM_RelearnParallel(benchmark::State& state) {
+  const World& w = relearn_world();
+  core::AuricOptions options;
+  options.learn_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::AuricEngine engine(w.topo, w.schema, w.catalog, w.assignment, options);
+    benchmark::DoNotOptimize(&engine);
+  }
+}
+BENCHMARK(BM_RelearnParallel)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // --- SmartLaunch push / sharded replay -------------------------------------
 //

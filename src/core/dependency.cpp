@@ -1,34 +1,54 @@
 #include "core/dependency.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace auric::core {
 
-DependencyModel learn_dependencies(const ParamView& view,
-                                   const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
-                                   const netsim::AttributeSchema& schema,
-                                   DependencyOptions options) {
-  DependencyModel model;
-  const std::size_t num_attrs = schema.attribute_count();
-  const std::size_t rows = view.rows();
-
-  std::vector<std::int32_t> x(rows);
-  const auto test_side = [&](bool neighbor_side) {
-    const auto& subject = neighbor_side ? view.neighbor : view.carrier;
-    for (std::size_t a = 0; a < num_attrs; ++a) {
-      const auto& codes = attr_codes[a];
-      for (std::size_t r = 0; r < rows; ++r) {
-        x[r] = codes[static_cast<std::size_t>(subject[r])];
-      }
-      DependencyTest test;
-      test.ref = {neighbor_side, a};
-      test.result = ml::chi_square_independence(x, view.label, schema.cardinality(a),
-                                                view.labels.size());
-      model.tests.push_back(std::move(test));
+void ContingencyState::apply(const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                             netsim::CarrierId carrier, netsim::CarrierId neighbor,
+                             ml::ClassLabel label, std::int64_t delta) {
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const AttrRef& ref = refs[i];
+    const netsim::CarrierId subject = ref.neighbor_side ? neighbor : carrier;
+    if (subject == netsim::kInvalidCarrier) {
+      throw std::logic_error("ContingencyState: neighbor-side ref without a neighbor");
     }
-  };
-  test_side(false);
-  if (view.pairwise) test_side(true);
+    tables[i].apply(attr_codes[ref.attr][static_cast<std::size_t>(subject)], label, delta);
+  }
+}
+
+ContingencyState build_contingency(const ParamView& view,
+                                   const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                                   const netsim::AttributeSchema& schema) {
+  ContingencyState state;
+  const std::size_t num_attrs = schema.attribute_count();
+  state.refs.reserve(view.pairwise ? 2 * num_attrs : num_attrs);
+  for (std::size_t a = 0; a < num_attrs; ++a) state.refs.push_back({false, a});
+  if (view.pairwise) {
+    for (std::size_t a = 0; a < num_attrs; ++a) state.refs.push_back({true, a});
+  }
+  state.tables.reserve(state.refs.size());
+  for (const AttrRef& ref : state.refs) {
+    state.tables.push_back(
+        ml::ContingencyTable::zeros(schema.cardinality(ref.attr), view.labels.size()));
+  }
+  for (std::size_t r = 0; r < view.rows(); ++r) {
+    state.apply(attr_codes, view.carrier[r], view.neighbor[r], view.label[r], 1);
+  }
+  return state;
+}
+
+DependencyModel dependencies_from_contingency(const ContingencyState& state,
+                                              DependencyOptions options) {
+  DependencyModel model;
+  model.tests.reserve(state.refs.size());
+  for (std::size_t i = 0; i < state.refs.size(); ++i) {
+    DependencyTest test;
+    test.ref = state.refs[i];
+    test.result = ml::chi_square_test(state.tables[i]);
+    model.tests.push_back(std::move(test));
+  }
 
   // Rejected tests, strongest association first.
   std::vector<const DependencyTest*> rejected;
@@ -48,6 +68,13 @@ DependencyModel learn_dependencies(const ParamView& view,
   }
   for (const DependencyTest* test : rejected) model.dependent.push_back(test->ref);
   return model;
+}
+
+DependencyModel learn_dependencies(const ParamView& view,
+                                   const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                                   const netsim::AttributeSchema& schema,
+                                   DependencyOptions options) {
+  return dependencies_from_contingency(build_contingency(view, attr_codes, schema), options);
 }
 
 std::string attr_ref_name(const AttrRef& ref, const netsim::AttributeSchema& schema) {

@@ -52,6 +52,38 @@ struct DependencyModel {
   std::vector<DependencyTest> tests;
 };
 
+/// The sufficient statistics of one parameter's dependency scan: for every
+/// attribute column (carrier side first, then — for pair-wise views — the
+/// neighbor side, in schema order) the (attr code x class label) contingency
+/// table over the learning population. Incremental relearn maintains this
+/// per parameter so a drift-triggered re-test costs O(codes x labels) per
+/// attribute instead of a fresh O(rows) scan; the integer counts are exactly
+/// what a from-scratch scan would tally, so the re-test result is
+/// bit-identical (DESIGN.md §18).
+struct ContingencyState {
+  std::vector<AttrRef> refs;              ///< test order of learn_dependencies
+  std::vector<ml::ContingencyTable> tables;  ///< one per ref
+
+  /// Adds (`delta` = +1) or removes (-1) one observation of `label` for the
+  /// (carrier, neighbor) subject across every table.
+  void apply(const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+             netsim::CarrierId carrier, netsim::CarrierId neighbor, ml::ClassLabel label,
+             std::int64_t delta);
+};
+
+/// Tallies `view` into fresh contingency tables (label dimension =
+/// view.labels.size(), row dimension = the schema cardinality of each attr).
+ContingencyState build_contingency(const ParamView& view,
+                                   const std::vector<std::vector<netsim::AttrCode>>& attr_codes,
+                                   const netsim::AttributeSchema& schema);
+
+/// Runs the chi-square scan over maintained contingency state. This is THE
+/// scan: learn_dependencies composes build_contingency with this function,
+/// so a re-test over delta-maintained tables and a full rebuild share every
+/// floating-point operation.
+DependencyModel dependencies_from_contingency(const ContingencyState& state,
+                                              DependencyOptions options = {});
+
 /// Runs the chi-square scan for `view` per `options`.
 /// `attr_codes` is AttributeSchema::encode_all output for the full topology.
 DependencyModel learn_dependencies(const ParamView& view,

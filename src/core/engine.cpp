@@ -1,11 +1,16 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <array>
+#include <functional>
+#include <iterator>
 #include <stdexcept>
+#include <utility>
 
 #include "core/model_watch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace auric::core {
@@ -20,6 +25,8 @@ struct EngineMetrics {
   obs::Histogram& phase_dependency;
   obs::Histogram& phase_voting;
   obs::Counter& learns;
+  obs::Counter& incremental_relearns;
+  obs::Histogram& incremental_seconds;
 };
 
 EngineMetrics& engine_metrics() {
@@ -28,8 +35,12 @@ EngineMetrics& engine_metrics() {
     return reg.histogram("auric_engine_phase_seconds", obs::default_seconds_bounds(),
                          "engine learning time by phase, per parameter (s)", {{"phase", name}});
   };
-  static EngineMetrics m{phase("param_view"), phase("dependency"), phase("voting"),
-                         reg.counter("auric_engine_learns_total", "full engine (re)learns")};
+  static EngineMetrics m{
+      phase("param_view"), phase("dependency"), phase("voting"),
+      reg.counter("auric_engine_learns_total", "full engine (re)learns"),
+      reg.counter("auric_engine_incremental_relearns_total", "in-place delta relearns"),
+      reg.histogram("auric_engine_incremental_relearn_seconds", obs::default_seconds_bounds(),
+                    "incremental relearn wall time (s)")};
   return m;
 }
 
@@ -58,36 +69,437 @@ const char* recommendation_source_name(RecommendationSource source) {
   return "?";
 }
 
+const char* relearn_mode_name(RelearnMode mode) {
+  switch (mode) {
+    case RelearnMode::kFull: return "full";
+    case RelearnMode::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
 AuricEngine::AuricEngine(const netsim::Topology& topology, const netsim::AttributeSchema& schema,
                          const config::ParamCatalog& catalog,
                          const config::ConfigAssignment& assignment, AuricOptions options)
     : topology_(&topology), schema_(&schema), catalog_(&catalog), options_(options) {
   obs::ScopedSpan span("engine.learn");
   EngineMetrics& metrics = engine_metrics();
-  attr_codes_ = schema.encode_all(topology);
-  views_.reserve(catalog.size());
-  dependencies_.reserve(catalog.size());
-  voting_.reserve(catalog.size());
+  attr_codes_ = std::make_shared<const std::vector<std::vector<netsim::AttrCode>>>(
+      schema.encode_all(topology));
+  const std::size_t n = catalog.size();
+  views_.resize(n);
+  dependencies_.resize(n);
+  contingency_.resize(n);
   DependencyOptions dep_options;
   dep_options.p_value = options_.p_value;
   dep_options.max_dependent = options_.max_dependent;
-  for (std::size_t p = 0; p < catalog.size(); ++p) {
-    const auto param = static_cast<config::ParamId>(p);
-    {
-      obs::ScopedTimer timer(metrics.phase_param_view);
-      views_.push_back(build_param_view(topology, catalog, assignment, param));
+  // Parameters are independent; every build writes its own pre-sized slot,
+  // so the fan-out below is byte-identical to the serial loop at any width.
+  std::vector<std::optional<BackoffVoting>> voting_slots(n);
+  if (options_.learn_threads > 1 && n > 1) {
+    // A private pool: the shared() pool's width belongs to the sharded
+    // launch stream and must not steer how wide the learn fan-out runs.
+    util::TaskPool pool(static_cast<std::size_t>(options_.learn_threads) - 1);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      tasks.push_back([this, p, &assignment, &dep_options, &voting_slots] {
+        learn_param(p, assignment, dep_options, voting_slots);
+      });
     }
-    {
-      obs::ScopedTimer timer(metrics.phase_dependency);
-      dependencies_.push_back(learn_dependencies(views_.back(), attr_codes_, schema, dep_options));
+    pool.run(std::move(tasks));
+  } else {
+    for (std::size_t p = 0; p < n; ++p) learn_param(p, assignment, dep_options, voting_slots);
+  }
+  voting_.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) voting_.push_back(std::move(*voting_slots[p]));
+  metrics.learns.inc();
+}
+
+void AuricEngine::learn_param(std::size_t p, const config::ConfigAssignment& assignment,
+                              const DependencyOptions& dep_options,
+                              std::vector<std::optional<BackoffVoting>>& voting_slots) {
+  EngineMetrics& metrics = engine_metrics();
+  const auto param = static_cast<config::ParamId>(p);
+  {
+    obs::ScopedTimer timer(metrics.phase_param_view);
+    views_[p] = build_param_view(*topology_, *catalog_, assignment, param);
+  }
+  {
+    obs::ScopedTimer timer(metrics.phase_dependency);
+    contingency_[p] = build_contingency(views_[p], *attr_codes_, *schema_);
+    dependencies_[p] = dependencies_from_contingency(contingency_[p], dep_options);
+  }
+  {
+    obs::ScopedTimer timer(metrics.phase_voting);
+    voting_slots[p].emplace(views_[p], dependencies_[p].dependent, *attr_codes_,
+                            options_.backoff_levels);
+  }
+}
+
+void AuricEngine::incremental_relearn(const config::ConfigAssignment& assignment,
+                                      const IncrementalRelearnOptions& options,
+                                      IncrementalRelearnStats* stats) {
+  obs::ScopedSpan span("engine.incremental_relearn");
+  EngineMetrics& metrics = engine_metrics();
+  obs::ScopedTimer timer(metrics.incremental_seconds);
+  if (assignment.singular.size() != catalog_->singular_ids().size() ||
+      assignment.pairwise.size() != catalog_->pairwise_ids().size()) {
+    throw std::invalid_argument("incremental_relearn: assignment does not match the catalog");
+  }
+  const std::size_t n = catalog_->size();
+  std::vector<IncrementalRelearnStats> per_param(n);
+  if (options.threads > 1 && n > 1) {
+    util::TaskPool pool(static_cast<std::size_t>(options.threads) - 1);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      tasks.push_back([this, p, &assignment, &options, &per_param] {
+        relearn_param(p, assignment, options, per_param[p]);
+      });
     }
-    {
-      obs::ScopedTimer timer(metrics.phase_voting);
-      voting_.emplace_back(views_.back(), dependencies_.back().dependent, attr_codes_,
-                           options_.backoff_levels);
+    pool.run(std::move(tasks));
+  } else {
+    for (std::size_t p = 0; p < n; ++p) relearn_param(p, assignment, options, per_param[p]);
+  }
+  metrics.incremental_relearns.inc();
+  if (stats != nullptr) {
+    IncrementalRelearnStats total;
+    for (const IncrementalRelearnStats& s : per_param) {
+      total.params_touched += s.params_touched;
+      total.params_retested += s.params_retested;
+      total.params_rebuilt += s.params_rebuilt;
+      total.params_remapped += s.params_remapped;
+      total.rows_added += s.rows_added;
+      total.rows_erased += s.rows_erased;
+      total.rows_updated += s.rows_updated;
+    }
+    *stats = total;
+  }
+}
+
+bool AuricEngine::relearn_param(std::size_t p, const config::ConfigAssignment& assignment,
+                                const IncrementalRelearnOptions& options,
+                                IncrementalRelearnStats& stats) {
+  const auto param = static_cast<config::ParamId>(p);
+  ParamView& view = views_[p];
+  const std::size_t pos = kind_position(*catalog_, param);
+  const config::ParamColumn& col =
+      view.pairwise ? assignment.pairwise.at(pos) : assignment.singular.at(pos);
+
+  // Slot deltas in entity order. View rows are maintained entity-ascending —
+  // the order build_param_view scans — so one merge pass over the column and
+  // the rows finds every add/update/erase.
+  struct Change {
+    std::size_t entity = 0;
+    config::ValueIndex old_value = config::kUnset;  ///< kUnset = slot was unconfigured (add)
+    config::ValueIndex new_value = config::kUnset;  ///< kUnset = slot got erased
+  };
+  std::vector<Change> changes;
+  {
+    std::size_t r = 0;
+    for (std::size_t e = 0; e < col.value.size(); ++e) {
+      config::ValueIndex old_value = config::kUnset;
+      if (r < view.rows() && view.entity[r] == e) {
+        old_value = view.value[r];
+        ++r;
+      }
+      if (col.value[e] == old_value) continue;
+      changes.push_back({e, old_value, col.value[e]});
+    }
+    if (r != view.rows()) {
+      throw std::invalid_argument("incremental_relearn: assignment entity space mismatch");
     }
   }
-  metrics.learns.inc();
+  if (changes.empty()) return false;  // untouched parameter: models already exact
+
+  const std::size_t rows_before = view.rows();
+  stats.params_touched = 1;
+  bool rows_changed = false;
+  bool labels_changed = false;
+  // Per-label row counts after the delta decide whether the value alphabet
+  // changed: a brand-new value or a vanished one shifts every dense label
+  // code (the dictionary is sorted), which is the one thing deltas cannot
+  // patch — those parameters rebuild below.
+  std::vector<std::int64_t> label_rows(view.labels.size(), 0);
+  for (ml::ClassLabel l : view.label) ++label_rows[static_cast<std::size_t>(l)];
+  for (const Change& ch : changes) {
+    if (ch.old_value == config::kUnset) {
+      ++stats.rows_added;
+      rows_changed = true;
+    } else if (ch.new_value == config::kUnset) {
+      ++stats.rows_erased;
+      rows_changed = true;
+    } else {
+      ++stats.rows_updated;
+    }
+    if (ch.old_value != config::kUnset) {
+      --label_rows[static_cast<std::size_t>(view.labels.code_of(ch.old_value))];
+    }
+    if (ch.new_value != config::kUnset) {
+      const ml::ClassLabel code = view.labels.code_of(ch.new_value);
+      if (code < 0) {
+        labels_changed = true;
+      } else {
+        ++label_rows[static_cast<std::size_t>(code)];
+      }
+    }
+  }
+  if (!labels_changed) {
+    labels_changed = std::any_of(label_rows.begin(), label_rows.end(),
+                                 [](std::int64_t c) { return c == 0; });
+  }
+
+  // Capture the old label codes before mutating the view: the contingency
+  // and voting deltas below subtract the outgoing observation.
+  struct Delta {
+    netsim::CarrierId carrier = netsim::kInvalidCarrier;
+    netsim::CarrierId neighbor = netsim::kInvalidCarrier;
+    ml::ClassLabel old_label = -1;  ///< -1 = add
+    ml::ClassLabel new_label = -1;  ///< -1 = erase
+  };
+  std::vector<Delta> deltas;
+  if (!labels_changed) {
+    deltas.reserve(changes.size());
+    for (const Change& ch : changes) {
+      Delta d;
+      if (view.pairwise) {
+        const netsim::X2Edge& edge = topology_->edges[ch.entity];
+        d.carrier = edge.from;
+        d.neighbor = edge.to;
+      } else {
+        d.carrier = static_cast<netsim::CarrierId>(ch.entity);
+      }
+      if (ch.old_value != config::kUnset) d.old_label = view.labels.code_of(ch.old_value);
+      if (ch.new_value != config::kUnset) d.new_label = view.labels.code_of(ch.new_value);
+      deltas.push_back(d);
+    }
+  }
+
+  // 1. Bring the view rows up to date, preserving entity order.
+  if (rows_changed) {
+    ParamView next;
+    const std::size_t expected = rows_before + stats.rows_added - stats.rows_erased;
+    next.carrier.reserve(expected);
+    next.neighbor.reserve(expected);
+    next.entity.reserve(expected);
+    next.value.reserve(expected);
+    for (std::size_t e = 0; e < col.value.size(); ++e) {
+      if (col.value[e] == config::kUnset) continue;
+      if (view.pairwise) {
+        const netsim::X2Edge& edge = topology_->edges[e];
+        next.carrier.push_back(edge.from);
+        next.neighbor.push_back(edge.to);
+      } else {
+        next.carrier.push_back(static_cast<netsim::CarrierId>(e));
+        next.neighbor.push_back(netsim::kInvalidCarrier);
+      }
+      next.entity.push_back(e);
+      next.value.push_back(col.value[e]);
+    }
+    view.carrier = std::move(next.carrier);
+    view.neighbor = std::move(next.neighbor);
+    view.entity = std::move(next.entity);
+    view.value = std::move(next.value);
+  } else {
+    for (const Change& ch : changes) {
+      const auto it = std::lower_bound(view.entity.begin(), view.entity.end(), ch.entity);
+      view.value[static_cast<std::size_t>(it - view.entity.begin())] = ch.new_value;
+    }
+  }
+
+  DependencyOptions dep_options;
+  dep_options.p_value = options_.p_value;
+  dep_options.max_dependent = options_.max_dependent;
+
+  if (labels_changed) {
+    // The value alphabet moved: splice the label dimension in place instead
+    // of re-tallying the parameter. The dictionary is sorted, so the new
+    // coding is a monotone renumbering of the old: merge first-seen values
+    // into a mid dictionary, apply the day's deltas in mid coding, then
+    // drop the values whose last row vanished. The integer tables come out
+    // exactly what a fresh tally would produce, and a monotone relabeling
+    // preserves every smallest-label tie-break — bit-identical models at
+    // O(cells + votes + delta), not O(rows x attributes).
+    std::vector<config::ValueIndex> added;
+    for (const Change& ch : changes) {
+      if (ch.new_value != config::kUnset && view.labels.code_of(ch.new_value) < 0) {
+        added.push_back(ch.new_value);
+      }
+    }
+    std::sort(added.begin(), added.end());
+    added.erase(std::unique(added.begin(), added.end()), added.end());
+
+    ml::LabelDictionary mid;
+    mid.values.reserve(view.labels.size() + added.size());
+    std::merge(view.labels.values.begin(), view.labels.values.end(), added.begin(), added.end(),
+               std::back_inserter(mid.values));
+    std::vector<ml::ClassLabel> old_to_mid(view.labels.size());
+    for (std::size_t c = 0; c < view.labels.size(); ++c) {
+      old_to_mid[c] = mid.code_of(view.labels.values[c]);
+    }
+
+    // Post-delta row counts per mid label: label_rows already tracked the
+    // old codes through the change arithmetic; first-seen values tally here.
+    std::vector<std::int64_t> mid_rows(mid.size(), 0);
+    for (std::size_t c = 0; c < label_rows.size(); ++c) {
+      mid_rows[static_cast<std::size_t>(old_to_mid[c])] = label_rows[c];
+    }
+    for (const Change& ch : changes) {
+      if (ch.new_value != config::kUnset && view.labels.code_of(ch.new_value) < 0) {
+        ++mid_rows[static_cast<std::size_t>(mid.code_of(ch.new_value))];
+      }
+    }
+
+    ml::LabelDictionary final_labels;
+    std::vector<ml::ClassLabel> mid_to_final(mid.size(), -1);
+    for (std::size_t c = 0; c < mid.size(); ++c) {
+      if (mid_rows[c] > 0) {
+        mid_to_final[c] = static_cast<ml::ClassLabel>(final_labels.values.size());
+        final_labels.values.push_back(mid.values[c]);
+      }
+    }
+
+    // Contingency: widen old -> mid, apply the deltas, compact mid -> final.
+    const auto remap_columns = [](ml::ContingencyTable& table,
+                                  std::span<const ml::ClassLabel> map, std::size_t new_cols) {
+      for (std::vector<std::int64_t>& row : table.counts) {
+        std::vector<std::int64_t> next(new_cols, 0);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          if (map[c] >= 0) next[static_cast<std::size_t>(map[c])] = row[c];
+        }
+        row = std::move(next);
+      }
+    };
+    const auto entity_ends = [&](std::size_t e) {
+      if (view.pairwise) {
+        const netsim::X2Edge& edge = topology_->edges[e];
+        return std::pair<netsim::CarrierId, netsim::CarrierId>(edge.from, edge.to);
+      }
+      return std::pair<netsim::CarrierId, netsim::CarrierId>(static_cast<netsim::CarrierId>(e),
+                                                             netsim::kInvalidCarrier);
+    };
+    for (ml::ContingencyTable& table : contingency_[p].tables) {
+      remap_columns(table, old_to_mid, mid.size());
+    }
+    voting_[p].remap_labels(old_to_mid);
+    for (const Change& ch : changes) {
+      const auto [carrier, neighbor] = entity_ends(ch.entity);
+      if (ch.old_value != config::kUnset) {
+        const ml::ClassLabel l = mid.code_of(ch.old_value);
+        contingency_[p].apply(*attr_codes_, carrier, neighbor, l, -1);
+        voting_[p].adjust(carrier, neighbor, l, -1);
+      }
+      if (ch.new_value != config::kUnset) {
+        const ml::ClassLabel l = mid.code_of(ch.new_value);
+        contingency_[p].apply(*attr_codes_, carrier, neighbor, l, 1);
+        voting_[p].adjust(carrier, neighbor, l, 1);
+      }
+    }
+    for (ml::ContingencyTable& table : contingency_[p].tables) {
+      remap_columns(table, mid_to_final, final_labels.size());
+    }
+    voting_[p].remap_labels(mid_to_final);
+
+    // Re-code the rows in the final dictionary. When the row set is stable,
+    // every surviving row's label moves through the composed old -> final
+    // map and the changed rows are patched directly — no per-row dictionary
+    // lookups.
+    std::vector<ml::ClassLabel> old_to_final(old_to_mid.size());
+    for (std::size_t c = 0; c < old_to_mid.size(); ++c) {
+      old_to_final[c] = mid_to_final[static_cast<std::size_t>(old_to_mid[c])];
+    }
+    view.labels = std::move(final_labels);
+    if (rows_changed) {
+      view.label.clear();
+      view.label.reserve(view.value.size());
+      for (config::ValueIndex v : view.value) view.label.push_back(view.labels.code_of(v));
+      rebuild_carrier_index(view, topology_->carrier_count());
+    } else {
+      for (ml::ClassLabel& l : view.label) l = old_to_final[static_cast<std::size_t>(l)];
+      for (const Change& ch : changes) {
+        const auto it = std::lower_bound(view.entity.begin(), view.entity.end(), ch.entity);
+        view.label[static_cast<std::size_t>(it - view.entity.begin())] =
+            view.labels.code_of(ch.new_value);
+      }
+    }
+    stats.params_remapped = 1;
+  } else if (rows_changed) {
+    // Label space unchanged: re-code rows and refresh the carrier index only
+    // when the row set itself moved.
+    view.label.clear();
+    view.label.reserve(view.value.size());
+    for (config::ValueIndex v : view.value) view.label.push_back(view.labels.code_of(v));
+    rebuild_carrier_index(view, topology_->carrier_count());
+  } else {
+    for (const Change& ch : changes) {
+      const auto it = std::lower_bound(view.entity.begin(), view.entity.end(), ch.entity);
+      view.label[static_cast<std::size_t>(it - view.entity.begin())] =
+          view.labels.code_of(ch.new_value);
+    }
+  }
+
+  // 2. Contingency deltas: the maintained tables now hold exactly the
+  // integer counts a from-scratch tally of the new population would.
+  for (const Delta& d : deltas) {
+    if (d.old_label >= 0) {
+      contingency_[p].apply(*attr_codes_, d.carrier, d.neighbor, d.old_label, -1);
+    }
+    if (d.new_label >= 0) {
+      contingency_[p].apply(*attr_codes_, d.carrier, d.neighbor, d.new_label, 1);
+    }
+  }
+
+  // 3. Drift-gated dependency re-test (auric_model_drift_chi2_p is the
+  // union trigger when a ModelWatch rides along). A spliced alphabet always
+  // re-tests: the contingency dimensions moved, so the cached p-values no
+  // longer describe these tables.
+  const double fraction = static_cast<double>(changes.size()) /
+                          static_cast<double>(std::max<std::size_t>(rows_before, 1));
+  bool retest = labels_changed || options.drift_threshold <= 0.0 ||
+                fraction >= options.drift_threshold;
+  if (!retest && options.watch != nullptr &&
+      options.watch->drift_p(param) < options.watch_alpha) {
+    retest = true;
+  }
+  if (retest) {
+    DependencyModel next = dependencies_from_contingency(contingency_[p], dep_options);
+    stats.params_retested = 1;
+    if (next.dependent != dependencies_[p].dependent) {
+      const bool same_set =
+          next.dependent.size() == dependencies_[p].dependent.size() &&
+          std::is_permutation(next.dependent.begin(), next.dependent.end(),
+                              dependencies_[p].dependent.begin());
+      if (same_set) {
+        // The re-test only re-ranked the same dependent set: apply the day's
+        // votes in the old key order, then re-tuple the group keys into the
+        // new order (O(groups)) — no O(rows) rebuild. Votes ride first so a
+        // backoff level whose prefix membership shifted (rebuilt inside
+        // reorder_deps from the already-updated view) is not adjusted twice.
+        for (const Delta& d : deltas) {
+          if (d.old_label >= 0) voting_[p].adjust(d.carrier, d.neighbor, d.old_label, -1);
+          if (d.new_label >= 0) voting_[p].adjust(d.carrier, d.neighbor, d.new_label, 1);
+        }
+        voting_[p].reorder_deps(view, next.dependent);
+        dependencies_[p] = std::move(next);
+        return true;
+      } else {
+        dependencies_[p] = std::move(next);
+        voting_[p] = BackoffVoting(view, dependencies_[p].dependent, *attr_codes_,
+                                   options_.backoff_levels);
+        stats.params_rebuilt = 1;
+        return true;
+      }
+    } else {
+      dependencies_[p] = std::move(next);
+    }
+  }
+
+  // 4. Dependent set unchanged: the day's votes ride the existing tables.
+  for (const Delta& d : deltas) {
+    if (d.old_label >= 0) voting_[p].adjust(d.carrier, d.neighbor, d.old_label, -1);
+    if (d.new_label >= 0) voting_[p].adjust(d.carrier, d.neighbor, d.new_label, 1);
+  }
+  return true;
 }
 
 const ParamView& AuricEngine::view(config::ParamId param) const {
@@ -272,7 +684,7 @@ std::string AuricEngine::explain(const Recommendation& rec, netsim::CarrierId ca
       if (subject == netsim::kInvalidCarrier) continue;
       if (!first) out += ", ";
       first = false;
-      const netsim::AttrCode code = attr_codes_[ref.attr][static_cast<std::size_t>(subject)];
+      const netsim::AttrCode code = (*attr_codes_)[ref.attr][static_cast<std::size_t>(subject)];
       out += attr_ref_name(ref, *schema_) + "=" + schema_->value_label(ref.attr, code);
     }
   }

@@ -15,6 +15,7 @@
 // engineers can audit it (§5 "trust and interpretability").
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -44,7 +45,22 @@ struct AuricOptions {
   int max_dependent = 14;
   /// Support-driven backoff depth (see BackoffVoting).
   int backoff_levels = 5;
+  /// Width of the per-parameter learn fan-out: > 1 builds the parameter
+  /// tables on a private util::TaskPool of that many runners. Parameters are
+  /// independent (the X2-locality argument of DESIGN.md §13 covers the learn
+  /// path) and every build writes into its own pre-sized slot, so any width
+  /// produces byte-identical models to the serial loop (CI-enforced).
+  int learn_threads = 1;
 };
+
+/// How a relearn refreshes the engine — shared by `auric replay
+/// --relearn-mode` and the serve daemon's POST /relearn.
+enum class RelearnMode {
+  kFull = 0,     ///< rebuild every parameter table from scratch
+  kIncremental,  ///< apply slot deltas in place (AuricEngine::incremental_relearn)
+};
+
+const char* relearn_mode_name(RelearnMode mode);
 
 enum class RecommendationSource {
   kLocalVote = 0,     ///< 1-hop X2 neighborhood vote met the threshold
@@ -66,13 +82,63 @@ struct Recommendation {
 
 class ModelWatch;
 
+/// Knobs of AuricEngine::incremental_relearn.
+struct IncrementalRelearnOptions {
+  /// Re-test gate: a touched parameter re-runs its chi-square dependency
+  /// scan when its changed-observation fraction (slot deltas / previous
+  /// rows) reaches this. <= 0 re-tests every touched parameter — the exact
+  /// mode, which makes incremental relearn bit-identical to a full rebuild
+  /// (DESIGN.md §18). Parameters whose label set changed rebuild regardless.
+  double drift_threshold = 0.0;
+  /// Optional union trigger: with a watch attached, a parameter whose
+  /// ModelWatch day-over-day drift p-value (auric_model_drift_chi2_p) falls
+  /// below `watch_alpha` re-tests even below drift_threshold — the served
+  /// distribution moved even if the inventory barely did.
+  const ModelWatch* watch = nullptr;
+  double watch_alpha = 0.01;
+  /// Fan the per-parameter delta application across this many runners
+  /// (private pool; indexed slots keep any width byte-identical to 1).
+  int threads = 1;
+};
+
+/// What an incremental relearn actually did, for logs and tests.
+struct IncrementalRelearnStats {
+  std::size_t params_touched = 0;   ///< parameters with any slot delta
+  std::size_t params_retested = 0;  ///< chi-square dependency scan re-ran
+  std::size_t params_rebuilt = 0;   ///< voting tables rebuilt (dependent set changed)
+  std::size_t params_remapped = 0;  ///< label alphabet spliced in place (value appeared/vanished)
+  std::size_t rows_added = 0;
+  std::size_t rows_erased = 0;
+  std::size_t rows_updated = 0;
+};
+
 class AuricEngine {
  public:
   /// Learns dependency and voting models for every parameter. O(total
   /// configured values) work; ~1s for the default benchmark topology.
+  /// Engines are copyable: a copy shares the immutable attribute encoding
+  /// and owns its own tables, so a clone can be incrementally relearned and
+  /// shadow-audited against the original (the serve relearn path).
   AuricEngine(const netsim::Topology& topology, const netsim::AttributeSchema& schema,
               const config::ParamCatalog& catalog, const config::ConfigAssignment& assignment,
               AuricOptions options = {});
+
+  /// Re-learns in place from the current `assignment`, touching only the
+  /// parameters whose configured slots differ from the learned population:
+  /// slot deltas (add/update/erase) are applied to the maintained view rows,
+  /// contingency tables and voting groups; a value appearing or vanishing
+  /// splices the label alphabet in place (an exact monotone re-coding, no
+  /// re-tally); the chi-square dependency scan re-runs only per `options`
+  /// (see IncrementalRelearnOptions), and voting tables rebuild only when a
+  /// parameter's dependent-set membership changed — a re-test that merely
+  /// re-ranks the same set re-tuples the existing group keys. With the
+  /// default options the result is bit-identical to
+  /// constructing a fresh engine over `assignment` — O(day's delta) instead
+  /// of O(inventory). The assignment must describe the same topology and
+  /// catalog the engine was built over.
+  void incremental_relearn(const config::ConfigAssignment& assignment,
+                           const IncrementalRelearnOptions& options = {},
+                           IncrementalRelearnStats* stats = nullptr);
 
   const AuricOptions& options() const { return options_; }
   const netsim::Topology& topology() const { return *topology_; }
@@ -82,7 +148,7 @@ class AuricEngine {
   const ParamView& view(config::ParamId param) const;
   const DependencyModel& dependencies(config::ParamId param) const;
   const BackoffVoting& voting(config::ParamId param) const;
-  const std::vector<std::vector<netsim::AttrCode>>& attr_codes() const { return attr_codes_; }
+  const std::vector<std::vector<netsim::AttrCode>>& attr_codes() const { return *attr_codes_; }
 
   /// Recommends a value for one parameter on `carrier` (singular) or on the
   /// relation carrier -> neighbor (pair-wise). When `exclude_self` is true
@@ -138,11 +204,26 @@ class AuricEngine {
   const config::ParamCatalog* catalog_;
   AuricOptions options_;
 
-  std::vector<std::vector<netsim::AttrCode>> attr_codes_;
+  /// Shared, immutable after construction: voting models keep raw pointers
+  /// into this vector, so engine copies must alias the same storage for a
+  /// clone's models to stay valid after the original is destroyed.
+  std::shared_ptr<const std::vector<std::vector<netsim::AttrCode>>> attr_codes_;
   std::vector<ParamView> views_;              // by catalog param id
   std::vector<DependencyModel> dependencies_;
+  std::vector<ContingencyState> contingency_;  ///< re-test sufficient statistics
   std::vector<BackoffVoting> voting_;
   const ModelWatch* watch_ = nullptr;
+
+  /// Builds view + contingency + dependencies + voting for parameter `p`
+  /// into the pre-sized slots (thread-safe across distinct `p`).
+  void learn_param(std::size_t p, const config::ConfigAssignment& assignment,
+                   const DependencyOptions& dep_options,
+                   std::vector<std::optional<BackoffVoting>>& voting_slots);
+
+  /// Diffs parameter `p` against `assignment` and applies the delta.
+  /// Returns true when the parameter was touched.
+  bool relearn_param(std::size_t p, const config::ConfigAssignment& assignment,
+                     const IncrementalRelearnOptions& options, IncrementalRelearnStats& stats);
 
   /// Row of `view(param)` holding the carrier's own current observation for
   /// this exact slot, or -1.

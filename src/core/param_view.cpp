@@ -5,9 +5,6 @@
 
 namespace auric::core {
 
-namespace {
-
-/// Locates the position of `param` within its kind's id list.
 std::size_t kind_position(const config::ParamCatalog& catalog, config::ParamId param) {
   const auto& ids = catalog.at(param).kind == config::ParamKind::kSingular
                         ? catalog.singular_ids()
@@ -16,8 +13,6 @@ std::size_t kind_position(const config::ParamCatalog& catalog, config::ParamId p
   if (it == ids.end()) throw std::logic_error("param not present in catalog kind list");
   return static_cast<std::size_t>(it - ids.begin());
 }
-
-}  // namespace
 
 ParamView build_param_view(const netsim::Topology& topology, const config::ParamCatalog& catalog,
                            const config::ConfigAssignment& assignment, config::ParamId param,
@@ -59,18 +54,23 @@ ParamView build_param_view(const netsim::Topology& topology, const config::Param
   view.label.reserve(view.value.size());
   for (config::ValueIndex v : view.value) view.label.push_back(view.labels.code_of(v));
 
+  rebuild_carrier_index(view, topology.carrier_count());
+  return view;
+}
+
+void rebuild_carrier_index(ParamView& view, std::size_t carrier_count) {
   // CSR over subject carriers.
-  const std::size_t n = topology.carrier_count();
-  view.carrier_offsets.assign(n + 1, 0);
+  view.carrier_offsets.assign(carrier_count + 1, 0);
   for (netsim::CarrierId c : view.carrier) ++view.carrier_offsets[static_cast<std::size_t>(c) + 1];
-  for (std::size_t c = 0; c < n; ++c) view.carrier_offsets[c + 1] += view.carrier_offsets[c];
+  for (std::size_t c = 0; c < carrier_count; ++c) {
+    view.carrier_offsets[c + 1] += view.carrier_offsets[c];
+  }
   view.rows_by_carrier.resize(view.rows());
   std::vector<std::uint32_t> cursor(view.carrier_offsets.begin(), view.carrier_offsets.end() - 1);
   for (std::size_t r = 0; r < view.rows(); ++r) {
     view.rows_by_carrier[cursor[static_cast<std::size_t>(view.carrier[r])]++] =
         static_cast<std::uint32_t>(r);
   }
-  return view;
 }
 
 ml::CategoricalDataset to_categorical_dataset(

@@ -48,6 +48,16 @@ struct ParamView {
   }
 };
 
+/// Position of `param` within its kind's id list — the index of its column
+/// in ConfigAssignment::singular (singular params) or ::pairwise.
+std::size_t kind_position(const config::ParamCatalog& catalog, config::ParamId param);
+
+/// Recomputes rows_by_carrier/carrier_offsets from the row arrays (counting
+/// sort, O(rows + carriers)). build_param_view and the incremental relearn
+/// path share this so a delta-maintained view indexes rows exactly like a
+/// fresh build.
+void rebuild_carrier_index(ParamView& view, std::size_t carrier_count);
+
 /// Builds the view for catalog parameter `param` over the configured slots
 /// of `assignment`. When `market` is set, only rows whose subject carrier
 /// belongs to that market are included (per-market evaluation).

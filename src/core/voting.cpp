@@ -106,6 +106,69 @@ std::vector<VotingModel::GroupSummary> VotingModel::group_summaries() const {
   return out;
 }
 
+void VotingModel::adjust(const GroupKey& key, ml::ClassLabel label, std::int32_t delta) {
+  const auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    if (delta < 0) throw std::logic_error("VotingModel::adjust: removing from an absent group");
+    if (delta == 0) return;
+    Group& group = groups_[key];
+    group.total = delta;
+    group.counts.emplace_back(label, delta);
+    return;
+  }
+  Group& group = it->second;
+  group.total += delta;
+  bool found = false;
+  for (auto pair = group.counts.begin(); pair != group.counts.end(); ++pair) {
+    if (pair->first != label) continue;
+    pair->second += delta;
+    if (pair->second < 0) throw std::logic_error("VotingModel::adjust: vote count went negative");
+    if (pair->second == 0) group.counts.erase(pair);
+    found = true;
+    break;
+  }
+  if (!found) {
+    if (delta < 0) throw std::logic_error("VotingModel::adjust: removing an absent label");
+    if (delta > 0) group.counts.emplace_back(label, delta);
+  }
+  if (group.total < 0) throw std::logic_error("VotingModel::adjust: group size went negative");
+  if (group.total == 0) groups_.erase(it);
+}
+
+void VotingModel::remap_labels(std::span<const ml::ClassLabel> old_to_new) {
+  for (auto& [key, group] : groups_) {
+    for (auto& [label, count] : group.counts) {
+      const ml::ClassLabel next = old_to_new[static_cast<std::size_t>(label)];
+      if (next < 0) throw std::logic_error("VotingModel::remap_labels: dropping a live label");
+      label = next;
+    }
+  }
+}
+
+void VotingModel::reorder_deps(std::span<const AttrRef> new_deps) {
+  if (new_deps.size() != deps_.size()) {
+    throw std::logic_error("VotingModel::reorder_deps: dependent count changed");
+  }
+  std::vector<std::size_t> perm(new_deps.size());
+  for (std::size_t i = 0; i < new_deps.size(); ++i) {
+    const auto it = std::find(deps_.begin(), deps_.end(), new_deps[i]);
+    if (it == deps_.end()) {
+      throw std::logic_error("VotingModel::reorder_deps: not a permutation of deps()");
+    }
+    perm[i] = static_cast<std::size_t>(it - deps_.begin());
+  }
+  std::unordered_map<GroupKey, Group, GroupKeyHash> next;
+  next.reserve(groups_.size());
+  GroupKey tupled;
+  for (auto& [key, group] : groups_) {
+    tupled.resize(key.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) tupled[i] = key[perm[i]];
+    next.emplace(tupled, std::move(group));
+  }
+  groups_ = std::move(next);
+  deps_.assign(new_deps.begin(), new_deps.end());
+}
+
 std::optional<Vote> VotingModel::vote(const GroupKey& key, double threshold) const {
   const auto it = groups_.find(key);
   if (it == groups_.end()) return std::nullopt;
@@ -197,6 +260,35 @@ BackoffVoting::BackoffVoting(const ParamView& view, std::span<const AttrRef> dep
     const std::span<const AttrRef> prefix(deps_.data(), deps_.size() - static_cast<std::size_t>(level));
     models_.emplace_back(view, prefix, attr_codes);
   }
+}
+
+void BackoffVoting::adjust(netsim::CarrierId carrier, netsim::CarrierId neighbor,
+                           ml::ClassLabel label, std::int32_t delta) {
+  for (VotingModel& model : models_) {
+    model.adjust(model.key_for(carrier, neighbor), label, delta);
+  }
+}
+
+void BackoffVoting::remap_labels(std::span<const ml::ClassLabel> old_to_new) {
+  for (VotingModel& model : models_) model.remap_labels(old_to_new);
+}
+
+void BackoffVoting::reorder_deps(const ParamView& view, std::span<const AttrRef> new_deps) {
+  if (new_deps.size() != deps_.size() ||
+      !std::is_permutation(new_deps.begin(), new_deps.end(), deps_.begin())) {
+    throw std::logic_error("BackoffVoting::reorder_deps: dependent sets differ");
+  }
+  for (std::size_t level = 0; level < models_.size(); ++level) {
+    const std::size_t len = deps_.size() - level;
+    const std::span<const AttrRef> prefix(new_deps.data(), len);
+    const std::span<const AttrRef> old_prefix(deps_.data(), len);
+    if (std::is_permutation(prefix.begin(), prefix.end(), old_prefix.begin())) {
+      models_[level].reorder_deps(prefix);
+    } else {
+      models_[level] = VotingModel(view, prefix, *attr_codes_);
+    }
+  }
+  deps_.assign(new_deps.begin(), new_deps.end());
 }
 
 std::span<const AttrRef> BackoffVoting::deps_at(int level) const {

@@ -63,6 +63,32 @@ class VotingModel {
   std::optional<Vote> vote_excluding(const GroupKey& key, ml::ClassLabel own_label,
                                      double threshold) const;
 
+  /// Applies a signed vote delta for one observation: +1 adds a voter with
+  /// `label` to the group (created when absent), -1 removes one. Pairs that
+  /// reach zero votes and groups that reach zero voters are erased, so a
+  /// delta-maintained model holds exactly the groups a from-scratch build
+  /// over the same population would (winner/runner-up scans are
+  /// order-independent over the (label, count) multiset, so equal multisets
+  /// mean equal votes — DESIGN.md §18). Throws std::logic_error when a count
+  /// would go negative.
+  void adjust(const GroupKey& key, ml::ClassLabel label, std::int32_t delta);
+
+  /// Rewrites every stored vote's label through `old_to_new` (index = old
+  /// label code). Used when the label dictionary is re-coded in place — a
+  /// value appeared or vanished and every dense code shifted. The map must
+  /// be monotone over live labels so smallest-label tie-breaks survive the
+  /// renumbering; a negative entry asserts that label holds no votes (it was
+  /// dropped from the dictionary) and trips std::logic_error otherwise.
+  void remap_labels(std::span<const ml::ClassLabel> old_to_new);
+
+  /// Re-orders the dependent list to `new_deps`, which must be a permutation
+  /// of deps(): every group key is re-tupled into the new attribute order —
+  /// O(groups), not O(rows) — with group contents untouched. The re-ranked
+  /// model equals a from-scratch build over the same population because peer
+  /// grouping is a function of the dependent *set*; only the key tuple order
+  /// follows the ranking. Throws std::logic_error on a non-permutation.
+  void reorder_deps(std::span<const AttrRef> new_deps);
+
   std::size_t group_count() const { return groups_.size(); }
 
   /// The dependent attribute refs this model keys on.
@@ -151,8 +177,34 @@ class BackoffVoting {
                                 std::int64_t exclude_row, double threshold,
                                 std::span<const double> carrier_weights = {}) const;
 
+  /// Applies a signed vote delta for one observation of (carrier, neighbor)
+  /// across every backoff level (see VotingModel::adjust). The incremental
+  /// relearn path uses this to keep all levels consistent with the day's
+  /// slot deltas without rebuilding.
+  void adjust(netsim::CarrierId carrier, netsim::CarrierId neighbor, ml::ClassLabel label,
+              std::int32_t delta);
+
+  /// Applies a label renumbering to every backoff level (see
+  /// VotingModel::remap_labels).
+  void remap_labels(std::span<const ml::ClassLabel> old_to_new);
+
+  /// Adopts a re-ranked dependent list (`new_deps` must be a permutation of
+  /// the current set). Backoff levels whose key prefix spans the same
+  /// attribute set keep their aggregated groups with keys re-tupled in the
+  /// new order; levels whose prefix membership shifted (the dropped-weakest
+  /// tail changed) rebuild from `view`. The incremental relearn path uses
+  /// this when a drift re-test re-ranks an unchanged dependent set — the
+  /// common case — so an O(rows) voting rebuild becomes O(groups).
+  void reorder_deps(const ParamView& view, std::span<const AttrRef> new_deps);
+
   /// Dependent refs used at backoff level `level`.
   std::span<const AttrRef> deps_at(int level) const;
+
+  /// The voting model at backoff `level` (0 = full dependent set); exposed
+  /// for structural equality checks in tests and diagnostics.
+  const VotingModel& model_at(int level) const {
+    return models_.at(static_cast<std::size_t>(level));
+  }
 
   int level_count() const { return static_cast<int>(models_.size()); }
 

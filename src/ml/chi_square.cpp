@@ -84,6 +84,25 @@ ContingencyTable ContingencyTable::build(std::span<const std::int32_t> x,
   return table;
 }
 
+ContingencyTable ContingencyTable::zeros(std::size_t card_x, std::size_t card_y) {
+  ContingencyTable table;
+  table.counts.assign(card_x, std::vector<std::int64_t>(card_y, 0));
+  return table;
+}
+
+void ContingencyTable::apply(std::int32_t x, std::int32_t y, std::int64_t delta) {
+  if (x < 0 || static_cast<std::size_t>(x) >= counts.size() || y < 0 ||
+      (counts.empty() || static_cast<std::size_t>(y) >= counts[0].size())) {
+    throw std::out_of_range("ContingencyTable::apply: code out of range");
+  }
+  std::int64_t& cell = counts[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)];
+  cell += delta;
+  total += delta;
+  if (cell < 0 || total < 0) {
+    throw std::logic_error("ContingencyTable::apply: count went negative");
+  }
+}
+
 ChiSquareResult chi_square_test(const ContingencyTable& table) {
   // Marginals, dropping empty rows/columns.
   const std::size_t raw_rows = table.counts.size();

@@ -39,6 +39,17 @@ struct ContingencyTable {
   static ContingencyTable build(std::span<const std::int32_t> x,
                                 std::span<const std::int32_t> y, std::size_t card_x,
                                 std::size_t card_y);
+
+  /// An empty card_x-by-card_y table (all counts zero).
+  static ContingencyTable zeros(std::size_t card_x, std::size_t card_y);
+
+  /// Applies a signed count delta at (x, y); `total` tracks the table sum.
+  /// This is the incremental re-test primitive: a maintained table fed one
+  /// observation at a time holds exactly the integer counts build() would
+  /// produce from the full population, so chi_square_test over it is
+  /// bit-identical to a from-scratch scan. Throws std::out_of_range outside
+  /// the table and std::logic_error when a count would go negative.
+  void apply(std::int32_t x, std::int32_t y, std::int64_t delta);
 };
 
 struct ChiSquareResult {

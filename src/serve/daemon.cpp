@@ -214,13 +214,33 @@ void ServeDaemon::warm_up() {
 
 bool ServeDaemon::relearn() { return relearn_audited(nullptr) == RelearnOutcome::kSwapped; }
 
-ServeDaemon::RelearnOutcome ServeDaemon::relearn_audited(std::string* audit_json) {
+ServeDaemon::RelearnOutcome ServeDaemon::relearn_audited(std::string* audit_json,
+                                                         core::RelearnMode mode) {
   std::lock_guard<std::mutex> relearn_lock(relearn_mu_);
   const std::shared_ptr<const EngineBundle> current = snapshot();
   const std::uint64_t next_generation = (current == nullptr ? 0 : current->generation) + 1;
+  // Incremental needs a serving engine to delta-update; before the first
+  // warm-up the full builder is the only option.
+  const bool incremental = mode == core::RelearnMode::kIncremental && current != nullptr &&
+                           current->engine != nullptr;
   std::unique_ptr<EngineBundle> fresh;
   try {
-    fresh = build_bundle();
+    if (incremental) {
+      // Clone-and-update off to the side: engines are copyable (the attribute
+      // code table is shared, so the clone's internal pointers stay valid
+      // after the RCU flip frees the original), and the clone absorbs the
+      // inventory's slot deltas in O(delta) instead of a from-scratch learn.
+      // The clone goes through the same audit gate as a full rebuild below.
+      fresh = std::make_unique<EngineBundle>();
+      fresh->engine = std::make_unique<core::AuricEngine>(*current->engine);
+      fresh->engine->incremental_relearn(*assignment_);
+      fresh->engine->set_watch(&watch_);
+      fresh->controller = std::make_unique<smartlaunch::LaunchController>(
+          *fresh->engine, rulebook_, *assignment_, smartlaunch::VendorFaultOptions{},
+          smartlaunch::PushPolicy{}, options_.seed);
+    } else {
+      fresh = build_bundle();
+    }
   } catch (const std::exception& e) {
     // Graceful degradation: the last-good bundle keeps serving; /healthz
     // flips to degraded until a later relearn succeeds.
@@ -228,7 +248,8 @@ ServeDaemon::RelearnOutcome ServeDaemon::relearn_audited(std::string* audit_json
     degraded_.store(true);
     degraded_gauge_.set(1.0);
     util::log(util::LogLevel::kError,
-              util::format("serve: relearn failed (%s); serving last-good engine", e.what()));
+              util::format("serve: %s relearn failed (%s); serving last-good engine",
+                           core::relearn_mode_name(mode), e.what()));
     return RelearnOutcome::kFailed;
   }
   fresh->generation = next_generation;
@@ -400,8 +421,17 @@ obs::HttpResponse ServeDaemon::handle(const obs::HttpRequest& request) {
   }
   if (request.method == "POST") {
     if (path == "/relearn") {
+      core::RelearnMode mode = options_.relearn_mode;
+      const std::string_view mode_arg = query_param(request.query(), "mode");
+      if (mode_arg == "full") {
+        mode = core::RelearnMode::kFull;
+      } else if (mode_arg == "incremental") {
+        mode = core::RelearnMode::kIncremental;
+      } else if (!mode_arg.empty()) {
+        return json_response(400, "{\"error\":\"mode must be full or incremental\"}");
+      }
       std::string audit;
-      const RelearnOutcome outcome = relearn_audited(&audit);
+      const RelearnOutcome outcome = relearn_audited(&audit, mode);
       if (audit.empty()) {
         audit = "null";
       }
@@ -409,7 +439,8 @@ obs::HttpResponse ServeDaemon::handle(const obs::HttpRequest& request) {
                            : outcome == RelearnOutcome::kRefused ? "refused"
                                                                  : "degraded";
       const int code = outcome == RelearnOutcome::kSwapped ? 200 : 503;
-      return json_response(code, std::string("{\"status\":\"") + status +
+      return json_response(code, std::string("{\"status\":\"") + status + "\",\"mode\":\"" +
+                                     core::relearn_mode_name(mode) +
                                      "\",\"generation\":" + std::to_string(generation()) +
                                      ",\"audit\":" + audit + "}");
     }

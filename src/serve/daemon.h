@@ -100,6 +100,12 @@ struct ServeOptions {
   /// later relearn passes. 1.0 (the default) disables the guard — a rate can
   /// equal but never exceed it.
   double max_flip_rate = 1.0;
+  /// Default relearn path. kIncremental clones the serving engine and applies
+  /// the inventory's slot deltas in place (AuricEngine::incremental_relearn)
+  /// instead of relearning every table from scratch; the clone still rides
+  /// the full shadow-audit + flip-rate gate before the RCU flip. Overridable
+  /// per request with POST /relearn?mode=full|incremental.
+  core::RelearnMode relearn_mode = core::RelearnMode::kFull;
 };
 
 class ServeDaemon {
@@ -157,7 +163,17 @@ class ServeDaemon {
   /// Options::max_flip_rate. `audit_json`, when non-null, receives the
   /// EngineDiffReport JSON (empty when no audit ran — first warm-up or a
   /// failed build). Serialized; callable while serving.
-  RelearnOutcome relearn_audited(std::string* audit_json);
+  RelearnOutcome relearn_audited(std::string* audit_json) {
+    return relearn_audited(audit_json, options_.relearn_mode);
+  }
+
+  /// Same, with an explicit path: kFull rebuilds through the builder;
+  /// kIncremental clones the serving engine and delta-updates it against the
+  /// resident inventory (which the owner may have refreshed in place — the
+  /// daemon reads it, never writes it). Falls back to a full build when no
+  /// engine is serving yet. Either way the fresh bundle is shadow-audited and
+  /// the flip-rate cap enforced before the swap.
+  RelearnOutcome relearn_audited(std::string* audit_json, core::RelearnMode mode);
 
   /// relearn_audited() == kSwapped. Kept for callers that only care whether
   /// a usable engine is being served.

@@ -191,9 +191,12 @@ ReplayReport OperationReplay::run() {
   // learning from the evolving network.
   std::unique_ptr<core::AuricEngine> engine;
   std::unique_ptr<LaunchController> controller;
-  const auto rebuild_engine = [&] {
-    engine = std::make_unique<core::AuricEngine>(*topology_, *schema_, *catalog_, state_);
-    if (watch_ != nullptr) engine->set_watch(watch_.get());
+  core::AuricOptions engine_options;
+  engine_options.learn_threads = std::max(1, options_.relearn_threads);
+  // The controller captures engine state at construction, so BOTH relearn
+  // modes rebuild it; only the engine itself is refreshed in place in
+  // incremental mode.
+  const auto bind_controller = [&] {
     controller = std::make_unique<LaunchController>(*engine, rulebook, state_,
                                                     options_.vendor_faults,
                                                     options_.push_policy, options_.seed);
@@ -220,10 +223,32 @@ ReplayReport OperationReplay::run() {
       }
     }
   };
+  const auto rebuild_engine = [&] {
+    engine = std::make_unique<core::AuricEngine>(*topology_, *schema_, *catalog_, state_,
+                                                 engine_options);
+    if (watch_ != nullptr) engine->set_watch(watch_.get());
+    bind_controller();
+  };
   const auto relearn = [&] {
     obs::ScopedSpan relearn_span("replay.relearn");
     obs::ScopedTimer relearn_timer(metrics.relearn_seconds);
-    rebuild_engine();
+    // Incremental mode's escape hatch: every full_rebuild_every-th relearn
+    // (counting the window-opening build as relearn 0) rebuilds from
+    // scratch. engine_relearns is checkpointed, so a resumed run lands on
+    // the same cadence position as an uninterrupted one.
+    const bool forced_full = options_.full_rebuild_every > 0 &&
+                             report.engine_relearns % options_.full_rebuild_every == 0;
+    if (engine != nullptr && options_.relearn_mode == core::RelearnMode::kIncremental &&
+        !forced_full) {
+      core::IncrementalRelearnOptions inc;
+      inc.drift_threshold = options_.relearn_drift_threshold;
+      inc.watch = watch_.get();
+      inc.threads = std::max(1, options_.relearn_threads);
+      engine->incremental_relearn(state_, inc);
+      bind_controller();
+    } else {
+      rebuild_engine();
+    }
     relearn_delta_ = delta_;
     ++report.engine_relearns;
   };

@@ -36,6 +36,7 @@
 #include "config/assignment.h"
 #include "config/catalog.h"
 #include "config/rulebook.h"
+#include "core/engine.h"
 #include "io/launch_state.h"
 #include "netsim/attributes.h"
 #include "netsim/topology.h"
@@ -102,6 +103,29 @@ struct ReplayOptions {
   /// with the watch on or off. Watch state is in-memory (not checkpointed):
   /// a resumed run's drift gauges restart from its resume day.
   bool model_watch = true;
+  /// How the relearn cadence refreshes the engine. kIncremental applies the
+  /// days' slot deltas in place (AuricEngine::incremental_relearn) instead
+  /// of rebuilding every parameter table — O(delta) per relearn, and with
+  /// relearn_drift_threshold <= 0 byte-identical to kFull (CI-enforced, at
+  /// any shard/thread count, including kill-and-resume: a resumed run
+  /// rebuilds its engine from the checkpointed state, which the exactness
+  /// guarantee makes indistinguishable from the maintained one).
+  core::RelearnMode relearn_mode = core::RelearnMode::kFull;
+  /// Width of the per-parameter fan-out inside a relearn (full build and
+  /// delta application both); 1 = the serial loop, byte-identical at any
+  /// width.
+  int relearn_threads = 1;
+  /// Incremental mode's escape hatch: every Nth relearn is a full rebuild
+  /// anyway (0 = never), bounding any divergence an approximate
+  /// relearn_drift_threshold > 0 could accumulate. Irrelevant for exactness
+  /// at the default threshold, but kept on so a production-style window
+  /// never drifts unboundedly far from the from-scratch model.
+  int full_rebuild_every = 4;
+  /// Re-test gate forwarded to IncrementalRelearnOptions::drift_threshold:
+  /// <= 0 re-tests every touched parameter (exact); > 0 re-tests only
+  /// parameters whose changed-row fraction reaches it OR whose ModelWatch
+  /// drift p-value (when model_watch is on) falls below the engine's alpha.
+  double relearn_drift_threshold = 0.0;
 };
 
 ///// Recovery-mode counters (populated when ReplayOptions::robust).

@@ -381,6 +381,65 @@ TEST(ServeDaemon, ShadowAuditRefusesADegradedRelearn) {
   EXPECT_FALSE(daemon.degraded());
 }
 
+TEST(ServeDaemon, IncrementalRelearnRidesTheShadowAuditAndFlipRateCap) {
+  Fixture f;
+  ServeOptions o = f.options();
+  o.max_flip_rate = 0.0;  // any flip at all refuses the swap
+  o.relearn_mode = core::RelearnMode::kIncremental;
+  ServeDaemon daemon = f.daemon(o);
+  daemon.warm_up();
+  ASSERT_EQ(daemon.generation(), 1u);
+
+  obs::HttpRequest relearn;
+  relearn.method = "POST";
+  relearn.target = "/relearn";
+
+  // Unchanged inventory: the clone delta-updates to an identical model, the
+  // audit sees zero flips, and the swap clears the zero-tolerance cap.
+  obs::HttpResponse swapped = daemon.handle(relearn);
+  EXPECT_EQ(swapped.status, 200) << swapped.body;
+  EXPECT_NE(swapped.body.find("\"mode\":\"incremental\""), std::string::npos);
+  EXPECT_NE(swapped.body.find("\"flips\":0"), std::string::npos);
+  EXPECT_EQ(daemon.generation(), 2u);
+
+  // The inventory feed rewrites the network under the daemon (the owner may
+  // refresh the resident assignment in place): the incremental clone absorbs
+  // the deltas, the shadow-audit sees the disagreement, and the flip-rate cap
+  // refuses the swap — incremental relearns get no bypass around the gate.
+  const config::ConfigAssignment before = f.assignment;
+  for (auto& column : f.assignment.singular) {
+    for (auto& v : column.value) {
+      if (v != config::kUnset) v = 0;
+    }
+  }
+  obs::HttpResponse refused = daemon.handle(relearn);
+  EXPECT_EQ(refused.status, 503);
+  EXPECT_NE(refused.body.find("\"status\":\"refused\""), std::string::npos);
+  EXPECT_NE(refused.body.find("\"mode\":\"incremental\""), std::string::npos);
+  EXPECT_EQ(daemon.generation(), 2u);
+  EXPECT_TRUE(daemon.degraded());
+  EXPECT_EQ(f.registry.counter("auric_serve_relearn_refused_total").value(), 1u);
+  EXPECT_GT(f.registry.gauge("auric_serve_relearn_flip_rate").value(), 0.0);
+
+  // Per-request mode override: ?mode=full takes the builder path (same
+  // refusal — the gate is mode-independent); garbage is a 400.
+  obs::HttpRequest full = relearn;
+  full.target = "/relearn?mode=full";
+  obs::HttpResponse full_refused = daemon.handle(full);
+  EXPECT_EQ(full_refused.status, 503);
+  EXPECT_NE(full_refused.body.find("\"mode\":\"full\""), std::string::npos);
+  obs::HttpRequest bogus = relearn;
+  bogus.target = "/relearn?mode=sideways";
+  EXPECT_EQ(daemon.handle(bogus).status, 400);
+
+  // The feed settles back: the next incremental relearn swaps cleanly.
+  f.assignment = before;
+  obs::HttpResponse recovered = daemon.handle(relearn);
+  EXPECT_EQ(recovered.status, 200) << recovered.body;
+  EXPECT_EQ(daemon.generation(), 3u);
+  EXPECT_FALSE(daemon.degraded());
+}
+
 TEST(ServeDaemon, FiringAlertRulesFlipHealthzToAlerting) {
   Fixture f;
   ServeDaemon daemon = f.daemon(f.options());

@@ -22,22 +22,29 @@
 //
 //   auric replay    [--data DIR] [--days N] [--robust] [--state-dir DIR]
 //                   [--shards N] [--weekly-out FILE] [--state-out DIR]
+//                   [--relearn-mode full|incremental] [--relearn-threads N]
 //       Replay the paper's two-month operation window day by day (synthetic
 //       network by default); weekly Table-5 counters plus rollback and
 //       quarantine columns in robust mode. --shards N partitions the EMS by
 //       market and runs each day's launches shard-parallel; --weekly-out
 //       writes the weekly table as CSV (bit-exact KPI) for CI diffing;
 //       --state-out saves the evolved snapshot as an inventory directory
-//       (the `auric modeldiff` input). With --serve-metrics the live plane
+//       (the `auric modeldiff` input). --relearn-mode incremental applies the
+//       days' slot deltas to the engine in place instead of rebuilding every
+//       table (byte-identical weekly output at the default drift threshold);
+//       --relearn-threads fans the per-parameter work out (also byte-exact).
+//       With --serve-metrics the live plane
 //       additionally exposes /modelz: the ModelWatch model-quality document.
 //       SIGTERM/SIGINT drain gracefully: the current day finishes, a final
 //       sealed checkpoint commits, and --resume continues bit-identically.
 //
 //   auric serve     [--data DIR] [--port N] [--workers N] [--queue-high-water N]
+//                   [--relearn-mode full|incremental]
 //       Long-lived recommendation daemon: /recommend /diff /healthz /metrics
 //       over loopback HTTP, with admission control, per-request deadlines,
-//       per-market bulkheads, hot engine swap (POST /relearn) and graceful
-//       drain on SIGTERM/SIGINT or POST /quit.
+//       per-market bulkheads, hot engine swap (POST /relearn, optionally
+//       ?mode=full|incremental) and graceful drain on SIGTERM/SIGINT or
+//       POST /quit.
 //
 //   auric loadgen   --port N [--clients N] [--requests N] [--fault-prob F]
 //       Seeded closed-loop load generator against a serve daemon; exits
@@ -268,6 +275,21 @@ int cmd_replay(util::Args& args, util::LivePlaneScope& live) {
       static_cast<int>(args.get_int("launches-per-day", 21, "new carriers per day"));
   options.relearn_every_days =
       static_cast<int>(args.get_int("relearn-days", 7, "engine re-learn cadence in days"));
+  const std::string relearn_mode = args.get_string(
+      "relearn-mode", "full",
+      "relearn path: full rebuilds every table; incremental applies the days' slot deltas "
+      "in place (byte-identical weekly output at the default drift threshold)");
+  options.relearn_threads = static_cast<int>(args.get_int(
+      "relearn-threads", 1,
+      "per-parameter fan-out width inside a relearn (byte-identical at any width)"));
+  options.full_rebuild_every = static_cast<int>(args.get_int(
+      "full-rebuild-every", options.full_rebuild_every,
+      "incremental mode: every Nth relearn is a full rebuild anyway (0 = never)"));
+  options.relearn_drift_threshold = args.get_double(
+      "relearn-drift-threshold", 0.0,
+      "incremental mode: re-test dependencies only for parameters whose changed-row "
+      "fraction reaches this, or whose ModelWatch drift fires (<= 0 = re-test every "
+      "touched parameter, which keeps the output exact)");
   options.robust = args.get_bool(
       "robust", true, "push through the fault-tolerant path (chunk/retry/breaker/KPI gate)");
   options.rollback.enabled = args.get_bool(
@@ -306,6 +328,13 @@ int cmd_replay(util::Args& args, util::LivePlaneScope& live) {
       "directory — the `auric modeldiff` input");
   if (args.help_requested()) return 0;
   args.check_unknown();
+
+  if (relearn_mode == "incremental") {
+    options.relearn_mode = core::RelearnMode::kIncremental;
+  } else if (relearn_mode != "full") {
+    std::fprintf(stderr, "auric replay: --relearn-mode must be full or incremental\n");
+    return 2;
+  }
 
   if (faultfs_seed >= 0) {
     io::FaultFs::FaultPlan plan =
@@ -454,11 +483,21 @@ int cmd_serve(util::Args& args) {
   options.max_flip_rate = args.get_double(
       "max-flip-rate", 1.0,
       "refuse a relearn whose audited flip rate exceeds this (1.0 = guard off)");
+  const std::string relearn_mode = args.get_string(
+      "relearn-mode", "full",
+      "default POST /relearn path: full rebuilds from scratch; incremental clones the "
+      "serving engine and delta-updates it (per-request override: /relearn?mode=...)");
   const std::string rules_file = args.get_string(
       "serve-rules", "", "alert rules evaluated into /healthz (rules.h CSV dialect)");
   if (args.help_requested()) return 0;
   args.check_unknown();
   options.seed = params.seed;
+  if (relearn_mode == "incremental") {
+    options.relearn_mode = core::RelearnMode::kIncremental;
+  } else if (relearn_mode != "full") {
+    std::fprintf(stderr, "auric serve: --relearn-mode must be full or incremental\n");
+    return 2;
+  }
 
   Snapshot snap;
   if (dir.empty()) {

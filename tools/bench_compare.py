@@ -28,9 +28,12 @@ import sys
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_arms(path):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def load_arms(doc):
     arms = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
@@ -65,8 +68,27 @@ def main():
         print(f"baseline updated from {args.current}")
         return 0
 
-    baseline = load_arms(args.baseline)
-    current = load_arms(args.current)
+    baseline_doc = load_doc(args.baseline)
+    current_doc = load_doc(args.current)
+
+    # A wall-clock gate only means something when both runs saw the same
+    # machine shape: comparing a 4-core baseline against a 1-core candidate
+    # (or vice versa) flags phantom regressions in every parallel arm.
+    base_ctx = baseline_doc.get("context", {})
+    cur_ctx = current_doc.get("context", {})
+    base_cpus, cur_cpus = base_ctx.get("num_cpus"), cur_ctx.get("num_cpus")
+    for label, ctx in (("baseline", base_ctx), ("current", cur_ctx)):
+        model = ctx.get("cpu_model") or ctx.get("host_name") or "unknown CPU"
+        print(f"  {label}: {ctx.get('num_cpus', '?')} cores, {model}")
+    if base_cpus is not None and cur_cpus is not None and base_cpus != cur_cpus:
+        print(f"\nERROR: baseline was recorded on a {base_cpus}-core runner but this "
+              f"run used {cur_cpus} cores; the comparison would be meaningless.\n"
+              f"Re-record the baseline on this runner class: tools/bench_compare.py "
+              f"{args.baseline} {args.current} --update", file=sys.stderr)
+        return 2
+
+    baseline = load_arms(baseline_doc)
+    current = load_arms(current_doc)
 
     regressions = []
     unbaselined = []

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Stamp runner-hardware metadata into a google-benchmark JSON file.
+
+google-benchmark records num_cpus and per-CPU MHz in its "context" block but
+not the CPU model string, and CI logs scroll away. This rewrites the JSON in
+place with `context.cpu_model` and `context.num_cpus_online` so a stored
+BENCH_ci.json artifact is self-describing and bench_compare.py can refuse a
+baseline recorded on a different runner class.
+
+Usage:
+    tools/bench_stamp.py BENCH_ci.json
+"""
+
+import json
+import os
+import re
+import sys
+
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                m = re.match(r"model name\s*:\s*(.+)", line)
+                if m:
+                    return m.group(1).strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path) as f:
+        doc = json.load(f)
+    ctx = doc.setdefault("context", {})
+    ctx["cpu_model"] = cpu_model()
+    ctx["num_cpus_online"] = os.cpu_count()
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"stamped {path}: {ctx.get('num_cpus', '?')} cores ({ctx['cpu_model']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
